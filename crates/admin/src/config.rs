@@ -1,0 +1,234 @@
+//! Platform configuration: typed settings with defaults and per-tenant
+//! overrides ("customize services configuration", ODBIS §3.1 — the
+//! out-of-the-box "flexible configuration and personalization" claim).
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+/// A typed configuration value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigValue {
+    /// String setting.
+    Str(String),
+    /// Integer setting.
+    Int(i64),
+    /// Boolean setting.
+    Bool(bool),
+}
+
+impl ConfigValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            ConfigValue::Str(_) => "string",
+            ConfigValue::Int(_) => "int",
+            ConfigValue::Bool(_) => "bool",
+        }
+    }
+}
+
+impl From<&str> for ConfigValue {
+    fn from(s: &str) -> Self {
+        ConfigValue::Str(s.to_string())
+    }
+}
+impl From<i64> for ConfigValue {
+    fn from(i: i64) -> Self {
+        ConfigValue::Int(i)
+    }
+}
+impl From<bool> for ConfigValue {
+    fn from(b: bool) -> Self {
+        ConfigValue::Bool(b)
+    }
+}
+
+/// Configuration errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The key is not declared.
+    UnknownKey(String),
+    /// The value's type does not match the declaration.
+    TypeMismatch {
+        /// Setting key.
+        key: String,
+        /// Declared kind.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::UnknownKey(k) => write!(f, "unknown configuration key {k}"),
+            ConfigError::TypeMismatch { key, expected } => {
+                write!(f, "configuration {key} expects a {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Declared-key configuration store with platform defaults and per-tenant
+/// overrides. Reads resolve tenant → platform → declared default.
+pub struct PlatformConfig {
+    declared: BTreeMap<String, ConfigValue>,
+    inner: RwLock<Overrides>,
+}
+
+#[derive(Default)]
+struct Overrides {
+    platform: BTreeMap<String, ConfigValue>,
+    per_tenant: BTreeMap<(String, String), ConfigValue>,
+}
+
+impl PlatformConfig {
+    /// Store with the platform's standard settings declared.
+    pub fn with_defaults() -> Self {
+        let mut declared = BTreeMap::new();
+        for (k, v) in [
+            ("reporting.max_rows", ConfigValue::Int(10_000)),
+            ("reporting.default_chart", ConfigValue::from("bar")),
+            ("etl.reject_threshold", ConfigValue::Int(1_000)),
+            ("olap.preaggregation", ConfigValue::Bool(true)),
+            ("delivery.mobile_row_cap", ConfigValue::Int(20)),
+            ("security.session_minutes", ConfigValue::Int(30)),
+            ("platform.name", ConfigValue::from("ODBIS")),
+        ] {
+            declared.insert(k.to_string(), v);
+        }
+        PlatformConfig {
+            declared,
+            inner: RwLock::new(Overrides::default()),
+        }
+    }
+
+    /// Declare an additional key with its default.
+    pub fn declare(&mut self, key: &str, default: ConfigValue) {
+        self.declared.insert(key.to_string(), default);
+    }
+
+    fn check(&self, key: &str, value: &ConfigValue) -> Result<(), ConfigError> {
+        let decl = self
+            .declared
+            .get(key)
+            .ok_or_else(|| ConfigError::UnknownKey(key.to_string()))?;
+        if decl.kind() != value.kind() {
+            return Err(ConfigError::TypeMismatch {
+                key: key.to_string(),
+                expected: decl.kind(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Set a platform-wide override.
+    pub fn set(&self, key: &str, value: ConfigValue) -> Result<(), ConfigError> {
+        self.check(key, &value)?;
+        self.inner.write().platform.insert(key.to_string(), value);
+        Ok(())
+    }
+
+    /// Set a tenant-specific override ("personalization").
+    pub fn set_for_tenant(
+        &self,
+        tenant: &str,
+        key: &str,
+        value: ConfigValue,
+    ) -> Result<(), ConfigError> {
+        self.check(key, &value)?;
+        self.inner
+            .write()
+            .per_tenant
+            .insert((tenant.to_string(), key.to_string()), value);
+        Ok(())
+    }
+
+    /// Resolve a setting for a tenant.
+    pub fn get(&self, tenant: &str, key: &str) -> Result<ConfigValue, ConfigError> {
+        let decl = self
+            .declared
+            .get(key)
+            .ok_or_else(|| ConfigError::UnknownKey(key.to_string()))?;
+        let inner = self.inner.read();
+        if let Some(v) = inner
+            .per_tenant
+            .get(&(tenant.to_string(), key.to_string()))
+        {
+            return Ok(v.clone());
+        }
+        if let Some(v) = inner.platform.get(key) {
+            return Ok(v.clone());
+        }
+        Ok(decl.clone())
+    }
+
+    /// Integer-setting convenience.
+    pub fn get_int(&self, tenant: &str, key: &str) -> Result<i64, ConfigError> {
+        match self.get(tenant, key)? {
+            ConfigValue::Int(i) => Ok(i),
+            _ => Err(ConfigError::TypeMismatch {
+                key: key.to_string(),
+                expected: "int",
+            }),
+        }
+    }
+
+    /// All declared keys, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        self.declared.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_order_tenant_platform_default() {
+        let cfg = PlatformConfig::with_defaults();
+        assert_eq!(cfg.get_int("t1", "reporting.max_rows").unwrap(), 10_000);
+        cfg.set("reporting.max_rows", 5_000i64.into()).unwrap();
+        assert_eq!(cfg.get_int("t1", "reporting.max_rows").unwrap(), 5_000);
+        cfg.set_for_tenant("t1", "reporting.max_rows", 100i64.into())
+            .unwrap();
+        assert_eq!(cfg.get_int("t1", "reporting.max_rows").unwrap(), 100);
+        // other tenants still see the platform override
+        assert_eq!(cfg.get_int("t2", "reporting.max_rows").unwrap(), 5_000);
+    }
+
+    #[test]
+    fn unknown_keys_and_type_mismatches() {
+        let cfg = PlatformConfig::with_defaults();
+        assert!(matches!(
+            cfg.set("nope", 1i64.into()),
+            Err(ConfigError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            cfg.set("reporting.max_rows", "lots".into()),
+            Err(ConfigError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            cfg.get("t", "ghost.key"),
+            Err(ConfigError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            cfg.get_int("t", "platform.name"),
+            Err(ConfigError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn declaring_new_keys() {
+        let mut cfg = PlatformConfig::with_defaults();
+        cfg.declare("custom.flag", ConfigValue::Bool(false));
+        assert_eq!(
+            cfg.get("t", "custom.flag").unwrap(),
+            ConfigValue::Bool(false)
+        );
+        cfg.set("custom.flag", true.into()).unwrap();
+        assert_eq!(cfg.get("t", "custom.flag").unwrap(), ConfigValue::Bool(true));
+        assert!(cfg.keys().contains(&"custom.flag".to_string()));
+    }
+}

@@ -1,0 +1,112 @@
+//! E3 (Figure 3) — MDA/2TUP layer construction: end-to-end pipeline cost
+//! (BCIM → PIM → PSM → DDL → deploy) as the business model grows, plus
+//! the QVT transformation step alone.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odbis_metamodel::{AttrValue, ModelRepository};
+use odbis_mddws::{cim_metamodel, cim_to_pim, pim_metamodel, DwLayer, DwProject};
+use odbis_storage::Database;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+/// A business model with `facts` fact concepts and `facts * 2` dimensions,
+/// each with 4 properties.
+fn business_model(facts: usize) -> ModelRepository {
+    let mut repo = ModelRepository::new("bench-bcim", cim_metamodel());
+    for f in 0..facts {
+        let mut props = Vec::new();
+        for p in 0..4 {
+            props.push(
+                repo.create(
+                    "BusinessProperty",
+                    vec![
+                        ("name", format!("measure_{f}_{p}").into()),
+                        ("valueType", "NUMBER".into()),
+                    ],
+                )
+                .unwrap(),
+            );
+        }
+        repo.create(
+            "BusinessConcept",
+            vec![
+                ("name", format!("fact{f}").into()),
+                ("kind", "FACT".into()),
+                ("properties", AttrValue::RefList(props)),
+            ],
+        )
+        .unwrap();
+        for d in 0..2 {
+            let prop = repo
+                .create(
+                    "BusinessProperty",
+                    vec![
+                        ("name", format!("attr_{f}_{d}").into()),
+                        ("valueType", "TEXT".into()),
+                    ],
+                )
+                .unwrap();
+            repo.create(
+                "BusinessConcept",
+                vec![
+                    ("name", format!("dim{f}_{d}").into()),
+                    ("kind", "DIMENSION".into()),
+                    ("properties", AttrValue::RefList(vec![prop])),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    repo
+}
+
+/// Figure 3 end to end, per model size.
+fn fig3_layer_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_layer_construction");
+    for &facts in &[1usize, 5, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(facts), &facts, |b, &facts| {
+            b.iter(|| {
+                let mut project = DwProject::new("bench");
+                let db = Arc::new(Database::new());
+                let created = project
+                    .run_layer_pipeline(
+                        DwLayer::Warehouse,
+                        business_model(facts),
+                        "ODBIS-STORAGE",
+                        &db,
+                    )
+                    .unwrap();
+                assert_eq!(created.len(), facts * 3); // 1 fact + 2 dim tables per fact
+                project
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The QVT transformation step in isolation (cim2pim over a 20-fact model).
+fn qvt_transformation(c: &mut Criterion) {
+    let bcim = business_model(20);
+    c.bench_function("qvt_cim2pim_20_facts", |b| {
+        b.iter(|| {
+            let result = cim_to_pim().execute(&bcim, pim_metamodel(), "pim").unwrap();
+            assert!(result.unmatched.is_empty());
+            result
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = fig3_layer_construction, qvt_transformation
+}
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! E6 (Figure 6) — the healthcare dashboard render path: widget rendering,
+//! full dashboard HTML, and the delivery formats.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odbis_bench::workloads::healthcare_db;
+use odbis_delivery::{format_for, Channel, ReportPayload};
+use odbis_metadata::{DataSet, DataSource, MetadataService};
+use odbis_reporting::{
+    render_chart_svg, ChartKind, ChartSpec, Dashboard, KpiSpec, ReportingService, TableSpec,
+    Widget,
+};
+use odbis_sql::Engine;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(12)
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn reporting_service(admissions: usize) -> ReportingService {
+    let db = Arc::new(healthcare_db(admissions, 42));
+    let mds = Arc::new(MetadataService::new());
+    mds.register_source(
+        DataSource {
+            name: "warehouse".into(),
+            url: "odbis://wh".into(),
+            user: "bi".into(),
+            password: "p".into(),
+            driver: "odbis-storage".into(),
+        },
+        db,
+    )
+    .unwrap();
+    for (name, sql) in [
+        (
+            "cost_by_department",
+            "SELECT d.name AS department, SUM(f.cost) AS total_cost \
+             FROM fact_admission f JOIN dim_department d ON f.dept_id = d.dept_id \
+             GROUP BY d.name ORDER BY total_cost DESC",
+        ),
+        (
+            "headline",
+            "SELECT COUNT(*) AS admissions, SUM(cost) AS total_cost FROM fact_admission",
+        ),
+    ] {
+        mds.define_dataset(DataSet {
+            name: name.into(),
+            source: "warehouse".into(),
+            sql: sql.into(),
+            description: String::new(),
+        })
+        .unwrap();
+    }
+    ReportingService::new(mds)
+}
+
+fn figure6_dashboard() -> Dashboard {
+    Dashboard {
+        name: "healthcare".into(),
+        title: "Hospital Performance".into(),
+        rows: vec![
+            vec![
+                Widget::Kpi {
+                    dataset: "headline".into(),
+                    spec: KpiSpec {
+                        title: "Admissions".into(),
+                        value_column: "admissions".into(),
+                        unit: String::new(),
+                    },
+                },
+                Widget::Kpi {
+                    dataset: "headline".into(),
+                    spec: KpiSpec {
+                        title: "Total cost".into(),
+                        value_column: "total_cost".into(),
+                        unit: " EUR".into(),
+                    },
+                },
+            ],
+            vec![
+                Widget::Chart {
+                    dataset: "cost_by_department".into(),
+                    spec: ChartSpec {
+                        title: "Cost by department".into(),
+                        kind: ChartKind::Bar,
+                        category: "department".into(),
+                        series: vec!["total_cost".into()],
+                    },
+                },
+                Widget::Table {
+                    dataset: "cost_by_department".into(),
+                    spec: TableSpec {
+                        title: "Detail".into(),
+                        columns: vec![],
+                        max_rows: None,
+                    },
+                },
+            ],
+        ],
+    }
+}
+
+/// E6: full dashboard render (query + chart + table + KPI) as the
+/// underlying fact table grows.
+fn fig6_dashboard_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_dashboard_render");
+    for &n in &[5_000usize, 25_000] {
+        let rs = reporting_service(n);
+        let dashboard = figure6_dashboard();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let html = rs.render_dashboard(&dashboard).unwrap();
+                assert!(html.contains("<svg"));
+                html
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Chart rendering in isolation (SVG generation, no query).
+fn chart_rendering(c: &mut Criterion) {
+    let db = Arc::new(healthcare_db(10_000, 42));
+    let data = Engine::new()
+        .execute(
+            &db,
+            "SELECT d.name AS department, SUM(f.cost) AS total_cost \
+             FROM fact_admission f JOIN dim_department d ON f.dept_id = d.dept_id \
+             GROUP BY d.name",
+        )
+        .unwrap();
+    let mut group = c.benchmark_group("chart_svg");
+    for kind in [ChartKind::Bar, ChartKind::Line, ChartKind::Pie] {
+        let spec = ChartSpec {
+            title: "Cost".into(),
+            kind,
+            category: "department".into(),
+            series: vec!["total_cost".into()],
+        };
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| render_chart_svg(&spec, &data).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// IDS channel formatting of a 1 000-row payload.
+fn delivery_formats(c: &mut Criterion) {
+    let db = Arc::new(healthcare_db(1_000, 42));
+    let data = Engine::new()
+        .execute(&db, "SELECT id, dept_id, year, cost FROM fact_admission")
+        .unwrap();
+    let payload = ReportPayload {
+        title: "Admissions".into(),
+        data,
+    };
+    let mut group = c.benchmark_group("delivery_formats");
+    for channel in Channel::ALL {
+        group.bench_function(format!("{channel:?}"), |b| {
+            b.iter(|| format_for(channel, &payload))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = fig6_dashboard_render, chart_rendering, delivery_formats
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! A3 — rule-matching ablation: type-indexed (Rete-lite alpha network) vs
+//! naive full-scan matching as working memory grows; plus engine firing
+//! throughput.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odbis_bench::workloads::usage_facts;
+use odbis_rules::{
+    tvar, Action, NaiveMatcher, Pattern, Rule, RuleEngine, TestOp, WorkingMemory,
+};
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+/// Working memory with `n` Usage facts plus `4 n` facts of other types —
+/// the realistic case where the alpha index pays off.
+fn mixed_memory(n: usize) -> WorkingMemory {
+    let mut wm = WorkingMemory::new();
+    for f in usage_facts(n, 16, 42) {
+        wm.insert(f);
+    }
+    for i in 0..(4 * n) {
+        wm.insert(
+            odbis_rules::Fact::new(if i % 2 == 0 { "Heartbeat" } else { "AuditEvent" })
+                .with("seq", i as i64),
+        );
+    }
+    wm
+}
+
+/// A3: match counting through the per-type index vs scanning all facts.
+fn a3_rete_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_rete_ablation");
+    let pattern = Pattern::on("Usage").test("units", TestOp::Gt, 1_000i64);
+    for &n in &[500usize, 2_000, 8_000] {
+        let wm = mixed_memory(n);
+        // sanity: identical results
+        assert_eq!(
+            NaiveMatcher::count_matches(&pattern, &wm),
+            NaiveMatcher::count_matches_indexed(&pattern, &wm)
+        );
+        group.bench_with_input(BenchmarkId::new("alpha_indexed", n), &n, |b, _| {
+            b.iter(|| NaiveMatcher::count_matches_indexed(&pattern, &wm))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_scan", n), &n, |b, _| {
+            b.iter(|| NaiveMatcher::count_matches(&pattern, &wm))
+        });
+    }
+    group.finish();
+}
+
+/// Full engine run: alert rules over usage facts, chained assertion.
+fn rules_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rules_engine");
+    group.sample_size(10);
+    let mut engine = RuleEngine::new();
+    engine
+        .add_rule(
+            Rule::new("flag-heavy-usage")
+                .when(
+                    Pattern::on("Usage")
+                        .test("units", TestOp::Gt, 1_500i64)
+                        .bind("t", "tenant"),
+                )
+                .then(Action::Assert {
+                    fact_type: "Alert".into(),
+                    fields: vec![("tenant".into(), tvar("t"))],
+                }),
+        )
+        .unwrap();
+    engine
+        .add_rule(
+            Rule::new("sweep-alerts")
+                .salience(-1)
+                .when(Pattern::on("Alert"))
+                .then(Action::Retract { pattern_index: 0 }),
+        )
+        .unwrap();
+    for &n in &[200usize, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut wm = WorkingMemory::new();
+                for f in usage_facts(n, 8, 7) {
+                    wm.insert(f);
+                }
+                engine.run(&mut wm).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = a3_rete_ablation, rules_engine_throughput
+}
+criterion_main!(benches);

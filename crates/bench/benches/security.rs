@@ -1,0 +1,80 @@
+//! C4 — security overhead: the per-request cost of the platform's
+//! authorization gate (session resolution + role-hierarchy authority
+//! check), plus password hashing and ACL checks.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odbis_security::{hash_password, Permission, Role, SecurityManager};
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn realm_with_hierarchy() -> (SecurityManager, String) {
+    let sm = SecurityManager::new();
+    // a five-deep role hierarchy, authority at the root
+    sm.create_role(Role::new("R0").grant("PLATFORM_LOGIN")).unwrap();
+    for i in 1..5 {
+        sm.create_role(Role::new(format!("R{i}")).inherits(format!("R{}", i - 1)))
+            .unwrap();
+    }
+    sm.create_user("u", "pw").unwrap();
+    sm.assign_role("u", "R4").unwrap();
+    let token = sm.login("u", "pw").unwrap().token;
+    (sm, token)
+}
+
+/// C4: the full gate as run on every platform service call.
+fn c4_authz_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c4_authz_overhead");
+    let (sm, token) = realm_with_hierarchy();
+    group.bench_function("authenticate_token", |b| {
+        b.iter(|| sm.authenticate(&token).unwrap())
+    });
+    group.bench_function("authority_via_5_level_hierarchy", |b| {
+        b.iter(|| assert!(sm.has_authority("u", "PLATFORM_LOGIN")))
+    });
+    group.bench_function("full_gate", |b| {
+        b.iter(|| {
+            let principal = sm.authenticate(&token).unwrap();
+            sm.require_authority(&principal, "PLATFORM_LOGIN").unwrap();
+        })
+    });
+    group.bench_function("denied_authority", |b| {
+        b.iter(|| assert!(!sm.has_authority("u", "NOT_GRANTED")))
+    });
+    group.finish();
+}
+
+/// Password hashing is deliberately slow (key stretching); measured so the
+/// cost is explicit in EXPERIMENTS.md.
+fn password_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("password_hashing");
+    group.sample_size(10);
+    group.bench_function("pbkdf_1000_iterations", |b| {
+        b.iter(|| hash_password("correct horse battery staple", b"salt"))
+    });
+    group.finish();
+}
+
+/// ACL checks scale with entries per object.
+fn acl_checks(c: &mut Criterion) {
+    let sm = SecurityManager::new();
+    for i in 0..100 {
+        sm.grant_acl("report:big", &format!("user{i}"), Permission::Read);
+    }
+    c.bench_function("acl_check_100_entries", |b| {
+        b.iter(|| sm.check_acl("report:big", "user99", Permission::Read))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = c4_authz_overhead, password_hashing, acl_checks
+}
+criterion_main!(benches);

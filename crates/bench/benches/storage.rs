@@ -1,0 +1,106 @@
+//! A1 — index vs scan ablation (DataSet point/range queries), plus
+//! storage-engine insert throughput.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odbis_bench::workloads::keyed_table;
+use odbis_sql::Engine;
+use odbis_storage::{Column, DataType, Database, Schema, Value};
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+/// A1: the same point query through the optimizer with and without index
+/// selection, at growing table sizes.
+fn a1_index_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_index_ablation");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let db = Database::new();
+        keyed_table(&db, n, (n / 10) as i64, true, 42);
+        let indexed = Engine::new();
+        let naive = Engine::without_index_selection();
+        let q = "SELECT v FROM bench_kv WHERE k = 7";
+        // sanity: both agree
+        assert_eq!(
+            indexed.execute(&db, q).unwrap().rows.len(),
+            naive.execute(&db, q).unwrap().rows.len()
+        );
+        group.bench_with_input(BenchmarkId::new("index_scan", n), &n, |b, _| {
+            b.iter(|| indexed.execute(&db, q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan", n), &n, |b, _| {
+            b.iter(|| naive.execute(&db, q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Range-query shape of the same ablation.
+fn a1_range_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_range_queries");
+    let n = 20_000usize;
+    let db = Database::new();
+    keyed_table(&db, n, 2_000, true, 42);
+    let indexed = Engine::new();
+    let naive = Engine::without_index_selection();
+    let q = "SELECT COUNT(*) FROM bench_kv WHERE k BETWEEN 100 AND 120";
+    group.bench_function("index_range", |b| {
+        b.iter(|| indexed.execute(&db, q).unwrap())
+    });
+    group.bench_function("scan_range", |b| {
+        b.iter(|| naive.execute(&db, q).unwrap())
+    });
+    group.finish();
+}
+
+/// Baseline storage throughput: raw inserts with and without a PK index.
+fn storage_insert_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_insert");
+    group.bench_function("heap_insert_1k", |b| {
+        b.iter(|| {
+            let db = Database::new();
+            let schema = Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Text),
+            ])
+            .unwrap();
+            db.create_table("t", schema).unwrap();
+            for i in 0..1_000i64 {
+                db.insert("t", vec![Value::Int(i), Value::from("payload")])
+                    .unwrap();
+            }
+            db
+        })
+    });
+    group.bench_function("pk_insert_1k", |b| {
+        b.iter(|| {
+            let db = Database::new();
+            let schema = Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Text),
+            ])
+            .unwrap()
+            .with_primary_key(&["a"])
+            .unwrap();
+            db.create_table("t", schema).unwrap();
+            for i in 0..1_000i64 {
+                db.insert("t", vec![Value::Int(i), Value::from("payload")])
+                    .unwrap();
+            }
+            db
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = a1_index_ablation, a1_range_queries, storage_insert_throughput
+}
+criterion_main!(benches);

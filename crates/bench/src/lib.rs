@@ -1,0 +1,8 @@
+//! # odbis-bench
+//!
+//! The benchmark harness for the ODBIS reproduction: seeded synthetic
+//! workload generators (the paper ships no data) and one Criterion bench
+//! group per experiment in `EXPERIMENTS.md` (figures E1–E6, claims C1–C4,
+//! ablations A1–A4).
+
+pub mod workloads;

@@ -1,0 +1,201 @@
+//! Deterministic synthetic workload generators for the benchmark harness
+//! and examples. The paper publishes no data sets; each generator is
+//! seeded, so every run of the harness sees identical data.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use odbis_sql::Engine;
+use odbis_storage::{Database, Value};
+
+/// Department names for the healthcare workload (the domain of the
+/// paper's Figure 6 dashboard).
+pub const DEPARTMENTS: [&str; 6] = [
+    "Cardiology",
+    "Oncology",
+    "Pediatrics",
+    "Neurology",
+    "Orthopedics",
+    "Emergency",
+];
+
+/// Regions used by the retail/SaaS workloads.
+pub const REGIONS: [&str; 4] = ["EU", "US", "APAC", "LATAM"];
+
+/// Build the healthcare star schema and fill it with `admissions` synthetic
+/// admissions spanning 2008–2010. Returns the populated database.
+///
+/// Tables: `dim_department(dept_id, name, head_count)` and
+/// `fact_admission(id, dept_id, year, month, cost, stay_days)`.
+pub fn healthcare_db(admissions: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = Database::new();
+    let engine = Engine::new();
+    engine
+        .execute_script(
+            &db,
+            "CREATE TABLE dim_department (dept_id INT PRIMARY KEY, name TEXT NOT NULL, head_count INT);
+             CREATE TABLE fact_admission (id INT PRIMARY KEY, dept_id INT, year INT, month INT, cost DOUBLE, stay_days INT);",
+        )
+        .expect("static DDL");
+    for (i, name) in DEPARTMENTS.iter().enumerate() {
+        db.insert(
+            "dim_department",
+            vec![
+                Value::Int(i as i64),
+                Value::from(*name),
+                Value::Int(rng.random_range(20..200)),
+            ],
+        )
+        .expect("dimension insert");
+    }
+    let mut rows = Vec::with_capacity(admissions);
+    for id in 0..admissions {
+        let dept = rng.random_range(0..DEPARTMENTS.len() as i64);
+        let year = rng.random_range(2008..=2010i64);
+        let month = rng.random_range(1..=12i64);
+        // costs are department-skewed so the dashboard has structure
+        let base = 500.0 + dept as f64 * 400.0;
+        let cost = base + rng.random_range(0.0..2_000.0);
+        let stay = rng.random_range(1..=21i64);
+        rows.push(vec![
+            Value::Int(id as i64),
+            Value::Int(dept),
+            Value::Int(year),
+            Value::Int(month),
+            Value::Float((cost * 100.0).round() / 100.0),
+            Value::Int(stay),
+        ]);
+    }
+    db.insert_many("fact_admission", rows).expect("fact insert");
+    db
+}
+
+/// Generate retail order rows `(region, product_id, amount)` for the
+/// multi-tenant workloads.
+pub fn retail_orders(n: usize, seed: u64) -> Vec<(String, i64, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let region = REGIONS[rng.random_range(0..REGIONS.len())].to_string();
+            let product = rng.random_range(0..500i64);
+            let amount: f64 = rng.random_range(1.0..1_000.0);
+            (region, product, (amount * 100.0).round() / 100.0)
+        })
+        .collect()
+}
+
+/// Build a `(k INT, v INT)` table with `n` rows of uniformly random keys in
+/// `0..key_space`, optionally indexed on `k`. Used by the storage/SQL
+/// ablation benchmarks.
+pub fn keyed_table(db: &Database, n: usize, key_space: i64, indexed: bool, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let engine = Engine::new();
+    engine
+        .execute(db, "CREATE TABLE bench_kv (k INT, v INT)")
+        .expect("DDL");
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|_| {
+            vec![
+                Value::Int(rng.random_range(0..key_space)),
+                Value::Int(rng.random_range(0..1_000_000)),
+            ]
+        })
+        .collect();
+    db.insert_many("bench_kv", rows).expect("insert");
+    if indexed {
+        engine
+            .execute(db, "CREATE INDEX ix_bench_k ON bench_kv (k)")
+            .expect("index");
+    }
+}
+
+/// CSV text for an ETL workload: `id,region,amount,quality` with a
+/// configurable share of rows that fail a positive-amount filter.
+pub fn etl_csv(rows: usize, bad_share_percent: u8, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::from("id,region,amount,quality\n");
+    for id in 0..rows {
+        let region = REGIONS[rng.random_range(0..REGIONS.len())];
+        let bad = rng.random_range(0..100) < i64::from(bad_share_percent);
+        let amount = if bad {
+            -rng.random_range(1.0..100.0f64)
+        } else {
+            rng.random_range(1.0..500.0f64)
+        };
+        let quality = rng.random_range(0..=5i64);
+        out.push_str(&format!("{id},{region},{amount:.2},{quality}\n"));
+    }
+    out
+}
+
+/// Facts for the rules-engine workload: `Usage` facts across `tenants`
+/// tenants, a known share exceeding the alert threshold of 1000 units.
+pub fn usage_facts(n: usize, tenants: usize, seed: u64) -> Vec<odbis_rules::Fact> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let t = rng.random_range(0..tenants);
+            let units = rng.random_range(0..2_000i64);
+            odbis_rules::Fact::new("Usage")
+                .with("tenant", format!("t{t}"))
+                .with("units", units)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthcare_db_is_deterministic_and_populated() {
+        let a = healthcare_db(200, 7);
+        let b = healthcare_db(200, 7);
+        assert_eq!(a.scan("fact_admission").unwrap(), b.scan("fact_admission").unwrap());
+        assert_eq!(a.row_count("dim_department").unwrap(), 6);
+        assert_eq!(a.row_count("fact_admission").unwrap(), 200);
+        let c = healthcare_db(200, 8);
+        assert_ne!(a.scan("fact_admission").unwrap(), c.scan("fact_admission").unwrap());
+    }
+
+    #[test]
+    fn keyed_table_builds_with_and_without_index() {
+        let db = Database::new();
+        keyed_table(&db, 100, 50, true, 1);
+        assert_eq!(db.row_count("bench_kv").unwrap(), 100);
+        db.read_table("bench_kv", |t| assert!(t.index("ix_bench_k").is_some()))
+            .unwrap();
+        let db2 = Database::new();
+        keyed_table(&db2, 100, 50, false, 1);
+        db2.read_table("bench_kv", |t| assert!(t.index("ix_bench_k").is_none()))
+            .unwrap();
+        // same seed → same data regardless of indexing
+        assert_eq!(db.scan("bench_kv").unwrap(), db2.scan("bench_kv").unwrap());
+    }
+
+    #[test]
+    fn etl_csv_shape() {
+        let csv = etl_csv(50, 20, 3);
+        assert_eq!(csv.lines().count(), 51);
+        let frame = odbis_etl::parse_csv(&csv).unwrap();
+        assert_eq!(frame.len(), 50);
+        let negatives = frame
+            .rows
+            .iter()
+            .filter(|r| r[2].as_f64().unwrap_or(0.0) < 0.0)
+            .count();
+        assert!(negatives > 0 && negatives < 50);
+    }
+
+    #[test]
+    fn usage_facts_span_tenants() {
+        let facts = usage_facts(100, 4, 9);
+        assert_eq!(facts.len(), 100);
+        let t0 = facts
+            .iter()
+            .filter(|f| f.get("tenant") == Value::from("t0"))
+            .count();
+        assert!(t0 > 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! The application context: a typed service registry — the reproduction's
+//! substitute for the Spring container that provides ODBIS's
+//! "out-of-the-box integration ... which allows flexible configuration and
+//! personalization" (§1).
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+type ServiceKey = (TypeId, Option<String>);
+type ServiceMap = HashMap<ServiceKey, Arc<dyn Any + Send + Sync>>;
+
+/// A typed service registry: singletons keyed by type (optionally by
+/// qualifier name), retrievable from any layer.
+#[derive(Default)]
+pub struct ApplicationContext {
+    services: RwLock<ServiceMap>,
+}
+
+impl ApplicationContext {
+    /// Empty context.
+    pub fn new() -> Self {
+        ApplicationContext::default()
+    }
+
+    /// Register the singleton for type `T`.
+    pub fn register<T: Any + Send + Sync>(&self, service: Arc<T>) {
+        self.services
+            .write()
+            .insert((TypeId::of::<T>(), None), service);
+    }
+
+    /// Register a named ("qualified") instance of type `T`.
+    pub fn register_named<T: Any + Send + Sync>(&self, name: &str, service: Arc<T>) {
+        self.services
+            .write()
+            .insert((TypeId::of::<T>(), Some(name.to_string())), service);
+    }
+
+    /// Resolve the singleton for type `T`.
+    pub fn get<T: Any + Send + Sync>(&self) -> Option<Arc<T>> {
+        self.services
+            .read()
+            .get(&(TypeId::of::<T>(), None))
+            .cloned()
+            .and_then(|any| any.downcast::<T>().ok())
+    }
+
+    /// Resolve a named instance of type `T`.
+    pub fn get_named<T: Any + Send + Sync>(&self, name: &str) -> Option<Arc<T>> {
+        self.services
+            .read()
+            .get(&(TypeId::of::<T>(), Some(name.to_string())))
+            .cloned()
+            .and_then(|any| any.downcast::<T>().ok())
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.services.read().len()
+    }
+
+    /// Whether the context is empty.
+    pub fn is_empty(&self) -> bool {
+        self.services.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Greeter(String);
+
+    #[test]
+    fn register_and_resolve_by_type() {
+        let ctx = ApplicationContext::new();
+        ctx.register(Arc::new(Greeter("hello".into())));
+        let g = ctx.get::<Greeter>().unwrap();
+        assert_eq!(g.0, "hello");
+        assert!(ctx.get::<String>().is_none());
+        assert_eq!(ctx.len(), 1);
+    }
+
+    #[test]
+    fn named_qualifiers_disambiguate() {
+        let ctx = ApplicationContext::new();
+        ctx.register_named("primary", Arc::new(Greeter("a".into())));
+        ctx.register_named("backup", Arc::new(Greeter("b".into())));
+        assert_eq!(ctx.get_named::<Greeter>("primary").unwrap().0, "a");
+        assert_eq!(ctx.get_named::<Greeter>("backup").unwrap().0, "b");
+        assert!(ctx.get::<Greeter>().is_none()); // unnamed slot empty
+        assert!(ctx.get_named::<Greeter>("nope").is_none());
+    }
+
+    #[test]
+    fn re_registration_replaces() {
+        let ctx = ApplicationContext::new();
+        ctx.register(Arc::new(Greeter("v1".into())));
+        ctx.register(Arc::new(Greeter("v2".into())));
+        assert_eq!(ctx.get::<Greeter>().unwrap().0, "v2");
+        assert_eq!(ctx.len(), 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! The platform error type: one façade over every subsystem's errors.
+
+use std::fmt;
+
+/// Errors surfaced by the platform façade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// Tenant unknown, suspended or over a plan limit.
+    Tenancy(String),
+    /// Authentication/authorization failure.
+    Security(String),
+    /// Meta-data service failure.
+    Metadata(String),
+    /// SQL failure.
+    Sql(String),
+    /// Integration-service failure.
+    Etl(String),
+    /// Analysis-service failure.
+    Olap(String),
+    /// Reporting failure.
+    Reporting(String),
+    /// Delivery failure.
+    Delivery(String),
+    /// MDDWS failure.
+    Mddws(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, msg) = match self {
+            PlatformError::Tenancy(m) => ("tenancy", m),
+            PlatformError::Security(m) => ("security", m),
+            PlatformError::Metadata(m) => ("metadata", m),
+            PlatformError::Sql(m) => ("sql", m),
+            PlatformError::Etl(m) => ("etl", m),
+            PlatformError::Olap(m) => ("olap", m),
+            PlatformError::Reporting(m) => ("reporting", m),
+            PlatformError::Delivery(m) => ("delivery", m),
+            PlatformError::Mddws(m) => ("mddws", m),
+            PlatformError::Internal(m) => ("internal", m),
+        };
+        write!(f, "{kind} error: {msg}")
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<odbis_tenancy::TenancyError> for PlatformError {
+    fn from(e: odbis_tenancy::TenancyError) -> Self {
+        PlatformError::Tenancy(e.to_string())
+    }
+}
+
+impl From<odbis_security::SecurityError> for PlatformError {
+    fn from(e: odbis_security::SecurityError) -> Self {
+        PlatformError::Security(e.to_string())
+    }
+}
+
+impl From<odbis_metadata::MetadataError> for PlatformError {
+    fn from(e: odbis_metadata::MetadataError) -> Self {
+        PlatformError::Metadata(e.to_string())
+    }
+}
+
+impl From<odbis_sql::SqlError> for PlatformError {
+    fn from(e: odbis_sql::SqlError) -> Self {
+        PlatformError::Sql(e.to_string())
+    }
+}
+
+impl From<odbis_etl::EtlError> for PlatformError {
+    fn from(e: odbis_etl::EtlError) -> Self {
+        PlatformError::Etl(e.to_string())
+    }
+}
+
+impl From<odbis_olap::OlapError> for PlatformError {
+    fn from(e: odbis_olap::OlapError) -> Self {
+        PlatformError::Olap(e.to_string())
+    }
+}
+
+impl From<odbis_reporting::ReportError> for PlatformError {
+    fn from(e: odbis_reporting::ReportError) -> Self {
+        PlatformError::Reporting(e.to_string())
+    }
+}
+
+impl From<odbis_delivery::DeliveryError> for PlatformError {
+    fn from(e: odbis_delivery::DeliveryError) -> Self {
+        PlatformError::Delivery(e.to_string())
+    }
+}
+
+impl From<odbis_mddws::MddwsError> for PlatformError {
+    fn from(e: odbis_mddws::MddwsError) -> Self {
+        PlatformError::Mddws(e.to_string())
+    }
+}
+
+/// Result alias for platform operations.
+pub type PlatformResult<T> = Result<T, PlatformError>;

@@ -1,0 +1,41 @@
+//! # odbis
+//!
+//! The ODBIS platform façade — the five-layer SaaS architecture of the
+//! paper's Figure 1, wired end to end:
+//!
+//! 1. **technical resources**: the embedded storage engine and SQL engine
+//!    ([`odbis_storage`], [`odbis_sql`]), the ESB ([`odbis_esb`]) and the
+//!    rules engine ([`odbis_rules`]);
+//! 2. **DW design & management**: MDDWS projects ([`odbis_mddws`]) living
+//!    inside each tenant workspace;
+//! 3. **administration & configuration**: [`OdbisPlatform::admin`]
+//!    ([`odbis_admin`]) over the SaaS kernel ([`odbis_tenancy`],
+//!    [`odbis_security`]);
+//! 4. **core BI services**: MDS, IS, AS, RS and IDS per tenant
+//!    ([`TenantWorkspace`]);
+//! 5. **end-user access**: the HTTP API ([`build_router`]) served by
+//!    [`odbis_web`].
+//!
+//! ```
+//! use odbis::OdbisPlatform;
+//! use odbis_tenancy::SubscriptionPlan;
+//!
+//! let platform = OdbisPlatform::new();
+//! platform.provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw").unwrap();
+//! let token = platform.login("acme", "root", "pw").unwrap();
+//! platform.sql("acme", &token, "CREATE TABLE t (x INT)").unwrap();
+//! let r = platform.sql("acme", &token, "SELECT COUNT(*) FROM t").unwrap();
+//! assert_eq!(r.rows[0][0], odbis_storage::Value::Int(0));
+//! ```
+
+#![warn(missing_docs)]
+
+mod context;
+mod error;
+mod platform;
+mod web_api;
+
+pub use context::ApplicationContext;
+pub use error::{PlatformError, PlatformResult};
+pub use platform::{OdbisPlatform, TenantWorkspace};
+pub use web_api::build_router;

@@ -1,0 +1,801 @@
+//! The ODBIS platform façade: the five-layer SaaS architecture of
+//! Figure 1, wired and tenant-aware.
+//!
+//! Every service call goes through the same gate: the tenant must be
+//! active, the session must resolve, the principal must hold the
+//! operation's authority — and the call is metered for pay-as-you-go
+//! billing. That gate *is* the platform's SaaS contract.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use odbis_delivery::{Channel, DeliveryService, ReportPayload};
+use odbis_esb::MessageBus;
+use odbis_etl::{EtlJob, JobReport, JobRunner, JobScheduler};
+use odbis_admin::AdminService;
+use odbis_metadata::{DataSet, DataSource, MetadataService};
+use odbis_mddws::DwProject;
+use odbis_olap::{AggregateCache, CellSet, CubeDef, CubeEngine, LevelRef, MaterializedAggregate};
+use odbis_reporting::{Dashboard, RenderedReport, ReportTemplate, ReportingService};
+use odbis_sql::{Engine, QueryResult};
+use odbis_storage::Database;
+use odbis_tenancy::{ServiceKind, SubscriptionPlan, TenantRegistry, UsageMeter};
+use parking_lot::{Mutex, RwLock};
+
+use crate::context::ApplicationContext;
+use crate::error::{PlatformError, PlatformResult};
+
+/// Per-tenant workspace: the tenant's logical slice of the shared backend
+/// — its warehouse, metadata, cubes, jobs and DW projects. Physically the
+/// process is shared; logically each customer is unique (ODBIS §2).
+pub struct TenantWorkspace {
+    /// The tenant's warehouse database.
+    pub warehouse: Arc<Database>,
+    /// The tenant's Meta-Data Service.
+    pub mds: Arc<MetadataService>,
+    /// The tenant's Reporting Service.
+    pub reporting: Arc<ReportingService>,
+    /// The tenant's ETL runner.
+    pub etl: Arc<JobRunner>,
+    /// The tenant's job scheduler.
+    pub scheduler: Arc<JobScheduler>,
+    /// The tenant's cube engine.
+    pub cubes: Arc<CubeEngine>,
+    /// Registered cube definitions.
+    pub cube_defs: RwLock<HashMap<String, CubeDef>>,
+    /// Materialized-aggregate cache consulted by MDX queries when the
+    /// `olap.preaggregation` setting is on.
+    pub agg_cache: RwLock<AggregateCache>,
+    /// The tenant's delivery service.
+    pub delivery: Arc<DeliveryService>,
+    /// MDDWS projects by name.
+    pub projects: Mutex<HashMap<String, DwProject>>,
+}
+
+impl TenantWorkspace {
+    fn new(tenant_id: &str) -> PlatformResult<Self> {
+        let warehouse = Arc::new(Database::new());
+        let mds = Arc::new(MetadataService::new());
+        mds.register_source(
+            DataSource {
+                name: "warehouse".into(),
+                url: format!("odbis://{tenant_id}/warehouse"),
+                user: "platform".into(),
+                password: String::new(),
+                driver: "odbis-storage".into(),
+            },
+            Arc::clone(&warehouse),
+        )?;
+        let reporting = Arc::new(ReportingService::new(Arc::clone(&mds)));
+        let etl = Arc::new(JobRunner::new(Arc::clone(&warehouse)));
+        let scheduler = Arc::new(JobScheduler::new(Arc::clone(&etl)));
+        let cubes = Arc::new(CubeEngine::new(Arc::clone(&warehouse)));
+        let bus = Arc::new(MessageBus::new());
+        let delivery = Arc::new(DeliveryService::new(bus)?);
+        Ok(TenantWorkspace {
+            warehouse,
+            mds,
+            reporting,
+            etl,
+            scheduler,
+            cubes,
+            cube_defs: RwLock::new(HashMap::new()),
+            agg_cache: RwLock::new(AggregateCache::new()),
+            delivery,
+            projects: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+/// The platform: administration layer, SaaS kernel, ESB, and one
+/// [`TenantWorkspace`] per tenant.
+pub struct OdbisPlatform {
+    /// Administration & configuration layer.
+    pub admin: AdminService,
+    /// The platform-wide service bus.
+    pub bus: Arc<MessageBus>,
+    /// The Spring-like application context (service registry).
+    pub context: ApplicationContext,
+    sql: Engine,
+    workspaces: RwLock<HashMap<String, Arc<TenantWorkspace>>>,
+}
+
+impl Default for OdbisPlatform {
+    fn default() -> Self {
+        OdbisPlatform::new()
+    }
+}
+
+impl OdbisPlatform {
+    /// Boot an empty platform.
+    pub fn new() -> Self {
+        let registry = Arc::new(TenantRegistry::new());
+        let meter = Arc::new(UsageMeter::new());
+        let bus = Arc::new(MessageBus::new());
+        let context = ApplicationContext::new();
+        context.register(Arc::clone(&registry));
+        context.register(Arc::clone(&meter));
+        context.register(Arc::clone(&bus));
+        OdbisPlatform {
+            admin: AdminService::new(registry, meter),
+            bus,
+            context,
+            sql: Engine::new(),
+            workspaces: RwLock::new(HashMap::new()),
+        }
+    }
+
+    // ---- tenancy -------------------------------------------------------------
+
+    /// Provision a tenant: registry entry, security realm with standard
+    /// roles, first admin user, and the tenant workspace.
+    pub fn provision_tenant(
+        &self,
+        id: &str,
+        display_name: &str,
+        plan: SubscriptionPlan,
+        admin_user: &str,
+        admin_password: &str,
+    ) -> PlatformResult<()> {
+        self.admin
+            .provision_tenant(id, display_name, plan, admin_user, admin_password)?;
+        let ws = Arc::new(TenantWorkspace::new(id)?);
+        self.workspaces.write().insert(id.to_string(), ws);
+        Ok(())
+    }
+
+    /// The workspace of a tenant.
+    pub fn workspace(&self, tenant: &str) -> PlatformResult<Arc<TenantWorkspace>> {
+        self.workspaces
+            .read()
+            .get(tenant)
+            .cloned()
+            .ok_or_else(|| PlatformError::Tenancy(format!("no workspace for tenant {tenant}")))
+    }
+
+    /// Authenticate a tenant user; returns the session token.
+    pub fn login(&self, tenant: &str, user: &str, password: &str) -> PlatformResult<String> {
+        self.admin.registry().require_active(tenant)?;
+        let realm = self.admin.registry().realm(tenant)?;
+        Ok(realm.login(user, password)?.token)
+    }
+
+    /// Create an additional user in a tenant (enforces the plan's user
+    /// limit) and assign a role.
+    pub fn create_user(
+        &self,
+        tenant: &str,
+        admin_token: &str,
+        user: &str,
+        password: &str,
+        role: &str,
+    ) -> PlatformResult<()> {
+        let principal = self.authorize(tenant, admin_token, "ADMIN_USERS")?;
+        let _ = principal;
+        self.admin.registry().check_user_limit(tenant)?;
+        let realm = self.admin.registry().realm(tenant)?;
+        realm.create_user(user, password)?;
+        realm.assign_role(user, role)?;
+        Ok(())
+    }
+
+    /// The full platform gate: tenant active + session valid + authority
+    /// held. Returns the principal's username.
+    pub fn authorize(
+        &self,
+        tenant: &str,
+        token: &str,
+        authority: &str,
+    ) -> PlatformResult<String> {
+        self.admin.registry().require_active(tenant)?;
+        let realm = self.admin.registry().realm(tenant)?;
+        let principal = realm.authenticate(token)?;
+        realm.require_authority(&principal, authority)?;
+        Ok(principal)
+    }
+
+    // ---- core BI services (metered) -------------------------------------------
+
+    /// Execute raw SQL in the tenant warehouse (designer capability).
+    pub fn sql(&self, tenant: &str, token: &str, sql: &str) -> PlatformResult<QueryResult> {
+        self.authorize(tenant, token, "ETL_DESIGN")?;
+        let ws = self.workspace(tenant)?;
+        let result = self.sql.execute(&ws.warehouse, sql)?;
+        // pay-as-you-go: one unit per call plus one per row touched
+        self.admin.meter_usage(
+            tenant,
+            ServiceKind::Metadata,
+            1 + result.rows.len() as u64 + result.rows_affected as u64,
+        );
+        Ok(result)
+    }
+
+    /// Define a data set in the tenant's MDS.
+    pub fn define_dataset(
+        &self,
+        tenant: &str,
+        token: &str,
+        dataset: DataSet,
+    ) -> PlatformResult<()> {
+        self.authorize(tenant, token, "ETL_DESIGN")?;
+        let ws = self.workspace(tenant)?;
+        ws.mds.define_dataset(dataset)?;
+        self.admin.meter_usage(tenant, ServiceKind::Metadata, 1);
+        Ok(())
+    }
+
+    /// Execute a data set.
+    pub fn execute_dataset(
+        &self,
+        tenant: &str,
+        token: &str,
+        name: &str,
+    ) -> PlatformResult<QueryResult> {
+        self.authorize(tenant, token, "DATASET_RUN")?;
+        let ws = self.workspace(tenant)?;
+        let result = ws.mds.execute_dataset(name)?;
+        self.admin
+            .meter_usage(tenant, ServiceKind::Metadata, 1 + result.rows.len() as u64);
+        Ok(result)
+    }
+
+    /// Run an integration job in the tenant warehouse.
+    pub fn run_etl(&self, tenant: &str, token: &str, job: &EtlJob) -> PlatformResult<JobReport> {
+        self.authorize(tenant, token, "ETL_DESIGN")?;
+        let ws = self.workspace(tenant)?;
+        let report = ws.etl.run(job).map_err(PlatformError::from)?;
+        self.admin
+            .meter_usage(tenant, ServiceKind::Integration, report.loaded as u64);
+        Ok(report)
+    }
+
+    /// Register a cube definition (validated against the warehouse).
+    pub fn register_cube(&self, tenant: &str, token: &str, cube: CubeDef) -> PlatformResult<()> {
+        self.authorize(tenant, token, "CUBE_DESIGN")?;
+        let ws = self.workspace(tenant)?;
+        cube.validate(&ws.warehouse)?;
+        ws.cube_defs.write().insert(cube.name.clone(), cube);
+        self.admin.meter_usage(tenant, ServiceKind::Analysis, 1);
+        Ok(())
+    }
+
+    /// Run an MDX-lite query against a registered cube.
+    pub fn mdx(&self, tenant: &str, token: &str, mdx: &str) -> PlatformResult<CellSet> {
+        self.authorize(tenant, token, "CUBE_QUERY")?;
+        let ws = self.workspace(tenant)?;
+        let stmt = odbis_olap::parse_mdx(mdx)?;
+        let cube = ws
+            .cube_defs
+            .read()
+            .get(&stmt.cube)
+            .cloned()
+            .ok_or_else(|| PlatformError::Olap(format!("unknown cube {}", stmt.cube)))?;
+        // consult the materialized-aggregate cache when enabled (ablation A2
+        // wired into the platform through configuration)
+        let use_preagg = matches!(
+            self.admin.config.get(tenant, "olap.preaggregation"),
+            Ok(odbis_admin::ConfigValue::Bool(true))
+        );
+        let cells = if use_preagg {
+            match ws.agg_cache.read().try_answer(&stmt.cube, &stmt.query) {
+                Some(cells) => cells,
+                None => ws.cubes.query(&cube, &stmt.query)?,
+            }
+        } else {
+            ws.cubes.query(&cube, &stmt.query)?
+        };
+        self.admin
+            .meter_usage(tenant, ServiceKind::Analysis, 1 + cells.len() as u64);
+        Ok(cells)
+    }
+
+    /// Render a dashboard to HTML.
+    pub fn render_dashboard(
+        &self,
+        tenant: &str,
+        token: &str,
+        dashboard: &Dashboard,
+    ) -> PlatformResult<String> {
+        self.authorize(tenant, token, "REPORT_VIEW")?;
+        let ws = self.workspace(tenant)?;
+        let html = ws.reporting.render_dashboard(dashboard)?;
+        self.admin.meter_usage(
+            tenant,
+            ServiceKind::Reporting,
+            dashboard.widget_count() as u64,
+        );
+        Ok(html)
+    }
+
+    /// Deliver a report payload to a user over a channel.
+    pub fn deliver(
+        &self,
+        tenant: &str,
+        token: &str,
+        user: &str,
+        report: &str,
+        channel: Channel,
+        payload: &ReportPayload,
+    ) -> PlatformResult<String> {
+        self.authorize(tenant, token, "REPORT_VIEW")?;
+        let ws = self.workspace(tenant)?;
+        let delivered = ws.delivery.deliver(user, report, channel, payload)?;
+        self.admin.meter_usage(tenant, ServiceKind::Delivery, 1);
+        Ok(delivered.body)
+    }
+
+    /// Materialize an aggregate for a registered cube; later MDX queries it
+    /// covers are answered from the cache (when `olap.preaggregation` is
+    /// enabled, the default).
+    pub fn materialize_aggregate(
+        &self,
+        tenant: &str,
+        token: &str,
+        cube_name: &str,
+        axes: Vec<LevelRef>,
+        measures: Vec<String>,
+    ) -> PlatformResult<usize> {
+        self.authorize(tenant, token, "CUBE_DESIGN")?;
+        let ws = self.workspace(tenant)?;
+        let cube = ws
+            .cube_defs
+            .read()
+            .get(cube_name)
+            .cloned()
+            .ok_or_else(|| PlatformError::Olap(format!("unknown cube {cube_name}")))?;
+        let agg = MaterializedAggregate::build(&ws.cubes, &cube, axes, measures)?;
+        let cells = agg.len();
+        ws.agg_cache.write().add(agg);
+        self.admin
+            .meter_usage(tenant, ServiceKind::Analysis, 1 + cells as u64);
+        Ok(cells)
+    }
+
+    /// Upload a report template into a tenant report group (the BIRT
+    /// upload path of §3.3).
+    pub fn upload_template(
+        &self,
+        tenant: &str,
+        token: &str,
+        group: &str,
+        template: ReportTemplate,
+    ) -> PlatformResult<()> {
+        self.authorize(tenant, token, "REPORT_DESIGN")?;
+        let ws = self.workspace(tenant)?;
+        if !ws.reporting.group_names().contains(&group.to_string()) {
+            ws.reporting.create_group(group)?;
+        }
+        ws.reporting
+            .register(group, odbis_reporting::Report::Template(template))?;
+        self.admin.meter_usage(tenant, ServiceKind::Reporting, 1);
+        Ok(())
+    }
+
+    /// Execute an uploaded template with parameters against the tenant
+    /// warehouse (the BIRT viewer path).
+    pub fn run_template(
+        &self,
+        tenant: &str,
+        token: &str,
+        group: &str,
+        name: &str,
+        params: &std::collections::BTreeMap<String, odbis_storage::Value>,
+    ) -> PlatformResult<RenderedReport> {
+        self.authorize(tenant, token, "REPORT_VIEW")?;
+        let ws = self.workspace(tenant)?;
+        let odbis_reporting::Report::Template(template) = ws.reporting.report(group, name)?
+        else {
+            return Err(PlatformError::Reporting(format!(
+                "{group}/{name} is not a template"
+            )));
+        };
+        let rendered = odbis_reporting::run_template(&template, params, &ws.warehouse)?;
+        self.admin
+            .meter_usage(tenant, ServiceKind::Reporting, 1 + rendered.queries_run as u64);
+        Ok(rendered)
+    }
+
+    // ---- MDDWS -----------------------------------------------------------------
+
+    /// Create a model-driven DW project in the tenant workspace.
+    pub fn create_dw_project(
+        &self,
+        tenant: &str,
+        token: &str,
+        name: &str,
+    ) -> PlatformResult<()> {
+        self.authorize(tenant, token, "CUBE_DESIGN")?;
+        let ws = self.workspace(tenant)?;
+        let mut projects = ws.projects.lock();
+        if projects.contains_key(name) {
+            return Err(PlatformError::Mddws(format!("project {name} exists")));
+        }
+        projects.insert(name.to_string(), DwProject::new(name));
+        self.admin.meter_usage(tenant, ServiceKind::Admin, 1);
+        Ok(())
+    }
+
+    /// Run a closure against a tenant's DW project.
+    pub fn with_dw_project<R>(
+        &self,
+        tenant: &str,
+        token: &str,
+        name: &str,
+        f: impl FnOnce(&mut DwProject) -> PlatformResult<R>,
+    ) -> PlatformResult<R> {
+        self.authorize(tenant, token, "CUBE_DESIGN")?;
+        let ws = self.workspace(tenant)?;
+        let mut projects = ws.projects.lock();
+        let project = projects
+            .get_mut(name)
+            .ok_or_else(|| PlatformError::Mddws(format!("unknown project {name}")))?;
+        let r = f(project)?;
+        self.admin.meter_usage(tenant, ServiceKind::Admin, 1);
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot() -> (OdbisPlatform, String) {
+        let p = OdbisPlatform::new();
+        p.provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+        let token = p.login("acme", "root", "pw").unwrap();
+        (p, token)
+    }
+
+    #[test]
+    fn provision_login_and_gate() {
+        let (p, token) = boot();
+        assert_eq!(p.authorize("acme", &token, "REPORT_VIEW").unwrap(), "root");
+        assert!(matches!(
+            p.authorize("acme", "bad-token", "REPORT_VIEW"),
+            Err(PlatformError::Security(_))
+        ));
+        assert!(matches!(
+            p.authorize("ghost", &token, "REPORT_VIEW"),
+            Err(PlatformError::Tenancy(_))
+        ));
+        assert!(matches!(
+            p.login("acme", "root", "wrong"),
+            Err(PlatformError::Security(_))
+        ));
+    }
+
+    #[test]
+    fn sql_and_datasets_are_metered() {
+        let (p, token) = boot();
+        p.sql(
+            "acme",
+            &token,
+            "CREATE TABLE sales (region TEXT, amount DOUBLE)",
+        )
+        .unwrap();
+        p.sql(
+            "acme",
+            &token,
+            "INSERT INTO sales VALUES ('EU', 70), ('US', 30)",
+        )
+        .unwrap();
+        p.define_dataset(
+            "acme",
+            &token,
+            DataSet {
+                name: "by_region".into(),
+                source: "warehouse".into(),
+                sql: "SELECT region, SUM(amount) AS total FROM sales GROUP BY region".into(),
+                description: String::new(),
+            },
+        )
+        .unwrap();
+        let r = p.execute_dataset("acme", &token, "by_region").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert!(p.admin.meter().usage("acme", ServiceKind::Metadata) >= 4);
+    }
+
+    #[test]
+    fn least_privilege_users_are_denied_design_calls() {
+        let (p, token) = boot();
+        p.create_user("acme", &token, "viewer", "pw2", "ROLE_ANALYST")
+            .unwrap();
+        let viewer = p.login("acme", "viewer", "pw2").unwrap();
+        // analysts can run datasets but not define tables
+        assert!(matches!(
+            p.sql("acme", &viewer, "CREATE TABLE x (a INT)"),
+            Err(PlatformError::Security(_))
+        ));
+        assert!(matches!(
+            p.create_user("acme", &viewer, "w2", "p", "ROLE_USER"),
+            Err(PlatformError::Security(_))
+        ));
+    }
+
+    #[test]
+    fn suspended_tenant_is_locked_out() {
+        let (p, token) = boot();
+        p.admin
+            .registry()
+            .set_status("acme", odbis_tenancy::TenantStatus::Suspended)
+            .unwrap();
+        assert!(matches!(
+            p.sql("acme", &token, "SELECT 1"),
+            Err(PlatformError::Tenancy(_))
+        ));
+        assert!(matches!(
+            p.login("acme", "root", "pw"),
+            Err(PlatformError::Tenancy(_))
+        ));
+    }
+
+    #[test]
+    fn tenant_workspaces_are_isolated() {
+        let (p, token_a) = boot();
+        p.provision_tenant("beta", "Beta", SubscriptionPlan::free(), "root", "pw")
+            .unwrap();
+        let token_b = p.login("beta", "root", "pw").unwrap();
+        p.sql("acme", &token_a, "CREATE TABLE secrets (v TEXT)")
+            .unwrap();
+        // beta's warehouse has no such table
+        assert!(matches!(
+            p.sql("beta", &token_b, "SELECT * FROM secrets"),
+            Err(PlatformError::Sql(_))
+        ));
+        // tokens don't cross tenants
+        assert!(p.authorize("beta", &token_a, "REPORT_VIEW").is_err());
+    }
+
+    #[test]
+    fn cube_registration_and_mdx() {
+        let (p, token) = boot();
+        p.sql(
+            "acme",
+            &token,
+            "CREATE TABLE fact_s (y INT, region TEXT, amount DOUBLE)",
+        )
+        .unwrap();
+        p.sql(
+            "acme",
+            &token,
+            "INSERT INTO fact_s VALUES (2009, 'EU', 10), (2010, 'EU', 40), (2010, 'US', 5)",
+        )
+        .unwrap();
+        let cube = CubeDef {
+            name: "s".into(),
+            fact_table: "fact_s".into(),
+            dimensions: vec![
+                odbis_olap::DimensionDef {
+                    name: "time".into(),
+                    table: None,
+                    fact_fk: String::new(),
+                    dim_key: String::new(),
+                    levels: vec![odbis_olap::LevelDef {
+                        name: "year".into(),
+                        column: "y".into(),
+                    }],
+                },
+                odbis_olap::DimensionDef {
+                    name: "geo".into(),
+                    table: None,
+                    fact_fk: String::new(),
+                    dim_key: String::new(),
+                    levels: vec![odbis_olap::LevelDef {
+                        name: "region".into(),
+                        column: "region".into(),
+                    }],
+                },
+            ],
+            measures: vec![odbis_olap::MeasureDef {
+                name: "revenue".into(),
+                column: "amount".into(),
+                aggregator: odbis_olap::Aggregator::Sum,
+            }],
+        };
+        p.register_cube("acme", &token, cube).unwrap();
+        let cells = p
+            .mdx("acme", &token, "SELECT revenue BY geo.region FROM s WHERE time.year = 2010")
+            .unwrap();
+        assert_eq!(
+            cells.cell(&["EU".into()]).unwrap(),
+            &[odbis_storage::Value::Float(40.0)]
+        );
+        assert!(matches!(
+            p.mdx("acme", &token, "SELECT revenue BY geo.region FROM nocube"),
+            Err(PlatformError::Olap(_))
+        ));
+    }
+
+    #[test]
+    fn billing_reflects_usage() {
+        let (p, token) = boot();
+        p.sql("acme", &token, "CREATE TABLE t (x INT)").unwrap();
+        for i in 0..10 {
+            p.sql("acme", &token, &format!("INSERT INTO t VALUES ({i})"))
+                .unwrap();
+        }
+        let invoices = p.admin.billing_run();
+        assert_eq!(invoices.len(), 1);
+        assert!(invoices[0].units >= 11);
+        assert_eq!(invoices[0].plan, "standard");
+    }
+
+    #[test]
+    fn dw_project_via_platform() {
+        let (p, token) = boot();
+        p.create_dw_project("acme", &token, "dw1").unwrap();
+        assert!(matches!(
+            p.create_dw_project("acme", &token, "dw1"),
+            Err(PlatformError::Mddws(_))
+        ));
+        let ws = p.workspace("acme").unwrap();
+        let warehouse = Arc::clone(&ws.warehouse);
+        let created = p
+            .with_dw_project("acme", &token, "dw1", |project| {
+                let mut bcim = odbis_metamodel::ModelRepository::new(
+                    "bcim",
+                    odbis_mddws::cim_metamodel(),
+                );
+                let prop = bcim
+                    .create(
+                        "BusinessProperty",
+                        vec![("name", "amount".into()), ("valueType", "NUMBER".into())],
+                    )
+                    .map_err(|e| PlatformError::Mddws(e.to_string()))?;
+                bcim.create(
+                    "BusinessConcept",
+                    vec![
+                        ("name", "orders".into()),
+                        ("kind", "FACT".into()),
+                        ("properties", odbis_metamodel::AttrValue::RefList(vec![prop])),
+                    ],
+                )
+                .map_err(|e| PlatformError::Mddws(e.to_string()))?;
+                project
+                    .run_layer_pipeline(
+                        odbis_mddws::DwLayer::Warehouse,
+                        bcim,
+                        "ODBIS-STORAGE",
+                        &warehouse,
+                    )
+                    .map_err(PlatformError::from)
+            })
+            .unwrap();
+        assert_eq!(created, vec!["fact_orders"]);
+        // the MDA-deployed table is queryable through the normal SQL path
+        let r = p
+            .sql("acme", &token, "SELECT COUNT(*) FROM fact_orders")
+            .unwrap();
+        assert_eq!(r.rows[0][0], odbis_storage::Value::Int(0));
+    }
+}
+
+#[cfg(test)]
+mod preagg_tests {
+    use super::*;
+
+    #[test]
+    fn mdx_answers_from_materialized_aggregate_when_enabled() {
+        let p = OdbisPlatform::new();
+        p.provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+        let token = p.login("acme", "root", "pw").unwrap();
+        p.sql("acme", &token, "CREATE TABLE f (region TEXT, amount DOUBLE)")
+            .unwrap();
+        p.sql(
+            "acme",
+            &token,
+            "INSERT INTO f VALUES ('EU', 10), ('EU', 20), ('US', 5)",
+        )
+        .unwrap();
+        let cube = CubeDef {
+            name: "c".into(),
+            fact_table: "f".into(),
+            dimensions: vec![odbis_olap::DimensionDef {
+                name: "geo".into(),
+                table: None,
+                fact_fk: String::new(),
+                dim_key: String::new(),
+                levels: vec![odbis_olap::LevelDef {
+                    name: "region".into(),
+                    column: "region".into(),
+                }],
+            }],
+            measures: vec![odbis_olap::MeasureDef {
+                name: "revenue".into(),
+                column: "amount".into(),
+                aggregator: odbis_olap::Aggregator::Sum,
+            }],
+        };
+        p.register_cube("acme", &token, cube).unwrap();
+        let cells = p
+            .materialize_aggregate(
+                "acme",
+                &token,
+                "c",
+                vec![LevelRef::new("geo", "region")],
+                vec!["revenue".into()],
+            )
+            .unwrap();
+        assert_eq!(cells, 2);
+        // new fact rows are NOT visible through the (stale) aggregate —
+        // this is the materialized-view trade-off the config controls
+        p.sql("acme", &token, "INSERT INTO f VALUES ('EU', 100)")
+            .unwrap();
+        let via_cache = p
+            .mdx("acme", &token, "SELECT revenue BY geo.region FROM c")
+            .unwrap();
+        assert_eq!(
+            via_cache.cell(&["EU".into()]).unwrap(),
+            &[odbis_storage::Value::Float(30.0)]
+        );
+        // disabling pre-aggregation for the tenant goes back to live data
+        p.admin
+            .config
+            .set_for_tenant("acme", "olap.preaggregation", false.into())
+            .unwrap();
+        let live = p
+            .mdx("acme", &token, "SELECT revenue BY geo.region FROM c")
+            .unwrap();
+        assert_eq!(
+            live.cell(&["EU".into()]).unwrap(),
+            &[odbis_storage::Value::Float(130.0)]
+        );
+    }
+}
+
+#[cfg(test)]
+mod template_tests {
+    use super::*;
+    use odbis_reporting::{ParamDef, Section, TableSpec};
+    use odbis_storage::DataType;
+
+    #[test]
+    fn upload_and_run_template_through_platform() {
+        let p = OdbisPlatform::new();
+        p.provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+        let token = p.login("acme", "root", "pw").unwrap();
+        p.sql("acme", &token, "CREATE TABLE visits (dept TEXT, n INT)")
+            .unwrap();
+        p.sql(
+            "acme",
+            &token,
+            "INSERT INTO visits VALUES ('Cardiology', 12), ('Oncology', 7)",
+        )
+        .unwrap();
+        let template = ReportTemplate {
+            name: "dept".into(),
+            title: "Department report".into(),
+            parameters: vec![ParamDef {
+                name: "dept".into(),
+                data_type: DataType::Text,
+                default: None,
+            }],
+            sections: vec![Section::QueryTable {
+                sql: "SELECT dept, n FROM visits WHERE dept = ${dept}".into(),
+                spec: TableSpec {
+                    title: "Visits".into(),
+                    columns: vec![],
+                    max_rows: None,
+                },
+            }],
+        };
+        p.upload_template("acme", &token, "standard-reports", template)
+            .unwrap();
+        let mut params = std::collections::BTreeMap::new();
+        params.insert("dept".to_string(), odbis_storage::Value::from("Oncology"));
+        let rendered = p
+            .run_template("acme", &token, "standard-reports", "dept", &params)
+            .unwrap();
+        assert!(rendered.html.contains("Oncology"));
+        assert!(rendered.html.contains("7"));
+        assert!(!rendered.html.contains("Cardiology"));
+        // missing param errors cleanly
+        assert!(matches!(
+            p.run_template("acme", &token, "standard-reports", "dept", &Default::default()),
+            Err(PlatformError::Reporting(_))
+        ));
+    }
+}

@@ -1,0 +1,315 @@
+//! The platform's HTTP API: Figure 4's UI layer, serving the web-browser
+//! access tool of Figure 1 and the web-service delivery channel.
+//!
+//! Routes:
+//!
+//! | method | path | purpose |
+//! |---|---|---|
+//! | GET  | `/health` | liveness |
+//! | POST | `/login` | body `tenant user password` → token |
+//! | POST | `/sql` | raw SQL (designer) |
+//! | GET  | `/datasets` | list data sets |
+//! | GET  | `/datasets/:name` | execute a data set (JSON) |
+//! | POST | `/mdx` | MDX-lite query |
+//! | GET  | `/admin/usage` | platform usage report |
+//!
+//! Authenticated routes read the `x-tenant` and `x-token` headers —
+//! injected by the security filter, which is the Spring-Security-chain
+//! analogue of the paper's architecture.
+
+use std::sync::Arc;
+
+use odbis_web::{HttpResponse, Method, Router};
+
+use crate::platform::OdbisPlatform;
+
+/// Build the platform router. The returned router can be served with
+/// [`odbis_web::HttpServer::start`].
+pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
+    let mut router = Router::new();
+
+    // security filter: stash tenant/token as request attributes; public
+    // paths pass through
+    router.filter(|req| {
+        if req.path == "/health" || req.path == "/login" {
+            return None;
+        }
+        match (req.header("x-tenant"), req.header("x-token")) {
+            (Some(t), Some(tok)) => {
+                let t = t.to_string();
+                let tok = tok.to_string();
+                req.attributes.insert("tenant".into(), t);
+                req.attributes.insert("token".into(), tok);
+                None
+            }
+            _ => Some(HttpResponse::unauthorized(
+                "x-tenant and x-token headers required",
+            )),
+        }
+    });
+
+    router.route(Method::Get, "/health", |_, _| {
+        HttpResponse::json("{\"status\":\"up\",\"platform\":\"ODBIS\"}")
+    });
+
+    let p = Arc::clone(&platform);
+    router.route(Method::Post, "/login", move |req, _| {
+        let body = req.body_text();
+        let mut parts = body.split_whitespace();
+        let (Some(tenant), Some(user), Some(password)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return HttpResponse::bad_request("body must be: <tenant> <user> <password>");
+        };
+        match p.login(tenant, user, password) {
+            Ok(token) => HttpResponse::json(format!("{{\"token\":\"{token}\"}}")),
+            Err(e) => HttpResponse::unauthorized(&e.to_string()),
+        }
+    });
+
+    let p = Arc::clone(&platform);
+    router.route(Method::Post, "/sql", move |req, _| {
+        let (tenant, token) = creds(req);
+        match p.sql(&tenant, &token, &req.body_text()) {
+            Ok(result) => HttpResponse::json(result_json(&result)),
+            Err(e) => error_response(&e),
+        }
+    });
+
+    let p = Arc::clone(&platform);
+    router.route(Method::Get, "/datasets", move |req, _| {
+        let (tenant, token) = creds(req);
+        match p
+            .authorize(&tenant, &token, "DATASET_RUN")
+            .and_then(|_| p.workspace(&tenant))
+        {
+            Ok(ws) => {
+                let names = ws.mds.dataset_names();
+                HttpResponse::json(
+                    serde_json::to_string(&names).unwrap_or_else(|_| "[]".into()),
+                )
+            }
+            Err(e) => error_response(&e),
+        }
+    });
+
+    let p = Arc::clone(&platform);
+    router.route(Method::Get, "/datasets/:name", move |req, params| {
+        let (tenant, token) = creds(req);
+        match p.execute_dataset(&tenant, &token, &params["name"]) {
+            Ok(result) => HttpResponse::json(result_json(&result)),
+            Err(e) => error_response(&e),
+        }
+    });
+
+    let p = Arc::clone(&platform);
+    router.route(Method::Post, "/mdx", move |req, _| {
+        let (tenant, token) = creds(req);
+        match p.mdx(&tenant, &token, &req.body_text()) {
+            Ok(cells) => {
+                let rows: Vec<serde_json::Value> = cells
+                    .cells
+                    .iter()
+                    .map(|(coords, measures)| {
+                        serde_json::json!({
+                            "coords": coords.iter().map(|v| v.render()).collect::<Vec<_>>(),
+                            "measures": measures.iter().map(|v| v.render()).collect::<Vec<_>>(),
+                        })
+                    })
+                    .collect();
+                HttpResponse::json(
+                    serde_json::json!({
+                        "axes": cells.axis_names,
+                        "measures": cells.measure_names,
+                        "cells": rows,
+                    })
+                    .to_string(),
+                )
+            }
+            Err(e) => error_response(&e),
+        }
+    });
+
+    let p = Arc::clone(&platform);
+    router.route(Method::Get, "/admin/usage", move |req, _| {
+        let (tenant, token) = creds(req);
+        match p.authorize(&tenant, &token, "ADMIN_USERS") {
+            Ok(_) => {
+                let lines: Vec<serde_json::Value> = p
+                    .admin
+                    .usage_report()
+                    .into_iter()
+                    .map(|l| {
+                        serde_json::json!({
+                            "tenant": l.tenant,
+                            "service": l.service,
+                            "units": l.units,
+                        })
+                    })
+                    .collect();
+                HttpResponse::json(serde_json::Value::Array(lines).to_string())
+            }
+            Err(e) => error_response(&e),
+        }
+    });
+
+    router
+}
+
+fn creds(req: &odbis_web::HttpRequest) -> (String, String) {
+    (
+        req.attributes.get("tenant").cloned().unwrap_or_default(),
+        req.attributes.get("token").cloned().unwrap_or_default(),
+    )
+}
+
+fn result_json(result: &odbis_sql::QueryResult) -> String {
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| r.iter().map(|v| v.render()).collect())
+        .collect();
+    serde_json::json!({
+        "columns": result.columns,
+        "rows": rows,
+        "rowsAffected": result.rows_affected,
+    })
+    .to_string()
+}
+
+fn error_response(e: &crate::error::PlatformError) -> HttpResponse {
+    use crate::error::PlatformError::*;
+    match e {
+        Security(_) => HttpResponse::forbidden(&e.to_string()),
+        Tenancy(_) => HttpResponse::status(402).with_body(e.to_string()),
+        _ => HttpResponse::bad_request(&e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odbis_metadata::DataSet;
+    use odbis_tenancy::SubscriptionPlan;
+    use odbis_web::{http_get, http_request, HttpServer};
+
+    fn serve() -> (HttpServer, Arc<OdbisPlatform>, String) {
+        let platform = Arc::new(OdbisPlatform::new());
+        platform
+            .provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+        let token = platform.login("acme", "root", "pw").unwrap();
+        let server = HttpServer::start(build_router(Arc::clone(&platform)), 2).unwrap();
+        (server, platform, token)
+    }
+
+    #[test]
+    fn health_is_public() {
+        let (server, _p, _t) = serve();
+        let (status, body) = http_get(&server.addr().to_string(), "/health").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"up\""));
+    }
+
+    #[test]
+    fn login_over_http() {
+        let (server, _p, _t) = serve();
+        let (status, body) = odbis_web::http_post(
+            &server.addr().to_string(),
+            "/login",
+            "acme root pw",
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("token"));
+        let (status, _) =
+            odbis_web::http_post(&server.addr().to_string(), "/login", "acme root wrong")
+                .unwrap();
+        assert_eq!(status, 401);
+        let (status, _) =
+            odbis_web::http_post(&server.addr().to_string(), "/login", "short").unwrap();
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn protected_routes_require_headers() {
+        let (server, _p, token) = serve();
+        let addr = server.addr().to_string();
+        let (status, _) = http_get(&addr, "/datasets").unwrap();
+        assert_eq!(status, 401);
+        let (status, body, _) = with_auth(&addr, "GET", "/datasets", &token, "");
+        assert_eq!(status, 200);
+        assert_eq!(body, "[]");
+    }
+
+    fn with_auth(
+        addr: &str,
+        method: &str,
+        path: &str,
+        token: &str,
+        body: &str,
+    ) -> (u16, String, ()) {
+        let (status, _, resp) = http_request(
+            addr,
+            method,
+            path,
+            &[("x-tenant", "acme"), ("x-token", token)],
+            body.as_bytes(),
+        )
+        .unwrap();
+        (status, resp, ())
+    }
+
+    #[test]
+    fn sql_and_dataset_round_trip_over_http() {
+        let (server, platform, token) = serve();
+        let addr = server.addr().to_string();
+        let (status, _, _) = with_auth(
+            &addr,
+            "POST",
+            "/sql",
+            &token,
+            "CREATE TABLE kpis (name TEXT, v INT)",
+        );
+        assert_eq!(status, 200);
+        let (status, _, _) = with_auth(
+            &addr,
+            "POST",
+            "/sql",
+            &token,
+            "INSERT INTO kpis VALUES ('churn', 7)",
+        );
+        assert_eq!(status, 200);
+        platform
+            .define_dataset(
+                "acme",
+                &token,
+                DataSet {
+                    name: "kpis".into(),
+                    source: "warehouse".into(),
+                    sql: "SELECT name, v FROM kpis".into(),
+                    description: String::new(),
+                },
+            )
+            .unwrap();
+        let (status, body, _) = with_auth(&addr, "GET", "/datasets/kpis", &token, "");
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["rows"][0][0], "churn");
+        // missing dataset → 400
+        let (status, _, _) = with_auth(&addr, "GET", "/datasets/ghost", &token, "");
+        assert_eq!(status, 400);
+        // usage visible to the admin
+        let (status, body, _) = with_auth(&addr, "GET", "/admin/usage", &token, "");
+        assert_eq!(status, 200);
+        assert!(body.contains("MDS"));
+    }
+
+    #[test]
+    fn forged_token_is_forbidden() {
+        let (server, _p, _token) = serve();
+        let addr = server.addr().to_string();
+        let (status, _, _) = with_auth(&addr, "POST", "/sql", "forged", "SELECT 1");
+        assert_eq!(status, 403);
+    }
+}

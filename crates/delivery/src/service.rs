@@ -1,0 +1,261 @@
+//! The delivery service: subscriptions, bursting and ESB dispatch.
+
+use std::sync::Arc;
+
+use odbis_esb::{Endpoint, Message, MessageBus};
+use parking_lot::Mutex;
+
+use crate::format::{format_for, Channel, Delivered, ReportPayload};
+
+/// Delivery errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeliveryError {
+    /// Unknown subscription/report.
+    NotFound(String),
+    /// ESB dispatch failure.
+    Bus(String),
+}
+
+impl std::fmt::Display for DeliveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeliveryError::NotFound(e) => write!(f, "not found: {e}"),
+            DeliveryError::Bus(e) => write!(f, "bus error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeliveryError {}
+
+/// A subscription: a user wants a report on a channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subscription {
+    /// Subscribing user.
+    pub user: String,
+    /// Report the user subscribed to.
+    pub report: String,
+    /// Preferred channel.
+    pub channel: Channel,
+}
+
+/// A delivery that reached a subscriber (kept in the outbox for audit and
+/// for the simulated e-mail/mobile channels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutboxEntry {
+    /// Recipient.
+    pub user: String,
+    /// Report name.
+    pub report: String,
+    /// Formatted content.
+    pub delivered: Delivered,
+}
+
+/// The Information Delivery Service (IDS).
+///
+/// Formatting is channel-specific ([`format_for`]); dispatch rides the
+/// platform's ESB: each channel kind has a bus channel (`deliver.web`,
+/// `deliver.email`, ...) whose service activator appends to the outbox —
+/// so delivery is observable, auditable and replayable.
+pub struct DeliveryService {
+    bus: Arc<MessageBus>,
+    subscriptions: Mutex<Vec<Subscription>>,
+    outbox: Arc<Mutex<Vec<OutboxEntry>>>,
+}
+
+impl DeliveryService {
+    /// Build the service and wire its bus channels.
+    pub fn new(bus: Arc<MessageBus>) -> Result<Self, DeliveryError> {
+        let outbox = Arc::new(Mutex::new(Vec::new()));
+        for ch in Channel::ALL {
+            let name = bus_channel(ch);
+            bus.create_channel(&name)
+                .map_err(|e| DeliveryError::Bus(e.to_string()))?;
+            let sink = Arc::clone(&outbox);
+            bus.subscribe(
+                &name,
+                Endpoint::ServiceActivator(Box::new(move |m: &Message| {
+                    let user = m.header("user").unwrap_or("?").to_string();
+                    let report = m.header("report").unwrap_or("?").to_string();
+                    let channel = m
+                        .header("channel")
+                        .and_then(Channel::parse)
+                        .ok_or_else(|| "missing channel header".to_string())?;
+                    let body = m
+                        .payload
+                        .as_text()
+                        .ok_or_else(|| "binary payload unsupported".to_string())?
+                        .to_string();
+                    sink.lock().push(OutboxEntry {
+                        user,
+                        report,
+                        delivered: Delivered {
+                            channel,
+                            content_type: channel.content_type().to_string(),
+                            body,
+                        },
+                    });
+                    Ok(())
+                })),
+            )
+            .map_err(|e| DeliveryError::Bus(e.to_string()))?;
+        }
+        Ok(DeliveryService {
+            bus,
+            subscriptions: Mutex::new(Vec::new()),
+            outbox,
+        })
+    }
+
+    /// Subscribe a user to a report on a channel.
+    pub fn subscribe(&self, user: &str, report: &str, channel: Channel) {
+        self.subscriptions.lock().push(Subscription {
+            user: user.to_string(),
+            report: report.to_string(),
+            channel,
+        });
+    }
+
+    /// Remove a user's subscription to a report. Returns whether one
+    /// existed.
+    pub fn unsubscribe(&self, user: &str, report: &str) -> bool {
+        let mut subs = self.subscriptions.lock();
+        let before = subs.len();
+        subs.retain(|s| !(s.user == user && s.report == report));
+        subs.len() != before
+    }
+
+    /// Current subscriptions to a report.
+    pub fn subscribers(&self, report: &str) -> Vec<Subscription> {
+        self.subscriptions
+            .lock()
+            .iter()
+            .filter(|s| s.report == report)
+            .cloned()
+            .collect()
+    }
+
+    /// Deliver a payload to one user on one channel, immediately.
+    pub fn deliver(
+        &self,
+        user: &str,
+        report: &str,
+        channel: Channel,
+        payload: &ReportPayload,
+    ) -> Result<Delivered, DeliveryError> {
+        let formatted = format_for(channel, payload);
+        let msg = Message::text(formatted.body.clone())
+            .with_header("user", user)
+            .with_header("report", report)
+            .with_header("channel", channel_code(channel));
+        self.bus
+            .send_and_pump(&bus_channel(channel), msg)
+            .map_err(|e| DeliveryError::Bus(e.to_string()))?;
+        Ok(formatted)
+    }
+
+    /// Burst: deliver a report payload to every subscriber, each on their
+    /// own channel. Returns the number of deliveries.
+    pub fn burst(&self, report: &str, payload: &ReportPayload) -> Result<usize, DeliveryError> {
+        let subs = self.subscribers(report);
+        for s in &subs {
+            self.deliver(&s.user, report, s.channel, payload)?;
+        }
+        Ok(subs.len())
+    }
+
+    /// Snapshot of the outbox.
+    pub fn outbox(&self) -> Vec<OutboxEntry> {
+        self.outbox.lock().clone()
+    }
+
+    /// Clear the outbox; returns the drained entries.
+    pub fn drain_outbox(&self) -> Vec<OutboxEntry> {
+        std::mem::take(&mut self.outbox.lock())
+    }
+}
+
+fn bus_channel(ch: Channel) -> String {
+    format!("deliver.{}", channel_code(ch))
+}
+
+fn channel_code(ch: Channel) -> &'static str {
+    match ch {
+        Channel::WebBrowser => "web",
+        Channel::WebService => "api",
+        Channel::Mobile => "mobile",
+        Channel::OfficeTool => "office",
+        Channel::Email => "email",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odbis_sql::QueryResult;
+    use odbis_storage::Value;
+
+    fn payload() -> ReportPayload {
+        ReportPayload {
+            title: "Daily".into(),
+            data: QueryResult {
+                columns: vec!["k".into(), "v".into()],
+                rows: vec![vec!["a".into(), Value::Int(1)]],
+                rows_affected: 0,
+            },
+        }
+    }
+
+    fn service() -> DeliveryService {
+        DeliveryService::new(Arc::new(MessageBus::new())).unwrap()
+    }
+
+    #[test]
+    fn deliver_lands_in_outbox_via_bus() {
+        let ids = service();
+        let d = ids
+            .deliver("alice", "daily-report", Channel::Email, &payload())
+            .unwrap();
+        assert!(d.body.contains("Daily"));
+        let outbox = ids.outbox();
+        assert_eq!(outbox.len(), 1);
+        assert_eq!(outbox[0].user, "alice");
+        assert_eq!(outbox[0].report, "daily-report");
+        assert_eq!(outbox[0].delivered.channel, Channel::Email);
+        assert_eq!(outbox[0].delivered.body, d.body);
+    }
+
+    #[test]
+    fn burst_reaches_each_subscriber_once_on_their_channel() {
+        let ids = service();
+        ids.subscribe("alice", "daily", Channel::Email);
+        ids.subscribe("bob", "daily", Channel::Mobile);
+        ids.subscribe("carol", "other", Channel::WebService);
+        let n = ids.burst("daily", &payload()).unwrap();
+        assert_eq!(n, 2);
+        let outbox = ids.outbox();
+        assert_eq!(outbox.len(), 2);
+        let users: Vec<&str> = outbox.iter().map(|e| e.user.as_str()).collect();
+        assert!(users.contains(&"alice") && users.contains(&"bob"));
+        let bob = outbox.iter().find(|e| e.user == "bob").unwrap();
+        assert_eq!(bob.delivered.channel, Channel::Mobile);
+        assert!(serde_json::from_str::<serde_json::Value>(&bob.delivered.body).is_ok());
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let ids = service();
+        ids.subscribe("alice", "daily", Channel::Email);
+        assert!(ids.unsubscribe("alice", "daily"));
+        assert!(!ids.unsubscribe("alice", "daily"));
+        assert_eq!(ids.burst("daily", &payload()).unwrap(), 0);
+        assert!(ids.outbox().is_empty());
+    }
+
+    #[test]
+    fn drain_outbox_empties() {
+        let ids = service();
+        ids.deliver("a", "r", Channel::OfficeTool, &payload()).unwrap();
+        assert_eq!(ids.drain_outbox().len(), 1);
+        assert!(ids.outbox().is_empty());
+    }
+}

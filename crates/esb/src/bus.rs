@@ -1,0 +1,432 @@
+//! The message bus: channels, endpoints and the delivery pump.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::message::Message;
+
+/// Errors from the service bus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BusError {
+    /// A channel name is not registered.
+    UnknownChannel(String),
+    /// A channel with the same name already exists.
+    DuplicateChannel(String),
+    /// The pump exceeded its hop budget (probable routing loop).
+    HopLimit(usize),
+}
+
+impl std::fmt::Display for BusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BusError::UnknownChannel(c) => write!(f, "unknown channel {c}"),
+            BusError::DuplicateChannel(c) => write!(f, "duplicate channel {c}"),
+            BusError::HopLimit(n) => write!(f, "message exceeded hop limit {n} (routing loop?)"),
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+/// A routing function: picks the destination channel per message.
+pub type RouteFn = Box<dyn Fn(&Message) -> Option<String> + Send + Sync>;
+/// A message transformation function.
+pub type TransformFn = Box<dyn Fn(&Message) -> Message + Send + Sync>;
+/// A filter predicate.
+pub type AcceptFn = Box<dyn Fn(&Message) -> bool + Send + Sync>;
+/// A terminal message handler.
+pub type HandlerFn = Box<dyn Fn(&Message) -> Result<(), String> + Send + Sync>;
+
+/// What an endpoint does with a message.
+pub enum Endpoint {
+    /// Forward to another channel chosen per message.
+    Router(RouteFn),
+    /// Rewrite the message and forward to a fixed channel.
+    Transformer {
+        /// Destination channel.
+        to: String,
+        /// Transformation function.
+        transform: TransformFn,
+    },
+    /// Drop messages failing the predicate (they go to the dead-letter
+    /// queue); pass the rest to a fixed channel.
+    Filter {
+        /// Destination channel for accepted messages.
+        to: String,
+        /// Acceptance predicate.
+        accept: AcceptFn,
+    },
+    /// Terminal consumer (a service). Returning `Err` sends the message to
+    /// the dead-letter queue with the error recorded in a header.
+    ServiceActivator(HandlerFn),
+}
+
+struct ChannelState {
+    queue: VecDeque<Message>,
+    /// Endpoints subscribed to this channel (fan-out: each gets a copy).
+    subscribers: Vec<Endpoint>,
+    delivered: u64,
+}
+
+/// An enterprise-service-bus: named channels wired to endpoints, with a
+/// deterministic synchronous pump and a dead-letter queue.
+///
+/// This is the reproduction's substitute for the Spring Integration module
+/// the paper plans to use for interoperability between the data warehousing
+/// tools and BI APIs of the technical-resources layer (ODBIS §3.1).
+pub struct MessageBus {
+    inner: Arc<Mutex<BusInner>>,
+}
+
+struct BusInner {
+    channels: BTreeMap<String, ChannelState>,
+    dead_letter: Vec<Message>,
+    hop_limit: usize,
+}
+
+impl Default for MessageBus {
+    fn default() -> Self {
+        MessageBus::new()
+    }
+}
+
+impl MessageBus {
+    /// Empty bus with a hop budget of 10 000 deliveries per pump run.
+    pub fn new() -> Self {
+        MessageBus {
+            inner: Arc::new(Mutex::new(BusInner {
+                channels: BTreeMap::new(),
+                dead_letter: Vec::new(),
+                hop_limit: 10_000,
+            })),
+        }
+    }
+
+    /// Register a channel.
+    pub fn create_channel(&self, name: &str) -> Result<(), BusError> {
+        let mut inner = self.inner.lock();
+        if inner.channels.contains_key(name) {
+            return Err(BusError::DuplicateChannel(name.to_string()));
+        }
+        inner.channels.insert(
+            name.to_string(),
+            ChannelState {
+                queue: VecDeque::new(),
+                subscribers: Vec::new(),
+                delivered: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Attach an endpoint to a channel; every message sent to the channel
+    /// is delivered to every endpoint (publish-subscribe).
+    pub fn subscribe(&self, channel: &str, endpoint: Endpoint) -> Result<(), BusError> {
+        let mut inner = self.inner.lock();
+        inner
+            .channels
+            .get_mut(channel)
+            .ok_or_else(|| BusError::UnknownChannel(channel.to_string()))?
+            .subscribers
+            .push(endpoint);
+        Ok(())
+    }
+
+    /// Enqueue a message (does not process it — call [`MessageBus::pump`]).
+    pub fn send(&self, channel: &str, message: Message) -> Result<(), BusError> {
+        let mut inner = self.inner.lock();
+        inner
+            .channels
+            .get_mut(channel)
+            .ok_or_else(|| BusError::UnknownChannel(channel.to_string()))?
+            .queue
+            .push_back(message);
+        Ok(())
+    }
+
+    /// Process queued messages until every queue is empty. Returns the
+    /// number of endpoint deliveries performed.
+    pub fn pump(&self) -> Result<usize, BusError> {
+        let mut deliveries = 0usize;
+        loop {
+            // take one message from the first non-empty channel
+            let (message, endpoints_len, channel) = {
+                let mut inner = self.inner.lock();
+                let Some((name, st)) = inner
+                    .channels
+                    .iter_mut()
+                    .find(|(_, st)| !st.queue.is_empty())
+                else {
+                    return Ok(deliveries);
+                };
+                let msg = st.queue.pop_front().expect("non-empty");
+                st.delivered += 1;
+                (msg, st.subscribers.len(), name.clone())
+            };
+            if endpoints_len == 0 {
+                // unroutable: dead-letter
+                let mut inner = self.inner.lock();
+                let msg = message
+                    .clone()
+                    .with_header("dead-letter-reason", "no subscribers")
+                    .with_header("dead-letter-channel", channel.clone());
+                inner.dead_letter.push(msg);
+                continue;
+            }
+            for i in 0..endpoints_len {
+                deliveries += 1;
+                if deliveries > self.inner.lock().hop_limit {
+                    return Err(BusError::HopLimit(self.inner.lock().hop_limit));
+                }
+                // evaluate endpoint without holding the lock during sends
+                enum Outcome {
+                    Forward(String, Message),
+                    DeadLetter(Message, String),
+                    Done,
+                }
+                let outcome = {
+                    let inner = self.inner.lock();
+                    let st = inner.channels.get(&channel).expect("channel exists");
+                    match &st.subscribers[i] {
+                        Endpoint::Router(route) => match route(&message) {
+                            Some(to) => Outcome::Forward(to, message.clone()),
+                            None => Outcome::DeadLetter(
+                                message.clone(),
+                                "router returned no destination".to_string(),
+                            ),
+                        },
+                        Endpoint::Transformer { to, transform } => {
+                            Outcome::Forward(to.clone(), transform(&message))
+                        }
+                        Endpoint::Filter { to, accept } => {
+                            if accept(&message) {
+                                Outcome::Forward(to.clone(), message.clone())
+                            } else {
+                                Outcome::DeadLetter(
+                                    message.clone(),
+                                    "rejected by filter".to_string(),
+                                )
+                            }
+                        }
+                        Endpoint::ServiceActivator(handler) => match handler(&message) {
+                            Ok(()) => Outcome::Done,
+                            Err(e) => Outcome::DeadLetter(message.clone(), e),
+                        },
+                    }
+                };
+                match outcome {
+                    Outcome::Forward(to, msg) => {
+                        self.send(&to, msg)?;
+                    }
+                    Outcome::DeadLetter(msg, reason) => {
+                        let mut inner = self.inner.lock();
+                        inner.dead_letter.push(
+                            msg.with_header("dead-letter-reason", reason)
+                                .with_header("dead-letter-channel", channel.clone()),
+                        );
+                    }
+                    Outcome::Done => {}
+                }
+            }
+        }
+    }
+
+    /// Send then pump (convenience for request-style interactions).
+    pub fn send_and_pump(&self, channel: &str, message: Message) -> Result<usize, BusError> {
+        self.send(channel, message)?;
+        self.pump()
+    }
+
+    /// Drain the dead-letter queue.
+    pub fn take_dead_letters(&self) -> Vec<Message> {
+        std::mem::take(&mut self.inner.lock().dead_letter)
+    }
+
+    /// Number of messages delivered per channel so far.
+    pub fn delivery_counts(&self) -> BTreeMap<String, u64> {
+        self.inner
+            .lock()
+            .channels
+            .iter()
+            .map(|(n, st)| (n.clone(), st.delivered))
+            .collect()
+    }
+
+    /// Registered channel names.
+    pub fn channel_names(&self) -> Vec<String> {
+        self.inner.lock().channels.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Payload;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn channel_lifecycle_and_errors() {
+        let bus = MessageBus::new();
+        bus.create_channel("a").unwrap();
+        assert!(matches!(
+            bus.create_channel("a"),
+            Err(BusError::DuplicateChannel(_))
+        ));
+        assert!(matches!(
+            bus.send("ghost", Message::text("x")),
+            Err(BusError::UnknownChannel(_))
+        ));
+        assert_eq!(bus.channel_names(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn service_activator_consumes() {
+        let bus = MessageBus::new();
+        bus.create_channel("in").unwrap();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        bus.subscribe(
+            "in",
+            Endpoint::ServiceActivator(Box::new(move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            })),
+        )
+        .unwrap();
+        bus.send("in", Message::text("1")).unwrap();
+        bus.send("in", Message::text("2")).unwrap();
+        let deliveries = bus.pump().unwrap();
+        assert_eq!(deliveries, 2);
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+        assert!(bus.take_dead_letters().is_empty());
+    }
+
+    #[test]
+    fn router_transformer_filter_pipeline() {
+        let bus = MessageBus::new();
+        for c in ["ingress", "reports", "other", "sink"] {
+            bus.create_channel(c).unwrap();
+        }
+        // route by `kind` header
+        bus.subscribe(
+            "ingress",
+            Endpoint::Router(Box::new(|m| {
+                m.header("kind").map(|k| {
+                    if k == "report" {
+                        "reports".to_string()
+                    } else {
+                        "other".to_string()
+                    }
+                })
+            })),
+        )
+        .unwrap();
+        // transform: upper-case payload
+        bus.subscribe(
+            "reports",
+            Endpoint::Transformer {
+                to: "sink".into(),
+                transform: Box::new(|m| {
+                    let text = m.payload.as_text().unwrap_or("").to_uppercase();
+                    m.derive(Payload::Text(text))
+                }),
+            },
+        )
+        .unwrap();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&seen);
+        bus.subscribe(
+            "sink",
+            Endpoint::ServiceActivator(Box::new(move |m| {
+                s2.lock().push(m.payload.as_text().unwrap().to_string());
+                Ok(())
+            })),
+        )
+        .unwrap();
+        bus.send("ingress", Message::text("daily sales").with_header("kind", "report"))
+            .unwrap();
+        bus.send("ingress", Message::text("noise").with_header("kind", "etl"))
+            .unwrap();
+        bus.pump().unwrap();
+        assert_eq!(*seen.lock(), vec!["DAILY SALES".to_string()]);
+        // the 'other' channel has no subscribers -> dead letter
+        let dead = bus.take_dead_letters();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].header("dead-letter-reason"), Some("no subscribers"));
+    }
+
+    #[test]
+    fn filter_rejects_to_dead_letter() {
+        let bus = MessageBus::new();
+        bus.create_channel("in").unwrap();
+        bus.create_channel("out").unwrap();
+        bus.subscribe(
+            "in",
+            Endpoint::Filter {
+                to: "out".into(),
+                accept: Box::new(|m| m.header("tenant").is_some()),
+            },
+        )
+        .unwrap();
+        bus.subscribe("out", Endpoint::ServiceActivator(Box::new(|_| Ok(()))))
+            .unwrap();
+        bus.send("in", Message::text("ok").with_header("tenant", "t1"))
+            .unwrap();
+        bus.send("in", Message::text("anonymous")).unwrap();
+        bus.pump().unwrap();
+        let dead = bus.take_dead_letters();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].header("dead-letter-reason"), Some("rejected by filter"));
+    }
+
+    #[test]
+    fn failing_handler_dead_letters_with_reason() {
+        let bus = MessageBus::new();
+        bus.create_channel("in").unwrap();
+        bus.subscribe(
+            "in",
+            Endpoint::ServiceActivator(Box::new(|_| Err("boom".to_string()))),
+        )
+        .unwrap();
+        bus.send_and_pump("in", Message::text("x")).unwrap();
+        let dead = bus.take_dead_letters();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].header("dead-letter-reason"), Some("boom"));
+    }
+
+    #[test]
+    fn routing_loop_hits_hop_limit() {
+        let bus = MessageBus::new();
+        bus.create_channel("a").unwrap();
+        bus.create_channel("b").unwrap();
+        bus.subscribe("a", Endpoint::Router(Box::new(|_| Some("b".into()))))
+            .unwrap();
+        bus.subscribe("b", Endpoint::Router(Box::new(|_| Some("a".into()))))
+            .unwrap();
+        bus.send("a", Message::text("loop")).unwrap();
+        assert!(matches!(bus.pump(), Err(BusError::HopLimit(_))));
+    }
+
+    #[test]
+    fn fan_out_to_multiple_subscribers() {
+        let bus = MessageBus::new();
+        bus.create_channel("in").unwrap();
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let c = Arc::clone(&count);
+            bus.subscribe(
+                "in",
+                Endpoint::ServiceActivator(Box::new(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                })),
+            )
+            .unwrap();
+        }
+        bus.send_and_pump("in", Message::text("x")).unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+        assert_eq!(bus.delivery_counts()["in"], 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # odbis-esb
+//!
+//! A lightweight enterprise service bus — the reproduction's substitute for
+//! the Spring Integration module the ODBIS paper plans to use to ensure
+//! "interoperability between all of these tools and APIs" in the
+//! technical-resources layer (§3.1).
+//!
+//! Pipes-and-filters: named channels carry [`Message`]s to [`Endpoint`]s —
+//! routers, transformers, filters and service activators — with a
+//! deterministic synchronous pump, publish-subscribe fan-out and a
+//! dead-letter queue for unroutable or failed messages.
+//!
+//! ```
+//! use odbis_esb::{Endpoint, Message, MessageBus};
+//!
+//! let bus = MessageBus::new();
+//! bus.create_channel("events").unwrap();
+//! bus.subscribe("events", Endpoint::ServiceActivator(Box::new(|m| {
+//!     assert_eq!(m.payload.as_text(), Some("hello"));
+//!     Ok(())
+//! }))).unwrap();
+//! bus.send_and_pump("events", Message::text("hello")).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod bus;
+mod message;
+
+pub use bus::{AcceptFn, BusError, Endpoint, HandlerFn, MessageBus, RouteFn, TransformFn};
+pub use message::{Message, Payload};

@@ -1,0 +1,259 @@
+//! Job scheduling ("jobs scheduling, etc." — ODBIS §3.1).
+//!
+//! The scheduler runs on a **logical clock** (ticks) so schedules are
+//! deterministic in tests and benchmarks; the platform layer maps ticks to
+//! wall-clock time.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::job::{EtlJob, JobReport, JobRunner};
+use crate::EtlError;
+
+/// When a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Every `n` ticks (first run at tick `n`).
+    Every(u64),
+    /// Exactly once, at the given tick.
+    Once(u64),
+}
+
+/// Execution record kept per run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Tick the run happened at.
+    pub tick: u64,
+    /// The run's outcome (`Err` text for failures).
+    pub outcome: Result<JobReport, String>,
+}
+
+struct Entry {
+    job: EtlJob,
+    schedule: Schedule,
+    enabled: bool,
+    history: Vec<RunRecord>,
+}
+
+/// The Integration Service's job scheduler.
+pub struct JobScheduler {
+    runner: Arc<JobRunner>,
+    inner: Mutex<SchedInner>,
+}
+
+struct SchedInner {
+    entries: BTreeMap<String, Entry>,
+    tick: u64,
+}
+
+impl JobScheduler {
+    /// Scheduler dispatching to `runner`.
+    pub fn new(runner: Arc<JobRunner>) -> Self {
+        JobScheduler {
+            runner,
+            inner: Mutex::new(SchedInner {
+                entries: BTreeMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    /// Register a job with a schedule. Replaces any same-named entry.
+    pub fn schedule(&self, job: EtlJob, schedule: Schedule) {
+        let mut inner = self.inner.lock();
+        inner.entries.insert(
+            job.name.clone(),
+            Entry {
+                job,
+                schedule,
+                enabled: true,
+                history: Vec::new(),
+            },
+        );
+    }
+
+    /// Enable/disable a job without losing its history.
+    pub fn set_enabled(&self, name: &str, enabled: bool) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.entries.get_mut(name) {
+            Some(e) => {
+                e.enabled = enabled;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advance the logical clock one tick, running every due job. Returns
+    /// the names of jobs that ran.
+    pub fn tick(&self) -> Vec<String> {
+        // decide what is due under the lock, run outside it
+        let (tick, due): (u64, Vec<EtlJob>) = {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            let due = inner
+                .entries
+                .values()
+                .filter(|e| {
+                    e.enabled
+                        && match e.schedule {
+                            Schedule::Every(n) => n > 0 && tick.is_multiple_of(n),
+                            Schedule::Once(at) => tick == at,
+                        }
+                })
+                .map(|e| e.job.clone())
+                .collect();
+            (tick, due)
+        };
+        let mut ran = Vec::new();
+        for job in due {
+            let outcome = self
+                .runner
+                .run(&job)
+                .map_err(|e: EtlError| e.to_string());
+            let mut inner = self.inner.lock();
+            if let Some(e) = inner.entries.get_mut(&job.name) {
+                e.history.push(RunRecord { tick, outcome });
+            }
+            ran.push(job.name);
+        }
+        ran
+    }
+
+    /// Run a job immediately, regardless of its schedule.
+    pub fn run_now(&self, name: &str) -> Result<JobReport, EtlError> {
+        let job = {
+            let inner = self.inner.lock();
+            inner
+                .entries
+                .get(name)
+                .map(|e| e.job.clone())
+                .ok_or_else(|| EtlError::Storage(format!("job {name} not scheduled")))?
+        };
+        let report = self.runner.run(&job);
+        let tick = self.inner.lock().tick;
+        let record = RunRecord {
+            tick,
+            outcome: report.clone().map_err(|e| e.to_string()),
+        };
+        if let Some(e) = self.inner.lock().entries.get_mut(name) {
+            e.history.push(record);
+        }
+        report
+    }
+
+    /// Run history of a job.
+    pub fn history(&self, name: &str) -> Vec<RunRecord> {
+        self.inner
+            .lock()
+            .entries
+            .get(name)
+            .map(|e| e.history.clone())
+            .unwrap_or_default()
+    }
+
+    /// Current logical tick.
+    pub fn current_tick(&self) -> u64 {
+        self.inner.lock().tick
+    }
+
+    /// Names of scheduled jobs.
+    pub fn job_names(&self) -> Vec<String> {
+        self.inner.lock().entries.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Extractor, LoadMode, Loader};
+    use odbis_storage::Database;
+
+    fn job(name: &str, target: &str) -> EtlJob {
+        EtlJob {
+            name: name.into(),
+            extractor: Extractor::Csv("x\n1\n".into()),
+            transforms: vec![],
+            loader: Loader {
+                table: target.into(),
+                mode: LoadMode::Append,
+            },
+        }
+    }
+
+    fn scheduler() -> (Arc<Database>, JobScheduler) {
+        let db = Arc::new(Database::new());
+        let runner = Arc::new(JobRunner::new(Arc::clone(&db)));
+        (db, JobScheduler::new(runner))
+    }
+
+    #[test]
+    fn every_n_ticks() {
+        let (db, sched) = scheduler();
+        sched.schedule(job("hourly", "t_hourly"), Schedule::Every(3));
+        for _ in 0..9 {
+            sched.tick();
+        }
+        // runs at ticks 3, 6, 9
+        assert_eq!(db.row_count("t_hourly").unwrap(), 3);
+        assert_eq!(sched.history("hourly").len(), 3);
+        assert_eq!(sched.current_tick(), 9);
+    }
+
+    #[test]
+    fn once_runs_exactly_once() {
+        let (db, sched) = scheduler();
+        sched.schedule(job("oneshot", "t_once"), Schedule::Once(2));
+        for _ in 0..5 {
+            sched.tick();
+        }
+        assert_eq!(db.row_count("t_once").unwrap(), 1);
+    }
+
+    #[test]
+    fn disabled_jobs_do_not_run() {
+        let (db, sched) = scheduler();
+        sched.schedule(job("j", "t"), Schedule::Every(1));
+        sched.tick();
+        assert!(sched.set_enabled("j", false));
+        sched.tick();
+        sched.tick();
+        assert_eq!(db.row_count("t").unwrap(), 1);
+        assert!(sched.set_enabled("j", true));
+        sched.tick();
+        assert_eq!(db.row_count("t").unwrap(), 2);
+        assert!(!sched.set_enabled("ghost", true));
+    }
+
+    #[test]
+    fn run_now_bypasses_schedule() {
+        let (db, sched) = scheduler();
+        sched.schedule(job("manual", "t_m"), Schedule::Once(999));
+        let report = sched.run_now("manual").unwrap();
+        assert_eq!(report.loaded, 1);
+        assert_eq!(db.row_count("t_m").unwrap(), 1);
+        assert!(sched.run_now("ghost").is_err());
+    }
+
+    #[test]
+    fn failures_recorded_in_history() {
+        let (_db, sched) = scheduler();
+        let bad = EtlJob {
+            name: "bad".into(),
+            extractor: Extractor::Table("missing_table".into()),
+            transforms: vec![],
+            loader: Loader {
+                table: "out".into(),
+                mode: LoadMode::Append,
+            },
+        };
+        sched.schedule(bad, Schedule::Every(1));
+        sched.tick();
+        let h = sched.history("bad");
+        assert_eq!(h.len(), 1);
+        assert!(h[0].outcome.is_err());
+    }
+}

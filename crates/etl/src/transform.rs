@@ -1,0 +1,742 @@
+//! ETL transforms: declarative operators compiled against the frame header.
+
+use std::collections::{HashMap, HashSet};
+
+use odbis_sql::plan::PlanCol;
+use odbis_sql::{planner, BExpr};
+use odbis_storage::{DataType, Database, Value};
+
+use crate::frame::Frame;
+use crate::EtlError;
+
+/// Aggregation functions for the [`Transform::Aggregate`] operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // self-documenting
+pub enum AggOp {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// A declarative transform step — the executable counterparts of the CWM
+/// `TransformationStep` operations (FILTER, MAP, JOIN/LOOKUP, AGGREGATE,
+/// DEDUPLICATE).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transform {
+    /// Keep rows where the SQL expression is true, e.g. `"amount > 0"`.
+    Filter(String),
+    /// Add (or replace) a column computed from a SQL expression.
+    Derive {
+        /// New column name.
+        column: String,
+        /// SQL expression over existing columns.
+        expression: String,
+    },
+    /// Keep only the listed columns, in order.
+    Select(Vec<String>),
+    /// Rename a column.
+    Rename {
+        /// Existing name.
+        from: String,
+        /// New name.
+        to: String,
+    },
+    /// Cast a column to a type, quarantining rows that cannot convert.
+    Cast {
+        /// Column to cast.
+        column: String,
+        /// Target type.
+        to: DataType,
+    },
+    /// Enrich rows from a dimension table: match `key_column` against
+    /// `lookup_key` in `table`, appending `lookup_value` as `output`.
+    /// Unmatched rows get NULL.
+    Lookup {
+        /// Input column holding the key.
+        key_column: String,
+        /// Lookup table name.
+        table: String,
+        /// Key column in the lookup table.
+        lookup_key: String,
+        /// Value column in the lookup table.
+        lookup_value: String,
+        /// Name of the appended column.
+        output: String,
+    },
+    /// Drop duplicate rows, keeping the first occurrence, considering the
+    /// listed columns (empty = all columns).
+    Deduplicate(Vec<String>),
+    /// Group by columns and aggregate: output = group cols + one column per
+    /// aggregation `(op, column, output_name)`.
+    Aggregate {
+        /// Grouping columns.
+        group_by: Vec<String>,
+        /// Aggregations.
+        aggs: Vec<(AggOp, String, String)>,
+    },
+}
+
+fn frame_schema(frame: &Frame) -> Vec<PlanCol> {
+    frame
+        .columns
+        .iter()
+        .map(|c| PlanCol {
+            qualifier: None,
+            name: c.clone(),
+        })
+        .collect()
+}
+
+/// Compile a SQL scalar expression against a frame header.
+pub fn compile_expression(expr: &str, frame: &Frame) -> Result<BExpr, EtlError> {
+    let sql = format!("SELECT {expr}");
+    let stmt = odbis_sql::parse(&sql)
+        .map_err(|e| EtlError::Expression(format!("{expr}: {e}")))?;
+    let odbis_sql::ast::Statement::Select(sel) = stmt else {
+        return Err(EtlError::Expression(format!("{expr}: not an expression")));
+    };
+    let odbis_sql::ast::SelectItem::Expr { expr: ast, .. } = &sel.items[0] else {
+        return Err(EtlError::Expression(format!("{expr}: not an expression")));
+    };
+    planner::bind(ast, &frame_schema(frame))
+        .map_err(|e| EtlError::Expression(format!("{expr}: {e}")))
+}
+
+impl Transform {
+    /// Apply the transform to a whole frame. `db` resolves lookup tables.
+    /// Rows that fail a `Cast` are moved to `rejects`.
+    pub fn apply(
+        &self,
+        frame: Frame,
+        db: &Database,
+        rejects: &mut Vec<Vec<Value>>,
+    ) -> Result<Frame, EtlError> {
+        match self {
+            Transform::Filter(expr) => {
+                let pred = compile_expression(expr, &frame)?;
+                let mut out = Frame::new(frame.columns.clone());
+                for row in frame.rows {
+                    let keep = pred
+                        .eval(&row)
+                        .map_err(|e| EtlError::Expression(e.to_string()))?;
+                    if odbis_sql::expr::truth(&keep) == Some(true) {
+                        out.rows.push(row);
+                    }
+                }
+                Ok(out)
+            }
+            Transform::Derive { column, expression } => {
+                let e = compile_expression(expression, &frame)?;
+                let existing = frame.column_index(column);
+                let mut out = frame.clone();
+                if existing.is_none() {
+                    out.columns.push(column.clone());
+                }
+                for (i, row) in frame.rows.iter().enumerate() {
+                    let v = e
+                        .eval(row)
+                        .map_err(|e| EtlError::Expression(e.to_string()))?;
+                    match existing {
+                        Some(idx) => out.rows[i][idx] = v,
+                        None => out.rows[i].push(v),
+                    }
+                }
+                Ok(out)
+            }
+            Transform::Select(cols) => {
+                let idxs: Result<Vec<usize>, EtlError> = cols
+                    .iter()
+                    .map(|c| {
+                        frame
+                            .column_index(c)
+                            .ok_or_else(|| EtlError::UnknownColumn(c.clone()))
+                    })
+                    .collect();
+                let idxs = idxs?;
+                let rows = frame
+                    .rows
+                    .into_iter()
+                    .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+                    .collect();
+                Ok(Frame {
+                    columns: cols.clone(),
+                    rows,
+                })
+            }
+            Transform::Rename { from, to } => {
+                let i = frame
+                    .column_index(from)
+                    .ok_or_else(|| EtlError::UnknownColumn(from.clone()))?;
+                let mut out = frame;
+                out.columns[i] = to.clone();
+                Ok(out)
+            }
+            Transform::Cast { column, to } => {
+                let i = frame
+                    .column_index(column)
+                    .ok_or_else(|| EtlError::UnknownColumn(column.clone()))?;
+                let mut out = Frame::new(frame.columns.clone());
+                for mut row in frame.rows {
+                    match odbis_sql::cast_value(&row[i], *to) {
+                        Ok(v) => {
+                            row[i] = v;
+                            out.rows.push(row);
+                        }
+                        Err(_) => rejects.push(row),
+                    }
+                }
+                Ok(out)
+            }
+            Transform::Lookup {
+                key_column,
+                table,
+                lookup_key,
+                lookup_value,
+                output,
+            } => {
+                let ki = frame
+                    .column_index(key_column)
+                    .ok_or_else(|| EtlError::UnknownColumn(key_column.clone()))?;
+                // build the lookup map once
+                let map: HashMap<Value, Value> = db
+                    .read_table(table, |t| {
+                        let lk = t.schema().index_of(lookup_key);
+                        let lv = t.schema().index_of(lookup_value);
+                        match (lk, lv) {
+                            (Some(lk), Some(lv)) => Ok(t
+                                .scan()
+                                .map(|(_, r)| (r[lk].clone(), r[lv].clone()))
+                                .collect()),
+                            _ => Err(EtlError::UnknownColumn(format!(
+                                "{lookup_key}/{lookup_value} in {table}"
+                            ))),
+                        }
+                    })
+                    .map_err(|e| EtlError::Storage(e.to_string()))??;
+                let mut out = frame.clone();
+                out.columns.push(output.clone());
+                for (i, row) in frame.rows.iter().enumerate() {
+                    let v = map.get(&row[ki]).cloned().unwrap_or(Value::Null);
+                    out.rows[i].push(v);
+                }
+                Ok(out)
+            }
+            Transform::Deduplicate(cols) => {
+                let idxs: Vec<usize> = if cols.is_empty() {
+                    (0..frame.columns.len()).collect()
+                } else {
+                    cols.iter()
+                        .map(|c| {
+                            frame
+                                .column_index(c)
+                                .ok_or_else(|| EtlError::UnknownColumn(c.clone()))
+                        })
+                        .collect::<Result<_, _>>()?
+                };
+                let mut seen = HashSet::new();
+                let mut out = Frame::new(frame.columns.clone());
+                for row in frame.rows {
+                    let key: Vec<Value> = idxs.iter().map(|&i| row[i].clone()).collect();
+                    if seen.insert(key) {
+                        out.rows.push(row);
+                    }
+                }
+                Ok(out)
+            }
+            Transform::Aggregate { group_by, aggs } => {
+                let gidx: Vec<usize> = group_by
+                    .iter()
+                    .map(|c| {
+                        frame
+                            .column_index(c)
+                            .ok_or_else(|| EtlError::UnknownColumn(c.clone()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let aidx: Vec<(AggOp, usize, String)> = aggs
+                    .iter()
+                    .map(|(op, c, name)| {
+                        frame
+                            .column_index(c)
+                            .map(|i| (*op, i, name.clone()))
+                            .ok_or_else(|| EtlError::UnknownColumn(c.clone()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                // per-aggregation accumulator: (count, sum, min, max)
+                type Acc = (i64, f64, Option<Value>, Option<Value>);
+                let mut order: Vec<Vec<Value>> = Vec::new();
+                let mut state: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+                for row in &frame.rows {
+                    let key: Vec<Value> = gidx.iter().map(|&i| row[i].clone()).collect();
+                    let entry = state.entry(key.clone()).or_insert_with(|| {
+                        order.push(key.clone());
+                        vec![(0, 0.0, None, None); aidx.len()]
+                    });
+                    for (slot, (_, ci, _)) in entry.iter_mut().zip(&aidx) {
+                        let v = &row[*ci];
+                        if v.is_null() {
+                            continue;
+                        }
+                        slot.0 += 1;
+                        slot.1 += v.as_f64().unwrap_or(0.0);
+                        if slot.2.as_ref().is_none_or(|m| v < m) {
+                            slot.2 = Some(v.clone());
+                        }
+                        if slot.3.as_ref().is_none_or(|m| v > m) {
+                            slot.3 = Some(v.clone());
+                        }
+                    }
+                }
+                let mut columns = group_by.clone();
+                columns.extend(aidx.iter().map(|(_, _, n)| n.clone()));
+                let mut rows = Vec::with_capacity(order.len());
+                for key in order {
+                    let slots = &state[&key];
+                    let mut row = key.clone();
+                    for ((op, _, _), slot) in aidx.iter().zip(slots) {
+                        row.push(match op {
+                            AggOp::Count => Value::Int(slot.0),
+                            AggOp::Sum => {
+                                if slot.0 == 0 {
+                                    Value::Null
+                                } else {
+                                    Value::Float(slot.1)
+                                }
+                            }
+                            AggOp::Avg => {
+                                if slot.0 == 0 {
+                                    Value::Null
+                                } else {
+                                    Value::Float(slot.1 / slot.0 as f64)
+                                }
+                            }
+                            AggOp::Min => slot.2.clone().unwrap_or(Value::Null),
+                            AggOp::Max => slot.3.clone().unwrap_or(Value::Null),
+                        });
+                    }
+                    rows.push(row);
+                }
+                Ok(Frame { columns, rows })
+            }
+        }
+    }
+
+    /// Whether the transform is row-local (fusable into a per-row pipeline).
+    /// Aggregate and Deduplicate need the whole frame.
+    pub fn is_row_local(&self) -> bool {
+        !matches!(self, Transform::Aggregate { .. } | Transform::Deduplicate(_))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused (compiled) row-local execution
+// ---------------------------------------------------------------------------
+
+/// Result of pushing one row through a compiled operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// Row continues down the pipeline.
+    Keep,
+    /// Row was filtered out.
+    Drop,
+    /// Row must be quarantined.
+    Reject,
+}
+
+/// A row-local transform compiled against a concrete header: expressions
+/// bound, column ordinals resolved, lookup maps materialized. Built once
+/// per job run; applied per row with no allocation beyond the row itself.
+pub enum CompiledOp {
+    /// Compiled filter predicate.
+    Filter(BExpr),
+    /// Compiled derivation (`None` target = append).
+    Derive {
+        /// Existing column position, or append when `None`.
+        target: Option<usize>,
+        /// Bound expression.
+        expr: BExpr,
+    },
+    /// Column selection by ordinal.
+    Select(Vec<usize>),
+    /// Cast one column.
+    Cast {
+        /// Column position.
+        index: usize,
+        /// Target type.
+        to: DataType,
+    },
+    /// Append a looked-up value.
+    Lookup {
+        /// Key column position.
+        key: usize,
+        /// Materialized key→value map.
+        map: HashMap<Value, Value>,
+    },
+}
+
+impl CompiledOp {
+    /// Apply to one row in place.
+    pub fn apply_row(&self, row: &mut Vec<Value>) -> Result<RowOutcome, EtlError> {
+        match self {
+            CompiledOp::Filter(pred) => {
+                let v = pred
+                    .eval(row)
+                    .map_err(|e| EtlError::Expression(e.to_string()))?;
+                if odbis_sql::expr::truth(&v) == Some(true) {
+                    Ok(RowOutcome::Keep)
+                } else {
+                    Ok(RowOutcome::Drop)
+                }
+            }
+            CompiledOp::Derive { target, expr } => {
+                let v = expr
+                    .eval(row)
+                    .map_err(|e| EtlError::Expression(e.to_string()))?;
+                match target {
+                    Some(i) => row[*i] = v,
+                    None => row.push(v),
+                }
+                Ok(RowOutcome::Keep)
+            }
+            CompiledOp::Select(idxs) => {
+                let new_row: Vec<Value> = idxs.iter().map(|&i| row[i].clone()).collect();
+                *row = new_row;
+                Ok(RowOutcome::Keep)
+            }
+            CompiledOp::Cast { index, to } => match odbis_sql::cast_value(&row[*index], *to) {
+                Ok(v) => {
+                    row[*index] = v;
+                    Ok(RowOutcome::Keep)
+                }
+                Err(_) => Ok(RowOutcome::Reject),
+            },
+            CompiledOp::Lookup { key, map } => {
+                row.push(map.get(&row[*key]).cloned().unwrap_or(Value::Null));
+                Ok(RowOutcome::Keep)
+            }
+        }
+    }
+}
+
+/// Compile a run of row-local transforms against an input header. Returns
+/// the compiled chain and the output header.
+pub fn compile_segment(
+    segment: &[Transform],
+    mut columns: Vec<String>,
+    db: &Database,
+) -> Result<(Vec<CompiledOp>, Vec<String>), EtlError> {
+    let mut ops = Vec::with_capacity(segment.len());
+    for t in segment {
+        let header = Frame::new(columns.clone());
+        match t {
+            Transform::Filter(expr) => {
+                ops.push(CompiledOp::Filter(compile_expression(expr, &header)?));
+            }
+            Transform::Derive { column, expression } => {
+                let expr = compile_expression(expression, &header)?;
+                let target = header.column_index(column);
+                if target.is_none() {
+                    columns.push(column.clone());
+                }
+                ops.push(CompiledOp::Derive { target, expr });
+            }
+            Transform::Select(cols) => {
+                let idxs: Vec<usize> = cols
+                    .iter()
+                    .map(|c| {
+                        header
+                            .column_index(c)
+                            .ok_or_else(|| EtlError::UnknownColumn(c.clone()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                columns = cols.clone();
+                ops.push(CompiledOp::Select(idxs));
+            }
+            Transform::Rename { from, to } => {
+                // pure header change: no row work at all
+                let i = header
+                    .column_index(from)
+                    .ok_or_else(|| EtlError::UnknownColumn(from.clone()))?;
+                columns[i] = to.clone();
+            }
+            Transform::Cast { column, to } => {
+                let index = header
+                    .column_index(column)
+                    .ok_or_else(|| EtlError::UnknownColumn(column.clone()))?;
+                ops.push(CompiledOp::Cast { index, to: *to });
+            }
+            Transform::Lookup {
+                key_column,
+                table,
+                lookup_key,
+                lookup_value,
+                output,
+            } => {
+                let key = header
+                    .column_index(key_column)
+                    .ok_or_else(|| EtlError::UnknownColumn(key_column.clone()))?;
+                let map: HashMap<Value, Value> = db
+                    .read_table(table, |t| {
+                        let lk = t.schema().index_of(lookup_key);
+                        let lv = t.schema().index_of(lookup_value);
+                        match (lk, lv) {
+                            (Some(lk), Some(lv)) => Ok(t
+                                .scan()
+                                .map(|(_, r)| (r[lk].clone(), r[lv].clone()))
+                                .collect()),
+                            _ => Err(EtlError::UnknownColumn(format!(
+                                "{lookup_key}/{lookup_value} in {table}"
+                            ))),
+                        }
+                    })
+                    .map_err(|e| EtlError::Storage(e.to_string()))??;
+                columns.push(output.clone());
+                ops.push(CompiledOp::Lookup { key, map });
+            }
+            Transform::Deduplicate(_) | Transform::Aggregate { .. } => {
+                return Err(EtlError::Expression(
+                    "blocking operator in a fused segment".into(),
+                ));
+            }
+        }
+    }
+    Ok((ops, columns))
+}
+
+#[cfg(test)]
+mod fused_tests {
+    use super::*;
+    use crate::frame::parse_csv;
+
+    #[test]
+    fn compiled_segment_matches_operator_at_a_time() {
+        let db = Database::new();
+        odbis_sql::Engine::new()
+            .execute_script(
+                &db,
+                "CREATE TABLE regions (code TEXT PRIMARY KEY, label TEXT);
+                 INSERT INTO regions VALUES ('EU', 'Europe'), ('US', 'United States');",
+            )
+            .unwrap();
+        let segment = vec![
+            Transform::Filter("amount > 0".into()),
+            Transform::Derive {
+                column: "double_amount".into(),
+                expression: "amount * 2".into(),
+            },
+            Transform::Rename {
+                from: "region".into(),
+                to: "zone".into(),
+            },
+            Transform::Lookup {
+                key_column: "zone".into(),
+                table: "regions".into(),
+                lookup_key: "code".into(),
+                lookup_value: "label".into(),
+                output: "zone_label".into(),
+            },
+            Transform::Select(vec!["id".into(), "zone_label".into(), "double_amount".into()]),
+        ];
+        let frame = parse_csv("id,region,amount\n1,EU,10\n2,US,-5\n3,XX,7\n").unwrap();
+        // reference: operator at a time
+        let mut r1 = Vec::new();
+        let mut reference = frame.clone();
+        for t in &segment {
+            reference = t.apply(reference, &db, &mut r1).unwrap();
+        }
+        // compiled
+        let (ops, columns) = compile_segment(&segment, frame.columns.clone(), &db).unwrap();
+        let mut fused = Frame::new(columns);
+        'rows: for mut row in frame.rows {
+            for op in &ops {
+                match op.apply_row(&mut row).unwrap() {
+                    RowOutcome::Keep => {}
+                    RowOutcome::Drop | RowOutcome::Reject => continue 'rows,
+                }
+            }
+            fused.rows.push(row);
+        }
+        assert_eq!(fused, reference);
+    }
+
+    #[test]
+    fn compiled_cast_rejects() {
+        let db = Database::new();
+        let segment = vec![Transform::Cast {
+            column: "v".into(),
+            to: DataType::Int,
+        }];
+        let frame = parse_csv("v\n12\noops\n").unwrap();
+        let (ops, _) = compile_segment(&segment, frame.columns.clone(), &db).unwrap();
+        let mut kept = 0;
+        let mut rejected = 0;
+        for mut row in frame.rows {
+            match ops[0].apply_row(&mut row).unwrap() {
+                RowOutcome::Keep => kept += 1,
+                RowOutcome::Reject => rejected += 1,
+                RowOutcome::Drop => unreachable!(),
+            }
+        }
+        assert_eq!((kept, rejected), (1, 1));
+    }
+
+    #[test]
+    fn blocking_ops_refused_in_segment() {
+        let db = Database::new();
+        assert!(compile_segment(&[Transform::Deduplicate(vec![])], vec!["a".into()], &db).is_err());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::parse_csv;
+
+    fn orders() -> Frame {
+        parse_csv(
+            "id,region,amount\n\
+             1,EU,100\n\
+             2,US,250\n\
+             3,EU,50\n\
+             4,EU,100\n",
+        )
+        .unwrap()
+    }
+
+    fn apply(t: Transform, f: Frame) -> Frame {
+        let db = Database::new();
+        let mut rejects = Vec::new();
+        t.apply(f, &db, &mut rejects).unwrap()
+    }
+
+    #[test]
+    fn filter_and_derive() {
+        let f = apply(Transform::Filter("amount >= 100".into()), orders());
+        assert_eq!(f.len(), 3);
+        let f = apply(
+            Transform::Derive {
+                column: "vat".into(),
+                expression: "amount * 0.2".into(),
+            },
+            f,
+        );
+        assert_eq!(f.columns.last().unwrap(), "vat");
+        assert_eq!(f.rows[0][3], Value::Float(20.0));
+        // derive can replace in place
+        let f = apply(
+            Transform::Derive {
+                column: "vat".into(),
+                expression: "vat * 2".into(),
+            },
+            f,
+        );
+        assert_eq!(f.rows[0][3], Value::Float(40.0));
+    }
+
+    #[test]
+    fn select_rename() {
+        let f = apply(Transform::Select(vec!["region".into(), "amount".into()]), orders());
+        assert_eq!(f.columns, vec!["region", "amount"]);
+        let f = apply(
+            Transform::Rename {
+                from: "region".into(),
+                to: "zone".into(),
+            },
+            f,
+        );
+        assert_eq!(f.columns[0], "zone");
+    }
+
+    #[test]
+    fn cast_quarantines_bad_rows() {
+        let f = parse_csv("id,qty\n1,5\n2,oops\n3,7\n").unwrap();
+        let db = Database::new();
+        let mut rejects = Vec::new();
+        let out = Transform::Cast {
+            column: "qty".into(),
+            to: DataType::Int,
+        }
+        .apply(f, &db, &mut rejects)
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(rejects.len(), 1);
+        assert_eq!(rejects[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn lookup_enriches_with_nulls_for_misses() {
+        let db = Database::new();
+        odbis_sql::Engine::new()
+            .execute_script(
+                &db,
+                "CREATE TABLE regions (code TEXT PRIMARY KEY, label TEXT);
+                 INSERT INTO regions VALUES ('EU', 'Europe'), ('US', 'United States');",
+            )
+            .unwrap();
+        let f = parse_csv("id,region\n1,EU\n2,XX\n").unwrap();
+        let mut rejects = Vec::new();
+        let out = Transform::Lookup {
+            key_column: "region".into(),
+            table: "regions".into(),
+            lookup_key: "code".into(),
+            lookup_value: "label".into(),
+            output: "region_label".into(),
+        }
+        .apply(f, &db, &mut rejects)
+        .unwrap();
+        assert_eq!(out.rows[0][2], Value::from("Europe"));
+        assert_eq!(out.rows[1][2], Value::Null);
+    }
+
+    #[test]
+    fn deduplicate_full_and_by_key() {
+        let f = apply(Transform::Deduplicate(vec![]), orders());
+        assert_eq!(f.len(), 4); // all rows distinct (ids differ)
+        let f = apply(Transform::Deduplicate(vec!["region".into()]), orders());
+        assert_eq!(f.len(), 2); // EU, US
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let f = apply(
+            Transform::Aggregate {
+                group_by: vec!["region".into()],
+                aggs: vec![
+                    (AggOp::Count, "id".into(), "n".into()),
+                    (AggOp::Sum, "amount".into(), "total".into()),
+                    (AggOp::Max, "amount".into(), "biggest".into()),
+                ],
+            },
+            orders(),
+        );
+        assert_eq!(f.columns, vec!["region", "n", "total", "biggest"]);
+        assert_eq!(f.rows[0], vec!["EU".into(), Value::Int(3), Value::Float(250.0), Value::Int(100)]);
+        assert_eq!(f.rows[1][1], Value::Int(1));
+    }
+
+    #[test]
+    fn expression_errors_are_reported() {
+        let db = Database::new();
+        let mut r = Vec::new();
+        assert!(matches!(
+            Transform::Filter("nonexistent > 1".into()).apply(orders(), &db, &mut r),
+            Err(EtlError::Expression(_))
+        ));
+        assert!(matches!(
+            Transform::Select(vec!["ghost".into()]).apply(orders(), &db, &mut r),
+            Err(EtlError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn row_local_classification() {
+        assert!(Transform::Filter("1".into()).is_row_local());
+        assert!(!Transform::Deduplicate(vec![]).is_row_local());
+        assert!(!Transform::Aggregate {
+            group_by: vec![],
+            aggs: vec![]
+        }
+        .is_row_local());
+    }
+}

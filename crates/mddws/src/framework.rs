@@ -1,0 +1,329 @@
+//! The DW design framework: MDA viewpoints projected on the data
+//! warehousing architecture (ODBIS Figure 2, design layer), plus the
+//! built-in CIM metamodel and the standard CIM→PIM→PSM transformations.
+
+use odbis_metamodel::{cwm, AttrKind, ClassBuilder, MetaModel};
+
+use crate::qvt::{AttrMapping, MappingRule, Transformation};
+
+/// MDA viewpoints used by the DW design framework (M1 models designed
+/// during development: "CIM, PIM, PDM, and PSM", ODBIS §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Viewpoint {
+    /// Business CIM: computation-independent business concepts.
+    BusinessCim,
+    /// Technical CIM: platform capabilities and constraints.
+    TechnicalCim,
+    /// Platform-independent model (logical star schema).
+    Pim,
+    /// Platform description model (the target platform's traits).
+    Pdm,
+    /// Platform-specific model (PIM bound to a platform).
+    Psm,
+    /// Generated code (DDL, job definitions).
+    Code,
+}
+
+impl Viewpoint {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Viewpoint::BusinessCim => "BCIM",
+            Viewpoint::TechnicalCim => "TCIM",
+            Viewpoint::Pim => "PIM",
+            Viewpoint::Pdm => "PDM",
+            Viewpoint::Psm => "PSM",
+            Viewpoint::Code => "CODE",
+        }
+    }
+}
+
+/// Layers of the data warehousing architecture each of which is built by
+/// one MDA pass (ODBIS Figure 3: "the MDA process is repeated for the
+/// construction of each DW layer").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DwLayer {
+    /// Operational source integration.
+    Source,
+    /// Staging / ODS.
+    Staging,
+    /// The core warehouse.
+    Warehouse,
+    /// Departmental data marts.
+    Mart,
+    /// OLAP / analysis layer.
+    Analysis,
+}
+
+impl DwLayer {
+    /// All layers in build order.
+    pub const ALL: [DwLayer; 5] = [
+        DwLayer::Source,
+        DwLayer::Staging,
+        DwLayer::Warehouse,
+        DwLayer::Mart,
+        DwLayer::Analysis,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DwLayer::Source => "source",
+            DwLayer::Staging => "staging",
+            DwLayer::Warehouse => "warehouse",
+            DwLayer::Mart => "mart",
+            DwLayer::Analysis => "analysis",
+        }
+    }
+}
+
+/// The Business CIM metamodel: facts, dimensions and their business
+/// properties, as business analysts describe them before any platform
+/// decision.
+pub fn cim_metamodel() -> MetaModel {
+    let mut m = MetaModel::new("ODBIS-CIM");
+    m.add_class(
+        ClassBuilder::new("BusinessGoal")
+            .required("name", AttrKind::Str)
+            .attr("description", AttrKind::Str)
+            .attr("measuredBy", AttrKind::RefList("BusinessConcept".into()))
+            .build(),
+    )
+    .expect("static metamodel");
+    m.add_class(
+        ClassBuilder::new("BusinessProperty")
+            .required("name", AttrKind::Str)
+            .required(
+                "valueType",
+                AttrKind::Enum(vec!["NUMBER".into(), "TEXT".into(), "DATE".into()]),
+            )
+            .build(),
+    )
+    .expect("static metamodel");
+    m.add_class(
+        ClassBuilder::new("BusinessConcept")
+            .required("name", AttrKind::Str)
+            .required(
+                "kind",
+                AttrKind::Enum(vec!["FACT".into(), "DIMENSION".into()]),
+            )
+            .attr("properties", AttrKind::RefList("BusinessProperty".into()))
+            .build(),
+    )
+    .expect("static metamodel");
+    m
+}
+
+/// The PIM metamodel: the CWM Relational package (platform-independent
+/// logical schema).
+pub fn pim_metamodel() -> MetaModel {
+    cwm::relational()
+}
+
+/// The PSM metamodel: CWMX — CWM plus platform bindings.
+pub fn psm_metamodel() -> MetaModel {
+    cwm::cwmx()
+}
+
+/// The standard CIM → PIM transformation: business facts become
+/// `fact_<name>` tables, dimensions become `dim_<name>` tables, and
+/// properties become typed relational columns.
+pub fn cim_to_pim() -> Transformation {
+    Transformation::new("cim2pim")
+        .rule(
+            MappingRule::new("property2column", "BusinessProperty", "RelationalColumn")
+                .map(AttrMapping::Copy {
+                    from: "name".into(),
+                    to: "name".into(),
+                })
+                .map(AttrMapping::Translate {
+                    from: "valueType".into(),
+                    to: "sqlType".into(),
+                    map: vec![
+                        ("NUMBER".into(), "DOUBLE".into()),
+                        ("TEXT".into(), "TEXT".into()),
+                        ("DATE".into(), "DATE".into()),
+                    ],
+                }),
+        )
+        .rule(
+            MappingRule::new("fact2table", "BusinessConcept", "RelationalTable")
+                .when("kind", "FACT")
+                .map(AttrMapping::Template {
+                    to: "name".into(),
+                    template: "fact_{name}".into(),
+                })
+                .map(AttrMapping::MapRefs {
+                    from: "properties".into(),
+                    to: "columns".into(),
+                }),
+        )
+        .rule(
+            MappingRule::new("dimension2table", "BusinessConcept", "RelationalTable")
+                .when("kind", "DIMENSION")
+                .map(AttrMapping::Template {
+                    to: "name".into(),
+                    template: "dim_{name}".into(),
+                })
+                .map(AttrMapping::MapRefs {
+                    from: "properties".into(),
+                    to: "columns".into(),
+                }),
+        )
+        .rule(
+            // goals carry documentation into the PIM as schema descriptions
+            MappingRule::new("goal2schema", "BusinessGoal", "RelationalSchema")
+                .map(AttrMapping::Copy {
+                    from: "name".into(),
+                    to: "name".into(),
+                }),
+        )
+}
+
+/// The PIM → PSM transformation for the `ODBIS-STORAGE` platform: the
+/// relational model is copied and each table gains a platform binding.
+pub fn pim_to_psm(platform: &str) -> Transformation {
+    Transformation::new("pim2psm")
+        .rule(
+            MappingRule::new("column", "RelationalColumn", "RelationalColumn")
+                .map(AttrMapping::Copy {
+                    from: "name".into(),
+                    to: "name".into(),
+                })
+                .map(AttrMapping::Copy {
+                    from: "sqlType".into(),
+                    to: "sqlType".into(),
+                }),
+        )
+        .rule(
+            MappingRule::new("table", "RelationalTable", "RelationalTable")
+                .map(AttrMapping::Copy {
+                    from: "name".into(),
+                    to: "name".into(),
+                })
+                .map(AttrMapping::MapRefs {
+                    from: "columns".into(),
+                    to: "columns".into(),
+                })
+                .map(AttrMapping::Const {
+                    to: "description".into(),
+                    value: format!("bound to platform {platform}").into(),
+                }),
+        )
+        .rule(
+            MappingRule::new("schema", "RelationalSchema", "RelationalSchema").map(
+                AttrMapping::Copy {
+                    from: "name".into(),
+                    to: "name".into(),
+                },
+            ),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odbis_metamodel::{AttrValue, ModelRepository};
+
+    /// Build a small healthcare BCIM (the paper's Figure 6 domain).
+    pub fn healthcare_cim() -> ModelRepository {
+        let mut repo = ModelRepository::new("bcim", cim_metamodel());
+        let cost = repo
+            .create(
+                "BusinessProperty",
+                vec![("name", "cost".into()), ("valueType", "NUMBER".into())],
+            )
+            .unwrap();
+        let day = repo
+            .create(
+                "BusinessProperty",
+                vec![("name", "admission_day".into()), ("valueType", "DATE".into())],
+            )
+            .unwrap();
+        let dept_name = repo
+            .create(
+                "BusinessProperty",
+                vec![("name", "dept_name".into()), ("valueType", "TEXT".into())],
+            )
+            .unwrap();
+        let fact = repo
+            .create(
+                "BusinessConcept",
+                vec![
+                    ("name", "admission".into()),
+                    ("kind", "FACT".into()),
+                    ("properties", AttrValue::RefList(vec![cost, day])),
+                ],
+            )
+            .unwrap();
+        repo.create(
+            "BusinessConcept",
+            vec![
+                ("name", "department".into()),
+                ("kind", "DIMENSION".into()),
+                ("properties", AttrValue::RefList(vec![dept_name])),
+            ],
+        )
+        .unwrap();
+        repo.create(
+            "BusinessGoal",
+            vec![
+                ("name", "reduce_cost_per_admission".into()),
+                ("measuredBy", AttrValue::RefList(vec![fact])),
+            ],
+        )
+        .unwrap();
+        repo
+    }
+
+    #[test]
+    fn cim_to_pim_produces_valid_star_schema_model() {
+        let bcim = healthcare_cim();
+        assert!(bcim.validate().is_empty());
+        let result = cim_to_pim().execute(&bcim, pim_metamodel(), "pim").unwrap();
+        assert!(result.unmatched.is_empty(), "unmatched: {:?}", result.unmatched);
+        assert!(result.target.validate().is_empty());
+        let tables: Vec<&str> = result
+            .target
+            .instances_of("RelationalTable")
+            .iter()
+            .map(|t| t.name())
+            .collect();
+        assert!(tables.contains(&"fact_admission"));
+        assert!(tables.contains(&"dim_department"));
+        let cols = result.target.instances_of("RelationalColumn");
+        assert_eq!(cols.len(), 3);
+        assert!(cols
+            .iter()
+            .any(|c| c.name() == "cost" && c.get_str("sqlType") == Some("DOUBLE")));
+    }
+
+    #[test]
+    fn pim_to_psm_binds_platform() {
+        let bcim = healthcare_cim();
+        let pim = cim_to_pim().execute(&bcim, pim_metamodel(), "pim").unwrap();
+        let psm = pim_to_psm("ODBIS-STORAGE")
+            .execute(&pim.target, psm_metamodel(), "psm")
+            .unwrap();
+        assert!(psm.target.validate().is_empty());
+        let tables = psm.target.instances_of("RelationalTable");
+        assert_eq!(tables.len(), 2);
+        for t in tables {
+            assert!(t
+                .get_str("description")
+                .unwrap()
+                .contains("ODBIS-STORAGE"));
+        }
+    }
+
+    #[test]
+    fn viewpoint_and_layer_names() {
+        assert_eq!(Viewpoint::BusinessCim.name(), "BCIM");
+        assert_eq!(Viewpoint::Code.name(), "CODE");
+        assert_eq!(DwLayer::ALL.len(), 5);
+        assert_eq!(DwLayer::Warehouse.name(), "warehouse");
+    }
+}
+
+#[cfg(test)]
+pub(crate) use tests::healthcare_cim;

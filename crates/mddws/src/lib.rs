@@ -1,0 +1,58 @@
+//! # odbis-mddws
+//!
+//! The Model-Driven Data Warehouse Service (MDDWS) — the ODBIS design and
+//! management layer (§3.2, Figures 2 & 3): an executable implementation of
+//! the paper's unified MDA + 2TUP method for developing data warehouses.
+//!
+//! * [`framework`]: the DW design framework — MDA viewpoints (BCIM, TCIM,
+//!   PIM, PDM, PSM, CODE) projected on the DW layers, the business CIM
+//!   metamodel, and the standard `cim2pim` / `pim2psm` transformations;
+//! * [`qvt`]: a QVT-lite transformation engine with trace links;
+//! * [`process`]: the 2TUP engine — functional and technical tracks
+//!   converging into realization, iterated per DW layer, risk-driven;
+//! * [`codegen`]: PSM → SQL DDL + load skeletons, deployed onto the live
+//!   storage engine;
+//! * [`DwProject`]: the service facade running the whole Figure 3
+//!   pipeline (`begin → BCIM → PIM → PSM → code → test → deploy`).
+
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod framework;
+pub mod process;
+pub mod qvt;
+mod service;
+
+pub use codegen::{deploy, generate_ddl, GeneratedCode};
+pub use framework::{
+    cim_metamodel, cim_to_pim, pim_metamodel, pim_to_psm, psm_metamodel, DwLayer, Viewpoint,
+};
+pub use process::{discipline, Discipline, Iteration, Risk, Track, TwoTrackProcess, DISCIPLINES};
+pub use qvt::{AttrMapping, MappingRule, QvtError, TraceLink, Transformation, TransformationResult};
+pub use service::DwProject;
+
+/// Errors raised by the MDDWS layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MddwsError {
+    /// A model failed validation.
+    InvalidModel(String),
+    /// A transformation failed or was incomplete.
+    Transformation(String),
+    /// 2TUP process-ordering violation.
+    Process(String),
+    /// Deployment into the warehouse failed.
+    Deployment(String),
+}
+
+impl std::fmt::Display for MddwsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MddwsError::InvalidModel(m) => write!(f, "invalid model: {m}"),
+            MddwsError::Transformation(m) => write!(f, "transformation failed: {m}"),
+            MddwsError::Process(m) => write!(f, "process violation: {m}"),
+            MddwsError::Deployment(m) => write!(f, "deployment failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MddwsError {}

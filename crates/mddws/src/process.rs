@@ -1,0 +1,375 @@
+//! The 2TUP engineering process engine (ODBIS Figure 3): two tracks —
+//! functional and technical — converging into a realization track, applied
+//! iteratively per DW layer.
+
+use std::collections::BTreeMap;
+
+use crate::framework::{DwLayer, Viewpoint};
+use crate::MddwsError;
+
+/// The three 2TUP tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Track {
+    /// Business/functional branch (left track).
+    Functional,
+    /// Technical branch (right track).
+    Technical,
+    /// Merged realization branch.
+    Realization,
+}
+
+/// A 2TUP discipline, ordered within its track. Disciplines that produce a
+/// model artifact name their viewpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Discipline {
+    /// Discipline name.
+    pub name: &'static str,
+    /// Track the discipline belongs to.
+    pub track: Track,
+    /// Position within the track (0-based).
+    pub order: usize,
+    /// Viewpoint artifact produced, if any.
+    pub produces: Option<Viewpoint>,
+}
+
+/// The 2TUP discipline catalogue, aligned with the MDA transformation
+/// process as in the paper's Figure 3.
+pub const DISCIPLINES: [Discipline; 9] = [
+    Discipline {
+        name: "preliminary-study",
+        track: Track::Functional,
+        order: 0,
+        produces: None,
+    },
+    Discipline {
+        name: "capture-functional-needs",
+        track: Track::Functional,
+        order: 1,
+        produces: Some(Viewpoint::BusinessCim),
+    },
+    Discipline {
+        name: "functional-analysis",
+        track: Track::Functional,
+        order: 2,
+        produces: Some(Viewpoint::Pim),
+    },
+    Discipline {
+        name: "capture-technical-needs",
+        track: Track::Technical,
+        order: 0,
+        produces: Some(Viewpoint::TechnicalCim),
+    },
+    Discipline {
+        name: "technical-architecture",
+        track: Track::Technical,
+        order: 1,
+        produces: Some(Viewpoint::Pdm),
+    },
+    Discipline {
+        name: "design",
+        track: Track::Realization,
+        order: 0,
+        produces: Some(Viewpoint::Psm),
+    },
+    Discipline {
+        name: "coding",
+        track: Track::Realization,
+        order: 1,
+        produces: Some(Viewpoint::Code),
+    },
+    Discipline {
+        name: "test",
+        track: Track::Realization,
+        order: 2,
+        produces: None,
+    },
+    Discipline {
+        name: "deployment",
+        track: Track::Realization,
+        order: 3,
+        produces: None,
+    },
+];
+
+/// Find a discipline by name.
+pub fn discipline(name: &str) -> Option<&'static Discipline> {
+    DISCIPLINES.iter().find(|d| d.name == name)
+}
+
+/// A logged project risk (2TUP is risk-driven).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Risk {
+    /// Free-form description.
+    pub description: String,
+    /// 1 (minor) ..= 5 (project-threatening).
+    pub severity: u8,
+    /// Whether the risk has been mitigated.
+    pub mitigated: bool,
+}
+
+/// One iteration: building the components of one DW layer.
+#[derive(Debug, Clone, Default)]
+pub struct Iteration {
+    completed: Vec<&'static str>,
+    artifacts: BTreeMap<Viewpoint, String>,
+    risks: Vec<Risk>,
+}
+
+impl Iteration {
+    /// Disciplines completed so far, in completion order.
+    pub fn completed(&self) -> &[&'static str] {
+        &self.completed
+    }
+
+    /// Artifact reference (extent name / script) per produced viewpoint.
+    pub fn artifact(&self, v: Viewpoint) -> Option<&str> {
+        self.artifacts.get(&v).map(String::as_str)
+    }
+
+    /// Logged risks.
+    pub fn risks(&self) -> &[Risk] {
+        &self.risks
+    }
+
+    fn track_done(&self, track: Track) -> bool {
+        DISCIPLINES
+            .iter()
+            .filter(|d| d.track == track)
+            .all(|d| self.completed.contains(&d.name))
+    }
+
+    /// Milestone: the whole iteration is done.
+    pub fn is_done(&self) -> bool {
+        self.track_done(Track::Functional)
+            && self.track_done(Track::Technical)
+            && self.track_done(Track::Realization)
+    }
+}
+
+/// The engineering process for one DW project: one [`Iteration`] per layer,
+/// discipline ordering enforced.
+#[derive(Debug, Default)]
+pub struct TwoTrackProcess {
+    iterations: BTreeMap<DwLayer, Iteration>,
+}
+
+impl TwoTrackProcess {
+    /// Fresh process with no iterations started.
+    pub fn new() -> Self {
+        TwoTrackProcess::default()
+    }
+
+    /// Start the iteration for a layer.
+    pub fn start_iteration(&mut self, layer: DwLayer) -> Result<(), MddwsError> {
+        if self.iterations.contains_key(&layer) {
+            return Err(MddwsError::Process(format!(
+                "iteration for layer {} already started",
+                layer.name()
+            )));
+        }
+        self.iterations.insert(layer, Iteration::default());
+        Ok(())
+    }
+
+    /// The iteration for a layer.
+    pub fn iteration(&self, layer: DwLayer) -> Result<&Iteration, MddwsError> {
+        self.iterations.get(&layer).ok_or_else(|| {
+            MddwsError::Process(format!("no iteration started for {}", layer.name()))
+        })
+    }
+
+    /// Complete a discipline in a layer's iteration, optionally recording
+    /// the produced artifact. Enforces:
+    ///
+    /// * within a track, disciplines complete in order;
+    /// * realization disciplines require both feeding tracks to be done
+    ///   (the 2TUP convergence point);
+    /// * a discipline completes at most once.
+    pub fn complete(
+        &mut self,
+        layer: DwLayer,
+        name: &str,
+        artifact: Option<String>,
+    ) -> Result<(), MddwsError> {
+        let d = discipline(name)
+            .ok_or_else(|| MddwsError::Process(format!("unknown discipline {name}")))?;
+        let iter = self.iterations.get_mut(&layer).ok_or_else(|| {
+            MddwsError::Process(format!("no iteration started for {}", layer.name()))
+        })?;
+        if iter.completed.contains(&d.name) {
+            return Err(MddwsError::Process(format!(
+                "discipline {name} already completed for {}",
+                layer.name()
+            )));
+        }
+        // in-track predecessor check
+        for p in DISCIPLINES
+            .iter()
+            .filter(|p| p.track == d.track && p.order < d.order)
+        {
+            if !iter.completed.contains(&p.name) {
+                return Err(MddwsError::Process(format!(
+                    "{name} requires {} to be completed first",
+                    p.name
+                )));
+            }
+        }
+        // convergence: realization requires both tracks
+        if d.track == Track::Realization
+            && !(iter.track_done(Track::Functional) && iter.track_done(Track::Technical))
+        {
+            return Err(MddwsError::Process(format!(
+                "{name} requires both functional and technical tracks to be complete"
+            )));
+        }
+        iter.completed.push(d.name);
+        if let (Some(v), Some(a)) = (d.produces, artifact) {
+            iter.artifacts.insert(v, a);
+        }
+        Ok(())
+    }
+
+    /// Log a risk against a layer's iteration.
+    pub fn log_risk(
+        &mut self,
+        layer: DwLayer,
+        description: &str,
+        severity: u8,
+    ) -> Result<(), MddwsError> {
+        let iter = self.iterations.get_mut(&layer).ok_or_else(|| {
+            MddwsError::Process(format!("no iteration started for {}", layer.name()))
+        })?;
+        iter.risks.push(Risk {
+            description: description.to_string(),
+            severity: severity.clamp(1, 5),
+            mitigated: false,
+        });
+        Ok(())
+    }
+
+    /// Mark the first unmitigated risk matching `needle` as mitigated.
+    pub fn mitigate_risk(&mut self, layer: DwLayer, needle: &str) -> Result<bool, MddwsError> {
+        let iter = self.iterations.get_mut(&layer).ok_or_else(|| {
+            MddwsError::Process(format!("no iteration started for {}", layer.name()))
+        })?;
+        for r in &mut iter.risks {
+            if !r.mitigated && r.description.contains(needle) {
+                r.mitigated = true;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Overall progress: completed / total disciplines across started
+    /// iterations.
+    pub fn progress(&self) -> (usize, usize) {
+        let done: usize = self.iterations.values().map(|i| i.completed.len()).sum();
+        let total = self.iterations.len() * DISCIPLINES.len();
+        (done, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_tracks(p: &mut TwoTrackProcess, layer: DwLayer) {
+        for d in [
+            "preliminary-study",
+            "capture-functional-needs",
+            "functional-analysis",
+            "capture-technical-needs",
+            "technical-architecture",
+        ] {
+            p.complete(layer, d, Some(format!("{d}-artifact"))).unwrap();
+        }
+    }
+
+    #[test]
+    fn full_iteration_in_order() {
+        let mut p = TwoTrackProcess::new();
+        p.start_iteration(DwLayer::Warehouse).unwrap();
+        run_tracks(&mut p, DwLayer::Warehouse);
+        for d in ["design", "coding", "test", "deployment"] {
+            p.complete(DwLayer::Warehouse, d, None).unwrap();
+        }
+        let iter = p.iteration(DwLayer::Warehouse).unwrap();
+        assert!(iter.is_done());
+        assert_eq!(iter.completed().len(), DISCIPLINES.len());
+        assert_eq!(
+            iter.artifact(Viewpoint::Pim),
+            Some("functional-analysis-artifact")
+        );
+        assert_eq!(p.progress(), (9, 9));
+    }
+
+    #[test]
+    fn in_track_ordering_enforced() {
+        let mut p = TwoTrackProcess::new();
+        p.start_iteration(DwLayer::Warehouse).unwrap();
+        let err = p
+            .complete(DwLayer::Warehouse, "functional-analysis", None)
+            .unwrap_err();
+        assert!(err.to_string().contains("requires preliminary-study"));
+    }
+
+    #[test]
+    fn realization_requires_both_tracks() {
+        let mut p = TwoTrackProcess::new();
+        p.start_iteration(DwLayer::Warehouse).unwrap();
+        // only functional track done
+        for d in [
+            "preliminary-study",
+            "capture-functional-needs",
+            "functional-analysis",
+        ] {
+            p.complete(DwLayer::Warehouse, d, None).unwrap();
+        }
+        let err = p.complete(DwLayer::Warehouse, "design", None).unwrap_err();
+        assert!(err.to_string().contains("both"));
+        // finish technical track, then design is allowed
+        p.complete(DwLayer::Warehouse, "capture-technical-needs", None)
+            .unwrap();
+        p.complete(DwLayer::Warehouse, "technical-architecture", None)
+            .unwrap();
+        p.complete(DwLayer::Warehouse, "design", None).unwrap();
+    }
+
+    #[test]
+    fn double_completion_and_unknown_disciplines() {
+        let mut p = TwoTrackProcess::new();
+        p.start_iteration(DwLayer::Mart).unwrap();
+        p.complete(DwLayer::Mart, "preliminary-study", None).unwrap();
+        assert!(p
+            .complete(DwLayer::Mart, "preliminary-study", None)
+            .is_err());
+        assert!(p.complete(DwLayer::Mart, "vibing", None).is_err());
+        assert!(p.complete(DwLayer::Source, "preliminary-study", None).is_err());
+        assert!(p.start_iteration(DwLayer::Mart).is_err());
+    }
+
+    #[test]
+    fn iterations_are_independent_per_layer() {
+        let mut p = TwoTrackProcess::new();
+        p.start_iteration(DwLayer::Staging).unwrap();
+        p.start_iteration(DwLayer::Warehouse).unwrap();
+        p.complete(DwLayer::Staging, "preliminary-study", None)
+            .unwrap();
+        assert_eq!(p.iteration(DwLayer::Warehouse).unwrap().completed().len(), 0);
+        assert_eq!(p.progress(), (1, 18));
+    }
+
+    #[test]
+    fn risk_logging_and_mitigation() {
+        let mut p = TwoTrackProcess::new();
+        p.start_iteration(DwLayer::Warehouse).unwrap();
+        p.log_risk(DwLayer::Warehouse, "source data quality unknown", 9)
+            .unwrap();
+        let iter = p.iteration(DwLayer::Warehouse).unwrap();
+        assert_eq!(iter.risks()[0].severity, 5); // clamped
+        assert!(p.mitigate_risk(DwLayer::Warehouse, "data quality").unwrap());
+        assert!(!p.mitigate_risk(DwLayer::Warehouse, "data quality").unwrap());
+        assert!(p.iteration(DwLayer::Warehouse).unwrap().risks()[0].mitigated);
+    }
+}

@@ -1,0 +1,519 @@
+//! QVT-lite: declarative model-to-model transformations with trace links.
+//!
+//! The MDA transformation process of ODBIS §3.2 derives each viewpoint
+//! from the previous one "using Query View Transformation (QVT)". This
+//! module provides the executable equivalent: transformations are sets of
+//! declarative mapping rules from source metaclasses to target
+//! metaclasses; execution records a [`TraceLink`] per created object, and
+//! reference attributes are resolved through the trace in a second pass —
+//! the QVT-Relations trace-model idea.
+
+use std::collections::HashMap;
+
+use odbis_metamodel::{AttrValue, MetaModel, ModelError, ModelRepository};
+
+/// Transformation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QvtError {
+    /// Underlying model/metamodel error.
+    Model(ModelError),
+    /// A mapping referenced an attribute missing on a source object.
+    #[allow(missing_docs)] // self-documenting
+    MissingSource { object: String, attribute: String },
+    /// A referenced object has no trace-mapped counterpart in the target.
+    #[allow(missing_docs)] // self-documenting
+    Untraced { source: String },
+    /// Transformation definition error.
+    Definition(String),
+}
+
+impl std::fmt::Display for QvtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QvtError::Model(e) => write!(f, "model error: {e}"),
+            QvtError::MissingSource { object, attribute } => {
+                write!(f, "source {object} lacks attribute {attribute}")
+            }
+            QvtError::Untraced { source } => {
+                write!(f, "no trace for referenced source object {source}")
+            }
+            QvtError::Definition(m) => write!(f, "transformation definition error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QvtError {}
+
+impl From<ModelError> for QvtError {
+    fn from(e: ModelError) -> Self {
+        QvtError::Model(e)
+    }
+}
+
+/// How one target attribute gets its value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrMapping {
+    /// Copy a source attribute verbatim.
+    Copy {
+        /// Source attribute.
+        from: String,
+        /// Target attribute.
+        to: String,
+    },
+    /// Set a constant.
+    Const {
+        /// Target attribute.
+        to: String,
+        /// Constant value.
+        value: AttrValue,
+    },
+    /// Build a string from a template; `{attr}` substitutes source string
+    /// attributes (e.g. `"fact_{name}"`).
+    Template {
+        /// Target attribute.
+        to: String,
+        /// Template text.
+        template: String,
+    },
+    /// Map a `Ref`/`RefList` attribute through the trace: each referenced
+    /// source object is replaced by its transformed counterpart.
+    MapRefs {
+        /// Source reference attribute.
+        from: String,
+        /// Target reference attribute.
+        to: String,
+    },
+    /// Translate a source enum/string value through a lookup table,
+    /// falling back to the source value when unlisted.
+    Translate {
+        /// Source attribute.
+        from: String,
+        /// Target attribute.
+        to: String,
+        /// `(source literal, target literal)` pairs.
+        map: Vec<(String, String)>,
+    },
+}
+
+/// One mapping rule: source metaclass → target metaclass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingRule {
+    /// Rule name (appears in traces).
+    pub name: String,
+    /// Source metaclass (subclasses match too).
+    pub source_class: String,
+    /// Target metaclass to instantiate.
+    pub target_class: String,
+    /// Optional guard: only sources whose `attr` equals `value` match.
+    pub guard: Option<(String, AttrValue)>,
+    /// Attribute mappings.
+    pub mappings: Vec<AttrMapping>,
+}
+
+impl MappingRule {
+    /// Start a rule.
+    pub fn new(
+        name: impl Into<String>,
+        source_class: impl Into<String>,
+        target_class: impl Into<String>,
+    ) -> Self {
+        MappingRule {
+            name: name.into(),
+            source_class: source_class.into(),
+            target_class: target_class.into(),
+            guard: None,
+            mappings: Vec::new(),
+        }
+    }
+
+    /// Add a guard.
+    pub fn when(mut self, attr: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+        self.guard = Some((attr.into(), value.into()));
+        self
+    }
+
+    /// Add a mapping.
+    pub fn map(mut self, m: AttrMapping) -> Self {
+        self.mappings.push(m);
+        self
+    }
+
+    fn matches(&self, repo: &ModelRepository, obj: &odbis_metamodel::ModelObject) -> bool {
+        if !repo.metamodel().is_kind_of(&obj.class, &self.source_class) {
+            return false;
+        }
+        match &self.guard {
+            None => true,
+            Some((attr, value)) => obj.get(attr) == Some(value),
+        }
+    }
+}
+
+/// A trace link: which rule turned which source object into which target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceLink {
+    /// Rule that fired.
+    pub rule: String,
+    /// Source object id.
+    pub source: String,
+    /// Created target object id.
+    pub target: String,
+}
+
+/// A named model-to-model transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transformation {
+    /// Transformation name (e.g. `cim2pim`).
+    pub name: String,
+    /// Mapping rules, tried in order; the first matching rule per source
+    /// object wins.
+    pub rules: Vec<MappingRule>,
+}
+
+/// Result of executing a transformation.
+pub struct TransformationResult {
+    /// The produced target model.
+    pub target: ModelRepository,
+    /// One trace link per created object.
+    pub traces: Vec<TraceLink>,
+    /// Source objects no rule matched (not an error: transformations may
+    /// be partial, but callers can assert completeness).
+    pub unmatched: Vec<String>,
+}
+
+impl Transformation {
+    /// Create an empty transformation.
+    pub fn new(name: impl Into<String>) -> Self {
+        Transformation {
+            name: name.into(),
+            rules: Vec::new(),
+        }
+    }
+
+    /// Add a rule.
+    pub fn rule(mut self, rule: MappingRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Execute against `source`, producing a target extent over
+    /// `target_metamodel`.
+    ///
+    /// Pass 1 creates target objects with non-reference attributes and
+    /// records traces; pass 2 resolves `MapRefs` mappings through the
+    /// trace.
+    pub fn execute(
+        &self,
+        source: &ModelRepository,
+        target_metamodel: MetaModel,
+        target_extent: &str,
+    ) -> Result<TransformationResult, QvtError> {
+        let mut target = ModelRepository::new(target_extent, target_metamodel);
+        let mut traces = Vec::new();
+        let mut trace_map: HashMap<String, String> = HashMap::new();
+        let mut unmatched = Vec::new();
+        // deferred reference fixups: (target id, target attr, source refs, is_list)
+        let mut fixups: Vec<(String, String, Vec<String>, bool)> = Vec::new();
+
+        for obj in source.objects() {
+            let Some(rule) = self.rules.iter().find(|r| r.matches(source, obj)) else {
+                unmatched.push(obj.id.clone());
+                continue;
+            };
+            let mut attrs: Vec<(String, AttrValue)> = Vec::new();
+            let mut deferred: Vec<(String, Vec<String>, bool)> = Vec::new();
+            for m in &rule.mappings {
+                match m {
+                    AttrMapping::Copy { from, to } => {
+                        let v = obj.get(from).cloned().ok_or_else(|| {
+                            QvtError::MissingSource {
+                                object: obj.id.clone(),
+                                attribute: from.clone(),
+                            }
+                        })?;
+                        attrs.push((to.clone(), v));
+                    }
+                    AttrMapping::Const { to, value } => {
+                        attrs.push((to.clone(), value.clone()));
+                    }
+                    AttrMapping::Template { to, template } => {
+                        attrs.push((to.clone(), AttrValue::Str(render_template(template, obj))));
+                    }
+                    AttrMapping::Translate { from, to, map } => {
+                        let v = obj.get(from).cloned().ok_or_else(|| {
+                            QvtError::MissingSource {
+                                object: obj.id.clone(),
+                                attribute: from.clone(),
+                            }
+                        })?;
+                        let out = match &v {
+                            AttrValue::Str(s) => map
+                                .iter()
+                                .find(|(k, _)| k == s)
+                                .map(|(_, t)| AttrValue::Str(t.clone()))
+                                .unwrap_or(v),
+                            _ => v,
+                        };
+                        attrs.push((to.clone(), out));
+                    }
+                    AttrMapping::MapRefs { from, to } => match obj.get(from) {
+                        None => {}
+                        Some(AttrValue::Ref(r)) => {
+                            deferred.push((to.clone(), vec![r.clone()], false));
+                        }
+                        Some(AttrValue::RefList(rs)) => {
+                            deferred.push((to.clone(), rs.clone(), true));
+                        }
+                        Some(_) => {
+                            return Err(QvtError::Definition(format!(
+                                "MapRefs source {from} is not a reference attribute"
+                            )))
+                        }
+                    },
+                }
+            }
+            let attr_refs: Vec<(&str, AttrValue)> = attrs
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.clone()))
+                .collect();
+            let target_id = target.create(&rule.target_class, attr_refs)?;
+            trace_map.insert(obj.id.clone(), target_id.clone());
+            traces.push(TraceLink {
+                rule: rule.name.clone(),
+                source: obj.id.clone(),
+                target: target_id.clone(),
+            });
+            for (to, sources, is_list) in deferred {
+                fixups.push((target_id.clone(), to, sources, is_list));
+            }
+        }
+
+        // pass 2: resolve references through the trace
+        for (target_id, attr, sources, is_list) in fixups {
+            let mapped: Result<Vec<String>, QvtError> = sources
+                .iter()
+                .map(|s| {
+                    trace_map
+                        .get(s)
+                        .cloned()
+                        .ok_or_else(|| QvtError::Untraced { source: s.clone() })
+                })
+                .collect();
+            let mapped = mapped?;
+            let value = if is_list {
+                AttrValue::RefList(mapped)
+            } else {
+                AttrValue::Ref(mapped.into_iter().next().expect("single ref"))
+            };
+            target.set(&target_id, &attr, value)?;
+        }
+
+        Ok(TransformationResult {
+            target,
+            traces,
+            unmatched,
+        })
+    }
+}
+
+fn render_template(template: &str, obj: &odbis_metamodel::ModelObject) -> String {
+    let mut out = template.to_string();
+    for (k, v) in &obj.attrs {
+        if let AttrValue::Str(s) = v {
+            out = out.replace(&format!("{{{k}}}"), s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odbis_metamodel::{AttrKind, ClassBuilder};
+
+    fn source_mm() -> MetaModel {
+        let mut m = MetaModel::new("Src");
+        m.add_class(
+            ClassBuilder::new("Concept")
+                .required("name", AttrKind::Str)
+                .attr("kind", AttrKind::Enum(vec!["FACT".into(), "DIM".into()]))
+                .attr("parts", AttrKind::RefList("Part".into()))
+                .build(),
+        )
+        .unwrap();
+        m.add_class(
+            ClassBuilder::new("Part")
+                .required("name", AttrKind::Str)
+                .attr("vtype", AttrKind::Enum(vec!["NUMBER".into(), "TEXT".into()]))
+                .build(),
+        )
+        .unwrap();
+        m
+    }
+
+    fn target_mm() -> MetaModel {
+        let mut m = MetaModel::new("Tgt");
+        m.add_class(
+            ClassBuilder::new("Table")
+                .required("name", AttrKind::Str)
+                .attr("columns", AttrKind::RefList("Col".into()))
+                .build(),
+        )
+        .unwrap();
+        m.add_class(
+            ClassBuilder::new("Col")
+                .required("name", AttrKind::Str)
+                .attr("sqlType", AttrKind::Str)
+                .build(),
+        )
+        .unwrap();
+        m
+    }
+
+    fn source_repo() -> ModelRepository {
+        let mut repo = ModelRepository::new("src", source_mm());
+        let p1 = repo
+            .create("Part", vec![("name", "amount".into()), ("vtype", "NUMBER".into())])
+            .unwrap();
+        let p2 = repo
+            .create("Part", vec![("name", "label".into()), ("vtype", "TEXT".into())])
+            .unwrap();
+        repo.create(
+            "Concept",
+            vec![
+                ("name", "sales".into()),
+                ("kind", "FACT".into()),
+                ("parts", AttrValue::RefList(vec![p1, p2])),
+            ],
+        )
+        .unwrap();
+        repo
+    }
+
+    fn transformation() -> Transformation {
+        Transformation::new("concept2table")
+            .rule(
+                MappingRule::new("part2col", "Part", "Col")
+                    .map(AttrMapping::Copy {
+                        from: "name".into(),
+                        to: "name".into(),
+                    })
+                    .map(AttrMapping::Translate {
+                        from: "vtype".into(),
+                        to: "sqlType".into(),
+                        map: vec![
+                            ("NUMBER".into(), "DOUBLE".into()),
+                            ("TEXT".into(), "TEXT".into()),
+                        ],
+                    }),
+            )
+            .rule(
+                MappingRule::new("fact2table", "Concept", "Table")
+                    .when("kind", "FACT")
+                    .map(AttrMapping::Template {
+                        to: "name".into(),
+                        template: "fact_{name}".into(),
+                    })
+                    .map(AttrMapping::MapRefs {
+                        from: "parts".into(),
+                        to: "columns".into(),
+                    }),
+            )
+    }
+
+    #[test]
+    fn transformation_creates_objects_and_traces() {
+        let src = source_repo();
+        let result = transformation().execute(&src, target_mm(), "tgt").unwrap();
+        assert!(result.unmatched.is_empty());
+        assert_eq!(result.traces.len(), 3);
+        let tables = result.target.instances_of("Table");
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].name(), "fact_sales");
+        // references resolved through trace
+        let cols = result
+            .target
+            .resolve_refs(&tables[0].id, "columns")
+            .unwrap();
+        assert_eq!(cols.len(), 2);
+        let amount = cols.iter().find(|c| c.name() == "amount").unwrap();
+        assert_eq!(amount.get_str("sqlType"), Some("DOUBLE"));
+        // the target model validates
+        assert!(result.target.validate().is_empty());
+    }
+
+    #[test]
+    fn trace_completeness() {
+        let src = source_repo();
+        let result = transformation().execute(&src, target_mm(), "tgt").unwrap();
+        // every source object appears in exactly one trace
+        for obj in src.objects() {
+            assert_eq!(
+                result.traces.iter().filter(|t| t.source == obj.id).count(),
+                1,
+                "object {} should be traced exactly once",
+                obj.id
+            );
+        }
+    }
+
+    #[test]
+    fn guards_select_rules_and_unmatched_is_reported() {
+        let mut src = source_repo();
+        src.create("Concept", vec![("name", "store".into()), ("kind", "DIM".into())])
+            .unwrap();
+        let result = transformation().execute(&src, target_mm(), "tgt").unwrap();
+        // DIM concept matches no rule
+        assert_eq!(result.unmatched.len(), 1);
+        assert_eq!(result.target.instances_of("Table").len(), 1);
+    }
+
+    #[test]
+    fn missing_source_attribute_errors() {
+        let mut repo = ModelRepository::new("src", source_mm());
+        repo.create("Part", vec![("name", "x".into())]).unwrap(); // no vtype
+        let t = Transformation::new("t").rule(
+            MappingRule::new("r", "Part", "Col").map(AttrMapping::Translate {
+                from: "vtype".into(),
+                to: "sqlType".into(),
+                map: vec![],
+            }),
+        );
+        assert!(matches!(
+            t.execute(&repo, target_mm(), "tgt"),
+            Err(QvtError::MissingSource { .. })
+        ));
+    }
+
+    #[test]
+    fn untraced_reference_errors() {
+        let src = source_repo();
+        // only map the Concept, not the Parts → refs cannot resolve
+        let t = Transformation::new("broken").rule(
+            MappingRule::new("fact2table", "Concept", "Table")
+                .map(AttrMapping::Copy {
+                    from: "name".into(),
+                    to: "name".into(),
+                })
+                .map(AttrMapping::MapRefs {
+                    from: "parts".into(),
+                    to: "columns".into(),
+                }),
+        );
+        assert!(matches!(
+            t.execute(&src, target_mm(), "tgt"),
+            Err(QvtError::Untraced { .. })
+        ));
+    }
+
+    #[test]
+    fn template_rendering() {
+        let mut repo = ModelRepository::new("s", source_mm());
+        let id = repo
+            .create("Part", vec![("name", "qty".into()), ("vtype", "NUMBER".into())])
+            .unwrap();
+        let obj = repo.get(&id).unwrap();
+        assert_eq!(render_template("col_{name}_{vtype}", obj), "col_qty_NUMBER");
+        assert_eq!(render_template("{missing}", obj), "{missing}");
+    }
+}

@@ -1,0 +1,305 @@
+//! The MDDWS facade: "a web-based environment to design and manage DW
+//! projects using our model driven development approach" (ODBIS §3.1) —
+//! here, the programmatic service the web layer exposes.
+//!
+//! One [`DwProject`] per customer DW: its 2TUP process state, the model
+//! repositories per (layer, viewpoint), accumulated QVT traces, and the
+//! generated/deployed code. The `derive_*` methods advance the process and
+//! run the standard transformations in one step, so the Figure 3 pipeline
+//! is executable end to end.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use odbis_metamodel::ModelRepository;
+use odbis_storage::Database;
+
+use crate::codegen::{deploy, generate_ddl, GeneratedCode};
+use crate::framework::{cim_to_pim, pim_metamodel, pim_to_psm, psm_metamodel, DwLayer, Viewpoint};
+use crate::process::TwoTrackProcess;
+use crate::qvt::TraceLink;
+use crate::MddwsError;
+
+/// A model-driven data warehouse project.
+pub struct DwProject {
+    /// Project name.
+    pub name: String,
+    process: TwoTrackProcess,
+    models: BTreeMap<(DwLayer, Viewpoint), ModelRepository>,
+    traces: Vec<TraceLink>,
+    code: BTreeMap<DwLayer, GeneratedCode>,
+}
+
+impl DwProject {
+    /// Start a project.
+    pub fn new(name: impl Into<String>) -> Self {
+        DwProject {
+            name: name.into(),
+            process: TwoTrackProcess::new(),
+            models: BTreeMap::new(),
+            traces: Vec::new(),
+            code: BTreeMap::new(),
+        }
+    }
+
+    /// Access the process state.
+    pub fn process(&self) -> &TwoTrackProcess {
+        &self.process
+    }
+
+    /// Mutable process access (risk logging, manual discipline completion).
+    pub fn process_mut(&mut self) -> &mut TwoTrackProcess {
+        &mut self.process
+    }
+
+    /// All accumulated QVT trace links.
+    pub fn traces(&self) -> &[TraceLink] {
+        &self.traces
+    }
+
+    /// The model for a (layer, viewpoint), if designed.
+    pub fn model(&self, layer: DwLayer, viewpoint: Viewpoint) -> Option<&ModelRepository> {
+        self.models.get(&(layer, viewpoint))
+    }
+
+    /// Generated code for a layer, if any.
+    pub fn generated(&self, layer: DwLayer) -> Option<&GeneratedCode> {
+        self.code.get(&layer)
+    }
+
+    /// Begin a layer: starts the 2TUP iteration and completes the
+    /// preliminary study and technical-needs disciplines (the shared
+    /// up-front work).
+    pub fn begin_layer(&mut self, layer: DwLayer) -> Result<(), MddwsError> {
+        self.process.start_iteration(layer)?;
+        self.process.complete(layer, "preliminary-study", None)?;
+        self.process.complete(
+            layer,
+            "capture-technical-needs",
+            Some(format!("{}:tcim", layer.name())),
+        )?;
+        self.process.complete(
+            layer,
+            "technical-architecture",
+            Some("platform: ODBIS-STORAGE".to_string()),
+        )?;
+        Ok(())
+    }
+
+    /// Submit the business CIM for a layer (output of the functional
+    /// requirements capture).
+    pub fn submit_bcim(
+        &mut self,
+        layer: DwLayer,
+        bcim: ModelRepository,
+    ) -> Result<(), MddwsError> {
+        let errors = bcim.validate();
+        if let Some(first) = errors.into_iter().next() {
+            return Err(MddwsError::InvalidModel(first.to_string()));
+        }
+        self.process.complete(
+            layer,
+            "capture-functional-needs",
+            Some(bcim.extent.clone()),
+        )?;
+        self.models.insert((layer, Viewpoint::BusinessCim), bcim);
+        Ok(())
+    }
+
+    /// Derive the PIM from the layer's BCIM via the standard `cim2pim`
+    /// transformation.
+    pub fn derive_pim(&mut self, layer: DwLayer) -> Result<usize, MddwsError> {
+        let bcim = self
+            .models
+            .get(&(layer, Viewpoint::BusinessCim))
+            .ok_or_else(|| MddwsError::Process(format!("no BCIM for {}", layer.name())))?;
+        let result = cim_to_pim()
+            .execute(bcim, pim_metamodel(), &format!("{}-pim", layer.name()))
+            .map_err(|e| MddwsError::Transformation(e.to_string()))?;
+        if !result.unmatched.is_empty() {
+            return Err(MddwsError::Transformation(format!(
+                "cim2pim left {} objects unmapped",
+                result.unmatched.len()
+            )));
+        }
+        let created = result.traces.len();
+        self.process
+            .complete(layer, "functional-analysis", Some(result.target.extent.clone()))?;
+        self.traces.extend(result.traces);
+        self.models.insert((layer, Viewpoint::Pim), result.target);
+        Ok(created)
+    }
+
+    /// Derive the PSM by binding the PIM to a platform.
+    pub fn derive_psm(&mut self, layer: DwLayer, platform: &str) -> Result<usize, MddwsError> {
+        let pim = self
+            .models
+            .get(&(layer, Viewpoint::Pim))
+            .ok_or_else(|| MddwsError::Process(format!("no PIM for {}", layer.name())))?;
+        let result = pim_to_psm(platform)
+            .execute(pim, psm_metamodel(), &format!("{}-psm", layer.name()))
+            .map_err(|e| MddwsError::Transformation(e.to_string()))?;
+        let created = result.traces.len();
+        self.process
+            .complete(layer, "design", Some(result.target.extent.clone()))?;
+        self.traces.extend(result.traces);
+        self.models.insert((layer, Viewpoint::Psm), result.target);
+        Ok(created)
+    }
+
+    /// Generate DDL + load skeletons from the layer's PSM.
+    pub fn generate_code(&mut self, layer: DwLayer) -> Result<&GeneratedCode, MddwsError> {
+        let psm = self
+            .models
+            .get(&(layer, Viewpoint::Psm))
+            .ok_or_else(|| MddwsError::Process(format!("no PSM for {}", layer.name())))?;
+        let code = generate_ddl(psm)?;
+        self.process
+            .complete(layer, "coding", Some(format!("{} DDL statements", code.ddl.len())))?;
+        self.code.insert(layer, code);
+        Ok(self.code.get(&layer).expect("just inserted"))
+    }
+
+    /// Test the generated code: deploy into a scratch database and verify
+    /// every table landed (the 2TUP `test` discipline).
+    pub fn test_code(&mut self, layer: DwLayer) -> Result<usize, MddwsError> {
+        let code = self
+            .code
+            .get(&layer)
+            .ok_or_else(|| MddwsError::Process(format!("no code for {}", layer.name())))?;
+        let scratch = Arc::new(Database::new());
+        let created = deploy(code, &scratch)?;
+        if created.len() != code.ddl.len() {
+            return Err(MddwsError::Deployment(format!(
+                "expected {} tables, deployed {}",
+                code.ddl.len(),
+                created.len()
+            )));
+        }
+        self.process.complete(layer, "test", None)?;
+        Ok(created.len())
+    }
+
+    /// Deploy the layer's code into the live warehouse database.
+    pub fn deploy_layer(
+        &mut self,
+        layer: DwLayer,
+        db: &Arc<Database>,
+    ) -> Result<Vec<String>, MddwsError> {
+        let code = self
+            .code
+            .get(&layer)
+            .ok_or_else(|| MddwsError::Process(format!("no code for {}", layer.name())))?;
+        let created = deploy(code, db)?;
+        self.process.complete(layer, "deployment", None)?;
+        Ok(created)
+    }
+
+    /// Run the entire Figure 3 pipeline for one layer in one call:
+    /// begin → BCIM → PIM → PSM → code → test → deploy.
+    pub fn run_layer_pipeline(
+        &mut self,
+        layer: DwLayer,
+        bcim: ModelRepository,
+        platform: &str,
+        db: &Arc<Database>,
+    ) -> Result<Vec<String>, MddwsError> {
+        self.begin_layer(layer)?;
+        self.submit_bcim(layer, bcim)?;
+        self.derive_pim(layer)?;
+        self.derive_psm(layer, platform)?;
+        self.generate_code(layer)?;
+        self.test_code(layer)?;
+        self.deploy_layer(layer, db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::healthcare_cim;
+
+    #[test]
+    fn full_pipeline_builds_a_layer() {
+        let mut project = DwProject::new("healthcare-dw");
+        let db = Arc::new(Database::new());
+        let created = project
+            .run_layer_pipeline(DwLayer::Warehouse, healthcare_cim(), "ODBIS-STORAGE", &db)
+            .unwrap();
+        assert_eq!(created.len(), 2);
+        assert!(db.has_table("fact_admission"));
+        assert!(db.has_table("dim_department"));
+        let iter = project.process().iteration(DwLayer::Warehouse).unwrap();
+        assert!(iter.is_done());
+        // every viewpoint model is retained
+        assert!(project.model(DwLayer::Warehouse, Viewpoint::BusinessCim).is_some());
+        assert!(project.model(DwLayer::Warehouse, Viewpoint::Pim).is_some());
+        assert!(project.model(DwLayer::Warehouse, Viewpoint::Psm).is_some());
+        // traces span both transformations
+        assert!(project.traces().iter().any(|t| t.rule == "fact2table"));
+        assert!(project.traces().iter().any(|t| t.rule == "table"));
+    }
+
+    #[test]
+    fn steps_enforce_prerequisites() {
+        let mut project = DwProject::new("p");
+        assert!(project.derive_pim(DwLayer::Warehouse).is_err());
+        project.begin_layer(DwLayer::Warehouse).unwrap();
+        assert!(project.derive_pim(DwLayer::Warehouse).is_err()); // no BCIM yet
+        project
+            .submit_bcim(DwLayer::Warehouse, healthcare_cim())
+            .unwrap();
+        assert!(project.derive_psm(DwLayer::Warehouse, "X").is_err()); // no PIM yet
+        project.derive_pim(DwLayer::Warehouse).unwrap();
+        assert!(project.generate_code(DwLayer::Warehouse).is_err()); // no PSM yet
+    }
+
+    #[test]
+    fn invalid_bcim_rejected() {
+        let mut project = DwProject::new("p");
+        project.begin_layer(DwLayer::Warehouse).unwrap();
+        let mut bad = healthcare_cim();
+        // missing required `kind`
+        bad.create("BusinessConcept", vec![("name", "broken".into())])
+            .unwrap();
+        assert!(matches!(
+            project.submit_bcim(DwLayer::Warehouse, bad),
+            Err(MddwsError::InvalidModel(_))
+        ));
+    }
+
+    #[test]
+    fn two_layers_iterate_independently() {
+        let mut project = DwProject::new("p");
+        let db = Arc::new(Database::new());
+        project
+            .run_layer_pipeline(DwLayer::Warehouse, healthcare_cim(), "ODBIS-STORAGE", &db)
+            .unwrap();
+        // second layer would redeploy same table names into the same db ->
+        // use a mart-specific BCIM
+        let mut mart_cim =
+            ModelRepository::new("mart-bcim", crate::framework::cim_metamodel());
+        let p = mart_cim
+            .create(
+                "BusinessProperty",
+                vec![("name", "total".into()), ("valueType", "NUMBER".into())],
+            )
+            .unwrap();
+        mart_cim
+            .create(
+                "BusinessConcept",
+                vec![
+                    ("name", "dept_kpi".into()),
+                    ("kind", "FACT".into()),
+                    ("properties", odbis_metamodel::AttrValue::RefList(vec![p])),
+                ],
+            )
+            .unwrap();
+        let created = project
+            .run_layer_pipeline(DwLayer::Mart, mart_cim, "ODBIS-STORAGE", &db)
+            .unwrap();
+        assert_eq!(created, vec!["fact_dept_kpi"]);
+        let (done, total) = project.process().progress();
+        assert_eq!((done, total), (18, 18));
+    }
+}

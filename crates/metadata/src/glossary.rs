@@ -1,0 +1,161 @@
+//! Business glossary backed by the CWM BusinessNomenclature metamodel.
+
+use odbis_metamodel::{cwm, AttrValue, ModelRepository};
+
+use crate::service::{MetadataError, MetadataResult};
+
+/// The business glossary: terms with definitions, related-term links and
+/// mappings onto technical metadata (data sets). Terms are stored as M1
+/// instances of the CWM `Term` metaclass, so the glossary is itself
+/// exchangeable via XMI.
+#[derive(Debug, Clone)]
+pub struct Glossary {
+    repo: ModelRepository,
+}
+
+impl Default for Glossary {
+    fn default() -> Self {
+        Glossary::new()
+    }
+}
+
+impl Glossary {
+    /// Empty glossary.
+    pub fn new() -> Self {
+        Glossary {
+            repo: ModelRepository::new("glossary", cwm::business_nomenclature()),
+        }
+    }
+
+    /// Define a term; `mapped_dataset` links it to a technical data set.
+    pub fn define_term(
+        &mut self,
+        name: &str,
+        definition: &str,
+        mapped_dataset: Option<&str>,
+    ) -> MetadataResult<String> {
+        if self.find_term(name).is_some() {
+            return Err(MetadataError::AlreadyExists(format!("term {name}")));
+        }
+        let mut attrs = vec![
+            ("name", AttrValue::from(name)),
+            ("definition", AttrValue::from(definition)),
+        ];
+        if let Some(ds) = mapped_dataset {
+            attrs.push(("mappedElement", AttrValue::from(ds)));
+        }
+        self.repo
+            .create("Term", attrs)
+            .map_err(|e| MetadataError::Storage(e.to_string()))
+    }
+
+    /// Relate two existing terms (bidirectional is the caller's choice).
+    pub fn relate(&mut self, from: &str, to: &str) -> MetadataResult<()> {
+        let from_id = self
+            .find_term(from)
+            .ok_or_else(|| MetadataError::NotFound(format!("term {from}")))?;
+        let to_id = self
+            .find_term(to)
+            .ok_or_else(|| MetadataError::NotFound(format!("term {to}")))?;
+        self.repo
+            .add_ref(&from_id, "relatedTerms", &to_id)
+            .map_err(|e| MetadataError::Storage(e.to_string()))
+    }
+
+    fn find_term(&self, name: &str) -> Option<String> {
+        self.repo
+            .instances_of("Term")
+            .into_iter()
+            .find(|t| t.name().eq_ignore_ascii_case(name))
+            .map(|t| t.id.clone())
+    }
+
+    /// A term's definition.
+    pub fn definition(&self, name: &str) -> Option<String> {
+        let id = self.find_term(name)?;
+        self.repo
+            .get(&id)
+            .ok()
+            .and_then(|t| t.get_str("definition").map(String::from))
+    }
+
+    /// The data set a term maps onto.
+    pub fn mapped_dataset(&self, name: &str) -> Option<String> {
+        let id = self.find_term(name)?;
+        self.repo
+            .get(&id)
+            .ok()
+            .and_then(|t| t.get_str("mappedElement").map(String::from))
+    }
+
+    /// Names of terms related to `name`.
+    pub fn related_terms(&self, name: &str) -> Vec<String> {
+        let Some(id) = self.find_term(name) else {
+            return Vec::new();
+        };
+        self.repo
+            .resolve_refs(&id, "relatedTerms")
+            .map(|ts| ts.iter().map(|t| t.name().to_string()).collect())
+            .unwrap_or_default()
+    }
+
+    /// All term names.
+    pub fn term_names(&self) -> Vec<String> {
+        self.repo
+            .instances_of("Term")
+            .iter()
+            .map(|t| t.name().to_string())
+            .collect()
+    }
+
+    /// Export the glossary as an XMI-style interchange document.
+    pub fn export_xmi(&self) -> MetadataResult<String> {
+        odbis_metamodel::export_repository(&self.repo)
+            .map_err(|e| MetadataError::Storage(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_lookup_relate() {
+        let mut g = Glossary::new();
+        g.define_term("Revenue", "income from sales", Some("sales_kpi"))
+            .unwrap();
+        g.define_term("Margin", "revenue minus cost", None).unwrap();
+        g.relate("Margin", "Revenue").unwrap();
+        assert_eq!(g.definition("revenue").unwrap(), "income from sales");
+        assert_eq!(g.mapped_dataset("Revenue").unwrap(), "sales_kpi");
+        assert_eq!(g.related_terms("Margin"), vec!["Revenue".to_string()]);
+        assert!(g.related_terms("Revenue").is_empty());
+        assert_eq!(g.term_names().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_missing_terms() {
+        let mut g = Glossary::new();
+        g.define_term("KPI", "a metric", None).unwrap();
+        assert!(matches!(
+            g.define_term("kpi", "again", None),
+            Err(MetadataError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            g.relate("KPI", "Ghost"),
+            Err(MetadataError::NotFound(_))
+        ));
+        assert_eq!(g.definition("Ghost"), None);
+    }
+
+    #[test]
+    fn glossary_exports_as_xmi() {
+        let mut g = Glossary::new();
+        g.define_term("Churn", "customer loss rate", None).unwrap();
+        let xmi = g.export_xmi().unwrap();
+        assert!(xmi.contains("Churn"));
+        // the exported document is loadable by the metamodel layer
+        let loaded = odbis_metamodel::import_repository(&xmi).unwrap();
+        assert_eq!(loaded.instances_of("Term").len(), 1);
+    }
+}

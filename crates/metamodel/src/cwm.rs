@@ -1,0 +1,400 @@
+//! The CWM subset (M2): the Common Warehouse Metamodel packages the ODBIS
+//! domain model implements (§3.3), rebuilt on the M3 constructs.
+//!
+//! Four packages are provided, mirroring the packages the paper names:
+//!
+//! * **Relational** — catalogs, schemas, tables, columns, keys;
+//! * **Multidimensional (OLAP)** — cubes, dimensions, hierarchies, levels,
+//!   measures;
+//! * **Transformation** — transformation maps and steps between data
+//!   sources and targets (the ETL design vocabulary);
+//! * **BusinessNomenclature** — glossaries and terms (business metadata).
+//!
+//! `cwmx()` adds the paper's CWMX extensions: platform bindings and
+//! deployment descriptors not covered by standard CWM.
+
+use crate::error::ModelResult;
+use crate::m3::{AttrKind, ClassBuilder, MetaModel};
+
+/// Root classes shared by all packages (CWM `Core`).
+fn core(m: &mut MetaModel) -> ModelResult<()> {
+    m.add_class(
+        ClassBuilder::new("ModelElement")
+            .abstract_class()
+            .required("name", AttrKind::Str)
+            .attr("description", AttrKind::Str)
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("Package")
+            .extends("ModelElement")
+            .attr("ownedElements", AttrKind::RefList("ModelElement".into()))
+            .build(),
+    )?;
+    Ok(())
+}
+
+/// CWM Relational package.
+pub fn relational() -> MetaModel {
+    build_relational().expect("static metamodel definition is valid")
+}
+
+fn build_relational() -> ModelResult<MetaModel> {
+    let mut m = MetaModel::new("CWM-Relational");
+    core(&mut m)?;
+    m.add_class(
+        ClassBuilder::new("Catalog")
+            .extends("ModelElement")
+            .attr("schemas", AttrKind::RefList("RelationalSchema".into()))
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("RelationalSchema")
+            .extends("ModelElement")
+            .attr("tables", AttrKind::RefList("RelationalTable".into()))
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("RelationalTable")
+            .extends("ModelElement")
+            .attr("columns", AttrKind::RefList("RelationalColumn".into()))
+            .attr("primaryKey", AttrKind::Ref("PrimaryKey".into()))
+            .attr("foreignKeys", AttrKind::RefList("ForeignKey".into()))
+            .attr("isTemporary", AttrKind::Bool)
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("RelationalColumn")
+            .extends("ModelElement")
+            .required(
+                "sqlType",
+                AttrKind::Enum(vec![
+                    "BOOLEAN".into(),
+                    "BIGINT".into(),
+                    "DOUBLE".into(),
+                    "TEXT".into(),
+                    "DATE".into(),
+                    "TIMESTAMP".into(),
+                ]),
+            )
+            .attr("isNullable", AttrKind::Bool)
+            .attr("length", AttrKind::Int)
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("PrimaryKey")
+            .extends("ModelElement")
+            .required("columns", AttrKind::RefList("RelationalColumn".into()))
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("ForeignKey")
+            .extends("ModelElement")
+            .required("columns", AttrKind::RefList("RelationalColumn".into()))
+            .required("referencedTable", AttrKind::Ref("RelationalTable".into()))
+            .build(),
+    )?;
+    Ok(m)
+}
+
+/// CWM Multidimensional (OLAP) package.
+pub fn olap() -> MetaModel {
+    build_olap().expect("static metamodel definition is valid")
+}
+
+fn build_olap() -> ModelResult<MetaModel> {
+    let mut m = MetaModel::new("CWM-OLAP");
+    core(&mut m)?;
+    m.add_class(
+        ClassBuilder::new("OlapSchema")
+            .extends("ModelElement")
+            .attr("cubes", AttrKind::RefList("Cube".into()))
+            .attr("dimensions", AttrKind::RefList("Dimension".into()))
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("Dimension")
+            .extends("ModelElement")
+            .attr("isTime", AttrKind::Bool)
+            .attr("hierarchies", AttrKind::RefList("DimHierarchy".into()))
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("DimHierarchy")
+            .extends("ModelElement")
+            .required("levels", AttrKind::RefList("DimLevel".into()))
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("DimLevel")
+            .extends("ModelElement")
+            .attr("keyColumn", AttrKind::Str)
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("Cube")
+            .extends("ModelElement")
+            .attr("dimensions", AttrKind::RefList("Dimension".into()))
+            .attr("measures", AttrKind::RefList("Measure".into()))
+            .attr("factTable", AttrKind::Str)
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("Measure")
+            .extends("ModelElement")
+            .required(
+                "aggregator",
+                AttrKind::Enum(vec![
+                    "SUM".into(),
+                    "COUNT".into(),
+                    "AVG".into(),
+                    "MIN".into(),
+                    "MAX".into(),
+                ]),
+            )
+            .attr("column", AttrKind::Str)
+            .build(),
+    )?;
+    Ok(m)
+}
+
+/// CWM Transformation package (ETL design vocabulary).
+pub fn transformation() -> MetaModel {
+    build_transformation().expect("static metamodel definition is valid")
+}
+
+fn build_transformation() -> ModelResult<MetaModel> {
+    let mut m = MetaModel::new("CWM-Transformation");
+    core(&mut m)?;
+    m.add_class(
+        ClassBuilder::new("DataSourceDef")
+            .extends("ModelElement")
+            .required("url", AttrKind::Str)
+            .attr("user", AttrKind::Str)
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("TransformationMap")
+            .extends("ModelElement")
+            .attr("steps", AttrKind::RefList("TransformationStep".into()))
+            .attr("source", AttrKind::Ref("DataSourceDef".into()))
+            .attr("target", AttrKind::Str)
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("TransformationStep")
+            .extends("ModelElement")
+            .required(
+                "operation",
+                AttrKind::Enum(vec![
+                    "EXTRACT".into(),
+                    "FILTER".into(),
+                    "MAP".into(),
+                    "JOIN".into(),
+                    "AGGREGATE".into(),
+                    "LOOKUP".into(),
+                    "DEDUPLICATE".into(),
+                    "LOAD".into(),
+                ]),
+            )
+            .attr("expression", AttrKind::Str)
+            .build(),
+    )?;
+    Ok(m)
+}
+
+/// CWM BusinessNomenclature package (business metadata / glossary).
+pub fn business_nomenclature() -> MetaModel {
+    build_nomenclature().expect("static metamodel definition is valid")
+}
+
+fn build_nomenclature() -> ModelResult<MetaModel> {
+    let mut m = MetaModel::new("CWM-BusinessNomenclature");
+    core(&mut m)?;
+    m.add_class(
+        ClassBuilder::new("Glossary")
+            .extends("ModelElement")
+            .attr("terms", AttrKind::RefList("Term".into()))
+            .attr("language", AttrKind::Str)
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("Term")
+            .extends("ModelElement")
+            .attr("definition", AttrKind::Str)
+            .attr("relatedTerms", AttrKind::RefList("Term".into()))
+            .attr("mappedElement", AttrKind::Str)
+            .build(),
+    )?;
+    Ok(m)
+}
+
+/// The combined CWM metamodel: all four packages in one namespace.
+pub fn cwm() -> MetaModel {
+    let mut m = MetaModel::new("CWM");
+    core(&mut m).expect("core is valid");
+    for pkg in [
+        build_relational(),
+        build_olap(),
+        build_transformation(),
+        build_nomenclature(),
+    ] {
+        let pkg = pkg.expect("static metamodel definition is valid");
+        // skip the shared core classes when merging
+        for name in pkg.class_names() {
+            if m.has_class(name) {
+                continue;
+            }
+            let class = pkg.get_class(name).expect("listed name exists").clone();
+            m.add_class(class).expect("no conflicts after skip");
+        }
+    }
+    m
+}
+
+/// CWMX: the paper's CWM extensions — platform bindings and deployment
+/// descriptors layered on top of [`cwm`].
+pub fn cwmx() -> MetaModel {
+    let mut m = cwm();
+    m.add_class(
+        ClassBuilder::new("PlatformBinding")
+            .extends("ModelElement")
+            .required(
+                "platform",
+                AttrKind::Enum(vec![
+                    "ODBIS-STORAGE".into(),
+                    "POSTGRESQL".into(),
+                    "GENERIC-SQL".into(),
+                ]),
+            )
+            .attr("boundElement", AttrKind::Str)
+            .attr("properties", AttrKind::Str)
+            .build(),
+    )
+    .expect("CWMX extension is valid");
+    m.add_class(
+        ClassBuilder::new("DeploymentDescriptor")
+            .extends("ModelElement")
+            .required("targetLayer", AttrKind::Enum(vec![
+                "SOURCE".into(),
+                "STAGING".into(),
+                "WAREHOUSE".into(),
+                "MART".into(),
+                "ANALYSIS".into(),
+            ]))
+            .attr("bindings", AttrKind::RefList("PlatformBinding".into()))
+            .build(),
+    )
+    .expect("CWMX extension is valid");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{AttrValue, ModelRepository};
+
+    #[test]
+    fn packages_build_and_contain_expected_classes() {
+        assert!(relational().has_class("RelationalTable"));
+        assert!(olap().has_class("Cube"));
+        assert!(transformation().has_class("TransformationStep"));
+        assert!(business_nomenclature().has_class("Glossary"));
+        let full = cwm();
+        for c in [
+            "Catalog",
+            "Cube",
+            "TransformationMap",
+            "Term",
+            "ModelElement",
+        ] {
+            assert!(full.has_class(c), "missing {c}");
+        }
+        assert!(cwmx().has_class("PlatformBinding"));
+    }
+
+    #[test]
+    fn star_schema_instance_validates() {
+        let mut repo = ModelRepository::new("dw", cwm());
+        let c_id = repo
+            .create(
+                "RelationalColumn",
+                vec![("name", "id".into()), ("sqlType", "BIGINT".into())],
+            )
+            .unwrap();
+        let c_amount = repo
+            .create(
+                "RelationalColumn",
+                vec![("name", "amount".into()), ("sqlType", "DOUBLE".into())],
+            )
+            .unwrap();
+        let pk = repo
+            .create(
+                "PrimaryKey",
+                vec![
+                    ("name", "pk_fact".into()),
+                    ("columns", AttrValue::RefList(vec![c_id.clone()])),
+                ],
+            )
+            .unwrap();
+        let fact = repo
+            .create(
+                "RelationalTable",
+                vec![
+                    ("name", "fact_sales".into()),
+                    (
+                        "columns",
+                        AttrValue::RefList(vec![c_id.clone(), c_amount.clone()]),
+                    ),
+                    ("primaryKey", AttrValue::Ref(pk)),
+                ],
+            )
+            .unwrap();
+        let measure = repo
+            .create(
+                "Measure",
+                vec![
+                    ("name", "total".into()),
+                    ("aggregator", "SUM".into()),
+                    ("column", "amount".into()),
+                ],
+            )
+            .unwrap();
+        repo.create(
+            "Cube",
+            vec![
+                ("name", "sales".into()),
+                ("factTable", "fact_sales".into()),
+                ("measures", AttrValue::RefList(vec![measure])),
+            ],
+        )
+        .unwrap();
+        assert!(repo.validate().is_empty());
+        assert_eq!(repo.instances_of("ModelElement").len(), repo.len());
+        let _ = fact;
+    }
+
+    #[test]
+    fn bad_aggregator_rejected() {
+        let mut repo = ModelRepository::new("dw", olap());
+        assert!(repo
+            .create(
+                "Measure",
+                vec![("name", "m".into()), ("aggregator", "MEDIAN".into())],
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn transformation_step_enum_covers_etl_ops() {
+        let mut repo = ModelRepository::new("etl", transformation());
+        for op in ["EXTRACT", "FILTER", "MAP", "JOIN", "AGGREGATE", "LOOKUP", "DEDUPLICATE", "LOAD"] {
+            repo.create(
+                "TransformationStep",
+                vec![("name", op.into()), ("operation", op.into())],
+            )
+            .unwrap();
+        }
+        assert_eq!(repo.len(), 8);
+    }
+}

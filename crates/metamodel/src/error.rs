@@ -1,0 +1,65 @@
+//! Metamodel error type.
+
+use std::fmt;
+
+/// Errors raised by the metamodeling layer.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant field names are self-documenting
+pub enum ModelError {
+    /// A metaclass was not found in the metamodel.
+    UnknownClass(String),
+    /// An attribute is not declared on the metaclass (or its ancestors).
+    UnknownAttribute { class: String, attribute: String },
+    /// A value does not match the attribute's declared kind.
+    TypeMismatch {
+        class: String,
+        attribute: String,
+        expected: String,
+    },
+    /// A required attribute is missing.
+    MissingAttribute { class: String, attribute: String },
+    /// A reference points to a missing or wrongly-typed object.
+    DanglingReference {
+        from: String,
+        attribute: String,
+        target: String,
+    },
+    /// An object id was not found in the repository.
+    UnknownObject(String),
+    /// Metamodel definition error (duplicate class, bad inheritance, ...).
+    Definition(String),
+    /// Interchange (XMI) parse error.
+    Interchange(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownClass(c) => write!(f, "unknown metaclass {c}"),
+            ModelError::UnknownAttribute { class, attribute } => {
+                write!(f, "metaclass {class} has no attribute {attribute}")
+            }
+            ModelError::TypeMismatch {
+                class,
+                attribute,
+                expected,
+            } => write!(f, "{class}.{attribute} expects {expected}"),
+            ModelError::MissingAttribute { class, attribute } => {
+                write!(f, "required attribute {class}.{attribute} is missing")
+            }
+            ModelError::DanglingReference {
+                from,
+                attribute,
+                target,
+            } => write!(f, "reference {from}.{attribute} -> {target} is dangling"),
+            ModelError::UnknownObject(id) => write!(f, "unknown model object {id}"),
+            ModelError::Definition(m) => write!(f, "metamodel definition error: {m}"),
+            ModelError::Interchange(m) => write!(f, "interchange error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Result alias for metamodel operations.
+pub type ModelResult<T> = Result<T, ModelError>;

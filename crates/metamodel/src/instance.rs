@@ -1,0 +1,457 @@
+//! M1 model instances and the reflective repository (the JMI/MDR analogue).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ModelError, ModelResult};
+use crate::m3::{AttrKind, MetaModel};
+
+/// A runtime attribute value on a model object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// String.
+    Str(String),
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Float.
+    Float(f64),
+    /// Single object reference (by object id).
+    Ref(String),
+    /// Ordered list of object references.
+    RefList(Vec<String>),
+}
+
+impl AttrValue {
+    fn matches(&self, kind: &AttrKind) -> bool {
+        matches!(
+            (self, kind),
+            (AttrValue::Str(_), AttrKind::Str)
+                | (AttrValue::Int(_), AttrKind::Int)
+                | (AttrValue::Bool(_), AttrKind::Bool)
+                | (AttrValue::Float(_), AttrKind::Float)
+                | (AttrValue::Ref(_), AttrKind::Ref(_))
+                | (AttrValue::RefList(_), AttrKind::RefList(_))
+        ) || matches!((self, kind), (AttrValue::Str(s), AttrKind::Enum(ls)) if ls.contains(s))
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) | AttrValue::Ref(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Reference-list view.
+    pub fn as_ref_list(&self) -> Option<&[String]> {
+        match self {
+            AttrValue::RefList(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(i: i64) -> Self {
+        AttrValue::Int(i)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(f: f64) -> Self {
+        AttrValue::Float(f)
+    }
+}
+
+/// One M1 object: an instance of an M2 metaclass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelObject {
+    /// Repository-unique id.
+    pub id: String,
+    /// Metaclass name.
+    pub class: String,
+    /// Attribute values.
+    pub attrs: BTreeMap<String, AttrValue>,
+}
+
+impl ModelObject {
+    /// Attribute accessor.
+    pub fn get(&self, attr: &str) -> Option<&AttrValue> {
+        self.attrs.get(attr)
+    }
+
+    /// String-attribute accessor (convention: most CWM names are strings).
+    pub fn get_str(&self, attr: &str) -> Option<&str> {
+        self.get(attr).and_then(AttrValue::as_str)
+    }
+
+    /// The conventional `name` attribute.
+    pub fn name(&self) -> &str {
+        self.get_str("name").unwrap_or(&self.id)
+    }
+}
+
+/// A model repository: an *extent* of M1 objects validated against one
+/// metamodel. This is the reproduction's Metadata Repository (Sun MDR in
+/// the paper).
+#[derive(Debug, Clone)]
+pub struct ModelRepository {
+    metamodel: MetaModel,
+    /// Extent name (e.g. the DW project this model belongs to).
+    pub extent: String,
+    objects: BTreeMap<String, ModelObject>,
+    next_id: u64,
+}
+
+impl ModelRepository {
+    /// Create an empty repository over `metamodel`.
+    pub fn new(extent: impl Into<String>, metamodel: MetaModel) -> Self {
+        ModelRepository {
+            metamodel,
+            extent: extent.into(),
+            objects: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// The governing metamodel.
+    pub fn metamodel(&self) -> &MetaModel {
+        &self.metamodel
+    }
+
+    /// Number of objects in the extent.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the extent is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Reflectively instantiate `class` with the given attributes. Returns
+    /// the new object's id. Checks: class exists and is concrete, attributes
+    /// are declared, values type-check. (Reference *targets* are validated
+    /// by [`ModelRepository::validate`], allowing forward references while a
+    /// model is under construction.)
+    pub fn create(
+        &mut self,
+        class: &str,
+        attrs: Vec<(&str, AttrValue)>,
+    ) -> ModelResult<String> {
+        let mc = self.metamodel.get_class(class)?;
+        if mc.is_abstract {
+            return Err(ModelError::Definition(format!(
+                "cannot instantiate abstract class {class}"
+            )));
+        }
+        let mut map = BTreeMap::new();
+        for (name, value) in attrs {
+            let decl = self.metamodel.find_attribute(class, name)?;
+            if !value.matches(&decl.kind) {
+                return Err(ModelError::TypeMismatch {
+                    class: class.to_string(),
+                    attribute: name.to_string(),
+                    expected: decl.kind.describe(),
+                });
+            }
+            map.insert(name.to_string(), value);
+        }
+        let id = format!("{}:{}:{}", self.extent, class, self.next_id);
+        self.next_id += 1;
+        self.objects.insert(
+            id.clone(),
+            ModelObject {
+                id: id.clone(),
+                class: class.to_string(),
+                attrs: map,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Set (or replace) one attribute on an existing object.
+    pub fn set(&mut self, id: &str, attr: &str, value: AttrValue) -> ModelResult<()> {
+        let class = self
+            .objects
+            .get(id)
+            .ok_or_else(|| ModelError::UnknownObject(id.to_string()))?
+            .class
+            .clone();
+        let decl = self.metamodel.find_attribute(&class, attr)?;
+        if !value.matches(&decl.kind) {
+            return Err(ModelError::TypeMismatch {
+                class,
+                attribute: attr.to_string(),
+                expected: decl.kind.describe(),
+            });
+        }
+        self.objects
+            .get_mut(id)
+            .expect("checked above")
+            .attrs
+            .insert(attr.to_string(), value);
+        Ok(())
+    }
+
+    /// Append a reference to a `RefList` attribute.
+    pub fn add_ref(&mut self, id: &str, attr: &str, target: &str) -> ModelResult<()> {
+        let current = self
+            .get(id)?
+            .get(attr)
+            .and_then(AttrValue::as_ref_list)
+            .map(<[String]>::to_vec)
+            .unwrap_or_default();
+        let mut list = current;
+        list.push(target.to_string());
+        self.set(id, attr, AttrValue::RefList(list))
+    }
+
+    /// Insert a fully-formed object verbatim, preserving its id (XMI
+    /// import path). The id counter is advanced past any numeric suffix so
+    /// later [`ModelRepository::create`] calls cannot collide.
+    pub(crate) fn insert_raw(&mut self, obj: ModelObject) {
+        if let Some(n) = obj.id.rsplit(':').next().and_then(|s| s.parse::<u64>().ok()) {
+            self.next_id = self.next_id.max(n + 1);
+        }
+        self.objects.insert(obj.id.clone(), obj);
+    }
+
+    /// Fetch an object.
+    pub fn get(&self, id: &str) -> ModelResult<&ModelObject> {
+        self.objects
+            .get(id)
+            .ok_or_else(|| ModelError::UnknownObject(id.to_string()))
+    }
+
+    /// Delete an object (references to it will fail validation).
+    pub fn delete(&mut self, id: &str) -> ModelResult<ModelObject> {
+        self.objects
+            .remove(id)
+            .ok_or_else(|| ModelError::UnknownObject(id.to_string()))
+    }
+
+    /// All objects whose class is (a subclass of) `class`.
+    pub fn instances_of(&self, class: &str) -> Vec<&ModelObject> {
+        self.objects
+            .values()
+            .filter(|o| self.metamodel.is_kind_of(&o.class, class))
+            .collect()
+    }
+
+    /// All objects.
+    pub fn objects(&self) -> impl Iterator<Item = &ModelObject> {
+        self.objects.values()
+    }
+
+    /// Resolve a `Ref`/`RefList` attribute to the target objects.
+    pub fn resolve_refs(&self, id: &str, attr: &str) -> ModelResult<Vec<&ModelObject>> {
+        let obj = self.get(id)?;
+        match obj.get(attr) {
+            None => Ok(Vec::new()),
+            Some(AttrValue::Ref(t)) => Ok(vec![self.get(t)?]),
+            Some(AttrValue::RefList(ts)) => ts.iter().map(|t| self.get(t)).collect(),
+            Some(_) => Err(ModelError::TypeMismatch {
+                class: obj.class.clone(),
+                attribute: attr.to_string(),
+                expected: "Ref or RefList".to_string(),
+            }),
+        }
+    }
+
+    /// Validate the whole extent: required attributes present, every
+    /// reference resolves to an object of the declared class. Returns all
+    /// violations (empty = valid).
+    pub fn validate(&self) -> Vec<ModelError> {
+        let mut errors = Vec::new();
+        for obj in self.objects.values() {
+            let attrs = match self.metamodel.all_attributes(&obj.class) {
+                Ok(a) => a,
+                Err(e) => {
+                    errors.push(e);
+                    continue;
+                }
+            };
+            for decl in attrs {
+                match obj.attrs.get(&decl.name) {
+                    None if decl.required => errors.push(ModelError::MissingAttribute {
+                        class: obj.class.clone(),
+                        attribute: decl.name.clone(),
+                    }),
+                    None => {}
+                    Some(v) => {
+                        let targets: Vec<&String> = match v {
+                            AttrValue::Ref(t) => vec![t],
+                            AttrValue::RefList(ts) => ts.iter().collect(),
+                            _ => vec![],
+                        };
+                        let target_class = match &decl.kind {
+                            AttrKind::Ref(c) | AttrKind::RefList(c) => Some(c),
+                            _ => None,
+                        };
+                        for t in targets {
+                            let ok = self.objects.get(t).is_some_and(|to| {
+                                target_class
+                                    .is_none_or(|c| self.metamodel.is_kind_of(&to.class, c))
+                            });
+                            if !ok {
+                                errors.push(ModelError::DanglingReference {
+                                    from: obj.id.clone(),
+                                    attribute: decl.name.clone(),
+                                    target: t.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::m3::ClassBuilder;
+
+    fn mm() -> MetaModel {
+        let mut m = MetaModel::new("T");
+        m.add_class(
+            ClassBuilder::new("Table")
+                .required("name", AttrKind::Str)
+                .attr("columns", AttrKind::RefList("Column".into()))
+                .build(),
+        )
+        .unwrap();
+        m.add_class(
+            ClassBuilder::new("Column")
+                .required("name", AttrKind::Str)
+                .required("type", AttrKind::Enum(vec!["INT".into(), "TEXT".into()]))
+                .build(),
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn reflective_create_and_resolve() {
+        let mut repo = ModelRepository::new("proj", mm());
+        let c1 = repo
+            .create("Column", vec![("name", "id".into()), ("type", "INT".into())])
+            .unwrap();
+        let t = repo
+            .create(
+                "Table",
+                vec![
+                    ("name", "sales".into()),
+                    ("columns", AttrValue::RefList(vec![c1.clone()])),
+                ],
+            )
+            .unwrap();
+        assert!(repo.validate().is_empty());
+        let cols = repo.resolve_refs(&t, "columns").unwrap();
+        assert_eq!(cols.len(), 1);
+        assert_eq!(cols[0].name(), "id");
+        assert_eq!(repo.instances_of("Table").len(), 1);
+    }
+
+    #[test]
+    fn type_checking_on_create_and_set() {
+        let mut repo = ModelRepository::new("p", mm());
+        assert!(matches!(
+            repo.create("Column", vec![("name", AttrValue::Int(3))]),
+            Err(ModelError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            repo.create("Column", vec![("type", "BLOB".into())]),
+            Err(ModelError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            repo.create("Ghost", vec![]),
+            Err(ModelError::UnknownClass(_))
+        ));
+        let c = repo
+            .create("Column", vec![("name", "x".into()), ("type", "INT".into())])
+            .unwrap();
+        assert!(matches!(
+            repo.set(&c, "nothere", "v".into()),
+            Err(ModelError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_catches_missing_and_dangling() {
+        let mut repo = ModelRepository::new("p", mm());
+        // missing required `type`
+        repo.create("Column", vec![("name", "a".into())]).unwrap();
+        let t = repo
+            .create("Table", vec![("name", "t".into())])
+            .unwrap();
+        repo.add_ref(&t, "columns", "p:Column:999").unwrap();
+        let errors = repo.validate();
+        assert_eq!(errors.len(), 2);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ModelError::MissingAttribute { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, ModelError::DanglingReference { .. })));
+    }
+
+    #[test]
+    fn delete_creates_dangling_reference() {
+        let mut repo = ModelRepository::new("p", mm());
+        let c = repo
+            .create("Column", vec![("name", "x".into()), ("type", "INT".into())])
+            .unwrap();
+        let t = repo
+            .create(
+                "Table",
+                vec![
+                    ("name", "t".into()),
+                    ("columns", AttrValue::RefList(vec![c.clone()])),
+                ],
+            )
+            .unwrap();
+        assert!(repo.validate().is_empty());
+        repo.delete(&c).unwrap();
+        assert_eq!(repo.validate().len(), 1);
+        let _ = t;
+    }
+
+    #[test]
+    fn ref_type_is_checked_in_validate() {
+        let mut repo = ModelRepository::new("p", mm());
+        let t2 = repo.create("Table", vec![("name", "other".into())]).unwrap();
+        let t = repo.create("Table", vec![("name", "t".into())]).unwrap();
+        // a Table referencing a Table through `columns` is a class mismatch
+        repo.add_ref(&t, "columns", &t2).unwrap();
+        assert_eq!(repo.validate().len(), 1);
+    }
+}

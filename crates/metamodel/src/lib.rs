@@ -1,0 +1,40 @@
+//! # odbis-metamodel
+//!
+//! The metamodeling tower of ODBIS's Model-Driven Data Warehouse approach —
+//! the reproduction's substitute for MOF/JMI/MDR and the CWM/CWMX
+//! implementation the paper's domain model is based on (ODBIS §3.2–3.3):
+//!
+//! * **M3** ([`MetaModel`], [`MetaClass`]): MOF-lite constructs — metaclasses with single
+//!   inheritance, typed attributes, reference associations and enums;
+//! * **M2** ([`cwm`]): a CWM subset (Relational, OLAP, Transformation,
+//!   BusinessNomenclature packages) plus the CWMX extensions;
+//! * **M1** ([`ModelRepository`]): reflective model objects validated against
+//!   their metamodel, held in a [`ModelRepository`] (the MDR analogue);
+//! * **interchange** ([`export_repository`] / [`import_repository`]): XMI-style serialization of whole extents.
+//!
+//! ```
+//! use odbis_metamodel::{cwm, AttrValue, ModelRepository};
+//!
+//! let mut repo = ModelRepository::new("demo", cwm::cwm());
+//! let col = repo.create("RelationalColumn",
+//!     vec![("name", "id".into()), ("sqlType", "BIGINT".into())]).unwrap();
+//! let table = repo.create("RelationalTable",
+//!     vec![("name", "facts".into()), ("columns", AttrValue::RefList(vec![col]))]).unwrap();
+//! assert!(repo.validate().is_empty());
+//! assert_eq!(repo.get(&table).unwrap().name(), "facts");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cwm;
+mod error;
+pub mod odm;
+mod instance;
+mod m3;
+mod xmi;
+
+pub use error::{ModelError, ModelResult};
+pub use instance::{AttrValue, ModelObject, ModelRepository};
+pub use odm::{define_class, match_schemas, SemanticMatch};
+pub use m3::{AttrKind, ClassBuilder, MetaAttribute, MetaClass, MetaModel};
+pub use xmi::{export_repository, import_repository, XMI_VERSION};

@@ -1,0 +1,337 @@
+//! The M3 meta-metamodel — a MOF-lite: constructs for defining metamodels.
+//!
+//! In the MDA tower reproduced here (ODBIS §3.2, Figure 2), the M3 level is
+//! the Meta-Object Facility. [`MetaModel`]s (M2) such as the CWM subset in
+//! [`crate::cwm`] are built from these constructs, and M1 models are
+//! instances validated against them.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ModelError, ModelResult};
+
+/// Kinds an attribute value can take.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// UTF-8 string.
+    Str,
+    /// 64-bit integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// Float.
+    Float,
+    /// Reference to an object of (a subclass of) the named metaclass.
+    Ref(String),
+    /// Ordered collection of references to the named metaclass.
+    RefList(String),
+    /// Enumeration over a fixed set of literals.
+    Enum(Vec<String>),
+}
+
+impl AttrKind {
+    /// Human-readable description (used in error messages).
+    pub fn describe(&self) -> String {
+        match self {
+            AttrKind::Str => "Str".to_string(),
+            AttrKind::Int => "Int".to_string(),
+            AttrKind::Bool => "Bool".to_string(),
+            AttrKind::Float => "Float".to_string(),
+            AttrKind::Ref(c) => format!("Ref({c})"),
+            AttrKind::RefList(c) => format!("RefList({c})"),
+            AttrKind::Enum(ls) => format!("Enum({})", ls.join("|")),
+        }
+    }
+}
+
+/// One attribute (or association end) of a metaclass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetaAttribute {
+    /// Attribute name.
+    pub name: String,
+    /// Value kind.
+    pub kind: AttrKind,
+    /// If true, instances must set this attribute.
+    pub required: bool,
+}
+
+/// A metaclass: the M3 construct instantiated by every M2 class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetaClass {
+    /// Class name, unique in its metamodel.
+    pub name: String,
+    /// Superclass name (single inheritance), if any.
+    pub superclass: Option<String>,
+    /// Abstract classes cannot be instantiated directly.
+    pub is_abstract: bool,
+    /// Declared attributes (inherited ones come from the superclass chain).
+    pub attributes: Vec<MetaAttribute>,
+}
+
+/// A metamodel (M2): a named, closed set of metaclasses.
+///
+/// `MetaModel` is the JMI "package" analogue: it owns class definitions and
+/// answers reflective questions (attribute lookup with inheritance,
+/// subclass checks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetaModel {
+    /// Metamodel name (e.g. `"CWM-Relational"`).
+    pub name: String,
+    classes: BTreeMap<String, MetaClass>,
+}
+
+impl MetaModel {
+    /// Create an empty metamodel.
+    pub fn new(name: impl Into<String>) -> Self {
+        MetaModel {
+            name: name.into(),
+            classes: BTreeMap::new(),
+        }
+    }
+
+    /// Add a class. Fails on duplicates or unknown superclass.
+    pub fn add_class(&mut self, class: MetaClass) -> ModelResult<()> {
+        if self.classes.contains_key(&class.name) {
+            return Err(ModelError::Definition(format!(
+                "duplicate metaclass {}",
+                class.name
+            )));
+        }
+        if let Some(sup) = &class.superclass {
+            if !self.classes.contains_key(sup) {
+                return Err(ModelError::Definition(format!(
+                    "superclass {sup} of {} must be defined first",
+                    class.name
+                )));
+            }
+        }
+        self.classes.insert(class.name.clone(), class);
+        Ok(())
+    }
+
+    /// Builder-style class definition.
+    pub fn class(mut self, class: MetaClass) -> ModelResult<Self> {
+        self.add_class(class)?;
+        Ok(self)
+    }
+
+    /// Look up a class.
+    pub fn get_class(&self, name: &str) -> ModelResult<&MetaClass> {
+        self.classes
+            .get(name)
+            .ok_or_else(|| ModelError::UnknownClass(name.to_string()))
+    }
+
+    /// Whether `name` is defined.
+    pub fn has_class(&self, name: &str) -> bool {
+        self.classes.contains_key(name)
+    }
+
+    /// All class names, sorted.
+    pub fn class_names(&self) -> Vec<&str> {
+        self.classes.keys().map(String::as_str).collect()
+    }
+
+    /// Is `class` equal to, or a (transitive) subclass of, `ancestor`?
+    pub fn is_kind_of(&self, class: &str, ancestor: &str) -> bool {
+        let mut cur = Some(class.to_string());
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.classes.get(&c).and_then(|mc| mc.superclass.clone());
+        }
+        false
+    }
+
+    /// Resolve an attribute on `class`, walking the superclass chain.
+    pub fn find_attribute(&self, class: &str, attr: &str) -> ModelResult<&MetaAttribute> {
+        let mut cur = class.to_string();
+        loop {
+            let mc = self.get_class(&cur)?;
+            if let Some(a) = mc.attributes.iter().find(|a| a.name == attr) {
+                return Ok(a);
+            }
+            match &mc.superclass {
+                Some(s) => cur = s.clone(),
+                None => {
+                    return Err(ModelError::UnknownAttribute {
+                        class: class.to_string(),
+                        attribute: attr.to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// All attributes of `class` including inherited ones (supers first).
+    pub fn all_attributes(&self, class: &str) -> ModelResult<Vec<&MetaAttribute>> {
+        let mut chain = Vec::new();
+        let mut cur = class.to_string();
+        loop {
+            let mc = self.get_class(&cur)?;
+            chain.push(mc);
+            match &mc.superclass {
+                Some(s) => cur = s.clone(),
+                None => break,
+            }
+        }
+        let mut out = Vec::new();
+        for mc in chain.iter().rev() {
+            out.extend(mc.attributes.iter());
+        }
+        Ok(out)
+    }
+
+    /// Merge another metamodel into this one (package import). Duplicate
+    /// class names are a definition error.
+    pub fn import(&mut self, other: &MetaModel) -> ModelResult<()> {
+        for class in other.classes.values() {
+            if self.classes.contains_key(&class.name) {
+                return Err(ModelError::Definition(format!(
+                    "import conflict: {} defined in both {} and {}",
+                    class.name, self.name, other.name
+                )));
+            }
+        }
+        for class in other.classes.values() {
+            self.classes.insert(class.name.clone(), class.clone());
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for a [`MetaClass`].
+#[derive(Debug, Clone)]
+pub struct ClassBuilder {
+    class: MetaClass,
+}
+
+impl ClassBuilder {
+    /// Start a concrete class.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassBuilder {
+            class: MetaClass {
+                name: name.into(),
+                superclass: None,
+                is_abstract: false,
+                attributes: Vec::new(),
+            },
+        }
+    }
+
+    /// Mark the class abstract.
+    pub fn abstract_class(mut self) -> Self {
+        self.class.is_abstract = true;
+        self
+    }
+
+    /// Set the superclass.
+    pub fn extends(mut self, superclass: impl Into<String>) -> Self {
+        self.class.superclass = Some(superclass.into());
+        self
+    }
+
+    /// Add an optional attribute.
+    pub fn attr(mut self, name: impl Into<String>, kind: AttrKind) -> Self {
+        self.class.attributes.push(MetaAttribute {
+            name: name.into(),
+            kind,
+            required: false,
+        });
+        self
+    }
+
+    /// Add a required attribute.
+    pub fn required(mut self, name: impl Into<String>, kind: AttrKind) -> Self {
+        self.class.attributes.push(MetaAttribute {
+            name: name.into(),
+            kind,
+            required: true,
+        });
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> MetaClass {
+        self.class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetaModel {
+        let mut m = MetaModel::new("Test");
+        m.add_class(
+            ClassBuilder::new("Element")
+                .abstract_class()
+                .required("name", AttrKind::Str)
+                .build(),
+        )
+        .unwrap();
+        m.add_class(
+            ClassBuilder::new("Table")
+                .extends("Element")
+                .attr("comment", AttrKind::Str)
+                .attr("columns", AttrKind::RefList("Column".into()))
+                .build(),
+        )
+        .unwrap();
+        m.add_class(
+            ClassBuilder::new("Column")
+                .extends("Element")
+                .required("sqlType", AttrKind::Enum(vec!["INT".into(), "TEXT".into()]))
+                .build(),
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn inheritance_and_attribute_resolution() {
+        let m = sample();
+        assert!(m.is_kind_of("Table", "Element"));
+        assert!(!m.is_kind_of("Element", "Table"));
+        let a = m.find_attribute("Table", "name").unwrap();
+        assert!(a.required);
+        assert!(matches!(
+            m.find_attribute("Table", "sqlType"),
+            Err(ModelError::UnknownAttribute { .. })
+        ));
+        let all = m.all_attributes("Column").unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].name, "name"); // inherited first
+    }
+
+    #[test]
+    fn definition_errors() {
+        let mut m = sample();
+        assert!(matches!(
+            m.add_class(ClassBuilder::new("Table").build()),
+            Err(ModelError::Definition(_))
+        ));
+        assert!(matches!(
+            m.add_class(ClassBuilder::new("X").extends("Nope").build()),
+            Err(ModelError::Definition(_))
+        ));
+        assert!(matches!(
+            m.get_class("Ghost"),
+            Err(ModelError::UnknownClass(_))
+        ));
+    }
+
+    #[test]
+    fn import_merges_and_detects_conflicts() {
+        let mut a = sample();
+        let mut b = MetaModel::new("Other");
+        b.add_class(ClassBuilder::new("Cube").build()).unwrap();
+        a.import(&b).unwrap();
+        assert!(a.has_class("Cube"));
+        let mut c = MetaModel::new("Conflicting");
+        c.add_class(ClassBuilder::new("Table").build()).unwrap();
+        assert!(a.import(&c).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! The Ontology Definition Metamodel (ODM) — the paper's planned extension
+//! ("for the future, we plan to integrate other metamodels as the Ontology
+//! Definition Metamodel (ODM)", §3.3), used "to solve the semantic schemas
+//! integration and the semantic data integration problems" (§3.2).
+//!
+//! The subset implemented here covers what semantic schema integration
+//! needs: ontologies of classes with subsumption, properties, and
+//! `sameAs`/`label` annotations that map ontology terms onto schema
+//! elements.
+
+use crate::error::ModelResult;
+use crate::instance::{AttrValue, ModelRepository};
+use crate::m3::{AttrKind, ClassBuilder, MetaModel};
+
+/// Build the ODM subset metamodel.
+pub fn odm() -> MetaModel {
+    build().expect("static metamodel definition is valid")
+}
+
+fn build() -> ModelResult<MetaModel> {
+    let mut m = MetaModel::new("ODM");
+    m.add_class(
+        ClassBuilder::new("OntologyElement")
+            .abstract_class()
+            .required("name", AttrKind::Str)
+            .attr("label", AttrKind::Str)
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("Ontology")
+            .extends("OntologyElement")
+            .attr("classes", AttrKind::RefList("OntClass".into()))
+            .attr("namespace", AttrKind::Str)
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("OntClass")
+            .extends("OntologyElement")
+            .attr("subClassOf", AttrKind::Ref("OntClass".into()))
+            .attr("properties", AttrKind::RefList("OntProperty".into()))
+            .attr("sameAs", AttrKind::RefList("OntClass".into()))
+            .build(),
+    )?;
+    m.add_class(
+        ClassBuilder::new("OntProperty")
+            .extends("OntologyElement")
+            .attr(
+                "range",
+                AttrKind::Enum(vec![
+                    "NUMBER".into(),
+                    "TEXT".into(),
+                    "DATE".into(),
+                    "BOOLEAN".into(),
+                ]),
+            )
+            .attr("mappedColumn", AttrKind::Str)
+            .build(),
+    )?;
+    Ok(m)
+}
+
+/// A semantic correspondence proposed by [`match_schemas`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemanticMatch {
+    /// Element of the left schema (e.g. `orders.client_name`).
+    pub left: String,
+    /// Element of the right schema (e.g. `crm.customer_name`).
+    pub right: String,
+    /// The ontology term both elements map onto.
+    pub via_term: String,
+}
+
+/// Semantic schema integration: given an ontology whose `OntProperty`
+/// instances carry `mappedColumn` annotations of the form
+/// `<schema>.<column>`, propose correspondences between two schemas —
+/// two columns match when they map onto the same ontology property, or
+/// onto properties of classes linked by `sameAs`.
+pub fn match_schemas(
+    ontology: &ModelRepository,
+    left_schema: &str,
+    right_schema: &str,
+) -> Vec<SemanticMatch> {
+    let mut matches = Vec::new();
+    // direct: one property annotated with columns from both schemas is the
+    // simplest correspondence — collect (term, columns) first
+    let props = ontology.instances_of("OntProperty");
+    // group properties by their owning class's canonical term (resolving
+    // sameAs one hop each way)
+    let column_of = |prop: &crate::instance::ModelObject, schema: &str| -> Option<String> {
+        let col = prop.get_str("mappedColumn")?;
+        col.strip_prefix(&format!("{schema}."))
+            .map(|c| format!("{schema}.{c}"))
+    };
+    for a in &props {
+        for b in &props {
+            if a.id >= b.id {
+                continue;
+            }
+            let same_term = a.name().eq_ignore_ascii_case(b.name())
+                || a.get_str("label")
+                    .zip(b.get_str("label"))
+                    .is_some_and(|(x, y)| x.eq_ignore_ascii_case(y));
+            if !same_term {
+                continue;
+            }
+            if let (Some(l), Some(r)) = (column_of(a, left_schema), column_of(b, right_schema)) {
+                matches.push(SemanticMatch {
+                    left: l,
+                    right: r,
+                    via_term: a.name().to_string(),
+                });
+            } else if let (Some(l), Some(r)) =
+                (column_of(b, left_schema), column_of(a, right_schema))
+            {
+                matches.push(SemanticMatch {
+                    left: l,
+                    right: r,
+                    via_term: a.name().to_string(),
+                });
+            }
+        }
+    }
+    matches.sort_by(|a, b| a.left.cmp(&b.left));
+    matches
+}
+
+/// Convenience: build an ontology class with properties in one call.
+pub fn define_class(
+    repo: &mut ModelRepository,
+    name: &str,
+    properties: &[(&str, &str, Option<&str>)], // (name, range, mappedColumn)
+) -> ModelResult<String> {
+    let mut prop_ids = Vec::new();
+    for (pname, range, mapped) in properties {
+        let mut attrs = vec![
+            ("name", AttrValue::from(*pname)),
+            ("range", AttrValue::from(*range)),
+        ];
+        if let Some(m) = mapped {
+            attrs.push(("mappedColumn", AttrValue::from(*m)));
+        }
+        prop_ids.push(repo.create("OntProperty", attrs)?);
+    }
+    repo.create(
+        "OntClass",
+        vec![
+            ("name", AttrValue::from(name)),
+            ("properties", AttrValue::RefList(prop_ids)),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odm_metamodel_builds() {
+        let m = odm();
+        for c in ["Ontology", "OntClass", "OntProperty"] {
+            assert!(m.has_class(c));
+        }
+        assert!(m.is_kind_of("OntClass", "OntologyElement"));
+    }
+
+    #[test]
+    fn semantic_schema_matching() {
+        let mut repo = ModelRepository::new("onto", odm());
+        // the same business term annotated with columns from two schemas
+        define_class(
+            &mut repo,
+            "Customer",
+            &[
+                ("customer_name", "TEXT", Some("orders.client_name")),
+                ("customer_name", "TEXT", Some("crm.cust_full_name")),
+                ("birth_date", "DATE", Some("crm.dob")),
+            ],
+        )
+        .unwrap();
+        assert!(repo.validate().is_empty());
+        let matches = match_schemas(&repo, "orders", "crm");
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].left, "orders.client_name");
+        assert_eq!(matches[0].right, "crm.cust_full_name");
+        assert_eq!(matches[0].via_term, "customer_name");
+        // unrelated schemas produce nothing
+        assert!(match_schemas(&repo, "orders", "billing").is_empty());
+    }
+
+    #[test]
+    fn matching_via_labels() {
+        let mut repo = ModelRepository::new("onto", odm());
+        repo.create(
+            "OntProperty",
+            vec![
+                ("name", "amount_due".into()),
+                ("label", "Invoice Amount".into()),
+                ("range", "NUMBER".into()),
+                ("mappedColumn", "erp.total".into()),
+            ],
+        )
+        .unwrap();
+        repo.create(
+            "OntProperty",
+            vec![
+                ("name", "invoice_total".into()),
+                ("label", "invoice amount".into()),
+                ("range", "NUMBER".into()),
+                ("mappedColumn", "legacy.amt".into()),
+            ],
+        )
+        .unwrap();
+        let matches = match_schemas(&repo, "erp", "legacy");
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].right, "legacy.amt");
+    }
+
+    #[test]
+    fn ontology_exports_via_xmi() {
+        let mut repo = ModelRepository::new("onto", odm());
+        define_class(&mut repo, "Patient", &[("mrn", "TEXT", None)]).unwrap();
+        let xmi = crate::xmi::export_repository(&repo).unwrap();
+        let loaded = crate::xmi::import_repository(&xmi).unwrap();
+        assert_eq!(loaded.instances_of("OntClass").len(), 1);
+    }
+}

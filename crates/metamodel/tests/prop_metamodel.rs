@@ -1,0 +1,86 @@
+//! Property-based tests for the metamodel tower: XMI round-trips and
+//! validation stability.
+
+use odbis_metamodel::{
+    cwm, export_repository, import_repository, AttrValue, ModelRepository,
+};
+use proptest::prelude::*;
+
+fn arb_sql_type() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec!["BOOLEAN", "BIGINT", "DOUBLE", "TEXT", "DATE", "TIMESTAMP"])
+}
+
+proptest! {
+    /// Any valid relational model round-trips through XMI byte-exactly at
+    /// the object level, and the reloaded extent revalidates cleanly.
+    #[test]
+    fn xmi_round_trip(
+        tables in prop::collection::vec(
+            ("[a-z][a-z0-9_]{0,10}", prop::collection::vec(("[a-z][a-z0-9_]{0,8}", arb_sql_type()), 1..5)),
+            1..6,
+        )
+    ) {
+        let mut repo = ModelRepository::new("prop", cwm::relational());
+        for (ti, (tname, cols)) in tables.iter().enumerate() {
+            let mut col_ids = Vec::new();
+            for (ci, (cname, ty)) in cols.iter().enumerate() {
+                let id = repo.create(
+                    "RelationalColumn",
+                    vec![
+                        ("name", format!("{cname}_{ti}_{ci}").into()),
+                        ("sqlType", (*ty).into()),
+                    ],
+                ).unwrap();
+                col_ids.push(id);
+            }
+            repo.create(
+                "RelationalTable",
+                vec![
+                    ("name", format!("{tname}_{ti}").into()),
+                    ("columns", AttrValue::RefList(col_ids)),
+                ],
+            ).unwrap();
+        }
+        prop_assert!(repo.validate().is_empty());
+        let xmi = export_repository(&repo).unwrap();
+        let loaded = import_repository(&xmi).unwrap();
+        prop_assert_eq!(loaded.len(), repo.len());
+        prop_assert!(loaded.validate().is_empty());
+        // object-level equality
+        for obj in repo.objects() {
+            let other = loaded.get(&obj.id).unwrap();
+            prop_assert_eq!(obj, other);
+        }
+        // double round-trip is stable
+        let xmi2 = export_repository(&loaded).unwrap();
+        prop_assert_eq!(xmi, xmi2);
+    }
+
+    /// Validation never panics on arbitrary deletions, and the number of
+    /// dangling-reference errors equals the number of removed-but-referenced
+    /// objects.
+    #[test]
+    fn validation_total_under_deletion(delete_mask in prop::collection::vec(any::<bool>(), 4)) {
+        let mut repo = ModelRepository::new("p", cwm::relational());
+        let mut cols = Vec::new();
+        for i in 0..4 {
+            cols.push(repo.create(
+                "RelationalColumn",
+                vec![("name", format!("c{i}").into()), ("sqlType", "TEXT".into())],
+            ).unwrap());
+        }
+        repo.create(
+            "RelationalTable",
+            vec![("name", "t".into()), ("columns", AttrValue::RefList(cols.clone()))],
+        ).unwrap();
+        let mut deleted = 0;
+        for (id, del) in cols.iter().zip(&delete_mask) {
+            if *del {
+                repo.delete(id).unwrap();
+                deleted += 1;
+            }
+        }
+        let errors = repo.validate();
+        prop_assert_eq!(errors.len(), deleted);
+    }
+}

@@ -1,0 +1,207 @@
+//! MDX-lite: a small multidimensional query language for the Analysis
+//! Service.
+//!
+//! Grammar:
+//!
+//! ```text
+//! SELECT <measure> [, <measure>]*
+//! BY <dim>.<level> [, <dim>.<level>]*
+//! FROM <cube>
+//! [WHERE <dim>.<level> = <literal> [AND ...]]
+//! ```
+//!
+//! Example: `SELECT revenue, units BY time.year, store.region FROM sales
+//! WHERE store.region = 'EU'`.
+
+use odbis_storage::Value;
+
+use crate::cube::{CubeQuery, LevelRef, Slice};
+use crate::OlapError;
+
+/// A parsed MDX-lite statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdxStatement {
+    /// Target cube name.
+    pub cube: String,
+    /// The equivalent engine query.
+    pub query: CubeQuery,
+}
+
+/// Parse an MDX-lite statement.
+pub fn parse_mdx(input: &str) -> Result<MdxStatement, OlapError> {
+    let text = input.trim();
+    let upper = text.to_ascii_uppercase();
+    let err = |m: &str| OlapError::Mdx(format!("{m} in {input:?}"));
+
+    if !upper.starts_with("SELECT ") {
+        return Err(err("expected SELECT"));
+    }
+    let by_pos = upper.find(" BY ").ok_or_else(|| err("expected BY"))?;
+    if by_pos < 7 {
+        return Err(err("no measures"));
+    }
+    let from_pos = upper.find(" FROM ").ok_or_else(|| err("expected FROM"))?;
+    if from_pos < by_pos {
+        return Err(err("FROM must follow BY"));
+    }
+    let measures: Vec<String> = text[7..by_pos]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if measures.is_empty() {
+        return Err(err("no measures"));
+    }
+    let axes: Result<Vec<LevelRef>, OlapError> = text[by_pos + 4..from_pos]
+        .split(',')
+        .map(|s| parse_level_ref(s.trim()).ok_or_else(|| err("bad axis (want dim.level)")))
+        .collect();
+    let axes = axes?;
+    let rest = &text[from_pos + 6..];
+    let (cube, where_clause) = match rest.to_ascii_uppercase().find(" WHERE ") {
+        None => (rest.trim().to_string(), None),
+        Some(w) => (
+            rest[..w].trim().to_string(),
+            Some(rest[w + 7..].trim().to_string()),
+        ),
+    };
+    if cube.is_empty() {
+        return Err(err("missing cube name"));
+    }
+    let mut slices = Vec::new();
+    if let Some(w) = where_clause {
+        for cond in split_and(&w) {
+            let (lhs, rhs) = cond
+                .split_once('=')
+                .ok_or_else(|| err("WHERE condition must be level = literal"))?;
+            let level =
+                parse_level_ref(lhs.trim()).ok_or_else(|| err("bad level in WHERE"))?;
+            slices.push(Slice {
+                level,
+                member: parse_literal(rhs.trim()).ok_or_else(|| err("bad literal in WHERE"))?,
+            });
+        }
+    }
+    Ok(MdxStatement {
+        cube,
+        query: CubeQuery {
+            axes,
+            slices,
+            measures,
+        },
+    })
+}
+
+fn split_and(s: &str) -> Vec<String> {
+    // split on AND outside quotes
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_quote = false;
+    let chars: Vec<char> = s.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '\'' {
+            in_quote = !in_quote;
+            cur.push(chars[i]);
+            i += 1;
+            continue;
+        }
+        if !in_quote && i + 3 <= chars.len() {
+            let window: String = chars[i..(i + 3).min(chars.len())].iter().collect();
+            if window.eq_ignore_ascii_case("and")
+                && (i == 0 || chars[i - 1].is_whitespace())
+                && chars.get(i + 3).is_none_or(|c| c.is_whitespace())
+            {
+                parts.push(std::mem::take(&mut cur));
+                i += 3;
+                continue;
+            }
+        }
+        cur.push(chars[i]);
+        i += 1;
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts.into_iter().map(|p| p.trim().to_string()).collect()
+}
+
+fn parse_level_ref(s: &str) -> Option<LevelRef> {
+    let (dim, level) = s.split_once('.')?;
+    let dim = dim.trim();
+    let level = level.trim();
+    if dim.is_empty() || level.is_empty() || level.contains('.') {
+        return None;
+    }
+    Some(LevelRef::new(dim, level))
+}
+
+fn parse_literal(s: &str) -> Option<Value> {
+    if let Some(stripped) = s.strip_prefix('\'') {
+        let inner = stripped.strip_suffix('\'')?;
+        return Some(Value::Text(inner.replace("''", "'")));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Some(Value::Int(i));
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Some(Value::Float(f));
+    }
+    match s.to_ascii_lowercase().as_str() {
+        "true" => Some(Value::Bool(true)),
+        "false" => Some(Value::Bool(false)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::CubeEngine;
+    use crate::test_fixtures::{sales_cube, sales_db};
+    use std::sync::Arc;
+
+    #[test]
+    fn parses_full_statement() {
+        let stmt = parse_mdx(
+            "SELECT revenue, units BY time.year, store.region FROM sales \
+             WHERE store.region = 'EU' AND time.year = 2010",
+        )
+        .unwrap();
+        assert_eq!(stmt.cube, "sales");
+        assert_eq!(stmt.query.measures, vec!["revenue", "units"]);
+        assert_eq!(stmt.query.axes.len(), 2);
+        assert_eq!(stmt.query.slices.len(), 2);
+        assert_eq!(stmt.query.slices[0].member, Value::from("EU"));
+        assert_eq!(stmt.query.slices[1].member, Value::Int(2010));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_mdx("FOO bar").is_err());
+        assert!(parse_mdx("SELECT revenue FROM sales").is_err()); // no BY
+        assert!(parse_mdx("SELECT revenue BY year FROM sales").is_err()); // bad axis
+        assert!(parse_mdx("SELECT BY time.year FROM sales").is_err()); // no measures
+        assert!(parse_mdx("SELECT r BY t.y FROM c WHERE t.y LIKE 'x'").is_err());
+        assert!(parse_mdx("SELECT r BY t.y FROM ").is_err());
+    }
+
+    #[test]
+    fn quoted_literals_with_and_inside() {
+        let stmt =
+            parse_mdx("SELECT r BY d.l FROM c WHERE d.l = 'rock and roll'").unwrap();
+        assert_eq!(stmt.query.slices[0].member, Value::from("rock and roll"));
+    }
+
+    #[test]
+    fn executes_against_engine() {
+        let engine = CubeEngine::new(Arc::new(sales_db()));
+        let cube = sales_cube();
+        let stmt = parse_mdx(
+            "SELECT revenue BY store.region FROM sales WHERE time.year = 2010",
+        )
+        .unwrap();
+        let cs = engine.query(&cube, &stmt.query).unwrap();
+        assert_eq!(cs.cell(&["EU".into()]).unwrap(), &[Value::Float(40.0)]);
+    }
+}

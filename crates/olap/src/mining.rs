@@ -1,0 +1,360 @@
+//! Data mining — fills the RapidMiner slot the paper lists among the
+//! technical-resources-layer BI APIs (§3.1): k-means clustering, simple
+//! linear regression and apriori association rules.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::OlapError;
+
+/// Result of [`kmeans`]: assignments per point and final centroids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+}
+
+/// k-means clustering with deterministic k-means++-style seeding driven by
+/// `seed` (no RNG dependency: a splitmix64 stream).
+pub fn kmeans(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+) -> Result<KMeansResult, OlapError> {
+    if points.is_empty() {
+        return Err(OlapError::Mining("no points".into()));
+    }
+    if k == 0 || k > points.len() {
+        return Err(OlapError::Mining(format!(
+            "k={k} must be in 1..={}",
+            points.len()
+        )));
+    }
+    let dim = points[0].len();
+    if points.iter().any(|p| p.len() != dim) {
+        return Err(OlapError::Mining("inconsistent point dimensions".into()));
+    }
+
+    let mut rng = seed;
+    let mut next = move || {
+        rng = rng.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+
+    // k-means++ seeding: first centroid random, then proportional to D^2
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[(next() as usize) % points.len()].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| dist2(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total == 0.0 {
+            // all points coincide with centroids; pick any
+            centroids.push(points[(next() as usize) % points.len()].clone());
+            continue;
+        }
+        let mut target = (next() as f64 / u64::MAX as f64) * total;
+        let mut chosen = 0;
+        for (i, d) in d2.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(p, &centroids[a])
+                        .total_cmp(&dist2(p, &centroids[b]))
+                })
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                *c = sum.iter().map(|s| s / *count as f64).collect();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| dist2(p, &centroids[a]))
+        .sum();
+    Ok(KMeansResult {
+        assignments,
+        centroids,
+        iterations,
+        inertia,
+    })
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Simple linear regression `y = slope * x + intercept` with R².
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+impl Regression {
+    /// Predict `y` for `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares over `(x, y)` pairs.
+pub fn linear_regression(points: &[(f64, f64)]) -> Result<Regression, OlapError> {
+    if points.len() < 2 {
+        return Err(OlapError::Mining("need at least two points".into()));
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|(x, _)| x).sum();
+    let sy: f64 = points.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return Err(OlapError::Mining("x values are constant".into()));
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Ok(Regression {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// An association rule `antecedent → consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Left-hand itemset.
+    pub antecedent: Vec<String>,
+    /// Right-hand item.
+    pub consequent: String,
+    /// Fraction of transactions containing both sides.
+    pub support: f64,
+    /// support(both) / support(antecedent).
+    pub confidence: f64,
+}
+
+/// Apriori-style association-rule mining over transactions (itemsets up to
+/// size 2 antecedents — basket-analysis scale).
+pub fn association_rules(
+    transactions: &[Vec<String>],
+    min_support: f64,
+    min_confidence: f64,
+) -> Result<Vec<AssociationRule>, OlapError> {
+    if transactions.is_empty() {
+        return Err(OlapError::Mining("no transactions".into()));
+    }
+    if !(0.0..=1.0).contains(&min_support) || !(0.0..=1.0).contains(&min_confidence) {
+        return Err(OlapError::Mining(
+            "support/confidence must be in [0, 1]".into(),
+        ));
+    }
+    let n = transactions.len() as f64;
+    let sets: Vec<BTreeSet<&str>> = transactions
+        .iter()
+        .map(|t| t.iter().map(String::as_str).collect())
+        .collect();
+
+    // frequent single items
+    let mut item_count: HashMap<&str, usize> = HashMap::new();
+    for s in &sets {
+        for item in s {
+            *item_count.entry(item).or_insert(0) += 1;
+        }
+    }
+    let frequent: Vec<&str> = {
+        let mut v: Vec<&str> = item_count
+            .iter()
+            .filter(|(_, &c)| c as f64 / n >= min_support)
+            .map(|(&i, _)| i)
+            .collect();
+        v.sort();
+        v
+    };
+
+    let count_subset = |items: &[&str]| -> usize {
+        sets.iter()
+            .filter(|s| items.iter().all(|i| s.contains(i)))
+            .count()
+    };
+
+    let mut rules = Vec::new();
+    // 1 -> 1 rules
+    for &a in &frequent {
+        for &b in &frequent {
+            if a == b {
+                continue;
+            }
+            let both = count_subset(&[a, b]) as f64 / n;
+            if both < min_support {
+                continue;
+            }
+            let conf = both / (item_count[a] as f64 / n);
+            if conf >= min_confidence {
+                rules.push(AssociationRule {
+                    antecedent: vec![a.to_string()],
+                    consequent: b.to_string(),
+                    support: both,
+                    confidence: conf,
+                });
+            }
+        }
+    }
+    // 2 -> 1 rules
+    for i in 0..frequent.len() {
+        for j in (i + 1)..frequent.len() {
+            let pair = [frequent[i], frequent[j]];
+            let pair_count = count_subset(&pair);
+            if (pair_count as f64 / n) < min_support {
+                continue;
+            }
+            for &c in &frequent {
+                if pair.contains(&c) {
+                    continue;
+                }
+                let all = count_subset(&[pair[0], pair[1], c]) as f64 / n;
+                if all < min_support {
+                    continue;
+                }
+                let conf = all / (pair_count as f64 / n);
+                if conf >= min_confidence {
+                    rules.push(AssociationRule {
+                        antecedent: vec![pair[0].to_string(), pair[1].to_string()],
+                        consequent: c.to_string(),
+                        support: all,
+                        confidence: conf,
+                    });
+                }
+            }
+        }
+    }
+    rules.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
+    Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_separates_obvious_clusters() {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(vec![0.0 + i as f64 * 0.01, 0.0]);
+            points.push(vec![10.0 + i as f64 * 0.01, 10.0]);
+        }
+        let r = kmeans(&points, 2, 50, 42).unwrap();
+        // points 0,2,4.. (cluster A) must share a label distinct from odd ones
+        let a = r.assignments[0];
+        let b = r.assignments[1];
+        assert_ne!(a, b);
+        for i in 0..10 {
+            assert_eq!(r.assignments[2 * i], a);
+            assert_eq!(r.assignments[2 * i + 1], b);
+        }
+        assert!(r.inertia < 1.0);
+        // deterministic under the same seed
+        let r2 = kmeans(&points, 2, 50, 42).unwrap();
+        assert_eq!(r.assignments, r2.assignments);
+    }
+
+    #[test]
+    fn kmeans_input_validation() {
+        assert!(kmeans(&[], 1, 10, 0).is_err());
+        assert!(kmeans(&[vec![1.0]], 2, 10, 0).is_err());
+        assert!(kmeans(&[vec![1.0], vec![1.0, 2.0]], 1, 10, 0).is_err());
+        assert!(kmeans(&[vec![1.0]], 0, 10, 0).is_err());
+    }
+
+    #[test]
+    fn regression_recovers_line() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 3.0 * i as f64 + 7.0)).collect();
+        let r = linear_regression(&pts).unwrap();
+        assert!((r.slope - 3.0).abs() < 1e-9);
+        assert!((r.intercept - 7.0).abs() < 1e-9);
+        assert!((r.r_squared - 1.0).abs() < 1e-9);
+        assert!((r.predict(100.0) - 307.0).abs() < 1e-9);
+        assert!(linear_regression(&[(1.0, 1.0)]).is_err());
+        assert!(linear_regression(&[(1.0, 1.0), (1.0, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn association_rules_basket() {
+        let tx: Vec<Vec<String>> = vec![
+            vec!["bread".into(), "butter".into(), "milk".into()],
+            vec!["bread".into(), "butter".into()],
+            vec!["bread".into(), "jam".into()],
+            vec!["butter".into(), "milk".into()],
+            vec!["bread".into(), "butter".into(), "jam".into()],
+        ];
+        let rules = association_rules(&tx, 0.4, 0.7).unwrap();
+        // butter -> bread: support 3/5, confidence 3/4
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec!["butter".to_string()] && r.consequent == "bread")
+            .expect("butter->bread rule");
+        assert!((r.support - 0.6).abs() < 1e-9);
+        assert!((r.confidence - 0.75).abs() < 1e-9);
+        assert!(association_rules(&[], 0.5, 0.5).is_err());
+        assert!(association_rules(&tx, 1.5, 0.5).is_err());
+    }
+}

@@ -1,0 +1,418 @@
+//! Materialized aggregates (ablation A2): pre-computed roll-ups that
+//! answer matching cube queries without touching the fact table.
+
+use std::collections::HashMap;
+
+use odbis_storage::Value;
+
+use crate::cube::{Aggregator, CellSet, CubeDef, CubeEngine, CubeQuery, LevelRef};
+use crate::OlapError;
+
+/// A materialized aggregate: the cell set of one (axes, measures)
+/// combination, indexed for point lookups and further roll-ups.
+#[derive(Debug, Clone)]
+pub struct MaterializedAggregate {
+    /// Cube the aggregate belongs to.
+    pub cube: String,
+    /// Axes the aggregate is grouped by.
+    pub axes: Vec<LevelRef>,
+    /// Measures stored, with their aggregators (needed to know whether a
+    /// further roll-up is valid: AVG/COUNT-DISTINCT style measures are not
+    /// re-aggregable here).
+    pub measures: Vec<(String, Aggregator)>,
+    cells: HashMap<Vec<Value>, Vec<Value>>,
+}
+
+impl MaterializedAggregate {
+    /// Build by executing the aggregation once through the engine.
+    pub fn build(
+        engine: &CubeEngine,
+        cube: &CubeDef,
+        axes: Vec<LevelRef>,
+        measure_names: Vec<String>,
+    ) -> Result<Self, OlapError> {
+        let measures: Result<Vec<(String, Aggregator)>, OlapError> = measure_names
+            .iter()
+            .map(|m| cube.measure(m).map(|md| (md.name.clone(), md.aggregator)))
+            .collect();
+        let measures = measures?;
+        let cs = engine.query(
+            cube,
+            &CubeQuery {
+                axes: axes.clone(),
+                slices: vec![],
+                measures: measure_names,
+            },
+        )?;
+        let cells = cs.cells.into_iter().collect();
+        Ok(MaterializedAggregate {
+            cube: cube.name.clone(),
+            axes,
+            measures,
+            cells,
+        })
+    }
+
+    /// Number of stored cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the aggregate is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Can this aggregate answer `query` exactly?
+    ///
+    /// Conditions: same cube axes as a prefix-set (every query axis is one
+    /// of ours), every slice level is one of our axes, every requested
+    /// measure is stored, and — when the query needs a further roll-up
+    /// (fewer axes than stored) — all measures are SUM/COUNT/MIN/MAX
+    /// (AVG cannot be re-aggregated from per-group AVGs).
+    pub fn answers(&self, query: &CubeQuery) -> bool {
+        let has_axis = |lr: &LevelRef| {
+            self.axes.iter().any(|a| {
+                a.dimension.eq_ignore_ascii_case(&lr.dimension)
+                    && a.level.eq_ignore_ascii_case(&lr.level)
+            })
+        };
+        if !query.axes.iter().all(has_axis) {
+            return false;
+        }
+        if !query.slices.iter().all(|s| has_axis(&s.level)) {
+            return false;
+        }
+        let measure_ok = |name: &String| {
+            self.measures
+                .iter()
+                .any(|(m, _)| m.eq_ignore_ascii_case(name))
+        };
+        if !query.measures.iter().all(measure_ok) {
+            return false;
+        }
+        let needs_rollup = query.axes.len() < self.axes.len() || !query.slices.is_empty();
+        if needs_rollup {
+            query.measures.iter().all(|name| {
+                self.measures
+                    .iter()
+                    .find(|(m, _)| m.eq_ignore_ascii_case(name))
+                    .is_some_and(|(_, agg)| {
+                        matches!(
+                            agg,
+                            Aggregator::Sum | Aggregator::Count | Aggregator::Min | Aggregator::Max
+                        )
+                    })
+            })
+        } else {
+            true
+        }
+    }
+
+    /// Answer a query from the materialized cells (must satisfy
+    /// [`MaterializedAggregate::answers`]).
+    pub fn execute(&self, query: &CubeQuery) -> Result<CellSet, OlapError> {
+        if !self.answers(query) {
+            return Err(OlapError::Invalid(
+                "aggregate does not cover this query".into(),
+            ));
+        }
+        let axis_pos: Vec<usize> = query
+            .axes
+            .iter()
+            .map(|lr| {
+                self.axes
+                    .iter()
+                    .position(|a| {
+                        a.dimension.eq_ignore_ascii_case(&lr.dimension)
+                            && a.level.eq_ignore_ascii_case(&lr.level)
+                    })
+                    .expect("answers() checked")
+            })
+            .collect();
+        let slice_pos: Vec<(usize, &Value)> = query
+            .slices
+            .iter()
+            .map(|s| {
+                (
+                    self.axes
+                        .iter()
+                        .position(|a| {
+                            a.dimension.eq_ignore_ascii_case(&s.level.dimension)
+                                && a.level.eq_ignore_ascii_case(&s.level.level)
+                        })
+                        .expect("answers() checked"),
+                    &s.member,
+                )
+            })
+            .collect();
+        let measure_pos: Vec<(usize, Aggregator)> = query
+            .measures
+            .iter()
+            .map(|name| {
+                let i = self
+                    .measures
+                    .iter()
+                    .position(|(m, _)| m.eq_ignore_ascii_case(name))
+                    .expect("answers() checked");
+                (i, self.measures[i].1)
+            })
+            .collect();
+
+        // roll up stored cells onto the requested axes
+        let mut grouped: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+        for (coords, ms) in &self.cells {
+            if !slice_pos.iter().all(|(i, v)| &coords[*i] == *v) {
+                continue;
+            }
+            let key: Vec<Value> = axis_pos.iter().map(|&i| coords[i].clone()).collect();
+            let entry = grouped.entry(key).or_insert_with(|| {
+                measure_pos
+                    .iter()
+                    .map(|(_, agg)| match agg {
+                        Aggregator::Sum | Aggregator::Count => Value::Null,
+                        Aggregator::Min | Aggregator::Max => Value::Null,
+                        Aggregator::Avg => Value::Null,
+                    })
+                    .collect()
+            });
+            for (out, (mi, agg)) in entry.iter_mut().zip(&measure_pos) {
+                let v = &ms[*mi];
+                if v.is_null() {
+                    continue;
+                }
+                *out = match (agg, &*out) {
+                    (_, Value::Null) => v.clone(),
+                    (Aggregator::Sum | Aggregator::Count, prev) => {
+                        match (prev.as_f64(), v.as_f64()) {
+                            (Some(a), Some(b)) => {
+                                if matches!((prev, v), (Value::Int(_), Value::Int(_))) {
+                                    Value::Int(prev.as_i64().unwrap() + v.as_i64().unwrap())
+                                } else {
+                                    Value::Float(a + b)
+                                }
+                            }
+                            _ => prev.clone(),
+                        }
+                    }
+                    (Aggregator::Min, prev) => {
+                        if v < prev {
+                            v.clone()
+                        } else {
+                            prev.clone()
+                        }
+                    }
+                    (Aggregator::Max, prev) => {
+                        if v > prev {
+                            v.clone()
+                        } else {
+                            prev.clone()
+                        }
+                    }
+                    (Aggregator::Avg, prev) => prev.clone(), // unreachable: answers() forbids
+                };
+            }
+        }
+        let mut cells: Vec<(Vec<Value>, Vec<Value>)> = grouped.into_iter().collect();
+        cells.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Ok(CellSet {
+            axis_names: query
+                .axes
+                .iter()
+                .map(|a| format!("{}.{}", a.dimension, a.level))
+                .collect(),
+            measure_names: query.measures.clone(),
+            cells,
+        })
+    }
+}
+
+/// A cache of materialized aggregates consulted before hitting the fact
+/// table.
+#[derive(Debug, Default)]
+pub struct AggregateCache {
+    aggregates: Vec<MaterializedAggregate>,
+}
+
+impl AggregateCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        AggregateCache::default()
+    }
+
+    /// Register a materialized aggregate.
+    pub fn add(&mut self, agg: MaterializedAggregate) {
+        self.aggregates.push(agg);
+    }
+
+    /// Number of registered aggregates.
+    pub fn len(&self) -> usize {
+        self.aggregates.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.aggregates.is_empty()
+    }
+
+    /// Answer from the cache if any aggregate covers the query.
+    pub fn try_answer(&self, cube: &str, query: &CubeQuery) -> Option<CellSet> {
+        self.aggregates
+            .iter()
+            .find(|a| a.cube == cube && a.answers(query))
+            .and_then(|a| a.execute(query).ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::Slice;
+    use crate::test_fixtures::{sales_cube, sales_db};
+    use std::sync::Arc;
+
+    fn engine() -> CubeEngine {
+        CubeEngine::new(Arc::new(sales_db()))
+    }
+
+    #[test]
+    fn materialized_matches_live_query() {
+        let engine = engine();
+        let cube = sales_cube();
+        let axes = vec![
+            LevelRef::new("time", "year"),
+            LevelRef::new("store", "region"),
+        ];
+        let agg = MaterializedAggregate::build(
+            &engine,
+            &cube,
+            axes.clone(),
+            vec!["revenue".into(), "units".into()],
+        )
+        .unwrap();
+        assert!(!agg.is_empty());
+        let q = CubeQuery {
+            axes,
+            slices: vec![],
+            measures: vec!["revenue".into()],
+        };
+        assert!(agg.answers(&q));
+        let from_agg = agg.execute(&q).unwrap();
+        let live = engine.query(&cube, &q).unwrap();
+        assert_eq!(from_agg.cells, live.cells);
+    }
+
+    #[test]
+    fn rollup_from_finer_aggregate() {
+        let engine = engine();
+        let cube = sales_cube();
+        let agg = MaterializedAggregate::build(
+            &engine,
+            &cube,
+            vec![
+                LevelRef::new("time", "year"),
+                LevelRef::new("store", "region"),
+            ],
+            vec!["revenue".into()],
+        )
+        .unwrap();
+        // roll up to region only
+        let q = CubeQuery {
+            axes: vec![LevelRef::new("store", "region")],
+            slices: vec![],
+            measures: vec!["revenue".into()],
+        };
+        assert!(agg.answers(&q));
+        let rolled = agg.execute(&q).unwrap();
+        let live = engine.query(&cube, &q).unwrap();
+        assert_eq!(rolled.cells, live.cells);
+    }
+
+    #[test]
+    fn sliced_query_from_aggregate() {
+        let engine = engine();
+        let cube = sales_cube();
+        let agg = MaterializedAggregate::build(
+            &engine,
+            &cube,
+            vec![
+                LevelRef::new("time", "year"),
+                LevelRef::new("store", "region"),
+            ],
+            vec!["revenue".into()],
+        )
+        .unwrap();
+        let q = CubeQuery {
+            axes: vec![LevelRef::new("time", "year")],
+            slices: vec![Slice {
+                level: LevelRef::new("store", "region"),
+                member: "EU".into(),
+            }],
+            measures: vec!["revenue".into()],
+        };
+        let rolled = agg.execute(&q).unwrap();
+        let live = engine.query(&cube, &q).unwrap();
+        assert_eq!(rolled.cells, live.cells);
+    }
+
+    #[test]
+    fn avg_cannot_roll_up_but_exact_match_ok() {
+        let engine = engine();
+        let mut cube = sales_cube();
+        cube.measures.push(crate::cube::MeasureDef {
+            name: "avg_amount".into(),
+            column: "amount".into(),
+            aggregator: Aggregator::Avg,
+        });
+        let axes = vec![
+            LevelRef::new("time", "year"),
+            LevelRef::new("store", "region"),
+        ];
+        let agg =
+            MaterializedAggregate::build(&engine, &cube, axes.clone(), vec!["avg_amount".into()])
+                .unwrap();
+        // exact-match query is fine
+        let exact = CubeQuery {
+            axes: axes.clone(),
+            slices: vec![],
+            measures: vec!["avg_amount".into()],
+        };
+        assert!(agg.answers(&exact));
+        // roll-up is refused
+        let rollup = CubeQuery {
+            axes: vec![LevelRef::new("store", "region")],
+            slices: vec![],
+            measures: vec!["avg_amount".into()],
+        };
+        assert!(!agg.answers(&rollup));
+    }
+
+    #[test]
+    fn cache_answers_covered_queries_only() {
+        let engine = engine();
+        let cube = sales_cube();
+        let mut cache = AggregateCache::new();
+        cache.add(
+            MaterializedAggregate::build(
+                &engine,
+                &cube,
+                vec![LevelRef::new("store", "region")],
+                vec!["revenue".into()],
+            )
+            .unwrap(),
+        );
+        let covered = CubeQuery {
+            axes: vec![LevelRef::new("store", "region")],
+            slices: vec![],
+            measures: vec!["revenue".into()],
+        };
+        assert!(cache.try_answer("sales", &covered).is_some());
+        let uncovered = CubeQuery {
+            axes: vec![LevelRef::new("store", "city")],
+            slices: vec![],
+            measures: vec!["revenue".into()],
+        };
+        assert!(cache.try_answer("sales", &uncovered).is_none());
+        assert!(cache.try_answer("other_cube", &covered).is_none());
+    }
+}

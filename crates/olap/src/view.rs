@@ -1,0 +1,215 @@
+//! Cube navigation: the "data cube visualization and navigation" of ODBIS
+//! §3.1 — drill-down, roll-up, slice, dice and pivot over a stateful view.
+
+use std::sync::Arc;
+
+use odbis_storage::Value;
+
+use crate::cube::{CellSet, CubeDef, CubeEngine, CubeQuery, LevelRef, Slice};
+use crate::OlapError;
+
+/// A navigable view over a cube: holds the current axes/slices and
+/// re-executes on each navigation step.
+pub struct CubeView {
+    engine: Arc<CubeEngine>,
+    cube: CubeDef,
+    axes: Vec<LevelRef>,
+    slices: Vec<Slice>,
+    measures: Vec<String>,
+}
+
+impl CubeView {
+    /// Open a view with initial axes and measures.
+    pub fn new(
+        engine: Arc<CubeEngine>,
+        cube: CubeDef,
+        axes: Vec<LevelRef>,
+        measures: Vec<String>,
+    ) -> Self {
+        CubeView {
+            engine,
+            cube,
+            axes,
+            slices: Vec::new(),
+            measures,
+        }
+    }
+
+    /// Current axes.
+    pub fn axes(&self) -> &[LevelRef] {
+        &self.axes
+    }
+
+    /// Current slices.
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// Execute the current state.
+    pub fn cells(&self) -> Result<CellSet, OlapError> {
+        self.engine.query(
+            &self.cube,
+            &CubeQuery {
+                axes: self.axes.clone(),
+                slices: self.slices.clone(),
+                measures: self.measures.clone(),
+            },
+        )
+    }
+
+    fn axis_position(&self, dimension: &str) -> Result<usize, OlapError> {
+        self.axes
+            .iter()
+            .position(|a| a.dimension.eq_ignore_ascii_case(dimension))
+            .ok_or_else(|| OlapError::UnknownDimension(format!("{dimension} not on an axis")))
+    }
+
+    /// Drill down: move the dimension's axis one level finer (e.g. year →
+    /// month). Errors at the finest level.
+    pub fn drill_down(&mut self, dimension: &str) -> Result<(), OlapError> {
+        let pos = self.axis_position(dimension)?;
+        let dim = self.cube.dimension(dimension)?;
+        let cur = dim
+            .level_index(&self.axes[pos].level)
+            .ok_or_else(|| OlapError::UnknownLevel(self.axes[pos].level.clone()))?;
+        if cur + 1 >= dim.levels.len() {
+            return Err(OlapError::Navigation(format!(
+                "{dimension} is already at its finest level"
+            )));
+        }
+        self.axes[pos].level = dim.levels[cur + 1].name.clone();
+        Ok(())
+    }
+
+    /// Roll up: move the dimension's axis one level coarser. Errors at the
+    /// coarsest level.
+    pub fn roll_up(&mut self, dimension: &str) -> Result<(), OlapError> {
+        let pos = self.axis_position(dimension)?;
+        let dim = self.cube.dimension(dimension)?;
+        let cur = dim
+            .level_index(&self.axes[pos].level)
+            .ok_or_else(|| OlapError::UnknownLevel(self.axes[pos].level.clone()))?;
+        if cur == 0 {
+            return Err(OlapError::Navigation(format!(
+                "{dimension} is already at its coarsest level"
+            )));
+        }
+        self.axes[pos].level = dim.levels[cur - 1].name.clone();
+        Ok(())
+    }
+
+    /// Slice: fix one level to a member.
+    pub fn slice(&mut self, dimension: &str, level: &str, member: impl Into<Value>) {
+        self.slices.push(Slice {
+            level: LevelRef::new(dimension, level),
+            member: member.into(),
+        });
+    }
+
+    /// Dice: apply several member filters at once.
+    pub fn dice(&mut self, filters: Vec<(LevelRef, Value)>) {
+        for (level, member) in filters {
+            self.slices.push(Slice { level, member });
+        }
+    }
+
+    /// Remove all slices.
+    pub fn clear_slices(&mut self) {
+        self.slices.clear();
+    }
+
+    /// Pivot: swap the first two axes (rows ↔ columns).
+    pub fn pivot(&mut self) -> Result<(), OlapError> {
+        if self.axes.len() < 2 {
+            return Err(OlapError::Navigation(
+                "pivot requires at least two axes".into(),
+            ));
+        }
+        self.axes.swap(0, 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{sales_cube, sales_db};
+
+    fn view() -> CubeView {
+        let engine = Arc::new(CubeEngine::new(Arc::new(sales_db())));
+        CubeView::new(
+            engine,
+            sales_cube(),
+            vec![
+                LevelRef::new("time", "year"),
+                LevelRef::new("store", "region"),
+            ],
+            vec!["revenue".into()],
+        )
+    }
+
+    #[test]
+    fn drill_down_and_roll_up_change_granularity() {
+        let mut v = view();
+        let coarse = v.cells().unwrap();
+        v.drill_down("store").unwrap(); // region -> country
+        let finer = v.cells().unwrap();
+        assert!(finer.len() >= coarse.len());
+        assert_eq!(v.axes()[1].level, "country");
+        v.roll_up("store").unwrap();
+        assert_eq!(v.axes()[1].level, "region");
+        // totals preserved under roll-up
+        let back = v.cells().unwrap();
+        assert_eq!(back, coarse);
+    }
+
+    #[test]
+    fn navigation_bounds_error() {
+        let mut v = view();
+        v.roll_up("store").unwrap_err(); // region is coarsest
+        v.drill_down("store").unwrap(); // country
+        v.drill_down("store").unwrap(); // city
+        assert!(matches!(
+            v.drill_down("store"),
+            Err(OlapError::Navigation(_))
+        ));
+        assert!(matches!(
+            v.drill_down("ghost"),
+            Err(OlapError::UnknownDimension(_))
+        ));
+    }
+
+    #[test]
+    fn slice_and_dice_filter_cells() {
+        let mut v = view();
+        v.slice("store", "region", "EU");
+        let cs = v.cells().unwrap();
+        assert!(cs
+            .cells
+            .iter()
+            .all(|(coords, _)| coords[1] == Value::from("EU")));
+        v.clear_slices();
+        v.dice(vec![
+            (LevelRef::new("store", "region"), "EU".into()),
+            (LevelRef::new("time", "year"), 2010.into()),
+        ]);
+        let cs = v.cells().unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs.cells[0].1, vec![Value::Float(40.0)]);
+    }
+
+    #[test]
+    fn pivot_swaps_axes() {
+        let mut v = view();
+        let before = v.cells().unwrap();
+        v.pivot().unwrap();
+        let after = v.cells().unwrap();
+        assert_eq!(after.axis_names, vec!["store.region", "time.year"]);
+        // same cells, transposed coordinates
+        assert_eq!(before.len(), after.len());
+        for (coords, measures) in &before.cells {
+            let swapped = vec![coords[1].clone(), coords[0].clone()];
+            assert_eq!(after.cell(&swapped).unwrap(), measures.as_slice());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! ORM error type.
+
+use std::fmt;
+
+use odbis_sql::SqlError;
+use odbis_storage::DbError;
+
+/// Errors raised by the persistence layer.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // self-documenting
+pub enum OrmError {
+    /// Invalid entity mapping metadata.
+    Mapping(String),
+    /// Entity with the given id was not found.
+    NotFound { entity: String, id: String },
+    /// Propagated storage error.
+    Storage(DbError),
+    /// Propagated query error.
+    Sql(String),
+    /// Optimistic-style conflict: saving a transient entity whose id exists.
+    Conflict(String),
+}
+
+impl fmt::Display for OrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrmError::Mapping(m) => write!(f, "mapping error: {m}"),
+            OrmError::NotFound { entity, id } => write!(f, "{entity} with id {id} not found"),
+            OrmError::Storage(e) => write!(f, "storage error: {e}"),
+            OrmError::Sql(e) => write!(f, "query error: {e}"),
+            OrmError::Conflict(m) => write!(f, "conflict: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OrmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OrmError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbError> for OrmError {
+    fn from(e: DbError) -> Self {
+        OrmError::Storage(e)
+    }
+}
+
+impl From<SqlError> for OrmError {
+    fn from(e: SqlError) -> Self {
+        OrmError::Sql(e.to_string())
+    }
+}
+
+/// Result alias for ORM operations.
+pub type OrmResult<T> = Result<T, OrmError>;

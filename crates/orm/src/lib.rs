@@ -1,0 +1,44 @@
+//! # odbis-orm
+//!
+//! The persistence layer of the ODBIS platform — the reproduction's
+//! substitute for JPA/Hibernate in the paper's technical architecture
+//! (Figure 5): entity metadata ("annotations"), schema derivation
+//! (`hbm2ddl`), typed repositories (data-access layer of Figure 4) and an
+//! atomic unit of work (`EntityManager` flush).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use odbis_orm::{Entity, EntityMeta, OrmResult, Repository};
+//! use odbis_storage::{Database, DataType, Value};
+//!
+//! #[derive(Clone)]
+//! struct Tag { id: i64, label: String }
+//!
+//! impl Entity for Tag {
+//!     fn meta() -> EntityMeta {
+//!         EntityMeta::new("Tag", "tags").id_field("id").field("label", DataType::Text)
+//!     }
+//!     fn to_row(&self) -> Vec<Value> {
+//!         vec![Value::Int(self.id), Value::Text(self.label.clone())]
+//!     }
+//!     fn from_row(row: &[Value]) -> OrmResult<Self> {
+//!         Ok(Tag { id: row[0].as_i64().unwrap(), label: row[1].as_str().unwrap().into() })
+//!     }
+//! }
+//!
+//! let repo: Repository<Tag> = Repository::new(Arc::new(Database::new())).unwrap();
+//! repo.insert(&Tag { id: 1, label: "bi".into() }).unwrap();
+//! assert_eq!(repo.count().unwrap(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod meta;
+mod repository;
+mod uow;
+
+pub use error::{OrmError, OrmResult};
+pub use meta::{get_value, Entity, EntityMeta, FieldMeta};
+pub use repository::Repository;
+pub use uow::UnitOfWork;

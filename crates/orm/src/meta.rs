@@ -1,0 +1,203 @@
+//! Entity metadata: the ORM's substitute for JPA annotations.
+
+use odbis_storage::{Column, DataType, Schema, Value};
+
+use crate::error::{OrmError, OrmResult};
+
+/// Metadata for one persistent field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldMeta {
+    /// Field name in the domain object.
+    pub name: String,
+    /// Mapped column name (often equal to `name`).
+    pub column: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Identifier field (exactly one per entity).
+    pub id: bool,
+    /// NOT NULL constraint.
+    pub not_null: bool,
+}
+
+/// Metadata for one entity type — what `@Entity`/`@Table`/`@Id` declare in
+/// JPA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityMeta {
+    /// Logical entity name.
+    pub entity: String,
+    /// Mapped table name.
+    pub table: String,
+    /// Persistent fields, in column order.
+    pub fields: Vec<FieldMeta>,
+}
+
+impl EntityMeta {
+    /// Builder-style constructor.
+    pub fn new(entity: impl Into<String>, table: impl Into<String>) -> Self {
+        EntityMeta {
+            entity: entity.into(),
+            table: table.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Add the identifier field (INT, NOT NULL).
+    pub fn id_field(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        self.fields.push(FieldMeta {
+            column: name.clone(),
+            name,
+            data_type: DataType::Int,
+            id: true,
+            not_null: true,
+        });
+        self
+    }
+
+    /// Add a plain field.
+    pub fn field(mut self, name: impl Into<String>, data_type: DataType) -> Self {
+        let name = name.into();
+        self.fields.push(FieldMeta {
+            column: name.clone(),
+            name,
+            data_type,
+            id: false,
+            not_null: false,
+        });
+        self
+    }
+
+    /// Add a NOT NULL field.
+    pub fn required_field(mut self, name: impl Into<String>, data_type: DataType) -> Self {
+        let name = name.into();
+        self.fields.push(FieldMeta {
+            column: name.clone(),
+            name,
+            data_type,
+            id: false,
+            not_null: true,
+        });
+        self
+    }
+
+    /// Remap the most recently added field to a different column name.
+    pub fn mapped_to(mut self, column: impl Into<String>) -> Self {
+        if let Some(f) = self.fields.last_mut() {
+            f.column = column.into();
+        }
+        self
+    }
+
+    /// Validate the metadata: exactly one id field, no duplicate columns.
+    pub fn validate(&self) -> OrmResult<()> {
+        let ids = self.fields.iter().filter(|f| f.id).count();
+        if ids != 1 {
+            return Err(OrmError::Mapping(format!(
+                "entity {} must have exactly one id field, found {ids}",
+                self.entity
+            )));
+        }
+        for (i, f) in self.fields.iter().enumerate() {
+            if self.fields[..i]
+                .iter()
+                .any(|p| p.column.eq_ignore_ascii_case(&f.column))
+            {
+                return Err(OrmError::Mapping(format!(
+                    "entity {}: duplicate column {}",
+                    self.entity, f.column
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Position of the id field.
+    pub fn id_index(&self) -> usize {
+        self.fields
+            .iter()
+            .position(|f| f.id)
+            .expect("validated entity has an id field")
+    }
+
+    /// Derive the storage [`Schema`] for this entity (what Hibernate's
+    /// `hbm2ddl` does).
+    pub fn derive_schema(&self) -> OrmResult<Schema> {
+        self.validate()?;
+        let cols: Vec<Column> = self
+            .fields
+            .iter()
+            .map(|f| {
+                let mut c = Column::new(f.column.clone(), f.data_type);
+                if f.not_null {
+                    c = c.not_null();
+                }
+                c
+            })
+            .collect();
+        let schema = Schema::new(cols)?;
+        let id_col = self.fields[self.id_index()].column.clone();
+        Ok(schema.with_primary_key(&[&id_col])?)
+    }
+}
+
+/// A persistent domain object.
+///
+/// This is the reproduction's substitute for a JPA `@Entity`: the type knows
+/// its metadata and how to map itself to and from a storage row.
+pub trait Entity: Sized + Clone {
+    /// The entity's mapping metadata.
+    fn meta() -> EntityMeta;
+
+    /// Serialize into a row matching `meta().fields` order.
+    fn to_row(&self) -> Vec<Value>;
+
+    /// Deserialize from a row in `meta().fields` order.
+    fn from_row(row: &[Value]) -> OrmResult<Self>;
+
+    /// The identifier value.
+    fn id_value(&self) -> Value {
+        self.to_row()[Self::meta().id_index()].clone()
+    }
+}
+
+/// Helper for `from_row` implementations: fetch and type-check one value.
+pub fn get_value<'a>(row: &'a [Value], i: usize, what: &str) -> OrmResult<&'a Value> {
+    row.get(i)
+        .ok_or_else(|| OrmError::Mapping(format!("row too short for field {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> EntityMeta {
+        EntityMeta::new("User", "users")
+            .id_field("id")
+            .required_field("name", DataType::Text)
+            .field("email", DataType::Text)
+            .mapped_to("email_address")
+    }
+
+    #[test]
+    fn builder_and_validation() {
+        let m = meta();
+        m.validate().unwrap();
+        assert_eq!(m.id_index(), 0);
+        assert_eq!(m.fields[2].column, "email_address");
+        let bad = EntityMeta::new("X", "x").field("a", DataType::Int);
+        assert!(bad.validate().is_err()); // no id
+        let dup = EntityMeta::new("X", "x")
+            .id_field("a")
+            .field("A", DataType::Int);
+        assert!(dup.validate().is_err());
+    }
+
+    #[test]
+    fn schema_derivation() {
+        let s = meta().derive_schema().unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.primary_key(), &[0]);
+        assert!(s.column("email_address").is_some());
+        assert!(s.columns()[1].not_null);
+    }
+}

@@ -1,0 +1,263 @@
+//! Unit of Work: batch entity changes and flush them atomically.
+
+use std::sync::Arc;
+
+use odbis_storage::{Database, Value};
+
+use crate::error::{OrmError, OrmResult};
+use crate::meta::Entity;
+
+/// Pending change kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChangeKind {
+    Insert,
+    Update,
+    Delete,
+}
+
+#[derive(Debug)]
+struct Change {
+    table: String,
+    kind: ChangeKind,
+    id: Value,
+    id_index: usize,
+    row: Option<Vec<Value>>,
+}
+
+/// A unit of work (JPA `EntityManager` flush semantics): register new,
+/// dirty and removed entities, then [`UnitOfWork::commit`] applies all of
+/// them inside one storage transaction — either everything lands or nothing
+/// does.
+#[derive(Debug)]
+pub struct UnitOfWork {
+    db: Arc<Database>,
+    changes: Vec<Change>,
+}
+
+impl UnitOfWork {
+    /// Start an empty unit of work.
+    pub fn new(db: Arc<Database>) -> Self {
+        UnitOfWork {
+            db,
+            changes: Vec::new(),
+        }
+    }
+
+    /// Number of pending changes.
+    pub fn pending(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Register a new entity for insertion.
+    pub fn register_new<E: Entity>(&mut self, entity: &E) {
+        let meta = E::meta();
+        self.changes.push(Change {
+            table: meta.table.clone(),
+            kind: ChangeKind::Insert,
+            id: entity.id_value(),
+            id_index: meta.id_index(),
+            row: Some(entity.to_row()),
+        });
+    }
+
+    /// Register an existing entity whose state changed.
+    pub fn register_dirty<E: Entity>(&mut self, entity: &E) {
+        let meta = E::meta();
+        self.changes.push(Change {
+            table: meta.table.clone(),
+            kind: ChangeKind::Update,
+            id: entity.id_value(),
+            id_index: meta.id_index(),
+            row: Some(entity.to_row()),
+        });
+    }
+
+    /// Register an entity for removal.
+    pub fn register_removed<E: Entity>(&mut self, entity: &E) {
+        let meta = E::meta();
+        self.changes.push(Change {
+            table: meta.table.clone(),
+            kind: ChangeKind::Delete,
+            id: entity.id_value(),
+            id_index: meta.id_index(),
+            row: None,
+        });
+    }
+
+    /// Apply all pending changes in registration order inside one
+    /// transaction. On any failure everything is rolled back and the error
+    /// returned; the unit of work is left empty either way.
+    pub fn commit(mut self) -> OrmResult<usize> {
+        let changes = std::mem::take(&mut self.changes);
+        let n = changes.len();
+        let mut txn = self.db.begin();
+        for ch in changes {
+            // resolve current row id by primary key
+            let rid = self.db.read_table(&ch.table, |t| {
+                t.index(&format!("pk_{}", ch.table))
+                    .map(|pk| pk.lookup(std::slice::from_ref(&ch.id)).first().copied())
+                    .unwrap_or_else(|| {
+                        t.scan()
+                            .find(|(_, row)| row[ch.id_index] == ch.id)
+                            .map(|(rid, _)| rid)
+                    })
+            })?;
+            let outcome = match (ch.kind, rid) {
+                (ChangeKind::Insert, Some(_)) => Err(OrmError::Conflict(format!(
+                    "insert of existing id {} into {}",
+                    ch.id.render(),
+                    ch.table
+                ))),
+                (ChangeKind::Insert, None) => txn
+                    .insert(&ch.table, ch.row.expect("insert carries a row"))
+                    .map(drop)
+                    .map_err(OrmError::from),
+                (ChangeKind::Update, Some(rid)) => txn
+                    .update(&ch.table, rid, ch.row.expect("update carries a row"))
+                    .map_err(OrmError::from),
+                (ChangeKind::Update, None) => Err(OrmError::NotFound {
+                    entity: ch.table.clone(),
+                    id: ch.id.render(),
+                }),
+                (ChangeKind::Delete, Some(rid)) => {
+                    txn.delete(&ch.table, rid).map_err(OrmError::from)
+                }
+                (ChangeKind::Delete, None) => Err(OrmError::NotFound {
+                    entity: ch.table.clone(),
+                    id: ch.id.render(),
+                }),
+            };
+            if let Err(e) = outcome {
+                txn.rollback()?;
+                return Err(e);
+            }
+        }
+        txn.commit()?;
+        Ok(n)
+    }
+
+    /// Discard all pending changes.
+    pub fn clear(&mut self) {
+        self.changes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::EntityMeta;
+    use crate::repository::Repository;
+    use odbis_storage::DataType;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Item {
+        id: i64,
+        label: String,
+    }
+
+    impl Entity for Item {
+        fn meta() -> EntityMeta {
+            EntityMeta::new("Item", "uow_items")
+                .id_field("id")
+                .required_field("label", DataType::Text)
+        }
+        fn to_row(&self) -> Vec<Value> {
+            vec![Value::Int(self.id), Value::Text(self.label.clone())]
+        }
+        fn from_row(row: &[Value]) -> OrmResult<Self> {
+            Ok(Item {
+                id: row[0].as_i64().unwrap_or_default(),
+                label: row[1].as_str().unwrap_or_default().to_string(),
+            })
+        }
+    }
+
+    fn setup() -> (Arc<Database>, Repository<Item>) {
+        let db = Arc::new(Database::new());
+        let repo = Repository::new(Arc::clone(&db)).unwrap();
+        (db, repo)
+    }
+
+    #[test]
+    fn commit_applies_everything_in_order() {
+        let (db, repo) = setup();
+        repo.insert(&Item {
+            id: 1,
+            label: "old".into(),
+        })
+        .unwrap();
+        let mut uow = UnitOfWork::new(Arc::clone(&db));
+        uow.register_new(&Item {
+            id: 2,
+            label: "new".into(),
+        });
+        uow.register_dirty(&Item {
+            id: 1,
+            label: "updated".into(),
+        });
+        assert_eq!(uow.pending(), 2);
+        assert_eq!(uow.commit().unwrap(), 2);
+        assert_eq!(repo.get(1i64).unwrap().label, "updated");
+        assert_eq!(repo.count().unwrap(), 2);
+    }
+
+    #[test]
+    fn failed_commit_rolls_back_all_changes() {
+        let (db, repo) = setup();
+        repo.insert(&Item {
+            id: 1,
+            label: "keep".into(),
+        })
+        .unwrap();
+        let mut uow = UnitOfWork::new(db);
+        uow.register_new(&Item {
+            id: 2,
+            label: "will be rolled back".into(),
+        });
+        // update of a missing entity fails the whole unit
+        uow.register_dirty(&Item {
+            id: 99,
+            label: "nope".into(),
+        });
+        let err = uow.commit().unwrap_err();
+        assert!(matches!(err, OrmError::NotFound { .. }));
+        assert_eq!(repo.count().unwrap(), 1);
+        assert_eq!(repo.get(1i64).unwrap().label, "keep");
+    }
+
+    #[test]
+    fn duplicate_insert_conflicts_and_rolls_back() {
+        let (db, repo) = setup();
+        repo.insert(&Item {
+            id: 1,
+            label: "x".into(),
+        })
+        .unwrap();
+        let mut uow = UnitOfWork::new(db);
+        uow.register_removed(&Item {
+            id: 1,
+            label: "x".into(),
+        });
+        uow.register_new(&Item {
+            id: 1,
+            label: "x2".into(),
+        });
+        // delete then re-insert same id works (order preserved)
+        uow.commit().unwrap();
+        assert_eq!(repo.get(1i64).unwrap().label, "x2");
+    }
+
+    #[test]
+    fn clear_discards() {
+        let (db, repo) = setup();
+        let mut uow = UnitOfWork::new(db);
+        uow.register_new(&Item {
+            id: 5,
+            label: "z".into(),
+        });
+        uow.clear();
+        assert_eq!(uow.pending(), 0);
+        assert_eq!(uow.commit().unwrap(), 0);
+        assert_eq!(repo.count().unwrap(), 0);
+    }
+}

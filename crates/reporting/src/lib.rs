@@ -1,0 +1,27 @@
+//! # odbis-reporting
+//!
+//! The Reporting Service (RS) — the ODBIS core BI service whose current
+//! release "supports BIRT reporting and ad-hoc reporting" (§3.3):
+//! chart reports, data-table reports, KPI tiles and dashboards (the
+//! healthcare dashboard of the paper's Figure 6 is reproduced with this
+//! module), plus parameterized report templates filling the BIRT slot.
+//!
+//! Renderers produce standalone SVG (charts), HTML fragments/documents
+//! (tables, KPIs, dashboards, templates) and fixed-width text.
+
+#![warn(missing_docs)]
+
+mod render;
+mod service;
+mod spec;
+mod template;
+
+pub use render::{
+    escape_html, render_chart_svg, render_kpi_html, render_table_html, render_text,
+};
+pub use service::{Report, ReportingService};
+pub use spec::{
+    chart_data, kpi_value, ChartKind, ChartSpec, Dashboard, KpiSpec, ReportError, ReportResult,
+    TableSpec, Widget,
+};
+pub use template::{run_template, substitute, ParamDef, RenderedReport, ReportTemplate, Section};

@@ -1,0 +1,330 @@
+//! Renderers: SVG charts, HTML tables/dashboards, plain text.
+
+use odbis_sql::QueryResult;
+
+use crate::spec::{
+    chart_data, kpi_value, ChartKind, ChartSpec, KpiSpec, ReportError, ReportResult, TableSpec,
+};
+
+/// Escape text for inclusion in HTML/SVG.
+pub fn escape_html(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+const SERIES_COLORS: [&str; 6] = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948",
+];
+
+/// Render a chart to a standalone SVG document.
+pub fn render_chart_svg(spec: &ChartSpec, data: &QueryResult) -> ReportResult<String> {
+    let rows = chart_data(spec, data)?;
+    if rows.is_empty() {
+        return Err(ReportError::BadData("no rows to chart".into()));
+    }
+    match spec.kind {
+        ChartKind::Bar => render_bar(spec, &rows),
+        ChartKind::Line => render_line(spec, &rows),
+        ChartKind::Pie => render_pie(spec, &rows),
+    }
+}
+
+const W: f64 = 480.0;
+const H: f64 = 300.0;
+const PAD: f64 = 40.0;
+
+fn svg_header(title: &str) -> String {
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+         viewBox=\"0 0 {W} {H}\" font-family=\"sans-serif\">\n\
+         <text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"14\" font-weight=\"bold\">{}</text>\n",
+        W / 2.0,
+        escape_html(title)
+    )
+}
+
+fn max_value(rows: &[(String, Vec<f64>)]) -> f64 {
+    rows.iter()
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-9)
+}
+
+fn render_bar(spec: &ChartSpec, rows: &[(String, Vec<f64>)]) -> ReportResult<String> {
+    let mut svg = svg_header(&spec.title);
+    let max = max_value(rows);
+    let n_groups = rows.len() as f64;
+    let n_series = spec.series.len() as f64;
+    let group_w = (W - 2.0 * PAD) / n_groups;
+    let bar_w = (group_w * 0.8) / n_series;
+    for (gi, (label, values)) in rows.iter().enumerate() {
+        for (si, v) in values.iter().enumerate() {
+            let h = (v / max) * (H - 2.0 * PAD);
+            let x = PAD + gi as f64 * group_w + group_w * 0.1 + si as f64 * bar_w;
+            let y = H - PAD - h;
+            svg.push_str(&format!(
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{:.1}\" height=\"{h:.1}\" fill=\"{}\"/>\n",
+                bar_w.max(1.0),
+                SERIES_COLORS[si % SERIES_COLORS.len()]
+            ));
+        }
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" font-size=\"10\">{}</text>\n",
+            PAD + gi as f64 * group_w + group_w / 2.0,
+            H - PAD + 14.0,
+            escape_html(label)
+        ));
+    }
+    svg.push_str(&axis_lines());
+    svg.push_str(&legend(&spec.series));
+    svg.push_str("</svg>\n");
+    Ok(svg)
+}
+
+fn render_line(spec: &ChartSpec, rows: &[(String, Vec<f64>)]) -> ReportResult<String> {
+    let mut svg = svg_header(&spec.title);
+    let max = max_value(rows);
+    let n = rows.len().max(2) as f64;
+    let step = (W - 2.0 * PAD) / (n - 1.0);
+    for si in 0..spec.series.len() {
+        let points: Vec<String> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (_, vs))| {
+                let x = PAD + i as f64 * step;
+                let y = H - PAD - (vs[si] / max) * (H - 2.0 * PAD);
+                format!("{x:.1},{y:.1}")
+            })
+            .collect();
+        svg.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"2\"/>\n",
+            points.join(" "),
+            SERIES_COLORS[si % SERIES_COLORS.len()]
+        ));
+    }
+    for (i, (label, _)) in rows.iter().enumerate() {
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" font-size=\"10\">{}</text>\n",
+            PAD + i as f64 * step,
+            H - PAD + 14.0,
+            escape_html(label)
+        ));
+    }
+    svg.push_str(&axis_lines());
+    svg.push_str(&legend(&spec.series));
+    svg.push_str("</svg>\n");
+    Ok(svg)
+}
+
+fn render_pie(spec: &ChartSpec, rows: &[(String, Vec<f64>)]) -> ReportResult<String> {
+    let total: f64 = rows.iter().map(|(_, vs)| vs[0]).sum();
+    if total <= 0.0 {
+        return Err(ReportError::BadData("pie total must be positive".into()));
+    }
+    let (cx, cy, r) = (W / 2.0, H / 2.0 + 10.0, (H - 2.0 * PAD) / 2.0);
+    let mut svg = svg_header(&spec.title);
+    let mut angle = -std::f64::consts::FRAC_PI_2;
+    for (i, (label, vs)) in rows.iter().enumerate() {
+        let frac = vs[0] / total;
+        let sweep = frac * std::f64::consts::TAU;
+        let (x1, y1) = (cx + r * angle.cos(), cy + r * angle.sin());
+        let end = angle + sweep;
+        let (x2, y2) = (cx + r * end.cos(), cy + r * end.sin());
+        let large = i32::from(sweep > std::f64::consts::PI);
+        svg.push_str(&format!(
+            "<path d=\"M{cx:.1},{cy:.1} L{x1:.1},{y1:.1} A{r:.1},{r:.1} 0 {large} 1 {x2:.1},{y2:.1} Z\" \
+             fill=\"{}\"><title>{}: {:.1}%</title></path>\n",
+            SERIES_COLORS[i % SERIES_COLORS.len()],
+            escape_html(label),
+            frac * 100.0
+        ));
+        angle = end;
+    }
+    let labels: Vec<String> = rows.iter().map(|(l, _)| l.clone()).collect();
+    svg.push_str(&legend(&labels));
+    svg.push_str("</svg>\n");
+    Ok(svg)
+}
+
+fn axis_lines() -> String {
+    format!(
+        "<line x1=\"{PAD}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"#333\"/>\n\
+         <line x1=\"{PAD}\" y1=\"{PAD}\" x2=\"{PAD}\" y2=\"{0}\" stroke=\"#333\"/>\n",
+        H - PAD,
+        W - PAD
+    )
+}
+
+fn legend(names: &[String]) -> String {
+    let mut out = String::new();
+    for (i, name) in names.iter().enumerate() {
+        let y = 34.0 + i as f64 * 14.0;
+        out.push_str(&format!(
+            "<rect x=\"{}\" y=\"{:.1}\" width=\"10\" height=\"10\" fill=\"{}\"/>\
+             <text x=\"{}\" y=\"{:.1}\" font-size=\"10\">{}</text>\n",
+            W - 110.0,
+            y,
+            SERIES_COLORS[i % SERIES_COLORS.len()],
+            W - 96.0,
+            y + 9.0,
+            escape_html(name)
+        ));
+    }
+    out
+}
+
+/// Render a data table to an HTML fragment.
+pub fn render_table_html(spec: &TableSpec, data: &QueryResult) -> ReportResult<String> {
+    let idxs: Vec<usize> = if spec.columns.is_empty() {
+        (0..data.columns.len()).collect()
+    } else {
+        spec.columns
+            .iter()
+            .map(|c| {
+                data.column_index(c)
+                    .ok_or_else(|| ReportError::MissingColumn(c.clone()))
+            })
+            .collect::<ReportResult<_>>()?
+    };
+    let mut html = format!(
+        "<table class=\"odbis-table\">\n<caption>{}</caption>\n<thead><tr>",
+        escape_html(&spec.title)
+    );
+    for &i in &idxs {
+        html.push_str(&format!("<th>{}</th>", escape_html(&data.columns[i])));
+    }
+    html.push_str("</tr></thead>\n<tbody>\n");
+    let limit = spec.max_rows.unwrap_or(data.rows.len());
+    for row in data.rows.iter().take(limit) {
+        html.push_str("<tr>");
+        for &i in &idxs {
+            html.push_str(&format!("<td>{}</td>", escape_html(&row[i].render())));
+        }
+        html.push_str("</tr>\n");
+    }
+    html.push_str("</tbody>\n</table>\n");
+    Ok(html)
+}
+
+/// Render a KPI tile to an HTML fragment.
+pub fn render_kpi_html(spec: &KpiSpec, data: &QueryResult) -> ReportResult<String> {
+    let value = kpi_value(spec, data)?;
+    Ok(format!(
+        "<div class=\"odbis-kpi\"><div class=\"kpi-value\">{}{}</div>\
+         <div class=\"kpi-label\">{}</div></div>\n",
+        escape_html(&value.render()),
+        escape_html(&spec.unit),
+        escape_html(&spec.title)
+    ))
+}
+
+/// Render a whole query result as a fixed-width text report (console
+/// delivery channel).
+pub fn render_text(title: &str, data: &QueryResult) -> String {
+    format!("== {title} ==\n{}", data.to_text_table())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odbis_storage::Value;
+
+    fn data() -> QueryResult {
+        QueryResult {
+            columns: vec!["region".into(), "total".into()],
+            rows: vec![
+                vec!["EU".into(), Value::Float(70.0)],
+                vec!["US".into(), Value::Float(30.0)],
+            ],
+            rows_affected: 0,
+        }
+    }
+
+    fn chart(kind: ChartKind) -> ChartSpec {
+        ChartSpec {
+            title: "Revenue <by> region".into(),
+            kind,
+            category: "region".into(),
+            series: vec!["total".into()],
+        }
+    }
+
+    #[test]
+    fn bar_line_pie_render_valid_svg() {
+        for kind in [ChartKind::Bar, ChartKind::Line, ChartKind::Pie] {
+            let svg = render_chart_svg(&chart(kind), &data()).unwrap();
+            assert!(svg.starts_with("<svg"));
+            assert!(svg.ends_with("</svg>\n"));
+            assert!(svg.contains("Revenue &lt;by&gt; region")); // escaped
+            assert!(svg.contains("EU"));
+        }
+        let bar = render_chart_svg(&chart(ChartKind::Bar), &data()).unwrap();
+        assert_eq!(bar.matches("<rect").count(), 2 + 1); // 2 bars + 1 legend chip
+        let pie = render_chart_svg(&chart(ChartKind::Pie), &data()).unwrap();
+        assert_eq!(pie.matches("<path").count(), 2);
+    }
+
+    #[test]
+    fn empty_chart_is_bad_data() {
+        let empty = QueryResult {
+            columns: vec!["region".into(), "total".into()],
+            rows: vec![],
+            rows_affected: 0,
+        };
+        assert!(matches!(
+            render_chart_svg(&chart(ChartKind::Bar), &empty),
+            Err(ReportError::BadData(_))
+        ));
+    }
+
+    #[test]
+    fn pie_requires_positive_total() {
+        let zero = QueryResult {
+            columns: vec!["region".into(), "total".into()],
+            rows: vec![vec!["EU".into(), Value::Float(0.0)]],
+            rows_affected: 0,
+        };
+        assert!(render_chart_svg(&chart(ChartKind::Pie), &zero).is_err());
+    }
+
+    #[test]
+    fn table_html_with_selection_and_limit() {
+        let spec = TableSpec {
+            title: "Regions".into(),
+            columns: vec!["region".into()],
+            max_rows: Some(1),
+        };
+        let html = render_table_html(&spec, &data()).unwrap();
+        assert!(html.contains("<caption>Regions</caption>"));
+        assert!(html.contains("<th>region</th>"));
+        assert!(!html.contains("total"));
+        assert_eq!(html.matches("<tr>").count(), 2); // header + 1 row
+        let bad = TableSpec {
+            columns: vec!["ghost".into()],
+            ..spec
+        };
+        assert!(render_table_html(&bad, &data()).is_err());
+    }
+
+    #[test]
+    fn kpi_html() {
+        let spec = KpiSpec {
+            title: "EU Revenue".into(),
+            value_column: "total".into(),
+            unit: "€".into(),
+        };
+        let html = render_kpi_html(&spec, &data()).unwrap();
+        assert!(html.contains("70.0€"));
+        assert!(html.contains("EU Revenue"));
+    }
+
+    #[test]
+    fn text_rendering_and_escaping() {
+        let t = render_text("Sales", &data());
+        assert!(t.starts_with("== Sales =="));
+        assert!(t.contains("| EU"));
+        assert_eq!(escape_html("<a&\"b\">"), "&lt;a&amp;&quot;b&quot;&gt;");
+    }
+}

@@ -1,0 +1,296 @@
+//! The Reporting Service: report groups, registered reports, dashboard
+//! rendering over MDS data sets.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use odbis_metadata::MetadataService;
+use odbis_sql::QueryResult;
+use parking_lot::RwLock;
+
+use crate::render::{escape_html, render_chart_svg, render_kpi_html, render_table_html};
+use crate::spec::{Dashboard, ReportError, ReportResult, Widget};
+use crate::template::ReportTemplate;
+
+/// A registered report: either an ad-hoc dashboard or an uploaded template.
+#[derive(Debug, Clone)]
+pub enum Report {
+    /// Ad-hoc dashboard built from widgets over data sets.
+    Dashboard(Dashboard),
+    /// Uploaded parameterized template (the BIRT slot).
+    Template(ReportTemplate),
+}
+
+impl Report {
+    /// The report's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Report::Dashboard(d) => &d.name,
+            Report::Template(t) => &t.name,
+        }
+    }
+}
+
+/// The Reporting Service (RS) — manages "report-groups and reports"
+/// (ODBIS §3.3) and renders them through the shared Meta-Data Service.
+pub struct ReportingService {
+    mds: Arc<MetadataService>,
+    groups: RwLock<BTreeMap<String, BTreeMap<String, Report>>>,
+}
+
+impl ReportingService {
+    /// Service over a Meta-Data Service instance (data sets are resolved
+    /// there — experiment C3's shared-metadata path).
+    pub fn new(mds: Arc<MetadataService>) -> Self {
+        ReportingService {
+            mds,
+            groups: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Create a report group.
+    pub fn create_group(&self, name: &str) -> ReportResult<()> {
+        let mut groups = self.groups.write();
+        if groups.contains_key(name) {
+            return Err(ReportError::AlreadyExists(format!("group {name}")));
+        }
+        groups.insert(name.to_string(), BTreeMap::new());
+        Ok(())
+    }
+
+    /// Register a report in a group.
+    pub fn register(&self, group: &str, report: Report) -> ReportResult<()> {
+        let mut groups = self.groups.write();
+        let g = groups
+            .get_mut(group)
+            .ok_or_else(|| ReportError::NotFound(format!("group {group}")))?;
+        let name = report.name().to_string();
+        if g.contains_key(&name) {
+            return Err(ReportError::AlreadyExists(format!("report {name}")));
+        }
+        g.insert(name, report);
+        Ok(())
+    }
+
+    /// Group names.
+    pub fn group_names(&self) -> Vec<String> {
+        self.groups.read().keys().cloned().collect()
+    }
+
+    /// Report names within a group.
+    pub fn report_names(&self, group: &str) -> ReportResult<Vec<String>> {
+        self.groups
+            .read()
+            .get(group)
+            .map(|g| g.keys().cloned().collect())
+            .ok_or_else(|| ReportError::NotFound(format!("group {group}")))
+    }
+
+    /// Fetch a report.
+    pub fn report(&self, group: &str, name: &str) -> ReportResult<Report> {
+        self.groups
+            .read()
+            .get(group)
+            .and_then(|g| g.get(name))
+            .cloned()
+            .ok_or_else(|| ReportError::NotFound(format!("report {group}/{name}")))
+    }
+
+    fn dataset_data(&self, dataset: &str) -> ReportResult<QueryResult> {
+        self.mds
+            .execute_dataset(dataset)
+            .map_err(|e| ReportError::Execution(e.to_string()))
+    }
+
+    /// Render one widget to an HTML fragment.
+    pub fn render_widget(&self, widget: &Widget) -> ReportResult<String> {
+        let data = self.dataset_data(widget.dataset())?;
+        match widget {
+            Widget::Chart { spec, .. } => render_chart_svg(spec, &data),
+            Widget::Table { spec, .. } => render_table_html(spec, &data),
+            Widget::Kpi { spec, .. } => render_kpi_html(spec, &data),
+        }
+    }
+
+    /// Render a dashboard to a complete HTML document (the Figure 6 path).
+    pub fn render_dashboard(&self, dashboard: &Dashboard) -> ReportResult<String> {
+        let mut html = format!(
+            "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>{0}</title>\n\
+             <style>\n\
+             body {{ font-family: sans-serif; margin: 16px; }}\n\
+             .dash-row {{ display: flex; gap: 16px; margin-bottom: 16px; }}\n\
+             .dash-cell {{ flex: 1; border: 1px solid #ddd; border-radius: 6px; padding: 8px; }}\n\
+             .odbis-kpi .kpi-value {{ font-size: 28px; font-weight: bold; }}\n\
+             .odbis-table {{ border-collapse: collapse; width: 100%; }}\n\
+             .odbis-table th, .odbis-table td {{ border: 1px solid #ccc; padding: 4px 8px; }}\n\
+             </style></head>\n<body>\n<h1>{0}</h1>\n",
+            escape_html(&dashboard.title)
+        );
+        for row in &dashboard.rows {
+            html.push_str("<div class=\"dash-row\">\n");
+            for widget in row {
+                html.push_str("<div class=\"dash-cell\">\n");
+                html.push_str(&self.render_widget(widget)?);
+                html.push_str("</div>\n");
+            }
+            html.push_str("</div>\n");
+        }
+        html.push_str("</body></html>\n");
+        Ok(html)
+    }
+
+    /// Render a registered dashboard by name.
+    pub fn render_registered(&self, group: &str, name: &str) -> ReportResult<String> {
+        match self.report(group, name)? {
+            Report::Dashboard(d) => self.render_dashboard(&d),
+            Report::Template(_) => Err(ReportError::Parameter(
+                "templates need parameters; use run_template".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ChartKind, ChartSpec, KpiSpec, TableSpec};
+    use odbis_metadata::{DataSet, DataSource};
+    use odbis_sql::Engine;
+    use odbis_storage::Database;
+
+    fn service() -> ReportingService {
+        let db = Arc::new(Database::new());
+        Engine::new()
+            .execute_script(
+                &db,
+                "CREATE TABLE sales (region TEXT, amount DOUBLE);
+                 INSERT INTO sales VALUES ('EU', 70), ('US', 30);",
+            )
+            .unwrap();
+        let mds = Arc::new(MetadataService::new());
+        mds.register_source(
+            DataSource {
+                name: "wh".into(),
+                url: "odbis://wh".into(),
+                user: "u".into(),
+                password: "p".into(),
+                driver: "odbis".into(),
+            },
+            db,
+        )
+        .unwrap();
+        mds.define_dataset(DataSet {
+            name: "by_region".into(),
+            source: "wh".into(),
+            sql: "SELECT region, SUM(amount) AS total FROM sales GROUP BY region ORDER BY region"
+                .into(),
+            description: String::new(),
+        })
+        .unwrap();
+        mds.define_dataset(DataSet {
+            name: "grand_total".into(),
+            source: "wh".into(),
+            sql: "SELECT SUM(amount) AS total FROM sales".into(),
+            description: String::new(),
+        })
+        .unwrap();
+        ReportingService::new(mds)
+    }
+
+    fn dashboard() -> Dashboard {
+        Dashboard {
+            name: "exec".into(),
+            title: "Executive Overview".into(),
+            rows: vec![
+                vec![Widget::Kpi {
+                    dataset: "grand_total".into(),
+                    spec: KpiSpec {
+                        title: "Total revenue".into(),
+                        value_column: "total".into(),
+                        unit: "€".into(),
+                    },
+                }],
+                vec![
+                    Widget::Chart {
+                        dataset: "by_region".into(),
+                        spec: ChartSpec {
+                            title: "By region".into(),
+                            kind: ChartKind::Pie,
+                            category: "region".into(),
+                            series: vec!["total".into()],
+                        },
+                    },
+                    Widget::Table {
+                        dataset: "by_region".into(),
+                        spec: TableSpec {
+                            title: "Detail".into(),
+                            columns: vec![],
+                            max_rows: None,
+                        },
+                    },
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn group_and_report_management() {
+        let rs = service();
+        rs.create_group("finance").unwrap();
+        assert!(matches!(
+            rs.create_group("finance"),
+            Err(ReportError::AlreadyExists(_))
+        ));
+        rs.register("finance", Report::Dashboard(dashboard())).unwrap();
+        assert!(matches!(
+            rs.register("finance", Report::Dashboard(dashboard())),
+            Err(ReportError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            rs.register("ghost", Report::Dashboard(dashboard())),
+            Err(ReportError::NotFound(_))
+        ));
+        assert_eq!(rs.report_names("finance").unwrap(), vec!["exec"]);
+        assert_eq!(rs.group_names(), vec!["finance"]);
+        assert!(rs.report("finance", "exec").is_ok());
+    }
+
+    #[test]
+    fn dashboard_renders_all_widgets() {
+        let rs = service();
+        let html = rs.render_dashboard(&dashboard()).unwrap();
+        assert!(html.contains("Executive Overview"));
+        assert!(html.contains("kpi-value")); // KPI
+        assert!(html.contains("<svg")); // chart
+        assert!(html.contains("odbis-table")); // table
+        assert!(html.contains("100.0€")); // 70 + 30
+        assert_eq!(html.matches("dash-row").count(), 2 + 1); // 2 rows + css rule
+    }
+
+    #[test]
+    fn render_registered_dashboard() {
+        let rs = service();
+        rs.create_group("g").unwrap();
+        rs.register("g", Report::Dashboard(dashboard())).unwrap();
+        let html = rs.render_registered("g", "exec").unwrap();
+        assert!(html.contains("Executive Overview"));
+        assert!(rs.render_registered("g", "nope").is_err());
+    }
+
+    #[test]
+    fn widget_with_missing_dataset_fails() {
+        let rs = service();
+        let w = Widget::Kpi {
+            dataset: "ghost".into(),
+            spec: KpiSpec {
+                title: "x".into(),
+                value_column: "v".into(),
+                unit: String::new(),
+            },
+        };
+        assert!(matches!(
+            rs.render_widget(&w),
+            Err(ReportError::Execution(_))
+        ));
+    }
+}

@@ -1,0 +1,294 @@
+//! Report specifications: charts, data tables, KPIs and dashboards.
+
+use odbis_sql::QueryResult;
+use odbis_storage::Value;
+
+/// Reporting errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportError {
+    /// Named entity not found.
+    NotFound(String),
+    /// Entity already defined.
+    AlreadyExists(String),
+    /// A referenced column is missing from the data.
+    MissingColumn(String),
+    /// The data cannot be charted (empty, non-numeric series...).
+    BadData(String),
+    /// Template parameter problem.
+    Parameter(String),
+    /// Data-set execution failure.
+    Execution(String),
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::NotFound(e) => write!(f, "not found: {e}"),
+            ReportError::AlreadyExists(e) => write!(f, "already exists: {e}"),
+            ReportError::MissingColumn(c) => write!(f, "missing column: {c}"),
+            ReportError::BadData(m) => write!(f, "cannot render: {m}"),
+            ReportError::Parameter(m) => write!(f, "parameter error: {m}"),
+            ReportError::Execution(m) => write!(f, "execution failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+/// Result alias for reporting operations.
+pub type ReportResult<T> = Result<T, ReportError>;
+
+/// Chart families supported by the ad-hoc reporting module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChartKind {
+    /// Vertical bars per category.
+    Bar,
+    /// Connected line per series.
+    Line,
+    /// Share-of-total pie.
+    Pie,
+}
+
+/// An ad-hoc chart report ("an easy way to define chart reports", §3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartSpec {
+    /// Chart title.
+    pub title: String,
+    /// Chart family.
+    pub kind: ChartKind,
+    /// Column holding category labels (x axis / pie slices).
+    pub category: String,
+    /// Numeric series columns (pie uses the first).
+    pub series: Vec<String>,
+}
+
+/// An ad-hoc data-table report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSpec {
+    /// Table title.
+    pub title: String,
+    /// Columns to show (empty = all, in data order).
+    pub columns: Vec<String>,
+    /// Cap on rendered rows (None = all).
+    pub max_rows: Option<usize>,
+}
+
+/// A single-number KPI tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KpiSpec {
+    /// KPI label.
+    pub title: String,
+    /// Column whose first value is the KPI.
+    pub value_column: String,
+    /// Unit suffix (e.g. `"€"`, `"%"`).
+    pub unit: String,
+}
+
+/// One dashboard widget: a spec plus the data set feeding it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Widget {
+    /// Chart widget.
+    Chart {
+        /// Feeding data set (resolved by the reporting service).
+        dataset: String,
+        /// Chart specification.
+        spec: ChartSpec,
+    },
+    /// Table widget.
+    Table {
+        /// Feeding data set.
+        dataset: String,
+        /// Table specification.
+        spec: TableSpec,
+    },
+    /// KPI widget.
+    Kpi {
+        /// Feeding data set.
+        dataset: String,
+        /// KPI specification.
+        spec: KpiSpec,
+    },
+}
+
+impl Widget {
+    /// The widget's feeding data set.
+    pub fn dataset(&self) -> &str {
+        match self {
+            Widget::Chart { dataset, .. }
+            | Widget::Table { dataset, .. }
+            | Widget::Kpi { dataset, .. } => dataset,
+        }
+    }
+
+    /// The widget's display title.
+    pub fn title(&self) -> &str {
+        match self {
+            Widget::Chart { spec, .. } => &spec.title,
+            Widget::Table { spec, .. } => &spec.title,
+            Widget::Kpi { spec, .. } => &spec.title,
+        }
+    }
+}
+
+/// A dashboard: a titled grid of widgets (Figure 6 of the paper is one of
+/// these, built with the ad-hoc reporting module).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dashboard {
+    /// Dashboard name (unique in its report group).
+    pub name: String,
+    /// Display title.
+    pub title: String,
+    /// Widgets per row: each inner vec renders as one grid row.
+    pub rows: Vec<Vec<Widget>>,
+}
+
+impl Dashboard {
+    /// All widgets in render order.
+    pub fn widgets(&self) -> impl Iterator<Item = &Widget> {
+        self.rows.iter().flatten()
+    }
+
+    /// Number of widgets.
+    pub fn widget_count(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+}
+
+/// Extract `(category, series-values)` pairs from query data for a chart.
+pub fn chart_data(
+    spec: &ChartSpec,
+    data: &QueryResult,
+) -> ReportResult<Vec<(String, Vec<f64>)>> {
+    if spec.series.is_empty() {
+        return Err(ReportError::BadData("chart has no series".into()));
+    }
+    let cat = data
+        .column_index(&spec.category)
+        .ok_or_else(|| ReportError::MissingColumn(spec.category.clone()))?;
+    let series_idx: ReportResult<Vec<usize>> = spec
+        .series
+        .iter()
+        .map(|s| {
+            data.column_index(s)
+                .ok_or_else(|| ReportError::MissingColumn(s.clone()))
+        })
+        .collect();
+    let series_idx = series_idx?;
+    let mut out = Vec::with_capacity(data.rows.len());
+    for row in &data.rows {
+        let label = row[cat].render();
+        let values: ReportResult<Vec<f64>> = series_idx
+            .iter()
+            .map(|&i| {
+                if row[i].is_null() {
+                    Ok(0.0)
+                } else {
+                    row[i].as_f64().ok_or_else(|| {
+                        ReportError::BadData(format!(
+                            "non-numeric value {} in series",
+                            row[i].render()
+                        ))
+                    })
+                }
+            })
+            .collect();
+        out.push((label, values?));
+    }
+    Ok(out)
+}
+
+/// Extract the KPI value from query data.
+pub fn kpi_value(spec: &KpiSpec, data: &QueryResult) -> ReportResult<Value> {
+    let i = data
+        .column_index(&spec.value_column)
+        .ok_or_else(|| ReportError::MissingColumn(spec.value_column.clone()))?;
+    data.rows
+        .first()
+        .map(|r| r[i].clone())
+        .ok_or_else(|| ReportError::BadData("KPI query returned no rows".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> QueryResult {
+        QueryResult {
+            columns: vec!["region".into(), "total".into(), "n".into()],
+            rows: vec![
+                vec!["EU".into(), Value::Float(70.0), Value::Int(3)],
+                vec!["US".into(), Value::Float(30.0), Value::Int(1)],
+            ],
+            rows_affected: 0,
+        }
+    }
+
+    #[test]
+    fn chart_data_extraction() {
+        let spec = ChartSpec {
+            title: "t".into(),
+            kind: ChartKind::Bar,
+            category: "region".into(),
+            series: vec!["total".into(), "n".into()],
+        };
+        let d = chart_data(&spec, &data()).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], ("EU".to_string(), vec![70.0, 3.0]));
+        let bad = ChartSpec {
+            category: "ghost".into(),
+            ..spec.clone()
+        };
+        assert!(matches!(
+            chart_data(&bad, &data()),
+            Err(ReportError::MissingColumn(_))
+        ));
+        let nonnum = ChartSpec {
+            series: vec!["region".into()],
+            ..spec
+        };
+        assert!(matches!(
+            chart_data(&nonnum, &data()),
+            Err(ReportError::BadData(_))
+        ));
+    }
+
+    #[test]
+    fn kpi_extraction() {
+        let spec = KpiSpec {
+            title: "Total".into(),
+            value_column: "total".into(),
+            unit: "€".into(),
+        };
+        assert_eq!(kpi_value(&spec, &data()).unwrap(), Value::Float(70.0));
+        let empty = QueryResult {
+            columns: vec!["total".into()],
+            rows: vec![],
+            rows_affected: 0,
+        };
+        assert!(matches!(
+            kpi_value(&spec, &empty),
+            Err(ReportError::BadData(_))
+        ));
+    }
+
+    #[test]
+    fn dashboard_widget_iteration() {
+        let w = Widget::Kpi {
+            dataset: "d1".into(),
+            spec: KpiSpec {
+                title: "K".into(),
+                value_column: "v".into(),
+                unit: String::new(),
+            },
+        };
+        let dash = Dashboard {
+            name: "d".into(),
+            title: "D".into(),
+            rows: vec![vec![w.clone(), w.clone()], vec![w]],
+        };
+        assert_eq!(dash.widget_count(), 3);
+        assert_eq!(dash.widgets().count(), 3);
+        assert_eq!(dash.rows[0][0].dataset(), "d1");
+        assert_eq!(dash.rows[0][0].title(), "K");
+    }
+}

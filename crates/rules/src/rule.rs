@@ -1,0 +1,285 @@
+//! Rule definitions: patterns, tests, bindings and actions.
+
+use std::collections::BTreeMap;
+
+use odbis_storage::Value;
+
+use crate::fact::{Fact, FactId};
+
+/// Comparison operators usable in pattern tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // self-documenting
+pub enum TestOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl TestOp {
+    /// Apply the operator; NULL operands never satisfy a test.
+    pub fn apply(self, left: &Value, right: &Value) -> bool {
+        let Some(ord) = left.sql_cmp(right) else {
+            return false;
+        };
+        use std::cmp::Ordering::*;
+        match self {
+            TestOp::Eq => ord == Equal,
+            TestOp::Ne => ord != Equal,
+            TestOp::Lt => ord == Less,
+            TestOp::Le => ord != Greater,
+            TestOp::Gt => ord == Greater,
+            TestOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// Right-hand side of a test: a constant or a variable bound earlier.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // self-documenting
+pub enum Operand {
+    /// Literal value.
+    Const(Value),
+    /// Variable bound by a previous pattern's [`Pattern::bind`].
+    Var(String),
+}
+
+/// One field test inside a pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Test {
+    /// Field of the matched fact.
+    pub field: String,
+    /// Comparison operator.
+    pub op: TestOp,
+    /// Comparand.
+    pub operand: Operand,
+}
+
+/// A pattern: matches facts of one type, applies tests, and binds fields
+/// to variables for use in later patterns and in actions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    /// Fact type to match.
+    pub fact_type: String,
+    /// Field tests (all must pass).
+    pub tests: Vec<Test>,
+    /// `(variable, field)` bindings exported by this pattern.
+    pub bindings: Vec<(String, String)>,
+}
+
+impl Pattern {
+    /// Match facts of `fact_type`.
+    pub fn on(fact_type: impl Into<String>) -> Self {
+        Pattern {
+            fact_type: fact_type.into(),
+            tests: Vec::new(),
+            bindings: Vec::new(),
+        }
+    }
+
+    /// Add a constant test.
+    pub fn test(mut self, field: impl Into<String>, op: TestOp, value: impl Into<Value>) -> Self {
+        self.tests.push(Test {
+            field: field.into(),
+            op,
+            operand: Operand::Const(value.into()),
+        });
+        self
+    }
+
+    /// Add a test against a variable bound by an earlier pattern.
+    pub fn test_var(
+        mut self,
+        field: impl Into<String>,
+        op: TestOp,
+        var: impl Into<String>,
+    ) -> Self {
+        self.tests.push(Test {
+            field: field.into(),
+            op,
+            operand: Operand::Var(var.into()),
+        });
+        self
+    }
+
+    /// Bind `field` of the matched fact to `var`.
+    pub fn bind(mut self, var: impl Into<String>, field: impl Into<String>) -> Self {
+        self.bindings.push((var.into(), field.into()));
+        self
+    }
+
+    /// True if `fact` satisfies all tests under `bindings`. Tests whose
+    /// variable is unbound fail.
+    pub fn matches(&self, fact: &Fact, bindings: &Bindings) -> bool {
+        if fact.fact_type != self.fact_type {
+            return false;
+        }
+        self.tests.iter().all(|t| {
+            let left = fact.get(&t.field);
+            let right = match &t.operand {
+                Operand::Const(v) => v.clone(),
+                Operand::Var(name) => match bindings.get(name) {
+                    Some(v) => v.clone(),
+                    None => return false,
+                },
+            };
+            t.op.apply(&left, &right)
+        })
+    }
+
+    /// True if every test compares against a constant (such patterns can be
+    /// pre-filtered in an alpha memory).
+    pub fn is_alpha_only(&self) -> bool {
+        self.tests
+            .iter()
+            .all(|t| matches!(t.operand, Operand::Const(_)))
+    }
+}
+
+/// Variable bindings accumulated while matching a rule's patterns.
+pub type Bindings = BTreeMap<String, Value>;
+
+/// Template value in an action: constant or bound variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateValue {
+    /// Literal.
+    Const(Value),
+    /// Substituted from the match bindings.
+    Var(String),
+}
+
+impl TemplateValue {
+    /// Resolve against bindings (missing variables become NULL).
+    pub fn resolve(&self, bindings: &Bindings) -> Value {
+        match self {
+            TemplateValue::Const(v) => v.clone(),
+            TemplateValue::Var(n) => bindings.get(n).cloned().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Declarative rule effects (the Drools RHS, without arbitrary code).
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // self-documenting
+pub enum Action {
+    /// Assert a new fact built from templates.
+    Assert {
+        fact_type: String,
+        fields: Vec<(String, TemplateValue)>,
+    },
+    /// Modify a field of the fact matched by pattern `pattern_index`.
+    Modify {
+        pattern_index: usize,
+        field: String,
+        value: TemplateValue,
+    },
+    /// Retract the fact matched by pattern `pattern_index`.
+    Retract { pattern_index: usize },
+    /// Emit a log line (visible in [`crate::FireReport::log`]).
+    Log(String),
+}
+
+/// A production rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Rule name (unique within a [`crate::RuleEngine`]).
+    pub name: String,
+    /// Conflict-resolution priority: higher fires first.
+    pub salience: i32,
+    /// Left-hand side.
+    pub patterns: Vec<Pattern>,
+    /// Right-hand side.
+    pub actions: Vec<Action>,
+}
+
+impl Rule {
+    /// Start a rule with default salience 0.
+    pub fn new(name: impl Into<String>) -> Self {
+        Rule {
+            name: name.into(),
+            salience: 0,
+            patterns: Vec::new(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// Set the salience.
+    pub fn salience(mut self, s: i32) -> Self {
+        self.salience = s;
+        self
+    }
+
+    /// Add a pattern.
+    pub fn when(mut self, p: Pattern) -> Self {
+        self.patterns.push(p);
+        self
+    }
+
+    /// Add an action.
+    pub fn then(mut self, a: Action) -> Self {
+        self.actions.push(a);
+        self
+    }
+}
+
+/// A rule activation: the rule plus the tuple of facts that matched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activation {
+    /// Name of the activated rule.
+    pub rule: String,
+    /// Matched fact ids, one per pattern.
+    pub facts: Vec<FactId>,
+    /// Bindings captured during the match.
+    pub bindings: Bindings,
+    /// Salience copied from the rule (for agenda ordering).
+    pub salience: i32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_ops_with_nulls() {
+        assert!(TestOp::Eq.apply(&Value::Int(1), &Value::Int(1)));
+        assert!(TestOp::Lt.apply(&Value::Int(1), &Value::Float(1.5)));
+        assert!(!TestOp::Eq.apply(&Value::Null, &Value::Null));
+        assert!(!TestOp::Ne.apply(&Value::Int(1), &Value::Null));
+    }
+
+    #[test]
+    fn pattern_matching_with_constants_and_vars() {
+        let f = Fact::new("Order").with("amount", 120i64).with("tenant", "t1");
+        let p = Pattern::on("Order").test("amount", TestOp::Gt, 100i64);
+        assert!(p.matches(&f, &Bindings::new()));
+        let p2 = Pattern::on("Order").test_var("tenant", TestOp::Eq, "t");
+        let mut b = Bindings::new();
+        assert!(!p2.matches(&f, &b)); // unbound var
+        b.insert("t".into(), "t1".into());
+        assert!(p2.matches(&f, &b));
+        let wrong_type = Pattern::on("Invoice");
+        assert!(!wrong_type.matches(&f, &b));
+    }
+
+    #[test]
+    fn alpha_only_detection() {
+        let p = Pattern::on("X").test("a", TestOp::Eq, 1i64);
+        assert!(p.is_alpha_only());
+        let p = p.test_var("b", TestOp::Eq, "v");
+        assert!(!p.is_alpha_only());
+    }
+
+    #[test]
+    fn template_resolution() {
+        let mut b = Bindings::new();
+        b.insert("x".into(), Value::Int(7));
+        assert_eq!(TemplateValue::Var("x".into()).resolve(&b), Value::Int(7));
+        assert_eq!(TemplateValue::Var("y".into()).resolve(&b), Value::Null);
+        assert_eq!(
+            TemplateValue::Const("c".into()).resolve(&b),
+            Value::from("c")
+        );
+    }
+}

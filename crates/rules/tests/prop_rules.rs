@@ -1,0 +1,83 @@
+//! Property-based tests for rule-engine invariants.
+
+use odbis_rules::{
+    Action, Fact, NaiveMatcher, Pattern, Rule, RuleEngine, TestOp, WorkingMemory,
+};
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = TestOp> {
+    prop_oneof![
+        Just(TestOp::Eq),
+        Just(TestOp::Ne),
+        Just(TestOp::Lt),
+        Just(TestOp::Le),
+        Just(TestOp::Gt),
+        Just(TestOp::Ge),
+    ]
+}
+
+proptest! {
+    /// Indexed and naive matching always agree, for any facts and pattern.
+    #[test]
+    fn indexed_matching_equals_naive(
+        facts in prop::collection::vec((0u8..3, -50i64..50), 0..60),
+        op in arb_op(),
+        pivot in -50i64..50,
+        target_type in 0u8..3,
+    ) {
+        let mut wm = WorkingMemory::new();
+        for (ty, v) in &facts {
+            wm.insert(Fact::new(format!("T{ty}")).with("v", *v));
+        }
+        let pattern = Pattern::on(format!("T{target_type}")).test("v", op, pivot);
+        prop_assert_eq!(
+            NaiveMatcher::count_matches(&pattern, &wm),
+            NaiveMatcher::count_matches_indexed(&pattern, &wm)
+        );
+    }
+
+    /// A rule that only logs fires exactly once per matching fact
+    /// (refraction) and never mutates working memory.
+    #[test]
+    fn log_only_rules_fire_once_per_fact(values in prop::collection::vec(-100i64..100, 0..40)) {
+        let mut engine = RuleEngine::new();
+        engine.add_rule(
+            Rule::new("observe")
+                .when(Pattern::on("X").test("v", TestOp::Ge, 0i64))
+                .then(Action::Log("seen".into())),
+        ).unwrap();
+        let mut wm = WorkingMemory::new();
+        for v in &values {
+            wm.insert(Fact::new("X").with("v", *v));
+        }
+        let expected = values.iter().filter(|&&v| v >= 0).count();
+        let before = wm.len();
+        let report = engine.run(&mut wm).unwrap();
+        prop_assert_eq!(report.firings(), expected);
+        prop_assert_eq!(wm.len(), before);
+        // a second run fires nothing new... (fresh engine run has fresh
+        // refraction, so it would re-fire; instead verify idempotence of
+        // memory state)
+        let report2 = engine.run(&mut wm).unwrap();
+        prop_assert_eq!(report2.firings(), expected);
+    }
+
+    /// Retract-on-match rules always drain the matching facts and
+    /// terminate, leaving non-matching facts untouched.
+    #[test]
+    fn retracting_rules_terminate_and_drain(values in prop::collection::vec(-100i64..100, 0..50)) {
+        let mut engine = RuleEngine::new();
+        engine.add_rule(
+            Rule::new("drain")
+                .when(Pattern::on("X").test("v", TestOp::Lt, 0i64))
+                .then(Action::Retract { pattern_index: 0 }),
+        ).unwrap();
+        let mut wm = WorkingMemory::new();
+        for v in &values {
+            wm.insert(Fact::new("X").with("v", *v));
+        }
+        let keep = values.iter().filter(|&&v| v >= 0).count();
+        engine.run(&mut wm).unwrap();
+        prop_assert_eq!(wm.len(), keep);
+    }
+}

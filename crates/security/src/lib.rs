@@ -1,0 +1,32 @@
+//! # odbis-security
+//!
+//! Enterprise security for the ODBIS platform — the reproduction's
+//! substitute for Spring Security in the paper's administration service
+//! (§3.3): "a secure web-based application to manage authorities
+//! (privileges), roles, users, and groups".
+//!
+//! Provides authentication (salted iterated password hashing over a
+//! from-scratch SHA-256), token sessions with expiry, a transitive role
+//! hierarchy, groups, per-object ACLs and an audit log.
+//!
+//! ```
+//! use odbis_security::{Role, SecurityManager};
+//!
+//! let sm = SecurityManager::new();
+//! sm.create_role(Role::new("ROLE_ANALYST").grant("REPORT_VIEW")).unwrap();
+//! sm.create_user("ada", "pw").unwrap();
+//! sm.assign_role("ada", "ROLE_ANALYST").unwrap();
+//! let session = sm.login("ada", "pw").unwrap();
+//! assert_eq!(sm.authenticate(&session.token).unwrap(), "ada");
+//! assert!(sm.has_authority("ada", "REPORT_VIEW"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod hash;
+mod manager;
+mod model;
+
+pub use hash::{constant_time_eq, hash_password, hex, sha256, PBKDF_ITERATIONS};
+pub use manager::{AuditEvent, Permission, SecResult, SecurityError, SecurityManager, Session};
+pub use model::{Authority, Group, Role, User};

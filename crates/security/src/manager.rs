@@ -1,0 +1,589 @@
+//! The security manager: authentication, sessions, role-hierarchy
+//! authorization, ACLs and audit.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::hash::{constant_time_eq, hash_password, hex, sha256};
+use crate::model::{Authority, Group, Role, User};
+
+/// Security errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecurityError {
+    /// Unknown user, wrong password, or disabled account. Deliberately a
+    /// single variant: authentication failures must not reveal which part
+    /// failed.
+    BadCredentials,
+    /// The session token is unknown or has expired.
+    InvalidSession,
+    /// The principal lacks the required authority.
+    AccessDenied {
+        /// Authenticated principal.
+        principal: String,
+        /// Authority that was required.
+        authority: String,
+    },
+    /// Referenced entity (user/role/group) does not exist.
+    NotFound(String),
+    /// Entity already exists.
+    AlreadyExists(String),
+    /// Role hierarchy contains a cycle.
+    RoleCycle(String),
+}
+
+impl std::fmt::Display for SecurityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SecurityError::BadCredentials => write!(f, "bad credentials"),
+            SecurityError::InvalidSession => write!(f, "invalid or expired session"),
+            SecurityError::AccessDenied {
+                principal,
+                authority,
+            } => write!(f, "access denied: {principal} lacks {authority}"),
+            SecurityError::NotFound(e) => write!(f, "not found: {e}"),
+            SecurityError::AlreadyExists(e) => write!(f, "already exists: {e}"),
+            SecurityError::RoleCycle(r) => write!(f, "role hierarchy cycle through {r}"),
+        }
+    }
+}
+
+impl std::error::Error for SecurityError {}
+
+/// Result alias for security operations.
+pub type SecResult<T> = Result<T, SecurityError>;
+
+/// An authenticated session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Opaque token handed to the client.
+    pub token: String,
+    /// Authenticated username.
+    pub username: String,
+    created: Instant,
+    ttl: Duration,
+}
+
+impl Session {
+    /// Whether the session has expired.
+    pub fn expired(&self) -> bool {
+        self.created.elapsed() > self.ttl
+    }
+}
+
+/// One audit-log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditEvent {
+    /// Event kind: `LOGIN`, `LOGIN_FAILED`, `LOGOUT`, `ACCESS_DENIED`,
+    /// `USER_CREATED`, ...
+    pub kind: String,
+    /// Principal involved.
+    pub principal: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// Permissions on ACL-protected objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Permission {
+    /// Read the object.
+    Read,
+    /// Modify the object.
+    Write,
+    /// Change the object's ACL / delete it.
+    Administer,
+}
+
+/// The central security service — the reproduction of the ODBIS
+/// administration service's Spring-Security-based "authorities, roles,
+/// users and groups management" (§3.3).
+pub struct SecurityManager {
+    inner: Mutex<Inner>,
+    /// Realm-unique nonce mixed into every token so that two realms never
+    /// mint identical tokens even for identical usernames and counters.
+    realm_nonce: u64,
+    /// Session lifetime.
+    pub session_ttl: Duration,
+}
+
+/// Process-wide realm counter feeding `realm_nonce`.
+static REALM_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+struct Inner {
+    users: BTreeMap<String, User>,
+    roles: BTreeMap<String, Role>,
+    groups: BTreeMap<String, Group>,
+    sessions: HashMap<String, Session>,
+    acls: HashMap<String, Vec<(String, Permission)>>,
+    audit: Vec<AuditEvent>,
+    token_counter: u64,
+}
+
+impl Default for SecurityManager {
+    fn default() -> Self {
+        SecurityManager::new()
+    }
+}
+
+impl SecurityManager {
+    /// Empty realm with a 30-minute session TTL.
+    pub fn new() -> Self {
+        SecurityManager {
+            inner: Mutex::new(Inner {
+                users: BTreeMap::new(),
+                roles: BTreeMap::new(),
+                groups: BTreeMap::new(),
+                sessions: HashMap::new(),
+                acls: HashMap::new(),
+                audit: Vec::new(),
+                token_counter: 0,
+            }),
+            realm_nonce: REALM_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            session_ttl: Duration::from_secs(30 * 60),
+        }
+    }
+
+    // ---- role / group / user administration --------------------------------
+
+    /// Define a role. Parent roles must already exist; cycles are rejected.
+    pub fn create_role(&self, role: Role) -> SecResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.roles.contains_key(&role.name) {
+            return Err(SecurityError::AlreadyExists(role.name));
+        }
+        for p in &role.parents {
+            if !inner.roles.contains_key(p) {
+                return Err(SecurityError::NotFound(format!("parent role {p}")));
+            }
+        }
+        inner.roles.insert(role.name.clone(), role);
+        Ok(())
+    }
+
+    /// Define a group (roles must exist).
+    pub fn create_group(&self, group: Group) -> SecResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.groups.contains_key(&group.name) {
+            return Err(SecurityError::AlreadyExists(group.name));
+        }
+        for r in &group.roles {
+            if !inner.roles.contains_key(r) {
+                return Err(SecurityError::NotFound(format!("role {r}")));
+            }
+        }
+        inner.groups.insert(group.name.clone(), group);
+        Ok(())
+    }
+
+    /// Create a user with a password (hashed with a per-user salt).
+    pub fn create_user(&self, username: &str, password: &str) -> SecResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.users.contains_key(username) {
+            return Err(SecurityError::AlreadyExists(username.to_string()));
+        }
+        // deterministic-but-unique salt: hash of username + counter
+        inner.token_counter += 1;
+        let salt =
+            sha256(format!("{}:{username}:{}", self.realm_nonce, inner.token_counter).as_bytes())
+                .to_vec();
+        let user = User {
+            username: username.to_string(),
+            password_hash: hash_password(password, &salt),
+            salt,
+            roles: BTreeSet::new(),
+            groups: BTreeSet::new(),
+            enabled: true,
+        };
+        inner.users.insert(username.to_string(), user);
+        inner.audit.push(AuditEvent {
+            kind: "USER_CREATED".into(),
+            principal: username.to_string(),
+            detail: String::new(),
+        });
+        Ok(())
+    }
+
+    /// Assign a role directly to a user.
+    pub fn assign_role(&self, username: &str, role: &str) -> SecResult<()> {
+        let mut inner = self.inner.lock();
+        if !inner.roles.contains_key(role) {
+            return Err(SecurityError::NotFound(format!("role {role}")));
+        }
+        inner
+            .users
+            .get_mut(username)
+            .ok_or_else(|| SecurityError::NotFound(format!("user {username}")))?
+            .roles
+            .insert(role.to_string());
+        Ok(())
+    }
+
+    /// Add a user to a group.
+    pub fn add_to_group(&self, username: &str, group: &str) -> SecResult<()> {
+        let mut inner = self.inner.lock();
+        if !inner.groups.contains_key(group) {
+            return Err(SecurityError::NotFound(format!("group {group}")));
+        }
+        inner
+            .users
+            .get_mut(username)
+            .ok_or_else(|| SecurityError::NotFound(format!("user {username}")))?
+            .groups
+            .insert(group.to_string());
+        Ok(())
+    }
+
+    /// Enable or disable an account.
+    pub fn set_enabled(&self, username: &str, enabled: bool) -> SecResult<()> {
+        let mut inner = self.inner.lock();
+        inner
+            .users
+            .get_mut(username)
+            .ok_or_else(|| SecurityError::NotFound(format!("user {username}")))?
+            .enabled = enabled;
+        Ok(())
+    }
+
+    /// List usernames (sorted).
+    pub fn usernames(&self) -> Vec<String> {
+        self.inner.lock().users.keys().cloned().collect()
+    }
+
+    /// Search users by substring (the paper's admin service "search
+    /// features").
+    pub fn search_users(&self, needle: &str) -> Vec<String> {
+        let needle = needle.to_ascii_lowercase();
+        self.inner
+            .lock()
+            .users
+            .keys()
+            .filter(|u| u.to_ascii_lowercase().contains(&needle))
+            .cloned()
+            .collect()
+    }
+
+    // ---- authentication -----------------------------------------------------
+
+    /// Authenticate and open a session. All failure modes collapse into
+    /// [`SecurityError::BadCredentials`].
+    pub fn login(&self, username: &str, password: &str) -> SecResult<Session> {
+        let mut inner = self.inner.lock();
+        let ok = match inner.users.get(username) {
+            Some(u) if u.enabled => {
+                constant_time_eq(&hash_password(password, &u.salt), &u.password_hash)
+            }
+            _ => {
+                // burn comparable time for unknown users
+                let _ = hash_password(password, b"timing-equalizer");
+                false
+            }
+        };
+        if !ok {
+            inner.audit.push(AuditEvent {
+                kind: "LOGIN_FAILED".into(),
+                principal: username.to_string(),
+                detail: String::new(),
+            });
+            return Err(SecurityError::BadCredentials);
+        }
+        inner.token_counter += 1;
+        let token = hex(&sha256(
+            format!(
+                "session:{}:{username}:{}",
+                self.realm_nonce, inner.token_counter
+            )
+            .as_bytes(),
+        ));
+        let session = Session {
+            token: token.clone(),
+            username: username.to_string(),
+            created: Instant::now(),
+            ttl: self.session_ttl,
+        };
+        inner.sessions.insert(token, session.clone());
+        inner.audit.push(AuditEvent {
+            kind: "LOGIN".into(),
+            principal: username.to_string(),
+            detail: String::new(),
+        });
+        Ok(session)
+    }
+
+    /// Resolve a session token to its principal.
+    pub fn authenticate(&self, token: &str) -> SecResult<String> {
+        let mut inner = self.inner.lock();
+        match inner.sessions.get(token) {
+            Some(s) if !s.expired() => Ok(s.username.clone()),
+            Some(_) => {
+                inner.sessions.remove(token);
+                Err(SecurityError::InvalidSession)
+            }
+            None => Err(SecurityError::InvalidSession),
+        }
+    }
+
+    /// Close a session.
+    pub fn logout(&self, token: &str) {
+        let mut inner = self.inner.lock();
+        if let Some(s) = inner.sessions.remove(token) {
+            inner.audit.push(AuditEvent {
+                kind: "LOGOUT".into(),
+                principal: s.username,
+                detail: String::new(),
+            });
+        }
+    }
+
+    // ---- authorization ------------------------------------------------------
+
+    /// All authorities effectively granted to a user: direct roles plus
+    /// group roles, with the role hierarchy expanded transitively.
+    pub fn effective_authorities(&self, username: &str) -> SecResult<BTreeSet<Authority>> {
+        let inner = self.inner.lock();
+        let user = inner
+            .users
+            .get(username)
+            .ok_or_else(|| SecurityError::NotFound(format!("user {username}")))?;
+        let mut role_names: Vec<String> = user.roles.iter().cloned().collect();
+        for g in &user.groups {
+            if let Some(group) = inner.groups.get(g) {
+                role_names.extend(group.roles.iter().cloned());
+            }
+        }
+        let mut out = BTreeSet::new();
+        let mut visited = BTreeSet::new();
+        let mut stack = role_names;
+        while let Some(rn) = stack.pop() {
+            if !visited.insert(rn.clone()) {
+                continue;
+            }
+            if visited.len() > inner.roles.len() + 8 {
+                return Err(SecurityError::RoleCycle(rn));
+            }
+            if let Some(role) = inner.roles.get(&rn) {
+                out.extend(role.authorities.iter().cloned());
+                stack.extend(role.parents.iter().cloned());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Does the user hold `authority`?
+    pub fn has_authority(&self, username: &str, authority: &str) -> bool {
+        self.effective_authorities(username)
+            .map(|a| a.contains(&Authority::new(authority)))
+            .unwrap_or(false)
+    }
+
+    /// Enforce an authority; logs an `ACCESS_DENIED` audit event on
+    /// failure.
+    pub fn require_authority(&self, username: &str, authority: &str) -> SecResult<()> {
+        if self.has_authority(username, authority) {
+            Ok(())
+        } else {
+            self.inner.lock().audit.push(AuditEvent {
+                kind: "ACCESS_DENIED".into(),
+                principal: username.to_string(),
+                detail: authority.to_string(),
+            });
+            Err(SecurityError::AccessDenied {
+                principal: username.to_string(),
+                authority: authority.to_string(),
+            })
+        }
+    }
+
+    // ---- ACLs ----------------------------------------------------------------
+
+    /// Grant `permission` on `object` (e.g. `"report:42"`) to a user.
+    pub fn grant_acl(&self, object: &str, username: &str, permission: Permission) {
+        self.inner
+            .lock()
+            .acls
+            .entry(object.to_string())
+            .or_default()
+            .push((username.to_string(), permission));
+    }
+
+    /// ACL check: `Administer` implies `Write` implies `Read`.
+    pub fn check_acl(&self, object: &str, username: &str, needed: Permission) -> bool {
+        self.inner
+            .lock()
+            .acls
+            .get(object)
+            .is_some_and(|entries| {
+                entries
+                    .iter()
+                    .any(|(u, p)| u == username && *p >= needed)
+            })
+    }
+
+    // ---- audit ----------------------------------------------------------------
+
+    /// Snapshot of the audit log.
+    pub fn audit_log(&self) -> Vec<AuditEvent> {
+        self.inner.lock().audit.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn realm() -> SecurityManager {
+        let sm = SecurityManager::new();
+        sm.create_role(Role::new("ROLE_USER").grant("PLATFORM_LOGIN"))
+            .unwrap();
+        sm.create_role(
+            Role::new("ROLE_ANALYST")
+                .grant("REPORT_VIEW")
+                .grant("CUBE_QUERY")
+                .inherits("ROLE_USER"),
+        )
+        .unwrap();
+        sm.create_role(
+            Role::new("ROLE_ADMIN")
+                .grant("ADMIN_USERS")
+                .inherits("ROLE_ANALYST"),
+        )
+        .unwrap();
+        sm.create_group(Group::new("analysts").with_role("ROLE_ANALYST"))
+            .unwrap();
+        sm.create_user("alice", "alice-pw").unwrap();
+        sm.create_user("bob", "bob-pw").unwrap();
+        sm.assign_role("alice", "ROLE_ADMIN").unwrap();
+        sm.add_to_group("bob", "analysts").unwrap();
+        sm
+    }
+
+    #[test]
+    fn login_success_and_failure_modes() {
+        let sm = realm();
+        let s = sm.login("alice", "alice-pw").unwrap();
+        assert_eq!(sm.authenticate(&s.token).unwrap(), "alice");
+        assert_eq!(
+            sm.login("alice", "wrong").unwrap_err(),
+            SecurityError::BadCredentials
+        );
+        assert_eq!(
+            sm.login("ghost", "x").unwrap_err(),
+            SecurityError::BadCredentials
+        );
+        sm.set_enabled("alice", false).unwrap();
+        assert_eq!(
+            sm.login("alice", "alice-pw").unwrap_err(),
+            SecurityError::BadCredentials
+        );
+    }
+
+    #[test]
+    fn logout_and_invalid_tokens() {
+        let sm = realm();
+        let s = sm.login("bob", "bob-pw").unwrap();
+        sm.logout(&s.token);
+        assert_eq!(
+            sm.authenticate(&s.token).unwrap_err(),
+            SecurityError::InvalidSession
+        );
+        assert_eq!(
+            sm.authenticate("forged-token").unwrap_err(),
+            SecurityError::InvalidSession
+        );
+    }
+
+    #[test]
+    fn session_expiry() {
+        let mut sm = realm();
+        sm.session_ttl = Duration::from_millis(1);
+        let s = sm.login("bob", "bob-pw").unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(
+            sm.authenticate(&s.token).unwrap_err(),
+            SecurityError::InvalidSession
+        );
+    }
+
+    #[test]
+    fn role_hierarchy_is_transitive() {
+        let sm = realm();
+        // admin inherits analyst inherits user
+        for auth in ["ADMIN_USERS", "REPORT_VIEW", "CUBE_QUERY", "PLATFORM_LOGIN"] {
+            assert!(sm.has_authority("alice", auth), "alice should have {auth}");
+        }
+        // bob gets analyst powers through the group, not admin
+        assert!(sm.has_authority("bob", "REPORT_VIEW"));
+        assert!(sm.has_authority("bob", "PLATFORM_LOGIN"));
+        assert!(!sm.has_authority("bob", "ADMIN_USERS"));
+    }
+
+    #[test]
+    fn require_authority_denies_and_audits() {
+        let sm = realm();
+        assert!(sm.require_authority("bob", "REPORT_VIEW").is_ok());
+        let err = sm.require_authority("bob", "ADMIN_USERS").unwrap_err();
+        assert!(matches!(err, SecurityError::AccessDenied { .. }));
+        assert!(sm
+            .audit_log()
+            .iter()
+            .any(|e| e.kind == "ACCESS_DENIED" && e.principal == "bob"));
+    }
+
+    #[test]
+    fn acl_permission_ordering() {
+        let sm = realm();
+        sm.grant_acl("report:1", "bob", Permission::Write);
+        assert!(sm.check_acl("report:1", "bob", Permission::Read));
+        assert!(sm.check_acl("report:1", "bob", Permission::Write));
+        assert!(!sm.check_acl("report:1", "bob", Permission::Administer));
+        assert!(!sm.check_acl("report:1", "alice", Permission::Read));
+        assert!(!sm.check_acl("report:2", "bob", Permission::Read));
+    }
+
+    #[test]
+    fn admin_crud_errors() {
+        let sm = realm();
+        assert!(matches!(
+            sm.create_user("alice", "x"),
+            Err(SecurityError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            sm.assign_role("alice", "ROLE_GHOST"),
+            Err(SecurityError::NotFound(_))
+        ));
+        assert!(matches!(
+            sm.assign_role("ghost", "ROLE_USER"),
+            Err(SecurityError::NotFound(_))
+        ));
+        assert!(matches!(
+            sm.create_role(Role::new("R").inherits("NOPE")),
+            Err(SecurityError::NotFound(_))
+        ));
+        assert!(matches!(
+            sm.create_group(Group::new("g").with_role("NOPE")),
+            Err(SecurityError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn user_search() {
+        let sm = realm();
+        assert_eq!(sm.search_users("ali"), vec!["alice".to_string()]);
+        assert_eq!(sm.search_users("B"), vec!["bob".to_string()]);
+        assert!(sm.search_users("zzz").is_empty());
+        assert_eq!(sm.usernames().len(), 2);
+    }
+
+    #[test]
+    fn audit_trail_records_lifecycle() {
+        let sm = realm();
+        let s = sm.login("alice", "alice-pw").unwrap();
+        let _ = sm.login("alice", "bad");
+        sm.logout(&s.token);
+        let log = sm.audit_log();
+        let kinds: Vec<&str> = log.iter().map(|e| e.kind.as_str()).collect();
+        for k in ["USER_CREATED", "LOGIN", "LOGIN_FAILED", "LOGOUT"] {
+            assert!(kinds.contains(&k), "missing audit kind {k}");
+        }
+    }
+}

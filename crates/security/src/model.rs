@@ -1,0 +1,129 @@
+//! Security domain model: authorities, roles, groups, users.
+
+use std::collections::BTreeSet;
+
+/// A granted authority (privilege), e.g. `REPORT_VIEW` or `ADMIN_USERS`.
+///
+/// Newtype over the authority string so authorities cannot be confused with
+/// role or user names in APIs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Authority(pub String);
+
+impl Authority {
+    /// Construct an authority.
+    pub fn new(name: impl Into<String>) -> Self {
+        Authority(name.into())
+    }
+
+    /// The authority string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Authority {
+    fn from(s: &str) -> Self {
+        Authority(s.to_string())
+    }
+}
+
+impl std::fmt::Display for Authority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A role: a named bundle of authorities, optionally inheriting from parent
+/// roles (Spring Security's role hierarchy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Role {
+    /// Role name, e.g. `ROLE_ANALYST`.
+    pub name: String,
+    /// Directly granted authorities.
+    pub authorities: BTreeSet<Authority>,
+    /// Parent roles whose authorities are inherited.
+    pub parents: BTreeSet<String>,
+}
+
+impl Role {
+    /// New role without authorities.
+    pub fn new(name: impl Into<String>) -> Self {
+        Role {
+            name: name.into(),
+            authorities: BTreeSet::new(),
+            parents: BTreeSet::new(),
+        }
+    }
+
+    /// Grant an authority.
+    pub fn grant(mut self, authority: impl Into<Authority>) -> Self {
+        self.authorities.insert(authority.into());
+        self
+    }
+
+    /// Inherit from a parent role.
+    pub fn inherits(mut self, parent: impl Into<String>) -> Self {
+        self.parents.insert(parent.into());
+        self
+    }
+}
+
+/// A user group: members share the group's roles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// Group name.
+    pub name: String,
+    /// Roles granted to every member.
+    pub roles: BTreeSet<String>,
+}
+
+impl Group {
+    /// New empty group.
+    pub fn new(name: impl Into<String>) -> Self {
+        Group {
+            name: name.into(),
+            roles: BTreeSet::new(),
+        }
+    }
+
+    /// Add a role to the group.
+    pub fn with_role(mut self, role: impl Into<String>) -> Self {
+        self.roles.insert(role.into());
+        self
+    }
+}
+
+/// A platform user account.
+#[derive(Debug, Clone, PartialEq)]
+pub struct User {
+    /// Login name, unique per tenant realm.
+    pub username: String,
+    /// Salted iterated password hash (hex).
+    pub password_hash: String,
+    /// Per-user random salt (hex-decoded bytes).
+    pub salt: Vec<u8>,
+    /// Directly assigned roles.
+    pub roles: BTreeSet<String>,
+    /// Group memberships.
+    pub groups: BTreeSet<String>,
+    /// Disabled accounts cannot authenticate.
+    pub enabled: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let r = Role::new("ROLE_ANALYST")
+            .grant("REPORT_VIEW")
+            .grant("CUBE_QUERY")
+            .inherits("ROLE_USER");
+        assert_eq!(r.authorities.len(), 2);
+        assert!(r.parents.contains("ROLE_USER"));
+        let g = Group::new("analysts").with_role("ROLE_ANALYST");
+        assert!(g.roles.contains("ROLE_ANALYST"));
+        assert_eq!(Authority::from("X").to_string(), "X");
+    }
+}

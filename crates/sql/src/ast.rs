@@ -1,0 +1,342 @@
+//! Abstract syntax tree for the supported SQL dialect.
+
+use odbis_storage::{DataType, Value};
+
+/// A full SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // self-documenting
+pub enum Statement {
+    /// `CREATE TABLE name (col defs..., [PRIMARY KEY (...)])`
+    CreateTable {
+        name: String,
+        if_not_exists: bool,
+        columns: Vec<ColumnDef>,
+        primary_key: Vec<String>,
+    },
+    /// `DROP TABLE name`
+    DropTable { name: String, if_exists: bool },
+    /// `CREATE [UNIQUE] INDEX name ON table (cols)`
+    CreateIndex {
+        name: String,
+        table: String,
+        columns: Vec<String>,
+        unique: bool,
+    },
+    /// `DROP INDEX name ON table`
+    DropIndex { name: String, table: String },
+    /// `INSERT INTO table [(cols)] VALUES (...), (...)`
+    Insert {
+        table: String,
+        columns: Vec<String>,
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `UPDATE table SET col = expr, ... [WHERE cond]`
+    Update {
+        table: String,
+        sets: Vec<(String, Expr)>,
+        filter: Option<Expr>,
+    },
+    /// `DELETE FROM table [WHERE cond]`
+    Delete { table: String, filter: Option<Expr> },
+    /// A `SELECT` query.
+    Select(SelectStmt),
+}
+
+/// One column definition in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub data_type: DataType,
+    /// NOT NULL constraint.
+    pub not_null: bool,
+    /// Inline `PRIMARY KEY`.
+    pub primary_key: bool,
+    /// `DEFAULT <literal>`.
+    pub default: Option<Value>,
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Projected items.
+    pub items: Vec<SelectItem>,
+    /// `FROM` clause (optional: `SELECT 1+1` is allowed).
+    pub from: Option<TableRef>,
+    /// Chained `JOIN`s applied to `from`.
+    pub joins: Vec<Join>,
+    /// `WHERE` predicate.
+    pub filter: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+    /// `OFFSET`.
+    pub offset: Option<usize>,
+}
+
+/// One projected item.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // self-documenting
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A base table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name in the catalog.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is known by in the query.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN`
+    Inner,
+    /// `LEFT [OUTER] JOIN`
+    Left,
+}
+
+/// One `JOIN ... ON ...` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Inner or left-outer.
+    pub kind: JoinKind,
+    /// Joined table.
+    pub table: TableRef,
+    /// Join condition.
+    pub on: Expr,
+}
+
+/// Sort key in `ORDER BY`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Key expression (or output-column ordinal via `Expr::Literal(Int)`).
+    pub expr: Expr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // self-documenting
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    And,
+    Or,
+    Concat,
+    Like,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // self-documenting
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical NOT.
+    Not,
+}
+
+/// Scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // self-documenting
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference, optionally qualified: `c` or `t.c`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary { op: UnOp, expr: Box<Expr> },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN lo AND hi`.
+    Between {
+        expr: Box<Expr>,
+        lo: Box<Expr>,
+        hi: Box<Expr>,
+        negated: bool,
+    },
+    /// Scalar function call: `UPPER(x)`, `COALESCE(a, b)`, ...
+    Function { name: String, args: Vec<Expr> },
+    /// Aggregate call: `SUM(x)`, `COUNT(*)`, `COUNT(DISTINCT x)`.
+    Aggregate {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+        distinct: bool,
+    },
+    /// `CASE WHEN c1 THEN r1 [WHEN ...] [ELSE e] END`.
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    /// Typed literal: `DATE '2010-03-22'`, `TIMESTAMP '...'`.
+    TypedLiteral { ty: DataType, text: String },
+}
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // self-documenting
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// Parse an aggregate function name.
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+impl Expr {
+    /// Convenience: a literal expression.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Convenience: an unqualified column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// True if this expression (transitively) contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Literal(_) | Expr::Column { .. } | Expr::TypedLiteral { .. } => false,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
+            }
+            Expr::Function { args, .. } => args.iter().any(Expr::contains_aggregate),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                branches
+                    .iter()
+                    .any(|(c, r)| c.contains_aggregate() || r.contains_aggregate())
+                    || else_expr.as_ref().is_some_and(|e| e.contains_aggregate())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection_recurses() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(Expr::lit(1i64)),
+            right: Box::new(Expr::Aggregate {
+                func: AggFunc::Sum,
+                arg: Some(Box::new(Expr::col("x"))),
+                distinct: false,
+            }),
+        };
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+    }
+
+    #[test]
+    fn agg_func_parse() {
+        assert_eq!(AggFunc::parse("sum"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::parse("median"), None);
+        assert_eq!(AggFunc::Avg.name(), "AVG");
+    }
+
+    #[test]
+    fn table_ref_binding() {
+        let t = TableRef {
+            table: "sales".into(),
+            alias: Some("s".into()),
+        };
+        assert_eq!(t.binding(), "s");
+        let t2 = TableRef {
+            table: "sales".into(),
+            alias: None,
+        };
+        assert_eq!(t2.binding(), "sales");
+    }
+}

@@ -1,0 +1,67 @@
+//! SQL-engine error type.
+
+use std::fmt;
+
+use odbis_storage::DbError;
+
+/// Errors raised while lexing, parsing, planning or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // self-documenting
+pub enum SqlError {
+    /// Lexical error: unrecognized character or malformed literal.
+    Lex { pos: usize, message: String },
+    /// Syntax error with position of the offending token.
+    Parse { pos: usize, message: String },
+    /// Binding error: unknown table/column/function, ambiguous name, etc.
+    Bind(String),
+    /// Type error detected at plan or eval time.
+    Type(String),
+    /// Runtime evaluation error (division by zero, bad cast, ...).
+    Eval(String),
+    /// An error propagated from the storage engine.
+    Storage(DbError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            SqlError::Parse { pos, message } => write!(f, "syntax error at {pos}: {message}"),
+            SqlError::Bind(m) => write!(f, "bind error: {m}"),
+            SqlError::Type(m) => write!(f, "type error: {m}"),
+            SqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+            SqlError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbError> for SqlError {
+    fn from(e: DbError) -> Self {
+        SqlError::Storage(e)
+    }
+}
+
+/// Result alias for SQL operations.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_errors_wrap_with_source() {
+        use std::error::Error;
+        let e: SqlError = DbError::TableNotFound("x".into()).into();
+        assert!(e.to_string().contains("table not found"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,380 @@
+//! Plan execution: materialized, operator-at-a-time.
+
+use std::collections::{HashMap, HashSet};
+
+use odbis_storage::{Database, Value};
+
+use crate::ast::{AggFunc, BinOp, JoinKind};
+use crate::error::{SqlError, SqlResult};
+use crate::expr::{truth, BExpr};
+use crate::plan::{AggExpr, Plan, PlanNode};
+
+/// Execute a read-only plan, producing materialized rows.
+pub fn run(db: &Database, plan: &Plan) -> SqlResult<Vec<Vec<Value>>> {
+    match &plan.node {
+        PlanNode::TableScan { table, filter } => {
+            let rows = db.scan(table)?;
+            match filter {
+                None => Ok(rows),
+                Some(pred) => {
+                    let mut out = Vec::new();
+                    for row in rows {
+                        if truth(&pred.eval(&row)?) == Some(true) {
+                            out.push(row);
+                        }
+                    }
+                    Ok(out)
+                }
+            }
+        }
+        PlanNode::IndexScan {
+            table,
+            index,
+            lo,
+            hi,
+            residual,
+        } => {
+            let candidates: Vec<Vec<Value>> = db.read_table(table, |t| {
+                let idx = t
+                    .index(index)
+                    .ok_or_else(|| odbis_storage::DbError::IndexNotFound(index.clone()))?;
+                let ids = idx.range(lo.as_deref(), hi.as_deref());
+                ids.into_iter()
+                    .map(|id| t.get(id).map(<[Value]>::to_vec))
+                    .collect::<Result<Vec<_>, _>>()
+            })??;
+            match residual {
+                None => Ok(candidates),
+                Some(pred) => {
+                    let mut out = Vec::new();
+                    for row in candidates {
+                        if truth(&pred.eval(&row)?) == Some(true) {
+                            out.push(row);
+                        }
+                    }
+                    Ok(out)
+                }
+            }
+        }
+        PlanNode::Filter { input, predicate } => {
+            let rows = run(db, input)?;
+            let mut out = Vec::new();
+            for row in rows {
+                if truth(&predicate.eval(&row)?) == Some(true) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::Project { input, exprs } => {
+            let rows = run(db, input)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut projected = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    projected.push(e.eval(&row)?);
+                }
+                out.push(projected);
+            }
+            Ok(out)
+        }
+        PlanNode::Join {
+            kind,
+            left,
+            right,
+            on,
+        } => join(db, *kind, left, right, on),
+        PlanNode::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+        } => aggregate(db, input, group_exprs, aggs),
+        PlanNode::Sort { input, keys } => {
+            let mut rows = run(db, input)?;
+            rows.sort_by(|a, b| {
+                for (k, desc) in keys {
+                    let ord = a[*k].cmp_total(&b[*k]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(rows)
+        }
+        PlanNode::Distinct { input } => {
+            let rows = run(db, input)?;
+            let mut seen = HashSet::new();
+            let mut out = Vec::new();
+            for row in rows {
+                if seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let rows = run(db, input)?;
+            let end = limit.map_or(rows.len(), |l| (offset + l).min(rows.len()));
+            let start = (*offset).min(rows.len());
+            Ok(rows[start..end.max(start)].to_vec())
+        }
+        PlanNode::Values { rows } => Ok(rows.clone()),
+    }
+}
+
+fn join(
+    db: &Database,
+    kind: JoinKind,
+    left: &Plan,
+    right: &Plan,
+    on: &BExpr,
+) -> SqlResult<Vec<Vec<Value>>> {
+    let lrows = run(db, left)?;
+    let rrows = run(db, right)?;
+    let l_arity = left.schema.len();
+    let r_arity = right.schema.len();
+
+    // try hash join on equi-conjuncts Col(i) = Col(j) with i < l_arity <= j
+    let mut cs = Vec::new();
+    collect_conjuncts(on, &mut cs);
+    let mut eq_pairs: Vec<(usize, usize)> = Vec::new();
+    for c in &cs {
+        if let BExpr::Binary {
+            op: BinOp::Eq,
+            left: a,
+            right: b,
+        } = c
+        {
+            match (&**a, &**b) {
+                (BExpr::Column(i), BExpr::Column(j)) if *i < l_arity && *j >= l_arity => {
+                    eq_pairs.push((*i, *j - l_arity));
+                }
+                (BExpr::Column(j), BExpr::Column(i)) if *i < l_arity && *j >= l_arity => {
+                    eq_pairs.push((*i, *j - l_arity));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    if !eq_pairs.is_empty() {
+        // build on the right side
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (ri, rrow) in rrows.iter().enumerate() {
+            let key: Vec<Value> = eq_pairs.iter().map(|&(_, j)| rrow[j].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue; // NULL keys never match
+            }
+            table.entry(key).or_default().push(ri);
+        }
+        for lrow in &lrows {
+            let key: Vec<Value> = eq_pairs.iter().map(|&(i, _)| lrow[i].clone()).collect();
+            let mut matched = false;
+            if !key.iter().any(Value::is_null) {
+                if let Some(ris) = table.get(&key) {
+                    for &ri in ris {
+                        let mut combined = lrow.clone();
+                        combined.extend(rrows[ri].iter().cloned());
+                        if truth(&on.eval(&combined)?) == Some(true) {
+                            out.push(combined);
+                            matched = true;
+                        }
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut combined = lrow.clone();
+                combined.extend(std::iter::repeat_n(Value::Null, r_arity));
+                out.push(combined);
+            }
+        }
+    } else {
+        for lrow in &lrows {
+            let mut matched = false;
+            for rrow in &rrows {
+                let mut combined = lrow.clone();
+                combined.extend(rrow.iter().cloned());
+                if truth(&on.eval(&combined)?) == Some(true) {
+                    out.push(combined);
+                    matched = true;
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut combined = lrow.clone();
+                combined.extend(std::iter::repeat_n(Value::Null, r_arity));
+                out.push(combined);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn collect_conjuncts(e: &BExpr, out: &mut Vec<BExpr>) {
+    if let BExpr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+    } = e
+    {
+        collect_conjuncts(left, out);
+        collect_conjuncts(right, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+/// One accumulator per (group, aggregate).
+#[derive(Debug, Clone)]
+struct Acc {
+    count: i64,
+    sum_f: f64,
+    sum_i: i64,
+    all_int: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+    distinct: Option<HashSet<Value>>,
+}
+
+impl Acc {
+    fn new(distinct: bool) -> Self {
+        Acc {
+            count: 0,
+            sum_f: 0.0,
+            sum_i: 0,
+            all_int: true,
+            min: None,
+            max: None,
+            distinct: if distinct { Some(HashSet::new()) } else { None },
+        }
+    }
+
+    fn update(&mut self, v: &Value) -> SqlResult<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        if let Some(set) = &mut self.distinct {
+            if !set.insert(v.clone()) {
+                return Ok(());
+            }
+        }
+        self.count += 1;
+        match v {
+            Value::Int(i) => {
+                self.sum_i = self.sum_i.wrapping_add(*i);
+                self.sum_f += *i as f64;
+            }
+            Value::Float(f) => {
+                self.all_int = false;
+                self.sum_f += f;
+            }
+            _ => self.all_int = false,
+        }
+        match &self.min {
+            Some(m) if v >= m => {}
+            _ => self.min = Some(v.clone()),
+        }
+        match &self.max {
+            Some(m) if v <= m => {}
+            _ => self.max = Some(v.clone()),
+        }
+        Ok(())
+    }
+
+    fn finish(&self, func: AggFunc, numeric_input: bool) -> SqlResult<Value> {
+        Ok(match func {
+            AggFunc::Count => Value::Int(self.count),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if !numeric_input {
+                    return Err(SqlError::Type("SUM over non-numeric values".into()));
+                } else if self.all_int {
+                    Value::Int(self.sum_i)
+                } else {
+                    Value::Float(self.sum_f)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else if !numeric_input {
+                    return Err(SqlError::Type("AVG over non-numeric values".into()));
+                } else {
+                    Value::Float(self.sum_f / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        })
+    }
+}
+
+fn aggregate(
+    db: &Database,
+    input: &Plan,
+    group_exprs: &[BExpr],
+    aggs: &[AggExpr],
+) -> SqlResult<Vec<Vec<Value>>> {
+    let rows = run(db, input)?;
+    // group key -> (first-seen order, accumulators, numeric flags)
+    let mut groups: HashMap<Vec<Value>, (usize, Vec<Acc>, Vec<bool>)> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+
+    for row in &rows {
+        let mut key = Vec::with_capacity(group_exprs.len());
+        for g in group_exprs {
+            key.push(g.eval(row)?);
+        }
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            (
+                order.len() - 1,
+                aggs.iter().map(|a| Acc::new(a.distinct)).collect(),
+                vec![true; aggs.len()],
+            )
+        });
+        for (ai, agg) in aggs.iter().enumerate() {
+            match &agg.arg {
+                None => {
+                    // COUNT(*): count every row including NULLs
+                    entry.1[ai].count += 1;
+                }
+                Some(argexpr) => {
+                    let v = argexpr.eval(row)?;
+                    if !v.is_null() && v.as_f64().is_none() {
+                        entry.2[ai] = false;
+                    }
+                    entry.1[ai].update(&v)?;
+                }
+            }
+        }
+    }
+
+    // Global aggregation over an empty input still yields one row.
+    if group_exprs.is_empty() && groups.is_empty() {
+        let mut row = Vec::with_capacity(aggs.len());
+        for agg in aggs {
+            let acc = Acc::new(agg.distinct);
+            row.push(acc.finish(agg.func, true)?);
+        }
+        return Ok(vec![row]);
+    }
+
+    let mut out: Vec<(usize, Vec<Value>)> = Vec::with_capacity(groups.len());
+    for (key, (ord, accs, numeric)) in groups {
+        let mut row = key;
+        for (ai, agg) in aggs.iter().enumerate() {
+            row.push(accs[ai].finish(agg.func, numeric[ai])?);
+        }
+        out.push((ord, row));
+    }
+    out.sort_by_key(|(ord, _)| *ord);
+    Ok(out.into_iter().map(|(_, r)| r).collect())
+}

@@ -1,0 +1,632 @@
+//! Bound expressions: name-resolved, directly evaluable against a row.
+
+use odbis_storage::{parse_date, parse_timestamp, DataType, Value};
+
+use crate::ast::{BinOp, UnOp};
+use crate::error::{SqlError, SqlResult};
+use crate::functions::ScalarFunc;
+
+/// A bound (name-resolved) scalar expression. Column references are
+/// ordinals into the input row.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // self-documenting
+pub enum BExpr {
+    /// Constant.
+    Literal(Value),
+    /// Input-row ordinal.
+    Column(usize),
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        left: Box<BExpr>,
+        right: Box<BExpr>,
+    },
+    /// Unary operation.
+    Unary { op: UnOp, expr: Box<BExpr> },
+    /// `IS [NOT] NULL`.
+    IsNull { expr: Box<BExpr>, negated: bool },
+    /// `[NOT] IN (list)`.
+    InList {
+        expr: Box<BExpr>,
+        list: Vec<BExpr>,
+        negated: bool,
+    },
+    /// `[NOT] BETWEEN`.
+    Between {
+        expr: Box<BExpr>,
+        lo: Box<BExpr>,
+        hi: Box<BExpr>,
+        negated: bool,
+    },
+    /// Scalar function call.
+    Function { func: ScalarFunc, args: Vec<BExpr> },
+    /// `CASE`.
+    Case {
+        branches: Vec<(BExpr, BExpr)>,
+        else_expr: Option<Box<BExpr>>,
+    },
+}
+
+impl BExpr {
+    /// Evaluate against one input row.
+    pub fn eval(&self, row: &[Value]) -> SqlResult<Value> {
+        match self {
+            BExpr::Literal(v) => Ok(v.clone()),
+            BExpr::Column(i) => row.get(*i).cloned().ok_or_else(|| {
+                SqlError::Eval(format!("column ordinal {i} out of range ({})", row.len()))
+            }),
+            BExpr::Binary { op, left, right } => {
+                // short-circuit three-valued AND/OR
+                match op {
+                    BinOp::And => {
+                        let l = left.eval(row)?;
+                        match truth(&l) {
+                            Some(false) => return Ok(Value::Bool(false)),
+                            l_truth => {
+                                let r = right.eval(row)?;
+                                return Ok(match (l_truth, truth(&r)) {
+                                    (_, Some(false)) => Value::Bool(false),
+                                    (Some(true), Some(true)) => Value::Bool(true),
+                                    _ => Value::Null,
+                                });
+                            }
+                        }
+                    }
+                    BinOp::Or => {
+                        let l = left.eval(row)?;
+                        match truth(&l) {
+                            Some(true) => return Ok(Value::Bool(true)),
+                            l_truth => {
+                                let r = right.eval(row)?;
+                                return Ok(match (l_truth, truth(&r)) {
+                                    (_, Some(true)) => Value::Bool(true),
+                                    (Some(false), Some(false)) => Value::Bool(false),
+                                    _ => Value::Null,
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                eval_binary(*op, &l, &r)
+            }
+            BExpr::Unary { op, expr } => {
+                let v = expr.eval(row)?;
+                match op {
+                    UnOp::Neg => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(SqlError::Type(format!(
+                            "cannot negate {}",
+                            other.render()
+                        ))),
+                    },
+                    UnOp::Not => Ok(match truth(&v) {
+                        Some(b) => Value::Bool(!b),
+                        None => Value::Null,
+                    }),
+                }
+            }
+            BExpr::IsNull { expr, negated } => {
+                let v = expr.eval(row)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            BExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let iv = item.eval(row)?;
+                    match v.sql_eq(&iv) {
+                        Some(true) => return Ok(Value::Bool(!*negated)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                Ok(if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(*negated)
+                })
+            }
+            BExpr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => {
+                let v = expr.eval(row)?;
+                let lo = lo.eval(row)?;
+                let hi = hi.eval(row)?;
+                match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                    (Some(a), Some(b)) => {
+                        let within = a != std::cmp::Ordering::Less
+                            && b != std::cmp::Ordering::Greater;
+                        Ok(Value::Bool(within != *negated))
+                    }
+                    _ => Ok(Value::Null),
+                }
+            }
+            BExpr::Function { func, args } => {
+                let vals: SqlResult<Vec<Value>> = args.iter().map(|a| a.eval(row)).collect();
+                func.eval(&vals?)
+            }
+            BExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (cond, result) in branches {
+                    if truth(&cond.eval(row)?) == Some(true) {
+                        return result.eval(row);
+                    }
+                }
+                match else_expr {
+                    Some(e) => e.eval(row),
+                    None => Ok(Value::Null),
+                }
+            }
+        }
+    }
+
+    /// True if the expression references no columns (safe to pre-evaluate).
+    pub fn is_constant(&self) -> bool {
+        match self {
+            BExpr::Literal(_) => true,
+            BExpr::Column(_) => false,
+            BExpr::Binary { left, right, .. } => left.is_constant() && right.is_constant(),
+            BExpr::Unary { expr, .. } | BExpr::IsNull { expr, .. } => expr.is_constant(),
+            BExpr::InList { expr, list, .. } => {
+                expr.is_constant() && list.iter().all(BExpr::is_constant)
+            }
+            BExpr::Between { expr, lo, hi, .. } => {
+                expr.is_constant() && lo.is_constant() && hi.is_constant()
+            }
+            BExpr::Function { args, .. } => args.iter().all(BExpr::is_constant),
+            BExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                branches
+                    .iter()
+                    .all(|(c, r)| c.is_constant() && r.is_constant())
+                    && else_expr.as_ref().is_none_or(|e| e.is_constant())
+            }
+        }
+    }
+
+    /// Fold constant sub-expressions into literals. Evaluation errors are
+    /// left in place (they will surface at run time with row context).
+    pub fn fold(self) -> BExpr {
+        if self.is_constant() {
+            if let Ok(v) = self.eval(&[]) {
+                return BExpr::Literal(v);
+            }
+            return self;
+        }
+        match self {
+            BExpr::Binary { op, left, right } => BExpr::Binary {
+                op,
+                left: Box::new(left.fold()),
+                right: Box::new(right.fold()),
+            },
+            BExpr::Unary { op, expr } => BExpr::Unary {
+                op,
+                expr: Box::new(expr.fold()),
+            },
+            BExpr::IsNull { expr, negated } => BExpr::IsNull {
+                expr: Box::new(expr.fold()),
+                negated,
+            },
+            BExpr::InList {
+                expr,
+                list,
+                negated,
+            } => BExpr::InList {
+                expr: Box::new(expr.fold()),
+                list: list.into_iter().map(BExpr::fold).collect(),
+                negated,
+            },
+            BExpr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => BExpr::Between {
+                expr: Box::new(expr.fold()),
+                lo: Box::new(lo.fold()),
+                hi: Box::new(hi.fold()),
+                negated,
+            },
+            BExpr::Function { func, args } => BExpr::Function {
+                func,
+                args: args.into_iter().map(BExpr::fold).collect(),
+            },
+            BExpr::Case {
+                branches,
+                else_expr,
+            } => BExpr::Case {
+                branches: branches
+                    .into_iter()
+                    .map(|(c, r)| (c.fold(), r.fold()))
+                    .collect(),
+                else_expr: else_expr.map(|e| Box::new(e.fold())),
+            },
+            other => other,
+        }
+    }
+
+    /// Shift every column ordinal by `delta` (used when splicing an
+    /// expression bound to the right side of a join).
+    pub fn shift_columns(&mut self, delta: usize) {
+        match self {
+            BExpr::Literal(_) => {}
+            BExpr::Column(i) => *i += delta,
+            BExpr::Binary { left, right, .. } => {
+                left.shift_columns(delta);
+                right.shift_columns(delta);
+            }
+            BExpr::Unary { expr, .. } | BExpr::IsNull { expr, .. } => expr.shift_columns(delta),
+            BExpr::InList { expr, list, .. } => {
+                expr.shift_columns(delta);
+                for e in list {
+                    e.shift_columns(delta);
+                }
+            }
+            BExpr::Between { expr, lo, hi, .. } => {
+                expr.shift_columns(delta);
+                lo.shift_columns(delta);
+                hi.shift_columns(delta);
+            }
+            BExpr::Function { args, .. } => {
+                for a in args {
+                    a.shift_columns(delta);
+                }
+            }
+            BExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    c.shift_columns(delta);
+                    r.shift_columns(delta);
+                }
+                if let Some(e) = else_expr {
+                    e.shift_columns(delta);
+                }
+            }
+        }
+    }
+}
+
+/// SQL truth of a value: `Some(bool)` for booleans (and numerics, where
+/// non-zero is true), `None` for NULL.
+pub fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Null => None,
+        Value::Bool(b) => Some(*b),
+        Value::Int(i) => Some(*i != 0),
+        Value::Float(f) => Some(*f != 0.0),
+        _ => Some(true),
+    }
+}
+
+fn eval_binary(op: BinOp, l: &Value, r: &Value) -> SqlResult<Value> {
+    use BinOp::*;
+    match op {
+        Eq | Neq | Lt | Lte | Gt | Gte => {
+            let Some(ord) = l.sql_cmp(r) else {
+                return Ok(Value::Null);
+            };
+            use std::cmp::Ordering::*;
+            let b = match op {
+                Eq => ord == Equal,
+                Neq => ord != Equal,
+                Lt => ord == Less,
+                Lte => ord != Greater,
+                Gt => ord == Greater,
+                Gte => ord != Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Add | Sub | Mul | Div | Mod => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            arith(op, l, r)
+        }
+        Concat => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Text(format!("{}{}", l.render(), r.render())))
+        }
+        Like => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let (s, p) = (
+                l.as_str().ok_or_else(|| {
+                    SqlError::Type(format!("LIKE expects TEXT, got {}", l.render()))
+                })?,
+                r.as_str().ok_or_else(|| {
+                    SqlError::Type(format!("LIKE pattern must be TEXT, got {}", r.render()))
+                })?,
+            );
+            Ok(Value::Bool(like_match(s, p)))
+        }
+        And | Or => unreachable!("handled with short-circuit in eval"),
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> SqlResult<Value> {
+    // Date/Timestamp +- Int days
+    if let (Value::Date(d), Some(n)) = (l, r.as_i64()) {
+        match op {
+            BinOp::Add => return Ok(Value::Date(d + n as i32)),
+            BinOp::Sub => return Ok(Value::Date(d - n as i32)),
+            _ => {}
+        }
+    }
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Ok(match op {
+            BinOp::Add => Value::Int(a.wrapping_add(*b)),
+            BinOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            BinOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            BinOp::Div => {
+                if *b == 0 {
+                    return Err(SqlError::Eval("division by zero".into()));
+                }
+                // integer division with / like most SQL engines
+                Value::Int(a.wrapping_div(*b))
+            }
+            BinOp::Mod => {
+                if *b == 0 {
+                    return Err(SqlError::Eval("modulo by zero".into()));
+                }
+                Value::Int(a.wrapping_rem(*b))
+            }
+            _ => unreachable!(),
+        }),
+        _ => {
+            let (a, b) = (
+                l.as_f64().ok_or_else(|| {
+                    SqlError::Type(format!("non-numeric operand {}", l.render()))
+                })?,
+                r.as_f64().ok_or_else(|| {
+                    SqlError::Type(format!("non-numeric operand {}", r.render()))
+                })?,
+            );
+            Ok(match op {
+                BinOp::Add => Value::Float(a + b),
+                BinOp::Sub => Value::Float(a - b),
+                BinOp::Mul => Value::Float(a * b),
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(SqlError::Eval("division by zero".into()));
+                    }
+                    Value::Float(a / b)
+                }
+                BinOp::Mod => {
+                    if b == 0.0 {
+                        return Err(SqlError::Eval("modulo by zero".into()));
+                    }
+                    Value::Float(a % b)
+                }
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+/// SQL `LIKE` matching: `%` matches any sequence, `_` any single character.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // try to consume 0..=len characters
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let sc: Vec<char> = s.chars().collect();
+    let pc: Vec<char> = pattern.chars().collect();
+    rec(&sc, &pc)
+}
+
+/// Parse a typed literal (`DATE '...'`) into a [`Value`].
+pub fn typed_literal(ty: DataType, text: &str) -> SqlResult<Value> {
+    match ty {
+        DataType::Date => parse_date(text)
+            .map(Value::Date)
+            .ok_or_else(|| SqlError::Eval(format!("bad DATE literal {text:?}"))),
+        DataType::Timestamp => parse_timestamp(text)
+            .map(Value::Timestamp)
+            .ok_or_else(|| SqlError::Eval(format!("bad TIMESTAMP literal {text:?}"))),
+        other => Err(SqlError::Type(format!("no typed literal for {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: impl Into<Value>) -> BExpr {
+        BExpr::Literal(v.into())
+    }
+
+    fn bin(op: BinOp, l: BExpr, r: BExpr) -> BExpr {
+        BExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_division_by_zero() {
+        assert_eq!(
+            bin(BinOp::Add, lit(1i64), lit(2i64)).eval(&[]).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            bin(BinOp::Div, lit(7i64), lit(2i64)).eval(&[]).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            bin(BinOp::Div, lit(7.0), lit(2i64)).eval(&[]).unwrap(),
+            Value::Float(3.5)
+        );
+        assert!(bin(BinOp::Div, lit(1i64), lit(0i64)).eval(&[]).is_err());
+        assert_eq!(
+            bin(BinOp::Add, lit(1i64), BExpr::Literal(Value::Null))
+                .eval(&[])
+                .unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let null = BExpr::Literal(Value::Null);
+        // NULL AND FALSE = FALSE; NULL OR TRUE = TRUE; NULL AND TRUE = NULL
+        assert_eq!(
+            bin(BinOp::And, null.clone(), lit(false)).eval(&[]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            bin(BinOp::Or, null.clone(), lit(true)).eval(&[]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            bin(BinOp::And, null.clone(), lit(true)).eval(&[]).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            BExpr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(null)
+            }
+            .eval(&[])
+            .unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn comparisons_with_null_yield_null() {
+        assert_eq!(
+            bin(BinOp::Eq, lit(1i64), BExpr::Literal(Value::Null))
+                .eval(&[])
+                .unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            bin(BinOp::Lt, lit(1i64), lit(2.5)).eval(&[]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn in_list_null_semantics() {
+        // 3 IN (1, 2, NULL) is NULL (unknown); 1 IN (1, NULL) is TRUE
+        let e = BExpr::InList {
+            expr: Box::new(lit(3i64)),
+            list: vec![lit(1i64), lit(2i64), BExpr::Literal(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(e.eval(&[]).unwrap(), Value::Null);
+        let e = BExpr::InList {
+            expr: Box::new(lit(1i64)),
+            list: vec![lit(1i64), BExpr::Literal(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(e.eval(&[]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn between_and_case() {
+        let e = BExpr::Between {
+            expr: Box::new(lit(5i64)),
+            lo: Box::new(lit(1i64)),
+            hi: Box::new(lit(5i64)),
+            negated: false,
+        };
+        assert_eq!(e.eval(&[]).unwrap(), Value::Bool(true));
+        let c = BExpr::Case {
+            branches: vec![(lit(false), lit("a")), (lit(true), lit("b"))],
+            else_expr: Some(Box::new(lit("c"))),
+        };
+        assert_eq!(c.eval(&[]).unwrap(), Value::from("b"));
+        let c = BExpr::Case {
+            branches: vec![(lit(false), lit("a"))],
+            else_expr: None,
+        };
+        assert_eq!(c.eval(&[]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "h%o"));
+        assert!(like_match("hello", "_ello"));
+        assert!(!like_match("hello", "h_o"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", ""));
+        assert!(like_match("a%b", "a%b"));
+        assert!(like_match("x", "%%x%%"));
+    }
+
+    #[test]
+    fn column_refs_and_shift() {
+        let row = vec![Value::Int(10), Value::from("a")];
+        assert_eq!(BExpr::Column(1).eval(&row).unwrap(), Value::from("a"));
+        assert!(BExpr::Column(5).eval(&row).is_err());
+        let mut e = bin(BinOp::Add, BExpr::Column(0), lit(1i64));
+        e.shift_columns(3);
+        assert_eq!(e, bin(BinOp::Add, BExpr::Column(3), lit(1i64)));
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = bin(BinOp::Mul, lit(3i64), bin(BinOp::Add, lit(1i64), lit(1i64)));
+        assert_eq!(e.fold(), lit(6i64));
+        // non-constant parts preserved
+        let e = bin(BinOp::Add, BExpr::Column(0), bin(BinOp::Add, lit(1i64), lit(1i64)));
+        assert_eq!(e.fold(), bin(BinOp::Add, BExpr::Column(0), lit(2i64)));
+        // folding a division by zero is deferred to runtime
+        let e = bin(BinOp::Div, lit(1i64), lit(0i64));
+        assert!(e.fold().eval(&[]).is_err());
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        let d = odbis_storage::parse_date("2010-03-22").unwrap();
+        let e = bin(BinOp::Add, BExpr::Literal(Value::Date(d)), lit(4i64));
+        assert_eq!(
+            e.eval(&[]).unwrap(),
+            Value::Date(odbis_storage::parse_date("2010-03-26").unwrap())
+        );
+    }
+
+    #[test]
+    fn typed_literals() {
+        assert!(matches!(
+            typed_literal(DataType::Date, "2010-03-22").unwrap(),
+            Value::Date(_)
+        ));
+        assert!(typed_literal(DataType::Date, "nope").is_err());
+        assert!(typed_literal(DataType::Int, "1").is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Scalar function library.
+
+use odbis_storage::{days_to_date, DataType, Value};
+
+use crate::error::{SqlError, SqlResult};
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // self-documenting
+pub enum ScalarFunc {
+    Abs,
+    Round,
+    Floor,
+    Ceil,
+    Sqrt,
+    Upper,
+    Lower,
+    Length,
+    Substr,
+    Trim,
+    Replace,
+    Concat,
+    Coalesce,
+    NullIf,
+    Year,
+    Month,
+    Day,
+    Cast,
+}
+
+impl ScalarFunc {
+    /// Resolve a function by (upper-cased) name.
+    pub fn resolve(name: &str) -> Option<ScalarFunc> {
+        Some(match name {
+            "ABS" => ScalarFunc::Abs,
+            "ROUND" => ScalarFunc::Round,
+            "FLOOR" => ScalarFunc::Floor,
+            "CEIL" | "CEILING" => ScalarFunc::Ceil,
+            "SQRT" => ScalarFunc::Sqrt,
+            "UPPER" => ScalarFunc::Upper,
+            "LOWER" => ScalarFunc::Lower,
+            "LENGTH" | "LEN" => ScalarFunc::Length,
+            "SUBSTR" | "SUBSTRING" => ScalarFunc::Substr,
+            "TRIM" => ScalarFunc::Trim,
+            "REPLACE" => ScalarFunc::Replace,
+            "CONCAT" => ScalarFunc::Concat,
+            "COALESCE" | "IFNULL" | "NVL" => ScalarFunc::Coalesce,
+            "NULLIF" => ScalarFunc::NullIf,
+            "YEAR" => ScalarFunc::Year,
+            "MONTH" => ScalarFunc::Month,
+            "DAY" => ScalarFunc::Day,
+            "CAST" => ScalarFunc::Cast,
+            _ => return None,
+        })
+    }
+
+    /// Check argument count; returns a bind-time error message on mismatch.
+    pub fn check_arity(self, n: usize) -> Result<(), String> {
+        let ok = match self {
+            ScalarFunc::Abs
+            | ScalarFunc::Floor
+            | ScalarFunc::Ceil
+            | ScalarFunc::Sqrt
+            | ScalarFunc::Upper
+            | ScalarFunc::Lower
+            | ScalarFunc::Length
+            | ScalarFunc::Trim
+            | ScalarFunc::Year
+            | ScalarFunc::Month
+            | ScalarFunc::Day => n == 1,
+            ScalarFunc::Round => n == 1 || n == 2,
+            ScalarFunc::Substr => n == 2 || n == 3,
+            ScalarFunc::Replace => n == 3,
+            ScalarFunc::NullIf => n == 2,
+            ScalarFunc::Concat | ScalarFunc::Coalesce => n >= 1,
+            ScalarFunc::Cast => n == 2,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("wrong number of arguments ({n}) for {self:?}"))
+        }
+    }
+
+    /// Evaluate the function over already-computed argument values.
+    pub fn eval(self, args: &[Value]) -> SqlResult<Value> {
+        use ScalarFunc::*;
+        // NULL propagation for all but the NULL-handling functions.
+        if !matches!(self, Coalesce | Concat | NullIf) && args.iter().any(Value::is_null) {
+            return Ok(Value::Null);
+        }
+        Ok(match self {
+            Abs => match &args[0] {
+                Value::Int(i) => Value::Int(i.wrapping_abs()),
+                Value::Float(f) => Value::Float(f.abs()),
+                v => return type_err("ABS", v),
+            },
+            Round => {
+                let digits = args.get(1).and_then(Value::as_i64).unwrap_or(0);
+                match &args[0] {
+                    Value::Int(i) => Value::Int(*i),
+                    Value::Float(f) => {
+                        let m = 10f64.powi(digits as i32);
+                        Value::Float((f * m).round() / m)
+                    }
+                    v => return type_err("ROUND", v),
+                }
+            }
+            Floor => match &args[0] {
+                Value::Int(i) => Value::Int(*i),
+                Value::Float(f) => Value::Float(f.floor()),
+                v => return type_err("FLOOR", v),
+            },
+            Ceil => match &args[0] {
+                Value::Int(i) => Value::Int(*i),
+                Value::Float(f) => Value::Float(f.ceil()),
+                v => return type_err("CEIL", v),
+            },
+            Sqrt => match args[0].as_f64() {
+                Some(f) if f >= 0.0 => Value::Float(f.sqrt()),
+                Some(_) => return Err(SqlError::Eval("SQRT of negative number".into())),
+                None => return type_err("SQRT", &args[0]),
+            },
+            Upper => Value::Text(text_arg("UPPER", &args[0])?.to_uppercase()),
+            Lower => Value::Text(text_arg("LOWER", &args[0])?.to_lowercase()),
+            Length => Value::Int(text_arg("LENGTH", &args[0])?.chars().count() as i64),
+            Substr => {
+                let s = text_arg("SUBSTR", &args[0])?;
+                let chars: Vec<char> = s.chars().collect();
+                // SQL is 1-based
+                let start = args[1]
+                    .as_i64()
+                    .ok_or_else(|| SqlError::Eval("SUBSTR start must be integer".into()))?;
+                let start = (start.max(1) - 1) as usize;
+                let len = match args.get(2) {
+                    Some(v) => v
+                        .as_i64()
+                        .ok_or_else(|| SqlError::Eval("SUBSTR length must be integer".into()))?
+                        .max(0) as usize,
+                    None => chars.len().saturating_sub(start),
+                };
+                let end = (start + len).min(chars.len());
+                let start = start.min(chars.len());
+                Value::Text(chars[start..end].iter().collect())
+            }
+            Trim => Value::Text(text_arg("TRIM", &args[0])?.trim().to_string()),
+            Replace => {
+                let s = text_arg("REPLACE", &args[0])?;
+                let from = text_arg("REPLACE", &args[1])?;
+                let to = text_arg("REPLACE", &args[2])?;
+                Value::Text(s.replace(from, to))
+            }
+            Concat => {
+                let mut s = String::new();
+                for a in args {
+                    if !a.is_null() {
+                        s.push_str(&a.render());
+                    }
+                }
+                Value::Text(s)
+            }
+            Coalesce => args
+                .iter()
+                .find(|a| !a.is_null())
+                .cloned()
+                .unwrap_or(Value::Null),
+            NullIf => {
+                if args[0].sql_eq(&args[1]) == Some(true) {
+                    Value::Null
+                } else {
+                    args[0].clone()
+                }
+            }
+            Year | Month | Day => {
+                let days = match &args[0] {
+                    Value::Date(d) => *d,
+                    Value::Timestamp(t) => t.div_euclid(86_400_000_000) as i32,
+                    v => return type_err("date part", v),
+                };
+                let (y, m, d) = days_to_date(days);
+                match self {
+                    Year => Value::Int(i64::from(y)),
+                    Month => Value::Int(i64::from(m)),
+                    _ => Value::Int(i64::from(d)),
+                }
+            }
+            Cast => {
+                let ty_name = text_arg("CAST", &args[1])?;
+                let ty = DataType::parse(ty_name)
+                    .ok_or_else(|| SqlError::Eval(format!("unknown CAST target {ty_name}")))?;
+                cast_value(&args[0], ty)?
+            }
+        })
+    }
+}
+
+fn type_err(func: &str, v: &Value) -> SqlResult<Value> {
+    Err(SqlError::Type(format!(
+        "invalid argument for {func}: {}",
+        v.render()
+    )))
+}
+
+fn text_arg<'a>(func: &str, v: &'a Value) -> SqlResult<&'a str> {
+    v.as_str()
+        .ok_or_else(|| SqlError::Type(format!("{func} expects TEXT, got {}", v.render())))
+}
+
+/// Explicit cast used by `CAST(x, 'TYPE')` — wider than implicit coercion:
+/// parses text into numbers/dates, renders anything to text.
+pub fn cast_value(v: &Value, ty: DataType) -> SqlResult<Value> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    if let Some(c) = v.coerce_to(ty) {
+        return Ok(c);
+    }
+    let fail = || SqlError::Eval(format!("cannot cast {} to {ty}", v.render()));
+    Ok(match (v, ty) {
+        (_, DataType::Text) => Value::Text(v.render()),
+        (Value::Text(s), DataType::Int) => Value::Int(s.trim().parse().map_err(|_| fail())?),
+        (Value::Text(s), DataType::Float) => Value::Float(s.trim().parse().map_err(|_| fail())?),
+        (Value::Text(s), DataType::Bool) => match s.trim().to_ascii_lowercase().as_str() {
+            "true" | "t" | "1" => Value::Bool(true),
+            "false" | "f" | "0" => Value::Bool(false),
+            _ => return Err(fail()),
+        },
+        (Value::Text(s), DataType::Date) => {
+            Value::Date(odbis_storage::parse_date(s.trim()).ok_or_else(fail)?)
+        }
+        (Value::Text(s), DataType::Timestamp) => {
+            Value::Timestamp(odbis_storage::parse_timestamp(s.trim()).ok_or_else(fail)?)
+        }
+        (Value::Float(f), DataType::Int) => Value::Int(*f as i64),
+        (Value::Bool(b), DataType::Int) => Value::Int(i64::from(*b)),
+        (Value::Timestamp(t), DataType::Date) => {
+            Value::Date(t.div_euclid(86_400_000_000) as i32)
+        }
+        _ => return Err(fail()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(f: ScalarFunc, args: &[Value]) -> Value {
+        f.eval(args).unwrap()
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert_eq!(ev(ScalarFunc::Abs, &[Value::Int(-3)]), Value::Int(3));
+        assert_eq!(
+            ev(ScalarFunc::Round, &[Value::Float(2.567), Value::Int(1)]),
+            Value::Float(2.6)
+        );
+        assert_eq!(ev(ScalarFunc::Floor, &[Value::Float(2.9)]), Value::Float(2.0));
+        assert_eq!(ev(ScalarFunc::Sqrt, &[Value::Int(9)]), Value::Float(3.0));
+        assert!(ScalarFunc::Sqrt.eval(&[Value::Int(-1)]).is_err());
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(ev(ScalarFunc::Upper, &["ab".into()]), Value::from("AB"));
+        assert_eq!(ev(ScalarFunc::Length, &["héllo".into()]), Value::Int(5));
+        assert_eq!(
+            ev(ScalarFunc::Substr, &["hello".into(), Value::Int(2), Value::Int(3)]),
+            Value::from("ell")
+        );
+        assert_eq!(
+            ev(ScalarFunc::Substr, &["hello".into(), Value::Int(4)]),
+            Value::from("lo")
+        );
+        assert_eq!(
+            ev(ScalarFunc::Replace, &["aXbX".into(), "X".into(), "-".into()]),
+            Value::from("a-b-")
+        );
+        assert_eq!(
+            ev(ScalarFunc::Concat, &["a".into(), Value::Null, Value::Int(3)]),
+            Value::from("a3")
+        );
+    }
+
+    #[test]
+    fn null_handling() {
+        assert_eq!(ev(ScalarFunc::Upper, &[Value::Null]), Value::Null);
+        assert_eq!(
+            ev(ScalarFunc::Coalesce, &[Value::Null, Value::Int(2), Value::Int(3)]),
+            Value::Int(2)
+        );
+        assert_eq!(
+            ev(ScalarFunc::NullIf, &[Value::Int(1), Value::Int(1)]),
+            Value::Null
+        );
+        assert_eq!(
+            ev(ScalarFunc::NullIf, &[Value::Int(1), Value::Int(2)]),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn date_parts() {
+        let d = odbis_storage::parse_date("2010-03-22").unwrap();
+        assert_eq!(ev(ScalarFunc::Year, &[Value::Date(d)]), Value::Int(2010));
+        assert_eq!(ev(ScalarFunc::Month, &[Value::Date(d)]), Value::Int(3));
+        assert_eq!(ev(ScalarFunc::Day, &[Value::Date(d)]), Value::Int(22));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(
+            cast_value(&"42".into(), DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            cast_value(&Value::Float(2.9), DataType::Int).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            cast_value(&Value::Int(5), DataType::Text).unwrap(),
+            Value::from("5")
+        );
+        assert!(cast_value(&"xyz".into(), DataType::Int).is_err());
+        assert_eq!(
+            cast_value(&"2010-03-22".into(), DataType::Date).unwrap(),
+            Value::Date(odbis_storage::parse_date("2010-03-22").unwrap())
+        );
+    }
+
+    #[test]
+    fn resolve_and_arity() {
+        assert_eq!(ScalarFunc::resolve("COALESCE"), Some(ScalarFunc::Coalesce));
+        assert_eq!(ScalarFunc::resolve("NOPE"), None);
+        assert!(ScalarFunc::Substr.check_arity(1).is_err());
+        assert!(ScalarFunc::Substr.check_arity(3).is_ok());
+    }
+}

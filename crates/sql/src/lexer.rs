@@ -1,0 +1,320 @@
+//! Hand-written SQL lexer.
+
+use crate::error::{SqlError, SqlResult};
+
+/// A lexical token with its byte position in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character in the source text.
+    pub pos: usize,
+}
+
+/// SQL token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier (stored upper-cased for keywords check,
+    /// original case preserved in `Ident`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, '' unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Symbol(Sym),
+    /// End of input.
+    Eof,
+}
+
+/// Operator and punctuation symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    Dot,
+    Concat,
+}
+
+/// Tokenize `sql`. Comments (`-- ...`) and whitespace are skipped.
+pub fn lex(sql: &str) -> SqlResult<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push_sym(&mut out, Sym::LParen, &mut i),
+            ')' => push_sym(&mut out, Sym::RParen, &mut i),
+            ',' => push_sym(&mut out, Sym::Comma, &mut i),
+            ';' => push_sym(&mut out, Sym::Semicolon, &mut i),
+            '*' => push_sym(&mut out, Sym::Star, &mut i),
+            '+' => push_sym(&mut out, Sym::Plus, &mut i),
+            '-' => push_sym(&mut out, Sym::Minus, &mut i),
+            '/' => push_sym(&mut out, Sym::Slash, &mut i),
+            '%' => push_sym(&mut out, Sym::Percent, &mut i),
+            '.' => push_sym(&mut out, Sym::Dot, &mut i),
+            '=' => push_sym(&mut out, Sym::Eq, &mut i),
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                out.push(Token {
+                    kind: TokenKind::Symbol(Sym::Concat),
+                    pos: i,
+                });
+                i += 2;
+            }
+            '<' => {
+                let (sym, len) = match bytes.get(i + 1) {
+                    Some(b'=') => (Sym::Lte, 2),
+                    Some(b'>') => (Sym::Neq, 2),
+                    _ => (Sym::Lt, 1),
+                };
+                out.push(Token {
+                    kind: TokenKind::Symbol(sym),
+                    pos: i,
+                });
+                i += len;
+            }
+            '>' => {
+                let (sym, len) = if bytes.get(i + 1) == Some(&b'=') {
+                    (Sym::Gte, 2)
+                } else {
+                    (Sym::Gt, 1)
+                };
+                out.push(Token {
+                    kind: TokenKind::Symbol(sym),
+                    pos: i,
+                });
+                i += len;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token {
+                    kind: TokenKind::Symbol(Sym::Neq),
+                    pos: i,
+                });
+                i += 2;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                pos: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // advance one UTF-8 character
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(&sql[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos: start,
+                });
+            }
+            '"' => {
+                // double-quoted identifier
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                pos: start,
+                                message: "unterminated quoted identifier".into(),
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(&sql[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(s),
+                    pos: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &sql[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| SqlError::Lex {
+                        pos: start,
+                        message: format!("bad float literal {text}"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| SqlError::Lex {
+                        pos: start,
+                        message: format!("integer literal out of range: {text}"),
+                    })?)
+                };
+                out.push(Token { kind, pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(sql[start..i].to_string()),
+                    pos: start,
+                });
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        pos: sql.len(),
+    });
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b < 0xE0 => 2,
+        b if b < 0xF0 => 3,
+        _ => 4,
+    }
+}
+
+fn push_sym(out: &mut Vec<Token>, sym: Sym, i: &mut usize) {
+    out.push(Token {
+        kind: TokenKind::Symbol(sym),
+        pos: *i,
+    });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_select() {
+        let ks = kinds("SELECT a, b FROM t WHERE x >= 1.5");
+        assert_eq!(ks[0], TokenKind::Ident("SELECT".into()));
+        assert!(ks.contains(&TokenKind::Symbol(Sym::Gte)));
+        assert!(ks.contains(&TokenKind::Float(1.5)));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn string_escapes_and_comments() {
+        let ks = kinds("-- comment\n'it''s' <> \"Weird Name\"");
+        assert_eq!(ks[0], TokenKind::Str("it's".into()));
+        assert_eq!(ks[1], TokenKind::Symbol(Sym::Neq));
+        assert_eq!(ks[2], TokenKind::Ident("Weird Name".into()));
+    }
+
+    #[test]
+    fn numbers_with_exponents() {
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5E-1")[0], TokenKind::Float(0.25));
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        // `1.` followed by non-digit is Int then Dot (qualified access)
+        assert_eq!(kinds("t.c")[1], TokenKind::Symbol(Sym::Dot));
+    }
+
+    #[test]
+    fn unterminated_string_errors_with_position() {
+        let err = lex("SELECT 'oops").unwrap_err();
+        assert!(matches!(err, SqlError::Lex { pos: 7, .. }));
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(matches!(lex("SELECT #"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn concat_operator() {
+        assert_eq!(kinds("a || b")[1], TokenKind::Symbol(Sym::Concat));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("'héllo'")[0], TokenKind::Str("héllo".into()));
+    }
+}

@@ -1,0 +1,1003 @@
+//! Recursive-descent SQL parser.
+
+use odbis_storage::{DataType, Value};
+
+use crate::ast::*;
+use crate::error::{SqlError, SqlResult};
+use crate::lexer::{lex, Sym, Token, TokenKind};
+
+/// Parse one SQL statement (a trailing `;` is allowed).
+pub fn parse(sql: &str) -> SqlResult<Statement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, i: 0 };
+    let stmt = p.statement()?;
+    p.eat_symbol(Sym::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a script of `;`-separated statements.
+pub fn parse_script(sql: &str) -> SqlResult<Vec<Statement>> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, i: 0 };
+    let mut stmts = Vec::new();
+    loop {
+        while p.eat_symbol(Sym::Semicolon) {}
+        if p.at_eof() {
+            break;
+        }
+        stmts.push(p.statement()?);
+        if !p.at_eof() && !p.peek_symbol(Sym::Semicolon) {
+            return Err(p.err("expected ';' between statements"));
+        }
+    }
+    Ok(stmts)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.i]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.i].clone();
+        if self.i + 1 < self.tokens.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            pos: self.peek().pos,
+            message: msg.into(),
+        }
+    }
+
+    fn expect_eof(&self) -> SqlResult<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.err("unexpected trailing input"))
+        }
+    }
+
+    /// Is the current token the keyword `kw` (case-insensitive)?
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> SqlResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn peek_symbol(&self, s: Sym) -> bool {
+        self.peek().kind == TokenKind::Symbol(s)
+    }
+
+    fn eat_symbol(&mut self, s: Sym) -> bool {
+        if self.peek_symbol(s) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: Sym) -> SqlResult<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> SqlResult<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn statement(&mut self) -> SqlResult<Statement> {
+        if self.peek_kw("SELECT") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        if self.eat_kw("CREATE") {
+            if self.eat_kw("TABLE") {
+                return self.create_table();
+            }
+            let unique = self.eat_kw("UNIQUE");
+            if self.eat_kw("INDEX") {
+                return self.create_index(unique);
+            }
+            return Err(self.err("expected TABLE or [UNIQUE] INDEX after CREATE"));
+        }
+        if self.eat_kw("DROP") {
+            if self.eat_kw("TABLE") {
+                let if_exists = self.if_exists()?;
+                let name = self.ident()?;
+                return Ok(Statement::DropTable { name, if_exists });
+            }
+            if self.eat_kw("INDEX") {
+                let name = self.ident()?;
+                self.expect_kw("ON")?;
+                let table = self.ident()?;
+                return Ok(Statement::DropIndex { name, table });
+            }
+            return Err(self.err("expected TABLE or INDEX after DROP"));
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw("UPDATE") {
+            return self.update();
+        }
+        if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            let filter = if self.eat_kw("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete { table, filter });
+        }
+        Err(self.err("expected a SQL statement"))
+    }
+
+    fn if_exists(&mut self) -> SqlResult<bool> {
+        if self.eat_kw("IF") {
+            self.expect_kw("EXISTS")?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn create_table(&mut self) -> SqlResult<Statement> {
+        let if_not_exists = if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        self.expect_symbol(Sym::LParen)?;
+        let mut columns = Vec::new();
+        let mut primary_key: Vec<String> = Vec::new();
+        loop {
+            if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                self.expect_symbol(Sym::LParen)?;
+                loop {
+                    primary_key.push(self.ident()?);
+                    if !self.eat_symbol(Sym::Comma) {
+                        break;
+                    }
+                }
+                self.expect_symbol(Sym::RParen)?;
+            } else {
+                columns.push(self.column_def()?);
+            }
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Sym::RParen)?;
+        // promote inline PRIMARY KEY markers
+        for c in &columns {
+            if c.primary_key && !primary_key.contains(&c.name) {
+                primary_key.push(c.name.clone());
+            }
+        }
+        Ok(Statement::CreateTable {
+            name,
+            if_not_exists,
+            columns,
+            primary_key,
+        })
+    }
+
+    fn column_def(&mut self) -> SqlResult<ColumnDef> {
+        let name = self.ident()?;
+        let type_name = self.ident()?;
+        let data_type = DataType::parse(&type_name)
+            .ok_or_else(|| self.err(format!("unknown type {type_name}")))?;
+        // swallow optional length like VARCHAR(255)
+        if self.eat_symbol(Sym::LParen) {
+            self.next();
+            if self.eat_symbol(Sym::Comma) {
+                self.next();
+            }
+            self.expect_symbol(Sym::RParen)?;
+        }
+        let mut def = ColumnDef {
+            name,
+            data_type,
+            not_null: false,
+            primary_key: false,
+            default: None,
+        };
+        loop {
+            if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                def.not_null = true;
+            } else if self.eat_kw("NULL") {
+                // explicit nullable, no-op
+            } else if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                def.primary_key = true;
+            } else if self.eat_kw("DEFAULT") {
+                def.default = Some(self.literal_value()?);
+            } else if self.eat_kw("UNIQUE") {
+                // tolerated; enforced only via CREATE UNIQUE INDEX
+            } else {
+                break;
+            }
+        }
+        Ok(def)
+    }
+
+    fn literal_value(&mut self) -> SqlResult<Value> {
+        let neg = self.eat_symbol(Sym::Minus);
+        let v = match self.next().kind {
+            TokenKind::Int(i) => Value::Int(if neg { -i } else { i }),
+            TokenKind::Float(f) => Value::Float(if neg { -f } else { f }),
+            TokenKind::Str(s) if !neg => Value::Text(s),
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("NULL") && !neg => Value::Null,
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("TRUE") && !neg => Value::Bool(true),
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case("FALSE") && !neg => Value::Bool(false),
+            _ => return Err(self.err("expected literal")),
+        };
+        Ok(v)
+    }
+
+    fn create_index(&mut self, unique: bool) -> SqlResult<Statement> {
+        let name = self.ident()?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        self.expect_symbol(Sym::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.ident()?);
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Sym::RParen)?;
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            columns,
+            unique,
+        })
+    }
+
+    fn insert(&mut self) -> SqlResult<Statement> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat_symbol(Sym::LParen) {
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+        }
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol(Sym::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            rows.push(row);
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn update(&mut self) -> SqlResult<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_symbol(Sym::Eq)?;
+            sets.push((col, self.expr()?));
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            filter,
+        })
+    }
+
+    fn select(&mut self) -> SqlResult<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        if !distinct {
+            self.eat_kw("ALL");
+        }
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat_symbol(Sym::Comma) {
+                break;
+            }
+        }
+        let mut from = None;
+        let mut joins = Vec::new();
+        if self.eat_kw("FROM") {
+            from = Some(self.table_ref()?);
+            loop {
+                let kind = if self.eat_kw("INNER") {
+                    self.expect_kw("JOIN")?;
+                    JoinKind::Inner
+                } else if self.eat_kw("LEFT") {
+                    self.eat_kw("OUTER");
+                    self.expect_kw("JOIN")?;
+                    JoinKind::Left
+                } else if self.eat_kw("JOIN") {
+                    JoinKind::Inner
+                } else {
+                    break;
+                };
+                let table = self.table_ref()?;
+                self.expect_kw("ON")?;
+                let on = self.expr()?;
+                joins.push(Join { kind, table, on });
+            }
+        }
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        if self.eat_kw("LIMIT") {
+            limit = Some(self.usize_literal()?);
+        }
+        if self.eat_kw("OFFSET") {
+            offset = Some(self.usize_literal()?);
+        }
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            joins,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn usize_literal(&mut self) -> SqlResult<usize> {
+        match self.next().kind {
+            TokenKind::Int(i) if i >= 0 => Ok(i as usize),
+            _ => Err(self.err("expected non-negative integer")),
+        }
+    }
+
+    fn select_item(&mut self) -> SqlResult<SelectItem> {
+        if self.eat_symbol(Sym::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let TokenKind::Ident(q) = &self.peek().kind {
+            if self.tokens.get(self.i + 1).map(|t| &t.kind) == Some(&TokenKind::Symbol(Sym::Dot))
+                && self.tokens.get(self.i + 2).map(|t| &t.kind)
+                    == Some(&TokenKind::Symbol(Sym::Star))
+            {
+                let q = q.clone();
+                self.next();
+                self.next();
+                self.next();
+                return Ok(SelectItem::QualifiedWildcard(q));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let TokenKind::Ident(s) = &self.peek().kind {
+            // bare alias, unless it's a clause keyword
+            let up = s.to_ascii_uppercase();
+            if matches!(
+                up.as_str(),
+                "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "OFFSET" | "JOIN"
+                    | "INNER" | "LEFT" | "ON" | "AND" | "OR" | "UNION" | "ASC" | "DESC"
+            ) {
+                None
+            } else {
+                Some(self.ident()?)
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> SqlResult<TableRef> {
+        let table = self.ident()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let TokenKind::Ident(s) = &self.peek().kind {
+            let up = s.to_ascii_uppercase();
+            if matches!(
+                up.as_str(),
+                "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "OFFSET" | "JOIN" | "INNER"
+                    | "LEFT" | "ON" | "SET"
+            ) {
+                None
+            } else {
+                Some(self.ident()?)
+            }
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    // ---- expressions (precedence climbing) --------------------------------
+
+    fn expr(&mut self) -> SqlResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> SqlResult<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> SqlResult<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> SqlResult<Expr> {
+        if self.eat_kw("NOT") {
+            let e = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> SqlResult<Expr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("IN") {
+            self.expect_symbol(Sym::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_symbol(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("BETWEEN") {
+            let lo = self.additive()?;
+            self.expect_kw("AND")?;
+            let hi = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pat = self.additive()?;
+            let like = Expr::Binary {
+                op: BinOp::Like,
+                left: Box::new(left),
+                right: Box::new(pat),
+            };
+            return Ok(if negated {
+                Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(like),
+                }
+            } else {
+                like
+            });
+        }
+        if negated {
+            return Err(self.err("expected IN, BETWEEN or LIKE after NOT"));
+        }
+        let op = match self.peek().kind {
+            TokenKind::Symbol(Sym::Eq) => Some(BinOp::Eq),
+            TokenKind::Symbol(Sym::Neq) => Some(BinOp::Neq),
+            TokenKind::Symbol(Sym::Lt) => Some(BinOp::Lt),
+            TokenKind::Symbol(Sym::Lte) => Some(BinOp::Lte),
+            TokenKind::Symbol(Sym::Gt) => Some(BinOp::Gt),
+            TokenKind::Symbol(Sym::Gte) => Some(BinOp::Gte),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next();
+            let right = self.additive()?;
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> SqlResult<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Symbol(Sym::Plus) => BinOp::Add,
+                TokenKind::Symbol(Sym::Minus) => BinOp::Sub,
+                TokenKind::Symbol(Sym::Concat) => BinOp::Concat,
+                _ => break,
+            };
+            self.next();
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> SqlResult<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Symbol(Sym::Star) => BinOp::Mul,
+                TokenKind::Symbol(Sym::Slash) => BinOp::Div,
+                TokenKind::Symbol(Sym::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.next();
+            let right = self.unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> SqlResult<Expr> {
+        if self.eat_symbol(Sym::Minus) {
+            let e = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+            });
+        }
+        if self.eat_symbol(Sym::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> SqlResult<Expr> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(i) => {
+                self.next();
+                Ok(Expr::lit(i))
+            }
+            TokenKind::Float(f) => {
+                self.next();
+                Ok(Expr::lit(f))
+            }
+            TokenKind::Str(s) => {
+                self.next();
+                Ok(Expr::Literal(Value::Text(s)))
+            }
+            TokenKind::Symbol(Sym::LParen) => {
+                self.next();
+                let e = self.expr()?;
+                self.expect_symbol(Sym::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(id) => {
+                let up = id.to_ascii_uppercase();
+                // reserved words never parse as bare column references
+                if matches!(
+                    up.as_str(),
+                    "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "OFFSET"
+                        | "SELECT" | "JOIN" | "INNER" | "LEFT" | "ON" | "AND" | "OR" | "WHEN"
+                        | "THEN" | "ELSE" | "END" | "SET" | "VALUES" | "BY"
+                ) {
+                    return Err(self.err(format!("unexpected keyword {up}")));
+                }
+                match up.as_str() {
+                    "NULL" => {
+                        self.next();
+                        return Ok(Expr::Literal(Value::Null));
+                    }
+                    "TRUE" => {
+                        self.next();
+                        return Ok(Expr::lit(true));
+                    }
+                    "FALSE" => {
+                        self.next();
+                        return Ok(Expr::lit(false));
+                    }
+                    "DATE" | "TIMESTAMP" => {
+                        // typed literal: DATE '2010-03-22'
+                        if let Some(TokenKind::Str(_)) =
+                            self.tokens.get(self.i + 1).map(|t| t.kind.clone())
+                        {
+                            self.next();
+                            if let TokenKind::Str(s) = self.next().kind {
+                                let ty = if up == "DATE" {
+                                    DataType::Date
+                                } else {
+                                    DataType::Timestamp
+                                };
+                                return Ok(Expr::TypedLiteral { ty, text: s });
+                            }
+                            unreachable!()
+                        }
+                    }
+                    "CASE" => {
+                        self.next();
+                        return self.case_expr();
+                    }
+                    _ => {}
+                }
+                self.next();
+                // function call?
+                if self.peek_symbol(Sym::LParen) {
+                    self.next();
+                    if let Some(func) = AggFunc::parse(&id) {
+                        // COUNT(*) / AGG([DISTINCT] expr)
+                        if func == AggFunc::Count && self.eat_symbol(Sym::Star) {
+                            self.expect_symbol(Sym::RParen)?;
+                            return Ok(Expr::Aggregate {
+                                func,
+                                arg: None,
+                                distinct: false,
+                            });
+                        }
+                        let distinct = self.eat_kw("DISTINCT");
+                        let arg = self.expr()?;
+                        self.expect_symbol(Sym::RParen)?;
+                        return Ok(Expr::Aggregate {
+                            func,
+                            arg: Some(Box::new(arg)),
+                            distinct,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if !self.peek_symbol(Sym::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_symbol(Sym::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_symbol(Sym::RParen)?;
+                    return Ok(Expr::Function { name: up, args });
+                }
+                // qualified column?
+                if self.eat_symbol(Sym::Dot) {
+                    let name = self.ident()?;
+                    return Ok(Expr::Column {
+                        qualifier: Some(id),
+                        name,
+                    });
+                }
+                Ok(Expr::Column {
+                    qualifier: None,
+                    name: id,
+                })
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+
+    fn case_expr(&mut self) -> SqlResult<Expr> {
+        let mut branches = Vec::new();
+        while self.eat_kw("WHEN") {
+            let cond = self.expr()?;
+            self.expect_kw("THEN")?;
+            let result = self.expr()?;
+            branches.push((cond, result));
+        }
+        if branches.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN branch"));
+        }
+        let else_expr = if self.eat_kw("ELSE") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("END")?;
+        Ok(Expr::Case {
+            branches,
+            else_expr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table_with_constraints() {
+        let s = parse(
+            "CREATE TABLE users (id BIGINT PRIMARY KEY, name TEXT NOT NULL, \
+             score DOUBLE DEFAULT 0.5, created DATE)",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTable {
+                name,
+                columns,
+                primary_key,
+                ..
+            } => {
+                assert_eq!(name, "users");
+                assert_eq!(columns.len(), 4);
+                assert!(columns[1].not_null);
+                assert_eq!(columns[2].default, Some(Value::Float(0.5)));
+                assert_eq!(primary_key, vec!["id".to_string()]);
+            }
+            _ => panic!("wrong statement"),
+        }
+    }
+
+    #[test]
+    fn parses_table_level_primary_key() {
+        let s = parse("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))").unwrap();
+        match s {
+            Statement::CreateTable { primary_key, .. } => {
+                assert_eq!(primary_key, vec!["a".to_string(), "b".to_string()]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_full_select() {
+        let s = parse(
+            "SELECT DISTINCT d.name, SUM(f.amount) AS total \
+             FROM facts f JOIN dims d ON f.dim_id = d.id \
+             LEFT JOIN extra e ON e.id = f.id \
+             WHERE f.amount > 10 AND d.region IN ('EU', 'US') \
+             GROUP BY d.name HAVING SUM(f.amount) > 100 \
+             ORDER BY total DESC, 1 ASC LIMIT 10 OFFSET 5",
+        )
+        .unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert!(sel.distinct);
+        assert_eq!(sel.items.len(), 2);
+        assert_eq!(sel.joins.len(), 2);
+        assert_eq!(sel.joins[1].kind, JoinKind::Left);
+        assert_eq!(sel.group_by.len(), 1);
+        assert!(sel.having.is_some());
+        assert_eq!(sel.order_by.len(), 2);
+        assert!(sel.order_by[0].desc);
+        assert_eq!(sel.limit, Some(10));
+        assert_eq!(sel.offset, Some(5));
+    }
+
+    #[test]
+    fn parses_insert_multi_row() {
+        let s = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        let Statement::Insert { columns, rows, .. } = s else {
+            panic!()
+        };
+        assert_eq!(columns, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn parses_update_and_delete() {
+        let s = parse("UPDATE t SET a = a + 1, b = 'z' WHERE id = 3").unwrap();
+        let Statement::Update { sets, filter, .. } = s else {
+            panic!()
+        };
+        assert_eq!(sets.len(), 2);
+        assert!(filter.is_some());
+        let s = parse("DELETE FROM t").unwrap();
+        assert!(matches!(s, Statement::Delete { filter: None, .. }));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let Statement::Select(sel) = parse("SELECT 1 + 2 * 3").unwrap() else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!()
+        };
+        // must parse as 1 + (2 * 3)
+        let Expr::Binary {
+            op: BinOp::Add,
+            right,
+            ..
+        } = expr
+        else {
+            panic!("expected Add at top: {expr:?}")
+        };
+        assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_case_between_like_isnull() {
+        let sql = "SELECT CASE WHEN a BETWEEN 1 AND 5 THEN 'low' ELSE 'hi' END, \
+                   b LIKE 'x%', c IS NOT NULL, d NOT IN (1, 2) FROM t";
+        assert!(parse(sql).is_ok());
+    }
+
+    #[test]
+    fn parses_typed_literals_and_functions() {
+        let sql = "SELECT UPPER(name), DATE '2010-03-22', COUNT(DISTINCT x) FROM t";
+        let Statement::Select(sel) = parse(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(sel.items.len(), 3);
+    }
+
+    #[test]
+    fn syntax_errors_have_positions() {
+        let err = parse("SELECT FROM").unwrap_err();
+        assert!(matches!(err, SqlError::Parse { .. }));
+        assert!(parse("CREATE TABLE t (a BLOB)").is_err());
+        assert!(parse("SELECT 1 extra garbage +").is_err());
+    }
+
+    #[test]
+    fn parses_script() {
+        let stmts = parse_script("CREATE TABLE a (x INT); INSERT INTO a VALUES (1);;").unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(parse_script("SELECT 1 SELECT 2").is_err());
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let Statement::Select(sel) = parse("SELECT t.* FROM t").unwrap() else {
+            panic!()
+        };
+        assert_eq!(sel.items[0], SelectItem::QualifiedWildcard("t".into()));
+    }
+
+    #[test]
+    fn bare_aliases() {
+        let Statement::Select(sel) = parse("SELECT a total FROM t x WHERE x.a > 0").unwrap()
+        else {
+            panic!()
+        };
+        let SelectItem::Expr { alias, .. } = &sel.items[0] else {
+            panic!()
+        };
+        assert_eq!(alias.as_deref(), Some("total"));
+        assert_eq!(sel.from.unwrap().alias.as_deref(), Some("x"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Logical/physical query plans.
+
+use odbis_storage::Value;
+
+use crate::ast::{AggFunc, JoinKind};
+use crate::expr::BExpr;
+
+/// One output column of a plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCol {
+    /// Table binding the column came from (`None` for computed columns).
+    pub qualifier: Option<String>,
+    /// Column (or alias) name.
+    pub name: String,
+}
+
+impl PlanCol {
+    /// A computed/unqualified column.
+    pub fn unqualified(name: impl Into<String>) -> Self {
+        PlanCol {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+}
+
+/// Output schema of a plan node.
+pub type PlanSchema = Vec<PlanCol>;
+
+/// An aggregate computation within an [`PlanNode::Aggregate`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // self-documenting
+pub struct AggExpr {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Argument (None = `COUNT(*)`), bound over the aggregate's input.
+    pub arg: Option<BExpr>,
+    /// `DISTINCT` aggregation.
+    pub distinct: bool,
+}
+
+/// A query plan: node + output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Operator.
+    pub node: PlanNode,
+    /// Output schema.
+    pub schema: PlanSchema,
+}
+
+/// Plan operators. Read-only operators are composable; DML operators are
+/// always plan roots.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // self-documenting
+pub enum PlanNode {
+    /// Full scan of a base table, with optional pushed-down filter.
+    TableScan {
+        table: String,
+        filter: Option<BExpr>,
+    },
+    /// Index-assisted scan: candidate rows from an inclusive key range of
+    /// `index`, then `residual` re-checked exactly.
+    IndexScan {
+        table: String,
+        index: String,
+        lo: Option<Vec<Value>>,
+        hi: Option<Vec<Value>>,
+        residual: Option<BExpr>,
+    },
+    /// Row filter.
+    Filter { input: Box<Plan>, predicate: BExpr },
+    /// Projection: compute `exprs` over each input row.
+    Project { input: Box<Plan>, exprs: Vec<BExpr> },
+    /// Join; `on` is bound over `left.schema ++ right.schema`.
+    Join {
+        kind: JoinKind,
+        left: Box<Plan>,
+        right: Box<Plan>,
+        on: BExpr,
+    },
+    /// Hash aggregation; output = group values ++ aggregate results.
+    Aggregate {
+        input: Box<Plan>,
+        group_exprs: Vec<BExpr>,
+        aggs: Vec<AggExpr>,
+    },
+    /// Sort by input-column ordinals.
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<(usize, bool)>,
+    },
+    /// Deduplicate whole rows, preserving first occurrence.
+    Distinct { input: Box<Plan> },
+    /// LIMIT/OFFSET.
+    Limit {
+        input: Box<Plan>,
+        limit: Option<usize>,
+        offset: usize,
+    },
+    /// Inline constant rows (FROM-less SELECT).
+    Values { rows: Vec<Vec<Value>> },
+}
+
+impl Plan {
+    /// Render the plan as an indented tree (the `EXPLAIN` output).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.fmt_into(&mut out, 0);
+        out
+    }
+
+    fn fmt_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match &self.node {
+            PlanNode::TableScan { table, filter } => {
+                out.push_str(&format!("{pad}TableScan {table}"));
+                if let Some(f) = filter {
+                    out.push_str(&format!(" filter={f:?}"));
+                }
+                out.push('\n');
+            }
+            PlanNode::IndexScan {
+                table,
+                index,
+                lo,
+                hi,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}IndexScan {table} via {index} range=[{}, {}]\n",
+                    render_bound(lo),
+                    render_bound(hi)
+                ));
+            }
+            PlanNode::Filter { input, predicate } => {
+                out.push_str(&format!("{pad}Filter {predicate:?}\n"));
+                input.fmt_into(out, depth + 1);
+            }
+            PlanNode::Project { input, exprs } => {
+                let names: Vec<&str> = self.schema.iter().map(|c| c.name.as_str()).collect();
+                out.push_str(&format!(
+                    "{pad}Project [{}] ({} exprs)\n",
+                    names.join(", "),
+                    exprs.len()
+                ));
+                input.fmt_into(out, depth + 1);
+            }
+            PlanNode::Join {
+                kind, left, right, ..
+            } => {
+                out.push_str(&format!("{pad}Join {kind:?}\n"));
+                left.fmt_into(out, depth + 1);
+                right.fmt_into(out, depth + 1);
+            }
+            PlanNode::Aggregate {
+                input,
+                group_exprs,
+                aggs,
+            } => {
+                out.push_str(&format!(
+                    "{pad}Aggregate groups={} aggs={}\n",
+                    group_exprs.len(),
+                    aggs.len()
+                ));
+                input.fmt_into(out, depth + 1);
+            }
+            PlanNode::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort keys={keys:?}\n"));
+                input.fmt_into(out, depth + 1);
+            }
+            PlanNode::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.fmt_into(out, depth + 1);
+            }
+            PlanNode::Limit {
+                input,
+                limit,
+                offset,
+            } => {
+                out.push_str(&format!("{pad}Limit limit={limit:?} offset={offset}\n"));
+                input.fmt_into(out, depth + 1);
+            }
+            PlanNode::Values { rows } => {
+                out.push_str(&format!("{pad}Values rows={}\n", rows.len()));
+            }
+        }
+    }
+}
+
+fn render_bound(b: &Option<Vec<Value>>) -> String {
+    match b {
+        None => "-inf/+inf".to_string(),
+        Some(vs) => {
+            let parts: Vec<String> = vs.iter().map(Value::render).collect();
+            parts.join(",")
+        }
+    }
+}

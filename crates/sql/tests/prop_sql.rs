@@ -1,0 +1,122 @@
+//! Property-based tests for the SQL engine.
+
+use odbis_sql::{parse, Engine};
+use odbis_storage::{Database, Value};
+use proptest::prelude::*;
+
+/// The parser must be total: arbitrary input never panics.
+proptest! {
+    #[test]
+    fn parser_never_panics(s in ".{0,120}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_sqlish(
+        kw in prop::sample::select(vec!["SELECT", "FROM", "WHERE", "GROUP BY", "ORDER", "INSERT", "(", ")", ",", "*", "'x'", "1", "t", "=", "AND"]),
+        tail in ".{0,40}"
+    ) {
+        let _ = parse(&format!("{kw} {tail}"));
+    }
+}
+
+/// The optimized plan (with index selection) must return the same rows as
+/// the naive plan, for randomly generated data and predicates.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn optimizer_preserves_semantics(
+        rows in prop::collection::vec((0i64..40, -20i64..20), 1..60),
+        pivot in -25i64..25,
+        op in prop::sample::select(vec!["=", "<", "<=", ">", ">=", "<>"]),
+    ) {
+        let db = Database::new();
+        let opt = Engine::new();
+        let naive = Engine::without_index_selection();
+        opt.execute(&db, "CREATE TABLE t (k INT, v INT)").unwrap();
+        opt.execute(&db, "CREATE INDEX ix_k ON t (k)").unwrap();
+        for (k, v) in &rows {
+            opt.execute(&db, &format!("INSERT INTO t VALUES ({k}, {v})")).unwrap();
+        }
+        let q = format!("SELECT k, v FROM t WHERE k {op} {pivot} ORDER BY k, v");
+        let a = opt.execute(&db, &q).unwrap();
+        let b = naive.execute(&db, &q).unwrap();
+        prop_assert_eq!(a.rows, b.rows);
+    }
+
+    /// GROUP BY aggregation agrees with a manual fold over the same rows.
+    #[test]
+    fn aggregation_matches_manual_fold(
+        rows in prop::collection::vec((0i64..5, -100i64..100), 0..80),
+    ) {
+        let db = Database::new();
+        let e = Engine::new();
+        e.execute(&db, "CREATE TABLE t (g INT, x INT)").unwrap();
+        for (g, x) in &rows {
+            e.execute(&db, &format!("INSERT INTO t VALUES ({g}, {x})")).unwrap();
+        }
+        let r = e
+            .execute(&db, "SELECT g, COUNT(*), SUM(x), MIN(x), MAX(x) FROM t GROUP BY g ORDER BY g")
+            .unwrap();
+        use std::collections::BTreeMap;
+        let mut manual: BTreeMap<i64, (i64, i64, i64, i64)> = BTreeMap::new();
+        for (g, x) in &rows {
+            let ent = manual.entry(*g).or_insert((0, 0, i64::MAX, i64::MIN));
+            ent.0 += 1;
+            ent.1 += x;
+            ent.2 = ent.2.min(*x);
+            ent.3 = ent.3.max(*x);
+        }
+        prop_assert_eq!(r.rows.len(), manual.len());
+        for (row, (g, (n, s, mn, mx))) in r.rows.iter().zip(manual) {
+            prop_assert_eq!(row[0].clone(), Value::Int(g));
+            prop_assert_eq!(row[1].clone(), Value::Int(n));
+            prop_assert_eq!(row[2].clone(), Value::Int(s));
+            prop_assert_eq!(row[3].clone(), Value::Int(mn));
+            prop_assert_eq!(row[4].clone(), Value::Int(mx));
+        }
+    }
+
+    /// LIKE matching agrees with a reference regex-free implementation on
+    /// simple alphabets.
+    #[test]
+    fn like_agrees_with_reference(s in "[ab]{0,8}", p in "[ab%_]{0,6}") {
+        fn reference(s: &str, p: &str) -> bool {
+            // dynamic programming over chars
+            let sc: Vec<char> = s.chars().collect();
+            let pc: Vec<char> = p.chars().collect();
+            let mut dp = vec![vec![false; pc.len() + 1]; sc.len() + 1];
+            dp[0][0] = true;
+            for j in 1..=pc.len() {
+                dp[0][j] = pc[j - 1] == '%' && dp[0][j - 1];
+            }
+            for i in 1..=sc.len() {
+                for j in 1..=pc.len() {
+                    dp[i][j] = match pc[j - 1] {
+                        '%' => dp[i][j - 1] || dp[i - 1][j],
+                        '_' => dp[i - 1][j - 1],
+                        c => c == sc[i - 1] && dp[i - 1][j - 1],
+                    };
+                }
+            }
+            dp[sc.len()][pc.len()]
+        }
+        prop_assert_eq!(odbis_sql::like_match(&s, &p), reference(&s, &p));
+    }
+
+    /// DELETE then COUNT agrees with the predicate's true set.
+    #[test]
+    fn delete_count_consistency(rows in prop::collection::vec(-30i64..30, 0..50), cut in -30i64..30) {
+        let db = Database::new();
+        let e = Engine::new();
+        e.execute(&db, "CREATE TABLE t (x INT)").unwrap();
+        for x in &rows {
+            e.execute(&db, &format!("INSERT INTO t VALUES ({x})")).unwrap();
+        }
+        let deleted = e.execute(&db, &format!("DELETE FROM t WHERE x < {cut}")).unwrap();
+        let expect_deleted = rows.iter().filter(|&&x| x < cut).count();
+        prop_assert_eq!(deleted.rows_affected, expect_deleted);
+        let left = e.execute(&db, "SELECT COUNT(*) FROM t").unwrap();
+        prop_assert_eq!(left.rows[0][0].clone(), Value::Int((rows.len() - expect_deleted) as i64));
+    }
+}

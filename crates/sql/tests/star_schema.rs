@@ -1,0 +1,194 @@
+//! Integration test: a full star-schema analytics workload through the SQL
+//! engine — the query shapes the ODBIS Analysis and Reporting services
+//! generate.
+
+use odbis_sql::Engine;
+use odbis_storage::{Database, Value};
+
+fn warehouse() -> (Database, Engine) {
+    let db = Database::new();
+    let e = Engine::new();
+    e.execute_script(
+        &db,
+        "CREATE TABLE dim_date (date_id INT PRIMARY KEY, year INT, quarter INT, month INT);
+         CREATE TABLE dim_product (product_id INT PRIMARY KEY, name TEXT, category TEXT, price DOUBLE);
+         CREATE TABLE dim_store (store_id INT PRIMARY KEY, region TEXT, city TEXT);
+         CREATE TABLE fact_sales (
+             sale_id INT PRIMARY KEY, date_id INT, product_id INT, store_id INT,
+             qty INT, amount DOUBLE
+         );
+         CREATE INDEX ix_sales_date ON fact_sales (date_id);
+         CREATE INDEX ix_sales_product ON fact_sales (product_id);",
+    )
+    .unwrap();
+    // dates: 2009 Q1..Q4 and 2010 Q1
+    let mut date_rows = Vec::new();
+    for (i, (y, q, m)) in [
+        (2009, 1, 2),
+        (2009, 2, 5),
+        (2009, 3, 8),
+        (2009, 4, 11),
+        (2010, 1, 2),
+    ]
+    .iter()
+    .enumerate()
+    {
+        date_rows.push(format!("({}, {y}, {q}, {m})", i + 1));
+    }
+    e.execute(
+        &db,
+        &format!("INSERT INTO dim_date VALUES {}", date_rows.join(", ")),
+    )
+    .unwrap();
+    e.execute(
+        &db,
+        "INSERT INTO dim_product VALUES
+           (1, 'widget', 'hardware', 9.99), (2, 'gadget', 'hardware', 19.99),
+           (3, 'ebook', 'digital', 4.99)",
+    )
+    .unwrap();
+    e.execute(
+        &db,
+        "INSERT INTO dim_store VALUES (1, 'EU', 'Paris'), (2, 'EU', 'Berlin'), (3, 'US', 'NYC')",
+    )
+    .unwrap();
+    // deterministic fact data: 60 sales round-robin over dims
+    let mut rows = Vec::new();
+    for i in 0..60i64 {
+        let date = 1 + (i % 5);
+        let product = 1 + (i % 3);
+        let store = 1 + ((i / 3) % 3);
+        let qty = 1 + (i % 4);
+        let amount = (qty as f64) * (product as f64) * 10.0;
+        rows.push(format!("({i}, {date}, {product}, {store}, {qty}, {amount})"));
+    }
+    e.execute(
+        &db,
+        &format!("INSERT INTO fact_sales VALUES {}", rows.join(", ")),
+    )
+    .unwrap();
+    (db, e)
+}
+
+#[test]
+fn three_way_star_join_with_rollup() {
+    let (db, e) = warehouse();
+    let r = e
+        .execute(
+            &db,
+            "SELECT d.year, s.region, p.category,
+                    COUNT(*) AS sales, SUM(f.amount) AS revenue
+             FROM fact_sales f
+             JOIN dim_date d ON f.date_id = d.date_id
+             JOIN dim_store s ON f.store_id = s.store_id
+             JOIN dim_product p ON f.product_id = p.product_id
+             GROUP BY d.year, s.region, p.category
+             ORDER BY d.year, s.region, p.category",
+        )
+        .unwrap();
+    assert_eq!(r.columns, vec!["year", "region", "category", "sales", "revenue"]);
+    assert!(!r.rows.is_empty());
+    // grand total across groups equals the ungrouped total
+    let grouped_total: f64 = r.rows.iter().map(|row| row[4].as_f64().unwrap()).sum();
+    let grand = e
+        .execute(&db, "SELECT SUM(amount) FROM fact_sales")
+        .unwrap();
+    assert!((grouped_total - grand.rows[0][0].as_f64().unwrap()).abs() < 1e-9);
+    // group counts sum to the fact count
+    let n: i64 = r.rows.iter().map(|row| row[3].as_i64().unwrap()).sum();
+    assert_eq!(n, 60);
+}
+
+#[test]
+fn filtered_drilldown_uses_indexes_and_matches_naive() {
+    let (db, e) = warehouse();
+    let naive = Engine::without_index_selection();
+    let q = "SELECT p.name, SUM(f.qty) AS units
+             FROM fact_sales f JOIN dim_product p ON f.product_id = p.product_id
+             WHERE f.date_id = 5 AND f.amount > 15
+             GROUP BY p.name ORDER BY units DESC, p.name";
+    let a = e.execute(&db, q).unwrap();
+    let b = naive.execute(&db, q).unwrap();
+    assert_eq!(a.rows, b.rows);
+    let explain = e.explain(&db, q).unwrap();
+    assert!(explain.contains("IndexScan"), "{explain}");
+}
+
+#[test]
+fn having_and_case_banding() {
+    let (db, e) = warehouse();
+    let r = e
+        .execute(
+            &db,
+            "SELECT s.city,
+                    CASE WHEN SUM(f.amount) >= 500 THEN 'major' ELSE 'minor' END AS tier,
+                    SUM(f.amount) AS revenue
+             FROM fact_sales f JOIN dim_store s ON f.store_id = s.store_id
+             GROUP BY s.city
+             HAVING COUNT(*) > 5
+             ORDER BY revenue DESC",
+        )
+        .unwrap();
+    assert_eq!(r.rows.len(), 3);
+    for row in &r.rows {
+        let tier = row[1].as_str().unwrap();
+        let rev = row[2].as_f64().unwrap();
+        assert_eq!(tier == "major", rev >= 500.0, "banding must match revenue");
+    }
+}
+
+#[test]
+fn left_join_finds_dimension_members_without_sales() {
+    let (db, e) = warehouse();
+    e.execute(
+        &db,
+        "INSERT INTO dim_product VALUES (4, 'unsold thing', 'misc', 1.0)",
+    )
+    .unwrap();
+    let r = e
+        .execute(
+            &db,
+            "SELECT p.name, COUNT(f.sale_id) AS sales
+             FROM dim_product p LEFT JOIN fact_sales f ON p.product_id = f.product_id
+             GROUP BY p.name HAVING COUNT(f.sale_id) = 0",
+        )
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::from("unsold thing"), Value::Int(0)]]);
+}
+
+#[test]
+fn update_cascades_into_aggregates() {
+    let (db, e) = warehouse();
+    let before = e
+        .execute(&db, "SELECT SUM(amount) FROM fact_sales WHERE product_id = 3")
+        .unwrap();
+    e.execute(
+        &db,
+        "UPDATE fact_sales SET amount = amount * 2 WHERE product_id = 3",
+    )
+    .unwrap();
+    let after = e
+        .execute(&db, "SELECT SUM(amount) FROM fact_sales WHERE product_id = 3")
+        .unwrap();
+    assert!(
+        (after.rows[0][0].as_f64().unwrap() - 2.0 * before.rows[0][0].as_f64().unwrap()).abs()
+            < 1e-9
+    );
+}
+
+#[test]
+fn distinct_and_in_subsets() {
+    let (db, e) = warehouse();
+    let r = e
+        .execute(
+            &db,
+            "SELECT DISTINCT s.region FROM fact_sales f
+             JOIN dim_store s ON f.store_id = s.store_id
+             WHERE f.product_id IN (1, 2) ORDER BY s.region",
+        )
+        .unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::from("EU")], vec![Value::from("US")]]
+    );
+}

@@ -1,0 +1,356 @@
+//! The database: a named catalog of tables behind a reader-writer lock,
+//! with undo-log transactions.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::table::{RowId, Table};
+use crate::value::Value;
+
+/// An embedded relational database.
+///
+/// `Database` is `Sync`: share it with `Arc<Database>` across services. All
+/// table access goes through closures ([`Database::read_table`] /
+/// [`Database::write_table`]) or transactions ([`Database::begin`]).
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: RwLock<HashMap<String, Table>>,
+    txn_counter: AtomicU64,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    fn key(name: &str) -> String {
+        name.to_ascii_lowercase()
+    }
+
+    /// Create a table. Fails if a table with that name exists.
+    pub fn create_table(&self, name: &str, schema: Schema) -> DbResult<()> {
+        let mut tables = self.tables.write();
+        let key = Self::key(name);
+        if tables.contains_key(&key) {
+            return Err(DbError::TableExists(name.to_string()));
+        }
+        tables.insert(key, Table::new(name, schema));
+        Ok(())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&self, name: &str) -> DbResult<()> {
+        self.tables
+            .write()
+            .remove(&Self::key(name))
+            .map(drop)
+            .ok_or_else(|| DbError::TableNotFound(name.to_string()))
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&Self::key(name))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tables
+            .read()
+            .values()
+            .map(|t| t.name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Run `f` with shared access to a table.
+    pub fn read_table<R>(&self, name: &str, f: impl FnOnce(&Table) -> R) -> DbResult<R> {
+        let tables = self.tables.read();
+        let t = tables
+            .get(&Self::key(name))
+            .ok_or_else(|| DbError::TableNotFound(name.to_string()))?;
+        Ok(f(t))
+    }
+
+    /// Run `f` with exclusive access to a table.
+    pub fn write_table<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> R) -> DbResult<R> {
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(&Self::key(name))
+            .ok_or_else(|| DbError::TableNotFound(name.to_string()))?;
+        Ok(f(t))
+    }
+
+    /// Schema of a table (cloned).
+    pub fn table_schema(&self, name: &str) -> DbResult<Schema> {
+        self.read_table(name, |t| t.schema().clone())
+    }
+
+    /// Insert a row into a table (autocommit).
+    pub fn insert(&self, table: &str, row: Vec<Value>) -> DbResult<RowId> {
+        self.write_table(table, |t| t.insert(row))?
+    }
+
+    /// Insert many rows under one table lock; stops at the first error,
+    /// annotating it with the failing row's position. Returns the number of
+    /// rows inserted.
+    pub fn insert_many(&self, table: &str, rows: Vec<Vec<Value>>) -> DbResult<usize> {
+        self.write_table(table, |t| {
+            let mut n = 0usize;
+            for (i, row) in rows.into_iter().enumerate() {
+                t.insert(row)
+                    .map_err(|e| DbError::Invalid(format!("row {i}: {e}")))?;
+                n += 1;
+            }
+            Ok(n)
+        })?
+    }
+
+    /// Snapshot of all live rows in heap order.
+    pub fn scan(&self, table: &str) -> DbResult<Vec<Vec<Value>>> {
+        self.read_table(table, |t| t.snapshot())
+    }
+
+    /// Number of live rows.
+    pub fn row_count(&self, table: &str) -> DbResult<usize> {
+        self.read_table(table, |t| t.row_count())
+    }
+
+    /// Begin a transaction. All mutations made through the returned [`Txn`]
+    /// are undone by [`Txn::rollback`] and made permanent by [`Txn::commit`].
+    /// Dropping an uncommitted transaction rolls it back.
+    pub fn begin(&self) -> Txn<'_> {
+        Txn {
+            db: self,
+            id: self.txn_counter.fetch_add(1, Ordering::Relaxed) + 1,
+            undo: Vec::new(),
+            open: true,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Undo {
+    Insert { table: String, id: RowId },
+    Update { table: String, id: RowId, old: Vec<Value> },
+    Delete { table: String, id: RowId, old: Vec<Value> },
+}
+
+/// An undo-log transaction over a [`Database`].
+///
+/// The engine serializes writers per table (table-level RwLock), so this is
+/// a single-writer transaction model: simple, predictable, and sufficient
+/// for the platform's OLTP-light metadata workloads.
+#[derive(Debug)]
+pub struct Txn<'db> {
+    db: &'db Database,
+    id: u64,
+    undo: Vec<Undo>,
+    open: bool,
+}
+
+impl<'db> Txn<'db> {
+    /// This transaction's sequence number.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn ensure_open(&self) -> DbResult<()> {
+        if self.open {
+            Ok(())
+        } else {
+            Err(DbError::TxnClosed)
+        }
+    }
+
+    /// Transactional insert.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> DbResult<RowId> {
+        self.ensure_open()?;
+        let id = self.db.insert(table, row)?;
+        self.undo.push(Undo::Insert {
+            table: table.to_string(),
+            id,
+        });
+        Ok(id)
+    }
+
+    /// Transactional update.
+    pub fn update(&mut self, table: &str, id: RowId, row: Vec<Value>) -> DbResult<()> {
+        self.ensure_open()?;
+        let old = self.db.write_table(table, |t| t.update(id, row))??;
+        self.undo.push(Undo::Update {
+            table: table.to_string(),
+            id,
+            old,
+        });
+        Ok(())
+    }
+
+    /// Transactional delete.
+    pub fn delete(&mut self, table: &str, id: RowId) -> DbResult<()> {
+        self.ensure_open()?;
+        let old = self.db.write_table(table, |t| t.delete(id))??;
+        self.undo.push(Undo::Delete {
+            table: table.to_string(),
+            id,
+            old,
+        });
+        Ok(())
+    }
+
+    /// Make all changes permanent.
+    pub fn commit(mut self) -> DbResult<()> {
+        self.ensure_open()?;
+        self.open = false;
+        self.undo.clear();
+        Ok(())
+    }
+
+    /// Undo all changes, in reverse order.
+    pub fn rollback(mut self) -> DbResult<()> {
+        self.ensure_open()?;
+        self.apply_undo()
+    }
+
+    fn apply_undo(&mut self) -> DbResult<()> {
+        self.open = false;
+        while let Some(entry) = self.undo.pop() {
+            match entry {
+                Undo::Insert { table, id } => {
+                    self.db.write_table(&table, |t| t.delete(id))??;
+                }
+                Undo::Update { table, id, old } => {
+                    self.db.write_table(&table, |t| t.update(id, old))??;
+                }
+                Undo::Delete { table, id, old } => {
+                    self.db.write_table(&table, |t| t.undelete(id, old))??;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if self.open {
+            // Best-effort rollback; errors here mean concurrent DDL removed
+            // a table mid-transaction, which we cannot repair on drop.
+            let _ = self.apply_undo();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn db_with_t() -> Database {
+        let db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("v", DataType::Text),
+        ])
+        .unwrap()
+        .with_primary_key(&["id"])
+        .unwrap();
+        db.create_table("t", schema).unwrap();
+        db
+    }
+
+    #[test]
+    fn ddl_create_drop_and_lookup() {
+        let db = db_with_t();
+        assert!(db.has_table("T")); // case-insensitive
+        assert!(matches!(
+            db.create_table("t", db.table_schema("t").unwrap()),
+            Err(DbError::TableExists(_))
+        ));
+        assert_eq!(db.table_names(), vec!["t".to_string()]);
+        db.drop_table("t").unwrap();
+        assert!(matches!(db.scan("t"), Err(DbError::TableNotFound(_))));
+    }
+
+    #[test]
+    fn autocommit_insert_and_scan() {
+        let db = db_with_t();
+        db.insert("t", vec![1.into(), "a".into()]).unwrap();
+        db.insert("t", vec![2.into(), "b".into()]).unwrap();
+        assert_eq!(db.row_count("t").unwrap(), 2);
+        assert_eq!(db.scan("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn txn_commit_persists() {
+        let db = db_with_t();
+        let mut txn = db.begin();
+        txn.insert("t", vec![1.into(), "a".into()]).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(db.row_count("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn txn_rollback_undoes_everything_in_reverse() {
+        let db = db_with_t();
+        let keep = db.insert("t", vec![1.into(), "keep".into()]).unwrap();
+        let mut txn = db.begin();
+        let a = txn.insert("t", vec![2.into(), "a".into()]).unwrap();
+        txn.update("t", a, vec![2.into(), "a2".into()]).unwrap();
+        txn.update("t", keep, vec![1.into(), "changed".into()]).unwrap();
+        txn.delete("t", keep).unwrap();
+        txn.rollback().unwrap();
+        assert_eq!(db.row_count("t").unwrap(), 1);
+        let rows = db.scan("t").unwrap();
+        assert_eq!(rows[0], vec![Value::Int(1), "keep".into()]);
+    }
+
+    #[test]
+    fn dropping_open_txn_rolls_back() {
+        let db = db_with_t();
+        {
+            let mut txn = db.begin();
+            txn.insert("t", vec![1.into(), "x".into()]).unwrap();
+        }
+        assert_eq!(db.row_count("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn closed_txn_rejects_operations() {
+        let db = db_with_t();
+        let mut txn = db.begin();
+        txn.insert("t", vec![1.into(), "x".into()]).unwrap();
+        let id = txn.id();
+        assert!(id >= 1);
+        txn.commit().unwrap();
+        // new txn gets a new id
+        assert!(db.begin().id() > id);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        use std::sync::Arc;
+        let db = Arc::new(db_with_t());
+        let mut handles = Vec::new();
+        for w in 0..4i64 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50i64 {
+                    db.insert("t", vec![(w * 1000 + i).into(), format!("w{w}").into()])
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.row_count("t").unwrap(), 200);
+    }
+}

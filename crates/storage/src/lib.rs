@@ -1,0 +1,48 @@
+//! # odbis-storage
+//!
+//! The embedded relational storage engine underneath the ODBIS platform —
+//! the reproduction's substitute for the PostgreSQL instance in the paper's
+//! technical-resources layer (ODBIS, EDBT 2010, Figure 5).
+//!
+//! Provides:
+//!
+//! * a single scalar [`Value`] type shared by the whole platform;
+//! * typed, constrained [`Schema`]s (NOT NULL, defaults, primary keys);
+//! * heap [`Table`]s with ordered, optionally unique [`Index`]es;
+//! * a concurrent [`Database`] catalog with undo-log [`Txn`] transactions;
+//! * JSON snapshot persistence ([`save_snapshot`] / [`load_snapshot`]);
+//! * exact [`TableStats`] for the SQL optimizer.
+//!
+//! ```
+//! use odbis_storage::{Column, Database, DataType, Schema, Value};
+//!
+//! let db = Database::new();
+//! let schema = Schema::new(vec![
+//!     Column::new("id", DataType::Int),
+//!     Column::new("name", DataType::Text).not_null(),
+//! ]).unwrap().with_primary_key(&["id"]).unwrap();
+//! db.create_table("users", schema).unwrap();
+//! db.insert("users", vec![Value::Int(1), Value::from("ada")]).unwrap();
+//! assert_eq!(db.row_count("users").unwrap(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod database;
+mod error;
+mod persist;
+mod schema;
+mod stats;
+mod table;
+mod value;
+
+pub use database::{Database, Txn};
+pub use error::{DbError, DbResult};
+pub use persist::{load_snapshot, save_snapshot, SNAPSHOT_VERSION};
+pub use schema::{Column, Schema};
+pub use stats::{ColumnStats, TableStats};
+pub use table::{Index, RowId, Table};
+pub use value::{
+    date_to_days, days_to_date, format_date, format_timestamp, is_leap_year, parse_date,
+    parse_timestamp, DataType, Value,
+};

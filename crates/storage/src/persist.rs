@@ -1,0 +1,156 @@
+//! Snapshot persistence: serialize a whole database to a JSON file and load
+//! it back.
+//!
+//! The platform's metadata and tenant data are checkpointed with
+//! [`save_snapshot`] and restored with [`load_snapshot`]. The snapshot
+//! format is versioned; loading a snapshot with an unknown version fails
+//! with [`DbError::Corrupt`] rather than mis-reading it.
+
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::database::Database;
+use crate::error::{DbError, DbResult};
+use crate::table::Table;
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct Snapshot {
+    version: u32,
+    tables: Vec<Table>,
+}
+
+/// Write the entire database to `path` as a JSON snapshot.
+pub fn save_snapshot(db: &Database, path: impl AsRef<Path>) -> DbResult<()> {
+    let mut tables = Vec::new();
+    for name in db.table_names() {
+        tables.push(db.read_table(&name, |t| t.clone())?);
+    }
+    let snap = Snapshot {
+        version: SNAPSHOT_VERSION,
+        tables,
+    };
+    let json = serde_json::to_string(&snap).map_err(|e| DbError::Io(e.to_string()))?;
+    let path = path.as_ref();
+    // Write-then-rename so a crash mid-write never corrupts the snapshot.
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, json)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Load a snapshot produced by [`save_snapshot`] into a fresh [`Database`].
+pub fn load_snapshot(path: impl AsRef<Path>) -> DbResult<Database> {
+    let json = fs::read_to_string(path.as_ref())?;
+    let snap: Snapshot =
+        serde_json::from_str(&json).map_err(|e| DbError::Corrupt(e.to_string()))?;
+    if snap.version != SNAPSHOT_VERSION {
+        return Err(DbError::Corrupt(format!(
+            "snapshot version {} not supported (expected {SNAPSHOT_VERSION})",
+            snap.version
+        )));
+    }
+    let db = Database::new();
+    for table in snap.tables {
+        let name = table.name.clone();
+        db.create_table(&name, table.schema().clone())?;
+        for row in table.snapshot() {
+            db.insert(&name, row)?;
+        }
+        // Recreate secondary indexes (the PK index is automatic).
+        for idx in table.indexes() {
+            if idx.name.eq_ignore_ascii_case(&format!("pk_{name}")) {
+                continue;
+            }
+            let cols: Vec<String> = idx
+                .columns
+                .iter()
+                .map(|&i| table.schema().columns()[i].name.clone())
+                .collect();
+            let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            db.write_table(&name, |t| t.create_index(&idx.name, &col_refs, idx.unique))??;
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::value::{DataType, Value};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("odbis-storage-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn sample_db() -> Database {
+        let db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Text),
+            Column::new("score", DataType::Float),
+        ])
+        .unwrap()
+        .with_primary_key(&["id"])
+        .unwrap();
+        db.create_table("people", schema).unwrap();
+        db.insert("people", vec![1.into(), "ana".into(), 9.5.into()])
+            .unwrap();
+        db.insert("people", vec![2.into(), Value::Null, 7.0.into()])
+            .unwrap();
+        db.write_table("people", |t| t.create_index("ix_name", &["name"], false))
+            .unwrap()
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_rows_and_indexes() {
+        let db = sample_db();
+        let path = tmp("roundtrip");
+        save_snapshot(&db, &path).unwrap();
+        let loaded = load_snapshot(&path).unwrap();
+        assert_eq!(loaded.row_count("people").unwrap(), 2);
+        assert_eq!(loaded.scan("people").unwrap(), db.scan("people").unwrap());
+        loaded
+            .read_table("people", |t| {
+                assert!(t.index("ix_name").is_some());
+                assert!(t.index("pk_people").is_some());
+            })
+            .unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn loading_missing_file_is_io_error() {
+        assert!(matches!(
+            load_snapshot("/nonexistent/odbis.snap"),
+            Err(DbError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn loading_garbage_is_corrupt() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(matches!(load_snapshot(&path), Err(DbError::Corrupt(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let path = tmp("version");
+        std::fs::write(&path, r#"{"version": 999, "tables": []}"#).unwrap();
+        let err = load_snapshot(&path).unwrap_err();
+        assert!(matches!(err, DbError::Corrupt(_)));
+        assert!(err.to_string().contains("999"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,141 @@
+//! Table statistics used by the SQL optimizer for access-path selection.
+
+use std::collections::HashSet;
+
+use crate::table::Table;
+use crate::value::Value;
+
+/// Per-column statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Number of NULL values.
+    pub null_count: usize,
+    /// Estimated number of distinct values.
+    pub distinct_count: usize,
+    /// Minimum non-NULL value, if any rows exist.
+    pub min: Option<Value>,
+    /// Maximum non-NULL value, if any rows exist.
+    pub max: Option<Value>,
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Table name.
+    pub table: String,
+    /// Live row count at collection time.
+    pub row_count: usize,
+    /// One entry per column, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Collect exact statistics by scanning the table once.
+    pub fn collect(table: &Table) -> TableStats {
+        let arity = table.schema().arity();
+        let mut nulls = vec![0usize; arity];
+        let mut distinct: Vec<HashSet<Value>> = (0..arity).map(|_| HashSet::new()).collect();
+        let mut mins: Vec<Option<Value>> = vec![None; arity];
+        let mut maxs: Vec<Option<Value>> = vec![None; arity];
+        let mut rows = 0usize;
+        for (_, row) in table.scan() {
+            rows += 1;
+            for (i, v) in row.iter().enumerate() {
+                if v.is_null() {
+                    nulls[i] += 1;
+                    continue;
+                }
+                distinct[i].insert(v.clone());
+                match &mins[i] {
+                    Some(m) if v >= m => {}
+                    _ => mins[i] = Some(v.clone()),
+                }
+                match &maxs[i] {
+                    Some(m) if v <= m => {}
+                    _ => maxs[i] = Some(v.clone()),
+                }
+            }
+        }
+        let columns = table
+            .schema()
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ColumnStats {
+                name: c.name.clone(),
+                null_count: nulls[i],
+                distinct_count: distinct[i].len(),
+                min: mins[i].clone(),
+                max: maxs[i].clone(),
+            })
+            .collect();
+        TableStats {
+            table: table.name.clone(),
+            row_count: rows,
+            columns,
+        }
+    }
+
+    /// Estimated selectivity of `col = literal`: `1 / distinct_count`.
+    pub fn eq_selectivity(&self, column: &str) -> f64 {
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(column))
+            .map_or(1.0, |c| {
+                if c.distinct_count == 0 {
+                    1.0
+                } else {
+                    1.0 / c.distinct_count as f64
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::value::DataType;
+
+    #[test]
+    fn collects_exact_stats() {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("grp", DataType::Text),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        for i in 0..10i64 {
+            let grp = if i % 2 == 0 {
+                Value::from("even")
+            } else if i == 9 {
+                Value::Null
+            } else {
+                Value::from("odd")
+            };
+            t.insert(vec![i.into(), grp]).unwrap();
+        }
+        let s = TableStats::collect(&t);
+        assert_eq!(s.row_count, 10);
+        assert_eq!(s.columns[0].distinct_count, 10);
+        assert_eq!(s.columns[0].min, Some(Value::Int(0)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(9)));
+        assert_eq!(s.columns[1].null_count, 1);
+        assert_eq!(s.columns[1].distinct_count, 2);
+        assert!((s.eq_selectivity("id") - 0.1).abs() < 1e-12);
+        assert!((s.eq_selectivity("grp") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]).unwrap();
+        let t = Table::new("e", schema);
+        let s = TableStats::collect(&t);
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.columns[0].min, None);
+        assert_eq!(s.eq_selectivity("x"), 1.0);
+        assert_eq!(s.eq_selectivity("missing"), 1.0);
+    }
+}

@@ -1,0 +1,446 @@
+//! Heap tables: slotted row storage with index maintenance.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DbError, DbResult};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Identifier of a row slot within one table. Stable for the life of the row.
+pub type RowId = u64;
+
+/// An ordered secondary (or primary) index over one or more columns.
+///
+/// Keys are the indexed column values in order; entries map to the row ids
+/// holding that key. A `unique` index rejects duplicate keys.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Index {
+    /// Index name, unique within the database.
+    pub name: String,
+    /// Positions of the indexed columns within the table schema.
+    pub columns: Vec<usize>,
+    /// Whether duplicate keys are rejected.
+    pub unique: bool,
+    // Not serialized: snapshot loading rebuilds indexes from the rows
+    // (JSON map keys must be strings, and rebuilding re-verifies uniqueness).
+    #[serde(skip)]
+    entries: BTreeMap<Vec<Value>, Vec<RowId>>,
+}
+
+impl Index {
+    fn new(name: String, columns: Vec<usize>, unique: bool) -> Self {
+        Index {
+            name,
+            columns,
+            unique,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    fn key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.columns.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    fn insert(&mut self, row: &[Value], id: RowId) -> DbResult<()> {
+        let key = self.key_of(row);
+        // SQL semantics: NULLs never conflict under UNIQUE.
+        let has_null = key.iter().any(Value::is_null);
+        let slot = self.entries.entry(key.clone()).or_default();
+        if self.unique && !slot.is_empty() && !has_null {
+            return Err(DbError::UniqueViolation {
+                index: self.name.clone(),
+                key: render_key(&key),
+            });
+        }
+        slot.push(id);
+        Ok(())
+    }
+
+    fn remove(&mut self, row: &[Value], id: RowId) {
+        let key = self.key_of(row);
+        if let Some(slot) = self.entries.get_mut(&key) {
+            slot.retain(|&r| r != id);
+            if slot.is_empty() {
+                self.entries.remove(&key);
+            }
+        }
+    }
+
+    /// Row ids whose key equals `key` exactly.
+    pub fn lookup(&self, key: &[Value]) -> Vec<RowId> {
+        self.entries.get(key).cloned().unwrap_or_default()
+    }
+
+    /// Row ids whose key lies in `[lo, hi]` (either bound optional).
+    pub fn range(&self, lo: Option<&[Value]>, hi: Option<&[Value]>) -> Vec<RowId> {
+        use std::ops::Bound;
+        let lo_b = lo.map_or(Bound::Unbounded, |k| Bound::Included(k.to_vec()));
+        let hi_b = hi.map_or(Bound::Unbounded, |k| Bound::Included(k.to_vec()));
+        self.entries
+            .range((lo_b, hi_b))
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect()
+    }
+
+    /// All row ids in key order (for index-ordered scans).
+    pub fn ordered_ids(&self) -> Vec<RowId> {
+        self.entries
+            .values()
+            .flat_map(|ids| ids.iter().copied())
+            .collect()
+    }
+
+    /// Number of distinct keys currently indexed.
+    pub fn distinct_keys(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+fn render_key(key: &[Value]) -> String {
+    let parts: Vec<String> = key.iter().map(Value::render).collect();
+    format!("({})", parts.join(", "))
+}
+
+/// A heap table: schema + slotted rows + attached indexes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name, unique within the database.
+    pub name: String,
+    schema: Schema,
+    rows: Vec<Option<Vec<Value>>>,
+    indexes: Vec<Index>,
+    live: usize,
+}
+
+impl Table {
+    /// Create an empty table. If the schema declares a primary key, a unique
+    /// index `pk_<table>` is created automatically.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let name = name.into();
+        let mut t = Table {
+            name: name.clone(),
+            schema,
+            rows: Vec::new(),
+            indexes: Vec::new(),
+            live: 0,
+        };
+        if !t.schema.primary_key().is_empty() {
+            let cols = t.schema.primary_key().to_vec();
+            t.indexes
+                .push(Index::new(format!("pk_{name}"), cols, true));
+        }
+        t
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn row_count(&self) -> usize {
+        self.live
+    }
+
+    /// Attached indexes.
+    pub fn indexes(&self) -> &[Index] {
+        &self.indexes
+    }
+
+    /// Find an index by name.
+    pub fn index(&self, name: &str) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Find an index whose leading column is `col` (for planner lookups).
+    pub fn index_on(&self, col: usize) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.columns.first() == Some(&col))
+    }
+
+    /// Create a new index over `columns` and backfill it from existing rows.
+    pub fn create_index(&mut self, name: &str, columns: &[&str], unique: bool) -> DbResult<()> {
+        if self.index(name).is_some() {
+            return Err(DbError::IndexExists(name.to_string()));
+        }
+        let cols: DbResult<Vec<usize>> = columns
+            .iter()
+            .map(|c| {
+                self.schema.index_of(c).ok_or_else(|| DbError::ColumnNotFound {
+                    table: self.name.clone(),
+                    column: (*c).to_string(),
+                })
+            })
+            .collect();
+        let mut idx = Index::new(name.to_string(), cols?, unique);
+        for (id, row) in self.rows.iter().enumerate() {
+            if let Some(r) = row {
+                idx.insert(r, id as RowId)?;
+            }
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Drop an index by name. The automatic primary-key index cannot be
+    /// dropped.
+    pub fn drop_index(&mut self, name: &str) -> DbResult<()> {
+        if name.eq_ignore_ascii_case(&format!("pk_{}", self.name)) {
+            return Err(DbError::Invalid(format!(
+                "cannot drop primary key index {name}"
+            )));
+        }
+        let pos = self
+            .indexes
+            .iter()
+            .position(|i| i.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| DbError::IndexNotFound(name.to_string()))?;
+        self.indexes.remove(pos);
+        Ok(())
+    }
+
+    /// Insert a row (validated and coerced against the schema). Returns the
+    /// new row id.
+    pub fn insert(&mut self, row: Vec<Value>) -> DbResult<RowId> {
+        let row = self.schema.check_row(&self.name, row)?;
+        let id = self.rows.len() as RowId;
+        // Maintain all indexes first so a unique violation leaves no trace.
+        for i in 0..self.indexes.len() {
+            if let Err(e) = self.indexes[i].insert(&row, id) {
+                for j in 0..i {
+                    self.indexes[j].remove(&row, id);
+                }
+                return Err(e);
+            }
+        }
+        self.rows.push(Some(row));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Fetch a row by id.
+    pub fn get(&self, id: RowId) -> DbResult<&[Value]> {
+        self.rows
+            .get(id as usize)
+            .and_then(|r| r.as_deref())
+            .ok_or(DbError::RowNotFound(id))
+    }
+
+    /// Replace a row in place (validated). Indexes are updated atomically:
+    /// on unique violation, the old row is restored.
+    pub fn update(&mut self, id: RowId, new_row: Vec<Value>) -> DbResult<Vec<Value>> {
+        let new_row = self.schema.check_row(&self.name, new_row)?;
+        let old = self
+            .rows
+            .get(id as usize)
+            .and_then(|r| r.clone())
+            .ok_or(DbError::RowNotFound(id))?;
+        for idx in &mut self.indexes {
+            idx.remove(&old, id);
+        }
+        for i in 0..self.indexes.len() {
+            if let Err(e) = self.indexes[i].insert(&new_row, id) {
+                for j in 0..i {
+                    self.indexes[j].remove(&new_row, id);
+                }
+                for idx in &mut self.indexes {
+                    // restore original entries
+                    let _ = idx.insert(&old, id);
+                }
+                return Err(e);
+            }
+        }
+        self.rows[id as usize] = Some(new_row);
+        Ok(old)
+    }
+
+    /// Delete a row by id, returning the old contents.
+    pub fn delete(&mut self, id: RowId) -> DbResult<Vec<Value>> {
+        let old = self
+            .rows
+            .get(id as usize)
+            .and_then(|r| r.clone())
+            .ok_or(DbError::RowNotFound(id))?;
+        for idx in &mut self.indexes {
+            idx.remove(&old, id);
+        }
+        self.rows[id as usize] = None;
+        self.live -= 1;
+        Ok(old)
+    }
+
+    /// Re-insert a previously deleted row at a specific id (transaction undo).
+    pub(crate) fn undelete(&mut self, id: RowId, row: Vec<Value>) -> DbResult<()> {
+        while self.rows.len() <= id as usize {
+            self.rows.push(None);
+        }
+        if self.rows[id as usize].is_some() {
+            return Err(DbError::Invalid(format!("slot {id} occupied")));
+        }
+        for idx in &mut self.indexes {
+            idx.insert(&row, id)?;
+        }
+        self.rows[id as usize] = Some(row);
+        self.live += 1;
+        Ok(())
+    }
+
+    /// Iterate `(row_id, row)` over live rows in heap order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &[Value])> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_deref().map(|row| (i as RowId, row)))
+    }
+
+    /// Clone all live rows (snapshot for lock-free downstream processing).
+    pub fn snapshot(&self) -> Vec<Vec<Value>> {
+        self.rows.iter().filter_map(|r| r.clone()).collect()
+    }
+
+    /// Delete every row, keeping schema and (now empty) indexes.
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        self.live = 0;
+        for idx in &mut self.indexes {
+            idx.entries.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn users() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Text).not_null(),
+            Column::new("age", DataType::Int),
+        ])
+        .unwrap()
+        .with_primary_key(&["id"])
+        .unwrap();
+        Table::new("users", schema)
+    }
+
+    #[test]
+    fn pk_index_auto_created_and_enforced() {
+        let mut t = users();
+        assert_eq!(t.indexes().len(), 1);
+        t.insert(vec![1.into(), "a".into(), 30.into()]).unwrap();
+        let err = t
+            .insert(vec![1.into(), "b".into(), 31.into()])
+            .unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn insert_get_update_delete_cycle() {
+        let mut t = users();
+        let id = t.insert(vec![1.into(), "ana".into(), 30.into()]).unwrap();
+        assert_eq!(t.get(id).unwrap()[1], "ana".into());
+        let old = t
+            .update(id, vec![1.into(), "ana maria".into(), 31.into()])
+            .unwrap();
+        assert_eq!(old[1], "ana".into());
+        assert_eq!(t.get(id).unwrap()[2], 31.into());
+        let old = t.delete(id).unwrap();
+        assert_eq!(old[1], "ana maria".into());
+        assert!(matches!(t.get(id), Err(DbError::RowNotFound(_))));
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn failed_unique_insert_leaves_indexes_clean() {
+        let mut t = users();
+        t.create_index("ix_age", &["age"], false).unwrap();
+        t.insert(vec![1.into(), "a".into(), 30.into()]).unwrap();
+        let _ = t.insert(vec![1.into(), "b".into(), 99.into()]).unwrap_err();
+        // age index must not contain the phantom 99 entry
+        assert!(t.index("ix_age").unwrap().lookup(&[99.into()]).is_empty());
+        assert_eq!(t.index("ix_age").unwrap().distinct_keys(), 1);
+    }
+
+    #[test]
+    fn failed_update_restores_old_row_in_indexes() {
+        let mut t = users();
+        let a = t.insert(vec![1.into(), "a".into(), 30.into()]).unwrap();
+        t.insert(vec![2.into(), "b".into(), 40.into()]).unwrap();
+        // updating a's pk to 2 must fail and keep a findable under pk 1
+        let err = t.update(a, vec![2.into(), "a".into(), 30.into()]).unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+        assert_eq!(t.indexes()[0].lookup(&[1.into()]), vec![a]);
+        assert_eq!(t.get(a).unwrap()[0], 1.into());
+    }
+
+    #[test]
+    fn secondary_index_backfills_and_ranges() {
+        let mut t = users();
+        for i in 0..10i64 {
+            t.insert(vec![i.into(), format!("u{i}").into(), (20 + i).into()])
+                .unwrap();
+        }
+        t.create_index("ix_age", &["age"], false).unwrap();
+        let idx = t.index("ix_age").unwrap();
+        assert_eq!(idx.lookup(&[25.into()]).len(), 1);
+        let hits = idx.range(Some(&[22.into()]), Some(&[24.into()]));
+        assert_eq!(hits.len(), 3);
+        let all = idx.range(None, None);
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn unique_index_allows_multiple_nulls() {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("email", DataType::Text),
+        ])
+        .unwrap()
+        .with_primary_key(&["id"])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        t.create_index("ux_email", &["email"], true).unwrap();
+        t.insert(vec![1.into(), Value::Null]).unwrap();
+        t.insert(vec![2.into(), Value::Null]).unwrap();
+        t.insert(vec![3.into(), "x@y".into()]).unwrap();
+        assert!(t.insert(vec![4.into(), "x@y".into()]).is_err());
+    }
+
+    #[test]
+    fn drop_index_protects_pk() {
+        let mut t = users();
+        t.create_index("ix_age", &["age"], false).unwrap();
+        t.drop_index("ix_age").unwrap();
+        assert!(t.index("ix_age").is_none());
+        assert!(t.drop_index("pk_users").is_err());
+        assert!(matches!(t.drop_index("nope"), Err(DbError::IndexNotFound(_))));
+    }
+
+    #[test]
+    fn scan_skips_deleted_and_truncate_clears() {
+        let mut t = users();
+        let a = t.insert(vec![1.into(), "a".into(), 1.into()]).unwrap();
+        t.insert(vec![2.into(), "b".into(), 2.into()]).unwrap();
+        t.delete(a).unwrap();
+        let names: Vec<_> = t.scan().map(|(_, r)| r[1].clone()).collect();
+        assert_eq!(names, vec![Value::from("b")]);
+        t.truncate();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.indexes()[0].distinct_keys(), 0);
+    }
+
+    #[test]
+    fn undelete_restores_row() {
+        let mut t = users();
+        let id = t.insert(vec![1.into(), "a".into(), 1.into()]).unwrap();
+        let old = t.delete(id).unwrap();
+        t.undelete(id, old).unwrap();
+        assert_eq!(t.get(id).unwrap()[0], 1.into());
+        assert_eq!(t.indexes()[0].lookup(&[1.into()]), vec![id]);
+    }
+}

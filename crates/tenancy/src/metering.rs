@@ -1,0 +1,228 @@
+//! Usage metering: the mechanism that aligns cost with usage.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// The five core BI services plus administration (ODBIS §3.1) — the
+/// dimensions along which usage is metered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServiceKind {
+    /// Meta-Data Service (MDS).
+    Metadata,
+    /// Integration Service (IS).
+    Integration,
+    /// Analysis Service (AS).
+    Analysis,
+    /// Reporting Service (RS).
+    Reporting,
+    /// Information Delivery Service (IDS).
+    Delivery,
+    /// Administration & configuration.
+    Admin,
+}
+
+impl ServiceKind {
+    /// All services, for iteration.
+    pub const ALL: [ServiceKind; 6] = [
+        ServiceKind::Metadata,
+        ServiceKind::Integration,
+        ServiceKind::Analysis,
+        ServiceKind::Reporting,
+        ServiceKind::Delivery,
+        ServiceKind::Admin,
+    ];
+
+    /// Short service code.
+    pub fn code(self) -> &'static str {
+        match self {
+            ServiceKind::Metadata => "MDS",
+            ServiceKind::Integration => "IS",
+            ServiceKind::Analysis => "AS",
+            ServiceKind::Reporting => "RS",
+            ServiceKind::Delivery => "IDS",
+            ServiceKind::Admin => "ADM",
+        }
+    }
+}
+
+/// One usage record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageEvent {
+    /// Tenant the usage belongs to.
+    pub tenant: String,
+    /// Service that was used.
+    pub service: ServiceKind,
+    /// Metered units (calls, rows, renders... service-defined).
+    pub units: u64,
+    /// Logical sequence number (monotonic per meter).
+    pub seq: u64,
+}
+
+/// Aggregated usage per (tenant, service).
+pub type UsageSummary = BTreeMap<(String, ServiceKind), u64>;
+
+/// Thread-safe usage meter. Recording is O(1) per event (a counter bump);
+/// the raw event log is kept for audit up to a configurable bound.
+#[derive(Debug)]
+pub struct UsageMeter {
+    inner: Mutex<MeterInner>,
+    /// Raw events beyond this bound are dropped (counters stay exact).
+    pub event_log_capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct MeterInner {
+    counters: BTreeMap<(String, ServiceKind), u64>,
+    events: Vec<UsageEvent>,
+    seq: u64,
+    dropped: u64,
+}
+
+impl Default for UsageMeter {
+    fn default() -> Self {
+        UsageMeter::new()
+    }
+}
+
+impl UsageMeter {
+    /// Meter with a 100k-event audit log.
+    pub fn new() -> Self {
+        UsageMeter {
+            inner: Mutex::new(MeterInner::default()),
+            event_log_capacity: 100_000,
+        }
+    }
+
+    /// Record usage.
+    pub fn record(&self, tenant: &str, service: ServiceKind, units: u64) {
+        let mut inner = self.inner.lock();
+        inner.seq += 1;
+        let seq = inner.seq;
+        *inner
+            .counters
+            .entry((tenant.to_string(), service))
+            .or_insert(0) += units;
+        if inner.events.len() < self.event_log_capacity {
+            inner.events.push(UsageEvent {
+                tenant: tenant.to_string(),
+                service,
+                units,
+                seq,
+            });
+        } else {
+            inner.dropped += 1;
+        }
+    }
+
+    /// Total units for a tenant across all services.
+    pub fn tenant_total(&self, tenant: &str) -> u64 {
+        self.inner
+            .lock()
+            .counters
+            .iter()
+            .filter(|((t, _), _)| t == tenant)
+            .map(|(_, u)| u)
+            .sum()
+    }
+
+    /// Units for one (tenant, service).
+    pub fn usage(&self, tenant: &str, service: ServiceKind) -> u64 {
+        self.inner
+            .lock()
+            .counters
+            .get(&(tenant.to_string(), service))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of all counters.
+    pub fn summary(&self) -> UsageSummary {
+        self.inner.lock().counters.clone()
+    }
+
+    /// Drain counters and events (close of a billing period). Returns the
+    /// final summary.
+    pub fn close_period(&self) -> UsageSummary {
+        let mut inner = self.inner.lock();
+        inner.events.clear();
+        inner.dropped = 0;
+        std::mem::take(&mut inner.counters)
+    }
+
+    /// Raw audit events currently retained.
+    pub fn events(&self) -> Vec<UsageEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Events dropped due to the audit-log bound (counters unaffected).
+    pub fn dropped_events(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_exactly() {
+        let m = UsageMeter::new();
+        m.record("t1", ServiceKind::Reporting, 3);
+        m.record("t1", ServiceKind::Reporting, 4);
+        m.record("t1", ServiceKind::Analysis, 10);
+        m.record("t2", ServiceKind::Reporting, 100);
+        assert_eq!(m.usage("t1", ServiceKind::Reporting), 7);
+        assert_eq!(m.tenant_total("t1"), 17);
+        assert_eq!(m.tenant_total("t2"), 100);
+        assert_eq!(m.tenant_total("ghost"), 0);
+        assert_eq!(m.summary().len(), 3);
+    }
+
+    #[test]
+    fn close_period_resets() {
+        let m = UsageMeter::new();
+        m.record("t", ServiceKind::Admin, 5);
+        let summary = m.close_period();
+        assert_eq!(summary[&("t".to_string(), ServiceKind::Admin)], 5);
+        assert_eq!(m.tenant_total("t"), 0);
+        assert!(m.events().is_empty());
+    }
+
+    #[test]
+    fn audit_log_bounded_but_counters_exact() {
+        let mut m = UsageMeter::new();
+        m.event_log_capacity = 10;
+        for _ in 0..25 {
+            m.record("t", ServiceKind::Delivery, 1);
+        }
+        assert_eq!(m.events().len(), 10);
+        assert_eq!(m.dropped_events(), 15);
+        assert_eq!(m.usage("t", ServiceKind::Delivery), 25);
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact() {
+        use std::sync::Arc;
+        let m = Arc::new(UsageMeter::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.record("t", ServiceKind::Analysis, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.usage("t", ServiceKind::Analysis), 4000);
+    }
+
+    #[test]
+    fn service_codes() {
+        assert_eq!(ServiceKind::Metadata.code(), "MDS");
+        assert_eq!(ServiceKind::ALL.len(), 6);
+    }
+}

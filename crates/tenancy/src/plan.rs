@@ -1,0 +1,152 @@
+//! Subscription plans and the pay-as-you-go pricing model.
+
+/// A subscription plan: the "pay as you go" contract of the SaaS model
+/// (ODBIS §2 — "companies who subscribe to a SaaS application pay a monthly
+/// or annual subscription fee, sometimes depending also on the number of
+/// users or transactions").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscriptionPlan {
+    /// Plan name.
+    pub name: String,
+    /// Fixed monthly fee, in cents.
+    pub monthly_fee_cents: u64,
+    /// Service units included in the fee.
+    pub included_units: u64,
+    /// Price per unit beyond the included allowance, in hundredths of a
+    /// cent (per-unit prices are small).
+    pub overage_per_unit_centicents: u64,
+    /// Maximum number of user accounts (None = unlimited).
+    pub max_users: Option<u32>,
+}
+
+impl SubscriptionPlan {
+    /// The free evaluation plan.
+    pub fn free() -> Self {
+        SubscriptionPlan {
+            name: "free".into(),
+            monthly_fee_cents: 0,
+            included_units: 1_000,
+            overage_per_unit_centicents: 0, // hard-capped instead
+            max_users: Some(3),
+        }
+    }
+
+    /// The standard plan.
+    pub fn standard() -> Self {
+        SubscriptionPlan {
+            name: "standard".into(),
+            monthly_fee_cents: 9_900, // $99
+            included_units: 100_000,
+            overage_per_unit_centicents: 5, // $0.0005 / unit
+            max_users: Some(25),
+        }
+    }
+
+    /// The enterprise plan.
+    pub fn enterprise() -> Self {
+        SubscriptionPlan {
+            name: "enterprise".into(),
+            monthly_fee_cents: 99_900, // $999
+            included_units: 5_000_000,
+            overage_per_unit_centicents: 2,
+            max_users: None,
+        }
+    }
+
+    /// Whether usage beyond the allowance is billable (false = hard cap).
+    pub fn allows_overage(&self) -> bool {
+        self.overage_per_unit_centicents > 0
+    }
+
+    /// Cost of a month with `units` of usage, in cents (rounded up).
+    pub fn monthly_cost_cents(&self, units: u64) -> u64 {
+        let overage_units = units.saturating_sub(self.included_units);
+        let overage_centicents = overage_units * self.overage_per_unit_centicents;
+        self.monthly_fee_cents + overage_centicents.div_ceil(100)
+    }
+}
+
+/// An invoice for one tenant and one billing period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invoice {
+    /// Billed tenant.
+    pub tenant: String,
+    /// Plan the invoice was computed against.
+    pub plan: String,
+    /// Metered units in the period.
+    pub units: u64,
+    /// Units beyond the plan allowance.
+    pub overage_units: u64,
+    /// Fixed fee, cents.
+    pub base_cents: u64,
+    /// Overage charge, cents.
+    pub overage_cents: u64,
+    /// Total, cents.
+    pub total_cents: u64,
+}
+
+impl Invoice {
+    /// Compute an invoice.
+    pub fn compute(tenant: &str, plan: &SubscriptionPlan, units: u64) -> Invoice {
+        let overage_units = units.saturating_sub(plan.included_units);
+        let overage_cents =
+            (overage_units * plan.overage_per_unit_centicents).div_ceil(100);
+        Invoice {
+            tenant: tenant.to_string(),
+            plan: plan.name.clone(),
+            units,
+            overage_units,
+            base_cents: plan.monthly_fee_cents,
+            overage_cents,
+            total_cents: plan.monthly_fee_cents + overage_cents,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_cost_is_base_within_allowance() {
+        let p = SubscriptionPlan::standard();
+        assert_eq!(p.monthly_cost_cents(0), 9_900);
+        assert_eq!(p.monthly_cost_cents(100_000), 9_900);
+    }
+
+    #[test]
+    fn overage_charged_and_rounded_up() {
+        let p = SubscriptionPlan::standard();
+        // 100_001 units: 1 overage unit at 5 centicents -> rounds up to 1 cent
+        assert_eq!(p.monthly_cost_cents(100_001), 9_901);
+        // 10k overage units * 5 = 50_000 centicents = 500 cents
+        assert_eq!(p.monthly_cost_cents(110_000), 10_400);
+    }
+
+    #[test]
+    fn invoice_matches_plan_cost() {
+        let p = SubscriptionPlan::enterprise();
+        let inv = Invoice::compute("acme", &p, 6_000_000);
+        assert_eq!(inv.overage_units, 1_000_000);
+        assert_eq!(inv.total_cents, p.monthly_cost_cents(6_000_000));
+        assert_eq!(inv.total_cents, inv.base_cents + inv.overage_cents);
+    }
+
+    #[test]
+    fn free_plan_has_no_overage() {
+        let p = SubscriptionPlan::free();
+        assert!(!p.allows_overage());
+        assert_eq!(p.monthly_cost_cents(1_000_000), 0);
+    }
+
+    #[test]
+    fn cost_is_monotonic_in_units() {
+        let p = SubscriptionPlan::standard();
+        let mut prev = 0;
+        for units in (0..200_000).step_by(7_919) {
+            let c = p.monthly_cost_cents(units);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+}

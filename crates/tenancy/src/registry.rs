@@ -1,0 +1,247 @@
+//! Tenant registry and lifecycle.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use odbis_security::SecurityManager;
+use parking_lot::Mutex;
+
+use crate::plan::SubscriptionPlan;
+
+/// Tenant lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantStatus {
+    /// Normal operation.
+    Active,
+    /// Access blocked (e.g. unpaid invoices); data retained.
+    Suspended,
+    /// Scheduled for deletion; no access.
+    Closed,
+}
+
+/// One tenant of the multi-tenant platform.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    /// Stable tenant id (also the discriminator value in shared tables).
+    pub id: String,
+    /// Display name.
+    pub name: String,
+    /// Current subscription plan.
+    pub plan: SubscriptionPlan,
+    /// Lifecycle status.
+    pub status: TenantStatus,
+}
+
+/// Tenancy errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TenancyError {
+    /// Tenant id already registered.
+    AlreadyExists(String),
+    /// Tenant id not found.
+    NotFound(String),
+    /// Operation not allowed in the tenant's current status.
+    NotActive(String),
+    /// Plan constraint violated (e.g. user limit).
+    PlanLimit(String),
+}
+
+impl std::fmt::Display for TenancyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenancyError::AlreadyExists(t) => write!(f, "tenant {t} already exists"),
+            TenancyError::NotFound(t) => write!(f, "tenant {t} not found"),
+            TenancyError::NotActive(t) => write!(f, "tenant {t} is not active"),
+            TenancyError::PlanLimit(m) => write!(f, "plan limit: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TenancyError {}
+
+/// Result alias for tenancy operations.
+pub type TenancyResult<T> = Result<T, TenancyError>;
+
+/// Registry of all tenants. Each tenant gets its own security realm (its
+/// users/roles/groups are logically isolated even though the backend
+/// infrastructure is shared — the multi-tenant architecture of ODBIS §2).
+pub struct TenantRegistry {
+    inner: Mutex<BTreeMap<String, (Tenant, Arc<SecurityManager>)>>,
+}
+
+impl Default for TenantRegistry {
+    fn default() -> Self {
+        TenantRegistry::new()
+    }
+}
+
+impl TenantRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        TenantRegistry {
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Provision a tenant: registers it and creates its security realm.
+    pub fn provision(
+        &self,
+        id: &str,
+        name: &str,
+        plan: SubscriptionPlan,
+    ) -> TenancyResult<Arc<SecurityManager>> {
+        let mut inner = self.inner.lock();
+        if inner.contains_key(id) {
+            return Err(TenancyError::AlreadyExists(id.to_string()));
+        }
+        let tenant = Tenant {
+            id: id.to_string(),
+            name: name.to_string(),
+            plan,
+            status: TenantStatus::Active,
+        };
+        let realm = Arc::new(SecurityManager::new());
+        inner.insert(id.to_string(), (tenant, Arc::clone(&realm)));
+        Ok(realm)
+    }
+
+    /// Fetch a tenant descriptor.
+    pub fn get(&self, id: &str) -> TenancyResult<Tenant> {
+        self.inner
+            .lock()
+            .get(id)
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| TenancyError::NotFound(id.to_string()))
+    }
+
+    /// Fetch a tenant's security realm.
+    pub fn realm(&self, id: &str) -> TenancyResult<Arc<SecurityManager>> {
+        self.inner
+            .lock()
+            .get(id)
+            .map(|(_, r)| Arc::clone(r))
+            .ok_or_else(|| TenancyError::NotFound(id.to_string()))
+    }
+
+    /// Require the tenant to be active (gate for every service call).
+    pub fn require_active(&self, id: &str) -> TenancyResult<Tenant> {
+        let t = self.get(id)?;
+        if t.status == TenantStatus::Active {
+            Ok(t)
+        } else {
+            Err(TenancyError::NotActive(id.to_string()))
+        }
+    }
+
+    /// Change a tenant's status.
+    pub fn set_status(&self, id: &str, status: TenantStatus) -> TenancyResult<()> {
+        let mut inner = self.inner.lock();
+        let (t, _) = inner
+            .get_mut(id)
+            .ok_or_else(|| TenancyError::NotFound(id.to_string()))?;
+        t.status = status;
+        Ok(())
+    }
+
+    /// Switch a tenant's plan.
+    pub fn change_plan(&self, id: &str, plan: SubscriptionPlan) -> TenancyResult<()> {
+        let mut inner = self.inner.lock();
+        let (t, _) = inner
+            .get_mut(id)
+            .ok_or_else(|| TenancyError::NotFound(id.to_string()))?;
+        t.plan = plan;
+        Ok(())
+    }
+
+    /// Enforce the plan's user limit before adding a user to the realm.
+    pub fn check_user_limit(&self, id: &str) -> TenancyResult<()> {
+        let inner = self.inner.lock();
+        let (t, realm) = inner
+            .get(id)
+            .ok_or_else(|| TenancyError::NotFound(id.to_string()))?;
+        if let Some(max) = t.plan.max_users {
+            if realm.usernames().len() as u32 >= max {
+                return Err(TenancyError::PlanLimit(format!(
+                    "plan {} allows at most {max} users",
+                    t.plan.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// All tenant ids, sorted.
+    pub fn tenant_ids(&self) -> Vec<String> {
+        self.inner.lock().keys().cloned().collect()
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether no tenants are registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provision_and_lifecycle() {
+        let reg = TenantRegistry::new();
+        reg.provision("acme", "Acme Corp", SubscriptionPlan::standard())
+            .unwrap();
+        assert!(matches!(
+            reg.provision("acme", "again", SubscriptionPlan::free()),
+            Err(TenancyError::AlreadyExists(_))
+        ));
+        assert_eq!(reg.get("acme").unwrap().name, "Acme Corp");
+        reg.require_active("acme").unwrap();
+        reg.set_status("acme", TenantStatus::Suspended).unwrap();
+        assert!(matches!(
+            reg.require_active("acme"),
+            Err(TenancyError::NotActive(_))
+        ));
+        assert!(matches!(
+            reg.get("ghost"),
+            Err(TenancyError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn realms_are_isolated_per_tenant() {
+        let reg = TenantRegistry::new();
+        let r1 = reg
+            .provision("t1", "T1", SubscriptionPlan::standard())
+            .unwrap();
+        let r2 = reg
+            .provision("t2", "T2", SubscriptionPlan::standard())
+            .unwrap();
+        r1.create_user("alice", "pw").unwrap();
+        // the same username can exist in another tenant's realm
+        r2.create_user("alice", "other-pw").unwrap();
+        assert!(r1.login("alice", "pw").is_ok());
+        assert!(r2.login("alice", "pw").is_err());
+        assert!(r2.login("alice", "other-pw").is_ok());
+    }
+
+    #[test]
+    fn plan_user_limits_enforced() {
+        let reg = TenantRegistry::new();
+        let realm = reg.provision("small", "S", SubscriptionPlan::free()).unwrap();
+        for i in 0..3 {
+            reg.check_user_limit("small").unwrap();
+            realm.create_user(&format!("u{i}"), "pw").unwrap();
+        }
+        assert!(matches!(
+            reg.check_user_limit("small"),
+            Err(TenancyError::PlanLimit(_))
+        ));
+        reg.change_plan("small", SubscriptionPlan::enterprise())
+            .unwrap();
+        reg.check_user_limit("small").unwrap();
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests for the SaaS kernel: billing math and metering.
+
+use odbis_tenancy::{Invoice, ServiceKind, SubscriptionPlan, UsageMeter};
+use proptest::prelude::*;
+
+fn arb_plan() -> impl Strategy<Value = SubscriptionPlan> {
+    prop_oneof![
+        Just(SubscriptionPlan::free()),
+        Just(SubscriptionPlan::standard()),
+        Just(SubscriptionPlan::enterprise()),
+    ]
+}
+
+proptest! {
+    /// Invoice totals are monotonic in usage, decompose into base+overage,
+    /// and charge no overage within the allowance.
+    #[test]
+    fn invoice_math_invariants(plan in arb_plan(), a in 0u64..10_000_000, b in 0u64..10_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let inv_lo = Invoice::compute("t", &plan, lo);
+        let inv_hi = Invoice::compute("t", &plan, hi);
+        prop_assert!(inv_lo.total_cents <= inv_hi.total_cents);
+        for inv in [&inv_lo, &inv_hi] {
+            prop_assert_eq!(inv.total_cents, inv.base_cents + inv.overage_cents);
+            if inv.units <= plan.included_units {
+                prop_assert_eq!(inv.overage_cents, 0);
+                prop_assert_eq!(inv.overage_units, 0);
+            } else {
+                prop_assert_eq!(inv.overage_units, inv.units - plan.included_units);
+            }
+        }
+        // invoice agrees with the plan's own cost function
+        prop_assert_eq!(inv_hi.total_cents, plan.monthly_cost_cents(hi));
+    }
+
+    /// Meter counters equal the sum of recorded events, per tenant and per
+    /// service, regardless of interleaving.
+    #[test]
+    fn metering_is_exact(events in prop::collection::vec((0u8..4, 0u8..6, 0u64..1_000), 0..120)) {
+        let meter = UsageMeter::new();
+        let mut expected = std::collections::HashMap::new();
+        for (t, s, units) in &events {
+            let tenant = format!("t{t}");
+            let service = ServiceKind::ALL[(*s as usize) % ServiceKind::ALL.len()];
+            meter.record(&tenant, service, *units);
+            *expected.entry((tenant, service)).or_insert(0u64) += units;
+        }
+        for ((tenant, service), total) in &expected {
+            prop_assert_eq!(meter.usage(tenant, *service), *total);
+        }
+        let grand: u64 = expected.values().sum();
+        let measured: u64 = (0..4).map(|t| meter.tenant_total(&format!("t{t}"))).sum();
+        prop_assert_eq!(measured, grand);
+        // closing the period returns everything and resets
+        let summary = meter.close_period();
+        let closed: u64 = summary.values().sum();
+        prop_assert_eq!(closed, grand);
+        prop_assert_eq!(meter.tenant_total("t0"), 0);
+    }
+}

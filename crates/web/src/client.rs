@@ -1,0 +1,102 @@
+//! A minimal HTTP/1.1 client for tests, examples and the delivery
+//! service's web-service channel.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Perform an HTTP request against `addr` (e.g. `"127.0.0.1:8080"`).
+/// Returns `(status, headers, body)`.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Result<(u16, BTreeMap<String, String>, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    for (k, v) in headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream
+        .write_all(req.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    stream.write_all(body).map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    parse_response(&raw)
+}
+
+/// GET helper returning `(status, body)`.
+pub fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    let (status, _, body) = http_request(addr, "GET", path, &[], b"")?;
+    Ok((status, body))
+}
+
+/// POST helper returning `(status, body)`.
+pub fn http_post(addr: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    let (status, _, resp) = http_request(
+        addr,
+        "POST",
+        path,
+        &[("Content-Type", "application/json")],
+        body.as_bytes(),
+    )?;
+    Ok((status, resp))
+}
+
+fn parse_response(raw: &[u8]) -> Result<(u16, BTreeMap<String, String>, String), String> {
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or("malformed response: no header terminator")?;
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if let Some((k, v)) = line.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        }
+    }
+    Ok((status, headers, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_response_extracts_parts() {
+        let raw = b"HTTP/1.1 201 Created\r\nContent-Type: text/plain\r\n\r\nhello";
+        let (status, headers, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 201);
+        assert_eq!(headers["content-type"], "text/plain");
+        assert_eq!(body, "hello");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 xyz\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn connect_error_is_reported() {
+        // port 1 on loopback is almost certainly closed
+        let err = http_get("127.0.0.1:1", "/").unwrap_err();
+        assert!(err.contains("connect"));
+    }
+}

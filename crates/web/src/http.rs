@@ -1,0 +1,377 @@
+//! HTTP/1.1 request/response types and wire parsing.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// HTTP methods the platform serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // self-documenting
+pub enum Method {
+    Get,
+    Post,
+    Put,
+    Delete,
+}
+
+impl Method {
+    /// Parse a request-line method token.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+
+    /// Wire form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Method.
+    pub method: Method,
+    /// Path without the query string, percent-decoded.
+    pub path: String,
+    /// Query parameters.
+    pub query: BTreeMap<String, String>,
+    /// Headers (keys lower-cased).
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Attributes set by filters (e.g. the authenticated principal).
+    pub attributes: BTreeMap<String, String>,
+}
+
+impl HttpRequest {
+    /// Build a request programmatically (used by tests and the in-process
+    /// dispatch path).
+    pub fn new(method: Method, path_and_query: &str) -> Self {
+        let (path, query) = split_path_query(path_and_query);
+        HttpRequest {
+            method,
+            path,
+            query,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+            attributes: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style header.
+    pub fn with_header(mut self, key: &str, value: &str) -> Self {
+        self.headers.insert(key.to_ascii_lowercase(), value.to_string());
+        self
+    }
+
+    /// Builder-style body.
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// Header accessor (case-insensitive).
+    pub fn header(&self, key: &str) -> Option<&str> {
+        self.headers.get(&key.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// Query-parameter accessor.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.get(key).map(String::as_str)
+    }
+
+    /// Body as UTF-8 text.
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Parse one request from a stream. Returns `None` on a cleanly closed
+    /// connection, `Err` on malformed input.
+    pub fn read_from(stream: &mut impl Read) -> Result<Option<HttpRequest>, String> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read error: {e}"))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        let mut parts = line.trim_end().split(' ');
+        let method = parts
+            .next()
+            .and_then(Method::parse)
+            .ok_or_else(|| format!("bad method in request line {line:?}"))?;
+        let target = parts.next().ok_or("missing request target")?;
+        let version = parts.next().unwrap_or("HTTP/1.1");
+        if !version.starts_with("HTTP/1.") {
+            return Err(format!("unsupported version {version}"));
+        }
+        let (path, query) = split_path_query(target);
+        let mut headers = BTreeMap::new();
+        loop {
+            let mut hline = String::new();
+            reader
+                .read_line(&mut hline)
+                .map_err(|e| format!("header read error: {e}"))?;
+            let hline = hline.trim_end();
+            if hline.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = hline.split_once(':') {
+                headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+            }
+        }
+        let len: usize = headers
+            .get("content-length")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if len > 16 * 1024 * 1024 {
+            return Err("request body too large".to_string());
+        }
+        let mut body = vec![0u8; len];
+        if len > 0 {
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| format!("body read error: {e}"))?;
+        }
+        Ok(Some(HttpRequest {
+            method,
+            path,
+            query,
+            headers,
+            body,
+            attributes: BTreeMap::new(),
+        }))
+    }
+}
+
+fn split_path_query(target: &str) -> (String, BTreeMap<String, String>) {
+    match target.split_once('?') {
+        None => (percent_decode(target), BTreeMap::new()),
+        Some((p, q)) => {
+            let mut query = BTreeMap::new();
+            for pair in q.split('&') {
+                if pair.is_empty() {
+                    continue;
+                }
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                query.insert(percent_decode(k), percent_decode(v));
+            }
+            (percent_decode(p), query)
+        }
+    }
+}
+
+/// Decode `%XX` escapes and `+` (in query strings).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers.
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Response with a status and empty body.
+    pub fn status(status: u16) -> Self {
+        HttpResponse {
+            status,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// 200 with a `text/plain` body.
+    pub fn text(body: impl Into<String>) -> Self {
+        HttpResponse::status(200)
+            .with_header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into())
+    }
+
+    /// 200 with a `text/html` body.
+    pub fn html(body: impl Into<String>) -> Self {
+        HttpResponse::status(200)
+            .with_header("Content-Type", "text/html; charset=utf-8")
+            .with_body(body.into())
+    }
+
+    /// 200 with an `application/json` body.
+    pub fn json(body: impl Into<String>) -> Self {
+        HttpResponse::status(200)
+            .with_header("Content-Type", "application/json")
+            .with_body(body.into())
+    }
+
+    /// 404.
+    pub fn not_found() -> Self {
+        HttpResponse::status(404).with_body("not found")
+    }
+
+    /// 401 (authentication required).
+    pub fn unauthorized(msg: &str) -> Self {
+        HttpResponse::status(401).with_body(msg.to_string())
+    }
+
+    /// 403 (authenticated but not allowed).
+    pub fn forbidden(msg: &str) -> Self {
+        HttpResponse::status(403).with_body(msg.to_string())
+    }
+
+    /// 400 with a reason.
+    pub fn bad_request(msg: &str) -> Self {
+        HttpResponse::status(400).with_body(msg.to_string())
+    }
+
+    /// 500 with a reason.
+    pub fn server_error(msg: &str) -> Self {
+        HttpResponse::status(500).with_body(msg.to_string())
+    }
+
+    /// Builder-style header.
+    pub fn with_header(mut self, key: &str, value: &str) -> Self {
+        self.headers.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Builder-style body.
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// Body as UTF-8 text.
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Serialize to the wire.
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            _ => "Status",
+        };
+        write!(stream, "HTTP/1.1 {} {}\r\n", self.status, reason)?;
+        for (k, v) in &self.headers {
+            write!(stream, "{k}: {v}\r\n")?;
+        }
+        write!(stream, "Content-Length: {}\r\n", self.body.len())?;
+        write!(stream, "Connection: close\r\n\r\n")?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_request_from_wire() {
+        let raw = b"POST /api/reports?limit=5&name=q1 HTTP/1.1\r\n\
+                    Host: localhost\r\n\
+                    Content-Type: application/json\r\n\
+                    Content-Length: 7\r\n\
+                    \r\n{\"a\":1}";
+        let req = HttpRequest::read_from(&mut &raw[..]).unwrap().unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.path, "/api/reports");
+        assert_eq!(req.query_param("limit"), Some("5"));
+        assert_eq!(req.header("content-type"), Some("application/json"));
+        assert_eq!(req.body_text(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn closed_connection_and_garbage() {
+        let empty: &[u8] = b"";
+        assert!(HttpRequest::read_from(&mut &empty[..]).unwrap().is_none());
+        let bad = b"BREW /coffee HTTP/1.1\r\n\r\n";
+        assert!(HttpRequest::read_from(&mut &bad[..]).is_err());
+        let badver = b"GET / SPDY/99\r\n\r\n";
+        assert!(HttpRequest::read_from(&mut &badver[..]).is_err());
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        let req = HttpRequest::new(Method::Get, "/r?q=sales%3D1");
+        assert_eq!(req.query_param("q"), Some("sales=1"));
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = HttpResponse::json("{\"ok\":true}").with_header("X-Trace", "1");
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json"));
+        assert!(text.contains("X-Trace: 1"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn helper_constructors() {
+        assert_eq!(HttpResponse::not_found().status, 404);
+        assert_eq!(HttpResponse::unauthorized("x").status, 401);
+        assert_eq!(HttpResponse::forbidden("x").status, 403);
+        assert_eq!(HttpResponse::bad_request("x").status, 400);
+        assert_eq!(HttpResponse::server_error("x").status, 500);
+    }
+}

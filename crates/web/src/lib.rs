@@ -1,0 +1,33 @@
+//! # odbis-web
+//!
+//! The web tier of the ODBIS platform — the reproduction's substitute for
+//! the Apache Tomcat container and JSF presentation layer of the paper's
+//! technical architecture (§3.3), serving the "web browser" access tool of
+//! the end-users layer (§3.1).
+//!
+//! A real HTTP/1.1 server over `std::net`: loopback listener, crossbeam
+//! worker pool, `:param` routing, a filter (middleware) chain for security,
+//! and JSON/HTML/text responders. A matching minimal client supports tests
+//! and the delivery service's web-service channel.
+//!
+//! ```
+//! use odbis_web::{http_get, HttpResponse, HttpServer, Method, Router};
+//!
+//! let mut router = Router::new();
+//! router.route(Method::Get, "/ping", |_, _| HttpResponse::text("pong"));
+//! let server = HttpServer::start(router, 2).unwrap();
+//! let (status, body) = http_get(&server.addr().to_string(), "/ping").unwrap();
+//! assert_eq!((status, body.as_str()), (200, "pong"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod client;
+mod http;
+mod router;
+mod server;
+
+pub use client::{http_get, http_post, http_request};
+pub use http::{percent_decode, HttpRequest, HttpResponse, Method};
+pub use router::{Filter, Handler, PathParams, Router};
+pub use server::HttpServer;

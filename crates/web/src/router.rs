@@ -1,0 +1,217 @@
+//! Routing and filter (middleware) chain.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::http::{HttpRequest, HttpResponse, Method};
+
+/// Path parameters extracted from `:name` route segments.
+pub type PathParams = BTreeMap<String, String>;
+
+/// A request handler.
+pub type Handler = Arc<dyn Fn(&HttpRequest, &PathParams) -> HttpResponse + Send + Sync>;
+
+/// A filter: runs before routing; may enrich the request (attributes) or
+/// short-circuit with a response (the Servlet-filter / Spring Security
+/// chain analogue).
+pub type Filter = Arc<dyn Fn(&mut HttpRequest) -> Option<HttpResponse> + Send + Sync>;
+
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+fn parse_segments(pattern: &str) -> Vec<Segment> {
+    pattern
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            if let Some(name) = s.strip_prefix(':') {
+                Segment::Param(name.to_string())
+            } else {
+                Segment::Literal(s.to_string())
+            }
+        })
+        .collect()
+}
+
+/// Router: ordered route table with `:param` segments plus a filter chain.
+#[derive(Clone, Default)]
+pub struct Router {
+    routes: Vec<Arc<Route>>,
+    filters: Vec<Filter>,
+}
+
+impl Router {
+    /// Empty router.
+    pub fn new() -> Self {
+        Router {
+            routes: Vec::new(),
+            filters: Vec::new(),
+        }
+    }
+
+    /// Register a route, e.g. `route(Method::Get, "/reports/:id", handler)`.
+    pub fn route(
+        &mut self,
+        method: Method,
+        pattern: &str,
+        handler: impl Fn(&HttpRequest, &PathParams) -> HttpResponse + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.routes.push(Arc::new(Route {
+            method,
+            segments: parse_segments(pattern),
+            handler: Arc::new(handler),
+        }));
+        self
+    }
+
+    /// Append a filter; filters run in registration order before routing.
+    pub fn filter(
+        &mut self,
+        f: impl Fn(&mut HttpRequest) -> Option<HttpResponse> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.filters.push(Arc::new(f));
+        self
+    }
+
+    /// Number of registered routes.
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    fn match_route(&self, method: Method, path: &str) -> Option<(Arc<Route>, PathParams)> {
+        let parts: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        'routes: for route in &self.routes {
+            if route.method != method || route.segments.len() != parts.len() {
+                continue;
+            }
+            let mut params = PathParams::new();
+            for (seg, part) in route.segments.iter().zip(&parts) {
+                match seg {
+                    Segment::Literal(l) if l == part => {}
+                    Segment::Literal(_) => continue 'routes,
+                    Segment::Param(name) => {
+                        params.insert(name.clone(), (*part).to_string());
+                    }
+                }
+            }
+            return Some((Arc::clone(route), params));
+        }
+        None
+    }
+
+    /// Run the filter chain and dispatch to the matching route.
+    ///
+    /// Handler panics are caught and converted to 500 responses so a buggy
+    /// service cannot take a worker thread down.
+    pub fn dispatch(&self, mut request: HttpRequest) -> HttpResponse {
+        for f in &self.filters {
+            if let Some(short_circuit) = f(&mut request) {
+                return short_circuit;
+            }
+        }
+        match self.match_route(request.method, &request.path) {
+            None => {
+                // distinguish 405 from 404
+                let other_method = [Method::Get, Method::Post, Method::Put, Method::Delete]
+                    .into_iter()
+                    .filter(|&m| m != request.method)
+                    .any(|m| self.match_route(m, &request.path).is_some());
+                if other_method {
+                    HttpResponse::status(405).with_body("method not allowed")
+                } else {
+                    HttpResponse::not_found()
+                }
+            }
+            Some((route, params)) => {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    (route.handler)(&request, &params)
+                }));
+                result.unwrap_or_else(|_| HttpResponse::server_error("handler panicked"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router {
+        let mut r = Router::new();
+        r.route(Method::Get, "/ping", |_, _| HttpResponse::text("pong"));
+        r.route(Method::Get, "/reports/:id", |_, params| {
+            HttpResponse::text(format!("report {}", params["id"]))
+        });
+        r.route(Method::Post, "/reports/:id/run", |req, params| {
+            HttpResponse::text(format!("ran {} with {}", params["id"], req.body_text()))
+        });
+        r
+    }
+
+    fn get(path: &str) -> HttpRequest {
+        HttpRequest::new(Method::Get, path)
+    }
+
+    #[test]
+    fn literal_and_param_matching() {
+        let r = router();
+        assert_eq!(r.dispatch(get("/ping")).body_text(), "pong");
+        assert_eq!(r.dispatch(get("/reports/42")).body_text(), "report 42");
+        let resp = r.dispatch(
+            HttpRequest::new(Method::Post, "/reports/7/run").with_body("params"),
+        );
+        assert_eq!(resp.body_text(), "ran 7 with params");
+    }
+
+    #[test]
+    fn not_found_and_method_not_allowed() {
+        let r = router();
+        assert_eq!(r.dispatch(get("/nope")).status, 404);
+        assert_eq!(r.dispatch(get("/reports/1/run")).status, 405);
+        assert_eq!(
+            r.dispatch(HttpRequest::new(Method::Delete, "/ping")).status,
+            405
+        );
+        // trailing segments don't match
+        assert_eq!(r.dispatch(get("/reports/1/extra/deep")).status, 404);
+    }
+
+    #[test]
+    fn filters_run_in_order_and_short_circuit() {
+        let mut r = router();
+        r.filter(|req| {
+            req.attributes.insert("trace".into(), "on".into());
+            None
+        });
+        r.filter(|req| {
+            if req.header("authorization").is_none() {
+                Some(HttpResponse::unauthorized("token required"))
+            } else {
+                None
+            }
+        });
+        r.route(Method::Get, "/whoami", |req, _| {
+            HttpResponse::text(req.attributes.get("trace").cloned().unwrap_or_default())
+        });
+        assert_eq!(r.dispatch(get("/ping")).status, 401);
+        let ok = r.dispatch(get("/whoami").with_header("authorization", "Bearer x"));
+        assert_eq!(ok.body_text(), "on");
+    }
+
+    #[test]
+    fn panicking_handler_becomes_500() {
+        let mut r = Router::new();
+        r.route(Method::Get, "/boom", |_, _| panic!("bug"));
+        let resp = r.dispatch(get("/boom"));
+        assert_eq!(resp.status, 500);
+    }
+}

@@ -1,0 +1,184 @@
+//! The HTTP server: loopback listener + crossbeam worker pool.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+
+use crate::http::{HttpRequest, HttpResponse};
+use crate::router::Router;
+
+/// A running HTTP server — the reproduction's stand-in for the Tomcat
+/// container that "all services run under" in the ODBIS technical
+/// architecture (§3.3). Binds a real loopback socket; requests are served
+/// by a fixed worker pool.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    served: Arc<AtomicU64>,
+    sender: Option<Sender<TcpStream>>,
+}
+
+impl HttpServer {
+    /// Start serving `router` on an ephemeral loopback port with
+    /// `worker_count` workers.
+    pub fn start(router: Router, worker_count: usize) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = bounded::<TcpStream>(1024);
+
+        let mut workers = Vec::with_capacity(worker_count);
+        let router = Arc::new(router);
+        for _ in 0..worker_count.max(1) {
+            let rx = rx.clone();
+            let router = Arc::clone(&router);
+            let served = Arc::clone(&served);
+            workers.push(std::thread::spawn(move || {
+                while let Ok(mut stream) = rx.recv() {
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                    let response = match HttpRequest::read_from(&mut stream) {
+                        Ok(Some(request)) => router.dispatch(request),
+                        Ok(None) => continue,
+                        Err(e) => HttpResponse::bad_request(&e),
+                    };
+                    served.fetch_add(1, Ordering::Relaxed);
+                    let _ = response.write_to(&mut stream);
+                    let _ = stream.flush();
+                }
+            }));
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_tx = tx.clone();
+        let accept_thread = std::thread::spawn(move || {
+            while !accept_shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = accept_tx.send(stream);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(HttpServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers,
+            served,
+            sender: Some(tx),
+        })
+    }
+
+    /// The bound address (`127.0.0.1:<port>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Base URL, e.g. `http://127.0.0.1:38311`.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        // closing the sender ends the worker loops
+        self.sender.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::http_get;
+    use crate::http::Method;
+
+    fn test_router() -> Router {
+        let mut r = Router::new();
+        r.route(Method::Get, "/hello", |_, _| HttpResponse::text("world"));
+        r.route(Method::Get, "/echo/:word", |_, p| {
+            HttpResponse::text(p["word"].clone())
+        });
+        r
+    }
+
+    #[test]
+    fn serves_real_tcp_requests() {
+        let server = HttpServer::start(test_router(), 2).unwrap();
+        let (status, body) = http_get(&server.addr().to_string(), "/hello").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "world");
+        let (status, body) = http_get(&server.addr().to_string(), "/echo/odbis").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "odbis");
+        let (status, _) = http_get(&server.addr().to_string(), "/missing").unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(server.requests_served(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = HttpServer::start(test_router(), 4).unwrap();
+        let addr = server.addr().to_string();
+        let mut handles = Vec::new();
+        for i in 0..16 {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || {
+                let (status, body) = http_get(&addr, &format!("/echo/c{i}")).unwrap();
+                assert_eq!(status, 200);
+                assert_eq!(body, format!("c{i}"));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.requests_served(), 16);
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let server = HttpServer::start(test_router(), 1).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        use std::io::Read;
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+    }
+}

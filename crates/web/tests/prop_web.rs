@@ -1,0 +1,57 @@
+//! Property tests: HTTP parsing is total (never panics) and the
+//! request/response wire formats round-trip.
+
+use odbis_web::{percent_decode, HttpRequest, HttpResponse, Method};
+use proptest::prelude::*;
+
+proptest! {
+    /// The request parser never panics on arbitrary bytes.
+    #[test]
+    fn request_parser_total(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = HttpRequest::read_from(&mut bytes.as_slice());
+    }
+
+    /// Percent decoding never panics and is identity on unreserved text.
+    #[test]
+    fn percent_decode_total(s in ".{0,80}") {
+        let _ = percent_decode(&s);
+    }
+
+    #[test]
+    fn percent_decode_identity_on_plain(s in "[a-zA-Z0-9_.~/-]{0,40}") {
+        prop_assert_eq!(percent_decode(&s), s);
+    }
+
+    /// A well-formed request serialized by hand always parses back to the
+    /// same method/path/body.
+    #[test]
+    fn request_round_trip(
+        path in "/[a-z0-9/]{0,20}",
+        body in "[ -~]{0,60}",
+        header_val in "[a-zA-Z0-9 ]{0,20}",
+    ) {
+        let wire = format!(
+            "POST {path} HTTP/1.1\r\nX-Custom: {header_val}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let req = HttpRequest::read_from(&mut wire.as_bytes()).unwrap().unwrap();
+        prop_assert_eq!(req.method, Method::Post);
+        prop_assert_eq!(req.path.clone(), path.clone());
+        prop_assert_eq!(req.body_text(), body.clone());
+        prop_assert_eq!(req.header("x-custom").unwrap_or("").to_string(), header_val.trim().to_string());
+    }
+
+    /// Responses always serialize with a correct Content-Length.
+    #[test]
+    fn response_content_length(body in prop::collection::vec(any::<u8>(), 0..200), status in 200u16..600) {
+        let resp = HttpResponse::status(status).with_body(body.clone());
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let text = String::from_utf8_lossy(&wire);
+        let cl = format!("Content-Length: {}", body.len());
+        prop_assert!(text.contains(&cl));
+        let sl = format!("HTTP/1.1 {status} ");
+        prop_assert!(text.starts_with(&sl));
+        prop_assert!(wire.ends_with(&body));
+    }
+}

@@ -1,0 +1,124 @@
+//! The on-demand platform over the wire: starts the ODBIS HTTP server
+//! (Figure 1's end-user access layer) on a loopback port and drives it
+//! with the bundled HTTP client — login, SQL, data sets, MDX, usage.
+//!
+//! Run with: `cargo run --example platform_server`
+
+use std::sync::Arc;
+
+use odbis::{build_router, OdbisPlatform};
+use odbis_metadata::DataSet;
+use odbis_olap::{Aggregator, CubeDef, DimensionDef, LevelDef, MeasureDef};
+use odbis_tenancy::SubscriptionPlan;
+use odbis_web::{http_post, http_request, HttpServer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Arc::new(OdbisPlatform::new());
+    platform.provision_tenant(
+        "clinic",
+        "City Clinic",
+        SubscriptionPlan::standard(),
+        "cio",
+        "pw",
+    )?;
+
+    let server = HttpServer::start(build_router(Arc::clone(&platform)), 4)?;
+    let addr = server.addr().to_string();
+    println!("ODBIS platform listening on {}", server.base_url());
+
+    // login over HTTP
+    let (status, body) = http_post(&addr, "/login", "clinic cio pw")?;
+    assert_eq!(status, 200);
+    let token = serde_json::from_str::<serde_json::Value>(&body)?["token"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    println!("POST /login -> {status} (token acquired)");
+
+    let call = |method: &str, path: &str, body: &str| {
+        http_request(
+            &addr,
+            method,
+            path,
+            &[("x-tenant", "clinic"), ("x-token", &token)],
+            body.as_bytes(),
+        )
+        .map(|(s, _, b)| (s, b))
+    };
+
+    // build a tiny warehouse over the wire
+    for stmt in [
+        "CREATE TABLE visits (dept TEXT, year INT, patients INT)",
+        "INSERT INTO visits VALUES ('Cardiology', 2009, 120), ('Cardiology', 2010, 150), \
+         ('Oncology', 2009, 80), ('Oncology', 2010, 95)",
+    ] {
+        let (status, _) = call("POST", "/sql", stmt).map_err(std::io::Error::other)?;
+        println!("POST /sql -> {status}");
+    }
+
+    // register a data set and a cube through the platform API
+    platform.define_dataset(
+        "clinic",
+        &token,
+        DataSet {
+            name: "visits_by_dept".into(),
+            source: "warehouse".into(),
+            sql: "SELECT dept, SUM(patients) AS patients FROM visits GROUP BY dept ORDER BY dept"
+                .into(),
+            description: String::new(),
+        },
+    )?;
+    platform.register_cube(
+        "clinic",
+        &token,
+        CubeDef {
+            name: "visits".into(),
+            fact_table: "visits".into(),
+            dimensions: vec![
+                DimensionDef {
+                    name: "dept".into(),
+                    table: None,
+                    fact_fk: String::new(),
+                    dim_key: String::new(),
+                    levels: vec![LevelDef {
+                        name: "name".into(),
+                        column: "dept".into(),
+                    }],
+                },
+                DimensionDef {
+                    name: "time".into(),
+                    table: None,
+                    fact_fk: String::new(),
+                    dim_key: String::new(),
+                    levels: vec![LevelDef {
+                        name: "year".into(),
+                        column: "year".into(),
+                    }],
+                },
+            ],
+            measures: vec![MeasureDef {
+                name: "patients".into(),
+                column: "patients".into(),
+                aggregator: Aggregator::Sum,
+            }],
+        },
+    )?;
+
+    let (status, body) = call("GET", "/datasets/visits_by_dept", "").map_err(std::io::Error::other)?;
+    println!("GET /datasets/visits_by_dept -> {status}\n  {body}");
+
+    let (status, body) = call(
+        "POST",
+        "/mdx",
+        "SELECT patients BY dept.name FROM visits WHERE time.year = 2010",
+    )
+    .map_err(std::io::Error::other)?;
+    println!("POST /mdx -> {status}\n  {body}");
+
+    let (status, body) = call("GET", "/admin/usage", "").map_err(std::io::Error::other)?;
+    println!("GET /admin/usage -> {status}\n  {body}");
+
+    println!("requests served: {}", server.requests_served());
+    server.shutdown();
+    Ok(())
+}

@@ -1,0 +1,155 @@
+//! Analysis-service end-to-end: cube navigation over a generated
+//! warehouse, and the data-mining API slot (k-means, regression,
+//! association rules) fed from cube/SQL output.
+
+use std::sync::Arc;
+
+use odbis_bench::workloads;
+use odbis_olap::{
+    mining, Aggregator, CubeDef, CubeEngine, CubeView, DimensionDef, LevelDef, LevelRef,
+    MeasureDef,
+};
+use odbis_sql::Engine;
+
+fn admissions_cube() -> CubeDef {
+    CubeDef {
+        name: "admissions".into(),
+        fact_table: "fact_admission".into(),
+        dimensions: vec![
+            DimensionDef {
+                name: "department".into(),
+                table: Some("dim_department".into()),
+                fact_fk: "dept_id".into(),
+                dim_key: "dept_id".into(),
+                levels: vec![LevelDef {
+                    name: "name".into(),
+                    column: "name".into(),
+                }],
+            },
+            DimensionDef {
+                name: "time".into(),
+                table: None,
+                fact_fk: String::new(),
+                dim_key: String::new(),
+                levels: vec![
+                    LevelDef {
+                        name: "year".into(),
+                        column: "year".into(),
+                    },
+                    LevelDef {
+                        name: "month".into(),
+                        column: "month".into(),
+                    },
+                ],
+            },
+        ],
+        measures: vec![MeasureDef {
+            name: "cost".into(),
+            column: "cost".into(),
+            aggregator: Aggregator::Sum,
+        }],
+    }
+}
+
+#[test]
+fn navigation_preserves_totals_across_granularities() {
+    let db = Arc::new(workloads::healthcare_db(5_000, 11));
+    let engine = Arc::new(CubeEngine::new(Arc::clone(&db)));
+    let cube = admissions_cube();
+    cube.validate(&db).unwrap();
+    let mut view = CubeView::new(
+        Arc::clone(&engine),
+        cube,
+        vec![LevelRef::new("time", "year")],
+        vec!["cost".into()],
+    );
+    let total = |cells: &odbis_olap::CellSet| -> f64 {
+        cells
+            .cells
+            .iter()
+            .map(|(_, m)| m[0].as_f64().unwrap_or(0.0))
+            .sum()
+    };
+    let by_year = view.cells().unwrap();
+    view.drill_down("time").unwrap(); // year -> month
+    let by_month = view.cells().unwrap();
+    assert!(by_month.len() > by_year.len());
+    assert!((total(&by_year) - total(&by_month)).abs() < 1e-6 * total(&by_year).abs());
+    // grand total matches raw SQL
+    let sql = Engine::new()
+        .execute(&db, "SELECT SUM(cost) FROM fact_admission")
+        .unwrap();
+    assert!((total(&by_year) - sql.rows[0][0].as_f64().unwrap()).abs() < 1e-6);
+}
+
+#[test]
+fn kmeans_clusters_departments_by_cost_profile() {
+    let db = Arc::new(workloads::healthcare_db(8_000, 13));
+    // feature vector per department: (avg cost, avg stay)
+    let r = Engine::new()
+        .execute(
+            &db,
+            "SELECT dept_id, AVG(cost) AS avg_cost, AVG(stay_days) AS avg_stay \
+             FROM fact_admission GROUP BY dept_id ORDER BY dept_id",
+        )
+        .unwrap();
+    let points: Vec<Vec<f64>> = r
+        .rows
+        .iter()
+        .map(|row| vec![row[1].as_f64().unwrap() / 1000.0, row[2].as_f64().unwrap()])
+        .collect();
+    let result = mining::kmeans(&points, 2, 100, 7).unwrap();
+    assert_eq!(result.assignments.len(), 6);
+    assert_eq!(result.centroids.len(), 2);
+    // the workload skews cost by department id, so cheap and expensive
+    // departments must not all land in one cluster
+    let first = result.assignments[0];
+    assert!(result.assignments.iter().any(|&a| a != first));
+    // determinism
+    let again = mining::kmeans(&points, 2, 100, 7).unwrap();
+    assert_eq!(result.assignments, again.assignments);
+}
+
+#[test]
+fn regression_finds_cost_trend_over_departments() {
+    let db = Arc::new(workloads::healthcare_db(8_000, 17));
+    let r = Engine::new()
+        .execute(
+            &db,
+            "SELECT dept_id, AVG(cost) FROM fact_admission GROUP BY dept_id ORDER BY dept_id",
+        )
+        .unwrap();
+    let points: Vec<(f64, f64)> = r
+        .rows
+        .iter()
+        .map(|row| (row[0].as_f64().unwrap(), row[1].as_f64().unwrap()))
+        .collect();
+    let reg = mining::linear_regression(&points).unwrap();
+    // the generator gives each department id a +400 base-cost step
+    assert!(
+        (reg.slope - 400.0).abs() < 60.0,
+        "slope {} should recover the ~400/dept cost gradient",
+        reg.slope
+    );
+    assert!(reg.r_squared > 0.9);
+}
+
+#[test]
+fn association_rules_on_department_visit_baskets() {
+    // baskets: departments visited together in a synthetic month
+    let tx: Vec<Vec<String>> = vec![
+        vec!["Cardiology".into(), "Emergency".into()],
+        vec!["Cardiology".into(), "Emergency".into(), "Neurology".into()],
+        vec!["Cardiology".into(), "Emergency".into()],
+        vec!["Oncology".into(), "Pediatrics".into()],
+        vec!["Cardiology".into(), "Emergency".into(), "Oncology".into()],
+        vec!["Emergency".into()],
+    ];
+    let rules = mining::association_rules(&tx, 0.5, 0.9).unwrap();
+    let rule = rules
+        .iter()
+        .find(|r| r.antecedent == vec!["Cardiology".to_string()])
+        .expect("Cardiology -> Emergency rule");
+    assert_eq!(rule.consequent, "Emergency");
+    assert!((rule.confidence - 1.0).abs() < 1e-9);
+}

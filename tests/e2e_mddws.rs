@@ -1,0 +1,139 @@
+//! E2/E3 (Figures 2 & 3): the MDDWS layers and the 2TUP/MDA layer
+//! construction, executed end to end — business model in, deployed and
+//! queryable warehouse out, with trace links and process milestones.
+
+use std::sync::Arc;
+
+use odbis_metamodel::{AttrValue, ModelRepository};
+use odbis_mddws::{cim_metamodel, DwLayer, DwProject, Viewpoint};
+use odbis_sql::Engine;
+use odbis_storage::Database;
+
+fn retail_bcim() -> ModelRepository {
+    let mut repo = ModelRepository::new("retail-bcim", cim_metamodel());
+    let amount = repo
+        .create(
+            "BusinessProperty",
+            vec![("name", "amount".into()), ("valueType", "NUMBER".into())],
+        )
+        .unwrap();
+    let day = repo
+        .create(
+            "BusinessProperty",
+            vec![("name", "sale_day".into()), ("valueType", "DATE".into())],
+        )
+        .unwrap();
+    let store_name = repo
+        .create(
+            "BusinessProperty",
+            vec![("name", "store_name".into()), ("valueType", "TEXT".into())],
+        )
+        .unwrap();
+    let fact = repo
+        .create(
+            "BusinessConcept",
+            vec![
+                ("name", "sale".into()),
+                ("kind", "FACT".into()),
+                ("properties", AttrValue::RefList(vec![amount, day])),
+            ],
+        )
+        .unwrap();
+    repo.create(
+        "BusinessConcept",
+        vec![
+            ("name", "store".into()),
+            ("kind", "DIMENSION".into()),
+            ("properties", AttrValue::RefList(vec![store_name])),
+        ],
+    )
+    .unwrap();
+    repo.create(
+        "BusinessGoal",
+        vec![
+            ("name", "grow_same_store_sales".into()),
+            ("measuredBy", AttrValue::RefList(vec![fact])),
+        ],
+    )
+    .unwrap();
+    repo
+}
+
+#[test]
+fn figure3_pipeline_business_model_to_queryable_warehouse() {
+    let mut project = DwProject::new("retail-dw");
+    let warehouse = Arc::new(Database::new());
+
+    // the Figure 3 iteration, step by step (not the one-call helper, so
+    // each milestone is observable)
+    project.begin_layer(DwLayer::Warehouse).unwrap();
+    project
+        .process_mut()
+        .log_risk(DwLayer::Warehouse, "store master data is incomplete", 3)
+        .unwrap();
+    project.submit_bcim(DwLayer::Warehouse, retail_bcim()).unwrap();
+    let pim_objects = project.derive_pim(DwLayer::Warehouse).unwrap();
+    assert!(pim_objects >= 5); // 2 tables + 3 columns (+ schema)
+    let psm_objects = project.derive_psm(DwLayer::Warehouse, "ODBIS-STORAGE").unwrap();
+    assert!(psm_objects >= 5);
+    let ddl_count = project.generate_code(DwLayer::Warehouse).unwrap().ddl.len();
+    assert_eq!(ddl_count, 2);
+    project.test_code(DwLayer::Warehouse).unwrap();
+    let created = project.deploy_layer(DwLayer::Warehouse, &warehouse).unwrap();
+    assert_eq!(created, vec!["dim_store", "fact_sale"]);
+
+    // milestone: the iteration is complete
+    let iter = project.process().iteration(DwLayer::Warehouse).unwrap();
+    assert!(iter.is_done());
+    assert_eq!(iter.risks().len(), 1);
+    assert!(iter.artifact(Viewpoint::Pim).is_some());
+    assert!(iter.artifact(Viewpoint::Psm).is_some());
+
+    // trace completeness: every BCIM object maps into the PIM
+    let bcim = project.model(DwLayer::Warehouse, Viewpoint::BusinessCim).unwrap();
+    for obj in bcim.objects() {
+        assert!(
+            project.traces().iter().any(|t| t.source == obj.id),
+            "BCIM object {} has no trace",
+            obj.id
+        );
+    }
+
+    // the deployed warehouse is immediately usable by the platform's SQL
+    let engine = Engine::new();
+    engine
+        .execute(
+            &warehouse,
+            "INSERT INTO fact_sale (amount, sale_day) VALUES (19.99, DATE '2010-03-22')",
+        )
+        .unwrap();
+    let r = engine
+        .execute(&warehouse, "SELECT SUM(amount) FROM fact_sale")
+        .unwrap();
+    assert_eq!(r.rows[0][0], odbis_storage::Value::Float(19.99));
+}
+
+#[test]
+fn model_interchange_round_trip_between_design_sessions() {
+    // Figure 2's design layer: a model designed in one session is
+    // serialized via XMI and continued in another.
+    let bcim = retail_bcim();
+    let xmi = odbis_metamodel::export_repository(&bcim).unwrap();
+    let reloaded = odbis_metamodel::import_repository(&xmi).unwrap();
+    let mut project = DwProject::new("resumed");
+    let db = Arc::new(Database::new());
+    let created = project
+        .run_layer_pipeline(DwLayer::Warehouse, reloaded, "ODBIS-STORAGE", &db)
+        .unwrap();
+    assert_eq!(created.len(), 2);
+}
+
+#[test]
+fn process_blocks_realization_before_design_inputs_exist() {
+    let mut project = DwProject::new("strict");
+    project.begin_layer(DwLayer::Mart).unwrap();
+    // deriving a PIM before any BCIM exists is a process violation
+    assert!(project.derive_pim(DwLayer::Mart).is_err());
+    // jumping straight to code generation too
+    assert!(project.generate_code(DwLayer::Mart).is_err());
+}

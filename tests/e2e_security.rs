@@ -1,0 +1,160 @@
+//! C4 (§3.3 claim): "enterprise-grade security" — authorization enforced
+//! at every service boundary, tenant isolation, audit.
+
+use odbis::{OdbisPlatform, PlatformError};
+use odbis_delivery::Channel;
+use odbis_metadata::DataSet;
+use odbis_reporting::{Dashboard, KpiSpec, Widget};
+use odbis_sql::QueryResult;
+use odbis_tenancy::SubscriptionPlan;
+
+fn boot() -> (OdbisPlatform, String) {
+    let p = OdbisPlatform::new();
+    p.provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+        .unwrap();
+    let token = p.login("acme", "root", "pw").unwrap();
+    p.sql("acme", &token, "CREATE TABLE sales (region TEXT, amount DOUBLE)")
+        .unwrap();
+    p.sql("acme", &token, "INSERT INTO sales VALUES ('EU', 10)")
+        .unwrap();
+    p.define_dataset(
+        "acme",
+        &token,
+        DataSet {
+            name: "total".into(),
+            source: "warehouse".into(),
+            sql: "SELECT SUM(amount) AS total FROM sales".into(),
+            description: String::new(),
+        },
+    )
+    .unwrap();
+    (p, token)
+}
+
+#[test]
+fn every_service_boundary_checks_authority() {
+    let (p, admin_token) = boot();
+    // a plain user: can log in, can do nothing else
+    p.create_user("acme", &admin_token, "intern", "pw", "ROLE_USER")
+        .unwrap();
+    let intern = p.login("acme", "intern", "pw").unwrap();
+
+    let denied = |r: Result<(), PlatformError>| {
+        assert!(matches!(r, Err(PlatformError::Security(_))), "expected denial");
+    };
+    denied(p.sql("acme", &intern, "SELECT 1").map(drop));
+    denied(p.execute_dataset("acme", &intern, "total").map(drop));
+    denied(
+        p.define_dataset(
+            "acme",
+            &intern,
+            DataSet {
+                name: "x".into(),
+                source: "warehouse".into(),
+                sql: "SELECT 1".into(),
+                description: String::new(),
+            },
+        )
+        .map(drop),
+    );
+    denied(
+        p.run_etl(
+            "acme",
+            &intern,
+            &odbis_etl::EtlJob {
+                name: "j".into(),
+                extractor: odbis_etl::Extractor::Csv("a\n1\n".into()),
+                transforms: vec![],
+                loader: odbis_etl::Loader {
+                    table: "t".into(),
+                    mode: odbis_etl::LoadMode::Append,
+                },
+            },
+        )
+        .map(drop),
+    );
+    denied(p.mdx("acme", &intern, "SELECT m BY d.l FROM c").map(drop));
+    let dash = Dashboard {
+        name: "d".into(),
+        title: "D".into(),
+        rows: vec![vec![Widget::Kpi {
+            dataset: "total".into(),
+            spec: KpiSpec {
+                title: "T".into(),
+                value_column: "total".into(),
+                unit: String::new(),
+            },
+        }]],
+    };
+    denied(p.render_dashboard("acme", &intern, &dash).map(drop));
+    let payload = odbis_delivery::ReportPayload {
+        title: "t".into(),
+        data: QueryResult {
+            columns: vec!["a".into()],
+            rows: vec![],
+            rows_affected: 0,
+        },
+    };
+    denied(
+        p.deliver("acme", &intern, "intern", "r", Channel::Email, &payload)
+            .map(drop),
+    );
+    denied(p.create_dw_project("acme", &intern, "proj").map(drop));
+    // every denial was audited
+    let realm = p.admin.registry().realm("acme").unwrap();
+    let audit = realm.audit_log();
+    assert!(
+        audit.iter().filter(|e| e.kind == "ACCESS_DENIED").count() >= 8,
+        "denials must be audited"
+    );
+}
+
+#[test]
+fn analyst_can_view_but_not_design() {
+    let (p, admin_token) = boot();
+    p.create_user("acme", &admin_token, "ana", "pw", "ROLE_ANALYST")
+        .unwrap();
+    let ana = p.login("acme", "ana", "pw").unwrap();
+    // analysts run datasets and view dashboards
+    let r = p.execute_dataset("acme", &ana, "total").unwrap();
+    assert_eq!(r.rows[0][0], odbis_storage::Value::Float(10.0));
+    // ...but cannot run DDL or ETL
+    assert!(p.sql("acme", &ana, "DROP TABLE sales").is_err());
+}
+
+#[test]
+fn sessions_expire_and_logout_works() {
+    let (p, _token) = boot();
+    let realm = p.admin.registry().realm("acme").unwrap();
+    let session = realm.login("root", "pw").unwrap();
+    realm.logout(&session.token);
+    assert!(matches!(
+        p.sql("acme", &session.token, "SELECT 1"),
+        Err(PlatformError::Security(_))
+    ));
+}
+
+#[test]
+fn tokens_do_not_cross_tenants() {
+    let (p, acme_token) = boot();
+    p.provision_tenant("rival", "Rival", SubscriptionPlan::standard(), "root", "pw")
+        .unwrap();
+    // acme's perfectly valid token is useless against rival
+    assert!(matches!(
+        p.sql("rival", &acme_token, "SELECT 1"),
+        Err(PlatformError::Security(_))
+    ));
+}
+
+#[test]
+fn password_hashes_are_salted_per_user() {
+    use odbis_security::SecurityManager;
+    let sm = SecurityManager::new();
+    sm.create_user("a", "same-password").unwrap();
+    sm.create_user("b", "same-password").unwrap();
+    // identical passwords, different users → both log in, and a wrong
+    // password fails for both (hash table cannot be shared)
+    assert!(sm.login("a", "same-password").is_ok());
+    assert!(sm.login("b", "same-password").is_ok());
+    assert!(sm.login("a", "other").is_err());
+}

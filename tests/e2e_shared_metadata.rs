@@ -1,0 +1,163 @@
+//! C3 (§3.1 claim): the core BI services are *integrated* over shared
+//! metadata — a DataSet defined once in the MDS is reused by the
+//! integration, analysis and reporting services without redefinition.
+
+use std::sync::Arc;
+
+use odbis_etl::{EtlJob, Extractor, JobRunner, LoadMode, Loader, Transform};
+use odbis_metadata::{DataSet, DataSource, Glossary, MetadataService};
+use odbis_olap::{Aggregator, CubeDef, CubeEngine, CubeQuery, DimensionDef, LevelDef, LevelRef, MeasureDef};
+use odbis_reporting::{ChartKind, ChartSpec, Dashboard, ReportingService, TableSpec, Widget};
+use odbis_sql::Engine;
+use odbis_storage::{Database, Value};
+
+#[test]
+fn one_dataset_feeds_etl_olap_and_reporting() {
+    // shared technical resources: one warehouse
+    let warehouse = Arc::new(Database::new());
+    Engine::new()
+        .execute_script(
+            &warehouse,
+            "CREATE TABLE raw_sales (region TEXT, amount DOUBLE, y INT);
+             INSERT INTO raw_sales VALUES
+               ('EU', 10, 2009), ('EU', 20, 2010), ('US', 30, 2010), ('EU', -1, 2010);",
+        )
+        .unwrap();
+
+    // MDS: the single shared definition layer
+    let mds = Arc::new(MetadataService::new());
+    mds.register_source(
+        DataSource {
+            name: "warehouse".into(),
+            url: "odbis://wh".into(),
+            user: "svc".into(),
+            password: "p".into(),
+            driver: "odbis-storage".into(),
+        },
+        Arc::clone(&warehouse),
+    )
+    .unwrap();
+    mds.define_dataset(DataSet {
+        name: "clean_sales".into(),
+        source: "warehouse".into(),
+        sql: "SELECT region, amount, y FROM raw_sales WHERE amount > 0".into(),
+        description: "validated sales".into(),
+    })
+    .unwrap();
+
+    // IS reuses the data set as its extractor (via the MDS-stored SQL)
+    let ds = mds.dataset("clean_sales").unwrap();
+    let runner = JobRunner::new(Arc::clone(&warehouse));
+    let report = runner
+        .run(&EtlJob {
+            name: "load-mart".into(),
+            extractor: Extractor::Query(ds.sql.clone()),
+            transforms: vec![Transform::Derive {
+                column: "amount_cents".into(),
+                expression: "amount * 100".into(),
+            }],
+            loader: Loader {
+                table: "mart_sales".into(),
+                mode: LoadMode::Replace,
+            },
+        })
+        .unwrap();
+    assert_eq!(report.extracted, 3); // negative row filtered by the dataset
+    assert_eq!(report.loaded, 3);
+
+    // AS builds a cube over the ETL-loaded mart
+    let cube = CubeDef {
+        name: "mart".into(),
+        fact_table: "mart_sales".into(),
+        dimensions: vec![
+            DimensionDef {
+                name: "geo".into(),
+                table: None,
+                fact_fk: String::new(),
+                dim_key: String::new(),
+                levels: vec![LevelDef {
+                    name: "region".into(),
+                    column: "region".into(),
+                }],
+            },
+            DimensionDef {
+                name: "time".into(),
+                table: None,
+                fact_fk: String::new(),
+                dim_key: String::new(),
+                levels: vec![LevelDef {
+                    name: "year".into(),
+                    column: "y".into(),
+                }],
+            },
+        ],
+        measures: vec![MeasureDef {
+            name: "revenue".into(),
+            column: "amount".into(),
+            aggregator: Aggregator::Sum,
+        }],
+    };
+    cube.validate(&warehouse).unwrap();
+    let engine = CubeEngine::new(Arc::clone(&warehouse));
+    let cells = engine
+        .query(
+            &cube,
+            &CubeQuery {
+                axes: vec![LevelRef::new("geo", "region")],
+                slices: vec![],
+                measures: vec!["revenue".into()],
+            },
+        )
+        .unwrap();
+    assert_eq!(cells.cell(&["EU".into()]).unwrap(), &[Value::Float(30.0)]);
+
+    // the cube aggregation agrees with the SQL view of the same data set
+    let sql_total = Engine::new()
+        .execute(
+            &warehouse,
+            "SELECT SUM(amount) FROM mart_sales WHERE region = 'EU'",
+        )
+        .unwrap();
+    assert_eq!(sql_total.rows[0][0], Value::Float(30.0));
+
+    // RS renders a dashboard over the *same* data set, by name
+    let rs = ReportingService::new(Arc::clone(&mds));
+    let dashboard = Dashboard {
+        name: "sales".into(),
+        title: "Shared-metadata dashboard".into(),
+        rows: vec![vec![
+            Widget::Chart {
+                dataset: "clean_sales".into(),
+                spec: ChartSpec {
+                    title: "Sales".into(),
+                    kind: ChartKind::Bar,
+                    category: "region".into(),
+                    series: vec!["amount".into()],
+                },
+            },
+            Widget::Table {
+                dataset: "clean_sales".into(),
+                spec: TableSpec {
+                    title: "Rows".into(),
+                    columns: vec![],
+                    max_rows: None,
+                },
+            },
+        ]],
+    };
+    let html = rs.render_dashboard(&dashboard).unwrap();
+    assert!(html.contains("<svg"));
+    assert!(html.contains("odbis-table"));
+
+    // the business glossary links the business term to the same data set
+    let mut glossary = Glossary::new();
+    glossary
+        .define_term("Net Sales", "validated sales after filtering", Some("clean_sales"))
+        .unwrap();
+    assert_eq!(glossary.mapped_dataset("Net Sales").unwrap(), "clean_sales");
+
+    // lineage ties the shared data set back to the raw table
+    assert_eq!(mds.lineage("clean_sales").unwrap(), vec!["raw_sales"]);
+    // and search finds it from the business description
+    assert!(!mds.search("validated").is_empty());
+}
