@@ -92,6 +92,7 @@ impl PlatformConfig {
             ("reporting.default_chart", ConfigValue::from("bar")),
             ("etl.reject_threshold", ConfigValue::Int(1_000)),
             ("olap.preaggregation", ConfigValue::Bool(true)),
+            ("sql.vectorized", ConfigValue::Bool(true)),
             ("delivery.mobile_row_cap", ConfigValue::Int(20)),
             ("security.session_minutes", ConfigValue::Int(30)),
             ("platform.name", ConfigValue::from("ODBIS")),
@@ -152,10 +153,7 @@ impl PlatformConfig {
             .get(key)
             .ok_or_else(|| ConfigError::UnknownKey(key.to_string()))?;
         let inner = self.inner.read();
-        if let Some(v) = inner
-            .per_tenant
-            .get(&(tenant.to_string(), key.to_string()))
-        {
+        if let Some(v) = inner.per_tenant.get(&(tenant.to_string(), key.to_string())) {
             return Ok(v.clone());
         }
         if let Some(v) = inner.platform.get(key) {
@@ -228,7 +226,10 @@ mod tests {
             ConfigValue::Bool(false)
         );
         cfg.set("custom.flag", true.into()).unwrap();
-        assert_eq!(cfg.get("t", "custom.flag").unwrap(), ConfigValue::Bool(true));
+        assert_eq!(
+            cfg.get("t", "custom.flag").unwrap(),
+            ConfigValue::Bool(true)
+        );
         assert!(cfg.keys().contains(&"custom.flag".to_string()));
     }
 }

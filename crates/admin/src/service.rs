@@ -174,7 +174,9 @@ impl AdminService {
                     .inherits("ROLE_DESIGNER"),
             )
             .map_err(wrap)?;
-        realm.create_user(admin_user, admin_password).map_err(wrap)?;
+        realm
+            .create_user(admin_user, admin_password)
+            .map_err(wrap)?;
         realm
             .assign_role(admin_user, "ROLE_TENANT_ADMIN")
             .map_err(wrap)?;
@@ -243,12 +245,7 @@ mod tests {
         let session = realm.login("root", "pw").unwrap();
         assert_eq!(realm.authenticate(&session.token).unwrap(), "root");
         // the tenant admin transitively holds every standard authority
-        for auth in [
-            "PLATFORM_LOGIN",
-            "REPORT_VIEW",
-            "ETL_DESIGN",
-            "ADMIN_USERS",
-        ] {
+        for auth in ["PLATFORM_LOGIN", "REPORT_VIEW", "ETL_DESIGN", "ADMIN_USERS"] {
             assert!(realm.has_authority("root", auth), "missing {auth}");
         }
         assert!(matches!(
@@ -296,7 +293,10 @@ mod tests {
         assert_eq!(r.p95, Duration::from_millis(95));
         assert_eq!(r.max, Duration::from_millis(100));
         assert!(m.report("missing").is_none());
-        assert_eq!(m.operations(), vec!["other".to_string(), "query".to_string()]);
+        assert_eq!(
+            m.operations(),
+            vec!["other".to_string(), "query".to_string()]
+        );
         let out = m.time("timed", || 40 + 2);
         assert_eq!(out, 42);
         assert_eq!(m.report("timed").unwrap().count, 1);

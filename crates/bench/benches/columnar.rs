@@ -1,0 +1,61 @@
+//! A10 — columnar data-plane ablation: the same SELECTs through the
+//! row-at-a-time executor and the vectorized batch path, over the
+//! healthcare star schema at two fact-table sizes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odbis_bench::workloads;
+use odbis_sql::Engine;
+use odbis_storage::Database;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(12)
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+const QUERIES: &[(&str, &str)] = &[
+    ("scan", "SELECT id, cost, stay_days FROM fact_admission"),
+    (
+        "filter",
+        "SELECT id, cost FROM fact_admission WHERE cost > 1500.0 AND stay_days < 10",
+    ),
+    (
+        "aggregate",
+        "SELECT dept_id, COUNT(*) AS n, SUM(cost) AS total, AVG(cost) AS mean \
+         FROM fact_admission GROUP BY dept_id",
+    ),
+];
+
+fn columnar_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("columnar_ablation");
+    for n in [10_000usize, 50_000] {
+        let db: Arc<Database> = Arc::new(workloads::healthcare_db(n, 7));
+        let row_engine = Engine::with_row_execution();
+        let vec_engine = Engine::new();
+        for (label, sql) in QUERIES {
+            // both paths must agree before their timings mean anything
+            let row = row_engine.execute(&db, sql).expect("row path");
+            let vec = vec_engine.execute(&db, sql).expect("vectorized path");
+            assert_eq!(row.rows, vec.rows, "paths diverge on {label}");
+
+            group.bench_with_input(BenchmarkId::new(format!("row_{label}"), n), &n, |b, _| {
+                b.iter(|| row_engine.execute(&db, sql).unwrap())
+            });
+            group.bench_with_input(BenchmarkId::new(format!("batch_{label}"), n), &n, |b, _| {
+                b.iter(|| vec_engine.execute(&db, sql).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = columnar_ablation
+}
+criterion_main!(benches);

@@ -6,9 +6,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use odbis_bench::workloads::etl_csv;
-use odbis_etl::{
-    AggOp, EtlJob, ExecutionMode, Extractor, JobRunner, LoadMode, Loader, Transform,
-};
+use odbis_etl::{AggOp, EtlJob, ExecutionMode, Extractor, JobRunner, LoadMode, Loader, Transform};
 use odbis_storage::Database;
 
 fn configured() -> Criterion {

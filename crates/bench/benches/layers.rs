@@ -29,11 +29,19 @@ fn fig4_layer_roundtrip(c: &mut Criterion) {
         .unwrap();
     let token = platform.login("acme", "root", "pw").unwrap();
     platform
-        .sql("acme", &token, "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)")
+        .sql(
+            "acme",
+            &token,
+            "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)",
+        )
         .unwrap();
     for i in 0..100 {
         platform
-            .sql("acme", &token, &format!("INSERT INTO kv VALUES ({i}, 'value-{i}')"))
+            .sql(
+                "acme",
+                &token,
+                &format!("INSERT INTO kv VALUES ({i}, 'value-{i}')"),
+            )
             .unwrap();
     }
     let warehouse = Arc::clone(&platform.workspace("acme").unwrap().warehouse);

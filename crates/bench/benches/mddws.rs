@@ -6,8 +6,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use odbis_metamodel::{AttrValue, ModelRepository};
 use odbis_mddws::{cim_metamodel, cim_to_pim, pim_metamodel, DwLayer, DwProject};
+use odbis_metamodel::{AttrValue, ModelRepository};
 use odbis_storage::Database;
 
 fn configured() -> Criterion {

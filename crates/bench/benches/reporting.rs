@@ -9,8 +9,7 @@ use odbis_bench::workloads::healthcare_db;
 use odbis_delivery::{format_for, Channel, ReportPayload};
 use odbis_metadata::{DataSet, DataSource, MetadataService};
 use odbis_reporting::{
-    render_chart_svg, ChartKind, ChartSpec, Dashboard, KpiSpec, ReportingService, TableSpec,
-    Widget,
+    render_chart_svg, ChartKind, ChartSpec, Dashboard, KpiSpec, ReportingService, TableSpec, Widget,
 };
 use odbis_sql::Engine;
 

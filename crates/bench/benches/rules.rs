@@ -6,9 +6,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use odbis_bench::workloads::usage_facts;
-use odbis_rules::{
-    tvar, Action, NaiveMatcher, Pattern, Rule, RuleEngine, TestOp, WorkingMemory,
-};
+use odbis_rules::{tvar, Action, NaiveMatcher, Pattern, Rule, RuleEngine, TestOp, WorkingMemory};
 
 fn configured() -> Criterion {
     Criterion::default()
@@ -26,8 +24,12 @@ fn mixed_memory(n: usize) -> WorkingMemory {
     }
     for i in 0..(4 * n) {
         wm.insert(
-            odbis_rules::Fact::new(if i % 2 == 0 { "Heartbeat" } else { "AuditEvent" })
-                .with("seq", i as i64),
+            odbis_rules::Fact::new(if i % 2 == 0 {
+                "Heartbeat"
+            } else {
+                "AuditEvent"
+            })
+            .with("seq", i as i64),
         );
     }
     wm

@@ -17,7 +17,8 @@ fn configured() -> Criterion {
 fn realm_with_hierarchy() -> (SecurityManager, String) {
     let sm = SecurityManager::new();
     // a five-deep role hierarchy, authority at the root
-    sm.create_role(Role::new("R0").grant("PLATFORM_LOGIN")).unwrap();
+    sm.create_role(Role::new("R0").grant("PLATFORM_LOGIN"))
+        .unwrap();
     for i in 1..5 {
         sm.create_role(Role::new(format!("R{i}")).inherits(format!("R{}", i - 1)))
             .unwrap();

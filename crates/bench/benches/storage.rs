@@ -52,9 +52,7 @@ fn a1_range_queries(c: &mut Criterion) {
     group.bench_function("index_range", |b| {
         b.iter(|| indexed.execute(&db, q).unwrap())
     });
-    group.bench_function("scan_range", |b| {
-        b.iter(|| naive.execute(&db, q).unwrap())
-    });
+    group.bench_function("scan_range", |b| b.iter(|| naive.execute(&db, q).unwrap()));
     group.finish();
 }
 

@@ -39,7 +39,9 @@ fn c1_economies_of_scale(c: &mut Criterion) {
             |b, &tenants| {
                 b.iter(|| {
                     let shared = SharedSchema::new(Arc::new(Database::new()));
-                    shared.create_shared_table("orders", order_schema()).unwrap();
+                    shared
+                        .create_shared_table("orders", order_schema())
+                        .unwrap();
                     for t in 0..tenants {
                         let tenant = format!("t{t}");
                         for i in 0..ROWS_PER_TENANT {

@@ -152,11 +152,17 @@ mod tests {
     fn healthcare_db_is_deterministic_and_populated() {
         let a = healthcare_db(200, 7);
         let b = healthcare_db(200, 7);
-        assert_eq!(a.scan("fact_admission").unwrap(), b.scan("fact_admission").unwrap());
+        assert_eq!(
+            a.scan("fact_admission").unwrap(),
+            b.scan("fact_admission").unwrap()
+        );
         assert_eq!(a.row_count("dim_department").unwrap(), 6);
         assert_eq!(a.row_count("fact_admission").unwrap(), 200);
         let c = healthcare_db(200, 8);
-        assert_ne!(a.scan("fact_admission").unwrap(), c.scan("fact_admission").unwrap());
+        assert_ne!(
+            a.scan("fact_admission").unwrap(),
+            c.scan("fact_admission").unwrap()
+        );
     }
 
     #[test]

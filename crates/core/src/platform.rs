@@ -9,12 +9,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use odbis_admin::AdminService;
 use odbis_delivery::{Channel, DeliveryService, ReportPayload};
 use odbis_esb::MessageBus;
 use odbis_etl::{EtlJob, JobReport, JobRunner, JobScheduler};
-use odbis_admin::AdminService;
-use odbis_metadata::{DataSet, DataSource, MetadataService};
 use odbis_mddws::DwProject;
+use odbis_metadata::{DataSet, DataSource, MetadataService};
 use odbis_olap::{AggregateCache, CellSet, CubeDef, CubeEngine, LevelRef, MaterializedAggregate};
 use odbis_reporting::{Dashboard, RenderedReport, ReportTemplate, ReportingService};
 use odbis_sql::{Engine, QueryResult};
@@ -97,6 +97,7 @@ pub struct OdbisPlatform {
     /// The Spring-like application context (service registry).
     pub context: ApplicationContext,
     sql: Engine,
+    sql_rows: Engine,
     workspaces: RwLock<HashMap<String, Arc<TenantWorkspace>>>,
 }
 
@@ -121,6 +122,7 @@ impl OdbisPlatform {
             bus,
             context,
             sql: Engine::new(),
+            sql_rows: Engine::with_row_execution(),
             workspaces: RwLock::new(HashMap::new()),
         }
     }
@@ -181,12 +183,7 @@ impl OdbisPlatform {
 
     /// The full platform gate: tenant active + session valid + authority
     /// held. Returns the principal's username.
-    pub fn authorize(
-        &self,
-        tenant: &str,
-        token: &str,
-        authority: &str,
-    ) -> PlatformResult<String> {
+    pub fn authorize(&self, tenant: &str, token: &str, authority: &str) -> PlatformResult<String> {
         self.admin.registry().require_active(tenant)?;
         let realm = self.admin.registry().realm(tenant)?;
         let principal = realm.authenticate(token)?;
@@ -197,10 +194,22 @@ impl OdbisPlatform {
     // ---- core BI services (metered) -------------------------------------------
 
     /// Execute raw SQL in the tenant warehouse (designer capability).
+    ///
+    /// SELECTs run on the vectorized columnar path unless the tenant's
+    /// `sql.vectorized` setting is explicitly `false` (ablation switch,
+    /// mirroring `olap.preaggregation`).
     pub fn sql(&self, tenant: &str, token: &str, sql: &str) -> PlatformResult<QueryResult> {
         self.authorize(tenant, token, "ETL_DESIGN")?;
         let ws = self.workspace(tenant)?;
-        let result = self.sql.execute(&ws.warehouse, sql)?;
+        let engine = if matches!(
+            self.admin.config.get(tenant, "sql.vectorized"),
+            Ok(odbis_admin::ConfigValue::Bool(false))
+        ) {
+            &self.sql_rows
+        } else {
+            &self.sql
+        };
+        let result = engine.execute(&ws.warehouse, sql)?;
         // pay-as-you-go: one unit per call plus one per row touched
         self.admin.meter_usage(
             tenant,
@@ -383,27 +392,24 @@ impl OdbisPlatform {
     ) -> PlatformResult<RenderedReport> {
         self.authorize(tenant, token, "REPORT_VIEW")?;
         let ws = self.workspace(tenant)?;
-        let odbis_reporting::Report::Template(template) = ws.reporting.report(group, name)?
-        else {
+        let odbis_reporting::Report::Template(template) = ws.reporting.report(group, name)? else {
             return Err(PlatformError::Reporting(format!(
                 "{group}/{name} is not a template"
             )));
         };
         let rendered = odbis_reporting::run_template(&template, params, &ws.warehouse)?;
-        self.admin
-            .meter_usage(tenant, ServiceKind::Reporting, 1 + rendered.queries_run as u64);
+        self.admin.meter_usage(
+            tenant,
+            ServiceKind::Reporting,
+            1 + rendered.queries_run as u64,
+        );
         Ok(rendered)
     }
 
     // ---- MDDWS -----------------------------------------------------------------
 
     /// Create a model-driven DW project in the tenant workspace.
-    pub fn create_dw_project(
-        &self,
-        tenant: &str,
-        token: &str,
-        name: &str,
-    ) -> PlatformResult<()> {
+    pub fn create_dw_project(&self, tenant: &str, token: &str, name: &str) -> PlatformResult<()> {
         self.authorize(tenant, token, "CUBE_DESIGN")?;
         let ws = self.workspace(tenant)?;
         let mut projects = ws.projects.lock();
@@ -595,7 +601,11 @@ mod tests {
         };
         p.register_cube("acme", &token, cube).unwrap();
         let cells = p
-            .mdx("acme", &token, "SELECT revenue BY geo.region FROM s WHERE time.year = 2010")
+            .mdx(
+                "acme",
+                &token,
+                "SELECT revenue BY geo.region FROM s WHERE time.year = 2010",
+            )
             .unwrap();
         assert_eq!(
             cells.cell(&["EU".into()]).unwrap(),
@@ -605,6 +615,28 @@ mod tests {
             p.mdx("acme", &token, "SELECT revenue BY geo.region FROM nocube"),
             Err(PlatformError::Olap(_))
         ));
+    }
+
+    #[test]
+    fn sql_vectorized_config_toggles_execution_path() {
+        let (p, token) = boot();
+        p.sql("acme", &token, "CREATE TABLE t (x INT, y TEXT)")
+            .unwrap();
+        p.sql(
+            "acme",
+            &token,
+            "INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, NULL)",
+        )
+        .unwrap();
+        let q = "SELECT y, COUNT(*) AS n FROM t WHERE x > 1 GROUP BY y";
+        let vectorized = p.sql("acme", &token, q).unwrap();
+        p.admin
+            .config
+            .set_for_tenant("acme", "sql.vectorized", false.into())
+            .unwrap();
+        let row_based = p.sql("acme", &token, q).unwrap();
+        assert_eq!(vectorized.columns, row_based.columns);
+        assert_eq!(vectorized.rows, row_based.rows);
     }
 
     #[test]
@@ -633,10 +665,8 @@ mod tests {
         let warehouse = Arc::clone(&ws.warehouse);
         let created = p
             .with_dw_project("acme", &token, "dw1", |project| {
-                let mut bcim = odbis_metamodel::ModelRepository::new(
-                    "bcim",
-                    odbis_mddws::cim_metamodel(),
-                );
+                let mut bcim =
+                    odbis_metamodel::ModelRepository::new("bcim", odbis_mddws::cim_metamodel());
                 let prop = bcim
                     .create(
                         "BusinessProperty",
@@ -648,7 +678,10 @@ mod tests {
                     vec![
                         ("name", "orders".into()),
                         ("kind", "FACT".into()),
-                        ("properties", odbis_metamodel::AttrValue::RefList(vec![prop])),
+                        (
+                            "properties",
+                            odbis_metamodel::AttrValue::RefList(vec![prop]),
+                        ),
                     ],
                 )
                 .map_err(|e| PlatformError::Mddws(e.to_string()))?;
@@ -681,8 +714,12 @@ mod preagg_tests {
         p.provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
             .unwrap();
         let token = p.login("acme", "root", "pw").unwrap();
-        p.sql("acme", &token, "CREATE TABLE f (region TEXT, amount DOUBLE)")
-            .unwrap();
+        p.sql(
+            "acme",
+            &token,
+            "CREATE TABLE f (region TEXT, amount DOUBLE)",
+        )
+        .unwrap();
         p.sql(
             "acme",
             &token,
@@ -794,7 +831,13 @@ mod template_tests {
         assert!(!rendered.html.contains("Cardiology"));
         // missing param errors cleanly
         assert!(matches!(
-            p.run_template("acme", &token, "standard-reports", "dept", &Default::default()),
+            p.run_template(
+                "acme",
+                &token,
+                "standard-reports",
+                "dept",
+                &Default::default()
+            ),
             Err(PlatformError::Reporting(_))
         ));
     }

@@ -56,8 +56,7 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
     router.route(Method::Post, "/login", move |req, _| {
         let body = req.body_text();
         let mut parts = body.split_whitespace();
-        let (Some(tenant), Some(user), Some(password)) =
-            (parts.next(), parts.next(), parts.next())
+        let (Some(tenant), Some(user), Some(password)) = (parts.next(), parts.next(), parts.next())
         else {
             return HttpResponse::bad_request("body must be: <tenant> <user> <password>");
         };
@@ -85,9 +84,7 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
         {
             Ok(ws) => {
                 let names = ws.mds.dataset_names();
-                HttpResponse::json(
-                    serde_json::to_string(&names).unwrap_or_else(|_| "[]".into()),
-                )
+                HttpResponse::json(serde_json::to_string(&names).unwrap_or_else(|_| "[]".into()))
             }
             Err(e) => error_response(&e),
         }
@@ -214,17 +211,12 @@ mod tests {
     #[test]
     fn login_over_http() {
         let (server, _p, _t) = serve();
-        let (status, body) = odbis_web::http_post(
-            &server.addr().to_string(),
-            "/login",
-            "acme root pw",
-        )
-        .unwrap();
+        let (status, body) =
+            odbis_web::http_post(&server.addr().to_string(), "/login", "acme root pw").unwrap();
         assert_eq!(status, 200);
         assert!(body.contains("token"));
         let (status, _) =
-            odbis_web::http_post(&server.addr().to_string(), "/login", "acme root wrong")
-                .unwrap();
+            odbis_web::http_post(&server.addr().to_string(), "/login", "acme root wrong").unwrap();
         assert_eq!(status, 401);
         let (status, _) =
             odbis_web::http_post(&server.addr().to_string(), "/login", "short").unwrap();

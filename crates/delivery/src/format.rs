@@ -156,7 +156,11 @@ fn csv_body(payload: &ReportPayload) -> String {
         let cells: Vec<String> = row
             .iter()
             .map(|v| {
-                let s = if v.is_null() { String::new() } else { v.render() };
+                let s = if v.is_null() {
+                    String::new()
+                } else {
+                    v.render()
+                };
                 if s.contains(',') || s.contains('"') || s.contains('\n') {
                     format!("\"{}\"", s.replace('"', "\"\""))
                 } else {

@@ -254,7 +254,8 @@ mod tests {
     #[test]
     fn drain_outbox_empties() {
         let ids = service();
-        ids.deliver("a", "r", Channel::OfficeTool, &payload()).unwrap();
+        ids.deliver("a", "r", Channel::OfficeTool, &payload())
+            .unwrap();
         assert_eq!(ids.drain_outbox().len(), 1);
         assert!(ids.outbox().is_empty());
     }

@@ -345,8 +345,11 @@ mod tests {
             })),
         )
         .unwrap();
-        bus.send("ingress", Message::text("daily sales").with_header("kind", "report"))
-            .unwrap();
+        bus.send(
+            "ingress",
+            Message::text("daily sales").with_header("kind", "report"),
+        )
+        .unwrap();
         bus.send("ingress", Message::text("noise").with_header("kind", "etl"))
             .unwrap();
         bus.pump().unwrap();
@@ -378,7 +381,10 @@ mod tests {
         bus.pump().unwrap();
         let dead = bus.take_dead_letters();
         assert_eq!(dead.len(), 1);
-        assert_eq!(dead[0].header("dead-letter-reason"), Some("rejected by filter"));
+        assert_eq!(
+            dead[0].header("dead-letter-reason"),
+            Some("rejected by filter")
+        );
     }
 
     #[test]

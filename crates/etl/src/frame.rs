@@ -1,6 +1,6 @@
 //! The record frame flowing through ETL pipelines: a header plus rows.
 
-use odbis_storage::Value;
+use odbis_storage::{Batch, Value};
 
 use crate::EtlError;
 
@@ -37,11 +37,34 @@ impl Frame {
         Ok(Frame { columns, rows })
     }
 
-    /// Column position by (case-insensitive) name.
+    /// Frame from column names and a columnar [`Batch`] — the pivot point
+    /// where vectorized scans enter the row-shaped transform pipeline.
+    pub fn from_batch(columns: Vec<String>, batch: &Batch) -> Result<Self, EtlError> {
+        if batch.num_columns() != columns.len() {
+            return Err(EtlError::Shape(format!(
+                "batch has {} columns, header has {}",
+                batch.num_columns(),
+                columns.len()
+            )));
+        }
+        Ok(Frame {
+            columns,
+            rows: batch.to_rows(),
+        })
+    }
+
+    /// Convert this frame to a columnar [`Batch`] (typed columns inferred
+    /// per the shared [`odbis_storage::ColumnVec`] rules).
+    pub fn to_batch(&self) -> Result<Batch, EtlError> {
+        Batch::from_rows(self.columns.len(), self.rows.clone())
+            .map_err(|e| EtlError::Shape(e.to_string()))
+    }
+
+    /// Column position by name, via the platform-wide
+    /// [`odbis_storage::resolve_column`] rule (ASCII case-insensitive,
+    /// first match wins).
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns
-            .iter()
-            .position(|c| c.eq_ignore_ascii_case(name))
+        odbis_storage::resolve_column(self.columns.iter().map(String::as_str), name)
     }
 
     /// Number of rows.
@@ -161,7 +184,11 @@ pub fn to_csv(frame: &Frame) -> String {
         let cells: Vec<String> = row
             .iter()
             .map(|v| {
-                let s = if v.is_null() { String::new() } else { v.render() };
+                let s = if v.is_null() {
+                    String::new()
+                } else {
+                    v.render()
+                };
                 if s.contains(',') || s.contains('"') || s.contains('\n') {
                     format!("\"{}\"", s.replace('"', "\"\""))
                 } else {
@@ -181,7 +208,10 @@ mod tests {
 
     #[test]
     fn csv_parsing_with_inference() {
-        let f = parse_csv("id,name,score,active,joined\n1,ana,9.5,true,2020-01-15\n2,\"b,ob\",7,false,\n").unwrap();
+        let f = parse_csv(
+            "id,name,score,active,joined\n1,ana,9.5,true,2020-01-15\n2,\"b,ob\",7,false,\n",
+        )
+        .unwrap();
         assert_eq!(f.columns, vec!["id", "name", "score", "active", "joined"]);
         assert_eq!(f.len(), 2);
         assert_eq!(f.rows[0][0], Value::Int(1));
@@ -221,9 +251,31 @@ mod tests {
         )
         .unwrap();
         assert_eq!(f.column_index("B"), Some(1));
-        assert_eq!(f.column_values("a").unwrap(), vec![Value::Int(1), Value::Int(3)]);
+        assert_eq!(
+            f.column_values("a").unwrap(),
+            vec![Value::Int(1), Value::Int(3)]
+        );
         assert!(f.column_values("zz").is_err());
         assert!(Frame::from_rows(vec!["a".into()], vec![vec![1.into(), 2.into()]]).is_err());
+    }
+
+    #[test]
+    fn batch_round_trip_preserves_frame() {
+        let f = Frame::from_rows(
+            vec!["a".into(), "b".into()],
+            vec![
+                vec![1.into(), "x".into()],
+                vec![Value::Null, "y".into()],
+                vec![3.into(), Value::Null],
+            ],
+        )
+        .unwrap();
+        let batch = f.to_batch().unwrap();
+        assert_eq!(batch.num_rows(), 3);
+        let back = Frame::from_batch(f.columns.clone(), &batch).unwrap();
+        assert_eq!(f, back);
+        // header / batch arity mismatch is a shape error
+        assert!(Frame::from_batch(vec!["only".into()], &batch).is_err());
     }
 
     #[test]

@@ -141,14 +141,14 @@ impl JobRunner {
                     .db
                     .table_schema(name)
                     .map_err(|e| EtlError::Storage(e.to_string()))?;
-                let rows = self
+                let batch = self
                     .db
-                    .scan(name)
+                    .scan_batch(name)
                     .map_err(|e| EtlError::Storage(e.to_string()))?;
-                Ok(Frame {
-                    columns: schema.columns().iter().map(|c| c.name.clone()).collect(),
-                    rows,
-                })
+                Frame::from_batch(
+                    schema.columns().iter().map(|c| c.name.clone()).collect(),
+                    &batch,
+                )
             }
             Extractor::Query(sql) => {
                 let r = self
@@ -260,7 +260,7 @@ impl JobRunner {
         self.db
             .write_table(&loader.table, |t| {
                 for row in &frame.rows {
-                    match t.insert(row.clone()) {
+                    match t.insert_row(row) {
                         Ok(_) => loaded += 1,
                         Err(_) => rejects.push(row.clone()),
                     }

@@ -110,10 +110,7 @@ impl JobScheduler {
         };
         let mut ran = Vec::new();
         for job in due {
-            let outcome = self
-                .runner
-                .run(&job)
-                .map_err(|e: EtlError| e.to_string());
+            let outcome = self.runner.run(&job).map_err(|e: EtlError| e.to_string());
             let mut inner = self.inner.lock();
             if let Some(e) = inner.entries.get_mut(&job.name) {
                 e.history.push(RunRecord { tick, outcome });

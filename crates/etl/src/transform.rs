@@ -92,8 +92,7 @@ fn frame_schema(frame: &Frame) -> Vec<PlanCol> {
 /// Compile a SQL scalar expression against a frame header.
 pub fn compile_expression(expr: &str, frame: &Frame) -> Result<BExpr, EtlError> {
     let sql = format!("SELECT {expr}");
-    let stmt = odbis_sql::parse(&sql)
-        .map_err(|e| EtlError::Expression(format!("{expr}: {e}")))?;
+    let stmt = odbis_sql::parse(&sql).map_err(|e| EtlError::Expression(format!("{expr}: {e}")))?;
     let odbis_sql::ast::Statement::Select(sel) = stmt else {
         return Err(EtlError::Expression(format!("{expr}: not an expression")));
     };
@@ -325,7 +324,10 @@ impl Transform {
     /// Whether the transform is row-local (fusable into a per-row pipeline).
     /// Aggregate and Deduplicate need the whole frame.
     pub fn is_row_local(&self) -> bool {
-        !matches!(self, Transform::Aggregate { .. } | Transform::Deduplicate(_))
+        !matches!(
+            self,
+            Transform::Aggregate { .. } | Transform::Deduplicate(_)
+        )
     }
 }
 
@@ -536,7 +538,11 @@ mod fused_tests {
                 lookup_value: "label".into(),
                 output: "zone_label".into(),
             },
-            Transform::Select(vec!["id".into(), "zone_label".into(), "double_amount".into()]),
+            Transform::Select(vec![
+                "id".into(),
+                "zone_label".into(),
+                "double_amount".into(),
+            ]),
         ];
         let frame = parse_csv("id,region,amount\n1,EU,10\n2,US,-5\n3,XX,7\n").unwrap();
         // reference: operator at a time
@@ -636,7 +642,10 @@ mod tests {
 
     #[test]
     fn select_rename() {
-        let f = apply(Transform::Select(vec!["region".into(), "amount".into()]), orders());
+        let f = apply(
+            Transform::Select(vec!["region".into(), "amount".into()]),
+            orders(),
+        );
         assert_eq!(f.columns, vec!["region", "amount"]);
         let f = apply(
             Transform::Rename {
@@ -711,7 +720,15 @@ mod tests {
             orders(),
         );
         assert_eq!(f.columns, vec!["region", "n", "total", "biggest"]);
-        assert_eq!(f.rows[0], vec!["EU".into(), Value::Int(3), Value::Float(250.0), Value::Int(100)]);
+        assert_eq!(
+            f.rows[0],
+            vec![
+                "EU".into(),
+                Value::Int(3),
+                Value::Float(250.0),
+                Value::Int(100)
+            ]
+        );
         assert_eq!(f.rows[1][1], Value::Int(1));
     }
 

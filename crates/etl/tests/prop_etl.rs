@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use odbis_etl::{
-    parse_csv, to_csv, AggOp, EtlJob, ExecutionMode, Extractor, Frame, JobRunner, LoadMode,
-    Loader, Transform,
+    parse_csv, to_csv, AggOp, EtlJob, ExecutionMode, Extractor, Frame, JobRunner, LoadMode, Loader,
+    Transform,
 };
 use odbis_storage::{Database, Value};
 use proptest::prelude::*;

@@ -150,10 +150,7 @@ mod tests {
             odbis_storage::DataType::Float
         );
         // deploying twice fails (tables exist)
-        assert!(matches!(
-            deploy(&code, &db),
-            Err(MddwsError::Deployment(_))
-        ));
+        assert!(matches!(deploy(&code, &db), Err(MddwsError::Deployment(_))));
     }
 
     #[test]

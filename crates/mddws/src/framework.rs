@@ -172,11 +172,12 @@ pub fn cim_to_pim() -> Transformation {
         )
         .rule(
             // goals carry documentation into the PIM as schema descriptions
-            MappingRule::new("goal2schema", "BusinessGoal", "RelationalSchema")
-                .map(AttrMapping::Copy {
+            MappingRule::new("goal2schema", "BusinessGoal", "RelationalSchema").map(
+                AttrMapping::Copy {
                     from: "name".into(),
                     to: "name".into(),
-                }),
+                },
+            ),
         )
 }
 
@@ -237,7 +238,10 @@ mod tests {
         let day = repo
             .create(
                 "BusinessProperty",
-                vec![("name", "admission_day".into()), ("valueType", "DATE".into())],
+                vec![
+                    ("name", "admission_day".into()),
+                    ("valueType", "DATE".into()),
+                ],
             )
             .unwrap();
         let dept_name = repo
@@ -281,7 +285,11 @@ mod tests {
         let bcim = healthcare_cim();
         assert!(bcim.validate().is_empty());
         let result = cim_to_pim().execute(&bcim, pim_metamodel(), "pim").unwrap();
-        assert!(result.unmatched.is_empty(), "unmatched: {:?}", result.unmatched);
+        assert!(
+            result.unmatched.is_empty(),
+            "unmatched: {:?}",
+            result.unmatched
+        );
         assert!(result.target.validate().is_empty());
         let tables: Vec<&str> = result
             .target
@@ -309,10 +317,7 @@ mod tests {
         let tables = psm.target.instances_of("RelationalTable");
         assert_eq!(tables.len(), 2);
         for t in tables {
-            assert!(t
-                .get_str("description")
-                .unwrap()
-                .contains("ODBIS-STORAGE"));
+            assert!(t.get_str("description").unwrap().contains("ODBIS-STORAGE"));
         }
     }
 

@@ -28,7 +28,9 @@ pub use framework::{
     cim_metamodel, cim_to_pim, pim_metamodel, pim_to_psm, psm_metamodel, DwLayer, Viewpoint,
 };
 pub use process::{discipline, Discipline, Iteration, Risk, Track, TwoTrackProcess, DISCIPLINES};
-pub use qvt::{AttrMapping, MappingRule, QvtError, TraceLink, Transformation, TransformationResult};
+pub use qvt::{
+    AttrMapping, MappingRule, QvtError, TraceLink, Transformation, TransformationResult,
+};
 pub use service::DwProject;
 
 /// Errors raised by the MDDWS layer.

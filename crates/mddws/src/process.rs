@@ -340,12 +340,15 @@ mod tests {
     fn double_completion_and_unknown_disciplines() {
         let mut p = TwoTrackProcess::new();
         p.start_iteration(DwLayer::Mart).unwrap();
-        p.complete(DwLayer::Mart, "preliminary-study", None).unwrap();
+        p.complete(DwLayer::Mart, "preliminary-study", None)
+            .unwrap();
         assert!(p
             .complete(DwLayer::Mart, "preliminary-study", None)
             .is_err());
         assert!(p.complete(DwLayer::Mart, "vibing", None).is_err());
-        assert!(p.complete(DwLayer::Source, "preliminary-study", None).is_err());
+        assert!(p
+            .complete(DwLayer::Source, "preliminary-study", None)
+            .is_err());
         assert!(p.start_iteration(DwLayer::Mart).is_err());
     }
 
@@ -356,7 +359,10 @@ mod tests {
         p.start_iteration(DwLayer::Warehouse).unwrap();
         p.complete(DwLayer::Staging, "preliminary-study", None)
             .unwrap();
-        assert_eq!(p.iteration(DwLayer::Warehouse).unwrap().completed().len(), 0);
+        assert_eq!(
+            p.iteration(DwLayer::Warehouse).unwrap().completed().len(),
+            0
+        );
         assert_eq!(p.progress(), (1, 18));
     }
 

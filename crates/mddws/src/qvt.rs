@@ -225,12 +225,13 @@ impl Transformation {
             for m in &rule.mappings {
                 match m {
                     AttrMapping::Copy { from, to } => {
-                        let v = obj.get(from).cloned().ok_or_else(|| {
-                            QvtError::MissingSource {
+                        let v = obj
+                            .get(from)
+                            .cloned()
+                            .ok_or_else(|| QvtError::MissingSource {
                                 object: obj.id.clone(),
                                 attribute: from.clone(),
-                            }
-                        })?;
+                            })?;
                         attrs.push((to.clone(), v));
                     }
                     AttrMapping::Const { to, value } => {
@@ -240,12 +241,13 @@ impl Transformation {
                         attrs.push((to.clone(), AttrValue::Str(render_template(template, obj))));
                     }
                     AttrMapping::Translate { from, to, map } => {
-                        let v = obj.get(from).cloned().ok_or_else(|| {
-                            QvtError::MissingSource {
+                        let v = obj
+                            .get(from)
+                            .cloned()
+                            .ok_or_else(|| QvtError::MissingSource {
                                 object: obj.id.clone(),
                                 attribute: from.clone(),
-                            }
-                        })?;
+                            })?;
                         let out = match &v {
                             AttrValue::Str(s) => map
                                 .iter()
@@ -272,10 +274,8 @@ impl Transformation {
                     },
                 }
             }
-            let attr_refs: Vec<(&str, AttrValue)> = attrs
-                .iter()
-                .map(|(k, v)| (k.as_str(), v.clone()))
-                .collect();
+            let attr_refs: Vec<(&str, AttrValue)> =
+                attrs.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
             let target_id = target.create(&rule.target_class, attr_refs)?;
             trace_map.insert(obj.id.clone(), target_id.clone());
             traces.push(TraceLink {
@@ -344,7 +344,10 @@ mod tests {
         m.add_class(
             ClassBuilder::new("Part")
                 .required("name", AttrKind::Str)
-                .attr("vtype", AttrKind::Enum(vec!["NUMBER".into(), "TEXT".into()]))
+                .attr(
+                    "vtype",
+                    AttrKind::Enum(vec!["NUMBER".into(), "TEXT".into()]),
+                )
                 .build(),
         )
         .unwrap();
@@ -373,10 +376,16 @@ mod tests {
     fn source_repo() -> ModelRepository {
         let mut repo = ModelRepository::new("src", source_mm());
         let p1 = repo
-            .create("Part", vec![("name", "amount".into()), ("vtype", "NUMBER".into())])
+            .create(
+                "Part",
+                vec![("name", "amount".into()), ("vtype", "NUMBER".into())],
+            )
             .unwrap();
         let p2 = repo
-            .create("Part", vec![("name", "label".into()), ("vtype", "TEXT".into())])
+            .create(
+                "Part",
+                vec![("name", "label".into()), ("vtype", "TEXT".into())],
+            )
             .unwrap();
         repo.create(
             "Concept",
@@ -460,8 +469,11 @@ mod tests {
     #[test]
     fn guards_select_rules_and_unmatched_is_reported() {
         let mut src = source_repo();
-        src.create("Concept", vec![("name", "store".into()), ("kind", "DIM".into())])
-            .unwrap();
+        src.create(
+            "Concept",
+            vec![("name", "store".into()), ("kind", "DIM".into())],
+        )
+        .unwrap();
         let result = transformation().execute(&src, target_mm(), "tgt").unwrap();
         // DIM concept matches no rule
         assert_eq!(result.unmatched.len(), 1);
@@ -472,13 +484,13 @@ mod tests {
     fn missing_source_attribute_errors() {
         let mut repo = ModelRepository::new("src", source_mm());
         repo.create("Part", vec![("name", "x".into())]).unwrap(); // no vtype
-        let t = Transformation::new("t").rule(
-            MappingRule::new("r", "Part", "Col").map(AttrMapping::Translate {
+        let t = Transformation::new("t").rule(MappingRule::new("r", "Part", "Col").map(
+            AttrMapping::Translate {
                 from: "vtype".into(),
                 to: "sqlType".into(),
                 map: vec![],
-            }),
-        );
+            },
+        ));
         assert!(matches!(
             t.execute(&repo, target_mm(), "tgt"),
             Err(QvtError::MissingSource { .. })
@@ -510,7 +522,10 @@ mod tests {
     fn template_rendering() {
         let mut repo = ModelRepository::new("s", source_mm());
         let id = repo
-            .create("Part", vec![("name", "qty".into()), ("vtype", "NUMBER".into())])
+            .create(
+                "Part",
+                vec![("name", "qty".into()), ("vtype", "NUMBER".into())],
+            )
             .unwrap();
         let obj = repo.get(&id).unwrap();
         assert_eq!(render_template("col_{name}_{vtype}", obj), "col_qty_NUMBER");

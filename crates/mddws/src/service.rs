@@ -88,20 +88,13 @@ impl DwProject {
 
     /// Submit the business CIM for a layer (output of the functional
     /// requirements capture).
-    pub fn submit_bcim(
-        &mut self,
-        layer: DwLayer,
-        bcim: ModelRepository,
-    ) -> Result<(), MddwsError> {
+    pub fn submit_bcim(&mut self, layer: DwLayer, bcim: ModelRepository) -> Result<(), MddwsError> {
         let errors = bcim.validate();
         if let Some(first) = errors.into_iter().next() {
             return Err(MddwsError::InvalidModel(first.to_string()));
         }
-        self.process.complete(
-            layer,
-            "capture-functional-needs",
-            Some(bcim.extent.clone()),
-        )?;
+        self.process
+            .complete(layer, "capture-functional-needs", Some(bcim.extent.clone()))?;
         self.models.insert((layer, Viewpoint::BusinessCim), bcim);
         Ok(())
     }
@@ -123,8 +116,11 @@ impl DwProject {
             )));
         }
         let created = result.traces.len();
-        self.process
-            .complete(layer, "functional-analysis", Some(result.target.extent.clone()))?;
+        self.process.complete(
+            layer,
+            "functional-analysis",
+            Some(result.target.extent.clone()),
+        )?;
         self.traces.extend(result.traces);
         self.models.insert((layer, Viewpoint::Pim), result.target);
         Ok(created)
@@ -154,8 +150,11 @@ impl DwProject {
             .get(&(layer, Viewpoint::Psm))
             .ok_or_else(|| MddwsError::Process(format!("no PSM for {}", layer.name())))?;
         let code = generate_ddl(psm)?;
-        self.process
-            .complete(layer, "coding", Some(format!("{} DDL statements", code.ddl.len())))?;
+        self.process.complete(
+            layer,
+            "coding",
+            Some(format!("{} DDL statements", code.ddl.len())),
+        )?;
         self.code.insert(layer, code);
         Ok(self.code.get(&layer).expect("just inserted"))
     }
@@ -232,7 +231,9 @@ mod tests {
         let iter = project.process().iteration(DwLayer::Warehouse).unwrap();
         assert!(iter.is_done());
         // every viewpoint model is retained
-        assert!(project.model(DwLayer::Warehouse, Viewpoint::BusinessCim).is_some());
+        assert!(project
+            .model(DwLayer::Warehouse, Viewpoint::BusinessCim)
+            .is_some());
         assert!(project.model(DwLayer::Warehouse, Viewpoint::Pim).is_some());
         assert!(project.model(DwLayer::Warehouse, Viewpoint::Psm).is_some());
         // traces span both transformations
@@ -277,8 +278,7 @@ mod tests {
             .unwrap();
         // second layer would redeploy same table names into the same db ->
         // use a mart-specific BCIM
-        let mut mart_cim =
-            ModelRepository::new("mart-bcim", crate::framework::cim_metamodel());
+        let mut mart_cim = ModelRepository::new("mart-bcim", crate::framework::cim_metamodel());
         let p = mart_cim
             .create(
                 "BusinessProperty",

@@ -255,8 +255,8 @@ impl MetadataService {
     /// Tables a data set reads from (lineage extracted from the SQL AST).
     pub fn lineage(&self, name: &str) -> MetadataResult<Vec<String>> {
         let ds = self.dataset(name)?;
-        let stmt = odbis_sql::parse(&ds.sql)
-            .map_err(|e| MetadataError::InvalidDataSet(e.to_string()))?;
+        let stmt =
+            odbis_sql::parse(&ds.sql).map_err(|e| MetadataError::InvalidDataSet(e.to_string()))?;
         let odbis_sql::ast::Statement::Select(sel) = stmt else {
             return Ok(Vec::new());
         };
@@ -431,7 +431,10 @@ mod tests {
     fn lineage_extracts_tables() {
         let (mds, db) = service_with_warehouse();
         Engine::new()
-            .execute(&db, "CREATE TABLE regions (code TEXT PRIMARY KEY, name TEXT)")
+            .execute(
+                &db,
+                "CREATE TABLE regions (code TEXT PRIMARY KEY, name TEXT)",
+            )
             .unwrap();
         mds.define_dataset(DataSet {
             name: "joined".into(),
@@ -456,10 +459,8 @@ mod tests {
             description: "the headline revenue KPI".into(),
         })
         .unwrap();
-        mds.with_glossary(|g| {
-            g.define_term("Revenue", "money in", Some("sales_kpi"))
-        })
-        .unwrap();
+        mds.with_glossary(|g| g.define_term("Revenue", "money in", Some("sales_kpi")))
+            .unwrap();
         assert_eq!(mds.search("warehouse").len(), 1);
         assert_eq!(mds.search("kpi").len(), 1); // matches description
         assert!(mds.search("revenue").iter().any(|h| h.starts_with("term:")));

@@ -275,13 +275,16 @@ pub fn cwmx() -> MetaModel {
     m.add_class(
         ClassBuilder::new("DeploymentDescriptor")
             .extends("ModelElement")
-            .required("targetLayer", AttrKind::Enum(vec![
-                "SOURCE".into(),
-                "STAGING".into(),
-                "WAREHOUSE".into(),
-                "MART".into(),
-                "ANALYSIS".into(),
-            ]))
+            .required(
+                "targetLayer",
+                AttrKind::Enum(vec![
+                    "SOURCE".into(),
+                    "STAGING".into(),
+                    "WAREHOUSE".into(),
+                    "MART".into(),
+                    "ANALYSIS".into(),
+                ]),
+            )
             .attr("bindings", AttrKind::RefList("PlatformBinding".into()))
             .build(),
     )
@@ -388,7 +391,16 @@ mod tests {
     #[test]
     fn transformation_step_enum_covers_etl_ops() {
         let mut repo = ModelRepository::new("etl", transformation());
-        for op in ["EXTRACT", "FILTER", "MAP", "JOIN", "AGGREGATE", "LOOKUP", "DEDUPLICATE", "LOAD"] {
+        for op in [
+            "EXTRACT",
+            "FILTER",
+            "MAP",
+            "JOIN",
+            "AGGREGATE",
+            "LOOKUP",
+            "DEDUPLICATE",
+            "LOAD",
+        ] {
             repo.create(
                 "TransformationStep",
                 vec![("name", op.into()), ("operation", op.into())],

@@ -159,11 +159,7 @@ impl ModelRepository {
     /// are declared, values type-check. (Reference *targets* are validated
     /// by [`ModelRepository::validate`], allowing forward references while a
     /// model is under construction.)
-    pub fn create(
-        &mut self,
-        class: &str,
-        attrs: Vec<(&str, AttrValue)>,
-    ) -> ModelResult<String> {
+    pub fn create(&mut self, class: &str, attrs: Vec<(&str, AttrValue)>) -> ModelResult<String> {
         let mc = self.metamodel.get_class(class)?;
         if mc.is_abstract {
             return Err(ModelError::Definition(format!(
@@ -236,7 +232,12 @@ impl ModelRepository {
     /// import path). The id counter is advanced past any numeric suffix so
     /// later [`ModelRepository::create`] calls cannot collide.
     pub(crate) fn insert_raw(&mut self, obj: ModelObject) {
-        if let Some(n) = obj.id.rsplit(':').next().and_then(|s| s.parse::<u64>().ok()) {
+        if let Some(n) = obj
+            .id
+            .rsplit(':')
+            .next()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
             self.next_id = self.next_id.max(n + 1);
         }
         self.objects.insert(obj.id.clone(), obj);
@@ -316,8 +317,7 @@ impl ModelRepository {
                         };
                         for t in targets {
                             let ok = self.objects.get(t).is_some_and(|to| {
-                                target_class
-                                    .is_none_or(|c| self.metamodel.is_kind_of(&to.class, c))
+                                target_class.is_none_or(|c| self.metamodel.is_kind_of(&to.class, c))
                             });
                             if !ok {
                                 errors.push(ModelError::DanglingReference {
@@ -363,7 +363,10 @@ mod tests {
     fn reflective_create_and_resolve() {
         let mut repo = ModelRepository::new("proj", mm());
         let c1 = repo
-            .create("Column", vec![("name", "id".into()), ("type", "INT".into())])
+            .create(
+                "Column",
+                vec![("name", "id".into()), ("type", "INT".into())],
+            )
             .unwrap();
         let t = repo
             .create(
@@ -410,9 +413,7 @@ mod tests {
         let mut repo = ModelRepository::new("p", mm());
         // missing required `type`
         repo.create("Column", vec![("name", "a".into())]).unwrap();
-        let t = repo
-            .create("Table", vec![("name", "t".into())])
-            .unwrap();
+        let t = repo.create("Table", vec![("name", "t".into())]).unwrap();
         repo.add_ref(&t, "columns", "p:Column:999").unwrap();
         let errors = repo.validate();
         assert_eq!(errors.len(), 2);
@@ -448,7 +449,9 @@ mod tests {
     #[test]
     fn ref_type_is_checked_in_validate() {
         let mut repo = ModelRepository::new("p", mm());
-        let t2 = repo.create("Table", vec![("name", "other".into())]).unwrap();
+        let t2 = repo
+            .create("Table", vec![("name", "other".into())])
+            .unwrap();
         let t = repo.create("Table", vec![("name", "t".into())]).unwrap();
         // a Table referencing a Table through `columns` is a class mismatch
         repo.add_ref(&t, "columns", &t2).unwrap();

@@ -28,13 +28,13 @@
 
 pub mod cwm;
 mod error;
-pub mod odm;
 mod instance;
 mod m3;
+pub mod odm;
 mod xmi;
 
 pub use error::{ModelError, ModelResult};
 pub use instance::{AttrValue, ModelObject, ModelRepository};
-pub use odm::{define_class, match_schemas, SemanticMatch};
 pub use m3::{AttrKind, ClassBuilder, MetaAttribute, MetaClass, MetaModel};
+pub use odm::{define_class, match_schemas, SemanticMatch};
 pub use xmi::{export_repository, import_repository, XMI_VERSION};

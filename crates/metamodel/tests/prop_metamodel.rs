@@ -1,13 +1,18 @@
 //! Property-based tests for the metamodel tower: XMI round-trips and
 //! validation stability.
 
-use odbis_metamodel::{
-    cwm, export_repository, import_repository, AttrValue, ModelRepository,
-};
+use odbis_metamodel::{cwm, export_repository, import_repository, AttrValue, ModelRepository};
 use proptest::prelude::*;
 
 fn arb_sql_type() -> impl Strategy<Value = &'static str> {
-    prop::sample::select(vec!["BOOLEAN", "BIGINT", "DOUBLE", "TEXT", "DATE", "TIMESTAMP"])
+    prop::sample::select(vec![
+        "BOOLEAN",
+        "BIGINT",
+        "DOUBLE",
+        "TEXT",
+        "DATE",
+        "TIMESTAMP",
+    ])
 }
 
 proptest! {

@@ -285,9 +285,7 @@ impl CubeEngine {
                 .levels
                 .iter()
                 .find(|l| l.name.eq_ignore_ascii_case(&lr.level))
-                .ok_or_else(|| {
-                    OlapError::UnknownLevel(format!("{}.{}", lr.dimension, lr.level))
-                })?;
+                .ok_or_else(|| OlapError::UnknownLevel(format!("{}.{}", lr.dimension, lr.level)))?;
             match &dim.table {
                 None => Ok(format!("f.{}", level.column)),
                 Some(t) => {
@@ -353,22 +351,26 @@ impl CubeEngine {
     }
 
     /// Execute a cube query.
+    ///
+    /// The generated SQL runs on the vectorized path and the cell set is
+    /// assembled straight from the columnar [`odbis_storage::Batch`] —
+    /// coordinates and measures are read column-wise without first
+    /// pivoting the whole result to rows.
     pub fn query(&self, cube: &CubeDef, query: &CubeQuery) -> Result<CellSet, OlapError> {
         let sql = self.generate_sql(cube, query)?;
-        let result = self
+        let (_, batch) = self
             .engine
-            .execute(&self.db, &sql)
+            .execute_select_batch(&self.db, &sql)
             .map_err(|e| OlapError::Execution(e.to_string()))?;
         let n_axes = query.axes.len();
-        let cells = result
-            .rows
-            .into_iter()
-            .map(|row| {
-                let coords = row[..n_axes].to_vec();
-                let measures = row[n_axes..].to_vec();
-                (coords, measures)
-            })
-            .collect();
+        let mut cells = Vec::with_capacity(batch.num_rows());
+        for i in 0..batch.num_rows() {
+            let coords = (0..n_axes).map(|c| batch.value(c, i)).collect();
+            let measures = (n_axes..batch.num_columns())
+                .map(|c| batch.value(c, i))
+                .collect();
+            cells.push((coords, measures));
+        }
         Ok(CellSet {
             axis_names: query
                 .axes
@@ -477,10 +479,7 @@ mod tests {
             .unwrap();
         // only EU cities appear
         assert!(cs.cell(&["NYC".into()]).is_none());
-        assert_eq!(
-            cs.cell(&["Paris".into()]).unwrap(),
-            &[Value::Float(50.0)]
-        );
+        assert_eq!(cs.cell(&["Paris".into()]).unwrap(), &[Value::Float(50.0)]);
     }
 
     #[test]

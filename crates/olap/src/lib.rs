@@ -108,9 +108,18 @@ pub(crate) mod test_fixtures {
                     fact_fk: "store_id".into(),
                     dim_key: "store_id".into(),
                     levels: vec![
-                        LevelDef { name: "region".into(), column: "region".into() },
-                        LevelDef { name: "country".into(), column: "country".into() },
-                        LevelDef { name: "city".into(), column: "city".into() },
+                        LevelDef {
+                            name: "region".into(),
+                            column: "region".into(),
+                        },
+                        LevelDef {
+                            name: "country".into(),
+                            column: "country".into(),
+                        },
+                        LevelDef {
+                            name: "city".into(),
+                            column: "city".into(),
+                        },
                     ],
                 },
                 DimensionDef {
@@ -119,14 +128,28 @@ pub(crate) mod test_fixtures {
                     fact_fk: String::new(),
                     dim_key: String::new(),
                     levels: vec![
-                        LevelDef { name: "year".into(), column: "year".into() },
-                        LevelDef { name: "month".into(), column: "month".into() },
+                        LevelDef {
+                            name: "year".into(),
+                            column: "year".into(),
+                        },
+                        LevelDef {
+                            name: "month".into(),
+                            column: "month".into(),
+                        },
                     ],
                 },
             ],
             measures: vec![
-                MeasureDef { name: "revenue".into(), column: "amount".into(), aggregator: Aggregator::Sum },
-                MeasureDef { name: "units".into(), column: "qty".into(), aggregator: Aggregator::Count },
+                MeasureDef {
+                    name: "revenue".into(),
+                    column: "amount".into(),
+                    aggregator: Aggregator::Sum,
+                },
+                MeasureDef {
+                    name: "units".into(),
+                    column: "qty".into(),
+                    aggregator: Aggregator::Count,
+                },
             ],
         }
     }

@@ -74,8 +74,7 @@ pub fn parse_mdx(input: &str) -> Result<MdxStatement, OlapError> {
             let (lhs, rhs) = cond
                 .split_once('=')
                 .ok_or_else(|| err("WHERE condition must be level = literal"))?;
-            let level =
-                parse_level_ref(lhs.trim()).ok_or_else(|| err("bad level in WHERE"))?;
+            let level = parse_level_ref(lhs.trim()).ok_or_else(|| err("bad level in WHERE"))?;
             slices.push(Slice {
                 level,
                 member: parse_literal(rhs.trim()).ok_or_else(|| err("bad literal in WHERE"))?,
@@ -188,8 +187,7 @@ mod tests {
 
     #[test]
     fn quoted_literals_with_and_inside() {
-        let stmt =
-            parse_mdx("SELECT r BY d.l FROM c WHERE d.l = 'rock and roll'").unwrap();
+        let stmt = parse_mdx("SELECT r BY d.l FROM c WHERE d.l = 'rock and roll'").unwrap();
         assert_eq!(stmt.query.slices[0].member, Value::from("rock and roll"));
     }
 
@@ -197,10 +195,8 @@ mod tests {
     fn executes_against_engine() {
         let engine = CubeEngine::new(Arc::new(sales_db()));
         let cube = sales_cube();
-        let stmt = parse_mdx(
-            "SELECT revenue BY store.region FROM sales WHERE time.year = 2010",
-        )
-        .unwrap();
+        let stmt =
+            parse_mdx("SELECT revenue BY store.region FROM sales WHERE time.year = 2010").unwrap();
         let cs = engine.query(&cube, &stmt.query).unwrap();
         assert_eq!(cs.cell(&["EU".into()]).unwrap(), &[Value::Float(40.0)]);
     }

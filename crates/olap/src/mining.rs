@@ -88,10 +88,7 @@ pub fn kmeans(
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
             let best = (0..k)
-                .min_by(|&a, &b| {
-                    dist2(p, &centroids[a])
-                        .total_cmp(&dist2(p, &centroids[b]))
-                })
+                .min_by(|&a, &b| dist2(p, &centroids[a]).total_cmp(&dist2(p, &centroids[b])))
                 .expect("k >= 1");
             if assignments[i] != best {
                 assignments[i] = best;
@@ -172,7 +169,11 @@ pub fn linear_regression(points: &[(f64, f64)]) -> Result<Regression, OlapError>
         .iter()
         .map(|(x, y)| (y - (slope * x + intercept)).powi(2))
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Ok(Regression {
         slope,
         intercept,

@@ -209,7 +209,16 @@ impl MaterializedAggregate {
                             prev.clone()
                         }
                     }
-                    (Aggregator::Avg, prev) => prev.clone(), // unreachable: answers() forbids
+                    // answers() refuses AVG roll-ups, but a query whose key
+                    // still collapses distinct stored cells (e.g. duplicate
+                    // axes) can reach a merge; surface it instead of
+                    // silently keeping the first-seen value.
+                    (Aggregator::Avg, _) => {
+                        return Err(OlapError::Invalid(format!(
+                            "measure {} (AVG) cannot be re-aggregated from materialized cells",
+                            self.measures[*mi].0
+                        )))
+                    }
                 };
             }
         }
@@ -385,6 +394,38 @@ mod tests {
             measures: vec!["avg_amount".into()],
         };
         assert!(!agg.answers(&rollup));
+    }
+
+    #[test]
+    fn duplicate_axis_avg_merge_errors_instead_of_wrong_value() {
+        // Axes [year, year] pass answers() (same arity, every axis covered)
+        // but collapse distinct (year, region) cells onto one key, forcing
+        // a merge AVG cannot express — 2009 has both EU and US cells. This
+        // must be a structured error, not a silent first-seen value.
+        let engine = engine();
+        let mut cube = sales_cube();
+        cube.measures.push(crate::cube::MeasureDef {
+            name: "avg_amount".into(),
+            column: "amount".into(),
+            aggregator: Aggregator::Avg,
+        });
+        let agg = MaterializedAggregate::build(
+            &engine,
+            &cube,
+            vec![
+                LevelRef::new("time", "year"),
+                LevelRef::new("store", "region"),
+            ],
+            vec!["avg_amount".into()],
+        )
+        .unwrap();
+        let q = CubeQuery {
+            axes: vec![LevelRef::new("time", "year"), LevelRef::new("time", "year")],
+            slices: vec![],
+            measures: vec!["avg_amount".into()],
+        };
+        assert!(agg.answers(&q));
+        assert!(matches!(agg.execute(&q), Err(OlapError::Invalid(_))));
     }
 
     #[test]

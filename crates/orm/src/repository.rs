@@ -65,16 +65,14 @@ impl<E: Entity> Repository<E> {
     /// taken.
     pub fn insert(&self, entity: &E) -> OrmResult<()> {
         let row = entity.to_row();
-        self.db
-            .insert(&self.meta.table, row)
-            .map_err(|e| match e {
-                odbis_storage::DbError::UniqueViolation { .. } => OrmError::Conflict(format!(
-                    "{} id {} already exists",
-                    self.meta.entity,
-                    entity.id_value().render()
-                )),
-                other => OrmError::Storage(other),
-            })?;
+        self.db.insert(&self.meta.table, row).map_err(|e| match e {
+            odbis_storage::DbError::UniqueViolation { .. } => OrmError::Conflict(format!(
+                "{} id {} already exists",
+                self.meta.entity,
+                entity.id_value().render()
+            )),
+            other => OrmError::Storage(other),
+        })?;
         Ok(())
     }
 
@@ -138,8 +136,7 @@ impl<E: Entity> Repository<E> {
         match self.find_row_id(&id)? {
             None => Ok(false),
             Some(rid) => {
-                self.db
-                    .write_table(&self.meta.table, |t| t.delete(rid))??;
+                self.db.write_table(&self.meta.table, |t| t.delete(rid))??;
                 Ok(true)
             }
         }
@@ -183,9 +180,9 @@ mod tests {
 
         fn from_row(row: &[Value]) -> OrmResult<Self> {
             Ok(User {
-                id: get_value(row, 0, "id")?.as_i64().ok_or_else(|| {
-                    OrmError::Mapping("id must be an integer".into())
-                })?,
+                id: get_value(row, 0, "id")?
+                    .as_i64()
+                    .ok_or_else(|| OrmError::Mapping("id must be an integer".into()))?,
                 name: get_value(row, 1, "name")?
                     .as_str()
                     .unwrap_or_default()

@@ -16,9 +16,7 @@ mod service;
 mod spec;
 mod template;
 
-pub use render::{
-    escape_html, render_chart_svg, render_kpi_html, render_table_html, render_text,
-};
+pub use render::{escape_html, render_chart_svg, render_kpi_html, render_table_html, render_text};
 pub use service::{Report, ReportingService};
 pub use spec::{
     chart_data, kpi_value, ChartKind, ChartSpec, Dashboard, KpiSpec, ReportError, ReportResult,

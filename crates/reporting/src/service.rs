@@ -241,7 +241,8 @@ mod tests {
             rs.create_group("finance"),
             Err(ReportError::AlreadyExists(_))
         ));
-        rs.register("finance", Report::Dashboard(dashboard())).unwrap();
+        rs.register("finance", Report::Dashboard(dashboard()))
+            .unwrap();
         assert!(matches!(
             rs.register("finance", Report::Dashboard(dashboard())),
             Err(ReportError::AlreadyExists(_))

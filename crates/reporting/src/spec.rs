@@ -155,10 +155,7 @@ impl Dashboard {
 }
 
 /// Extract `(category, series-values)` pairs from query data for a chart.
-pub fn chart_data(
-    spec: &ChartSpec,
-    data: &QueryResult,
-) -> ReportResult<Vec<(String, Vec<f64>)>> {
+pub fn chart_data(spec: &ChartSpec, data: &QueryResult) -> ReportResult<Vec<(String, Vec<f64>)>> {
     if spec.series.is_empty() {
         return Err(ReportError::BadData("chart has no series".into()));
     }
@@ -174,25 +171,24 @@ pub fn chart_data(
         })
         .collect();
     let series_idx = series_idx?;
-    let mut out = Vec::with_capacity(data.rows.len());
-    for row in &data.rows {
-        let label = row[cat].render();
-        let values: ReportResult<Vec<f64>> = series_idx
-            .iter()
-            .map(|&i| {
-                if row[i].is_null() {
-                    Ok(0.0)
-                } else {
-                    row[i].as_f64().ok_or_else(|| {
-                        ReportError::BadData(format!(
-                            "non-numeric value {} in series",
-                            row[i].render()
-                        ))
-                    })
-                }
-            })
-            .collect();
-        out.push((label, values?));
+    // consume the result column-wise (one pass down the category column for
+    // labels, then one per series column), matching how the vectorized
+    // engine produces it
+    let mut out: Vec<(String, Vec<f64>)> = data
+        .column(cat)
+        .map(|v| (v.render(), Vec::with_capacity(series_idx.len())))
+        .collect();
+    for &i in &series_idx {
+        for (slot, v) in out.iter_mut().zip(data.column(i)) {
+            let n = if v.is_null() {
+                0.0
+            } else {
+                v.as_f64().ok_or_else(|| {
+                    ReportError::BadData(format!("non-numeric value {} in series", v.render()))
+                })?
+            };
+            slot.1.push(n);
+        }
     }
     Ok(out)
 }
@@ -202,9 +198,9 @@ pub fn kpi_value(spec: &KpiSpec, data: &QueryResult) -> ReportResult<Value> {
     let i = data
         .column_index(&spec.value_column)
         .ok_or_else(|| ReportError::MissingColumn(spec.value_column.clone()))?;
-    data.rows
-        .first()
-        .map(|r| r[i].clone())
+    data.column(i)
+        .next()
+        .cloned()
         .ok_or_else(|| ReportError::BadData("KPI query returned no rows".into()))
 }
 

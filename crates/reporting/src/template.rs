@@ -159,13 +159,13 @@ pub fn substitute(sql: &str, params: &BTreeMap<&str, Value>) -> ReportResult<Str
     while let Some(start) = rest.find("${") {
         out.push_str(&rest[..start]);
         let after = &rest[start + 2..];
-        let end = after.find('}').ok_or_else(|| {
-            ReportError::Parameter("unterminated ${ placeholder".to_string())
-        })?;
+        let end = after
+            .find('}')
+            .ok_or_else(|| ReportError::Parameter("unterminated ${ placeholder".to_string()))?;
         let name = &after[..end];
-        let value = params.get(name).ok_or_else(|| {
-            ReportError::Parameter(format!("undeclared parameter {name} in SQL"))
-        })?;
+        let value = params
+            .get(name)
+            .ok_or_else(|| ReportError::Parameter(format!("undeclared parameter {name} in SQL")))?;
         out.push_str(&sql_literal(value));
         rest = &after[end + 1..];
     }
@@ -220,8 +220,9 @@ mod tests {
             sections: vec![
                 Section::Heading("Patient volume".into()),
                 Section::QueryTable {
-                    sql: "SELECT dept, patients FROM visits WHERE year = ${year} AND dept = ${dept}"
-                        .into(),
+                    sql:
+                        "SELECT dept, patients FROM visits WHERE year = ${year} AND dept = ${dept}"
+                            .into(),
                     spec: TableSpec {
                         title: "Volume".into(),
                         columns: vec![],
@@ -280,10 +281,7 @@ mod tests {
     #[test]
     fn injection_is_neutralized_by_literal_quoting() {
         let mut params = BTreeMap::new();
-        params.insert(
-            "dept".to_string(),
-            Value::from("x'; DROP TABLE visits; --"),
-        );
+        params.insert("dept".to_string(), Value::from("x'; DROP TABLE visits; --"));
         let db = db();
         // executes fine (no rows match) and the table survives
         let r = run_template(&template(), &params, &db).unwrap();

@@ -277,7 +277,9 @@ impl NaiveMatcher {
     /// Count matches of `pattern` by scanning every fact (no type index).
     pub fn count_matches(pattern: &Pattern, wm: &WorkingMemory) -> usize {
         let empty = Bindings::new();
-        wm.iter().filter(|(_, f)| pattern.matches(f, &empty)).count()
+        wm.iter()
+            .filter(|(_, f)| pattern.matches(f, &empty))
+            .count()
     }
 
     /// Count matches using the type index (the alpha-network path).
@@ -366,7 +368,11 @@ mod tests {
             )
             .unwrap();
         let mut wm = WorkingMemory::new();
-        wm.insert(Fact::new("Usage").with("tenant", "acme").with("units", 5000i64));
+        wm.insert(
+            Fact::new("Usage")
+                .with("tenant", "acme")
+                .with("units", 5000i64),
+        );
         let report = engine.run(&mut wm).unwrap();
         assert_eq!(report.firings(), 2);
         assert_eq!(report.log, vec!["notify acme".to_string()]);
@@ -479,7 +485,9 @@ mod tests {
     #[test]
     fn rule_validation() {
         let mut engine = RuleEngine::new();
-        engine.add_rule(Rule::new("a").when(Pattern::on("X"))).unwrap();
+        engine
+            .add_rule(Rule::new("a").when(Pattern::on("X")))
+            .unwrap();
         assert!(matches!(
             engine.add_rule(Rule::new("a")),
             Err(RuleError::DuplicateRule(_))
@@ -511,7 +519,11 @@ mod tests {
     fn pending_activations_preview() {
         let mut engine = RuleEngine::new();
         engine
-            .add_rule(Rule::new("r").when(Pattern::on("X")).then(Action::Log("x".into())))
+            .add_rule(
+                Rule::new("r")
+                    .when(Pattern::on("X"))
+                    .then(Action::Log("x".into())),
+            )
             .unwrap();
         let mut wm = WorkingMemory::new();
         wm.insert(Fact::new("X"));

@@ -95,9 +95,7 @@ impl WorkingMemory {
 
     /// Ids of all facts of a type, in assertion order.
     pub fn ids_of_type(&self, fact_type: &str) -> &[FactId] {
-        self.by_type
-            .get(fact_type)
-            .map_or(&[], |v| v.as_slice())
+        self.by_type.get(fact_type).map_or(&[], |v| v.as_slice())
     }
 
     /// All `(id, fact)` pairs, unordered.

@@ -251,7 +251,9 @@ mod tests {
 
     #[test]
     fn pattern_matching_with_constants_and_vars() {
-        let f = Fact::new("Order").with("amount", 120i64).with("tenant", "t1");
+        let f = Fact::new("Order")
+            .with("amount", 120i64)
+            .with("tenant", "t1");
         let p = Pattern::on("Order").test("amount", TestOp::Gt, 100i64);
         assert!(p.matches(&f, &Bindings::new()));
         let p2 = Pattern::on("Order").test_var("tenant", TestOp::Eq, "t");

@@ -1,8 +1,6 @@
 //! Property-based tests for rule-engine invariants.
 
-use odbis_rules::{
-    Action, Fact, NaiveMatcher, Pattern, Rule, RuleEngine, TestOp, WorkingMemory,
-};
+use odbis_rules::{Action, Fact, NaiveMatcher, Pattern, Rule, RuleEngine, TestOp, WorkingMemory};
 use proptest::prelude::*;
 
 fn arb_op() -> impl Strategy<Value = TestOp> {

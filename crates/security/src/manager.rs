@@ -412,11 +412,7 @@ impl SecurityManager {
             .lock()
             .acls
             .get(object)
-            .is_some_and(|entries| {
-                entries
-                    .iter()
-                    .any(|(u, p)| u == username && *p >= needed)
-            })
+            .is_some_and(|entries| entries.iter().any(|(u, p)| u == username && *p >= needed))
     }
 
     // ---- audit ----------------------------------------------------------------

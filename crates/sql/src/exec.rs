@@ -1,12 +1,20 @@
 //! Plan execution: materialized, operator-at-a-time.
+//!
+//! Two equivalent paths exist. [`run`] is the row-at-a-time executor over
+//! `Vec<Vec<Value>>`. [`run_batch`] is the vectorized executor over columnar
+//! [`Batch`]es: scans, filters, projections, and aggregations stay
+//! column-wise; joins, sorts, DISTINCT, and VALUES pivot to rows at their
+//! boundary and share the same row-level kernels as the row path, so both
+//! executors return identical results.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
-use odbis_storage::{Database, Value};
+use odbis_storage::{Batch, ColumnData, ColumnVec, Database, Value};
 
 use crate::ast::{AggFunc, BinOp, JoinKind};
 use crate::error::{SqlError, SqlResult};
-use crate::expr::{truth, BExpr};
+use crate::expr::{keep_mask, truth, BExpr};
 use crate::plan::{AggExpr, Plan, PlanNode};
 
 /// Execute a read-only plan, producing materialized rows.
@@ -91,16 +99,7 @@ pub fn run(db: &Database, plan: &Plan) -> SqlResult<Vec<Vec<Value>>> {
         } => aggregate(db, input, group_exprs, aggs),
         PlanNode::Sort { input, keys } => {
             let mut rows = run(db, input)?;
-            rows.sort_by(|a, b| {
-                for (k, desc) in keys {
-                    let ord = a[*k].cmp_total(&b[*k]);
-                    let ord = if *desc { ord.reverse() } else { ord };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
+            sort_rows(&mut rows, keys);
             Ok(rows)
         }
         PlanNode::Distinct { input } => {
@@ -128,6 +127,110 @@ pub fn run(db: &Database, plan: &Plan) -> SqlResult<Vec<Vec<Value>>> {
     }
 }
 
+/// Execute a read-only plan column-wise, producing a [`Batch`].
+///
+/// Table scans, filters, projections, aggregations, and LIMIT are fully
+/// vectorized. Joins, sorts, DISTINCT, index probes, and VALUES pivot
+/// through rows at their boundary (sharing the row path's kernels), then
+/// re-batch their output.
+pub fn run_batch(db: &Database, plan: &Plan) -> SqlResult<Batch> {
+    let arity = plan.schema.len();
+    match &plan.node {
+        PlanNode::TableScan { table, filter } => {
+            let batch = db.scan_batch(table)?;
+            match filter {
+                None => Ok(batch),
+                Some(pred) => Ok(batch.filter(&keep_mask(pred, &batch)?)),
+            }
+        }
+        PlanNode::IndexScan { .. } => {
+            // index probes fetch scattered rows; batch the fetched result
+            let rows = run(db, plan)?;
+            Ok(Batch::from_rows(arity, rows)?)
+        }
+        PlanNode::Filter { input, predicate } => {
+            let batch = run_batch(db, input)?;
+            Ok(batch.filter(&keep_mask(predicate, &batch)?))
+        }
+        PlanNode::Project { input, exprs } => {
+            let batch = run_batch(db, input)?;
+            let cols: Vec<Arc<ColumnVec>> = exprs
+                .iter()
+                .map(|e| e.eval_batch(&batch))
+                .collect::<SqlResult<_>>()?;
+            Ok(Batch::new(cols, batch.num_rows())?)
+        }
+        PlanNode::Join {
+            kind,
+            left,
+            right,
+            on,
+        } => {
+            let lrows = run_batch(db, left)?.to_rows();
+            let rrows = run_batch(db, right)?.to_rows();
+            let rows = join_rows(
+                *kind,
+                &lrows,
+                &rrows,
+                left.schema.len(),
+                right.schema.len(),
+                on,
+            )?;
+            Ok(Batch::from_rows(arity, rows)?)
+        }
+        PlanNode::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+        } => {
+            let batch = run_batch(db, input)?;
+            let rows = aggregate_batch(&batch, group_exprs, aggs)?;
+            Ok(Batch::from_rows(arity, rows)?)
+        }
+        PlanNode::Sort { input, keys } => {
+            let mut rows = run_batch(db, input)?.to_rows();
+            sort_rows(&mut rows, keys);
+            Ok(Batch::from_rows(arity, rows)?)
+        }
+        PlanNode::Distinct { input } => {
+            let rows = run_batch(db, input)?.to_rows();
+            let mut seen = HashSet::new();
+            let mut out = Vec::new();
+            for row in rows {
+                if seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+            Ok(Batch::from_rows(arity, out)?)
+        }
+        PlanNode::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let batch = run_batch(db, input)?;
+            let n = batch.num_rows();
+            let end = limit.map_or(n, |l| (offset + l).min(n));
+            let start = (*offset).min(n);
+            Ok(batch.slice(start, end.max(start)))
+        }
+        PlanNode::Values { rows } => Ok(Batch::from_rows(arity, rows.clone())?),
+    }
+}
+
+fn sort_rows(rows: &mut [Vec<Value>], keys: &[(usize, bool)]) {
+    rows.sort_by(|a, b| {
+        for (k, desc) in keys {
+            let ord = a[*k].cmp_total(&b[*k]);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
 fn join(
     db: &Database,
     kind: JoinKind,
@@ -137,9 +240,25 @@ fn join(
 ) -> SqlResult<Vec<Vec<Value>>> {
     let lrows = run(db, left)?;
     let rrows = run(db, right)?;
-    let l_arity = left.schema.len();
-    let r_arity = right.schema.len();
+    join_rows(
+        kind,
+        &lrows,
+        &rrows,
+        left.schema.len(),
+        right.schema.len(),
+        on,
+    )
+}
 
+/// Row-level join kernel shared by both executors.
+fn join_rows(
+    kind: JoinKind,
+    lrows: &[Vec<Value>],
+    rrows: &[Vec<Value>],
+    l_arity: usize,
+    r_arity: usize,
+    on: &BExpr,
+) -> SqlResult<Vec<Vec<Value>>> {
     // try hash join on equi-conjuncts Col(i) = Col(j) with i < l_arity <= j
     let mut cs = Vec::new();
     collect_conjuncts(on, &mut cs);
@@ -174,7 +293,7 @@ fn join(
             }
             table.entry(key).or_default().push(ri);
         }
-        for lrow in &lrows {
+        for lrow in lrows {
             let key: Vec<Value> = eq_pairs.iter().map(|&(i, _)| lrow[i].clone()).collect();
             let mut matched = false;
             if !key.iter().any(Value::is_null) {
@@ -196,9 +315,9 @@ fn join(
             }
         }
     } else {
-        for lrow in &lrows {
+        for lrow in lrows {
             let mut matched = false;
-            for rrow in &rrows {
+            for rrow in rrows {
                 let mut combined = lrow.clone();
                 combined.extend(rrow.iter().cloned());
                 if truth(&on.eval(&combined)?) == Some(true) {
@@ -316,6 +435,83 @@ impl Acc {
     }
 }
 
+/// Running hash-aggregation state: group key → (first-seen order,
+/// accumulators, per-aggregate numeric-input flags).
+struct GroupState {
+    groups: HashMap<Vec<Value>, (usize, Vec<Acc>, Vec<bool>)>,
+    order: Vec<Vec<Value>>,
+}
+
+impl GroupState {
+    fn new() -> Self {
+        GroupState {
+            groups: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Accumulator entry for `key`, creating it on first sight. Looks up
+    /// by slice so the per-row scratch key is only cloned for new groups,
+    /// not on every row.
+    fn entry(&mut self, key: &[Value], aggs: &[AggExpr]) -> &mut (usize, Vec<Acc>, Vec<bool>) {
+        if !self.groups.contains_key(key) {
+            let owned = key.to_vec();
+            self.order.push(owned.clone());
+            self.groups.insert(
+                owned,
+                (
+                    self.order.len() - 1,
+                    aggs.iter().map(|a| Acc::new(a.distinct)).collect(),
+                    vec![true; aggs.len()],
+                ),
+            );
+        }
+        self.groups.get_mut(key).expect("entry just ensured")
+    }
+
+    fn accumulate(
+        entry: &mut (usize, Vec<Acc>, Vec<bool>),
+        ai: usize,
+        arg: Option<Value>,
+    ) -> SqlResult<()> {
+        match arg {
+            None => {
+                // COUNT(*): count every row including NULLs
+                entry.1[ai].count += 1;
+            }
+            Some(v) => {
+                if !v.is_null() && v.as_f64().is_none() {
+                    entry.2[ai] = false;
+                }
+                entry.1[ai].update(&v)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, group_exprs: &[BExpr], aggs: &[AggExpr]) -> SqlResult<Vec<Vec<Value>>> {
+        // Global aggregation over an empty input still yields one row.
+        if group_exprs.is_empty() && self.groups.is_empty() {
+            let mut row = Vec::with_capacity(aggs.len());
+            for agg in aggs {
+                let acc = Acc::new(agg.distinct);
+                row.push(acc.finish(agg.func, true)?);
+            }
+            return Ok(vec![row]);
+        }
+        let mut out: Vec<(usize, Vec<Value>)> = Vec::with_capacity(self.groups.len());
+        for (key, (ord, accs, numeric)) in self.groups {
+            let mut row = key;
+            for (ai, agg) in aggs.iter().enumerate() {
+                row.push(accs[ai].finish(agg.func, numeric[ai])?);
+            }
+            out.push((ord, row));
+        }
+        out.sort_by_key(|(ord, _)| *ord);
+        Ok(out.into_iter().map(|(_, r)| r).collect())
+    }
+}
+
 fn aggregate(
     db: &Database,
     input: &Plan,
@@ -323,58 +519,270 @@ fn aggregate(
     aggs: &[AggExpr],
 ) -> SqlResult<Vec<Vec<Value>>> {
     let rows = run(db, input)?;
-    // group key -> (first-seen order, accumulators, numeric flags)
-    let mut groups: HashMap<Vec<Value>, (usize, Vec<Acc>, Vec<bool>)> = HashMap::new();
-    let mut order: Vec<Vec<Value>> = Vec::new();
-
+    let mut state = GroupState::new();
+    let mut key = Vec::with_capacity(group_exprs.len());
     for row in &rows {
-        let mut key = Vec::with_capacity(group_exprs.len());
+        key.clear();
         for g in group_exprs {
             key.push(g.eval(row)?);
         }
-        let entry = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key.clone());
-            (
-                order.len() - 1,
-                aggs.iter().map(|a| Acc::new(a.distinct)).collect(),
-                vec![true; aggs.len()],
-            )
-        });
+        let entry = state.entry(&key, aggs);
         for (ai, agg) in aggs.iter().enumerate() {
-            match &agg.arg {
-                None => {
-                    // COUNT(*): count every row including NULLs
-                    entry.1[ai].count += 1;
+            let arg = match &agg.arg {
+                None => None,
+                Some(argexpr) => Some(argexpr.eval(row)?),
+            };
+            GroupState::accumulate(entry, ai, arg)?;
+        }
+    }
+    state.finish(group_exprs, aggs)
+}
+
+/// Vectorized hash aggregation: group keys and aggregate arguments are
+/// evaluated as whole columns up front, then folded into the shared
+/// accumulators in one pass over the batch. When the group columns are
+/// typed and hashable they are dictionary-encoded into dense group ids so
+/// the accumulation loop indexes a vector instead of hashing a
+/// `Vec<Value>` per row.
+fn aggregate_batch(
+    input: &Batch,
+    group_exprs: &[BExpr],
+    aggs: &[AggExpr],
+) -> SqlResult<Vec<Vec<Value>>> {
+    let n = input.num_rows();
+    let group_cols: Vec<Arc<ColumnVec>> = group_exprs
+        .iter()
+        .map(|g| g.eval_batch(input))
+        .collect::<SqlResult<_>>()?;
+    let arg_cols: Vec<Option<Arc<ColumnVec>>> = aggs
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| e.eval_batch(input)).transpose())
+        .collect::<SqlResult<_>>()?;
+    if !group_exprs.is_empty() && aggs.iter().all(|a| !a.distinct) {
+        if let Some((gids, keys)) = group_ids(&group_cols, n) {
+            return aggregate_by_gid(&gids, keys, &arg_cols, aggs);
+        }
+    }
+    let mut state = GroupState::new();
+    let mut key = Vec::with_capacity(group_cols.len());
+    for i in 0..n {
+        key.clear();
+        key.extend(group_cols.iter().map(|c| c.value(i)));
+        let entry = state.entry(&key, aggs);
+        for (ai, col) in arg_cols.iter().enumerate() {
+            GroupState::accumulate(entry, ai, col.as_ref().map(|c| c.value(i)))?;
+        }
+    }
+    state.finish(group_exprs, aggs)
+}
+
+/// FxHash-style multiply-xor hasher for the aggregation hot path. Not
+/// DoS-resistant, which is fine for query-local tables that never outlive
+/// one statement.
+#[derive(Default)]
+struct FastHasher(u64);
+
+impl std::hash::Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+impl FastHasher {
+    fn add(&mut self, v: u64) {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FastHasher>>;
+
+/// Dictionary-encode one group column: a per-row code assigned in
+/// first-seen order plus the distinct values. Returns `None` for column
+/// shapes the dense-id path does not handle (floats are not hashable,
+/// `Mixed` has no single type).
+fn dictionary_codes(col: &ColumnVec, n: usize) -> Option<(Vec<u32>, Vec<Value>)> {
+    let nulls = col.nulls();
+    let mut codes = Vec::with_capacity(n);
+    let mut dict: Vec<Value> = Vec::new();
+    let mut null_code: Option<u32> = None;
+    macro_rules! encode {
+        ($vals:expr, $to_key:expr, $to_value:expr) => {{
+            let mut map: FastMap<_, u32> = FastMap::default();
+            for (i, raw) in $vals.iter().enumerate().take(n) {
+                if nulls.is_some_and(|m| m[i]) {
+                    codes.push(*null_code.get_or_insert_with(|| {
+                        dict.push(Value::Null);
+                        (dict.len() - 1) as u32
+                    }));
+                } else {
+                    codes.push(*map.entry($to_key(raw)).or_insert_with(|| {
+                        dict.push($to_value(raw));
+                        (dict.len() - 1) as u32
+                    }));
                 }
-                Some(argexpr) => {
-                    let v = argexpr.eval(row)?;
-                    if !v.is_null() && v.as_f64().is_none() {
-                        entry.2[ai] = false;
-                    }
-                    entry.1[ai].update(&v)?;
+            }
+        }};
+    }
+    match col.data() {
+        ColumnData::Int(v) => encode!(v, |r: &i64| *r, |r: &i64| Value::Int(*r)),
+        ColumnData::Date(v) => encode!(v, |r: &i32| *r as i64, |r: &i32| Value::Date(*r)),
+        ColumnData::Timestamp(v) => encode!(v, |r: &i64| *r, |r: &i64| Value::Timestamp(*r)),
+        ColumnData::Bool(v) => encode!(v, |r: &bool| *r, |r: &bool| Value::Bool(*r)),
+        ColumnData::Text(v) => {
+            // Keyed by &str borrowed from the column so each distinct string
+            // is cloned once, on first sight.
+            let mut map: FastMap<&str, u32> = FastMap::default();
+            for (i, raw) in v.iter().enumerate().take(n) {
+                if nulls.is_some_and(|m| m[i]) {
+                    codes.push(*null_code.get_or_insert_with(|| {
+                        dict.push(Value::Null);
+                        (dict.len() - 1) as u32
+                    }));
+                } else {
+                    codes.push(*map.entry(raw.as_str()).or_insert_with(|| {
+                        dict.push(Value::Text(raw.clone()));
+                        (dict.len() - 1) as u32
+                    }));
                 }
             }
         }
+        ColumnData::Float(_) | ColumnData::Mixed(_) => return None,
     }
+    Some((codes, dict))
+}
 
-    // Global aggregation over an empty input still yields one row.
-    if group_exprs.is_empty() && groups.is_empty() {
-        let mut row = Vec::with_capacity(aggs.len());
-        for agg in aggs {
-            let acc = Acc::new(agg.distinct);
-            row.push(acc.finish(agg.func, true)?);
+/// Dense group ids for up to two typed group columns: each row's id plus
+/// the distinct keys in first-seen order. `None` falls back to the generic
+/// `Vec<Value>` hash path.
+fn group_ids(group_cols: &[Arc<ColumnVec>], n: usize) -> Option<(Vec<u32>, Vec<Vec<Value>>)> {
+    if group_cols.is_empty() || group_cols.len() > 2 {
+        return None;
+    }
+    let encoded: Vec<(Vec<u32>, Vec<Value>)> = group_cols
+        .iter()
+        .map(|c| dictionary_codes(c, n))
+        .collect::<Option<_>>()?;
+    if encoded.len() == 1 {
+        let (codes, dict) = encoded.into_iter().next().expect("one encoded column");
+        let keys = dict.into_iter().map(|v| vec![v]).collect();
+        return Some((codes, keys));
+    }
+    // Two columns: the per-column codes both fit in 32 bits, so packing
+    // them into a u64 is an exact composite key.
+    let (c0, d0) = &encoded[0];
+    let (c1, d1) = &encoded[1];
+    let mut map: FastMap<u64, u32> = FastMap::default();
+    let mut gids = Vec::with_capacity(n);
+    let mut keys: Vec<Vec<Value>> = Vec::new();
+    for i in 0..n {
+        let packed = ((c0[i] as u64) << 32) | c1[i] as u64;
+        gids.push(*map.entry(packed).or_insert_with(|| {
+            keys.push(vec![d0[c0[i] as usize].clone(), d1[c1[i] as usize].clone()]);
+            (keys.len() - 1) as u32
+        }));
+    }
+    Some((gids, keys))
+}
+
+/// Fold aggregate argument columns into per-group accumulators indexed by
+/// dense group id, column-at-a-time. Count/Sum/Avg over typed numeric
+/// columns run over the raw slices; everything else goes through the same
+/// per-value [`Acc::update`] the generic path uses.
+fn aggregate_by_gid(
+    gids: &[u32],
+    keys: Vec<Vec<Value>>,
+    arg_cols: &[Option<Arc<ColumnVec>>],
+    aggs: &[AggExpr],
+) -> SqlResult<Vec<Vec<Value>>> {
+    let ngroups = keys.len();
+    let mut accs: Vec<Vec<Acc>> = (0..ngroups)
+        .map(|_| aggs.iter().map(|a| Acc::new(a.distinct)).collect())
+        .collect();
+    let mut numeric: Vec<Vec<bool>> = vec![vec![true; aggs.len()]; ngroups];
+    for (ai, (agg, col)) in aggs.iter().zip(arg_cols).enumerate() {
+        match col {
+            None => {
+                // COUNT(*) counts every row, nulls included.
+                for &g in gids {
+                    accs[g as usize][ai].count += 1;
+                }
+            }
+            Some(col) => {
+                accumulate_column(gids, col, ai, agg.func, &mut accs, &mut numeric)?;
+            }
         }
-        return Ok(vec![row]);
     }
-
-    let mut out: Vec<(usize, Vec<Value>)> = Vec::with_capacity(groups.len());
-    for (key, (ord, accs, numeric)) in groups {
+    let mut out = Vec::with_capacity(ngroups);
+    for (g, key) in keys.into_iter().enumerate() {
         let mut row = key;
         for (ai, agg) in aggs.iter().enumerate() {
-            row.push(accs[ai].finish(agg.func, numeric[ai])?);
+            row.push(accs[g][ai].finish(agg.func, numeric[g][ai])?);
         }
-        out.push((ord, row));
+        out.push(row);
     }
-    out.sort_by_key(|(ord, _)| *ord);
-    Ok(out.into_iter().map(|(_, r)| r).collect())
+    Ok(out)
+}
+
+fn accumulate_column(
+    gids: &[u32],
+    col: &ColumnVec,
+    ai: usize,
+    func: AggFunc,
+    accs: &mut [Vec<Acc>],
+    numeric: &mut [Vec<bool>],
+) -> SqlResult<()> {
+    let nulls = col.nulls();
+    match (col.data(), func) {
+        // Count/Sum/Avg never read min/max, so the typed arms only keep the
+        // counters and sums those finishers use.
+        (ColumnData::Int(v), AggFunc::Count | AggFunc::Sum | AggFunc::Avg) => {
+            for (i, &g) in gids.iter().enumerate() {
+                if nulls.is_some_and(|m| m[i]) {
+                    continue;
+                }
+                let acc = &mut accs[g as usize][ai];
+                acc.count += 1;
+                acc.sum_i = acc.sum_i.wrapping_add(v[i]);
+                acc.sum_f += v[i] as f64;
+            }
+        }
+        (ColumnData::Float(v), AggFunc::Count | AggFunc::Sum | AggFunc::Avg) => {
+            for (i, &g) in gids.iter().enumerate() {
+                if nulls.is_some_and(|m| m[i]) {
+                    continue;
+                }
+                let acc = &mut accs[g as usize][ai];
+                acc.count += 1;
+                acc.all_int = false;
+                acc.sum_f += v[i];
+            }
+        }
+        _ => {
+            // Same semantics as GroupState::accumulate, addressed by id.
+            for (i, &g) in gids.iter().enumerate() {
+                let v = col.value(i);
+                let g = g as usize;
+                if !v.is_null() && v.as_f64().is_none() {
+                    numeric[g][ai] = false;
+                }
+                accs[g][ai].update(&v)?;
+            }
+        }
+    }
+    Ok(())
 }

@@ -1,6 +1,10 @@
-//! Bound expressions: name-resolved, directly evaluable against a row.
+//! Bound expressions: name-resolved, evaluable either against one row
+//! ([`BExpr::eval`]) or column-wise against a whole [`Batch`]
+//! ([`BExpr::eval_batch`]).
 
-use odbis_storage::{parse_date, parse_timestamp, DataType, Value};
+use std::sync::Arc;
+
+use odbis_storage::{parse_date, parse_timestamp, Batch, ColumnData, ColumnVec, DataType, Value};
 
 use crate::ast::{BinOp, UnOp};
 use crate::error::{SqlError, SqlResult};
@@ -99,10 +103,7 @@ impl BExpr {
                         Value::Null => Ok(Value::Null),
                         Value::Int(i) => Ok(Value::Int(-i)),
                         Value::Float(f) => Ok(Value::Float(-f)),
-                        other => Err(SqlError::Type(format!(
-                            "cannot negate {}",
-                            other.render()
-                        ))),
+                        other => Err(SqlError::Type(format!("cannot negate {}", other.render()))),
                     },
                     UnOp::Not => Ok(match truth(&v) {
                         Some(b) => Value::Bool(!b),
@@ -149,8 +150,8 @@ impl BExpr {
                 let hi = hi.eval(row)?;
                 match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
                     (Some(a), Some(b)) => {
-                        let within = a != std::cmp::Ordering::Less
-                            && b != std::cmp::Ordering::Greater;
+                        let within =
+                            a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
                         Ok(Value::Bool(within != *negated))
                     }
                     _ => Ok(Value::Null),
@@ -174,6 +175,141 @@ impl BExpr {
                     None => Ok(Value::Null),
                 }
             }
+        }
+    }
+
+    /// Evaluate column-wise over a whole batch, producing one output column.
+    ///
+    /// Semantics are row-identical to mapping [`BExpr::eval`] over the
+    /// batch's rows, including three-valued AND/OR short-circuiting: the
+    /// right operand is evaluated only on the sub-batch of rows the left
+    /// operand did not already decide, so a guarded expression such as
+    /// `x <> 0 AND 1/x > 2` never divides by zero. Comparisons and
+    /// arithmetic over Int/Float columns take allocation-free typed fast
+    /// paths; everything else falls back to element-wise evaluation over
+    /// boxed values. The only observable difference from the row path is
+    /// *which* error surfaces when several rows would fail.
+    pub fn eval_batch(&self, batch: &Batch) -> SqlResult<Arc<ColumnVec>> {
+        let n = batch.num_rows();
+        match self {
+            BExpr::Literal(v) => Ok(Arc::new(ColumnVec::broadcast(v, n))),
+            BExpr::Column(i) => batch.columns().get(*i).cloned().ok_or_else(|| {
+                SqlError::Eval(format!(
+                    "column ordinal {i} out of range ({})",
+                    batch.num_columns()
+                ))
+            }),
+            BExpr::Binary { op, left, right } if matches!(op, BinOp::And | BinOp::Or) => {
+                eval_logical_batch(*op, left, right, batch)
+            }
+            BExpr::Binary { op, left, right } => {
+                let l = left.eval_batch(batch)?;
+                let r = right.eval_batch(batch)?;
+                binary_columns(*op, &l, &r)
+            }
+            BExpr::Unary { op, expr } => {
+                let v = expr.eval_batch(batch)?;
+                match op {
+                    UnOp::Neg => neg_column(&v),
+                    UnOp::Not => {
+                        let mut data = Vec::with_capacity(n);
+                        let mut nulls = vec![false; n];
+                        let mut any_null = false;
+                        for (i, t) in truth_column(&v).into_iter().enumerate() {
+                            match t {
+                                Some(b) => data.push(!b),
+                                None => {
+                                    data.push(false);
+                                    nulls[i] = true;
+                                    any_null = true;
+                                }
+                            }
+                        }
+                        Ok(Arc::new(ColumnVec::new(
+                            ColumnData::Bool(data),
+                            any_null.then_some(nulls),
+                        )))
+                    }
+                }
+            }
+            BExpr::IsNull { expr, negated } => {
+                let v = expr.eval_batch(batch)?;
+                let data: Vec<bool> = (0..n).map(|i| v.is_null(i) != *negated).collect();
+                Ok(Arc::new(ColumnVec::new(ColumnData::Bool(data), None)))
+            }
+            BExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval_batch(batch)?;
+                let items: Vec<Arc<ColumnVec>> = list
+                    .iter()
+                    .map(|e| e.eval_batch(batch))
+                    .collect::<SqlResult<_>>()?;
+                let mut vals = Vec::with_capacity(n);
+                for i in 0..n {
+                    let x = v.value(i);
+                    if x.is_null() {
+                        vals.push(Value::Null);
+                        continue;
+                    }
+                    let mut hit = false;
+                    let mut saw_null = false;
+                    for item in &items {
+                        match x.sql_eq(&item.value(i)) {
+                            Some(true) => {
+                                hit = true;
+                                break;
+                            }
+                            Some(false) => {}
+                            None => saw_null = true,
+                        }
+                    }
+                    vals.push(if hit {
+                        Value::Bool(!*negated)
+                    } else if saw_null {
+                        Value::Null
+                    } else {
+                        Value::Bool(*negated)
+                    });
+                }
+                Ok(Arc::new(ColumnVec::from_values(vals)))
+            }
+            BExpr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => {
+                let v = expr.eval_batch(batch)?;
+                let lo = lo.eval_batch(batch)?;
+                let hi = hi.eval_batch(batch)?;
+                let mut vals = Vec::with_capacity(n);
+                for i in 0..n {
+                    let x = v.value(i);
+                    match (x.sql_cmp(&lo.value(i)), x.sql_cmp(&hi.value(i))) {
+                        (Some(a), Some(b)) => {
+                            let within =
+                                a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
+                            vals.push(Value::Bool(within != *negated));
+                        }
+                        _ => vals.push(Value::Null),
+                    }
+                }
+                Ok(Arc::new(ColumnVec::from_values(vals)))
+            }
+            BExpr::Function { func, args } => {
+                let cols: Vec<Arc<ColumnVec>> = args
+                    .iter()
+                    .map(|a| a.eval_batch(batch))
+                    .collect::<SqlResult<_>>()?;
+                func.eval_columns(&cols, n)
+            }
+            BExpr::Case {
+                branches,
+                else_expr,
+            } => eval_case_batch(branches, else_expr.as_deref(), batch),
         }
     }
 
@@ -319,6 +455,346 @@ pub fn truth(v: &Value) -> Option<bool> {
     }
 }
 
+/// Per-row SQL truth of a column — the vectorized [`truth`].
+pub fn truth_column(col: &ColumnVec) -> Vec<Option<bool>> {
+    let n = col.len();
+    match col.data() {
+        ColumnData::Bool(v) => (0..n)
+            .map(|i| if col.is_null(i) { None } else { Some(v[i]) })
+            .collect(),
+        ColumnData::Int(v) => (0..n)
+            .map(|i| {
+                if col.is_null(i) {
+                    None
+                } else {
+                    Some(v[i] != 0)
+                }
+            })
+            .collect(),
+        ColumnData::Float(v) => (0..n)
+            .map(|i| {
+                if col.is_null(i) {
+                    None
+                } else {
+                    Some(v[i] != 0.0)
+                }
+            })
+            .collect(),
+        ColumnData::Mixed(vals) => vals.iter().map(truth).collect(),
+        _ => (0..n)
+            .map(|i| if col.is_null(i) { None } else { Some(true) })
+            .collect(),
+    }
+}
+
+/// Keep-mask of a predicate over a batch: true exactly where the
+/// predicate's SQL truth is TRUE (the vectorized `WHERE` filter).
+pub fn keep_mask(pred: &BExpr, batch: &Batch) -> SqlResult<Vec<bool>> {
+    Ok(truth_column(&*pred.eval_batch(batch)?)
+        .into_iter()
+        .map(|t| t == Some(true))
+        .collect())
+}
+
+/// Vectorized three-valued AND/OR with short-circuit semantics: the right
+/// operand is evaluated only over the sub-batch of rows where the left
+/// truth value does not already decide the result.
+fn eval_logical_batch(
+    op: BinOp,
+    left: &BExpr,
+    right: &BExpr,
+    batch: &Batch,
+) -> SqlResult<Arc<ColumnVec>> {
+    // AND is decided by a FALSE left operand, OR by a TRUE one.
+    let sc = Some(op == BinOp::Or);
+    let lt = truth_column(&*left.eval_batch(batch)?);
+    let need: Vec<bool> = lt.iter().map(|t| *t != sc).collect();
+    let rt = if need.iter().any(|&b| b) {
+        truth_column(&*right.eval_batch(&batch.filter(&need))?)
+    } else {
+        Vec::new()
+    };
+    let mut data = Vec::with_capacity(lt.len());
+    let mut nulls = vec![false; lt.len()];
+    let mut any_null = false;
+    let mut k = 0;
+    for (i, lt_i) in lt.iter().enumerate() {
+        let combined = if !need[i] {
+            sc
+        } else {
+            let r = rt[k];
+            k += 1;
+            if op == BinOp::And {
+                match (lt_i, r) {
+                    (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                }
+            } else {
+                match (lt_i, r) {
+                    (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                }
+            }
+        };
+        match combined {
+            Some(b) => data.push(b),
+            None => {
+                data.push(false);
+                nulls[i] = true;
+                any_null = true;
+            }
+        }
+    }
+    Ok(Arc::new(ColumnVec::new(
+        ColumnData::Bool(data),
+        any_null.then_some(nulls),
+    )))
+}
+
+/// Column-wise binary operator with typed fast paths for Int/Float
+/// comparisons and arithmetic; any other operand shape falls back to
+/// element-wise [`eval_binary`] over boxed values.
+fn binary_columns(op: BinOp, l: &ColumnVec, r: &ColumnVec) -> SqlResult<Arc<ColumnVec>> {
+    use BinOp::*;
+    let n = l.len();
+    match (op, l.data(), r.data()) {
+        (Eq | Neq | Lt | Lte | Gt | Gte, ColumnData::Int(a), ColumnData::Int(b)) => {
+            return Ok(Arc::new(cmp_fast(op, n, l, r, |i| a[i].cmp(&b[i]))));
+        }
+        (Eq | Neq | Lt | Lte | Gt | Gte, ColumnData::Float(a), ColumnData::Float(b)) => {
+            return Ok(Arc::new(cmp_fast(op, n, l, r, |i| a[i].total_cmp(&b[i]))));
+        }
+        (Eq | Neq | Lt | Lte | Gt | Gte, ColumnData::Int(a), ColumnData::Float(b)) => {
+            return Ok(Arc::new(cmp_fast(op, n, l, r, |i| {
+                (a[i] as f64).total_cmp(&b[i])
+            })));
+        }
+        (Eq | Neq | Lt | Lte | Gt | Gte, ColumnData::Float(a), ColumnData::Int(b)) => {
+            return Ok(Arc::new(cmp_fast(op, n, l, r, |i| {
+                a[i].total_cmp(&(b[i] as f64))
+            })));
+        }
+        (Add | Sub | Mul | Div | Mod, ColumnData::Int(a), ColumnData::Int(b)) => {
+            return int_arith_fast(op, n, l, r, a, b).map(Arc::new);
+        }
+        (
+            Add | Sub | Mul | Div | Mod,
+            ColumnData::Int(_) | ColumnData::Float(_),
+            ColumnData::Int(_) | ColumnData::Float(_),
+        ) => {
+            // at least one side is Float (Int/Int returned above)
+            return float_arith_fast(op, n, l, r).map(Arc::new);
+        }
+        _ => {}
+    }
+    let mut vals = Vec::with_capacity(n);
+    for i in 0..n {
+        vals.push(eval_binary(op, &l.value(i), &r.value(i))?);
+    }
+    Ok(Arc::new(ColumnVec::from_values(vals)))
+}
+
+fn cmp_fast(
+    op: BinOp,
+    n: usize,
+    l: &ColumnVec,
+    r: &ColumnVec,
+    ord_at: impl Fn(usize) -> std::cmp::Ordering,
+) -> ColumnVec {
+    use std::cmp::Ordering::*;
+    let mut data = Vec::with_capacity(n);
+    let mut nulls = vec![false; n];
+    let mut any_null = false;
+    for (i, null_slot) in nulls.iter_mut().enumerate().take(n) {
+        if l.is_null(i) || r.is_null(i) {
+            data.push(false);
+            *null_slot = true;
+            any_null = true;
+        } else {
+            let ord = ord_at(i);
+            data.push(match op {
+                BinOp::Eq => ord == Equal,
+                BinOp::Neq => ord != Equal,
+                BinOp::Lt => ord == Less,
+                BinOp::Lte => ord != Greater,
+                BinOp::Gt => ord == Greater,
+                _ => ord != Less,
+            });
+        }
+    }
+    ColumnVec::new(ColumnData::Bool(data), any_null.then_some(nulls))
+}
+
+fn int_arith_fast(
+    op: BinOp,
+    n: usize,
+    l: &ColumnVec,
+    r: &ColumnVec,
+    a: &[i64],
+    b: &[i64],
+) -> SqlResult<ColumnVec> {
+    let mut data = Vec::with_capacity(n);
+    let mut nulls = vec![false; n];
+    let mut any_null = false;
+    for i in 0..n {
+        if l.is_null(i) || r.is_null(i) {
+            data.push(0);
+            nulls[i] = true;
+            any_null = true;
+            continue;
+        }
+        data.push(match op {
+            BinOp::Add => a[i].wrapping_add(b[i]),
+            BinOp::Sub => a[i].wrapping_sub(b[i]),
+            BinOp::Mul => a[i].wrapping_mul(b[i]),
+            BinOp::Div => {
+                if b[i] == 0 {
+                    return Err(SqlError::Eval("division by zero".into()));
+                }
+                a[i].wrapping_div(b[i])
+            }
+            _ => {
+                if b[i] == 0 {
+                    return Err(SqlError::Eval("modulo by zero".into()));
+                }
+                a[i].wrapping_rem(b[i])
+            }
+        });
+    }
+    Ok(ColumnVec::new(
+        ColumnData::Int(data),
+        any_null.then_some(nulls),
+    ))
+}
+
+fn float_arith_fast(op: BinOp, n: usize, l: &ColumnVec, r: &ColumnVec) -> SqlResult<ColumnVec> {
+    let at = |c: &ColumnVec, i: usize| -> f64 {
+        match c.data() {
+            ColumnData::Int(v) => v[i] as f64,
+            ColumnData::Float(v) => v[i],
+            _ => unreachable!("float fast path requires numeric columns"),
+        }
+    };
+    let mut data = Vec::with_capacity(n);
+    let mut nulls = vec![false; n];
+    let mut any_null = false;
+    for (i, null_slot) in nulls.iter_mut().enumerate().take(n) {
+        if l.is_null(i) || r.is_null(i) {
+            data.push(0.0);
+            *null_slot = true;
+            any_null = true;
+            continue;
+        }
+        let (a, b) = (at(l, i), at(r, i));
+        data.push(match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => {
+                if b == 0.0 {
+                    return Err(SqlError::Eval("division by zero".into()));
+                }
+                a / b
+            }
+            _ => {
+                if b == 0.0 {
+                    return Err(SqlError::Eval("modulo by zero".into()));
+                }
+                a % b
+            }
+        });
+    }
+    Ok(ColumnVec::new(
+        ColumnData::Float(data),
+        any_null.then_some(nulls),
+    ))
+}
+
+fn neg_column(v: &ColumnVec) -> SqlResult<Arc<ColumnVec>> {
+    let n = v.len();
+    match v.data() {
+        ColumnData::Int(a) => Ok(Arc::new(ColumnVec::new(
+            ColumnData::Int(
+                (0..n)
+                    .map(|i| if v.is_null(i) { 0 } else { -a[i] })
+                    .collect(),
+            ),
+            v.nulls().map(<[bool]>::to_vec),
+        ))),
+        ColumnData::Float(a) => Ok(Arc::new(ColumnVec::new(
+            ColumnData::Float(a.iter().map(|f| -f).collect()),
+            v.nulls().map(<[bool]>::to_vec),
+        ))),
+        _ => {
+            let mut vals = Vec::with_capacity(n);
+            for i in 0..n {
+                match v.value(i) {
+                    Value::Null => vals.push(Value::Null),
+                    Value::Int(x) => vals.push(Value::Int(-x)),
+                    Value::Float(f) => vals.push(Value::Float(-f)),
+                    other => {
+                        return Err(SqlError::Type(format!("cannot negate {}", other.render())))
+                    }
+                }
+            }
+            Ok(Arc::new(ColumnVec::from_values(vals)))
+        }
+    }
+}
+
+/// Vectorized CASE: each WHEN condition is evaluated only over the rows no
+/// earlier branch decided, and each THEN result only over the rows its
+/// condition matched — preserving the row path's lazy-branch semantics.
+fn eval_case_batch(
+    branches: &[(BExpr, BExpr)],
+    else_expr: Option<&BExpr>,
+    batch: &Batch,
+) -> SqlResult<Arc<ColumnVec>> {
+    let n = batch.num_rows();
+    let mut out: Vec<Value> = vec![Value::Null; n];
+    let mut pending: Vec<usize> = (0..n).collect();
+    let mut cur = batch.clone();
+    for (cond, result) in branches {
+        if pending.is_empty() {
+            break;
+        }
+        let hits: Vec<bool> = truth_column(&*cond.eval_batch(&cur)?)
+            .into_iter()
+            .map(|t| t == Some(true))
+            .collect();
+        if hits.iter().any(|&h| h) {
+            let taken = cur.filter(&hits);
+            let vals = result.eval_batch(&taken)?;
+            let mut k = 0;
+            for (j, &h) in hits.iter().enumerate() {
+                if h {
+                    out[pending[j]] = vals.value(k);
+                    k += 1;
+                }
+            }
+        }
+        let keep: Vec<bool> = hits.iter().map(|&h| !h).collect();
+        pending = pending
+            .iter()
+            .zip(&keep)
+            .filter(|&(_, &kp)| kp)
+            .map(|(&p, _)| p)
+            .collect();
+        cur = cur.filter(&keep);
+    }
+    if let Some(e) = else_expr {
+        if !pending.is_empty() {
+            let vals = e.eval_batch(&cur)?;
+            for (k, &ri) in pending.iter().enumerate() {
+                out[ri] = vals.value(k);
+            }
+        }
+    }
+    Ok(Arc::new(ColumnVec::from_values(out)))
+}
+
 fn eval_binary(op: BinOp, l: &Value, r: &Value) -> SqlResult<Value> {
     use BinOp::*;
     match op {
@@ -399,12 +875,10 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> SqlResult<Value> {
         }),
         _ => {
             let (a, b) = (
-                l.as_f64().ok_or_else(|| {
-                    SqlError::Type(format!("non-numeric operand {}", l.render()))
-                })?,
-                r.as_f64().ok_or_else(|| {
-                    SqlError::Type(format!("non-numeric operand {}", r.render()))
-                })?,
+                l.as_f64()
+                    .ok_or_else(|| SqlError::Type(format!("non-numeric operand {}", l.render())))?,
+                r.as_f64()
+                    .ok_or_else(|| SqlError::Type(format!("non-numeric operand {}", r.render())))?,
             );
             Ok(match op {
                 BinOp::Add => Value::Float(a + b),
@@ -603,7 +1077,11 @@ mod tests {
         let e = bin(BinOp::Mul, lit(3i64), bin(BinOp::Add, lit(1i64), lit(1i64)));
         assert_eq!(e.fold(), lit(6i64));
         // non-constant parts preserved
-        let e = bin(BinOp::Add, BExpr::Column(0), bin(BinOp::Add, lit(1i64), lit(1i64)));
+        let e = bin(
+            BinOp::Add,
+            BExpr::Column(0),
+            bin(BinOp::Add, lit(1i64), lit(1i64)),
+        );
         assert_eq!(e.fold(), bin(BinOp::Add, BExpr::Column(0), lit(2i64)));
         // folding a division by zero is deferred to runtime
         let e = bin(BinOp::Div, lit(1i64), lit(0i64));
@@ -628,5 +1106,146 @@ mod tests {
         ));
         assert!(typed_literal(DataType::Date, "nope").is_err());
         assert!(typed_literal(DataType::Int, "1").is_err());
+    }
+
+    fn batch_of(rows: Vec<Vec<Value>>) -> Batch {
+        let arity = rows.first().map_or(0, Vec::len);
+        Batch::from_rows(arity, rows).unwrap()
+    }
+
+    fn assert_batch_matches_rows(e: &BExpr, rows: &[Vec<Value>]) {
+        let batch = batch_of(rows.to_vec());
+        let col = e.eval_batch(&batch).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(col.value(i), e.eval(row).unwrap(), "row {i} of {e:?}");
+        }
+    }
+
+    #[test]
+    fn batch_eval_matches_row_eval() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(2.0), Value::from("abc")],
+            vec![Value::Int(-3), Value::Null, Value::from("xbc")],
+            vec![Value::Null, Value::Float(0.0), Value::Null],
+            vec![Value::Int(0), Value::Float(-1.5), Value::from("a")],
+        ];
+        let col = BExpr::Column;
+        let exprs = vec![
+            bin(BinOp::Add, col(0), lit(10i64)),
+            bin(BinOp::Mul, col(0), col(1)),
+            bin(BinOp::Lt, col(0), col(1)),
+            bin(BinOp::Gte, col(1), lit(0i64)),
+            bin(BinOp::Eq, col(2), lit("abc")),
+            bin(BinOp::Concat, col(2), lit("!")),
+            bin(BinOp::Like, col(2), lit("%bc")),
+            bin(
+                BinOp::And,
+                bin(BinOp::Gt, col(0), lit(0i64)),
+                bin(BinOp::Lt, col(1), lit(3i64)),
+            ),
+            bin(
+                BinOp::Or,
+                BExpr::IsNull {
+                    expr: Box::new(col(1)),
+                    negated: false,
+                },
+                bin(BinOp::Neq, col(0), lit(0i64)),
+            ),
+            BExpr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(col(0)),
+            },
+            BExpr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(bin(BinOp::Gt, col(0), lit(0i64))),
+            },
+            BExpr::InList {
+                expr: Box::new(col(0)),
+                list: vec![lit(1i64), lit(0i64), BExpr::Literal(Value::Null)],
+                negated: false,
+            },
+            BExpr::Between {
+                expr: Box::new(col(0)),
+                lo: Box::new(lit(0i64)),
+                hi: Box::new(col(1)),
+                negated: false,
+            },
+            BExpr::Case {
+                branches: vec![
+                    (bin(BinOp::Gt, col(0), lit(0i64)), lit("pos")),
+                    (bin(BinOp::Lt, col(0), lit(0i64)), lit("neg")),
+                ],
+                else_expr: Some(Box::new(lit("other"))),
+            },
+            BExpr::Function {
+                func: ScalarFunc::resolve("UPPER").unwrap(),
+                args: vec![col(2)],
+            },
+        ];
+        for e in &exprs {
+            assert_batch_matches_rows(e, &rows);
+        }
+    }
+
+    #[test]
+    fn batch_and_short_circuits_division() {
+        // x <> 0 AND 10 / x > 2 must not divide by the zero row
+        let guard = bin(
+            BinOp::And,
+            bin(BinOp::Neq, BExpr::Column(0), lit(0i64)),
+            bin(
+                BinOp::Gt,
+                bin(BinOp::Div, lit(10i64), BExpr::Column(0)),
+                lit(2i64),
+            ),
+        );
+        let rows = vec![
+            vec![Value::Int(0)],
+            vec![Value::Int(2)],
+            vec![Value::Int(100)],
+        ];
+        assert_batch_matches_rows(&guard, &rows);
+        // CASE guards the same way
+        let case = BExpr::Case {
+            branches: vec![(
+                bin(BinOp::Neq, BExpr::Column(0), lit(0i64)),
+                bin(BinOp::Div, lit(10i64), BExpr::Column(0)),
+            )],
+            else_expr: Some(Box::new(lit(-1i64))),
+        };
+        assert_batch_matches_rows(&case, &rows);
+    }
+
+    #[test]
+    fn batch_eval_surfaces_errors() {
+        let div = bin(BinOp::Div, lit(1i64), BExpr::Column(0));
+        let batch = batch_of(vec![vec![Value::Int(1)], vec![Value::Int(0)]]);
+        assert!(div.eval_batch(&batch).is_err());
+        let bad_neg = BExpr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(BExpr::Column(0)),
+        };
+        let batch = batch_of(vec![vec![Value::from("nope")]]);
+        assert!(bad_neg.eval_batch(&batch).is_err());
+        // out-of-range ordinal mirrors the row path
+        let batch = batch_of(vec![vec![Value::Int(1)]]);
+        assert!(BExpr::Column(7).eval_batch(&batch).is_err());
+    }
+
+    #[test]
+    fn truth_column_matches_truth() {
+        let vals = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(5),
+            Value::Float(0.0),
+            Value::Float(1.0),
+            Value::from("x"),
+        ];
+        let expected: Vec<Option<bool>> = vals.iter().map(truth).collect();
+        let col = ColumnVec::from_values(vals);
+        assert_eq!(truth_column(&col), expected);
     }
 }

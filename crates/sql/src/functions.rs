@@ -1,6 +1,8 @@
 //! Scalar function library.
 
-use odbis_storage::{days_to_date, DataType, Value};
+use std::sync::Arc;
+
+use odbis_storage::{days_to_date, ColumnVec, DataType, Value};
 
 use crate::error::{SqlError, SqlResult};
 
@@ -192,6 +194,20 @@ impl ScalarFunc {
             }
         })
     }
+
+    /// Vectorized wrapper for the batch executor: element-wise
+    /// [`ScalarFunc::eval`] over already-evaluated argument columns.
+    /// `rows` is the batch length (needed for zero-argument edge cases).
+    pub fn eval_columns(self, args: &[Arc<ColumnVec>], rows: usize) -> SqlResult<Arc<ColumnVec>> {
+        let mut vals = Vec::with_capacity(rows);
+        let mut argv: Vec<Value> = Vec::with_capacity(args.len());
+        for i in 0..rows {
+            argv.clear();
+            argv.extend(args.iter().map(|c| c.value(i)));
+            vals.push(self.eval(&argv)?);
+        }
+        Ok(Arc::new(ColumnVec::from_values(vals)))
+    }
 }
 
 fn type_err(func: &str, v: &Value) -> SqlResult<Value> {
@@ -233,9 +249,7 @@ pub fn cast_value(v: &Value, ty: DataType) -> SqlResult<Value> {
         }
         (Value::Float(f), DataType::Int) => Value::Int(*f as i64),
         (Value::Bool(b), DataType::Int) => Value::Int(i64::from(*b)),
-        (Value::Timestamp(t), DataType::Date) => {
-            Value::Date(t.div_euclid(86_400_000_000) as i32)
-        }
+        (Value::Timestamp(t), DataType::Date) => Value::Date(t.div_euclid(86_400_000_000) as i32),
         _ => return Err(fail()),
     })
 }
@@ -255,7 +269,10 @@ mod tests {
             ev(ScalarFunc::Round, &[Value::Float(2.567), Value::Int(1)]),
             Value::Float(2.6)
         );
-        assert_eq!(ev(ScalarFunc::Floor, &[Value::Float(2.9)]), Value::Float(2.0));
+        assert_eq!(
+            ev(ScalarFunc::Floor, &[Value::Float(2.9)]),
+            Value::Float(2.0)
+        );
         assert_eq!(ev(ScalarFunc::Sqrt, &[Value::Int(9)]), Value::Float(3.0));
         assert!(ScalarFunc::Sqrt.eval(&[Value::Int(-1)]).is_err());
     }
@@ -265,7 +282,10 @@ mod tests {
         assert_eq!(ev(ScalarFunc::Upper, &["ab".into()]), Value::from("AB"));
         assert_eq!(ev(ScalarFunc::Length, &["héllo".into()]), Value::Int(5));
         assert_eq!(
-            ev(ScalarFunc::Substr, &["hello".into(), Value::Int(2), Value::Int(3)]),
+            ev(
+                ScalarFunc::Substr,
+                &["hello".into(), Value::Int(2), Value::Int(3)]
+            ),
             Value::from("ell")
         );
         assert_eq!(
@@ -273,11 +293,17 @@ mod tests {
             Value::from("lo")
         );
         assert_eq!(
-            ev(ScalarFunc::Replace, &["aXbX".into(), "X".into(), "-".into()]),
+            ev(
+                ScalarFunc::Replace,
+                &["aXbX".into(), "X".into(), "-".into()]
+            ),
             Value::from("a-b-")
         );
         assert_eq!(
-            ev(ScalarFunc::Concat, &["a".into(), Value::Null, Value::Int(3)]),
+            ev(
+                ScalarFunc::Concat,
+                &["a".into(), Value::Null, Value::Int(3)]
+            ),
             Value::from("a3")
         );
     }
@@ -286,7 +312,10 @@ mod tests {
     fn null_handling() {
         assert_eq!(ev(ScalarFunc::Upper, &[Value::Null]), Value::Null);
         assert_eq!(
-            ev(ScalarFunc::Coalesce, &[Value::Null, Value::Int(2), Value::Int(3)]),
+            ev(
+                ScalarFunc::Coalesce,
+                &[Value::Null, Value::Int(2), Value::Int(3)]
+            ),
             Value::Int(2)
         );
         assert_eq!(

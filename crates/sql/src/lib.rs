@@ -38,7 +38,7 @@ pub use expr::{like_match, BExpr};
 pub use functions::{cast_value, ScalarFunc};
 pub use parser::{parse, parse_script};
 
-use odbis_storage::{Column, Database, Schema, Value};
+use odbis_storage::{Batch, Column, Database, Schema, Value};
 
 use ast::Statement;
 
@@ -62,11 +62,27 @@ impl QueryResult {
         }
     }
 
-    /// Index of an output column by name (case-insensitive).
+    /// Build a result from output column names and a columnar [`Batch`] —
+    /// the single row-pivot point at the end of vectorized execution.
+    pub fn from_batch(columns: Vec<String>, batch: &Batch) -> Self {
+        QueryResult {
+            columns,
+            rows: batch.to_rows(),
+            rows_affected: 0,
+        }
+    }
+
+    /// Index of an output column by name, via the platform-wide
+    /// [`odbis_storage::resolve_column`] rule (ASCII case-insensitive,
+    /// first match wins).
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns
-            .iter()
-            .position(|c| c.eq_ignore_ascii_case(name))
+        odbis_storage::resolve_column(self.columns.iter().map(String::as_str), name)
+    }
+
+    /// Iterate one output column's values down all rows (columnar access
+    /// for consumers like reporting that read results column-wise).
+    pub fn column(&self, i: usize) -> impl Iterator<Item = &Value> + '_ {
+        self.rows.iter().map(move |r| &r[i])
     }
 
     /// Pretty-print the result as an aligned text table (SQL-shell style).
@@ -113,6 +129,7 @@ impl QueryResult {
 #[derive(Debug, Clone)]
 pub struct Engine {
     use_indexes: bool,
+    vectorized: bool,
 }
 
 impl Default for Engine {
@@ -122,15 +139,37 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Engine with all optimizations enabled.
+    /// Engine with all optimizations enabled (vectorized columnar
+    /// execution, index selection).
     pub fn new() -> Self {
-        Engine { use_indexes: true }
+        Engine {
+            use_indexes: true,
+            vectorized: true,
+        }
     }
 
     /// Engine that never selects index scans (ablation A1 baseline; every
     /// query runs as a filtered heap scan).
     pub fn without_index_selection() -> Self {
-        Engine { use_indexes: false }
+        Engine {
+            use_indexes: false,
+            vectorized: true,
+        }
+    }
+
+    /// Engine that executes row-at-a-time instead of over columnar batches
+    /// (the pre-columnar baseline; kept for ablations and as the reference
+    /// side of the differential harness).
+    pub fn with_row_execution() -> Self {
+        Engine {
+            use_indexes: true,
+            vectorized: false,
+        }
+    }
+
+    /// Whether SELECTs run on the vectorized columnar path.
+    pub fn is_vectorized(&self) -> bool {
+        self.vectorized
     }
 
     /// Parse, plan, optimize and execute one statement.
@@ -154,12 +193,17 @@ impl Engine {
             Statement::Select(sel) => {
                 let plan = planner::plan_select(db, sel)?;
                 let plan = planner::optimize(plan, db, self.use_indexes);
-                let rows = exec::run(db, &plan)?;
-                Ok(QueryResult {
-                    columns: plan.schema.iter().map(|c| c.name.clone()).collect(),
-                    rows,
-                    rows_affected: 0,
-                })
+                let columns: Vec<String> = plan.schema.iter().map(|c| c.name.clone()).collect();
+                if self.vectorized {
+                    let batch = exec::run_batch(db, &plan)?;
+                    Ok(QueryResult::from_batch(columns, &batch))
+                } else {
+                    Ok(QueryResult {
+                        columns,
+                        rows: exec::run(db, &plan)?,
+                        rows_affected: 0,
+                    })
+                }
             }
             Statement::CreateTable {
                 name,
@@ -232,6 +276,27 @@ impl Engine {
         }
     }
 
+    /// Execute a single `SELECT` and return its output column names plus
+    /// the columnar [`Batch`] *without* the final row pivot — the entry
+    /// point for columnar consumers (OLAP cube builds, ETL extracts).
+    pub fn execute_select_batch(
+        &self,
+        db: &Database,
+        sql: &str,
+    ) -> SqlResult<(Vec<String>, Batch)> {
+        let stmt = parse(sql)?;
+        let Statement::Select(sel) = stmt else {
+            return Err(SqlError::Bind(
+                "execute_select_batch supports only SELECT".into(),
+            ));
+        };
+        let plan = planner::plan_select(db, &sel)?;
+        let plan = planner::optimize(plan, db, self.use_indexes);
+        let columns: Vec<String> = plan.schema.iter().map(|c| c.name.clone()).collect();
+        let batch = exec::run_batch(db, &plan)?;
+        Ok((columns, batch))
+    }
+
     /// Produce the optimized plan for a `SELECT`, rendered as text.
     pub fn explain(&self, db: &Database, sql: &str) -> SqlResult<String> {
         let stmt = parse(sql)?;
@@ -258,7 +323,7 @@ impl Engine {
                 .map(|e| planner::bind(e, &[])?.eval(&[]))
                 .collect::<SqlResult<_>>()?;
             let row = if columns.is_empty() {
-                schema.check_row(table, values)?
+                schema.check_row(table, &values)?
             } else {
                 if columns.len() != values.len() {
                     return Err(SqlError::Bind(format!(
@@ -267,11 +332,8 @@ impl Engine {
                         values.len()
                     )));
                 }
-                let pairs: Vec<(&str, Value)> = columns
-                    .iter()
-                    .map(String::as_str)
-                    .zip(values)
-                    .collect();
+                let pairs: Vec<(&str, Value)> =
+                    columns.iter().map(String::as_str).zip(values).collect();
                 schema.row_from_pairs(table, &pairs)?
             };
             txn.insert(table, row)?;
@@ -482,7 +544,10 @@ mod tests {
     fn count_distinct_and_null_skipping() {
         let (db, e) = setup();
         let r = e
-            .execute(&db, "SELECT COUNT(dept_id), COUNT(DISTINCT dept_id) FROM emp")
+            .execute(
+                &db,
+                "SELECT COUNT(dept_id), COUNT(DISTINCT dept_id) FROM emp",
+            )
             .unwrap();
         assert_eq!(r.rows[0][0], Value::Int(4)); // NULL skipped
         assert_eq!(r.rows[0][1], Value::Int(2));
@@ -515,14 +580,19 @@ mod tests {
     fn update_and_delete_with_filters() {
         let (db, e) = setup();
         let r = e
-            .execute(&db, "UPDATE emp SET salary = salary + 1000 WHERE dept_id = 1")
+            .execute(
+                &db,
+                "UPDATE emp SET salary = salary + 1000 WHERE dept_id = 1",
+            )
             .unwrap();
         assert_eq!(r.rows_affected, 2);
         let r = e
             .execute(&db, "SELECT salary FROM emp WHERE id = 1")
             .unwrap();
         assert_eq!(r.rows[0][0], Value::Float(96000.0));
-        let r = e.execute(&db, "DELETE FROM emp WHERE salary < 60000").unwrap();
+        let r = e
+            .execute(&db, "DELETE FROM emp WHERE salary < 60000")
+            .unwrap();
         assert_eq!(r.rows_affected, 1);
         assert_eq!(db.row_count("emp").unwrap(), 4);
     }
@@ -545,7 +615,10 @@ mod tests {
     fn multi_row_insert_is_atomic() {
         let (db, e) = setup();
         let err = e
-            .execute(&db, "INSERT INTO dept VALUES (10, 'X', 'EU'), (1, 'dup', 'EU')")
+            .execute(
+                &db,
+                "INSERT INTO dept VALUES (10, 'X', 'EU'), (1, 'dup', 'EU')",
+            )
             .unwrap_err();
         assert!(matches!(err, SqlError::Storage(_)));
         // first row must have been rolled back
@@ -555,8 +628,11 @@ mod tests {
     #[test]
     fn index_scan_selected_and_equivalent() {
         let (db, e) = setup();
-        e.execute(&db, "CREATE INDEX ix_sal ON emp (salary)").unwrap();
-        let explain = e.explain(&db, "SELECT name FROM emp WHERE salary = 70000").unwrap();
+        e.execute(&db, "CREATE INDEX ix_sal ON emp (salary)")
+            .unwrap();
+        let explain = e
+            .explain(&db, "SELECT name FROM emp WHERE salary = 70000")
+            .unwrap();
         assert!(explain.contains("IndexScan"), "{explain}");
         let naive = Engine::without_index_selection();
         let a = e
@@ -574,7 +650,8 @@ mod tests {
     #[test]
     fn range_predicates_via_index_match_scan() {
         let (db, e) = setup();
-        e.execute(&db, "CREATE INDEX ix_sal ON emp (salary)").unwrap();
+        e.execute(&db, "CREATE INDEX ix_sal ON emp (salary)")
+            .unwrap();
         let naive = Engine::without_index_selection();
         for q in [
             "SELECT id FROM emp WHERE salary > 70000 ORDER BY id",
@@ -620,7 +697,10 @@ mod tests {
             .unwrap();
         assert_eq!(r.rows.len(), 2);
         let r = e
-            .execute(&db, "SELECT YEAR(hired), MONTH(hired) FROM emp WHERE id = 5")
+            .execute(
+                &db,
+                "SELECT YEAR(hired), MONTH(hired) FROM emp WHERE id = 5",
+            )
             .unwrap();
         assert_eq!(r.rows[0], vec![Value::Int(2010), Value::Int(3)]);
     }
@@ -640,7 +720,10 @@ mod tests {
             Err(SqlError::Bind(_))
         ));
         assert!(matches!(
-            e.execute(&db, "SELECT name FROM emp e JOIN dept d ON e.dept_id = d.id"),
+            e.execute(
+                &db,
+                "SELECT name FROM emp e JOIN dept d ON e.dept_id = d.id"
+            ),
             Err(SqlError::Bind(_)) // ambiguous `name`
         ));
         assert!(matches!(

@@ -491,8 +491,22 @@ impl Parser {
             let up = s.to_ascii_uppercase();
             if matches!(
                 up.as_str(),
-                "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "OFFSET" | "JOIN"
-                    | "INNER" | "LEFT" | "ON" | "AND" | "OR" | "UNION" | "ASC" | "DESC"
+                "FROM"
+                    | "WHERE"
+                    | "GROUP"
+                    | "HAVING"
+                    | "ORDER"
+                    | "LIMIT"
+                    | "OFFSET"
+                    | "JOIN"
+                    | "INNER"
+                    | "LEFT"
+                    | "ON"
+                    | "AND"
+                    | "OR"
+                    | "UNION"
+                    | "ASC"
+                    | "DESC"
             ) {
                 None
             } else {
@@ -512,8 +526,17 @@ impl Parser {
             let up = s.to_ascii_uppercase();
             if matches!(
                 up.as_str(),
-                "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "OFFSET" | "JOIN" | "INNER"
-                    | "LEFT" | "ON" | "SET"
+                "WHERE"
+                    | "GROUP"
+                    | "HAVING"
+                    | "ORDER"
+                    | "LIMIT"
+                    | "OFFSET"
+                    | "JOIN"
+                    | "INNER"
+                    | "LEFT"
+                    | "ON"
+                    | "SET"
             ) {
                 None
             } else {
@@ -726,9 +749,27 @@ impl Parser {
                 // reserved words never parse as bare column references
                 if matches!(
                     up.as_str(),
-                    "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "OFFSET"
-                        | "SELECT" | "JOIN" | "INNER" | "LEFT" | "ON" | "AND" | "OR" | "WHEN"
-                        | "THEN" | "ELSE" | "END" | "SET" | "VALUES" | "BY"
+                    "FROM"
+                        | "WHERE"
+                        | "GROUP"
+                        | "HAVING"
+                        | "ORDER"
+                        | "LIMIT"
+                        | "OFFSET"
+                        | "SELECT"
+                        | "JOIN"
+                        | "INNER"
+                        | "LEFT"
+                        | "ON"
+                        | "AND"
+                        | "OR"
+                        | "WHEN"
+                        | "THEN"
+                        | "ELSE"
+                        | "END"
+                        | "SET"
+                        | "VALUES"
+                        | "BY"
                 ) {
                     return Err(self.err(format!("unexpected keyword {up}")));
                 }
@@ -990,8 +1031,7 @@ mod tests {
 
     #[test]
     fn bare_aliases() {
-        let Statement::Select(sel) = parse("SELECT a total FROM t x WHERE x.a > 0").unwrap()
-        else {
+        let Statement::Select(sel) = parse("SELECT a total FROM t x WHERE x.a > 0").unwrap() else {
             panic!()
         };
         let SelectItem::Expr { alias, .. } = &sel.items[0] else {

@@ -133,7 +133,10 @@ impl<'a> Planner<'a> {
                     }
                     let mut matched = false;
                     for (i, c) in plan.schema.iter().enumerate() {
-                        if c.qualifier.as_deref().is_some_and(|x| x.eq_ignore_ascii_case(q)) {
+                        if c.qualifier
+                            .as_deref()
+                            .is_some_and(|x| x.eq_ignore_ascii_case(q))
+                        {
                             proj_exprs.push(BExpr::Column(i));
                             out_schema.push(c.clone());
                             item_asts.push(None);
@@ -182,11 +185,7 @@ impl<'a> Planner<'a> {
         let mut sort_keys: Vec<(usize, bool)> = Vec::new();
         let mut hidden = 0usize;
         for key in &sel.order_by {
-            let ordinal = self.resolve_order_key(
-                &key.expr,
-                &out_schema,
-                &item_asts,
-            )?;
+            let ordinal = self.resolve_order_key(&key.expr, &out_schema, &item_asts)?;
             let ord = match ordinal {
                 Some(o) => o,
                 None => {
@@ -276,9 +275,9 @@ impl<'a> Planner<'a> {
                 return Err(SqlError::Bind("SELECT * requires a FROM clause".into()));
             };
             let bexpr = bind(expr, &[])?;
-            let v = bexpr
-                .eval(&[])
-                .map_err(|e| SqlError::Bind(format!("non-constant expression without FROM: {e}")))?;
+            let v = bexpr.eval(&[]).map_err(|e| {
+                SqlError::Bind(format!("non-constant expression without FROM: {e}"))
+            })?;
             row.push(v);
             schema.push(PlanCol::unqualified(
                 alias.clone().unwrap_or_else(|| display_expr(expr)),
@@ -436,11 +435,7 @@ impl AggContext {
 
     fn rewrite(&self, expr: &Expr) -> SqlResult<BExpr> {
         // whole expression equals a group expression?
-        if let Some(i) = self
-            .group_asts
-            .iter()
-            .position(|g| loose_expr_eq(g, expr))
-        {
+        if let Some(i) = self.group_asts.iter().position(|g| loose_expr_eq(g, expr)) {
             return Ok(BExpr::Column(i));
         }
         match expr {
@@ -488,7 +483,10 @@ impl AggContext {
                 negated,
             } => Ok(BExpr::InList {
                 expr: Box::new(self.rewrite(expr)?),
-                list: list.iter().map(|e| self.rewrite(e)).collect::<SqlResult<_>>()?,
+                list: list
+                    .iter()
+                    .map(|e| self.rewrite(e))
+                    .collect::<SqlResult<_>>()?,
                 negated: *negated,
             }),
             Expr::Between {
@@ -508,7 +506,10 @@ impl AggContext {
                 func.check_arity(args.len()).map_err(SqlError::Bind)?;
                 Ok(BExpr::Function {
                     func,
-                    args: args.iter().map(|e| self.rewrite(e)).collect::<SqlResult<_>>()?,
+                    args: args
+                        .iter()
+                        .map(|e| self.rewrite(e))
+                        .collect::<SqlResult<_>>()?,
                 })
             }
             Expr::Case {
@@ -607,10 +608,9 @@ pub fn loose_expr_eq(a: &Expr, b: &Expr) -> bool {
                 }
         }
         (Expr::Literal(x), Expr::Literal(y)) => x == y,
-        (
-            Expr::TypedLiteral { ty: ta, text: xa },
-            Expr::TypedLiteral { ty: tb, text: xb },
-        ) => ta == tb && xa == xb,
+        (Expr::TypedLiteral { ty: ta, text: xa }, Expr::TypedLiteral { ty: tb, text: xb }) => {
+            ta == tb && xa == xb
+        }
         (
             Expr::Binary {
                 op: oa,
@@ -623,10 +623,9 @@ pub fn loose_expr_eq(a: &Expr, b: &Expr) -> bool {
                 right: rb,
             },
         ) => oa == ob && loose_expr_eq(la, lb) && loose_expr_eq(ra, rb),
-        (
-            Expr::Unary { op: oa, expr: ea },
-            Expr::Unary { op: ob, expr: eb },
-        ) => oa == ob && loose_expr_eq(ea, eb),
+        (Expr::Unary { op: oa, expr: ea }, Expr::Unary { op: ob, expr: eb }) => {
+            oa == ob && loose_expr_eq(ea, eb)
+        }
         (
             Expr::IsNull {
                 expr: ea,
@@ -637,10 +636,7 @@ pub fn loose_expr_eq(a: &Expr, b: &Expr) -> bool {
                 negated: nb,
             },
         ) => na == nb && loose_expr_eq(ea, eb),
-        (
-            Expr::Function { name: na, args: aa },
-            Expr::Function { name: nb, args: ab },
-        ) => {
+        (Expr::Function { name: na, args: aa }, Expr::Function { name: nb, args: ab }) => {
             na.eq_ignore_ascii_case(nb)
                 && aa.len() == ab.len()
                 && aa.iter().zip(ab).all(|(x, y)| loose_expr_eq(x, y))
@@ -781,7 +777,12 @@ pub fn display_expr(expr: &Expr) -> String {
             None => name.clone(),
         },
         Expr::Binary { op, left, right } => {
-            format!("{} {} {}", display_expr(left), op_str(*op), display_expr(right))
+            format!(
+                "{} {} {}",
+                display_expr(left),
+                op_str(*op),
+                display_expr(right)
+            )
         }
         Expr::Unary { op, expr } => match op {
             ast::UnOp::Neg => format!("-{}", display_expr(expr)),
@@ -1027,7 +1028,9 @@ fn column_span(e: &BExpr) -> Option<(usize, usize)> {
                     walk(x, lo, hi, any);
                 }
             }
-            BExpr::Between { expr, lo: l, hi: h, .. } => {
+            BExpr::Between {
+                expr, lo: l, hi: h, ..
+            } => {
                 walk(expr, lo, hi, any);
                 walk(l, lo, hi, any);
                 walk(h, lo, hi, any);
@@ -1099,7 +1102,11 @@ fn shift_down(e: &mut BExpr, delta: usize) {
 }
 
 fn and_all(mut cs: Vec<BExpr>) -> Option<BExpr> {
-    let first = if cs.is_empty() { return None } else { cs.remove(0) };
+    let first = if cs.is_empty() {
+        return None;
+    } else {
+        cs.remove(0)
+    };
     Some(cs.into_iter().fold(first, |acc, c| BExpr::Binary {
         op: BinOp::And,
         left: Box::new(acc),
@@ -1267,8 +1274,12 @@ fn select_indexes(mut plan: Plan, db: &Database) -> Plan {
             let chosen = db
                 .read_table(&table, |t| {
                     // (index name, lo bound, hi bound, rank)
-                    type IndexChoice =
-                        (String, Option<Vec<odbis_storage::Value>>, Option<Vec<odbis_storage::Value>>, u8);
+                    type IndexChoice = (
+                        String,
+                        Option<Vec<odbis_storage::Value>>,
+                        Option<Vec<odbis_storage::Value>>,
+                        u8,
+                    );
                     let mut best: Option<IndexChoice> = None;
                     for c in &cs {
                         // BETWEEN with literal bounds is a two-sided range

@@ -60,7 +60,9 @@ fn warehouse() -> (Database, Engine) {
         let store = 1 + ((i / 3) % 3);
         let qty = 1 + (i % 4);
         let amount = (qty as f64) * (product as f64) * 10.0;
-        rows.push(format!("({i}, {date}, {product}, {store}, {qty}, {amount})"));
+        rows.push(format!(
+            "({i}, {date}, {product}, {store}, {qty}, {amount})"
+        ));
     }
     e.execute(
         &db,
@@ -86,7 +88,10 @@ fn three_way_star_join_with_rollup() {
              ORDER BY d.year, s.region, p.category",
         )
         .unwrap();
-    assert_eq!(r.columns, vec!["year", "region", "category", "sales", "revenue"]);
+    assert_eq!(
+        r.columns,
+        vec!["year", "region", "category", "sales", "revenue"]
+    );
     assert!(!r.rows.is_empty());
     // grand total across groups equals the ungrouped total
     let grouped_total: f64 = r.rows.iter().map(|row| row[4].as_f64().unwrap()).sum();
@@ -153,14 +158,20 @@ fn left_join_finds_dimension_members_without_sales() {
              GROUP BY p.name HAVING COUNT(f.sale_id) = 0",
         )
         .unwrap();
-    assert_eq!(r.rows, vec![vec![Value::from("unsold thing"), Value::Int(0)]]);
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::from("unsold thing"), Value::Int(0)]]
+    );
 }
 
 #[test]
 fn update_cascades_into_aggregates() {
     let (db, e) = warehouse();
     let before = e
-        .execute(&db, "SELECT SUM(amount) FROM fact_sales WHERE product_id = 3")
+        .execute(
+            &db,
+            "SELECT SUM(amount) FROM fact_sales WHERE product_id = 3",
+        )
         .unwrap();
     e.execute(
         &db,
@@ -168,7 +179,10 @@ fn update_cascades_into_aggregates() {
     )
     .unwrap();
     let after = e
-        .execute(&db, "SELECT SUM(amount) FROM fact_sales WHERE product_id = 3")
+        .execute(
+            &db,
+            "SELECT SUM(amount) FROM fact_sales WHERE product_id = 3",
+        )
         .unwrap();
     assert!(
         (after.rows[0][0].as_f64().unwrap() - 2.0 * before.rows[0][0].as_f64().unwrap()).abs()

@@ -1,0 +1,580 @@
+//! Columnar batches: the vectorized currency of the data plane.
+//!
+//! A [`Batch`] is a set of equal-length typed column vectors with per-column
+//! null bitmaps, built from the same [`DataType`]/[`Value`] vocabulary as the
+//! row heap. Scans produce batches ([`crate::Table::scan_batch`]), the SQL
+//! executor evaluates predicates and aggregates column-wise over them, and
+//! ETL frames and OLAP cube builds convert at their boundaries instead of
+//! round-tripping through per-row clones.
+//!
+//! Columns are `Arc`-shared: projecting an existing column or re-using a
+//! scan result in several operators costs a pointer bump, not a copy.
+
+use std::sync::Arc;
+
+use crate::error::{DbError, DbResult};
+use crate::value::{DataType, Value};
+
+/// Typed backing storage for one column of a [`Batch`].
+///
+/// The typed variants hold unboxed primitives (null slots hold a default and
+/// are masked by the owning [`ColumnVec`]'s null bitmap). `Mixed` is the
+/// fallback for heterogeneous columns — e.g. CSV columns whose per-cell type
+/// inference produced more than one type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// UTF-8 strings.
+    Text(Vec<String>),
+    /// Dates as days since 1970-01-01.
+    Date(Vec<i32>),
+    /// Timestamps as microseconds since the epoch.
+    Timestamp(Vec<i64>),
+    /// Heterogeneous fallback: one boxed [`Value`] per row.
+    Mixed(Vec<Value>),
+}
+
+impl ColumnData {
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Text(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::Timestamp(v) => v.len(),
+            ColumnData::Mixed(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn value_at(&self, i: usize) -> Value {
+        match self {
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Text(v) => Value::Text(v[i].clone()),
+            ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::Timestamp(v) => Value::Timestamp(v[i]),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    fn filter(&self, keep: &[bool]) -> ColumnData {
+        fn pick<T: Clone>(v: &[T], keep: &[bool]) -> Vec<T> {
+            v.iter()
+                .zip(keep)
+                .filter(|(_, &k)| k)
+                .map(|(x, _)| x.clone())
+                .collect()
+        }
+        match self {
+            ColumnData::Bool(v) => ColumnData::Bool(pick(v, keep)),
+            ColumnData::Int(v) => ColumnData::Int(pick(v, keep)),
+            ColumnData::Float(v) => ColumnData::Float(pick(v, keep)),
+            ColumnData::Text(v) => ColumnData::Text(pick(v, keep)),
+            ColumnData::Date(v) => ColumnData::Date(pick(v, keep)),
+            ColumnData::Timestamp(v) => ColumnData::Timestamp(pick(v, keep)),
+            ColumnData::Mixed(v) => ColumnData::Mixed(pick(v, keep)),
+        }
+    }
+
+    fn slice(&self, start: usize, end: usize) -> ColumnData {
+        match self {
+            ColumnData::Bool(v) => ColumnData::Bool(v[start..end].to_vec()),
+            ColumnData::Int(v) => ColumnData::Int(v[start..end].to_vec()),
+            ColumnData::Float(v) => ColumnData::Float(v[start..end].to_vec()),
+            ColumnData::Text(v) => ColumnData::Text(v[start..end].to_vec()),
+            ColumnData::Date(v) => ColumnData::Date(v[start..end].to_vec()),
+            ColumnData::Timestamp(v) => ColumnData::Timestamp(v[start..end].to_vec()),
+            ColumnData::Mixed(v) => ColumnData::Mixed(v[start..end].to_vec()),
+        }
+    }
+}
+
+/// One column of a [`Batch`]: typed data plus an optional null bitmap
+/// (`None` means no nulls; `Some(flags)` marks null slots with `true`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnVec {
+    data: ColumnData,
+    nulls: Option<Vec<bool>>,
+}
+
+impl ColumnVec {
+    /// Column from typed data and an optional null bitmap.
+    ///
+    /// # Panics
+    /// Panics if the bitmap length differs from the data length.
+    pub fn new(data: ColumnData, nulls: Option<Vec<bool>>) -> Self {
+        if let Some(n) = &nulls {
+            assert_eq!(n.len(), data.len(), "null bitmap length mismatch");
+        }
+        ColumnVec { data, nulls }
+    }
+
+    /// Build a column from owned values, inferring the tightest typed
+    /// representation: if every non-null value has the same [`DataType`]
+    /// the column is typed; otherwise it falls back to `Mixed`.
+    pub fn from_values(values: Vec<Value>) -> Self {
+        let mut ty: Option<DataType> = None;
+        let mut homogeneous = true;
+        for v in &values {
+            if let Some(t) = v.data_type() {
+                match ty {
+                    None => ty = Some(t),
+                    Some(prev) if prev == t => {}
+                    Some(_) => {
+                        homogeneous = false;
+                        break;
+                    }
+                }
+            }
+        }
+        match (homogeneous, ty) {
+            (true, Some(t)) => {
+                let mut b = ColumnBuilder::with_capacity(t, values.len());
+                for v in &values {
+                    b.push(v);
+                }
+                b.finish()
+            }
+            _ => ColumnVec {
+                data: ColumnData::Mixed(values),
+                nulls: None,
+            },
+        }
+    }
+
+    /// A column repeating one value `len` times (scalar broadcast).
+    pub fn broadcast(v: &Value, len: usize) -> Self {
+        let data = match v {
+            Value::Null => {
+                return ColumnVec {
+                    data: ColumnData::Mixed(vec![Value::Null; len]),
+                    nulls: None,
+                }
+            }
+            Value::Bool(b) => ColumnData::Bool(vec![*b; len]),
+            Value::Int(i) => ColumnData::Int(vec![*i; len]),
+            Value::Float(f) => ColumnData::Float(vec![*f; len]),
+            Value::Text(s) => ColumnData::Text(vec![s.clone(); len]),
+            Value::Date(d) => ColumnData::Date(vec![*d; len]),
+            Value::Timestamp(t) => ColumnData::Timestamp(vec![*t; len]),
+        };
+        ColumnVec { data, nulls: None }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The typed backing data.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The null bitmap, when any null-tracking is present.
+    pub fn nulls(&self) -> Option<&[bool]> {
+        self.nulls.as_deref()
+    }
+
+    /// Whether row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.nulls {
+            Some(n) => n[i],
+            None => matches!(&self.data, ColumnData::Mixed(v) if v[i].is_null()),
+        }
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        match &self.nulls {
+            Some(n) => n.iter().filter(|&&b| b).count(),
+            None => match &self.data {
+                ColumnData::Mixed(v) => v.iter().filter(|v| v.is_null()).count(),
+                _ => 0,
+            },
+        }
+    }
+
+    /// The value at row `i` (boxed back into a [`Value`]).
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            Value::Null
+        } else {
+            self.data.value_at(i)
+        }
+    }
+
+    /// All values, boxed (row pivot of one column).
+    pub fn values(&self) -> Vec<Value> {
+        (0..self.len()).map(|i| self.value(i)).collect()
+    }
+
+    /// The declared type of the typed variants; `None` for `Mixed`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match &self.data {
+            ColumnData::Bool(_) => Some(DataType::Bool),
+            ColumnData::Int(_) => Some(DataType::Int),
+            ColumnData::Float(_) => Some(DataType::Float),
+            ColumnData::Text(_) => Some(DataType::Text),
+            ColumnData::Date(_) => Some(DataType::Date),
+            ColumnData::Timestamp(_) => Some(DataType::Timestamp),
+            ColumnData::Mixed(_) => None,
+        }
+    }
+
+    /// Keep only the rows where `keep` is true.
+    ///
+    /// # Panics
+    /// Panics if `keep.len() != self.len()`.
+    pub fn filter(&self, keep: &[bool]) -> ColumnVec {
+        assert_eq!(keep.len(), self.len(), "filter mask length mismatch");
+        let data = self.data.filter(keep);
+        let nulls = self.nulls.as_ref().map(|n| {
+            n.iter()
+                .zip(keep)
+                .filter(|(_, &k)| k)
+                .map(|(&b, _)| b)
+                .collect()
+        });
+        ColumnVec { data, nulls }
+    }
+
+    /// The contiguous sub-column `[start, end)`.
+    pub fn slice(&self, start: usize, end: usize) -> ColumnVec {
+        ColumnVec {
+            data: self.data.slice(start, end),
+            nulls: self.nulls.as_ref().map(|n| n[start..end].to_vec()),
+        }
+    }
+}
+
+/// Incremental builder for one typed column (used by batch-producing scans,
+/// where the schema fixes each column's [`DataType`] up front).
+///
+/// If a pushed value does not match the declared type the builder degrades
+/// to `Mixed` transparently, so it is safe against heterogeneous inputs.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    data: ColumnData,
+    nulls: Vec<bool>,
+    any_null: bool,
+}
+
+impl ColumnBuilder {
+    /// Builder for a column of `ty` with room for `cap` rows.
+    pub fn with_capacity(ty: DataType, cap: usize) -> Self {
+        let data = match ty {
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(cap)),
+            DataType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            DataType::Float => ColumnData::Float(Vec::with_capacity(cap)),
+            DataType::Text => ColumnData::Text(Vec::with_capacity(cap)),
+            DataType::Date => ColumnData::Date(Vec::with_capacity(cap)),
+            DataType::Timestamp => ColumnData::Timestamp(Vec::with_capacity(cap)),
+        };
+        ColumnBuilder {
+            data,
+            nulls: Vec::with_capacity(cap),
+            any_null: false,
+        }
+    }
+
+    /// Append one value (NULL or a value of the declared type; anything
+    /// else degrades the builder to `Mixed`).
+    pub fn push(&mut self, v: &Value) {
+        if v.is_null() {
+            self.any_null = true;
+            self.nulls.push(true);
+            match &mut self.data {
+                ColumnData::Bool(d) => d.push(false),
+                ColumnData::Int(d) => d.push(0),
+                ColumnData::Float(d) => d.push(0.0),
+                ColumnData::Text(d) => d.push(String::new()),
+                ColumnData::Date(d) => d.push(0),
+                ColumnData::Timestamp(d) => d.push(0),
+                ColumnData::Mixed(d) => d.push(Value::Null),
+            }
+            return;
+        }
+        self.nulls.push(false);
+        match (&mut self.data, v) {
+            (ColumnData::Bool(d), Value::Bool(b)) => d.push(*b),
+            (ColumnData::Int(d), Value::Int(i)) => d.push(*i),
+            (ColumnData::Float(d), Value::Float(f)) => d.push(*f),
+            (ColumnData::Text(d), Value::Text(s)) => d.push(s.clone()),
+            (ColumnData::Date(d), Value::Date(x)) => d.push(*x),
+            (ColumnData::Timestamp(d), Value::Timestamp(t)) => d.push(*t),
+            (ColumnData::Mixed(d), v) => d.push(v.clone()),
+            (_, v) => {
+                // type mismatch: degrade to Mixed, replaying what we have
+                // (self.data holds every prior row; v is not in it yet)
+                let mut vals = Vec::with_capacity(self.data.len() + 1);
+                for i in 0..self.data.len() {
+                    vals.push(if self.nulls[i] {
+                        Value::Null
+                    } else {
+                        self.data.value_at(i)
+                    });
+                }
+                vals.push(v.clone());
+                self.data = ColumnData::Mixed(vals);
+            }
+        }
+    }
+
+    /// Finish into a [`ColumnVec`].
+    pub fn finish(self) -> ColumnVec {
+        let nulls = match (&self.data, self.any_null) {
+            (ColumnData::Mixed(_), _) | (_, false) => None,
+            (_, true) => Some(self.nulls),
+        };
+        ColumnVec {
+            data: self.data,
+            nulls,
+        }
+    }
+}
+
+/// A columnar batch: equal-length [`ColumnVec`]s sharing one row count.
+///
+/// Columns are reference-counted, so cloning a batch or projecting a column
+/// through an operator is O(1) per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    columns: Vec<Arc<ColumnVec>>,
+    rows: usize,
+}
+
+impl Batch {
+    /// Batch from shared columns and an explicit row count (which also
+    /// covers zero-column batches). Fails on a column length mismatch.
+    pub fn new(columns: Vec<Arc<ColumnVec>>, rows: usize) -> DbResult<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() != rows {
+                return Err(DbError::Invalid(format!(
+                    "batch column {i} has {} rows, expected {rows}",
+                    c.len()
+                )));
+            }
+        }
+        Ok(Batch { columns, rows })
+    }
+
+    /// Batch from owned columns. Fails on a column length mismatch; the row
+    /// count is taken from the first column (0 when there are none).
+    pub fn from_columns(columns: Vec<ColumnVec>) -> DbResult<Self> {
+        let rows = columns.first().map_or(0, ColumnVec::len);
+        Batch::new(columns.into_iter().map(Arc::new).collect(), rows)
+    }
+
+    /// Pivot rows into a batch of `arity` columns, inferring each column's
+    /// typed representation. Fails on a row arity mismatch.
+    pub fn from_rows(arity: usize, rows: Vec<Vec<Value>>) -> DbResult<Self> {
+        let n = rows.len();
+        let mut cols: Vec<Vec<Value>> = (0..arity).map(|_| Vec::with_capacity(n)).collect();
+        for row in rows {
+            if row.len() != arity {
+                return Err(DbError::ArityMismatch {
+                    expected: arity,
+                    actual: row.len(),
+                });
+            }
+            for (c, v) in row.into_iter().enumerate() {
+                cols[c].push(v);
+            }
+        }
+        Batch::new(
+            cols.into_iter()
+                .map(|vals| Arc::new(ColumnVec::from_values(vals)))
+                .collect(),
+            n,
+        )
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// One column, shared.
+    pub fn column(&self, i: usize) -> &Arc<ColumnVec> {
+        &self.columns[i]
+    }
+
+    /// All columns, shared.
+    pub fn columns(&self) -> &[Arc<ColumnVec>] {
+        &self.columns
+    }
+
+    /// The value at (`col`, `row`), boxed back into a [`Value`].
+    pub fn value(&self, col: usize, row: usize) -> Value {
+        self.columns[col].value(row)
+    }
+
+    /// One row, pivoted out of the columns.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Pivot the whole batch back to rows (the row↔batch boundary used by
+    /// joins, sorts, and the final `QueryResult`).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.rows).map(|i| self.row(i)).collect()
+    }
+
+    /// Keep only the rows where `keep` is true (vectorized selection).
+    ///
+    /// # Panics
+    /// Panics if `keep.len() != self.num_rows()`.
+    pub fn filter(&self, keep: &[bool]) -> Batch {
+        assert_eq!(keep.len(), self.rows, "filter mask length mismatch");
+        let rows = keep.iter().filter(|&&k| k).count();
+        Batch {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Arc::new(c.filter(keep)))
+                .collect(),
+            rows,
+        }
+    }
+
+    /// The contiguous sub-batch `[start, end)` (used by LIMIT/OFFSET).
+    pub fn slice(&self, start: usize, end: usize) -> Batch {
+        let start = start.min(self.rows);
+        let end = end.clamp(start, self.rows);
+        Batch {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Arc::new(c.slice(start, end)))
+                .collect(),
+            rows: end - start,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<Vec<Value>> {
+        vec![
+            vec![Value::Int(1), Value::from("a"), Value::Float(1.5)],
+            vec![Value::Int(2), Value::Null, Value::Float(2.5)],
+            vec![Value::Null, Value::from("c"), Value::Float(3.5)],
+        ]
+    }
+
+    #[test]
+    fn row_round_trip_is_lossless() {
+        let rows = sample_rows();
+        let batch = Batch::from_rows(3, rows.clone()).unwrap();
+        assert_eq!(batch.num_rows(), 3);
+        assert_eq!(batch.num_columns(), 3);
+        assert_eq!(batch.to_rows(), rows);
+        // typed representations chosen where homogeneous
+        assert!(matches!(batch.column(0).data(), ColumnData::Int(_)));
+        assert!(matches!(batch.column(1).data(), ColumnData::Text(_)));
+        assert!(matches!(batch.column(2).data(), ColumnData::Float(_)));
+        assert_eq!(batch.column(0).null_count(), 1);
+        assert_eq!(batch.column(2).null_count(), 0);
+    }
+
+    #[test]
+    fn heterogeneous_columns_fall_back_to_mixed() {
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::from("two")],
+            vec![Value::Null],
+        ];
+        let batch = Batch::from_rows(1, rows.clone()).unwrap();
+        assert!(matches!(batch.column(0).data(), ColumnData::Mixed(_)));
+        assert_eq!(batch.column(0).data_type(), None);
+        assert_eq!(batch.to_rows(), rows);
+        assert_eq!(batch.column(0).null_count(), 1);
+        assert!(batch.column(0).is_null(2));
+    }
+
+    #[test]
+    fn filter_and_slice() {
+        let batch = Batch::from_rows(3, sample_rows()).unwrap();
+        let filtered = batch.filter(&[true, false, true]);
+        assert_eq!(filtered.num_rows(), 2);
+        assert_eq!(filtered.value(0, 1), Value::Null);
+        assert_eq!(filtered.value(1, 0), Value::from("a"));
+        let sliced = batch.slice(1, 3);
+        assert_eq!(sliced.num_rows(), 2);
+        assert_eq!(sliced.value(2, 0), Value::Float(2.5));
+        // out-of-range slice clamps
+        assert_eq!(batch.slice(2, 99).num_rows(), 1);
+        assert_eq!(batch.slice(99, 99).num_rows(), 0);
+    }
+
+    #[test]
+    fn arity_and_length_checks() {
+        assert!(Batch::from_rows(2, vec![vec![Value::Int(1)]]).is_err());
+        let short = ColumnVec::from_values(vec![Value::Int(1)]);
+        let long = ColumnVec::from_values(vec![Value::Int(1), Value::Int(2)]);
+        assert!(Batch::from_columns(vec![short, long]).is_err());
+    }
+
+    #[test]
+    fn builder_degrades_on_type_mismatch() {
+        let mut b = ColumnBuilder::with_capacity(DataType::Int, 4);
+        b.push(&Value::Int(1));
+        b.push(&Value::Null);
+        b.push(&Value::from("oops"));
+        let col = b.finish();
+        assert!(matches!(col.data(), ColumnData::Mixed(_)));
+        assert_eq!(
+            col.values(),
+            vec![Value::Int(1), Value::Null, Value::from("oops")]
+        );
+    }
+
+    #[test]
+    fn broadcast_column() {
+        let c = ColumnVec::broadcast(&Value::Int(7), 3);
+        assert_eq!(c.values(), vec![Value::Int(7); 3]);
+        let n = ColumnVec::broadcast(&Value::Null, 2);
+        assert!(n.is_null(0) && n.is_null(1));
+    }
+
+    #[test]
+    fn empty_and_zero_column_batches() {
+        let empty = Batch::from_rows(2, Vec::new()).unwrap();
+        assert_eq!(empty.num_rows(), 0);
+        assert_eq!(empty.num_columns(), 2);
+        let zero_cols = Batch::new(Vec::new(), 5).unwrap();
+        assert_eq!(zero_cols.num_rows(), 5);
+        assert_eq!(zero_cols.num_columns(), 0);
+    }
+}

@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
+use crate::batch::Batch;
 use crate::error::{DbError, DbResult};
 use crate::schema::Schema;
 use crate::table::{RowId, Table};
@@ -117,6 +118,11 @@ impl Database {
         self.read_table(table, |t| t.snapshot())
     }
 
+    /// Columnar snapshot of all live rows (see [`Table::scan_batch`]).
+    pub fn scan_batch(&self, table: &str) -> DbResult<Batch> {
+        self.read_table(table, |t| t.scan_batch())
+    }
+
     /// Number of live rows.
     pub fn row_count(&self, table: &str) -> DbResult<usize> {
         self.read_table(table, |t| t.row_count())
@@ -137,9 +143,20 @@ impl Database {
 
 #[derive(Debug)]
 enum Undo {
-    Insert { table: String, id: RowId },
-    Update { table: String, id: RowId, old: Vec<Value> },
-    Delete { table: String, id: RowId, old: Vec<Value> },
+    Insert {
+        table: String,
+        id: RowId,
+    },
+    Update {
+        table: String,
+        id: RowId,
+        old: Vec<Value>,
+    },
+    Delete {
+        table: String,
+        id: RowId,
+        old: Vec<Value>,
+    },
 }
 
 /// An undo-log transaction over a [`Database`].
@@ -304,7 +321,8 @@ mod tests {
         let mut txn = db.begin();
         let a = txn.insert("t", vec![2.into(), "a".into()]).unwrap();
         txn.update("t", a, vec![2.into(), "a2".into()]).unwrap();
-        txn.update("t", keep, vec![1.into(), "changed".into()]).unwrap();
+        txn.update("t", keep, vec![1.into(), "changed".into()])
+            .unwrap();
         txn.delete("t", keep).unwrap();
         txn.rollback().unwrap();
         assert_eq!(db.row_count("t").unwrap(), 1);

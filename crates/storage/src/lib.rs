@@ -9,6 +9,8 @@
 //! * a single scalar [`Value`] type shared by the whole platform;
 //! * typed, constrained [`Schema`]s (NOT NULL, defaults, primary keys);
 //! * heap [`Table`]s with ordered, optionally unique [`Index`]es;
+//! * columnar [`Batch`]es produced by vectorized scans
+//!   ([`Table::scan_batch`] / [`Database::scan_batch`]);
 //! * a concurrent [`Database`] catalog with undo-log [`Txn`] transactions;
 //! * JSON snapshot persistence ([`save_snapshot`] / [`load_snapshot`]);
 //! * exact [`TableStats`] for the SQL optimizer.
@@ -28,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod database;
 mod error;
 mod persist;
@@ -36,10 +39,11 @@ mod stats;
 mod table;
 mod value;
 
+pub use batch::{Batch, ColumnBuilder, ColumnData, ColumnVec};
 pub use database::{Database, Txn};
 pub use error::{DbError, DbResult};
 pub use persist::{load_snapshot, save_snapshot, SNAPSHOT_VERSION};
-pub use schema::{Column, Schema};
+pub use schema::{resolve_column, Column, Schema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Index, RowId, Table};
 pub use value::{

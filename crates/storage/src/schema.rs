@@ -5,6 +5,18 @@ use serde::{Deserialize, Serialize};
 use crate::error::{DbError, DbResult};
 use crate::value::{DataType, Value};
 
+/// Resolve a column name against an ordered list of names.
+///
+/// This is the single name-resolution rule for the whole data plane: names
+/// match **case-insensitively** (ASCII) and the **first** match wins.
+/// Storage schemas ([`Schema::index_of`]), SQL result sets
+/// (`QueryResult::column_index`), and ETL frames (`Frame::column_index`)
+/// all delegate here so a column addressable in one layer is addressable
+/// in every other.
+pub fn resolve_column<'a>(names: impl IntoIterator<Item = &'a str>, name: &str) -> Option<usize> {
+    names.into_iter().position(|c| c.eq_ignore_ascii_case(name))
+}
+
 /// Definition of one column in a table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Column {
@@ -58,7 +70,10 @@ impl Schema {
                 .iter()
                 .any(|p| p.name.eq_ignore_ascii_case(&c.name))
             {
-                return Err(DbError::Invalid(format!("duplicate column name {}", c.name)));
+                return Err(DbError::Invalid(format!(
+                    "duplicate column name {}",
+                    c.name
+                )));
             }
             if c.name.is_empty() {
                 return Err(DbError::Invalid("empty column name".into()));
@@ -98,11 +113,9 @@ impl Schema {
         self.columns.len()
     }
 
-    /// Position of a column by (case-insensitive) name.
+    /// Position of a column by name, via the shared [`resolve_column`] rule.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.columns
-            .iter()
-            .position(|c| c.name.eq_ignore_ascii_case(name))
+        resolve_column(self.columns.iter().map(|c| c.name.as_str()), name)
     }
 
     /// Column definition by name.
@@ -118,8 +131,9 @@ impl Schema {
     /// Validate and coerce a full row against this schema.
     ///
     /// Checks arity, applies implicit coercions, enforces NOT NULL. Returns
-    /// the coerced row on success.
-    pub fn check_row(&self, table: &str, row: Vec<Value>) -> DbResult<Vec<Value>> {
+    /// the coerced row on success (coercion always produces fresh values,
+    /// so borrowing the input costs nothing extra).
+    pub fn check_row(&self, table: &str, row: &[Value]) -> DbResult<Vec<Value>> {
         if row.len() != self.columns.len() {
             return Err(DbError::ArityMismatch {
                 expected: self.columns.len(),
@@ -127,7 +141,7 @@ impl Schema {
             });
         }
         let mut out = Vec::with_capacity(row.len());
-        for (v, c) in row.into_iter().zip(&self.columns) {
+        for (v, c) in row.iter().zip(&self.columns) {
             let v = if v.is_null() {
                 match (&c.default, c.not_null) {
                     (_, false) => Value::Null,
@@ -140,13 +154,14 @@ impl Schema {
                     }
                 }
             } else {
-                v.coerce_to(c.data_type).ok_or_else(|| DbError::TypeMismatch {
-                    column: c.name.clone(),
-                    expected: c.data_type,
-                    actual: v
-                        .data_type()
-                        .map_or_else(|| "NULL".to_string(), |t| t.to_string()),
-                })?
+                v.coerce_to(c.data_type)
+                    .ok_or_else(|| DbError::TypeMismatch {
+                        column: c.name.clone(),
+                        expected: c.data_type,
+                        actual: v
+                            .data_type()
+                            .map_or_else(|| "NULL".to_string(), |t| t.to_string()),
+                    })?
             };
             out.push(v);
         }
@@ -168,7 +183,7 @@ impl Schema {
             })?;
             row[i] = v.clone();
         }
-        self.check_row(table, row)
+        self.check_row(table, &row)
     }
 }
 
@@ -213,19 +228,19 @@ mod tests {
     fn check_row_coerces_and_validates() {
         let s = sample();
         let row = s
-            .check_row("t", vec![Value::Int(1), "bob".into(), Value::Int(3)])
+            .check_row("t", &[Value::Int(1), "bob".into(), Value::Int(3)])
             .unwrap();
         assert_eq!(row[2], Value::Float(3.0)); // Int coerced to Float
         assert!(matches!(
-            s.check_row("t", vec![Value::Null, "b".into(), Value::Null]),
+            s.check_row("t", &[Value::Null, "b".into(), Value::Null]),
             Err(DbError::NullViolation { .. })
         ));
         assert!(matches!(
-            s.check_row("t", vec![Value::Int(1)]),
+            s.check_row("t", &[Value::Int(1)]),
             Err(DbError::ArityMismatch { .. })
         ));
         assert!(matches!(
-            s.check_row("t", vec![Value::Int(1), Value::Int(2), Value::Null]),
+            s.check_row("t", &[Value::Int(1), Value::Int(2), Value::Null]),
             Err(DbError::TypeMismatch { .. })
         ));
     }
@@ -248,5 +263,25 @@ mod tests {
         let s = sample();
         assert_eq!(s.index_of("NAME"), Some(1));
         assert_eq!(s.column("Score").unwrap().data_type, DataType::Float);
+    }
+
+    #[test]
+    fn resolve_column_pins_shared_semantics() {
+        let names = ["Region", "total", "REGION"];
+        let iter = || names.iter().copied();
+        // ASCII case-insensitive
+        assert_eq!(resolve_column(iter(), "region"), Some(0));
+        assert_eq!(resolve_column(iter(), "TOTAL"), Some(1));
+        // first match wins on (case-folded) duplicates
+        assert_eq!(resolve_column(iter(), "REGION"), Some(0));
+        // no substring or fuzzy matching
+        assert_eq!(resolve_column(iter(), "tot"), None);
+        assert_eq!(resolve_column(iter(), ""), None);
+        // schema lookups use the same rule
+        let s = sample();
+        assert_eq!(
+            s.index_of("SCORE"),
+            resolve_column(s.columns().iter().map(|c| c.name.as_str()), "SCORE")
+        );
     }
 }

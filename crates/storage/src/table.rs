@@ -1,9 +1,11 @@
 //! Heap tables: slotted row storage with index maintenance.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::{Batch, ColumnBuilder};
 use crate::error::{DbError, DbResult};
 use crate::schema::Schema;
 use crate::value::Value;
@@ -74,12 +76,27 @@ impl Index {
     }
 
     /// Row ids whose key lies in `[lo, hi]` (either bound optional).
+    ///
+    /// Bounds may be key *prefixes* on a multi-column index. A lower-bound
+    /// prefix sorts before all of its extensions, so `Bound::Included` is
+    /// already correct there. An upper-bound prefix is compared on the
+    /// shared prefix length, so `[5] ..= [5]` includes extensions such as
+    /// `[5, x]` (equivalent to an exclusive bound at the successor of the
+    /// prefix); a full-arity upper bound remains inclusive, as before.
     pub fn range(&self, lo: Option<&[Value]>, hi: Option<&[Value]>) -> Vec<RowId> {
+        use std::cmp::Ordering;
         use std::ops::Bound;
         let lo_b = lo.map_or(Bound::Unbounded, |k| Bound::Included(k.to_vec()));
-        let hi_b = hi.map_or(Bound::Unbounded, |k| Bound::Included(k.to_vec()));
+        let within_hi = |key: &[Value]| match hi {
+            None => true,
+            Some(h) => {
+                let m = h.len().min(key.len());
+                key[..m].cmp(&h[..m]) != Ordering::Greater
+            }
+        };
         self.entries
-            .range((lo_b, hi_b))
+            .range((lo_b, Bound::Unbounded))
+            .take_while(|&(key, _)| within_hi(key))
             .flat_map(|(_, ids)| ids.iter().copied())
             .collect()
     }
@@ -112,6 +129,10 @@ pub struct Table {
     rows: Vec<Option<Vec<Value>>>,
     indexes: Vec<Index>,
     live: usize,
+    // Memoized columnar image of the live rows, rebuilt lazily after any
+    // mutation. Skipped by snapshots: it is derived state.
+    #[serde(skip)]
+    batch_cache: std::sync::OnceLock<Arc<Batch>>,
 }
 
 impl Table {
@@ -125,11 +146,11 @@ impl Table {
             rows: Vec::new(),
             indexes: Vec::new(),
             live: 0,
+            batch_cache: std::sync::OnceLock::new(),
         };
         if !t.schema.primary_key().is_empty() {
             let cols = t.schema.primary_key().to_vec();
-            t.indexes
-                .push(Index::new(format!("pk_{name}"), cols, true));
+            t.indexes.push(Index::new(format!("pk_{name}"), cols, true));
         }
         t
     }
@@ -151,12 +172,16 @@ impl Table {
 
     /// Find an index by name.
     pub fn index(&self, name: &str) -> Option<&Index> {
-        self.indexes.iter().find(|i| i.name.eq_ignore_ascii_case(name))
+        self.indexes
+            .iter()
+            .find(|i| i.name.eq_ignore_ascii_case(name))
     }
 
     /// Find an index whose leading column is `col` (for planner lookups).
     pub fn index_on(&self, col: usize) -> Option<&Index> {
-        self.indexes.iter().find(|i| i.columns.first() == Some(&col))
+        self.indexes
+            .iter()
+            .find(|i| i.columns.first() == Some(&col))
     }
 
     /// Create a new index over `columns` and backfill it from existing rows.
@@ -167,10 +192,12 @@ impl Table {
         let cols: DbResult<Vec<usize>> = columns
             .iter()
             .map(|c| {
-                self.schema.index_of(c).ok_or_else(|| DbError::ColumnNotFound {
-                    table: self.name.clone(),
-                    column: (*c).to_string(),
-                })
+                self.schema
+                    .index_of(c)
+                    .ok_or_else(|| DbError::ColumnNotFound {
+                        table: self.name.clone(),
+                        column: (*c).to_string(),
+                    })
             })
             .collect();
         let mut idx = Index::new(name.to_string(), cols?, unique);
@@ -203,6 +230,14 @@ impl Table {
     /// Insert a row (validated and coerced against the schema). Returns the
     /// new row id.
     pub fn insert(&mut self, row: Vec<Value>) -> DbResult<RowId> {
+        self.insert_row(&row)
+    }
+
+    /// Insert from a borrowed row. The table stores a validated, coerced
+    /// copy; the caller keeps the original (so bulk-load paths that need
+    /// rejected rows back — e.g. ETL quarantine — avoid a defensive clone
+    /// per row).
+    pub fn insert_row(&mut self, row: &[Value]) -> DbResult<RowId> {
         let row = self.schema.check_row(&self.name, row)?;
         let id = self.rows.len() as RowId;
         // Maintain all indexes first so a unique violation leaves no trace.
@@ -216,6 +251,7 @@ impl Table {
         }
         self.rows.push(Some(row));
         self.live += 1;
+        self.invalidate_batch_cache();
         Ok(id)
     }
 
@@ -230,7 +266,7 @@ impl Table {
     /// Replace a row in place (validated). Indexes are updated atomically:
     /// on unique violation, the old row is restored.
     pub fn update(&mut self, id: RowId, new_row: Vec<Value>) -> DbResult<Vec<Value>> {
-        let new_row = self.schema.check_row(&self.name, new_row)?;
+        let new_row = self.schema.check_row(&self.name, &new_row)?;
         let old = self
             .rows
             .get(id as usize)
@@ -252,6 +288,7 @@ impl Table {
             }
         }
         self.rows[id as usize] = Some(new_row);
+        self.invalidate_batch_cache();
         Ok(old)
     }
 
@@ -267,6 +304,7 @@ impl Table {
         }
         self.rows[id as usize] = None;
         self.live -= 1;
+        self.invalidate_batch_cache();
         Ok(old)
     }
 
@@ -283,6 +321,7 @@ impl Table {
         }
         self.rows[id as usize] = Some(row);
         self.live += 1;
+        self.invalidate_batch_cache();
         Ok(())
     }
 
@@ -299,6 +338,45 @@ impl Table {
         self.rows.iter().filter_map(|r| r.clone()).collect()
     }
 
+    /// Scan all live rows into a columnar [`Batch`], one typed column per
+    /// schema column.
+    ///
+    /// Stored rows are already coerced to their declared [`crate::DataType`]
+    /// by [`Schema::check_row`], so each column vector is built directly
+    /// with no per-value type inference and no per-row allocations. The
+    /// columnar image is memoized until the next mutation, so repeated
+    /// scans of a stable table (the common BI read pattern) cost one
+    /// `Arc` clone per column.
+    pub fn scan_batch(&self) -> Batch {
+        self.batch_cache
+            .get_or_init(|| Arc::new(self.build_batch()))
+            .as_ref()
+            .clone()
+    }
+
+    fn build_batch(&self) -> Batch {
+        let mut builders: Vec<ColumnBuilder> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| ColumnBuilder::with_capacity(c.data_type, self.live))
+            .collect();
+        for (_, row) in self.scan() {
+            for (b, v) in builders.iter_mut().zip(row) {
+                b.push(v);
+            }
+        }
+        Batch::new(
+            builders.into_iter().map(|b| Arc::new(b.finish())).collect(),
+            self.live,
+        )
+        .expect("scan builders produce equal-length columns")
+    }
+
+    fn invalidate_batch_cache(&mut self) {
+        self.batch_cache = std::sync::OnceLock::new();
+    }
+
     /// Delete every row, keeping schema and (now empty) indexes.
     pub fn truncate(&mut self) {
         self.rows.clear();
@@ -306,6 +384,7 @@ impl Table {
         for idx in &mut self.indexes {
             idx.entries.clear();
         }
+        self.invalidate_batch_cache();
     }
 }
 
@@ -332,9 +411,7 @@ mod tests {
         let mut t = users();
         assert_eq!(t.indexes().len(), 1);
         t.insert(vec![1.into(), "a".into(), 30.into()]).unwrap();
-        let err = t
-            .insert(vec![1.into(), "b".into(), 31.into()])
-            .unwrap_err();
+        let err = t.insert(vec![1.into(), "b".into(), 31.into()]).unwrap_err();
         assert!(matches!(err, DbError::UniqueViolation { .. }));
         assert_eq!(t.row_count(), 1);
     }
@@ -372,7 +449,9 @@ mod tests {
         let a = t.insert(vec![1.into(), "a".into(), 30.into()]).unwrap();
         t.insert(vec![2.into(), "b".into(), 40.into()]).unwrap();
         // updating a's pk to 2 must fail and keep a findable under pk 1
-        let err = t.update(a, vec![2.into(), "a".into(), 30.into()]).unwrap_err();
+        let err = t
+            .update(a, vec![2.into(), "a".into(), 30.into()])
+            .unwrap_err();
         assert!(matches!(err, DbError::UniqueViolation { .. }));
         assert_eq!(t.indexes()[0].lookup(&[1.into()]), vec![a]);
         assert_eq!(t.get(a).unwrap()[0], 1.into());
@@ -392,6 +471,89 @@ mod tests {
         assert_eq!(hits.len(), 3);
         let all = idx.range(None, None);
         assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn prefix_upper_bound_includes_key_extensions() {
+        // regression: [5] ..= [5] on an index over (a, b) must include [5, x]
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        for (a, b) in [(4, 9), (5, 1), (5, 2), (6, 0)] {
+            t.insert(vec![a.into(), b.into()]).unwrap();
+        }
+        t.create_index("ix_ab", &["a", "b"], false).unwrap();
+        let idx = t.index("ix_ab").unwrap();
+        // equality expressed as a prefix range: both (5, *) rows
+        assert_eq!(idx.range(Some(&[5.into()]), Some(&[5.into()])).len(), 2);
+        // open prefix ranges on the leading column
+        assert_eq!(idx.range(Some(&[5.into()]), None).len(), 3);
+        assert_eq!(idx.range(None, Some(&[5.into()])).len(), 3);
+        // full-arity bounds stay inclusive on both ends
+        assert_eq!(
+            idx.range(Some(&[5.into(), 1.into()]), Some(&[5.into(), 2.into()]))
+                .len(),
+            2
+        );
+        // mixed: full-arity lower bound, prefix upper bound
+        assert_eq!(
+            idx.range(Some(&[4.into(), 9.into()]), Some(&[5.into()]))
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn scan_batch_types_columns_and_skips_deleted() {
+        use crate::batch::ColumnData;
+        let mut t = users();
+        let a = t.insert(vec![1.into(), "a".into(), 30.into()]).unwrap();
+        t.insert(vec![2.into(), "b".into(), Value::Null]).unwrap();
+        t.insert(vec![3.into(), "c".into(), 40.into()]).unwrap();
+        t.delete(a).unwrap();
+        let batch = t.scan_batch();
+        assert_eq!(batch.num_rows(), 2);
+        assert_eq!(batch.num_columns(), 3);
+        assert!(matches!(batch.column(0).data(), ColumnData::Int(_)));
+        assert!(matches!(batch.column(1).data(), ColumnData::Text(_)));
+        assert!(matches!(batch.column(2).data(), ColumnData::Int(_)));
+        assert!(batch.column(2).is_null(0));
+        assert_eq!(batch.to_rows(), t.snapshot());
+    }
+
+    #[test]
+    fn scan_batch_cache_invalidated_by_mutations() {
+        let mut t = users();
+        t.insert(vec![1.into(), "a".into(), 30.into()]).unwrap();
+        assert_eq!(t.scan_batch().num_rows(), 1);
+        // every mutation kind must drop the memoized batch
+        let b = t.insert(vec![2.into(), "b".into(), 31.into()]).unwrap();
+        assert_eq!(t.scan_batch().num_rows(), 2);
+        t.update(b, vec![2.into(), "bb".into(), 32.into()]).unwrap();
+        assert_eq!(t.scan_batch().value(1, 1), Value::from("bb"));
+        t.delete(b).unwrap();
+        assert_eq!(t.scan_batch().num_rows(), 1);
+        t.undelete(b, vec![2.into(), "b".into(), 31.into()])
+            .unwrap();
+        assert_eq!(t.scan_batch().num_rows(), 2);
+        t.truncate();
+        assert_eq!(t.scan_batch().num_rows(), 0);
+        // repeated scans of a stable table agree with the row image
+        assert_eq!(t.scan_batch(), t.scan_batch());
+    }
+
+    #[test]
+    fn insert_row_borrows_and_validates() {
+        let mut t = users();
+        let row = vec![Value::Int(1), "a".into(), Value::Int(5)];
+        t.insert_row(&row).unwrap();
+        // caller keeps the original row
+        assert_eq!(row[1], "a".into());
+        assert!(t.insert_row(&row).is_err()); // duplicate pk, row still usable
+        assert_eq!(t.row_count(), 1);
     }
 
     #[test]
@@ -418,7 +580,10 @@ mod tests {
         t.drop_index("ix_age").unwrap();
         assert!(t.index("ix_age").is_none());
         assert!(t.drop_index("pk_users").is_err());
-        assert!(matches!(t.drop_index("nope"), Err(DbError::IndexNotFound(_))));
+        assert!(matches!(
+            t.drop_index("nope"),
+            Err(DbError::IndexNotFound(_))
+        ));
     }
 
     #[test]

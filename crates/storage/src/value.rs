@@ -45,8 +45,7 @@ impl DataType {
         self == from
             || matches!(
                 (self, from),
-                (DataType::Float, DataType::Int)
-                    | (DataType::Timestamp, DataType::Date)
+                (DataType::Float, DataType::Int) | (DataType::Timestamp, DataType::Date)
             )
     }
 

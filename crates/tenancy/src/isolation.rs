@@ -51,8 +51,8 @@ impl SharedSchema {
     pub fn create_shared_table(&self, name: &str, user_schema: Schema) -> TenancyResult<()> {
         let mut cols = vec![Column::new(TENANT_COLUMN, DataType::Text).not_null()];
         cols.extend(user_schema.columns().iter().cloned());
-        let schema = Schema::new(cols)
-            .map_err(|e| TenancyError::PlanLimit(format!("schema error: {e}")))?;
+        let schema =
+            Schema::new(cols).map_err(|e| TenancyError::PlanLimit(format!("schema error: {e}")))?;
         self.db
             .create_table(name, schema)
             .map_err(|e| TenancyError::PlanLimit(format!("create failed: {e}")))?;
@@ -79,11 +79,7 @@ impl SharedSchema {
     /// Run a tenant-scoped `SELECT`: the query's `WHERE` is augmented with
     /// the tenant predicate, so a tenant can never read another tenant's
     /// rows through this API.
-    pub fn query(
-        &self,
-        tenant: &str,
-        select_sql: &str,
-    ) -> Result<QueryResult, SqlError> {
+    pub fn query(&self, tenant: &str, select_sql: &str) -> Result<QueryResult, SqlError> {
         let scoped = scope_select(select_sql, tenant)?;
         self.engine.execute(&self.db, &scoped)
     }
@@ -268,18 +264,28 @@ mod tests {
         ])
         .unwrap();
         shared.create_shared_table("orders", schema).unwrap();
-        shared.insert("t1", "orders", vec![1.into(), 10.0.into()]).unwrap();
-        shared.insert("t1", "orders", vec![2.into(), 20.0.into()]).unwrap();
-        shared.insert("t2", "orders", vec![1.into(), 99.0.into()]).unwrap();
+        shared
+            .insert("t1", "orders", vec![1.into(), 10.0.into()])
+            .unwrap();
+        shared
+            .insert("t1", "orders", vec![2.into(), 20.0.into()])
+            .unwrap();
+        shared
+            .insert("t2", "orders", vec![1.into(), 99.0.into()])
+            .unwrap();
         shared
     }
 
     #[test]
     fn tenants_cannot_see_each_other() {
         let shared = shared_with_orders();
-        let r1 = shared.query("t1", "SELECT SUM(amount) FROM orders").unwrap();
+        let r1 = shared
+            .query("t1", "SELECT SUM(amount) FROM orders")
+            .unwrap();
         assert_eq!(r1.rows[0][0], Value::Float(30.0));
-        let r2 = shared.query("t2", "SELECT SUM(amount) FROM orders").unwrap();
+        let r2 = shared
+            .query("t2", "SELECT SUM(amount) FROM orders")
+            .unwrap();
         assert_eq!(r2.rows[0][0], Value::Float(99.0));
         assert_eq!(shared.tenant_row_count("t1", "orders"), 2);
         assert_eq!(shared.tenant_row_count("t3", "orders"), 0);
@@ -289,7 +295,10 @@ mod tests {
     fn scoping_survives_existing_where_and_clauses() {
         let shared = shared_with_orders();
         let r = shared
-            .query("t1", "SELECT id FROM orders WHERE amount > 15 ORDER BY id DESC LIMIT 5")
+            .query(
+                "t1",
+                "SELECT id FROM orders WHERE amount > 15 ORDER BY id DESC LIMIT 5",
+            )
             .unwrap();
         assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
     }
@@ -301,7 +310,10 @@ mod tests {
         // ANDed around the whole user predicate, so this still returns
         // only t1's rows
         let r = shared
-            .query("t1", "SELECT COUNT(*) FROM orders WHERE tenant_id = 't2' OR 1 = 1")
+            .query(
+                "t1",
+                "SELECT COUNT(*) FROM orders WHERE tenant_id = 't2' OR 1 = 1",
+            )
             .unwrap();
         assert_eq!(r.rows[0][0], Value::Int(2));
         // non-SELECT statements are rejected outright

@@ -36,4 +36,4 @@ mod registry;
 pub use isolation::{scope_select, DedicatedInstances, SharedSchema, TENANT_COLUMN};
 pub use metering::{ServiceKind, UsageEvent, UsageMeter, UsageSummary};
 pub use plan::{Invoice, SubscriptionPlan};
-pub use registry::{Tenant, TenancyError, TenancyResult, TenantRegistry, TenantStatus};
+pub use registry::{TenancyError, TenancyResult, Tenant, TenantRegistry, TenantStatus};

@@ -89,8 +89,7 @@ impl Invoice {
     /// Compute an invoice.
     pub fn compute(tenant: &str, plan: &SubscriptionPlan, units: u64) -> Invoice {
         let overage_units = units.saturating_sub(plan.included_units);
-        let overage_cents =
-            (overage_units * plan.overage_per_unit_centicents).div_ceil(100);
+        let overage_cents = (overage_units * plan.overage_per_unit_centicents).div_ceil(100);
         Invoice {
             tenant: tenant.to_string(),
             plan: plan.name.clone(),

@@ -205,10 +205,7 @@ mod tests {
             reg.require_active("acme"),
             Err(TenancyError::NotActive(_))
         ));
-        assert!(matches!(
-            reg.get("ghost"),
-            Err(TenancyError::NotFound(_))
-        ));
+        assert!(matches!(reg.get("ghost"), Err(TenancyError::NotFound(_))));
     }
 
     #[test]
@@ -231,7 +228,9 @@ mod tests {
     #[test]
     fn plan_user_limits_enforced() {
         let reg = TenantRegistry::new();
-        let realm = reg.provision("small", "S", SubscriptionPlan::free()).unwrap();
+        let realm = reg
+            .provision("small", "S", SubscriptionPlan::free())
+            .unwrap();
         for i in 0..3 {
             reg.check_user_limit("small").unwrap();
             realm.create_user(&format!("u{i}"), "pw").unwrap();

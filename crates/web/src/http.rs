@@ -70,7 +70,8 @@ impl HttpRequest {
 
     /// Builder-style header.
     pub fn with_header(mut self, key: &str, value: &str) -> Self {
-        self.headers.insert(key.to_ascii_lowercase(), value.to_string());
+        self.headers
+            .insert(key.to_ascii_lowercase(), value.to_string());
         self
     }
 
@@ -82,7 +83,9 @@ impl HttpRequest {
 
     /// Header accessor (case-insensitive).
     pub fn header(&self, key: &str) -> Option<&str> {
-        self.headers.get(&key.to_ascii_lowercase()).map(String::as_str)
+        self.headers
+            .get(&key.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// Query-parameter accessor.
@@ -180,9 +183,9 @@ pub fn percent_decode(s: &str) -> String {
     while i < bytes.len() {
         match bytes[i] {
             b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
-                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
-                    u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()
-                });
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok());
                 match hex {
                     Some(b) => {
                         out.push(b);

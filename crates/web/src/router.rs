@@ -166,9 +166,7 @@ mod tests {
         let r = router();
         assert_eq!(r.dispatch(get("/ping")).body_text(), "pong");
         assert_eq!(r.dispatch(get("/reports/42")).body_text(), "report 42");
-        let resp = r.dispatch(
-            HttpRequest::new(Method::Post, "/reports/7/run").with_body("params"),
-        );
+        let resp = r.dispatch(HttpRequest::new(Method::Post, "/reports/7/run").with_body("params"));
         assert_eq!(resp.body_text(), "ran 7 with params");
     }
 

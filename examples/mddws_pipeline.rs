@@ -6,8 +6,8 @@
 
 use std::sync::Arc;
 
-use odbis_metamodel::{export_repository, AttrValue, ModelRepository};
 use odbis_mddws::{cim_metamodel, DwLayer, DwProject, Viewpoint, DISCIPLINES};
+use odbis_metamodel::{export_repository, AttrValue, ModelRepository};
 use odbis_sql::Engine;
 use odbis_storage::Database;
 
@@ -48,7 +48,10 @@ fn retail_business_model() -> ModelRepository {
         vec![
             ("name", "store".into()),
             ("kind", "DIMENSION".into()),
-            ("properties", AttrValue::RefList(vec![store_name, store_city])),
+            (
+                "properties",
+                AttrValue::RefList(vec![store_name, store_city]),
+            ),
         ],
     )
     .expect("dimension");
@@ -57,7 +60,10 @@ fn retail_business_model() -> ModelRepository {
         vec![
             ("name", "product".into()),
             ("kind", "DIMENSION".into()),
-            ("properties", AttrValue::RefList(vec![product_name, category])),
+            (
+                "properties",
+                AttrValue::RefList(vec![product_name, category]),
+            ),
         ],
     )
     .expect("dimension");
@@ -80,7 +86,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  [{:?}] {} {}",
             d.track,
             d.name,
-            d.produces.map(|v| format!("-> {}", v.name())).unwrap_or_default()
+            d.produces
+                .map(|v| format!("-> {}", v.name()))
+                .unwrap_or_default()
         );
     }
 
@@ -89,9 +97,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- the iteration, step by step -----------------------------------
     project.begin_layer(DwLayer::Warehouse)?;
-    project
-        .process_mut()
-        .log_risk(DwLayer::Warehouse, "legacy POS exports have no product keys", 4)?;
+    project.process_mut().log_risk(
+        DwLayer::Warehouse,
+        "legacy POS exports have no product keys",
+        4,
+    )?;
 
     let bcim = retail_business_model();
     println!("\nBCIM: {} business objects", bcim.len());
@@ -114,7 +124,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let code = project.generate_code(DwLayer::Warehouse)?;
     println!("\ngenerated DDL:\n{}", code.ddl_script());
-    println!("\nload skeletons (code-completion TODOs): {}", code.load_skeletons.len());
+    println!(
+        "\nload skeletons (code-completion TODOs): {}",
+        code.load_skeletons.len()
+    );
 
     project.test_code(DwLayer::Warehouse)?;
     println!("test discipline: DDL deploys cleanly into a scratch database");
@@ -122,7 +135,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let created = project.deploy_layer(DwLayer::Warehouse, &warehouse)?;
     println!("deployed tables: {created:?}");
 
-    project.process_mut().mitigate_risk(DwLayer::Warehouse, "product keys")?;
+    project
+        .process_mut()
+        .mitigate_risk(DwLayer::Warehouse, "product keys")?;
 
     // --- milestone & traceability ----------------------------------------
     let iter = project.process().iteration(DwLayer::Warehouse)?;

@@ -104,7 +104,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
 
-    let (status, body) = call("GET", "/datasets/visits_by_dept", "").map_err(std::io::Error::other)?;
+    let (status, body) =
+        call("GET", "/datasets/visits_by_dept", "").map_err(std::io::Error::other)?;
     println!("GET /datasets/visits_by_dept -> {status}\n  {body}");
 
     let (status, body) = call(

@@ -102,7 +102,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let html = platform.render_dashboard("acme", &token, &dashboard)?;
     let out = std::env::temp_dir().join("odbis-quickstart-dashboard.html");
     std::fs::write(&out, &html)?;
-    println!("dashboard written to {} ({} bytes)", out.display(), html.len());
+    println!(
+        "dashboard written to {} ({} bytes)",
+        out.display(),
+        html.len()
+    );
 
     // 6. pay-as-you-go: see what this session will be billed
     for service in ServiceKind::ALL {

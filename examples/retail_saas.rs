@@ -14,8 +14,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // three tenants on three different plans
     let tenants = [
-        ("nordwind", "Nordwind Traders", SubscriptionPlan::enterprise(), 12_000usize),
-        ("contoso", "Contoso Retail", SubscriptionPlan::standard(), 3_000),
+        (
+            "nordwind",
+            "Nordwind Traders",
+            SubscriptionPlan::enterprise(),
+            12_000usize,
+        ),
+        (
+            "contoso",
+            "Contoso Retail",
+            SubscriptionPlan::standard(),
+            3_000,
+        ),
         ("tailspin", "Tailspin Toys", SubscriptionPlan::free(), 200),
     ];
 
@@ -57,12 +67,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // logically unique per tenant: identical dataset names, disjoint data
-    println!("tenants registered: {:?}", platform.admin.registry().tenant_ids());
+    println!(
+        "tenants registered: {:?}",
+        platform.admin.registry().tenant_ids()
+    );
 
     // usage report: each tenant's metered activity differs with its load
     println!("\nplatform usage report:");
     for line in platform.admin.usage_report() {
-        println!("  {:<10} {:<4} {:>8} units", line.tenant, line.service, line.units);
+        println!(
+            "  {:<10} {:<4} {:>8} units",
+            line.tenant, line.service, line.units
+        );
     }
     let mds = |t: &str| platform.admin.meter().usage(t, ServiceKind::Metadata);
     assert!(mds("nordwind") > mds("contoso"));

@@ -11,9 +11,9 @@ pub use odbis_admin as admin;
 pub use odbis_delivery as delivery;
 pub use odbis_esb as esb;
 pub use odbis_etl as etl;
+pub use odbis_mddws as mddws;
 pub use odbis_metadata as metadata;
 pub use odbis_metamodel as metamodel;
-pub use odbis_mddws as mddws;
 pub use odbis_olap as olap;
 pub use odbis_orm as orm;
 pub use odbis_reporting as reporting;

@@ -1,0 +1,208 @@
+//! Differential harness for the columnar data plane: every query in the
+//! corpus runs through the row-at-a-time executor and the vectorized
+//! batch path, and the results must be identical — same columns, same
+//! rows, same order.
+
+use std::sync::Arc;
+
+use odbis_bench::workloads;
+use odbis_sql::{Engine, QueryResult};
+use odbis_storage::Database;
+
+/// A database mixing the generated healthcare star schema with a small
+/// hand-built table exercising NULLs, booleans, dates, negative numbers
+/// and mixed-case text.
+fn corpus_db() -> Arc<Database> {
+    let db = workloads::healthcare_db(500, 42);
+    Engine::new()
+        .execute_script(
+            &db,
+            "CREATE TABLE edge (id INT PRIMARY KEY, grp TEXT, val INT, score DOUBLE,
+                                flag BOOLEAN, label TEXT, d DATE);
+             CREATE INDEX idx_edge_val ON edge (val);
+             INSERT INTO edge VALUES
+               (1, 'a', 10, 1.5, TRUE, 'alpha', DATE '2020-01-01'),
+               (2, 'a', NULL, 2.5, FALSE, 'beta', DATE '2020-02-01'),
+               (3, 'b', 30, NULL, NULL, NULL, NULL),
+               (4, NULL, 40, 4.0, TRUE, 'delta', DATE '2021-01-01'),
+               (5, 'b', 0, 0.0, FALSE, 'Epsilon', DATE '2019-06-15'),
+               (6, 'c', -7, -1.25, TRUE, 'zeta', DATE '2020-01-01');",
+        )
+        .expect("corpus DDL");
+    Arc::new(db)
+}
+
+/// The query corpus: scans, filters with three-valued logic, expression
+/// projections, string/date functions, IN/BETWEEN/LIKE/CASE, joins,
+/// grouped aggregates with HAVING, DISTINCT, ORDER BY with LIMIT/OFFSET,
+/// index-friendly point and range predicates, and FROM-less selects.
+const CORPUS: &[&str] = &[
+    // plain scans and projections
+    "SELECT * FROM edge",
+    "SELECT id, label FROM edge",
+    "SELECT id, val * 2 AS double_val, score + 1.0 AS bumped FROM edge",
+    "SELECT id, -val AS neg, NOT flag AS unflag FROM edge",
+    "SELECT * FROM fact_admission",
+    "SELECT id, cost, stay_days FROM fact_admission",
+    // filters, including 3VL around NULLs
+    "SELECT id FROM edge WHERE val > 5",
+    "SELECT id FROM edge WHERE val > 5 AND score < 3.0",
+    "SELECT id FROM edge WHERE val > 5 OR score IS NULL",
+    "SELECT id FROM edge WHERE grp IS NULL",
+    "SELECT id FROM edge WHERE grp IS NOT NULL AND flag",
+    "SELECT id FROM edge WHERE NOT (val >= 10)",
+    "SELECT id FROM edge WHERE val <> 0 AND 100 / val > 5",
+    "SELECT id FROM fact_admission WHERE cost > 1500.0 AND stay_days < 10",
+    "SELECT id FROM fact_admission WHERE year = 2009 AND month >= 6",
+    // arithmetic mixing ints and floats
+    "SELECT id, val + score AS mixed, val % 3 AS rem FROM edge WHERE val IS NOT NULL",
+    "SELECT id, cost / stay_days AS per_day FROM fact_admission WHERE stay_days > 0",
+    // LIKE / IN / BETWEEN / CASE
+    "SELECT id FROM edge WHERE label LIKE '%eta'",
+    "SELECT id FROM edge WHERE label LIKE '_lpha'",
+    "SELECT id FROM edge WHERE grp IN ('a', 'c')",
+    "SELECT id FROM edge WHERE val IN (10, NULL, 40)",
+    "SELECT id FROM edge WHERE val BETWEEN 0 AND 30",
+    "SELECT id, CASE WHEN val > 20 THEN 'big' WHEN val > 0 THEN 'small' ELSE 'other' END AS size FROM edge",
+    "SELECT id, CASE WHEN val <> 0 THEN 100 / val ELSE 0 END AS guarded FROM edge WHERE val IS NOT NULL",
+    // scalar functions
+    "SELECT id, UPPER(label) AS up, LENGTH(label) AS n FROM edge",
+    "SELECT id, COALESCE(grp, 'none') AS g FROM edge",
+    "SELECT id, ABS(val) AS a, ROUND(score) AS r FROM edge",
+    // date handling
+    "SELECT id FROM edge WHERE d >= DATE '2020-01-01'",
+    "SELECT id, d FROM edge WHERE d IS NOT NULL ORDER BY d, id",
+    // joins
+    "SELECT f.id, d.name FROM fact_admission f JOIN dim_department d ON f.dept_id = d.dept_id WHERE f.cost > 2000.0 ORDER BY f.id",
+    "SELECT e.id, f.id FROM edge e JOIN fact_admission f ON e.id = f.id ORDER BY e.id",
+    "SELECT e.id, e2.label FROM edge e LEFT JOIN edge e2 ON e.val = e2.val ORDER BY e.id, e2.id",
+    // grouped aggregates
+    "SELECT grp, COUNT(*) AS n FROM edge GROUP BY grp",
+    "SELECT grp, COUNT(val) AS n, SUM(val) AS s, AVG(score) AS m FROM edge GROUP BY grp",
+    "SELECT dept_id, COUNT(*) AS n, SUM(cost) AS total, AVG(cost) AS mean FROM fact_admission GROUP BY dept_id",
+    "SELECT year, month, SUM(cost) AS total FROM fact_admission GROUP BY year, month ORDER BY year, month",
+    "SELECT dept_id, SUM(cost) AS total FROM fact_admission GROUP BY dept_id HAVING SUM(cost) > 10000.0",
+    "SELECT COUNT(*) AS n, MIN(cost) AS lo, MAX(cost) AS hi FROM fact_admission",
+    "SELECT COUNT(DISTINCT dept_id) AS depts FROM fact_admission",
+    "SELECT COUNT(*) AS n FROM edge WHERE val > 1000",
+    // DISTINCT / ORDER BY / LIMIT / OFFSET
+    "SELECT DISTINCT grp FROM edge",
+    "SELECT DISTINCT year FROM fact_admission ORDER BY year",
+    "SELECT id, cost FROM fact_admission ORDER BY cost DESC, id LIMIT 7",
+    "SELECT id FROM fact_admission ORDER BY id LIMIT 5 OFFSET 490",
+    "SELECT id FROM fact_admission ORDER BY id LIMIT 5 OFFSET 1000",
+    // index-friendly predicates (point + range on PK / secondary index)
+    "SELECT * FROM edge WHERE id = 3",
+    "SELECT id FROM edge WHERE val >= 10 AND val <= 40 ORDER BY id",
+    "SELECT id FROM fact_admission WHERE id BETWEEN 100 AND 110",
+    // FROM-less
+    "SELECT 1 + 2 AS three, UPPER('ok') AS ok",
+];
+
+fn assert_same(sql: &str, reference: &QueryResult, candidate: &QueryResult, label: &str) {
+    assert_eq!(
+        reference.columns, candidate.columns,
+        "column mismatch ({label}) for: {sql}"
+    );
+    assert_eq!(
+        reference.rows, candidate.rows,
+        "row mismatch ({label}) for: {sql}"
+    );
+}
+
+/// Like [`assert_same`] but tolerant of row order when the query has no
+/// `ORDER BY` — used when reference and candidate run different plan
+/// shapes (index scan vs table scan), where unordered results may come
+/// back in different but equally valid orders.
+fn assert_same_unordered(sql: &str, reference: &QueryResult, candidate: &QueryResult, label: &str) {
+    if sql.to_ascii_uppercase().contains("ORDER BY") {
+        return assert_same(sql, reference, candidate, label);
+    }
+    assert_eq!(
+        reference.columns, candidate.columns,
+        "column mismatch ({label}) for: {sql}"
+    );
+    let canonical = |r: &QueryResult| {
+        let mut rows: Vec<String> = r.rows.iter().map(|row| format!("{row:?}")).collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(
+        canonical(reference),
+        canonical(candidate),
+        "row multiset mismatch ({label}) for: {sql}"
+    );
+}
+
+#[test]
+fn vectorized_path_matches_row_path() {
+    let db = corpus_db();
+    let row_engine = Engine::with_row_execution();
+    let vec_engine = Engine::new();
+    for sql in CORPUS {
+        let reference = row_engine
+            .execute(&db, sql)
+            .unwrap_or_else(|e| panic!("row path failed for {sql}: {e}"));
+        let candidate = vec_engine
+            .execute(&db, sql)
+            .unwrap_or_else(|e| panic!("vectorized path failed for {sql}: {e}"));
+        assert_same(sql, &reference, &candidate, "vectorized+indexes");
+    }
+}
+
+#[test]
+fn vectorized_path_matches_row_path_without_indexes() {
+    // Index selection changes the plan shape (IndexScan vs filtered
+    // TableScan); results must not depend on it on either path.
+    let db = corpus_db();
+    let row_engine = Engine::with_row_execution();
+    let vec_engine = Engine::without_index_selection();
+    for sql in CORPUS {
+        let reference = row_engine
+            .execute(&db, sql)
+            .unwrap_or_else(|e| panic!("row path failed for {sql}: {e}"));
+        let candidate = vec_engine
+            .execute(&db, sql)
+            .unwrap_or_else(|e| panic!("vectorized (no index) path failed for {sql}: {e}"));
+        assert_same_unordered(sql, &reference, &candidate, "vectorized-no-indexes");
+    }
+}
+
+#[test]
+fn both_paths_agree_on_errors() {
+    // The vectorized path may surface a *different* failing row than the
+    // row-at-a-time path (it evaluates column-wise), so messages are not
+    // compared — but whether a query errors must match.
+    let db = corpus_db();
+    let row_engine = Engine::with_row_execution();
+    let vec_engine = Engine::new();
+    let failing = [
+        "SELECT 1 / 0",
+        "SELECT id, 100 / val AS q FROM edge", // val = 0 on one row
+        "SELECT -label FROM edge",             // negate text
+        "SELECT id, val % 0 AS m FROM edge",   // modulo by zero
+        "SELECT ghost FROM edge",              // unknown column
+        "SELECT id FROM edge WHERE label + 1 > 0", // text arithmetic
+    ];
+    for sql in &failing {
+        let row = row_engine.execute(&db, sql);
+        let vec = vec_engine.execute(&db, sql);
+        assert!(row.is_err(), "row path unexpectedly succeeded for: {sql}");
+        assert!(
+            vec.is_err(),
+            "vectorized path unexpectedly succeeded for: {sql}"
+        );
+    }
+}
+
+#[test]
+fn batch_entry_point_matches_row_pivoted_result() {
+    let db = corpus_db();
+    let engine = Engine::new();
+    for sql in CORPUS.iter().filter(|s| s.starts_with("SELECT")) {
+        let result = engine.execute(&db, sql).unwrap();
+        let (columns, batch) = engine.execute_select_batch(&db, sql).unwrap();
+        assert_eq!(result.columns, columns, "columns for: {sql}");
+        assert_eq!(result.rows, batch.to_rows(), "rows for: {sql}");
+    }
+}

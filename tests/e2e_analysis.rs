@@ -6,8 +6,7 @@ use std::sync::Arc;
 
 use odbis_bench::workloads;
 use odbis_olap::{
-    mining, Aggregator, CubeDef, CubeEngine, CubeView, DimensionDef, LevelDef, LevelRef,
-    MeasureDef,
+    mining, Aggregator, CubeDef, CubeEngine, CubeView, DimensionDef, LevelDef, LevelRef, MeasureDef,
 };
 use odbis_sql::Engine;
 

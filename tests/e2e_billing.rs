@@ -17,8 +17,12 @@ fn billed_units_match_actual_service_calls_exactly() {
     p.sql("acme", &token, "CREATE TABLE events (id INT, v INT)")
         .unwrap();
     for i in 0..10 {
-        p.sql("acme", &token, &format!("INSERT INTO events VALUES ({i}, {i})"))
-            .unwrap();
+        p.sql(
+            "acme",
+            &token,
+            &format!("INSERT INTO events VALUES ({i}, {i})"),
+        )
+        .unwrap();
     }
     p.define_dataset(
         "acme",
@@ -64,7 +68,10 @@ fn overage_is_billed_and_cost_is_monotonic_in_usage() {
             invoice.total_cents >= last,
             "cost must not decrease with usage"
         );
-        assert_eq!(invoice.total_cents, invoice.base_cents + invoice.overage_cents);
+        assert_eq!(
+            invoice.total_cents,
+            invoice.base_cents + invoice.overage_cents
+        );
         last = invoice.total_cents;
     }
     // crossing the allowance starts charging

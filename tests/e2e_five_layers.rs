@@ -38,7 +38,13 @@ fn request_traverses_all_five_layers() {
     // layer 3 (administration): provision the tenant with its realm
     let platform = Arc::new(OdbisPlatform::new());
     platform
-        .provision_tenant("clinic", "City Clinic", SubscriptionPlan::standard(), "cio", "pw")
+        .provision_tenant(
+            "clinic",
+            "City Clinic",
+            SubscriptionPlan::standard(),
+            "cio",
+            "pw",
+        )
         .unwrap();
 
     // layer 5 (end-user access): a real HTTP server on loopback
@@ -46,8 +52,7 @@ fn request_traverses_all_five_layers() {
     let addr = server.addr().to_string();
 
     // login over the wire
-    let (status, body) =
-        odbis_web::http_post(&addr, "/login", "clinic cio pw").unwrap();
+    let (status, body) = odbis_web::http_post(&addr, "/login", "clinic cio pw").unwrap();
     assert_eq!(status, 200);
     let token = serde_json::from_str::<serde_json::Value>(&body).unwrap()["token"]
         .as_str()
@@ -91,7 +96,10 @@ fn request_traverses_all_five_layers() {
     assert_eq!(v["rows"][0][1], "2000.0");
 
     // layer 3 again: the calls above were metered for pay-as-you-go
-    let mds_units = platform.admin.meter().usage("clinic", ServiceKind::Metadata);
+    let mds_units = platform
+        .admin
+        .meter()
+        .usage("clinic", ServiceKind::Metadata);
     assert!(mds_units > 0, "usage must be metered");
     let (status, usage) = auth_get(&addr, "/admin/usage", &token);
     assert_eq!(status, 200);
@@ -112,20 +120,32 @@ fn five_tenants_share_one_platform_instance() {
     for i in 0..5 {
         let id = format!("t{i}");
         platform
-            .provision_tenant(&id, &format!("Tenant {i}"), SubscriptionPlan::free(), "adm", "pw")
+            .provision_tenant(
+                &id,
+                &format!("Tenant {i}"),
+                SubscriptionPlan::free(),
+                "adm",
+                "pw",
+            )
             .unwrap();
         let token = platform.login(&id, "adm", "pw").unwrap();
         platform
             .sql(&id, &token, "CREATE TABLE private (secret TEXT)")
             .unwrap();
         platform
-            .sql(&id, &token, &format!("INSERT INTO private VALUES ('tenant-{i}')"))
+            .sql(
+                &id,
+                &token,
+                &format!("INSERT INTO private VALUES ('tenant-{i}')"),
+            )
             .unwrap();
         tokens.push((id, token));
     }
     // every tenant sees exactly its own row
     for (id, token) in &tokens {
-        let r = platform.sql(id, token, "SELECT secret FROM private").unwrap();
+        let r = platform
+            .sql(id, token, "SELECT secret FROM private")
+            .unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0].render(), format!("tenant-{}", &id[1..]));
     }

@@ -4,8 +4,8 @@
 
 use std::sync::Arc;
 
-use odbis_metamodel::{AttrValue, ModelRepository};
 use odbis_mddws::{cim_metamodel, DwLayer, DwProject, Viewpoint};
+use odbis_metamodel::{AttrValue, ModelRepository};
 use odbis_sql::Engine;
 use odbis_storage::Database;
 
@@ -71,15 +71,21 @@ fn figure3_pipeline_business_model_to_queryable_warehouse() {
         .process_mut()
         .log_risk(DwLayer::Warehouse, "store master data is incomplete", 3)
         .unwrap();
-    project.submit_bcim(DwLayer::Warehouse, retail_bcim()).unwrap();
+    project
+        .submit_bcim(DwLayer::Warehouse, retail_bcim())
+        .unwrap();
     let pim_objects = project.derive_pim(DwLayer::Warehouse).unwrap();
     assert!(pim_objects >= 5); // 2 tables + 3 columns (+ schema)
-    let psm_objects = project.derive_psm(DwLayer::Warehouse, "ODBIS-STORAGE").unwrap();
+    let psm_objects = project
+        .derive_psm(DwLayer::Warehouse, "ODBIS-STORAGE")
+        .unwrap();
     assert!(psm_objects >= 5);
     let ddl_count = project.generate_code(DwLayer::Warehouse).unwrap().ddl.len();
     assert_eq!(ddl_count, 2);
     project.test_code(DwLayer::Warehouse).unwrap();
-    let created = project.deploy_layer(DwLayer::Warehouse, &warehouse).unwrap();
+    let created = project
+        .deploy_layer(DwLayer::Warehouse, &warehouse)
+        .unwrap();
     assert_eq!(created, vec!["dim_store", "fact_sale"]);
 
     // milestone: the iteration is complete
@@ -90,7 +96,9 @@ fn figure3_pipeline_business_model_to_queryable_warehouse() {
     assert!(iter.artifact(Viewpoint::Psm).is_some());
 
     // trace completeness: every BCIM object maps into the PIM
-    let bcim = project.model(DwLayer::Warehouse, Viewpoint::BusinessCim).unwrap();
+    let bcim = project
+        .model(DwLayer::Warehouse, Viewpoint::BusinessCim)
+        .unwrap();
     for obj in bcim.objects() {
         assert!(
             project.traces().iter().any(|t| t.source == obj.id),

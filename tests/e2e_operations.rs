@@ -4,7 +4,9 @@
 use std::sync::Arc;
 
 use odbis_delivery::{Channel, ReportPayload};
-use odbis_etl::{EtlJob, Extractor, JobRunner, JobScheduler, LoadMode, Loader, Schedule, Transform};
+use odbis_etl::{
+    EtlJob, Extractor, JobRunner, JobScheduler, LoadMode, Loader, Schedule, Transform,
+};
 use odbis_metadata::{DataSet, DataSource, MetadataService};
 use odbis_reporting::{Dashboard, KpiSpec, ReportingService, Widget};
 use odbis_sql::Engine;
@@ -80,7 +82,9 @@ fn scheduled_refresh_feeds_live_dashboard() {
     assert!(before.contains("30.0"), "{before}");
 
     // new raw data arrives; the next scheduled tick refreshes the mart
-    engine.execute(&warehouse, "INSERT INTO raw VALUES (70)").unwrap();
+    engine
+        .execute(&warehouse, "INSERT INTO raw VALUES (70)")
+        .unwrap();
     scheduler.tick();
     let after = rs.render_dashboard(&dash).unwrap();
     assert!(after.contains("100.0"), "{after}");
@@ -154,9 +158,11 @@ fn burst_formats_per_channel() {
             .find(|e| e.user == u)
             .unwrap_or_else(|| panic!("missing delivery for {u}"))
     };
-    assert!(by_user("ceo").delivered.body.starts_with("== Weekly numbers =="));
-    let api: serde_json::Value =
-        serde_json::from_str(&by_user("analyst").delivered.body).unwrap();
+    assert!(by_user("ceo")
+        .delivered
+        .body
+        .starts_with("== Weekly numbers =="));
+    let api: serde_json::Value = serde_json::from_str(&by_user("analyst").delivered.body).unwrap();
     assert_eq!(api["rowCount"], 30);
     assert_eq!(api["truncated"], false);
     let mobile: serde_json::Value =
@@ -166,5 +172,8 @@ fn burst_formats_per_channel() {
         mobile["rows"].as_array().unwrap().len(),
         odbis_delivery::MOBILE_ROW_CAP
     );
-    assert!(by_user("accountant").delivered.body.starts_with("kpi,value\n"));
+    assert!(by_user("accountant")
+        .delivered
+        .body
+        .starts_with("kpi,value\n"));
 }

@@ -13,8 +13,12 @@ fn boot() -> (OdbisPlatform, String) {
     p.provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
         .unwrap();
     let token = p.login("acme", "root", "pw").unwrap();
-    p.sql("acme", &token, "CREATE TABLE sales (region TEXT, amount DOUBLE)")
-        .unwrap();
+    p.sql(
+        "acme",
+        &token,
+        "CREATE TABLE sales (region TEXT, amount DOUBLE)",
+    )
+    .unwrap();
     p.sql("acme", &token, "INSERT INTO sales VALUES ('EU', 10)")
         .unwrap();
     p.define_dataset(
@@ -40,7 +44,10 @@ fn every_service_boundary_checks_authority() {
     let intern = p.login("acme", "intern", "pw").unwrap();
 
     let denied = |r: Result<(), PlatformError>| {
-        assert!(matches!(r, Err(PlatformError::Security(_))), "expected denial");
+        assert!(
+            matches!(r, Err(PlatformError::Security(_))),
+            "expected denial"
+        );
     };
     denied(p.sql("acme", &intern, "SELECT 1").map(drop));
     denied(p.execute_dataset("acme", &intern, "total").map(drop));

@@ -6,7 +6,9 @@ use std::sync::Arc;
 
 use odbis_etl::{EtlJob, Extractor, JobRunner, LoadMode, Loader, Transform};
 use odbis_metadata::{DataSet, DataSource, Glossary, MetadataService};
-use odbis_olap::{Aggregator, CubeDef, CubeEngine, CubeQuery, DimensionDef, LevelDef, LevelRef, MeasureDef};
+use odbis_olap::{
+    Aggregator, CubeDef, CubeEngine, CubeQuery, DimensionDef, LevelDef, LevelRef, MeasureDef,
+};
 use odbis_reporting::{ChartKind, ChartSpec, Dashboard, ReportingService, TableSpec, Widget};
 use odbis_sql::Engine;
 use odbis_storage::{Database, Value};
@@ -152,7 +154,11 @@ fn one_dataset_feeds_etl_olap_and_reporting() {
     // the business glossary links the business term to the same data set
     let mut glossary = Glossary::new();
     glossary
-        .define_term("Net Sales", "validated sales after filtering", Some("clean_sales"))
+        .define_term(
+            "Net Sales",
+            "validated sales after filtering",
+            Some("clean_sales"),
+        )
         .unwrap();
     assert_eq!(glossary.mapped_dataset("Net Sales").unwrap(), "clean_sales");
 

@@ -9,9 +9,7 @@ use std::sync::Arc;
 use odbis_esb::{Endpoint, Message, MessageBus};
 use odbis_metamodel::{cwm, AttrValue, ModelRepository};
 use odbis_orm::{Entity, EntityMeta, OrmResult, Repository};
-use odbis_rules::{
-    tconst, tvar, Action, Fact, Pattern, Rule, RuleEngine, TestOp, WorkingMemory,
-};
+use odbis_rules::{tconst, tvar, Action, Fact, Pattern, Rule, RuleEngine, TestOp, WorkingMemory};
 use odbis_security::{Role, SecurityManager};
 use odbis_storage::{DataType, Database, Value};
 use odbis_web::{http_get, HttpResponse, HttpServer, Method, Router};
@@ -118,13 +116,14 @@ fn all_stack_boxes_work_together() {
     // -- ESB (Spring Integration substitute): alerts flow to an audit sink
     let bus = MessageBus::new();
     bus.create_channel("alerts").unwrap();
-    let audit: Arc<std::sync::Mutex<Vec<String>>> =
-        Arc::new(std::sync::Mutex::new(Vec::new()));
+    let audit: Arc<std::sync::Mutex<Vec<String>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
     let sink = Arc::clone(&audit);
     bus.subscribe(
         "alerts",
         Endpoint::ServiceActivator(Box::new(move |m| {
-            sink.lock().unwrap().push(m.payload.as_text().unwrap_or("").to_string());
+            sink.lock()
+                .unwrap()
+                .push(m.payload.as_text().unwrap_or("").to_string());
             Ok(())
         })),
     )
