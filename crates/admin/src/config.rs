@@ -70,6 +70,17 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// The declared default for `sql.vectorized`: true unless the
+/// `ODBIS_SQL_VECTORIZED` environment variable opts the whole process into
+/// the row-executor ablation (`off`/`0`/`false`), as the CI ablation job
+/// does.
+fn vectorized_default() -> bool {
+    !matches!(
+        std::env::var("ODBIS_SQL_VECTORIZED").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    )
+}
+
 /// Declared-key configuration store with platform defaults and per-tenant
 /// overrides. Reads resolve tenant → platform → declared default.
 pub struct PlatformConfig {
@@ -92,7 +103,9 @@ impl PlatformConfig {
             ("reporting.default_chart", ConfigValue::from("bar")),
             ("etl.reject_threshold", ConfigValue::Int(1_000)),
             ("olap.preaggregation", ConfigValue::Bool(true)),
-            ("sql.vectorized", ConfigValue::Bool(true)),
+            ("sql.vectorized", ConfigValue::Bool(vectorized_default())),
+            ("telemetry.enabled", ConfigValue::Bool(true)),
+            ("telemetry.slow_ms", ConfigValue::Int(250)),
             ("delivery.mobile_row_cap", ConfigValue::Int(20)),
             ("security.session_minutes", ConfigValue::Int(30)),
             ("platform.name", ConfigValue::from("ODBIS")),

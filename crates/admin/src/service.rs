@@ -5,6 +5,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use odbis_security::Role;
+use odbis_telemetry::{CostLine, CostModel, Telemetry};
 use odbis_tenancy::{
     Invoice, ServiceKind, SubscriptionPlan, TenancyError, TenantRegistry, UsageMeter,
 };
@@ -120,6 +121,11 @@ pub struct AdminService {
     pub config: PlatformConfig,
     /// Platform performance monitor.
     pub perf: PerfMonitor,
+    /// The telemetry spine: spans, histograms, slow log (shared with every
+    /// layer through the thread-local trace context).
+    pub telemetry: Arc<Telemetry>,
+    /// The pay-as-you-go cost model joining meter units with telemetry.
+    pub cost_model: CostModel,
 }
 
 impl AdminService {
@@ -130,6 +136,8 @@ impl AdminService {
             meter,
             config: PlatformConfig::with_defaults(),
             perf: PerfMonitor::new(),
+            telemetry: Arc::new(Telemetry::new()),
+            cost_model: CostModel::default(),
         }
     }
 
@@ -211,6 +219,35 @@ impl AdminService {
         invoices
     }
 
+    /// The pay-as-you-go invoice: an outer join of metered units
+    /// (`UsageMeter`) with measured resource consumption (telemetry
+    /// requests, rows, bytes, CPU time) per `(tenant, service)`, priced by
+    /// the cost model. Non-destructive — neither the meter nor the
+    /// telemetry registry is reset (that stays `billing_run`'s job).
+    pub fn invoice_report(&self) -> Vec<CostLine> {
+        let usage = self.meter.summary();
+        let mut totals = self.telemetry.totals();
+        let mut lines = Vec::new();
+        for ((tenant, service), units) in usage {
+            let code = service.code();
+            let t = totals
+                .remove(&(tenant.clone(), code.to_string()))
+                .unwrap_or_default();
+            lines.push(self.cost_model.line(&tenant, code, units, t));
+        }
+        // telemetry-only pairs (e.g. calls that failed before metering).
+        // Child spans carry layer labels (`sql`, `olap`, ...) whose time is
+        // already inside the gate-level root spans — only gate service
+        // codes become invoice lines.
+        for ((tenant, service), t) in totals {
+            if ServiceKind::ALL.iter().any(|k| k.code() == service) {
+                lines.push(self.cost_model.line(&tenant, &service, 0, t));
+            }
+        }
+        lines.sort_by(|a, b| (&a.tenant, &a.service).cmp(&(&b.tenant, &b.service)));
+        lines
+    }
+
     /// Record usage on behalf of a service (the platform layer calls this
     /// on every service invocation).
     pub fn meter_usage(&self, tenant: &str, service: ServiceKind, units: u64) {
@@ -278,6 +315,36 @@ mod tests {
         assert_eq!(t2.total_cents, 0);
         // meters reset after the run
         assert!(a.usage_report().is_empty());
+    }
+
+    #[test]
+    fn invoice_report_joins_meter_and_telemetry() {
+        let a = admin();
+        a.provision_tenant("t1", "T1", SubscriptionPlan::standard(), "u", "p")
+            .unwrap();
+        a.meter_usage("t1", ServiceKind::Metadata, 100);
+        {
+            let mut span = a.telemetry.span("t1", "MDS", "sql", 0);
+            span.set_rows(50);
+            // a child span must NOT produce its own invoice line
+            let _child = odbis_telemetry::child_span("sql", "execute");
+        }
+        // telemetry-only service for another tenant
+        drop(a.telemetry.span("t2", "AS", "mdx", 0));
+        let lines = a.invoice_report();
+        assert_eq!(lines.len(), 2);
+        let t1 = &lines[0];
+        assert_eq!((t1.tenant.as_str(), t1.service.as_str()), ("t1", "MDS"));
+        assert_eq!(t1.units, 100);
+        assert_eq!(t1.requests, 1);
+        assert_eq!(t1.rows, 50);
+        assert!(t1.millicents >= 100 * a.cost_model.millicents_per_unit);
+        let t2 = &lines[1];
+        assert_eq!((t2.tenant.as_str(), t2.service.as_str()), ("t2", "AS"));
+        assert_eq!(t2.units, 0);
+        assert_eq!(t2.requests, 1);
+        // the meter is untouched by the report
+        assert_eq!(a.meter().usage("t1", ServiceKind::Metadata), 100);
     }
 
     #[test]

@@ -23,25 +23,70 @@ pub enum PlatformError {
     Delivery(String),
     /// MDDWS failure.
     Mddws(String),
+    /// A named resource (data set, data source, report...) does not exist.
+    NotFound(String),
     /// Anything else.
     Internal(String),
 }
 
+impl PlatformError {
+    /// Machine-readable error kind (the `error.kind` field of the HTTP
+    /// error envelope).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PlatformError::Tenancy(_) => "tenancy",
+            PlatformError::Security(_) => "security",
+            PlatformError::Metadata(_) => "metadata",
+            PlatformError::Sql(_) => "sql",
+            PlatformError::Etl(_) => "etl",
+            PlatformError::Olap(_) => "olap",
+            PlatformError::Reporting(_) => "reporting",
+            PlatformError::Delivery(_) => "delivery",
+            PlatformError::Mddws(_) => "mddws",
+            PlatformError::NotFound(_) => "not_found",
+            PlatformError::Internal(_) => "internal",
+        }
+    }
+
+    /// The error's message, without the kind prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            PlatformError::Tenancy(m)
+            | PlatformError::Security(m)
+            | PlatformError::Metadata(m)
+            | PlatformError::Sql(m)
+            | PlatformError::Etl(m)
+            | PlatformError::Olap(m)
+            | PlatformError::Reporting(m)
+            | PlatformError::Delivery(m)
+            | PlatformError::Mddws(m)
+            | PlatformError::NotFound(m)
+            | PlatformError::Internal(m) => m,
+        }
+    }
+
+    /// The HTTP status the platform API maps this error to: missing
+    /// resources are 404, authn/authz failures are 403, plan/quota and
+    /// tenant-state violations are 402 (payment required), everything else
+    /// is a 400.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            PlatformError::NotFound(_) => 404,
+            PlatformError::Security(_) => 403,
+            PlatformError::Tenancy(_) => 402,
+            PlatformError::Internal(_) => 500,
+            _ => 400,
+        }
+    }
+}
+
 impl fmt::Display for PlatformError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let (kind, msg) = match self {
-            PlatformError::Tenancy(m) => ("tenancy", m),
-            PlatformError::Security(m) => ("security", m),
-            PlatformError::Metadata(m) => ("metadata", m),
-            PlatformError::Sql(m) => ("sql", m),
-            PlatformError::Etl(m) => ("etl", m),
-            PlatformError::Olap(m) => ("olap", m),
-            PlatformError::Reporting(m) => ("reporting", m),
-            PlatformError::Delivery(m) => ("delivery", m),
-            PlatformError::Mddws(m) => ("mddws", m),
-            PlatformError::Internal(m) => ("internal", m),
+        let kind = match self {
+            PlatformError::NotFound(_) => "not found",
+            other => other.kind(),
         };
-        write!(f, "{kind} error: {msg}")
+        write!(f, "{kind} error: {}", self.message())
     }
 }
 
@@ -61,7 +106,10 @@ impl From<odbis_security::SecurityError> for PlatformError {
 
 impl From<odbis_metadata::MetadataError> for PlatformError {
     fn from(e: odbis_metadata::MetadataError) -> Self {
-        PlatformError::Metadata(e.to_string())
+        match e {
+            odbis_metadata::MetadataError::NotFound(what) => PlatformError::NotFound(what),
+            other => PlatformError::Metadata(other.to_string()),
+        }
     }
 }
 

@@ -191,6 +191,52 @@ impl OdbisPlatform {
         Ok(principal)
     }
 
+    // ---- telemetry -----------------------------------------------------------
+
+    /// Open the root span for one gated service call. Honors the tenant's
+    /// `telemetry.enabled` / `telemetry.slow_ms` settings; when disabled
+    /// the returned span is inert and the call costs almost nothing.
+    fn trace_root(
+        &self,
+        tenant: &str,
+        service: ServiceKind,
+        operation: &'static str,
+    ) -> odbis_telemetry::Span {
+        if matches!(
+            self.admin.config.get(tenant, "telemetry.enabled"),
+            Ok(odbis_admin::ConfigValue::Bool(false))
+        ) {
+            return odbis_telemetry::Span::disabled();
+        }
+        let slow_ms = self
+            .admin
+            .config
+            .get_int(tenant, "telemetry.slow_ms")
+            .unwrap_or(250)
+            .max(0) as u64;
+        self.admin
+            .telemetry
+            .span(tenant, service.code(), operation, slow_ms)
+    }
+
+    /// Run one gated service call under a root span: the span/trace
+    /// context every deeper layer (SQL, ETL, OLAP, reporting, delivery)
+    /// attaches its child spans to.
+    fn traced<R>(
+        &self,
+        tenant: &str,
+        service: ServiceKind,
+        operation: &'static str,
+        f: impl FnOnce(&mut odbis_telemetry::Span) -> PlatformResult<R>,
+    ) -> PlatformResult<R> {
+        let mut span = self.trace_root(tenant, service, operation);
+        let result = f(&mut span);
+        if result.is_err() {
+            span.fail();
+        }
+        result
+    }
+
     // ---- core BI services (metered) -------------------------------------------
 
     /// Execute raw SQL in the tenant warehouse (designer capability).
@@ -199,24 +245,28 @@ impl OdbisPlatform {
     /// `sql.vectorized` setting is explicitly `false` (ablation switch,
     /// mirroring `olap.preaggregation`).
     pub fn sql(&self, tenant: &str, token: &str, sql: &str) -> PlatformResult<QueryResult> {
-        self.authorize(tenant, token, "ETL_DESIGN")?;
-        let ws = self.workspace(tenant)?;
-        let engine = if matches!(
-            self.admin.config.get(tenant, "sql.vectorized"),
-            Ok(odbis_admin::ConfigValue::Bool(false))
-        ) {
-            &self.sql_rows
-        } else {
-            &self.sql
-        };
-        let result = engine.execute(&ws.warehouse, sql)?;
-        // pay-as-you-go: one unit per call plus one per row touched
-        self.admin.meter_usage(
-            tenant,
-            ServiceKind::Metadata,
-            1 + result.rows.len() as u64 + result.rows_affected as u64,
-        );
-        Ok(result)
+        self.traced(tenant, ServiceKind::Metadata, "sql", |span| {
+            span.set_detail(sql);
+            self.authorize(tenant, token, "ETL_DESIGN")?;
+            let ws = self.workspace(tenant)?;
+            let engine = if matches!(
+                self.admin.config.get(tenant, "sql.vectorized"),
+                Ok(odbis_admin::ConfigValue::Bool(false))
+            ) {
+                &self.sql_rows
+            } else {
+                &self.sql
+            };
+            let result = engine.execute(&ws.warehouse, sql)?;
+            span.set_rows((result.rows.len() + result.rows_affected) as u64);
+            // pay-as-you-go: one unit per call plus one per row touched
+            self.admin.meter_usage(
+                tenant,
+                ServiceKind::Metadata,
+                1 + result.rows.len() as u64 + result.rows_affected as u64,
+            );
+            Ok(result)
+        })
     }
 
     /// Define a data set in the tenant's MDS.
@@ -226,11 +276,14 @@ impl OdbisPlatform {
         token: &str,
         dataset: DataSet,
     ) -> PlatformResult<()> {
-        self.authorize(tenant, token, "ETL_DESIGN")?;
-        let ws = self.workspace(tenant)?;
-        ws.mds.define_dataset(dataset)?;
-        self.admin.meter_usage(tenant, ServiceKind::Metadata, 1);
-        Ok(())
+        self.traced(tenant, ServiceKind::Metadata, "dataset.define", |span| {
+            span.set_detail(&dataset.name);
+            self.authorize(tenant, token, "ETL_DESIGN")?;
+            let ws = self.workspace(tenant)?;
+            ws.mds.define_dataset(dataset)?;
+            self.admin.meter_usage(tenant, ServiceKind::Metadata, 1);
+            Ok(())
+        })
     }
 
     /// Execute a data set.
@@ -240,62 +293,77 @@ impl OdbisPlatform {
         token: &str,
         name: &str,
     ) -> PlatformResult<QueryResult> {
-        self.authorize(tenant, token, "DATASET_RUN")?;
-        let ws = self.workspace(tenant)?;
-        let result = ws.mds.execute_dataset(name)?;
-        self.admin
-            .meter_usage(tenant, ServiceKind::Metadata, 1 + result.rows.len() as u64);
-        Ok(result)
+        self.traced(tenant, ServiceKind::Metadata, "dataset.run", |span| {
+            span.set_detail(name);
+            self.authorize(tenant, token, "DATASET_RUN")?;
+            let ws = self.workspace(tenant)?;
+            let result = ws.mds.execute_dataset(name)?;
+            span.set_rows(result.rows.len() as u64);
+            self.admin
+                .meter_usage(tenant, ServiceKind::Metadata, 1 + result.rows.len() as u64);
+            Ok(result)
+        })
     }
 
     /// Run an integration job in the tenant warehouse.
     pub fn run_etl(&self, tenant: &str, token: &str, job: &EtlJob) -> PlatformResult<JobReport> {
-        self.authorize(tenant, token, "ETL_DESIGN")?;
-        let ws = self.workspace(tenant)?;
-        let report = ws.etl.run(job).map_err(PlatformError::from)?;
-        self.admin
-            .meter_usage(tenant, ServiceKind::Integration, report.loaded as u64);
-        Ok(report)
+        self.traced(tenant, ServiceKind::Integration, "etl.run", |span| {
+            span.set_detail(&job.name);
+            self.authorize(tenant, token, "ETL_DESIGN")?;
+            let ws = self.workspace(tenant)?;
+            let report = ws.etl.run(job).map_err(PlatformError::from)?;
+            span.set_rows(report.loaded as u64);
+            self.admin
+                .meter_usage(tenant, ServiceKind::Integration, report.loaded as u64);
+            Ok(report)
+        })
     }
 
     /// Register a cube definition (validated against the warehouse).
     pub fn register_cube(&self, tenant: &str, token: &str, cube: CubeDef) -> PlatformResult<()> {
-        self.authorize(tenant, token, "CUBE_DESIGN")?;
-        let ws = self.workspace(tenant)?;
-        cube.validate(&ws.warehouse)?;
-        ws.cube_defs.write().insert(cube.name.clone(), cube);
-        self.admin.meter_usage(tenant, ServiceKind::Analysis, 1);
-        Ok(())
+        self.traced(tenant, ServiceKind::Analysis, "cube.register", |span| {
+            span.set_detail(&cube.name);
+            self.authorize(tenant, token, "CUBE_DESIGN")?;
+            let ws = self.workspace(tenant)?;
+            cube.validate(&ws.warehouse)?;
+            ws.cube_defs.write().insert(cube.name.clone(), cube);
+            self.admin.meter_usage(tenant, ServiceKind::Analysis, 1);
+            Ok(())
+        })
     }
 
     /// Run an MDX-lite query against a registered cube.
     pub fn mdx(&self, tenant: &str, token: &str, mdx: &str) -> PlatformResult<CellSet> {
-        self.authorize(tenant, token, "CUBE_QUERY")?;
-        let ws = self.workspace(tenant)?;
-        let stmt = odbis_olap::parse_mdx(mdx)?;
-        let cube = ws
-            .cube_defs
-            .read()
-            .get(&stmt.cube)
-            .cloned()
-            .ok_or_else(|| PlatformError::Olap(format!("unknown cube {}", stmt.cube)))?;
-        // consult the materialized-aggregate cache when enabled (ablation A2
-        // wired into the platform through configuration)
-        let use_preagg = matches!(
-            self.admin.config.get(tenant, "olap.preaggregation"),
-            Ok(odbis_admin::ConfigValue::Bool(true))
-        );
-        let cells = if use_preagg {
-            match ws.agg_cache.read().try_answer(&stmt.cube, &stmt.query) {
-                Some(cells) => cells,
-                None => ws.cubes.query(&cube, &stmt.query)?,
-            }
-        } else {
-            ws.cubes.query(&cube, &stmt.query)?
-        };
-        self.admin
-            .meter_usage(tenant, ServiceKind::Analysis, 1 + cells.len() as u64);
-        Ok(cells)
+        self.traced(tenant, ServiceKind::Analysis, "mdx", |span| {
+            span.set_detail(mdx);
+            self.authorize(tenant, token, "CUBE_QUERY")?;
+            let ws = self.workspace(tenant)?;
+            let stmt = odbis_olap::parse_mdx(mdx)?;
+            let cube = ws
+                .cube_defs
+                .read()
+                .get(&stmt.cube)
+                .cloned()
+                .ok_or_else(|| PlatformError::Olap(format!("unknown cube {}", stmt.cube)))?;
+            // consult the materialized-aggregate cache when enabled (ablation A2
+            // wired into the platform through configuration)
+            let use_preagg = matches!(
+                self.admin.config.get(tenant, "olap.preaggregation"),
+                Ok(odbis_admin::ConfigValue::Bool(true))
+            );
+            let cells = if use_preagg {
+                match ws.agg_cache.read().try_answer(&stmt.cube, &stmt.query) {
+                    Some(cells) => cells,
+                    None => ws.cubes.query(&cube, &stmt.query)?,
+                }
+            } else {
+                ws.cubes.query(&cube, &stmt.query)?
+            };
+            span.set_rows(cells.len() as u64);
+            self.admin
+                .meter_usage(tenant, ServiceKind::Analysis, 1 + cells.len() as u64);
+            Ok(cells)
+        })
     }
 
     /// Render a dashboard to HTML.
@@ -305,15 +373,19 @@ impl OdbisPlatform {
         token: &str,
         dashboard: &Dashboard,
     ) -> PlatformResult<String> {
-        self.authorize(tenant, token, "REPORT_VIEW")?;
-        let ws = self.workspace(tenant)?;
-        let html = ws.reporting.render_dashboard(dashboard)?;
-        self.admin.meter_usage(
-            tenant,
-            ServiceKind::Reporting,
-            dashboard.widget_count() as u64,
-        );
-        Ok(html)
+        self.traced(tenant, ServiceKind::Reporting, "dashboard.render", |span| {
+            span.set_detail(&dashboard.title);
+            self.authorize(tenant, token, "REPORT_VIEW")?;
+            let ws = self.workspace(tenant)?;
+            let html = ws.reporting.render_dashboard(dashboard)?;
+            span.set_bytes(html.len() as u64);
+            self.admin.meter_usage(
+                tenant,
+                ServiceKind::Reporting,
+                dashboard.widget_count() as u64,
+            );
+            Ok(html)
+        })
     }
 
     /// Deliver a report payload to a user over a channel.
@@ -326,11 +398,15 @@ impl OdbisPlatform {
         channel: Channel,
         payload: &ReportPayload,
     ) -> PlatformResult<String> {
-        self.authorize(tenant, token, "REPORT_VIEW")?;
-        let ws = self.workspace(tenant)?;
-        let delivered = ws.delivery.deliver(user, report, channel, payload)?;
-        self.admin.meter_usage(tenant, ServiceKind::Delivery, 1);
-        Ok(delivered.body)
+        self.traced(tenant, ServiceKind::Delivery, "deliver", |span| {
+            span.set_detail(report);
+            self.authorize(tenant, token, "REPORT_VIEW")?;
+            let ws = self.workspace(tenant)?;
+            let delivered = ws.delivery.deliver(user, report, channel, payload)?;
+            span.set_bytes(delivered.body.len() as u64);
+            self.admin.meter_usage(tenant, ServiceKind::Delivery, 1);
+            Ok(delivered.body)
+        })
     }
 
     /// Materialize an aggregate for a registered cube; later MDX queries it
@@ -344,20 +420,29 @@ impl OdbisPlatform {
         axes: Vec<LevelRef>,
         measures: Vec<String>,
     ) -> PlatformResult<usize> {
-        self.authorize(tenant, token, "CUBE_DESIGN")?;
-        let ws = self.workspace(tenant)?;
-        let cube = ws
-            .cube_defs
-            .read()
-            .get(cube_name)
-            .cloned()
-            .ok_or_else(|| PlatformError::Olap(format!("unknown cube {cube_name}")))?;
-        let agg = MaterializedAggregate::build(&ws.cubes, &cube, axes, measures)?;
-        let cells = agg.len();
-        ws.agg_cache.write().add(agg);
-        self.admin
-            .meter_usage(tenant, ServiceKind::Analysis, 1 + cells as u64);
-        Ok(cells)
+        self.traced(
+            tenant,
+            ServiceKind::Analysis,
+            "aggregate.materialize",
+            |span| {
+                span.set_detail(cube_name);
+                self.authorize(tenant, token, "CUBE_DESIGN")?;
+                let ws = self.workspace(tenant)?;
+                let cube = ws
+                    .cube_defs
+                    .read()
+                    .get(cube_name)
+                    .cloned()
+                    .ok_or_else(|| PlatformError::Olap(format!("unknown cube {cube_name}")))?;
+                let agg = MaterializedAggregate::build(&ws.cubes, &cube, axes, measures)?;
+                let cells = agg.len();
+                span.set_rows(cells as u64);
+                ws.agg_cache.write().add(agg);
+                self.admin
+                    .meter_usage(tenant, ServiceKind::Analysis, 1 + cells as u64);
+                Ok(cells)
+            },
+        )
     }
 
     /// Upload a report template into a tenant report group (the BIRT
@@ -369,15 +454,18 @@ impl OdbisPlatform {
         group: &str,
         template: ReportTemplate,
     ) -> PlatformResult<()> {
-        self.authorize(tenant, token, "REPORT_DESIGN")?;
-        let ws = self.workspace(tenant)?;
-        if !ws.reporting.group_names().contains(&group.to_string()) {
-            ws.reporting.create_group(group)?;
-        }
-        ws.reporting
-            .register(group, odbis_reporting::Report::Template(template))?;
-        self.admin.meter_usage(tenant, ServiceKind::Reporting, 1);
-        Ok(())
+        self.traced(tenant, ServiceKind::Reporting, "template.upload", |span| {
+            span.set_detail(&template.name);
+            self.authorize(tenant, token, "REPORT_DESIGN")?;
+            let ws = self.workspace(tenant)?;
+            if !ws.reporting.group_names().contains(&group.to_string()) {
+                ws.reporting.create_group(group)?;
+            }
+            ws.reporting
+                .register(group, odbis_reporting::Report::Template(template))?;
+            self.admin.meter_usage(tenant, ServiceKind::Reporting, 1);
+            Ok(())
+        })
     }
 
     /// Execute an uploaded template with parameters against the tenant
@@ -390,35 +478,43 @@ impl OdbisPlatform {
         name: &str,
         params: &std::collections::BTreeMap<String, odbis_storage::Value>,
     ) -> PlatformResult<RenderedReport> {
-        self.authorize(tenant, token, "REPORT_VIEW")?;
-        let ws = self.workspace(tenant)?;
-        let odbis_reporting::Report::Template(template) = ws.reporting.report(group, name)? else {
-            return Err(PlatformError::Reporting(format!(
-                "{group}/{name} is not a template"
-            )));
-        };
-        let rendered = odbis_reporting::run_template(&template, params, &ws.warehouse)?;
-        self.admin.meter_usage(
-            tenant,
-            ServiceKind::Reporting,
-            1 + rendered.queries_run as u64,
-        );
-        Ok(rendered)
+        self.traced(tenant, ServiceKind::Reporting, "template.run", |span| {
+            span.set_detail(name);
+            self.authorize(tenant, token, "REPORT_VIEW")?;
+            let ws = self.workspace(tenant)?;
+            let odbis_reporting::Report::Template(template) = ws.reporting.report(group, name)?
+            else {
+                return Err(PlatformError::Reporting(format!(
+                    "{group}/{name} is not a template"
+                )));
+            };
+            let rendered = odbis_reporting::run_template(&template, params, &ws.warehouse)?;
+            span.set_bytes(rendered.html.len() as u64);
+            self.admin.meter_usage(
+                tenant,
+                ServiceKind::Reporting,
+                1 + rendered.queries_run as u64,
+            );
+            Ok(rendered)
+        })
     }
 
     // ---- MDDWS -----------------------------------------------------------------
 
     /// Create a model-driven DW project in the tenant workspace.
     pub fn create_dw_project(&self, tenant: &str, token: &str, name: &str) -> PlatformResult<()> {
-        self.authorize(tenant, token, "CUBE_DESIGN")?;
-        let ws = self.workspace(tenant)?;
-        let mut projects = ws.projects.lock();
-        if projects.contains_key(name) {
-            return Err(PlatformError::Mddws(format!("project {name} exists")));
-        }
-        projects.insert(name.to_string(), DwProject::new(name));
-        self.admin.meter_usage(tenant, ServiceKind::Admin, 1);
-        Ok(())
+        self.traced(tenant, ServiceKind::Admin, "dw.project.create", |span| {
+            span.set_detail(name);
+            self.authorize(tenant, token, "CUBE_DESIGN")?;
+            let ws = self.workspace(tenant)?;
+            let mut projects = ws.projects.lock();
+            if projects.contains_key(name) {
+                return Err(PlatformError::Mddws(format!("project {name} exists")));
+            }
+            projects.insert(name.to_string(), DwProject::new(name));
+            self.admin.meter_usage(tenant, ServiceKind::Admin, 1);
+            Ok(())
+        })
     }
 
     /// Run a closure against a tenant's DW project.
@@ -429,15 +525,18 @@ impl OdbisPlatform {
         name: &str,
         f: impl FnOnce(&mut DwProject) -> PlatformResult<R>,
     ) -> PlatformResult<R> {
-        self.authorize(tenant, token, "CUBE_DESIGN")?;
-        let ws = self.workspace(tenant)?;
-        let mut projects = ws.projects.lock();
-        let project = projects
-            .get_mut(name)
-            .ok_or_else(|| PlatformError::Mddws(format!("unknown project {name}")))?;
-        let r = f(project)?;
-        self.admin.meter_usage(tenant, ServiceKind::Admin, 1);
-        Ok(r)
+        self.traced(tenant, ServiceKind::Admin, "dw.project.run", |span| {
+            span.set_detail(name);
+            self.authorize(tenant, token, "CUBE_DESIGN")?;
+            let ws = self.workspace(tenant)?;
+            let mut projects = ws.projects.lock();
+            let project = projects
+                .get_mut(name)
+                .ok_or_else(|| PlatformError::Mddws(format!("unknown project {name}")))?;
+            let r = f(project)?;
+            self.admin.meter_usage(tenant, ServiceKind::Admin, 1);
+            Ok(r)
+        })
     }
 }
 
@@ -840,5 +939,84 @@ mod template_tests {
             ),
             Err(PlatformError::Reporting(_))
         ));
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+
+    fn boot() -> (OdbisPlatform, String) {
+        let p = OdbisPlatform::new();
+        p.provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+        let token = p.login("acme", "root", "pw").unwrap();
+        (p, token)
+    }
+
+    #[test]
+    fn gate_spans_link_service_children_into_one_trace() {
+        let (p, token) = boot();
+        p.sql("acme", &token, "CREATE TABLE t (x INT)").unwrap();
+        p.admin.telemetry.reset();
+        p.sql("acme", &token, "SELECT x FROM t").unwrap();
+        let spans = p.admin.telemetry.recent_spans();
+        let root = spans
+            .iter()
+            .find(|s| s.service == "MDS" && s.operation == "sql")
+            .expect("gate root span");
+        assert!(root.parent_id.is_none());
+        let child = spans
+            .iter()
+            .find(|s| s.service == "sql")
+            .expect("sql engine child span");
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.parent_id, Some(root.span_id));
+        assert_eq!(child.tenant, "acme");
+    }
+
+    #[test]
+    fn telemetry_totals_and_errors_accumulate() {
+        let (p, token) = boot();
+        p.sql("acme", &token, "CREATE TABLE t (x INT)").unwrap();
+        assert!(p.sql("acme", &token, "SELEKT broken").is_err());
+        let totals = p.admin.telemetry.totals();
+        let mds = totals
+            .get(&("acme".to_string(), "MDS".to_string()))
+            .expect("MDS totals");
+        assert!(mds.requests >= 2);
+        assert!(mds.errors >= 1);
+    }
+
+    #[test]
+    fn telemetry_can_be_disabled_per_tenant() {
+        let (p, token) = boot();
+        p.admin
+            .config
+            .set_for_tenant("acme", "telemetry.enabled", false.into())
+            .unwrap();
+        p.sql("acme", &token, "CREATE TABLE t (x INT)").unwrap();
+        assert!(p.admin.telemetry.totals().is_empty());
+        assert!(p.admin.telemetry.recent_spans().is_empty());
+    }
+
+    #[test]
+    fn slow_log_honors_configured_threshold() {
+        let (p, token) = boot();
+        // a 1ms threshold catches any non-trivial statement
+        p.admin
+            .config
+            .set_for_tenant("acme", "telemetry.slow_ms", 1i64.into())
+            .unwrap();
+        p.sql("acme", &token, "CREATE TABLE t (x INT)").unwrap();
+        let mut insert = String::from("INSERT INTO t VALUES (0)");
+        for i in 1..20_000 {
+            insert.push_str(&format!(", ({i})"));
+        }
+        p.sql("acme", &token, &insert).unwrap();
+        let slow = p.admin.telemetry.slow_log();
+        assert!(!slow.is_empty());
+        assert_eq!(slow[0].tenant, "acme");
+        assert!(slow[0].trace_id > 0);
     }
 }

@@ -1,27 +1,65 @@
 //! The platform's HTTP API: Figure 4's UI layer, serving the web-browser
 //! access tool of Figure 1 and the web-service delivery channel.
 //!
-//! Routes:
+//! The API is versioned: every route lives under the `/api/v1` prefix.
+//! The original unprefixed paths are kept as deprecated aliases — they
+//! serve the same handlers but answer with a `Deprecation: true` header
+//! and a `Link` header pointing at the successor route.
 //!
 //! | method | path | purpose |
 //! |---|---|---|
-//! | GET  | `/health` | liveness |
-//! | POST | `/login` | body `tenant user password` → token |
-//! | POST | `/sql` | raw SQL (designer) |
-//! | GET  | `/datasets` | list data sets |
-//! | GET  | `/datasets/:name` | execute a data set (JSON) |
-//! | POST | `/mdx` | MDX-lite query |
-//! | GET  | `/admin/usage` | platform usage report |
+//! | GET  | `/api/v1/health` | liveness (public) |
+//! | POST | `/api/v1/login` | JSON `{"tenant","user","password"}` → token (public) |
+//! | GET  | `/api/v1/metrics` | Prometheus text-format telemetry scrape (public) |
+//! | POST | `/api/v1/sql` | raw SQL (designer) |
+//! | GET  | `/api/v1/datasets` | list data sets |
+//! | GET  | `/api/v1/datasets/:name` | execute a data set (JSON) |
+//! | POST | `/api/v1/mdx` | MDX-lite query |
+//! | GET  | `/api/v1/admin/usage` | metered usage report (ADMIN_USERS) |
+//! | GET  | `/api/v1/admin/invoice` | pay-as-you-go cost lines (ADMIN_USERS) |
+//! | GET  | `/api/v1/admin/slowlog` | slow-operation log (ADMIN_USERS) |
 //!
-//! Authenticated routes read the `x-tenant` and `x-token` headers —
-//! injected by the security filter, which is the Spring-Security-chain
-//! analogue of the paper's architecture.
+//! Authenticated routes read the tenant from the `x-tenant` header and the
+//! session token from `Authorization: Bearer <token>` (preferred) or the
+//! legacy `x-token` header — both injected as request attributes by the
+//! security filter, the Spring-Security-chain analogue of the paper's
+//! architecture.
+//!
+//! Errors are a uniform JSON envelope `{"error":{"kind","message"}}`; the
+//! status code comes from [`PlatformError::http_status`] (missing resources
+//! are 404, authz is 403, plan/quota is 402).
 
 use std::sync::Arc;
 
-use odbis_web::{HttpResponse, Method, Router};
+use odbis_web::{HttpRequest, HttpResponse, Method, PathParams, Router};
 
+use crate::error::PlatformError;
 use crate::platform::OdbisPlatform;
+
+/// The current API version prefix.
+pub const API_PREFIX: &str = "/api/v1";
+
+type SharedHandler = Arc<dyn Fn(&HttpRequest, &PathParams) -> HttpResponse + Send + Sync>;
+
+/// Register `path` under the `/api/v1` prefix and, for compatibility, at
+/// its legacy unprefixed location. The legacy alias serves the same
+/// handler but stamps deprecation headers on the response.
+fn versioned(
+    router: &mut Router,
+    method: Method,
+    path: &str,
+    handler: impl Fn(&HttpRequest, &PathParams) -> HttpResponse + Send + Sync + 'static,
+) {
+    let handler: SharedHandler = Arc::new(handler);
+    let canonical = format!("{API_PREFIX}{path}");
+    let h = Arc::clone(&handler);
+    router.route(method, &canonical, move |req, params| h(req, params));
+    router.route(method, path, move |req, params| {
+        handler(req, params)
+            .with_header("Deprecation", "true")
+            .with_header("Link", &format!("<{canonical}>; rel=\"successor-version\""))
+    });
+}
 
 /// Build the platform router. The returned router can be served with
 /// [`odbis_web::HttpServer::start`].
@@ -31,43 +69,69 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
     // security filter: stash tenant/token as request attributes; public
     // paths pass through
     router.filter(|req| {
-        if req.path == "/health" || req.path == "/login" {
+        const PUBLIC: [&str; 5] = [
+            "/health",
+            "/login",
+            "/api/v1/health",
+            "/api/v1/login",
+            "/api/v1/metrics",
+        ];
+        if PUBLIC.contains(&req.path.as_str()) {
             return None;
         }
-        match (req.header("x-tenant"), req.header("x-token")) {
+        let token = req
+            .header("authorization")
+            .and_then(|h| h.strip_prefix("Bearer "))
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .or_else(|| req.header("x-token"))
+            .map(str::to_string);
+        match (req.header("x-tenant").map(str::to_string), token) {
             (Some(t), Some(tok)) => {
-                let t = t.to_string();
-                let tok = tok.to_string();
                 req.attributes.insert("tenant".into(), t);
                 req.attributes.insert("token".into(), tok);
                 None
             }
-            _ => Some(HttpResponse::unauthorized(
-                "x-tenant and x-token headers required",
+            _ => Some(error_envelope(
+                401,
+                "unauthorized",
+                "x-tenant plus Authorization: Bearer <token> (or x-token) required",
             )),
         }
     });
 
-    router.route(Method::Get, "/health", |_, _| {
-        HttpResponse::json("{\"status\":\"up\",\"platform\":\"ODBIS\"}")
+    versioned(&mut router, Method::Get, "/health", |_, _| {
+        HttpResponse::json("{\"status\":\"up\",\"platform\":\"ODBIS\",\"api\":\"v1\"}")
     });
 
     let p = Arc::clone(&platform);
-    router.route(Method::Post, "/login", move |req, _| {
+    versioned(&mut router, Method::Post, "/login", move |req, _| {
         let body = req.body_text();
-        let mut parts = body.split_whitespace();
-        let (Some(tenant), Some(user), Some(password)) = (parts.next(), parts.next(), parts.next())
-        else {
-            return HttpResponse::bad_request("body must be: <tenant> <user> <password>");
+        let creds = parse_login(&body);
+        let Some((tenant, user, password)) = creds else {
+            return error_envelope(
+                400,
+                "bad_request",
+                "body must be {\"tenant\",\"user\",\"password\"} or `<tenant> <user> <password>`",
+            );
         };
-        match p.login(tenant, user, password) {
-            Ok(token) => HttpResponse::json(format!("{{\"token\":\"{token}\"}}")),
-            Err(e) => HttpResponse::unauthorized(&e.to_string()),
+        match p.login(&tenant, &user, &password) {
+            Ok(token) => HttpResponse::json(
+                serde_json::json!({ "token": token, "tenant": tenant }).to_string(),
+            ),
+            Err(e) => error_envelope(401, e.kind(), e.message()),
         }
     });
 
     let p = Arc::clone(&platform);
-    router.route(Method::Post, "/sql", move |req, _| {
+    router.route(Method::Get, "/api/v1/metrics", move |_, _| {
+        HttpResponse::status(200)
+            .with_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+            .with_body(p.admin.telemetry.render_prometheus())
+    });
+
+    let p = Arc::clone(&platform);
+    versioned(&mut router, Method::Post, "/sql", move |req, _| {
         let (tenant, token) = creds(req);
         match p.sql(&tenant, &token, &req.body_text()) {
             Ok(result) => HttpResponse::json(result_json(&result)),
@@ -76,7 +140,7 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
     });
 
     let p = Arc::clone(&platform);
-    router.route(Method::Get, "/datasets", move |req, _| {
+    versioned(&mut router, Method::Get, "/datasets", move |req, _| {
         let (tenant, token) = creds(req);
         match p
             .authorize(&tenant, &token, "DATASET_RUN")
@@ -91,16 +155,21 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
     });
 
     let p = Arc::clone(&platform);
-    router.route(Method::Get, "/datasets/:name", move |req, params| {
-        let (tenant, token) = creds(req);
-        match p.execute_dataset(&tenant, &token, &params["name"]) {
-            Ok(result) => HttpResponse::json(result_json(&result)),
-            Err(e) => error_response(&e),
-        }
-    });
+    versioned(
+        &mut router,
+        Method::Get,
+        "/datasets/:name",
+        move |req, params| {
+            let (tenant, token) = creds(req);
+            match p.execute_dataset(&tenant, &token, &params["name"]) {
+                Ok(result) => HttpResponse::json(result_json(&result)),
+                Err(e) => error_response(&e),
+            }
+        },
+    );
 
     let p = Arc::clone(&platform);
-    router.route(Method::Post, "/mdx", move |req, _| {
+    versioned(&mut router, Method::Post, "/mdx", move |req, _| {
         let (tenant, token) = creds(req);
         match p.mdx(&tenant, &token, &req.body_text()) {
             Ok(cells) => {
@@ -128,7 +197,7 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
     });
 
     let p = Arc::clone(&platform);
-    router.route(Method::Get, "/admin/usage", move |req, _| {
+    versioned(&mut router, Method::Get, "/admin/usage", move |req, _| {
         let (tenant, token) = creds(req);
         match p.authorize(&tenant, &token, "ADMIN_USERS") {
             Ok(_) => {
@@ -150,10 +219,86 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
         }
     });
 
+    let p = Arc::clone(&platform);
+    router.route(Method::Get, "/api/v1/admin/invoice", move |req, _| {
+        let (tenant, token) = creds(req);
+        match p.authorize(&tenant, &token, "ADMIN_USERS") {
+            Ok(_) => {
+                let lines: Vec<serde_json::Value> = p
+                    .admin
+                    .invoice_report()
+                    .into_iter()
+                    .map(|l| {
+                        serde_json::json!({
+                            "tenant": l.tenant,
+                            "service": l.service,
+                            "units": l.units,
+                            "requests": l.requests,
+                            "errors": l.errors,
+                            "rows": l.rows,
+                            "bytes": l.bytes,
+                            "cpuMicros": l.cpu_micros,
+                            "millicents": l.millicents,
+                        })
+                    })
+                    .collect();
+                HttpResponse::json(serde_json::Value::Array(lines).to_string())
+            }
+            Err(e) => error_response(&e),
+        }
+    });
+
+    let p = Arc::clone(&platform);
+    router.route(Method::Get, "/api/v1/admin/slowlog", move |req, _| {
+        let (tenant, token) = creds(req);
+        match p.authorize(&tenant, &token, "ADMIN_USERS") {
+            Ok(_) => {
+                let lines: Vec<serde_json::Value> = p
+                    .admin
+                    .telemetry
+                    .slow_log()
+                    .into_iter()
+                    .map(|e| {
+                        serde_json::json!({
+                            "tenant": e.tenant,
+                            "service": e.service,
+                            "operation": e.operation,
+                            "detail": e.detail,
+                            "durationMicros": e.duration_micros,
+                            "traceId": e.trace_id,
+                        })
+                    })
+                    .collect();
+                HttpResponse::json(serde_json::Value::Array(lines).to_string())
+            }
+            Err(e) => error_response(&e),
+        }
+    });
+
     router
 }
 
-fn creds(req: &odbis_web::HttpRequest) -> (String, String) {
+/// Parse a login body: preferred JSON `{"tenant","user","password"}`, with
+/// the legacy whitespace-separated triple accepted for old clients.
+fn parse_login(body: &str) -> Option<(String, String, String)> {
+    if let Ok(v) = serde_json::from_str::<serde_json::Value>(body) {
+        if let (Some(t), Some(u), Some(p)) = (
+            v.get("tenant").and_then(|x| x.as_str()),
+            v.get("user").and_then(|x| x.as_str()),
+            v.get("password").and_then(|x| x.as_str()),
+        ) {
+            return Some((t.to_string(), u.to_string(), p.to_string()));
+        }
+        return None;
+    }
+    let mut parts = body.split_whitespace();
+    match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(t), Some(u), Some(p), None) => Some((t.to_string(), u.to_string(), p.to_string())),
+        _ => None,
+    }
+}
+
+fn creds(req: &HttpRequest) -> (String, String) {
     (
         req.attributes.get("tenant").cloned().unwrap_or_default(),
         req.attributes.get("token").cloned().unwrap_or_default(),
@@ -174,13 +319,21 @@ fn result_json(result: &odbis_sql::QueryResult) -> String {
     .to_string()
 }
 
-fn error_response(e: &crate::error::PlatformError) -> HttpResponse {
-    use crate::error::PlatformError::*;
-    match e {
-        Security(_) => HttpResponse::forbidden(&e.to_string()),
-        Tenancy(_) => HttpResponse::status(402).with_body(e.to_string()),
-        _ => HttpResponse::bad_request(&e.to_string()),
-    }
+/// The single place HTTP error bodies are produced: a JSON envelope
+/// `{"error":{"kind":...,"message":...}}`.
+fn error_envelope(status: u16, kind: &str, message: &str) -> HttpResponse {
+    HttpResponse::status(status)
+        .with_header("Content-Type", "application/json")
+        .with_body(
+            serde_json::json!({
+                "error": serde_json::json!({ "kind": kind, "message": message }),
+            })
+            .to_string(),
+        )
+}
+
+fn error_response(e: &PlatformError) -> HttpResponse {
+    error_envelope(e.http_status(), e.kind(), e.message())
 }
 
 #[cfg(test)]
@@ -201,37 +354,91 @@ mod tests {
     }
 
     #[test]
-    fn health_is_public() {
+    fn health_is_public_on_both_paths() {
         let (server, _p, _t) = serve();
-        let (status, body) = http_get(&server.addr().to_string(), "/health").unwrap();
+        let addr = server.addr().to_string();
+        let (status, body) = http_get(&addr, "/api/v1/health").unwrap();
         assert_eq!(status, 200);
         assert!(body.contains("\"up\""));
+        // legacy alias still answers, but flagged deprecated
+        let (status, headers, _) = http_request(&addr, "GET", "/health", &[], b"").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(headers.get("deprecation").map(String::as_str), Some("true"));
+        assert!(headers["link"].contains("/api/v1/health"));
     }
 
     #[test]
-    fn login_over_http() {
+    fn login_accepts_json_and_legacy_bodies() {
         let (server, _p, _t) = serve();
-        let (status, body) =
-            odbis_web::http_post(&server.addr().to_string(), "/login", "acme root pw").unwrap();
+        let addr = server.addr().to_string();
+        let (status, body) = odbis_web::http_post(
+            &addr,
+            "/api/v1/login",
+            "{\"tenant\":\"acme\",\"user\":\"root\",\"password\":\"pw\"}",
+        )
+        .unwrap();
         assert_eq!(status, 200);
         assert!(body.contains("token"));
-        let (status, _) =
-            odbis_web::http_post(&server.addr().to_string(), "/login", "acme root wrong").unwrap();
+        // legacy whitespace triple on the legacy path
+        let (status, body) = odbis_web::http_post(&addr, "/login", "acme root pw").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("token"));
+        // wrong password → 401 with the error envelope
+        let (status, body) = odbis_web::http_post(
+            &addr,
+            "/api/v1/login",
+            "{\"tenant\":\"acme\",\"user\":\"root\",\"password\":\"no\"}",
+        )
+        .unwrap();
         assert_eq!(status, 401);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["kind"], "security");
+        // malformed body → 400
+        let (status, _) = odbis_web::http_post(&addr, "/api/v1/login", "short").unwrap();
+        assert_eq!(status, 400);
         let (status, _) =
-            odbis_web::http_post(&server.addr().to_string(), "/login", "short").unwrap();
+            odbis_web::http_post(&addr, "/api/v1/login", "{\"tenant\":\"acme\"}").unwrap();
         assert_eq!(status, 400);
     }
 
     #[test]
-    fn protected_routes_require_headers() {
+    fn protected_routes_require_credentials() {
         let (server, _p, token) = serve();
         let addr = server.addr().to_string();
-        let (status, _) = http_get(&addr, "/datasets").unwrap();
+        let (status, body) = http_get(&addr, "/api/v1/datasets").unwrap();
         assert_eq!(status, 401);
-        let (status, body, _) = with_auth(&addr, "GET", "/datasets", &token, "");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["kind"], "unauthorized");
+        let (status, body, _) = with_auth(&addr, "GET", "/api/v1/datasets", &token, "");
         assert_eq!(status, 200);
         assert_eq!(body, "[]");
+    }
+
+    #[test]
+    fn bearer_token_is_accepted() {
+        let (server, _p, token) = serve();
+        let addr = server.addr().to_string();
+        let bearer = format!("Bearer {token}");
+        let (status, _, body) = http_request(
+            &addr,
+            "GET",
+            "/api/v1/datasets",
+            &[("x-tenant", "acme"), ("Authorization", bearer.as_str())],
+            b"",
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "[]");
+        // a forged bearer token is authenticated-but-denied: 403
+        let (status, _, _) = http_request(
+            &addr,
+            "GET",
+            "/api/v1/datasets",
+            &[("x-tenant", "acme"), ("Authorization", "Bearer forged")],
+            b"",
+        )
+        .unwrap();
+        assert_eq!(status, 403);
     }
 
     fn with_auth(
@@ -259,7 +466,7 @@ mod tests {
         let (status, _, _) = with_auth(
             &addr,
             "POST",
-            "/sql",
+            "/api/v1/sql",
             &token,
             "CREATE TABLE kpis (name TEXT, v INT)",
         );
@@ -267,7 +474,7 @@ mod tests {
         let (status, _, _) = with_auth(
             &addr,
             "POST",
-            "/sql",
+            "/api/v1/sql",
             &token,
             "INSERT INTO kpis VALUES ('churn', 7)",
         );
@@ -284,24 +491,77 @@ mod tests {
                 },
             )
             .unwrap();
-        let (status, body, _) = with_auth(&addr, "GET", "/datasets/kpis", &token, "");
+        let (status, body, _) = with_auth(&addr, "GET", "/api/v1/datasets/kpis", &token, "");
         assert_eq!(status, 200);
         let v: serde_json::Value = serde_json::from_str(&body).unwrap();
         assert_eq!(v["rows"][0][0], "churn");
-        // missing dataset → 400
-        let (status, _, _) = with_auth(&addr, "GET", "/datasets/ghost", &token, "");
-        assert_eq!(status, 400);
+        // missing dataset → 404 with the not_found envelope
+        let (status, body, _) = with_auth(&addr, "GET", "/api/v1/datasets/ghost", &token, "");
+        assert_eq!(status, 404);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["kind"], "not_found");
         // usage visible to the admin
-        let (status, body, _) = with_auth(&addr, "GET", "/admin/usage", &token, "");
+        let (status, body, _) = with_auth(&addr, "GET", "/api/v1/admin/usage", &token, "");
         assert_eq!(status, 200);
         assert!(body.contains("MDS"));
+    }
+
+    #[test]
+    fn legacy_sql_alias_still_works_with_deprecation_header() {
+        let (server, _p, token) = serve();
+        let addr = server.addr().to_string();
+        let (status, headers, _) = http_request(
+            &addr,
+            "POST",
+            "/sql",
+            &[("x-tenant", "acme"), ("x-token", token.as_str())],
+            b"CREATE TABLE t (x INT)",
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(headers.get("deprecation").map(String::as_str), Some("true"));
+        assert!(headers["link"].contains("/api/v1/sql"));
+    }
+
+    #[test]
+    fn metrics_scrape_reflects_traffic() {
+        let (server, _p, token) = serve();
+        let addr = server.addr().to_string();
+        let (status, _, _) = with_auth(&addr, "POST", "/api/v1/sql", &token, "SELECT 1");
+        assert_eq!(status, 200);
+        let (status, body) = http_get(&addr, "/api/v1/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE odbis_requests_total counter"));
+        assert!(body.contains("tenant=\"acme\""));
+        assert!(body.contains("service=\"MDS\""));
+        assert!(body.contains("odbis_latency_seconds_bucket"));
+    }
+
+    #[test]
+    fn invoice_requires_admin_and_prices_usage() {
+        let (server, _p, token) = serve();
+        let addr = server.addr().to_string();
+        let (status, _, _) = with_auth(&addr, "POST", "/api/v1/sql", &token, "SELECT 1");
+        assert_eq!(status, 200);
+        let (status, body, _) = with_auth(&addr, "GET", "/api/v1/admin/invoice", &token, "");
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let lines = v.as_array().unwrap();
+        assert!(lines
+            .iter()
+            .any(|l| l["tenant"] == "acme" && l["service"] == "MDS"));
+        // a forged token cannot read invoices
+        let (status, body, _) = with_auth(&addr, "GET", "/api/v1/admin/invoice", "forged", "");
+        assert_eq!(status, 403);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["kind"], "security");
     }
 
     #[test]
     fn forged_token_is_forbidden() {
         let (server, _p, _token) = serve();
         let addr = server.addr().to_string();
-        let (status, _, _) = with_auth(&addr, "POST", "/sql", "forged", "SELECT 1");
+        let (status, _, _) = with_auth(&addr, "POST", "/api/v1/sql", "forged", "SELECT 1");
         assert_eq!(status, 403);
     }
 }

@@ -142,14 +142,22 @@ impl DeliveryService {
         channel: Channel,
         payload: &ReportPayload,
     ) -> Result<Delivered, DeliveryError> {
+        let mut span = odbis_telemetry::child_span("delivery", "deliver");
+        span.set_detail(report);
         let formatted = format_for(channel, payload);
+        span.set_bytes(formatted.body.len() as u64);
         let msg = Message::text(formatted.body.clone())
             .with_header("user", user)
             .with_header("report", report)
             .with_header("channel", channel_code(channel));
-        self.bus
+        if let Err(e) = self
+            .bus
             .send_and_pump(&bus_channel(channel), msg)
-            .map_err(|e| DeliveryError::Bus(e.to_string()))?;
+            .map_err(|e| DeliveryError::Bus(e.to_string()))
+        {
+            span.fail();
+            return Err(e);
+        }
         Ok(formatted)
     }
 

@@ -110,6 +110,17 @@ impl JobRunner {
 
     /// Execute a job end to end.
     pub fn run(&self, job: &EtlJob) -> Result<JobReport, EtlError> {
+        let mut span = odbis_telemetry::child_span("etl", "job.run");
+        span.set_detail(&job.name);
+        let report = self.run_inner(job);
+        match &report {
+            Ok(r) => span.set_rows((r.extracted + r.loaded) as u64),
+            Err(_) => span.fail(),
+        }
+        report
+    }
+
+    fn run_inner(&self, job: &EtlJob) -> Result<JobReport, EtlError> {
         let start = Instant::now();
         let frame = self.extract(&job.extractor)?;
         let extracted = frame.len();

@@ -357,11 +357,17 @@ impl CubeEngine {
     /// coordinates and measures are read column-wise without first
     /// pivoting the whole result to rows.
     pub fn query(&self, cube: &CubeDef, query: &CubeQuery) -> Result<CellSet, OlapError> {
+        let mut span = odbis_telemetry::child_span("olap", "cube.query");
+        span.set_detail(&cube.name);
         let sql = self.generate_sql(cube, query)?;
-        let (_, batch) = self
-            .engine
-            .execute_select_batch(&self.db, &sql)
-            .map_err(|e| OlapError::Execution(e.to_string()))?;
+        let batch = match self.engine.execute_select_batch(&self.db, &sql) {
+            Ok((_, batch)) => batch,
+            Err(e) => {
+                span.fail();
+                return Err(OlapError::Execution(e.to_string()));
+            }
+        };
+        span.set_rows(batch.num_rows() as u64);
         let n_axes = query.axes.len();
         let mut cells = Vec::with_capacity(batch.num_rows());
         for i in 0..batch.num_rows() {

@@ -114,6 +114,17 @@ impl ReportingService {
 
     /// Render a dashboard to a complete HTML document (the Figure 6 path).
     pub fn render_dashboard(&self, dashboard: &Dashboard) -> ReportResult<String> {
+        let mut span = odbis_telemetry::child_span("reporting", "dashboard.render");
+        span.set_detail(&dashboard.title);
+        let result = self.render_dashboard_inner(dashboard);
+        match &result {
+            Ok(html) => span.set_bytes(html.len() as u64),
+            Err(_) => span.fail(),
+        }
+        result
+    }
+
+    fn render_dashboard_inner(&self, dashboard: &Dashboard) -> ReportResult<String> {
         let mut html = format!(
             "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>{0}</title>\n\
              <style>\n\

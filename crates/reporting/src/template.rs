@@ -80,6 +80,21 @@ pub fn run_template(
     params: &BTreeMap<String, Value>,
     db: &Arc<Database>,
 ) -> ReportResult<RenderedReport> {
+    let mut span = odbis_telemetry::child_span("reporting", "template.run");
+    span.set_detail(&template.name);
+    let result = run_template_inner(template, params, db);
+    match &result {
+        Ok(r) => span.set_bytes(r.html.len() as u64),
+        Err(_) => span.fail(),
+    }
+    result
+}
+
+fn run_template_inner(
+    template: &ReportTemplate,
+    params: &BTreeMap<String, Value>,
+    db: &Arc<Database>,
+) -> ReportResult<RenderedReport> {
     // resolve parameters: defaults, presence, type check
     let mut resolved: BTreeMap<&str, Value> = BTreeMap::new();
     for def in &template.parameters {

@@ -174,8 +174,21 @@ impl Engine {
 
     /// Parse, plan, optimize and execute one statement.
     pub fn execute(&self, db: &Database, sql: &str) -> SqlResult<QueryResult> {
-        let stmt = parse(sql)?;
-        self.execute_statement(db, &stmt)
+        let mut span = odbis_telemetry::child_span(
+            "sql",
+            if self.vectorized {
+                "execute.vectorized"
+            } else {
+                "execute.row"
+            },
+        );
+        span.set_detail(sql);
+        let result = parse(sql).and_then(|stmt| self.execute_statement(db, &stmt));
+        match &result {
+            Ok(r) => span.set_rows((r.rows.len() + r.rows_affected) as u64),
+            Err(_) => span.fail(),
+        }
+        result
     }
 
     /// Execute a `;`-separated script; returns the result of each statement.

@@ -1,0 +1,80 @@
+//! The slow-query log: a bounded ring of spans whose duration crossed the
+//! configurable threshold (`telemetry.slow_ms` in the platform config).
+
+use std::collections::VecDeque;
+
+/// One slow-span entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// Tenant the call ran for.
+    pub tenant: String,
+    /// Service label.
+    pub service: &'static str,
+    /// Operation label.
+    pub operation: String,
+    /// Operation detail (e.g. the SQL text), empty when none was attached.
+    pub detail: String,
+    /// Wall-clock duration in microseconds.
+    pub duration_micros: u64,
+    /// Trace the span belonged to.
+    pub trace_id: u64,
+}
+
+/// Bounded FIFO of slow entries; the oldest entry is evicted at capacity.
+#[derive(Debug)]
+pub(crate) struct SlowLog {
+    entries: VecDeque<SlowEntry>,
+    capacity: usize,
+}
+
+impl SlowLog {
+    pub(crate) fn new(capacity: usize) -> Self {
+        SlowLog {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    pub(crate) fn push(&mut self, entry: SlowEntry) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+    }
+
+    pub(crate) fn entries(&self) -> Vec<SlowEntry> {
+        self.entries.iter().cloned().collect()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(op: &str) -> SlowEntry {
+        SlowEntry {
+            tenant: "t".into(),
+            service: "MDS",
+            operation: op.into(),
+            detail: String::new(),
+            duration_micros: 1_000_000,
+            trace_id: 1,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut log = SlowLog::new(3);
+        for i in 0..5 {
+            log.push(entry(&format!("op{i}")));
+        }
+        let ops: Vec<String> = log.entries().into_iter().map(|e| e.operation).collect();
+        assert_eq!(ops, vec!["op2", "op3", "op4"]);
+        log.clear();
+        assert!(log.entries().is_empty());
+    }
+}

@@ -1,6 +1,7 @@
 //! The on-demand platform over the wire: starts the ODBIS HTTP server
 //! (Figure 1's end-user access layer) on a loopback port and drives it
-//! with the bundled HTTP client — login, SQL, data sets, MDX, usage.
+//! with the bundled HTTP client — login, SQL, data sets, MDX, usage,
+//! plus the telemetry scrape and the pay-as-you-go invoice.
 //!
 //! Run with: `cargo run --example platform_server`
 
@@ -27,20 +28,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ODBIS platform listening on {}", server.base_url());
 
     // login over HTTP
-    let (status, body) = http_post(&addr, "/login", "clinic cio pw")?;
+    let (status, body) = http_post(
+        &addr,
+        "/api/v1/login",
+        "{\"tenant\":\"clinic\",\"user\":\"cio\",\"password\":\"pw\"}",
+    )?;
     assert_eq!(status, 200);
     let token = serde_json::from_str::<serde_json::Value>(&body)?["token"]
         .as_str()
         .unwrap()
         .to_string();
-    println!("POST /login -> {status} (token acquired)");
+    println!("POST /api/v1/login -> {status} (token acquired)");
 
+    let bearer = format!("Bearer {token}");
     let call = |method: &str, path: &str, body: &str| {
         http_request(
             &addr,
             method,
             path,
-            &[("x-tenant", "clinic"), ("x-token", &token)],
+            &[("x-tenant", "clinic"), ("Authorization", &bearer)],
             body.as_bytes(),
         )
         .map(|(s, _, b)| (s, b))
@@ -52,8 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "INSERT INTO visits VALUES ('Cardiology', 2009, 120), ('Cardiology', 2010, 150), \
          ('Oncology', 2009, 80), ('Oncology', 2010, 95)",
     ] {
-        let (status, _) = call("POST", "/sql", stmt).map_err(std::io::Error::other)?;
-        println!("POST /sql -> {status}");
+        let (status, _) = call("POST", "/api/v1/sql", stmt).map_err(std::io::Error::other)?;
+        println!("POST /api/v1/sql -> {status}");
     }
 
     // register a data set and a cube through the platform API
@@ -105,19 +111,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let (status, body) =
-        call("GET", "/datasets/visits_by_dept", "").map_err(std::io::Error::other)?;
-    println!("GET /datasets/visits_by_dept -> {status}\n  {body}");
+        call("GET", "/api/v1/datasets/visits_by_dept", "").map_err(std::io::Error::other)?;
+    println!("GET /api/v1/datasets/visits_by_dept -> {status}\n  {body}");
 
     let (status, body) = call(
         "POST",
-        "/mdx",
+        "/api/v1/mdx",
         "SELECT patients BY dept.name FROM visits WHERE time.year = 2010",
     )
     .map_err(std::io::Error::other)?;
-    println!("POST /mdx -> {status}\n  {body}");
+    println!("POST /api/v1/mdx -> {status}\n  {body}");
 
-    let (status, body) = call("GET", "/admin/usage", "").map_err(std::io::Error::other)?;
-    println!("GET /admin/usage -> {status}\n  {body}");
+    let (status, body) = call("GET", "/api/v1/admin/usage", "").map_err(std::io::Error::other)?;
+    println!("GET /api/v1/admin/usage -> {status}\n  {body}");
+
+    // the telemetry spine: what did all of that actually cost?
+    let (status, body) = call("GET", "/api/v1/admin/invoice", "").map_err(std::io::Error::other)?;
+    println!("GET /api/v1/admin/invoice -> {status}\n  {body}");
+    let (status, scrape) =
+        odbis_web::http_get(&addr, "/api/v1/metrics").map_err(std::io::Error::other)?;
+    let preview: String = scrape.lines().take(6).collect::<Vec<_>>().join("\n  ");
+    println!("GET /api/v1/metrics -> {status}\n  {preview}\n  ...");
 
     println!("requests served: {}", server.requests_served());
     server.shutdown();

@@ -1,0 +1,292 @@
+//! Versioned-API + telemetry-spine end-to-end: drive every service of the
+//! platform (SQL, ETL, OLAP/MDX, reporting, delivery) through the gate,
+//! then read the telemetry back out through the `/api/v1` surface — the
+//! Prometheus metrics scrape and the pay-as-you-go invoice.
+
+use std::sync::Arc;
+
+use odbis::{build_router, OdbisPlatform};
+use odbis_delivery::Channel;
+use odbis_metadata::DataSet;
+use odbis_olap::{Aggregator, CubeDef, DimensionDef, LevelDef, MeasureDef};
+use odbis_reporting::{Dashboard, KpiSpec, Widget};
+use odbis_sql::QueryResult;
+use odbis_tenancy::SubscriptionPlan;
+use odbis_web::{http_get, http_request, HttpServer};
+
+fn auth(
+    addr: &str,
+    method: &str,
+    path: &str,
+    token: &str,
+    body: &str,
+) -> (u16, std::collections::BTreeMap<String, String>, String) {
+    let bearer = format!("Bearer {token}");
+    http_request(
+        addr,
+        method,
+        path,
+        &[("x-tenant", "clinic"), ("Authorization", bearer.as_str())],
+        body.as_bytes(),
+    )
+    .unwrap()
+}
+
+/// Provision a tenant and push one request through every platform service
+/// so each ServiceKind accrues both meter units and telemetry.
+fn drive_traffic(platform: &Arc<OdbisPlatform>) -> String {
+    platform
+        .provision_tenant(
+            "clinic",
+            "City Clinic",
+            SubscriptionPlan::standard(),
+            "cio",
+            "pw",
+        )
+        .unwrap();
+    let token = platform.login("clinic", "cio", "pw").unwrap();
+
+    // MDS: SQL + data set
+    platform
+        .sql(
+            "clinic",
+            &token,
+            "CREATE TABLE admissions (dept TEXT, year INT, cost DOUBLE)",
+        )
+        .unwrap();
+    platform
+        .sql(
+            "clinic",
+            &token,
+            "INSERT INTO admissions VALUES ('Cardiology', 2010, 1200), ('Oncology', 2010, 3400), ('Cardiology', 2009, 800)",
+        )
+        .unwrap();
+    platform
+        .define_dataset(
+            "clinic",
+            &token,
+            DataSet {
+                name: "total_cost".into(),
+                source: "warehouse".into(),
+                sql: "SELECT SUM(cost) AS total FROM admissions".into(),
+                description: String::new(),
+            },
+        )
+        .unwrap();
+    platform
+        .execute_dataset("clinic", &token, "total_cost")
+        .unwrap();
+
+    // IS: an ETL job loading a CSV extract
+    platform
+        .run_etl(
+            "clinic",
+            &token,
+            &odbis_etl::EtlJob {
+                name: "load-referrals".into(),
+                extractor: odbis_etl::Extractor::Csv("dept,n\nCardiology,4\nOncology,2\n".into()),
+                transforms: vec![],
+                loader: odbis_etl::Loader {
+                    table: "referrals".into(),
+                    mode: odbis_etl::LoadMode::Replace,
+                },
+            },
+        )
+        .unwrap();
+
+    // AS: cube + MDX
+    platform
+        .register_cube(
+            "clinic",
+            &token,
+            CubeDef {
+                name: "adm".into(),
+                fact_table: "admissions".into(),
+                dimensions: vec![DimensionDef {
+                    name: "org".into(),
+                    table: None,
+                    fact_fk: String::new(),
+                    dim_key: String::new(),
+                    levels: vec![LevelDef {
+                        name: "dept".into(),
+                        column: "dept".into(),
+                    }],
+                }],
+                measures: vec![MeasureDef {
+                    name: "cost".into(),
+                    column: "cost".into(),
+                    aggregator: Aggregator::Sum,
+                }],
+            },
+        )
+        .unwrap();
+    platform
+        .mdx("clinic", &token, "SELECT cost BY org.dept FROM adm")
+        .unwrap();
+
+    // RS: a dashboard over the data set
+    platform
+        .render_dashboard(
+            "clinic",
+            &token,
+            &Dashboard {
+                name: "exec".into(),
+                title: "Exec".into(),
+                rows: vec![vec![Widget::Kpi {
+                    dataset: "total_cost".into(),
+                    spec: KpiSpec {
+                        title: "Total cost".into(),
+                        value_column: "total".into(),
+                        unit: "€".into(),
+                    },
+                }]],
+            },
+        )
+        .unwrap();
+
+    // IDS: deliver a payload by e-mail
+    platform
+        .deliver(
+            "clinic",
+            &token,
+            "cio",
+            "exec",
+            Channel::Email,
+            &odbis_delivery::ReportPayload {
+                title: "Exec".into(),
+                data: QueryResult {
+                    columns: vec!["total".into()],
+                    rows: vec![vec![odbis_storage::Value::Float(5400.0)]],
+                    rows_affected: 0,
+                },
+            },
+        )
+        .unwrap();
+
+    token
+}
+
+#[test]
+fn metrics_scrape_covers_every_service() {
+    let platform = Arc::new(OdbisPlatform::new());
+    drive_traffic(&platform);
+    let server = HttpServer::start(build_router(Arc::clone(&platform)), 2).unwrap();
+    let addr = server.addr().to_string();
+
+    // the scrape is public (monitoring agents hold no tenant session)
+    let (status, body) = http_get(&addr, "/api/v1/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("# TYPE odbis_requests_total counter"));
+    assert!(body.contains("# TYPE odbis_latency_seconds histogram"));
+    // every gate service shows up with the tenant label
+    for service in ["MDS", "IS", "AS", "RS", "IDS"] {
+        assert!(
+            body.contains(&format!("tenant=\"clinic\",service=\"{service}\"")),
+            "metrics must cover service {service}: {body}"
+        );
+    }
+    // the layer-level child spans are labelled too
+    assert!(body.contains("service=\"sql\""));
+    // rows flowed through the SQL layer
+    assert!(body.contains("odbis_rows_total"));
+    server.shutdown();
+}
+
+#[test]
+fn invoice_prices_all_services_and_needs_admin() {
+    let platform = Arc::new(OdbisPlatform::new());
+    let token = drive_traffic(&platform);
+    let server = HttpServer::start(build_router(Arc::clone(&platform)), 2).unwrap();
+    let addr = server.addr().to_string();
+
+    let (status, _, body) = auth(&addr, "GET", "/api/v1/admin/invoice", &token, "");
+    assert_eq!(status, 200);
+    let lines: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let lines = lines.as_array().unwrap().clone();
+    for service in ["MDS", "IS", "AS", "RS", "IDS"] {
+        let line = lines
+            .iter()
+            .find(|l| l["tenant"] == "clinic" && l["service"] == service)
+            .unwrap_or_else(|| panic!("invoice must have a {service} line: {body}"));
+        assert!(line["millicents"].as_i64().unwrap() > 0);
+        assert!(line["requests"].as_i64().unwrap() >= 1);
+    }
+
+    // a non-admin analyst cannot read invoices
+    platform
+        .create_user("clinic", &token, "analyst", "pw", "ROLE_ANALYST")
+        .unwrap();
+    let analyst = platform.login("clinic", "analyst", "pw").unwrap();
+    let (status, _, body) = auth(&addr, "GET", "/api/v1/admin/invoice", &analyst, "");
+    assert_eq!(status, 403);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["error"]["kind"], "security");
+    server.shutdown();
+}
+
+#[test]
+fn api_v1_and_legacy_paths_serve_the_same_routes() {
+    let platform = Arc::new(OdbisPlatform::new());
+    let token = drive_traffic(&platform);
+    let server = HttpServer::start(build_router(Arc::clone(&platform)), 2).unwrap();
+    let addr = server.addr().to_string();
+
+    // the canonical path answers without deprecation headers
+    let (status, headers, v1_body) = auth(&addr, "GET", "/api/v1/datasets", &token, "");
+    assert_eq!(status, 200);
+    assert!(!headers.contains_key("deprecation"));
+
+    // the legacy alias returns the same payload, flagged deprecated
+    let (status, headers, legacy_body) = auth(&addr, "GET", "/datasets", &token, "");
+    assert_eq!(status, 200);
+    assert_eq!(headers.get("deprecation").map(String::as_str), Some("true"));
+    assert!(headers["link"].contains("/api/v1/datasets"));
+    assert_eq!(v1_body, legacy_body);
+
+    // JSON login on the canonical path
+    let (status, _, body) = http_request(
+        &addr,
+        "POST",
+        "/api/v1/login",
+        &[],
+        b"{\"tenant\":\"clinic\",\"user\":\"cio\",\"password\":\"pw\"}",
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("token"));
+
+    // the error envelope rides the versioned surface: unknown data set is 404
+    let (status, _, body) = auth(&addr, "GET", "/api/v1/datasets/ghost", &token, "");
+    assert_eq!(status, 404);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["error"]["kind"], "not_found");
+    server.shutdown();
+}
+
+#[test]
+fn slowlog_endpoint_exposes_slow_operations() {
+    let platform = Arc::new(OdbisPlatform::new());
+    let token = drive_traffic(&platform);
+    // retroactively making everything >1ms slow: run one more heavy statement
+    platform
+        .admin
+        .config
+        .set_for_tenant("clinic", "telemetry.slow_ms", 1i64.into())
+        .unwrap();
+    let mut insert = String::from("INSERT INTO admissions VALUES ('Generated', 2011, 1)");
+    for i in 0..20_000 {
+        insert.push_str(&format!(", ('Generated', 2011, {i})"));
+    }
+    platform.sql("clinic", &token, &insert).unwrap();
+
+    let server = HttpServer::start(build_router(Arc::clone(&platform)), 2).unwrap();
+    let addr = server.addr().to_string();
+    let (status, _, body) = auth(&addr, "GET", "/api/v1/admin/slowlog", &token, "");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let entries = v.as_array().unwrap();
+    assert!(!entries.is_empty(), "slow log must have entries: {body}");
+    assert_eq!(entries[0]["tenant"], "clinic");
+    assert!(entries[0]["durationMicros"].as_i64().unwrap() >= 1000);
+    server.shutdown();
+}
