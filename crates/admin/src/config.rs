@@ -81,6 +81,16 @@ fn vectorized_default() -> bool {
     )
 }
 
+/// The declared default for `durability.fsync`: the `ODBIS_DURABILITY_FSYNC`
+/// environment variable when set (the CI durability job exports `always`),
+/// otherwise `never` — crash-safe against process death, not power loss.
+fn fsync_default() -> String {
+    match std::env::var("ODBIS_DURABILITY_FSYNC").as_deref() {
+        Ok(v) if v.eq_ignore_ascii_case("always") => "always".to_string(),
+        _ => "never".to_string(),
+    }
+}
+
 /// Declared-key configuration store with platform defaults and per-tenant
 /// overrides. Reads resolve tenant → platform → declared default.
 pub struct PlatformConfig {
@@ -104,6 +114,7 @@ impl PlatformConfig {
             ("etl.reject_threshold", ConfigValue::Int(1_000)),
             ("olap.preaggregation", ConfigValue::Bool(true)),
             ("sql.vectorized", ConfigValue::Bool(vectorized_default())),
+            ("durability.fsync", ConfigValue::Str(fsync_default())),
             ("telemetry.enabled", ConfigValue::Bool(true)),
             ("telemetry.slow_ms", ConfigValue::Int(250)),
             ("delivery.mobile_row_cap", ConfigValue::Int(20)),
@@ -182,6 +193,17 @@ impl PlatformConfig {
             _ => Err(ConfigError::TypeMismatch {
                 key: key.to_string(),
                 expected: "int",
+            }),
+        }
+    }
+
+    /// String-setting convenience.
+    pub fn get_str(&self, tenant: &str, key: &str) -> Result<String, ConfigError> {
+        match self.get(tenant, key)? {
+            ConfigValue::Str(s) => Ok(s),
+            _ => Err(ConfigError::TypeMismatch {
+                key: key.to_string(),
+                expected: "string",
             }),
         }
     }

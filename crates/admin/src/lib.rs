@@ -9,12 +9,18 @@
 //!   hierarchy, usage reporting, billing runs;
 //! * [`PlatformConfig`] — declared-key configuration with platform and
 //!   per-tenant overrides (the paper's personalization claim);
-//! * [`PerfMonitor`] — latency recording with percentile reports.
+//! * [`PerfMonitor`] — latency recording with percentile reports;
+//! * [`DurabilityRegistry`] — checkpoint control and WAL status over the
+//!   hook the platform registers for its durable tenant stores.
 
 #![warn(missing_docs)]
 
 mod config;
+mod durability;
 mod service;
 
 pub use config::{ConfigError, ConfigValue, PlatformConfig};
+pub use durability::{
+    CheckpointOutcome, DurabilityError, DurabilityHook, DurabilityRegistry, DurabilityStatus,
+};
 pub use service::{AdminService, PerfMonitor, PerfReport, PerfSample, UsageLine};

@@ -12,6 +12,7 @@ use odbis_tenancy::{
 use parking_lot::Mutex;
 
 use crate::config::PlatformConfig;
+use crate::durability::DurabilityRegistry;
 
 /// A latency sample recorded by the performance monitor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +127,9 @@ pub struct AdminService {
     pub telemetry: Arc<Telemetry>,
     /// The pay-as-you-go cost model joining meter units with telemetry.
     pub cost_model: CostModel,
+    /// Durability administration: checkpoint control and WAL status, once
+    /// the platform registers its hook.
+    pub durability: DurabilityRegistry,
 }
 
 impl AdminService {
@@ -138,6 +142,7 @@ impl AdminService {
             perf: PerfMonitor::new(),
             telemetry: Arc::new(Telemetry::new()),
             cost_model: CostModel::default(),
+            durability: DurabilityRegistry::new(),
         }
     }
 

@@ -1,0 +1,94 @@
+//! Sustained-shape WAL overhead probe.
+//!
+//! The criterion bench (`benches/wal.rs`) cycles a table through
+//! truncate/checkpoint to bound memory, which leaves its un-journaled
+//! baseline cache-hot (~140 ns/row on this container). This probe
+//! measures the complementary shape: one long uninterrupted load of
+//! `ROWS` rows in 100-row `insert_many` statements, no truncation, so
+//! the baseline pays the real sustained cost of growing a warehouse
+//! table. The journaled side runs at `fsync=never` on tmpfs when
+//! available. Reported: ns/row each side, min of `REPS` passes, and the
+//! journaled/un-journaled ratio the <2× acceptance budget refers to.
+//!
+//! Run with: `cargo run --release -p odbis-bench --example wal_sustained`
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use odbis_storage::{
+    Column, DataType, Database, DurableStore, FsyncPolicy, Schema, Value, WalSink,
+};
+
+const ROWS: usize = 200_000;
+const BATCH: usize = 100;
+const REPS: usize = 3;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::new("id", DataType::Int),
+        Column::new("region", DataType::Text),
+        Column::new("amount", DataType::Float),
+    ])
+    .unwrap()
+}
+
+fn row(i: i64) -> Vec<Value> {
+    vec![
+        Value::Int(i),
+        Value::from(if i % 2 == 0 { "EU" } else { "US" }),
+        Value::Float(i as f64 * 1.5),
+    ]
+}
+
+fn load(db: &Database) -> f64 {
+    let start = Instant::now();
+    for base in (0..ROWS as i64).step_by(BATCH) {
+        let rows = (base..base + BATCH as i64).map(row).collect();
+        db.insert_many("orders", rows).unwrap();
+    }
+    start.elapsed().as_nanos() as f64 / ROWS as f64
+}
+
+fn scratch_dir() -> PathBuf {
+    let shm = PathBuf::from("/dev/shm");
+    let root = if shm.is_dir() {
+        shm
+    } else {
+        std::env::temp_dir()
+    };
+    let dir = root.join(format!("odbis-wal-sustained-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let mut base_best = f64::INFINITY;
+    let mut wal_best = f64::INFINITY;
+    for rep in 0..REPS {
+        let db = Database::new();
+        db.create_table("orders", schema()).unwrap();
+        let base = load(&db);
+        base_best = base_best.min(base);
+
+        let dir = scratch_dir();
+        let (db, store) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+        let wal: std::sync::Arc<dyn WalSink> = std::sync::Arc::clone(store.wal()) as _;
+        db.set_wal_sink(wal);
+        db.create_table("orders", schema()).unwrap();
+        let journaled = load(&db);
+        wal_best = wal_best.min(journaled);
+        let wal_len = store.wal().stats().file_len;
+        let _ = std::fs::remove_dir_all(&dir);
+
+        println!(
+            "rep {rep}: unjournaled {base:.0} ns/row, journaled {journaled:.0} ns/row \
+             (ratio {:.2}x, wal {wal_len} bytes)",
+            journaled / base
+        );
+    }
+    println!(
+        "best-of-{REPS}: unjournaled {base_best:.0} ns/row, journaled {wal_best:.0} ns/row, \
+         ratio {:.2}x (budget < 2x)",
+        wal_best / base_best
+    );
+}

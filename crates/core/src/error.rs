@@ -23,6 +23,8 @@ pub enum PlatformError {
     Delivery(String),
     /// MDDWS failure.
     Mddws(String),
+    /// Storage-engine/durability failure (WAL, snapshot, recovery).
+    Storage(String),
     /// A named resource (data set, data source, report...) does not exist.
     NotFound(String),
     /// Anything else.
@@ -43,6 +45,7 @@ impl PlatformError {
             PlatformError::Reporting(_) => "reporting",
             PlatformError::Delivery(_) => "delivery",
             PlatformError::Mddws(_) => "mddws",
+            PlatformError::Storage(_) => "storage",
             PlatformError::NotFound(_) => "not_found",
             PlatformError::Internal(_) => "internal",
         }
@@ -60,6 +63,7 @@ impl PlatformError {
             | PlatformError::Reporting(m)
             | PlatformError::Delivery(m)
             | PlatformError::Mddws(m)
+            | PlatformError::Storage(m)
             | PlatformError::NotFound(m)
             | PlatformError::Internal(m) => m,
         }
@@ -74,7 +78,7 @@ impl PlatformError {
             PlatformError::NotFound(_) => 404,
             PlatformError::Security(_) => 403,
             PlatformError::Tenancy(_) => 402,
-            PlatformError::Internal(_) => 500,
+            PlatformError::Storage(_) | PlatformError::Internal(_) => 500,
             _ => 400,
         }
     }
@@ -146,6 +150,23 @@ impl From<odbis_delivery::DeliveryError> for PlatformError {
 impl From<odbis_mddws::MddwsError> for PlatformError {
     fn from(e: odbis_mddws::MddwsError) -> Self {
         PlatformError::Mddws(e.to_string())
+    }
+}
+
+impl From<odbis_storage::DbError> for PlatformError {
+    fn from(e: odbis_storage::DbError) -> Self {
+        PlatformError::Storage(e.to_string())
+    }
+}
+
+impl From<odbis_admin::DurabilityError> for PlatformError {
+    fn from(e: odbis_admin::DurabilityError) -> Self {
+        match e {
+            odbis_admin::DurabilityError::UnknownTenant(t) => {
+                PlatformError::NotFound(format!("durable store for tenant {t}"))
+            }
+            other => PlatformError::Storage(other.to_string()),
+        }
     }
 }
 

@@ -7,9 +7,12 @@
 //! billing. That gate *is* the platform's SaaS contract.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
-use odbis_admin::AdminService;
+use odbis_admin::{
+    AdminService, CheckpointOutcome, DurabilityError, DurabilityHook, DurabilityStatus,
+};
 use odbis_delivery::{Channel, DeliveryService, ReportPayload};
 use odbis_esb::MessageBus;
 use odbis_etl::{EtlJob, JobReport, JobRunner, JobScheduler};
@@ -18,7 +21,8 @@ use odbis_metadata::{DataSet, DataSource, MetadataService};
 use odbis_olap::{AggregateCache, CellSet, CubeDef, CubeEngine, LevelRef, MaterializedAggregate};
 use odbis_reporting::{Dashboard, RenderedReport, ReportTemplate, ReportingService};
 use odbis_sql::{Engine, QueryResult};
-use odbis_storage::Database;
+use odbis_storage::{Database, DbResult, DurableStore, FsyncPolicy, Wal, WalRecord, WalSink};
+use odbis_telemetry::Telemetry;
 use odbis_tenancy::{ServiceKind, SubscriptionPlan, TenantRegistry, UsageMeter};
 use parking_lot::{Mutex, RwLock};
 
@@ -50,11 +54,66 @@ pub struct TenantWorkspace {
     pub delivery: Arc<DeliveryService>,
     /// MDDWS projects by name.
     pub projects: Mutex<HashMap<String, DwProject>>,
+    /// The tenant's durable store (snapshot + WAL), when the platform was
+    /// booted with a data directory. `None` for in-memory platforms.
+    pub durable: Option<Arc<DurableStore>>,
+}
+
+/// The WAL sink the platform attaches to each durable warehouse: appends
+/// go to the tenant's log, and every appended frame is metered into the
+/// telemetry spine (`odbis_wal_appends_total` / `odbis_wal_bytes_total`).
+struct MeteredWal {
+    tenant: String,
+    wal: Arc<Wal>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl WalSink for MeteredWal {
+    fn append(&self, record: &WalRecord) -> DbResult<()> {
+        let bytes = self.wal.append_record(record)?;
+        self.telemetry.record_wal_append(&self.tenant, bytes);
+        Ok(())
+    }
+
+    fn append_batch(&self, records: &[WalRecord]) -> DbResult<()> {
+        let bytes = self.wal.append_batch(records)?;
+        self.telemetry
+            .record_wal_batch(&self.tenant, records.len() as u64, bytes);
+        Ok(())
+    }
 }
 
 impl TenantWorkspace {
     fn new(tenant_id: &str) -> PlatformResult<Self> {
-        let warehouse = Arc::new(Database::new());
+        Self::assemble(tenant_id, Arc::new(Database::new()), None)
+    }
+
+    /// Open (or recover) a durable workspace rooted at `dir`: load the
+    /// snapshot, replay the WAL, and journal every future warehouse
+    /// mutation through a telemetry-metered sink. Re-provisioning a tenant
+    /// over an existing directory recovers exactly the committed state.
+    fn durable(
+        tenant_id: &str,
+        dir: PathBuf,
+        policy: FsyncPolicy,
+        telemetry: Arc<Telemetry>,
+    ) -> PlatformResult<Self> {
+        let (db, store) = DurableStore::open(dir, policy)?;
+        let warehouse = Arc::new(db);
+        let store = Arc::new(store);
+        warehouse.set_wal_sink(Arc::new(MeteredWal {
+            tenant: tenant_id.to_string(),
+            wal: Arc::clone(store.wal()),
+            telemetry,
+        }));
+        Self::assemble(tenant_id, warehouse, Some(store))
+    }
+
+    fn assemble(
+        tenant_id: &str,
+        warehouse: Arc<Database>,
+        durable: Option<Arc<DurableStore>>,
+    ) -> PlatformResult<Self> {
         let mds = Arc::new(MetadataService::new());
         mds.register_source(
             DataSource {
@@ -83,6 +142,74 @@ impl TenantWorkspace {
             agg_cache: RwLock::new(AggregateCache::new()),
             delivery,
             projects: Mutex::new(HashMap::new()),
+            durable,
+        })
+    }
+}
+
+/// The [`DurabilityHook`] the platform registers with its admin service:
+/// resolves tenants to their durable stores and meters checkpoints.
+struct TenantDurability {
+    workspaces: Arc<RwLock<HashMap<String, Arc<TenantWorkspace>>>>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl TenantDurability {
+    fn store(
+        &self,
+        tenant: &str,
+    ) -> Result<(Arc<TenantWorkspace>, Arc<DurableStore>), DurabilityError> {
+        let ws = self
+            .workspaces
+            .read()
+            .get(tenant)
+            .cloned()
+            .ok_or_else(|| DurabilityError::UnknownTenant(tenant.to_string()))?;
+        let store = ws
+            .durable
+            .clone()
+            .ok_or_else(|| DurabilityError::UnknownTenant(tenant.to_string()))?;
+        Ok((ws, store))
+    }
+}
+
+impl DurabilityHook for TenantDurability {
+    fn tenants(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .workspaces
+            .read()
+            .iter()
+            .filter(|(_, ws)| ws.durable.is_some())
+            .map(|(id, _)| id.clone())
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    fn status(&self, tenant: &str) -> Result<DurabilityStatus, DurabilityError> {
+        let (_, store) = self.store(tenant)?;
+        let stats = store.wal().stats();
+        Ok(DurabilityStatus {
+            tenant: tenant.to_string(),
+            fsync: store.wal().policy().as_str().to_string(),
+            wal_appends: stats.appends,
+            wal_bytes: stats.bytes,
+            wal_file_len: stats.file_len,
+            next_lsn: stats.next_lsn,
+        })
+    }
+
+    fn checkpoint(&self, tenant: &str) -> Result<CheckpointOutcome, DurabilityError> {
+        let (ws, store) = self.store(tenant)?;
+        let report = store
+            .checkpoint(&ws.warehouse)
+            .map_err(|e| DurabilityError::Storage(e.to_string()))?;
+        self.telemetry.record_checkpoint(tenant, report.micros);
+        Ok(CheckpointOutcome {
+            tenant: tenant.to_string(),
+            tables: report.tables,
+            wal_bytes_folded: report.wal_bytes_folded,
+            micros: report.micros,
         })
     }
 }
@@ -98,7 +225,8 @@ pub struct OdbisPlatform {
     pub context: ApplicationContext,
     sql: Engine,
     sql_rows: Engine,
-    workspaces: RwLock<HashMap<String, Arc<TenantWorkspace>>>,
+    workspaces: Arc<RwLock<HashMap<String, Arc<TenantWorkspace>>>>,
+    data_dir: Option<PathBuf>,
 }
 
 impl Default for OdbisPlatform {
@@ -108,8 +236,20 @@ impl Default for OdbisPlatform {
 }
 
 impl OdbisPlatform {
-    /// Boot an empty platform.
+    /// Boot an empty in-memory platform (no durability; tests, demos).
     pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// Boot a durable platform rooted at `dir`: every tenant provisioned
+    /// afterwards gets a write-ahead log plus snapshot under
+    /// `dir/<tenant>/`, and re-provisioning over an existing directory
+    /// recovers the committed state.
+    pub fn with_data_dir(dir: impl Into<PathBuf>) -> Self {
+        Self::build(Some(dir.into()))
+    }
+
+    fn build(data_dir: Option<PathBuf>) -> Self {
         let registry = Arc::new(TenantRegistry::new());
         let meter = Arc::new(UsageMeter::new());
         let bus = Arc::new(MessageBus::new());
@@ -117,13 +257,22 @@ impl OdbisPlatform {
         context.register(Arc::clone(&registry));
         context.register(Arc::clone(&meter));
         context.register(Arc::clone(&bus));
+        let admin = AdminService::new(registry, meter);
+        let workspaces = Arc::new(RwLock::new(HashMap::new()));
+        if data_dir.is_some() {
+            admin.durability.register(Arc::new(TenantDurability {
+                workspaces: Arc::clone(&workspaces),
+                telemetry: Arc::clone(&admin.telemetry),
+            }));
+        }
         OdbisPlatform {
-            admin: AdminService::new(registry, meter),
+            admin,
             bus,
             context,
             sql: Engine::new(),
             sql_rows: Engine::with_row_execution(),
-            workspaces: RwLock::new(HashMap::new()),
+            workspaces,
+            data_dir,
         }
     }
 
@@ -141,9 +290,64 @@ impl OdbisPlatform {
     ) -> PlatformResult<()> {
         self.admin
             .provision_tenant(id, display_name, plan, admin_user, admin_password)?;
-        let ws = Arc::new(TenantWorkspace::new(id)?);
+        let ws = match &self.data_dir {
+            Some(root) => {
+                let policy = FsyncPolicy::parse(
+                    &self
+                        .admin
+                        .config
+                        .get_str(id, "durability.fsync")
+                        .unwrap_or_else(|_| "never".into()),
+                );
+                Arc::new(TenantWorkspace::durable(
+                    id,
+                    root.join(id),
+                    policy,
+                    Arc::clone(&self.admin.telemetry),
+                )?)
+            }
+            None => Arc::new(TenantWorkspace::new(id)?),
+        };
         self.workspaces.write().insert(id.to_string(), ws);
         Ok(())
+    }
+
+    // ---- durability ----------------------------------------------------------
+
+    /// Checkpoint a tenant's durable store: fold the WAL into the snapshot
+    /// and truncate the log. Admin-only; errors with `NotFound` when the
+    /// platform (or the tenant) has no durable store.
+    pub fn checkpoint_tenant(
+        &self,
+        tenant: &str,
+        token: &str,
+    ) -> PlatformResult<CheckpointOutcome> {
+        self.traced(
+            tenant,
+            ServiceKind::Admin,
+            "durability.checkpoint",
+            |span| {
+                span.set_detail(tenant);
+                self.authorize(tenant, token, "ADMIN_CONFIG")?;
+                let outcome = self.admin.durability.checkpoint(tenant)?;
+                span.set_bytes(outcome.wal_bytes_folded);
+                self.admin.meter_usage(tenant, ServiceKind::Admin, 1);
+                Ok(outcome)
+            },
+        )
+    }
+
+    /// A tenant's durability status: fsync policy, WAL append/byte counters
+    /// and file length, next LSN.
+    pub fn durability_status(&self, tenant: &str, token: &str) -> PlatformResult<DurabilityStatus> {
+        self.traced(tenant, ServiceKind::Admin, "durability.status", |span| {
+            span.set_detail(tenant);
+            self.authorize(tenant, token, "ADMIN_CONFIG")?;
+            let status = self.admin.durability.status(tenant)?;
+            span.set_bytes(status.wal_bytes);
+            self.admin.meter_usage(tenant, ServiceKind::Admin, 1);
+            Ok(status)
+        })
     }
 
     /// The workspace of a tenant.
@@ -258,6 +462,11 @@ impl OdbisPlatform {
                 &self.sql
             };
             let result = engine.execute(&ws.warehouse, sql)?;
+            // DML/DDL (empty column list) may have changed fact tables:
+            // drop materialized aggregates so MDX never reads stale cells.
+            if result.columns.is_empty() {
+                ws.agg_cache.write().clear();
+            }
             span.set_rows((result.rows.len() + result.rows_affected) as u64);
             // pay-as-you-go: one unit per call plus one per row touched
             self.admin.meter_usage(
@@ -312,6 +521,9 @@ impl OdbisPlatform {
             self.authorize(tenant, token, "ETL_DESIGN")?;
             let ws = self.workspace(tenant)?;
             let report = ws.etl.run(job).map_err(PlatformError::from)?;
+            // ETL loads write the warehouse: invalidate materialized
+            // aggregates so subsequent MDX sees the fresh rows.
+            ws.agg_cache.write().clear();
             span.set_rows(report.loaded as u64);
             self.admin
                 .meter_usage(tenant, ServiceKind::Integration, report.loaded as u64);
@@ -855,10 +1067,7 @@ mod preagg_tests {
             )
             .unwrap();
         assert_eq!(cells, 2);
-        // new fact rows are NOT visible through the (stale) aggregate —
-        // this is the materialized-view trade-off the config controls
-        p.sql("acme", &token, "INSERT INTO f VALUES ('EU', 100)")
-            .unwrap();
+        // the materialized aggregate answers covered MDX queries
         let via_cache = p
             .mdx("acme", &token, "SELECT revenue BY geo.region FROM c")
             .unwrap();
@@ -866,7 +1075,18 @@ mod preagg_tests {
             via_cache.cell(&["EU".into()]).unwrap(),
             &[odbis_storage::Value::Float(30.0)]
         );
-        // disabling pre-aggregation for the tenant goes back to live data
+        // a warehouse write invalidates the aggregate: MDX sees fresh rows,
+        // never a stale cached cell
+        p.sql("acme", &token, "INSERT INTO f VALUES ('EU', 100)")
+            .unwrap();
+        let after_write = p
+            .mdx("acme", &token, "SELECT revenue BY geo.region FROM c")
+            .unwrap();
+        assert_eq!(
+            after_write.cell(&["EU".into()]).unwrap(),
+            &[odbis_storage::Value::Float(130.0)]
+        );
+        // disabling pre-aggregation for the tenant also reads live data
         p.admin
             .config
             .set_for_tenant("acme", "olap.preaggregation", false.into())
@@ -877,6 +1097,70 @@ mod preagg_tests {
         assert_eq!(
             live.cell(&["EU".into()]).unwrap(),
             &[odbis_storage::Value::Float(130.0)]
+        );
+    }
+
+    #[test]
+    fn etl_load_invalidates_materialized_aggregates() {
+        let p = OdbisPlatform::new();
+        p.provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+        let token = p.login("acme", "root", "pw").unwrap();
+        p.sql(
+            "acme",
+            &token,
+            "CREATE TABLE f (region TEXT, amount DOUBLE)",
+        )
+        .unwrap();
+        p.sql("acme", &token, "INSERT INTO f VALUES ('EU', 10), ('US', 5)")
+            .unwrap();
+        let cube = CubeDef {
+            name: "c".into(),
+            fact_table: "f".into(),
+            dimensions: vec![odbis_olap::DimensionDef {
+                name: "geo".into(),
+                table: None,
+                fact_fk: String::new(),
+                dim_key: String::new(),
+                levels: vec![odbis_olap::LevelDef {
+                    name: "region".into(),
+                    column: "region".into(),
+                }],
+            }],
+            measures: vec![odbis_olap::MeasureDef {
+                name: "revenue".into(),
+                column: "amount".into(),
+                aggregator: odbis_olap::Aggregator::Sum,
+            }],
+        };
+        p.register_cube("acme", &token, cube).unwrap();
+        p.materialize_aggregate(
+            "acme",
+            &token,
+            "c",
+            vec![LevelRef::new("geo", "region")],
+            vec!["revenue".into()],
+        )
+        .unwrap();
+        // load more fact rows through the integration service
+        let job = EtlJob {
+            name: "load_f".into(),
+            extractor: odbis_etl::Extractor::Csv("region,amount\nEU,90\n".into()),
+            transforms: vec![],
+            loader: odbis_etl::Loader {
+                table: "f".into(),
+                mode: odbis_etl::LoadMode::Append,
+            },
+        };
+        let report = p.run_etl("acme", &token, &job).unwrap();
+        assert_eq!(report.loaded, 1);
+        // the pre-ETL aggregate must not answer any more
+        let cells = p
+            .mdx("acme", &token, "SELECT revenue BY geo.region FROM c")
+            .unwrap();
+        assert_eq!(
+            cells.cell(&["EU".into()]).unwrap(),
+            &[odbis_storage::Value::Float(100.0)]
         );
     }
 }
@@ -939,6 +1223,126 @@ mod template_tests {
             ),
             Err(PlatformError::Reporting(_))
         ));
+    }
+}
+
+#[cfg(test)]
+mod durability_tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("odbis-platform-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn boot_durable(dir: &std::path::Path) -> (OdbisPlatform, String) {
+        let p = OdbisPlatform::with_data_dir(dir.to_path_buf());
+        p.provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+        let token = p.login("acme", "root", "pw").unwrap();
+        (p, token)
+    }
+
+    #[test]
+    fn durable_platform_recovers_committed_state() {
+        let dir = tmp_dir("recover");
+        {
+            let (p, token) = boot_durable(&dir);
+            p.sql("acme", &token, "CREATE TABLE orders (id INT, region TEXT)")
+                .unwrap();
+            p.sql(
+                "acme",
+                &token,
+                "INSERT INTO orders VALUES (1, 'EU'), (2, 'US')",
+            )
+            .unwrap();
+            p.sql("acme", &token, "DELETE FROM orders WHERE id = 2")
+                .unwrap();
+        } // platform dropped: simulated process exit, nothing checkpointed
+        let (p2, token2) = boot_durable(&dir);
+        let r = p2
+            .sql("acme", &token2, "SELECT id, region FROM orders")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![vec![
+                odbis_storage::Value::Int(1),
+                odbis_storage::Value::from("EU")
+            ]]
+        );
+        // the recovered warehouse keeps journaling
+        p2.sql("acme", &token2, "INSERT INTO orders VALUES (3, 'APAC')")
+            .unwrap();
+        let status = p2.durability_status("acme", &token2).unwrap();
+        assert!(status.wal_appends >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_folds_wal_and_meters_telemetry() {
+        let dir = tmp_dir("checkpoint");
+        let (p, token) = boot_durable(&dir);
+        p.sql("acme", &token, "CREATE TABLE t (x INT)").unwrap();
+        for i in 0..5 {
+            p.sql("acme", &token, &format!("INSERT INTO t VALUES ({i})"))
+                .unwrap();
+        }
+        let before = p.durability_status("acme", &token).unwrap();
+        assert!(before.wal_appends >= 6);
+        assert!(before.wal_file_len > 0);
+        assert_eq!(before.fsync, "never");
+        let outcome = p.checkpoint_tenant("acme", &token).unwrap();
+        assert_eq!(outcome.tenant, "acme");
+        assert_eq!(outcome.tables, 1);
+        assert!(outcome.wal_bytes_folded > 0);
+        let after = p.durability_status("acme", &token).unwrap();
+        assert_eq!(after.wal_file_len, 0);
+        // WAL and checkpoint activity shows up on the metrics endpoint
+        let prom = p.admin.telemetry.render_prometheus();
+        assert!(prom.contains("odbis_wal_appends_total{tenant=\"acme\"}"));
+        assert!(prom.contains("odbis_checkpoints_total{tenant=\"acme\"} 1"));
+        // post-checkpoint restart recovers from the snapshot alone
+        drop(p);
+        let (p2, token2) = boot_durable(&dir);
+        let r = p2.sql("acme", &token2, "SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], odbis_storage::Value::Int(5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_platform_reports_durability_unavailable() {
+        let p = OdbisPlatform::new();
+        p.provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+        let token = p.login("acme", "root", "pw").unwrap();
+        assert!(p.workspace("acme").unwrap().durable.is_none());
+        let err = p.durability_status("acme", &token).unwrap_err();
+        assert!(matches!(
+            err,
+            PlatformError::Storage(_) | PlatformError::NotFound(_)
+        ));
+        assert!(p.checkpoint_tenant("acme", &token).is_err());
+    }
+
+    #[test]
+    fn fsync_policy_comes_from_configuration() {
+        let dir = tmp_dir("fsync");
+        let p = OdbisPlatform::with_data_dir(dir.clone());
+        p.admin
+            .config
+            .set("durability.fsync", "always".into())
+            .unwrap();
+        p.provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+        let token = p.login("acme", "root", "pw").unwrap();
+        p.sql("acme", &token, "CREATE TABLE t (x INT)").unwrap();
+        let status = p.durability_status("acme", &token).unwrap();
+        assert_eq!(status.fsync, "always");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

@@ -18,6 +18,8 @@
 //! | GET  | `/api/v1/admin/usage` | metered usage report (ADMIN_USERS) |
 //! | GET  | `/api/v1/admin/invoice` | pay-as-you-go cost lines (ADMIN_USERS) |
 //! | GET  | `/api/v1/admin/slowlog` | slow-operation log (ADMIN_USERS) |
+//! | GET  | `/api/v1/admin/durability` | WAL/fsync status of the tenant's durable store (ADMIN_CONFIG) |
+//! | POST | `/api/v1/admin/checkpoint` | fold the tenant's WAL into its snapshot (ADMIN_CONFIG) |
 //!
 //! Authenticated routes read the tenant from the `x-tenant` header and the
 //! session token from `Authorization: Bearer <token>` (preferred) or the
@@ -271,6 +273,42 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
                     .collect();
                 HttpResponse::json(serde_json::Value::Array(lines).to_string())
             }
+            Err(e) => error_response(&e),
+        }
+    });
+
+    let p = Arc::clone(&platform);
+    router.route(Method::Get, "/api/v1/admin/durability", move |req, _| {
+        let (tenant, token) = creds(req);
+        match p.durability_status(&tenant, &token) {
+            Ok(s) => HttpResponse::json(
+                serde_json::json!({
+                    "tenant": s.tenant,
+                    "fsync": s.fsync,
+                    "walAppends": s.wal_appends,
+                    "walBytes": s.wal_bytes,
+                    "walFileLen": s.wal_file_len,
+                    "nextLsn": s.next_lsn,
+                })
+                .to_string(),
+            ),
+            Err(e) => error_response(&e),
+        }
+    });
+
+    let p = Arc::clone(&platform);
+    router.route(Method::Post, "/api/v1/admin/checkpoint", move |req, _| {
+        let (tenant, token) = creds(req);
+        match p.checkpoint_tenant(&tenant, &token) {
+            Ok(o) => HttpResponse::json(
+                serde_json::json!({
+                    "tenant": o.tenant,
+                    "tables": o.tables,
+                    "walBytesFolded": o.wal_bytes_folded,
+                    "micros": o.micros,
+                })
+                .to_string(),
+            ),
             Err(e) => error_response(&e),
         }
     });
@@ -555,6 +593,52 @@ mod tests {
         assert_eq!(status, 403);
         let v: serde_json::Value = serde_json::from_str(&body).unwrap();
         assert_eq!(v["error"]["kind"], "security");
+    }
+
+    #[test]
+    fn durability_endpoints_round_trip() {
+        let dir = std::env::temp_dir().join(format!("odbis-webapi-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let platform = Arc::new(OdbisPlatform::with_data_dir(&dir));
+        platform
+            .provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+        let token = platform.login("acme", "root", "pw").unwrap();
+        let server = HttpServer::start(build_router(Arc::clone(&platform)), 2).unwrap();
+        let addr = server.addr().to_string();
+        let (status, _, _) = with_auth(
+            &addr,
+            "POST",
+            "/api/v1/sql",
+            &token,
+            "CREATE TABLE t (x INT)",
+        );
+        assert_eq!(status, 200);
+        let (status, body, _) = with_auth(&addr, "GET", "/api/v1/admin/durability", &token, "");
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["tenant"], "acme");
+        assert!(v["walAppends"].as_i64().unwrap() >= 1);
+        let (status, body, _) = with_auth(&addr, "POST", "/api/v1/admin/checkpoint", &token, "");
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(v["walBytesFolded"].as_i64().unwrap() > 0);
+        // after the checkpoint the log is empty again
+        let (status, body, _) = with_auth(&addr, "GET", "/api/v1/admin/durability", &token, "");
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["walFileLen"].as_i64().unwrap(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durability_endpoints_error_without_a_data_dir() {
+        let (server, _p, token) = serve();
+        let addr = server.addr().to_string();
+        let (status, _, _) = with_auth(&addr, "GET", "/api/v1/admin/durability", &token, "");
+        assert_eq!(status, 500);
+        let (status, _, _) = with_auth(&addr, "POST", "/api/v1/admin/checkpoint", &token, "");
+        assert_eq!(status, 500);
     }
 
     #[test]

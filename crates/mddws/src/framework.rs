@@ -222,6 +222,9 @@ pub fn pim_to_psm(platform: &str) -> Transformation {
 }
 
 #[cfg(test)]
+pub(crate) use tests::healthcare_cim;
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use odbis_metamodel::{AttrValue, ModelRepository};
@@ -329,6 +332,3 @@ mod tests {
         assert_eq!(DwLayer::Warehouse.name(), "warehouse");
     }
 }
-
-#[cfg(test)]
-pub(crate) use tests::healthcare_cim;

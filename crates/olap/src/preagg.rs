@@ -264,6 +264,13 @@ impl AggregateCache {
         self.aggregates.is_empty()
     }
 
+    /// Drop every aggregate. Called after any warehouse write: a
+    /// materialized aggregate summarizes the fact table at build time, so
+    /// the first write after a build makes every aggregate stale.
+    pub fn clear(&mut self) {
+        self.aggregates.clear();
+    }
+
     /// Answer from the cache if any aggregate covers the query.
     pub fn try_answer(&self, cube: &str, query: &CubeQuery) -> Option<CellSet> {
         self.aggregates

@@ -4,7 +4,7 @@ use odbis_sql::{parse, Engine};
 use odbis_storage::{Database, Value};
 use proptest::prelude::*;
 
-/// The parser must be total: arbitrary input never panics.
+// The parser must be total: arbitrary input never panics.
 proptest! {
     #[test]
     fn parser_never_panics(s in ".{0,120}") {
@@ -20,8 +20,8 @@ proptest! {
     }
 }
 
-/// The optimized plan (with index selection) must return the same rows as
-/// the naive plan, for randomly generated data and predicates.
+// The optimized plan (with index selection) must return the same rows as
+// the naive plan, for randomly generated data and predicates.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
     #[test]

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
@@ -11,16 +12,31 @@ use crate::error::{DbError, DbResult};
 use crate::schema::Schema;
 use crate::table::{RowId, Table};
 use crate::value::Value;
+use crate::wal::{WalRecord, WalSink};
 
 /// An embedded relational database.
 ///
 /// `Database` is `Sync`: share it with `Arc<Database>` across services. All
 /// table access goes through closures ([`Database::read_table`] /
 /// [`Database::write_table`]) or transactions ([`Database::begin`]).
-#[derive(Debug, Default)]
+///
+/// Attaching a [`WalSink`] (see [`Database::set_wal_sink`]) journals every
+/// mutation — row ops, DDL, index maintenance — in apply order; without
+/// one the database is purely in-memory, as before.
+#[derive(Default)]
 pub struct Database {
     tables: RwLock<HashMap<String, Table>>,
     txn_counter: AtomicU64,
+    wal_sink: RwLock<Option<Arc<dyn WalSink>>>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables.read().len())
+            .field("journaled", &self.wal_sink.read().is_some())
+            .finish()
+    }
 }
 
 impl Database {
@@ -33,6 +49,45 @@ impl Database {
         name.to_ascii_lowercase()
     }
 
+    /// Attach a WAL sink: every table is armed to queue records, which are
+    /// drained to `sink` (in apply order, under the table-map write lock)
+    /// as each mutating call returns. Tables created later are armed on
+    /// creation.
+    pub fn set_wal_sink(&self, sink: Arc<dyn WalSink>) {
+        let mut tables = self.tables.write();
+        for t in tables.values_mut() {
+            t.arm_journal();
+        }
+        *self.wal_sink.write() = Some(sink);
+    }
+
+    /// Whether a WAL sink is attached.
+    pub fn is_journaled(&self) -> bool {
+        self.wal_sink.read().is_some()
+    }
+
+    fn sink(&self) -> Option<Arc<dyn WalSink>> {
+        self.wal_sink.read().clone()
+    }
+
+    /// Forward a table's queued records to the sink. Called with the
+    /// table-map write lock still held, so the log sees mutations in the
+    /// exact order they were applied.
+    fn flush_pending(&self, t: &mut Table) -> DbResult<()> {
+        if !t.journal_armed() {
+            return Ok(());
+        }
+        let pending = t.take_pending();
+        if pending.is_empty() {
+            return Ok(());
+        }
+        if let Some(sink) = self.sink() {
+            // group commit: one statement's records go down as one unit
+            sink.append_batch(&pending)?;
+        }
+        Ok(())
+    }
+
     /// Create a table. Fails if a table with that name exists.
     pub fn create_table(&self, name: &str, schema: Schema) -> DbResult<()> {
         let mut tables = self.tables.write();
@@ -40,17 +95,52 @@ impl Database {
         if tables.contains_key(&key) {
             return Err(DbError::TableExists(name.to_string()));
         }
-        tables.insert(key, Table::new(name, schema));
+        let mut table = Table::new(name, schema.clone());
+        let sink = self.sink();
+        if sink.is_some() {
+            table.arm_journal();
+        }
+        tables.insert(key, table);
+        if let Some(sink) = sink {
+            sink.append(&WalRecord::CreateTable {
+                name: name.to_string(),
+                schema,
+            })?;
+        }
         Ok(())
+    }
+
+    /// Adopt a fully-built table (snapshot recovery), preserving its row
+    /// slots verbatim so journaled row ids stay valid.
+    pub(crate) fn adopt_table(&self, table: Table) -> DbResult<()> {
+        let mut tables = self.tables.write();
+        let key = Self::key(&table.name);
+        if tables.contains_key(&key) {
+            return Err(DbError::TableExists(table.name.clone()));
+        }
+        tables.insert(key, table);
+        Ok(())
+    }
+
+    /// Run `f` with shared access to the whole table map (checkpointing:
+    /// excludes writers, so the snapshot is one consistent cut).
+    pub(crate) fn with_tables_read<R>(&self, f: impl FnOnce(&HashMap<String, Table>) -> R) -> R {
+        f(&self.tables.read())
     }
 
     /// Drop a table.
     pub fn drop_table(&self, name: &str) -> DbResult<()> {
-        self.tables
-            .write()
+        let mut tables = self.tables.write();
+        tables
             .remove(&Self::key(name))
             .map(drop)
-            .ok_or_else(|| DbError::TableNotFound(name.to_string()))
+            .ok_or_else(|| DbError::TableNotFound(name.to_string()))?;
+        if let Some(sink) = self.sink() {
+            sink.append(&WalRecord::DropTable {
+                name: name.to_string(),
+            })?;
+        }
+        Ok(())
     }
 
     /// Whether a table exists.
@@ -79,13 +169,16 @@ impl Database {
         Ok(f(t))
     }
 
-    /// Run `f` with exclusive access to a table.
+    /// Run `f` with exclusive access to a table. Any mutations `f` makes
+    /// are journaled to the attached WAL sink (if any) before this returns.
     pub fn write_table<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> R) -> DbResult<R> {
         let mut tables = self.tables.write();
         let t = tables
             .get_mut(&Self::key(name))
             .ok_or_else(|| DbError::TableNotFound(name.to_string()))?;
-        Ok(f(t))
+        let r = f(t);
+        self.flush_pending(t)?;
+        Ok(r)
     }
 
     /// Schema of a table (cloned).
@@ -269,6 +362,43 @@ mod tests {
     use super::*;
     use crate::schema::Column;
     use crate::value::DataType;
+
+    #[derive(Default)]
+    struct CaptureSink(parking_lot::Mutex<Vec<WalRecord>>);
+
+    impl WalSink for CaptureSink {
+        fn append(&self, record: &WalRecord) -> DbResult<()> {
+            self.0.lock().push(record.clone());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn insert_many_group_commits_one_wal_record() {
+        let db = db_with_t();
+        let sink = Arc::new(CaptureSink::default());
+        db.set_wal_sink(Arc::clone(&sink) as Arc<dyn WalSink>);
+        db.insert_many(
+            "t",
+            (0..5)
+                .map(|i| vec![Value::Int(i), Value::from("x")])
+                .collect(),
+        )
+        .unwrap();
+        // single-row statements still journal plain inserts
+        db.insert("t", vec![Value::Int(9), Value::from("y")])
+            .unwrap();
+        let records = sink.0.lock();
+        assert_eq!(records.len(), 2);
+        match &records[0] {
+            WalRecord::InsertMany { table, rows } => {
+                assert_eq!(table, "t");
+                assert_eq!(rows.len(), 5);
+            }
+            other => panic!("expected InsertMany, got {other:?}"),
+        }
+        assert!(matches!(&records[1], WalRecord::Insert { .. }));
+    }
 
     fn db_with_t() -> Database {
         let db = Database::new();

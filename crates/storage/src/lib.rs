@@ -13,6 +13,8 @@
 //!   ([`Table::scan_batch`] / [`Database::scan_batch`]);
 //! * a concurrent [`Database`] catalog with undo-log [`Txn`] transactions;
 //! * JSON snapshot persistence ([`save_snapshot`] / [`load_snapshot`]);
+//! * crash-safe durability: a checksummed write-ahead log with checkpoint
+//!   and recovery ([`Wal`] / [`DurableStore`], see the [`wal`] module);
 //! * exact [`TableStats`] for the SQL optimizer.
 //!
 //! ```
@@ -33,11 +35,13 @@
 mod batch;
 mod database;
 mod error;
+mod jsoncodec;
 mod persist;
 mod schema;
 mod stats;
 mod table;
 mod value;
+pub mod wal;
 
 pub use batch::{Batch, ColumnBuilder, ColumnData, ColumnVec};
 pub use database::{Database, Txn};
@@ -49,4 +53,8 @@ pub use table::{Index, RowId, Table};
 pub use value::{
     date_to_days, days_to_date, format_date, format_timestamp, is_leap_year, parse_date,
     parse_timestamp, DataType, Value,
+};
+pub use wal::{
+    read_wal, replay_record, CheckpointReport, DurableStore, FsyncPolicy, Wal, WalEntry, WalRecord,
+    WalSink, WalStats,
 };

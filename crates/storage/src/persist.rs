@@ -4,38 +4,53 @@
 //! The platform's metadata and tenant data are checkpointed with
 //! [`save_snapshot`] and restored with [`load_snapshot`]. The snapshot
 //! format is versioned; loading a snapshot with an unknown version fails
-//! with [`DbError::Corrupt`] rather than mis-reading it.
+//! with [`DbError::Corrupt`] rather than mis-reading it. Encoding goes
+//! through the explicit [`crate::jsoncodec`] tree builders, so the on-disk
+//! format is pinned by the codec rather than by struct layout.
 
+use std::collections::HashMap;
 use std::fs;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use serde_json::{Map, Number, Value as Json};
 
 use crate::database::Database;
 use crate::error::{DbError, DbResult};
+use crate::jsoncodec::{table_from_json, table_to_json};
 use crate::table::Table;
 
 /// Current snapshot format version.
 pub const SNAPSHOT_VERSION: u32 = 1;
 
-#[derive(Serialize, Deserialize)]
-struct Snapshot {
-    version: u32,
-    tables: Vec<Table>,
-}
-
 /// Write the entire database to `path` as a JSON snapshot.
 pub fn save_snapshot(db: &Database, path: impl AsRef<Path>) -> DbResult<()> {
-    let mut tables = Vec::new();
-    for name in db.table_names() {
-        tables.push(db.read_table(&name, |t| t.clone())?);
-    }
-    let snap = Snapshot {
-        version: SNAPSHOT_VERSION,
-        tables,
-    };
-    let json = serde_json::to_string(&snap).map_err(|e| DbError::Io(e.to_string()))?;
-    let path = path.as_ref();
+    db.with_tables_read(|tables| write_tables(tables, path.as_ref(), 0))
+}
+
+/// Serialize a table map (already under the database's read lock — one
+/// consistent cut) to `path`, stamped with `last_lsn`: the highest WAL LSN
+/// folded into the snapshot, so replay can skip records at or below it.
+pub(crate) fn write_tables(
+    tables: &HashMap<String, Table>,
+    path: &Path,
+    last_lsn: u64,
+) -> DbResult<()> {
+    let mut sorted: Vec<&Table> = tables.values().collect();
+    sorted.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut snap = Map::new();
+    snap.insert(
+        "version".to_string(),
+        Json::Number(Number::from(SNAPSHOT_VERSION as i64)),
+    );
+    snap.insert(
+        "last_lsn".to_string(),
+        Json::Number(Number::from(last_lsn as i64)),
+    );
+    snap.insert(
+        "tables".to_string(),
+        Json::Array(sorted.into_iter().map(table_to_json).collect()),
+    );
+    let json = Json::Object(snap).to_string();
     // Write-then-rename so a crash mid-write never corrupts the snapshot.
     let tmp = path.with_extension("tmp");
     fs::write(&tmp, json)?;
@@ -45,37 +60,42 @@ pub fn save_snapshot(db: &Database, path: impl AsRef<Path>) -> DbResult<()> {
 
 /// Load a snapshot produced by [`save_snapshot`] into a fresh [`Database`].
 pub fn load_snapshot(path: impl AsRef<Path>) -> DbResult<Database> {
+    load_snapshot_with_lsn(path).map(|(db, _)| db)
+}
+
+/// Load a snapshot, also returning its `last_lsn` stamp for WAL replay.
+///
+/// Loading is slot-preserving: tombstoned row slots decode as-is, so every
+/// surviving row keeps the `RowId` it had when the snapshot was written —
+/// WAL `Update`/`Delete` records replayed afterwards hit the right rows.
+/// Index entries are not stored; they are rebuilt from the rows,
+/// re-verifying uniqueness.
+pub(crate) fn load_snapshot_with_lsn(path: impl AsRef<Path>) -> DbResult<(Database, u64)> {
     let json = fs::read_to_string(path.as_ref())?;
-    let snap: Snapshot =
-        serde_json::from_str(&json).map_err(|e| DbError::Corrupt(e.to_string()))?;
-    if snap.version != SNAPSHOT_VERSION {
+    let snap: Json = serde_json::from_str(&json).map_err(|e| DbError::Corrupt(e.to_string()))?;
+    let version = snap
+        .get("version")
+        .and_then(Json::as_i64)
+        .ok_or_else(|| DbError::Corrupt("snapshot missing version".into()))?;
+    if version != SNAPSHOT_VERSION as i64 {
         return Err(DbError::Corrupt(format!(
-            "snapshot version {} not supported (expected {SNAPSHOT_VERSION})",
-            snap.version
+            "snapshot version {version} not supported (expected {SNAPSHOT_VERSION})"
         )));
     }
+    let last_lsn = snap
+        .get("last_lsn")
+        .and_then(Json::as_i64)
+        .unwrap_or_default() as u64;
+    let tables = snap
+        .get("tables")
+        .and_then(Json::as_array)
+        .ok_or_else(|| DbError::Corrupt("snapshot missing tables".into()))?;
     let db = Database::new();
-    for table in snap.tables {
-        let name = table.name.clone();
-        db.create_table(&name, table.schema().clone())?;
-        for row in table.snapshot() {
-            db.insert(&name, row)?;
-        }
-        // Recreate secondary indexes (the PK index is automatic).
-        for idx in table.indexes() {
-            if idx.name.eq_ignore_ascii_case(&format!("pk_{name}")) {
-                continue;
-            }
-            let cols: Vec<String> = idx
-                .columns
-                .iter()
-                .map(|&i| table.schema().columns()[i].name.clone())
-                .collect();
-            let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-            db.write_table(&name, |t| t.create_index(&idx.name, &col_refs, idx.unique))??;
-        }
+    for t in tables {
+        let table = table_from_json(t)?;
+        db.adopt_table(table)?;
     }
-    Ok(db)
+    Ok((db, last_lsn))
 }
 
 #[cfg(test)]
@@ -123,6 +143,24 @@ mod tests {
             .read_table("people", |t| {
                 assert!(t.index("ix_name").is_some());
                 assert!(t.index("pk_people").is_some());
+            })
+            .unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_preserves_row_ids_across_tombstones() {
+        let db = sample_db();
+        // delete row id 0, leaving a tombstone before row id 1
+        db.write_table("people", |t| t.delete(0)).unwrap().unwrap();
+        let path = tmp("tombstones");
+        save_snapshot(&db, &path).unwrap();
+        let loaded = load_snapshot(&path).unwrap();
+        assert_eq!(loaded.row_count("people").unwrap(), 1);
+        loaded
+            .read_table("people", |t| {
+                assert!(t.get(0).is_err(), "tombstone slot must stay dead");
+                assert_eq!(t.get(1).unwrap()[0], Value::Int(2));
             })
             .unwrap();
         let _ = std::fs::remove_file(&path);

@@ -9,6 +9,7 @@ use crate::batch::{Batch, ColumnBuilder};
 use crate::error::{DbError, DbResult};
 use crate::schema::Schema;
 use crate::value::Value;
+use crate::wal::WalRecord;
 
 /// Identifier of a row slot within one table. Stable for the life of the row.
 pub type RowId = u64;
@@ -133,6 +134,13 @@ pub struct Table {
     // mutation. Skipped by snapshots: it is derived state.
     #[serde(skip)]
     batch_cache: std::sync::OnceLock<Arc<Batch>>,
+    // When armed, every successful mutation queues a WAL record here; the
+    // owning `Database` drains the queue into its sink while still holding
+    // the table-map write lock, so log order always matches apply order.
+    #[serde(skip)]
+    journal: bool,
+    #[serde(skip)]
+    pending_wal: Vec<WalRecord>,
 }
 
 impl Table {
@@ -147,6 +155,8 @@ impl Table {
             indexes: Vec::new(),
             live: 0,
             batch_cache: std::sync::OnceLock::new(),
+            journal: false,
+            pending_wal: Vec::new(),
         };
         if !t.schema.primary_key().is_empty() {
             let cols = t.schema.primary_key().to_vec();
@@ -158,6 +168,83 @@ impl Table {
     /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// All row slots including tombstones (`None`), for snapshot encoding:
+    /// preserving tombstones keeps `RowId`s stable across a round trip.
+    pub(crate) fn raw_rows(&self) -> &[Option<Vec<Value>>] {
+        &self.rows
+    }
+
+    /// Reassemble a table from decoded snapshot parts: raw row slots
+    /// (tombstones included) and index definitions `(name, columns,
+    /// unique)`. Index entries are rebuilt from the rows, re-verifying
+    /// uniqueness.
+    pub(crate) fn from_parts(
+        name: String,
+        schema: Schema,
+        rows: Vec<Option<Vec<Value>>>,
+        indexes: Vec<(String, Vec<usize>, bool)>,
+    ) -> DbResult<Table> {
+        let live = rows.iter().filter(|r| r.is_some()).count();
+        let mut t = Table {
+            name,
+            schema,
+            rows,
+            indexes: indexes
+                .into_iter()
+                .map(|(n, c, u)| Index::new(n, c, u))
+                .collect(),
+            live,
+            batch_cache: std::sync::OnceLock::new(),
+            journal: false,
+            pending_wal: Vec::new(),
+        };
+        t.rebuild_indexes()?;
+        Ok(t)
+    }
+
+    /// Start queueing WAL records for every mutation (see `pending_wal`).
+    pub(crate) fn arm_journal(&mut self) {
+        self.journal = true;
+    }
+
+    /// Whether mutations are being journaled.
+    pub(crate) fn journal_armed(&self) -> bool {
+        self.journal
+    }
+
+    /// Drain the queued WAL records (empty unless armed).
+    pub(crate) fn take_pending(&mut self) -> Vec<WalRecord> {
+        std::mem::take(&mut self.pending_wal)
+    }
+
+    fn journal_push(&mut self, record: impl FnOnce(&Table) -> WalRecord) {
+        if self.journal {
+            let rec = record(self);
+            self.pending_wal.push(rec);
+        }
+    }
+
+    /// Rebuild every index's entries from the stored rows (after snapshot
+    /// deserialization, which skips them). Re-verifies uniqueness.
+    pub(crate) fn rebuild_indexes(&mut self) -> DbResult<()> {
+        for idx in &mut self.indexes {
+            idx.entries.clear();
+        }
+        let ids: Vec<RowId> = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|_| i as RowId))
+            .collect();
+        for id in ids {
+            let row = self.rows[id as usize].clone().expect("live row");
+            for idx in &mut self.indexes {
+                idx.insert(&row, id)?;
+            }
+        }
+        Ok(())
     }
 
     /// Number of live rows.
@@ -207,6 +294,14 @@ impl Table {
             }
         }
         self.indexes.push(idx);
+        if self.journal {
+            self.pending_wal.push(WalRecord::CreateIndex {
+                table: self.name.clone(),
+                name: name.to_string(),
+                columns: columns.iter().map(|c| (*c).to_string()).collect(),
+                unique,
+            });
+        }
         Ok(())
     }
 
@@ -224,13 +319,25 @@ impl Table {
             .position(|i| i.name.eq_ignore_ascii_case(name))
             .ok_or_else(|| DbError::IndexNotFound(name.to_string()))?;
         self.indexes.remove(pos);
+        self.journal_push(|t| WalRecord::DropIndex {
+            table: t.name.clone(),
+            name: name.to_string(),
+        });
         Ok(())
     }
 
     /// Insert a row (validated and coerced against the schema). Returns the
     /// new row id.
     pub fn insert(&mut self, row: Vec<Value>) -> DbResult<RowId> {
-        self.insert_row(&row)
+        let id = self.insert_unjournaled(&row)?;
+        if self.journal {
+            // The owned argument would be dropped here anyway — journal it
+            // by move instead of cloning the stored image. Replay runs the
+            // row through `check_row` again, and coercion is idempotent, so
+            // the submitted image recovers to the same stored row.
+            self.journal_insert(row);
+        }
+        Ok(id)
     }
 
     /// Insert from a borrowed row. The table stores a validated, coerced
@@ -238,6 +345,14 @@ impl Table {
     /// rejected rows back — e.g. ETL quarantine — avoid a defensive clone
     /// per row).
     pub fn insert_row(&mut self, row: &[Value]) -> DbResult<RowId> {
+        let id = self.insert_unjournaled(row)?;
+        if self.journal {
+            self.journal_insert(row.to_vec());
+        }
+        Ok(id)
+    }
+
+    fn insert_unjournaled(&mut self, row: &[Value]) -> DbResult<RowId> {
         let row = self.schema.check_row(&self.name, row)?;
         let id = self.rows.len() as RowId;
         // Maintain all indexes first so a unique violation leaves no trace.
@@ -253,6 +368,30 @@ impl Table {
         self.live += 1;
         self.invalidate_batch_cache();
         Ok(id)
+    }
+
+    /// Queue one inserted row for the WAL. Consecutive inserts coalesce
+    /// into a single [`WalRecord::InsertMany`], so a multi-row statement
+    /// journals one frame (and clones the table name once, not per row).
+    /// The queue is per-table, so any trailing insert record is
+    /// necessarily for this table.
+    fn journal_insert(&mut self, row: Vec<Value>) {
+        match self.pending_wal.last_mut() {
+            Some(WalRecord::InsertMany { rows, .. }) => rows.push(row),
+            Some(WalRecord::Insert { .. }) => {
+                let Some(WalRecord::Insert { table, row: first }) = self.pending_wal.pop() else {
+                    unreachable!("last record just matched Insert");
+                };
+                self.pending_wal.push(WalRecord::InsertMany {
+                    table,
+                    rows: vec![first, row],
+                });
+            }
+            _ => self.pending_wal.push(WalRecord::Insert {
+                table: self.name.clone(),
+                row,
+            }),
+        }
     }
 
     /// Fetch a row by id.
@@ -287,6 +426,13 @@ impl Table {
                 return Err(e);
             }
         }
+        if self.journal {
+            self.pending_wal.push(WalRecord::Update {
+                table: self.name.clone(),
+                id,
+                row: new_row.clone(),
+            });
+        }
         self.rows[id as usize] = Some(new_row);
         self.invalidate_batch_cache();
         Ok(old)
@@ -302,6 +448,10 @@ impl Table {
         for idx in &mut self.indexes {
             idx.remove(&old, id);
         }
+        self.journal_push(|t| WalRecord::Delete {
+            table: t.name.clone(),
+            id,
+        });
         self.rows[id as usize] = None;
         self.live -= 1;
         self.invalidate_batch_cache();
@@ -318,6 +468,13 @@ impl Table {
         }
         for idx in &mut self.indexes {
             idx.insert(&row, id)?;
+        }
+        if self.journal {
+            self.pending_wal.push(WalRecord::Undelete {
+                table: self.name.clone(),
+                id,
+                row: row.clone(),
+            });
         }
         self.rows[id as usize] = Some(row);
         self.live += 1;
@@ -384,6 +541,9 @@ impl Table {
         for idx in &mut self.indexes {
             idx.entries.clear();
         }
+        self.journal_push(|t| WalRecord::Truncate {
+            table: t.name.clone(),
+        });
         self.invalidate_batch_cache();
     }
 }

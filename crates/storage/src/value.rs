@@ -480,7 +480,7 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        let mut vs = vec![Value::Int(1), Value::Null, Value::Int(-5)];
+        let mut vs = [Value::Int(1), Value::Null, Value::Int(-5)];
         vs.sort();
         assert_eq!(vs[0], Value::Null);
         assert_eq!(vs[1], Value::Int(-5));
@@ -508,7 +508,7 @@ mod tests {
         }
         assert_eq!(date_to_days(1970, 1, 1), Some(0));
         assert_eq!(date_to_days(2023, 2, 29), None);
-        assert_eq!(date_to_days(2024, 2, 29).is_some(), true);
+        assert!(date_to_days(2024, 2, 29).is_some());
         assert_eq!(date_to_days(2024, 13, 1), None);
     }
 

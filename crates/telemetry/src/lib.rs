@@ -51,7 +51,7 @@ pub mod slowlog;
 pub mod span;
 
 pub use cost::{CostLine, CostModel};
-pub use metrics::{MetricKey, MetricSnapshot, ServiceTotals};
+pub use metrics::{MetricKey, MetricSnapshot, ServiceTotals, WalCounters};
 pub use slowlog::SlowEntry;
 pub use span::{child_span, current_trace_id, Span, SpanRecord};
 
@@ -76,6 +76,10 @@ pub struct Telemetry {
     shards: Vec<Mutex<Shard>>,
     slow: Mutex<slowlog::SlowLog>,
     spans: Mutex<std::collections::VecDeque<SpanRecord>>,
+    // Per-tenant durability counters (WAL appends / checkpoint latency).
+    // A BTreeMap behind one lock is enough: appends are metered by the
+    // storage sink at memory speed, far off the striped request path.
+    wal: Mutex<BTreeMap<String, metrics::WalCounters>>,
     next_trace: AtomicU64,
     next_span: AtomicU64,
 }
@@ -93,6 +97,7 @@ impl Telemetry {
             shards: (0..STRIPES).map(|_| Mutex::new(Shard::default())).collect(),
             slow: Mutex::new(slowlog::SlowLog::new(256)),
             spans: Mutex::new(std::collections::VecDeque::with_capacity(SPAN_RING)),
+            wal: Mutex::new(BTreeMap::new()),
             next_trace: AtomicU64::new(1),
             next_span: AtomicU64::new(1),
         }
@@ -181,6 +186,45 @@ impl Telemetry {
         out
     }
 
+    /// Meter one WAL append for `tenant` (`bytes` includes frame overhead).
+    pub fn record_wal_append(&self, tenant: &str, bytes: u64) {
+        self.wal
+            .lock()
+            .entry(tenant.to_string())
+            .or_default()
+            .record_append(bytes);
+    }
+
+    /// Meter a group-committed batch of `records` WAL appends for `tenant`
+    /// in one lock acquisition (`bytes` is the whole batch, frames
+    /// included).
+    pub fn record_wal_batch(&self, tenant: &str, records: u64, bytes: u64) {
+        self.wal
+            .lock()
+            .entry(tenant.to_string())
+            .or_default()
+            .record_batch(records, bytes);
+    }
+
+    /// Meter one durability checkpoint for `tenant`.
+    pub fn record_checkpoint(&self, tenant: &str, micros: u64) {
+        self.wal
+            .lock()
+            .entry(tenant.to_string())
+            .or_default()
+            .record_checkpoint(micros);
+    }
+
+    /// Point-in-time copy of the per-tenant durability counters, sorted by
+    /// tenant.
+    pub fn wal_snapshot(&self) -> Vec<(String, WalCounters)> {
+        self.wal
+            .lock()
+            .iter()
+            .map(|(t, w)| (t.clone(), w.clone()))
+            .collect()
+    }
+
     /// The slow-query log, oldest first.
     pub fn slow_log(&self) -> Vec<SlowEntry> {
         self.slow.lock().entries()
@@ -199,13 +243,16 @@ impl Telemetry {
         }
         self.slow.lock().clear();
         self.spans.lock().clear();
+        self.wal.lock().clear();
     }
 
     /// Render every counter and histogram in the Prometheus text
     /// exposition format (`text/plain; version=0.0.4`), deterministically
     /// ordered.
     pub fn render_prometheus(&self) -> String {
-        metrics::render_prometheus(&self.snapshot())
+        let mut out = metrics::render_prometheus(&self.snapshot());
+        out.push_str(&metrics::render_wal(&self.wal_snapshot()));
+        out
     }
 }
 
@@ -290,11 +337,39 @@ mod tests {
     fn reset_clears_everything() {
         let t = Arc::new(Telemetry::new());
         drop(t.span("acme", "MDS", "sql", 0));
+        t.record_wal_append("acme", 64);
         assert!(!t.snapshot().is_empty());
         t.reset();
         assert!(t.snapshot().is_empty());
         assert!(t.recent_spans().is_empty());
         assert!(t.slow_log().is_empty());
+        assert!(t.wal_snapshot().is_empty());
+    }
+
+    #[test]
+    fn wal_counters_accumulate_and_render() {
+        let t = Arc::new(Telemetry::new());
+        t.record_wal_append("acme", 100);
+        t.record_wal_append("acme", 50);
+        t.record_wal_append("beta", 7);
+        t.record_checkpoint("acme", 1500);
+        let snap = t.wal_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "acme");
+        assert_eq!(snap[0].1.appends, 2);
+        assert_eq!(snap[0].1.bytes, 150);
+        assert_eq!(snap[0].1.checkpoints, 1);
+        assert_eq!(snap[0].1.checkpoint_micros_total, 1500);
+        assert_eq!(snap[1].1.appends, 1);
+        let text = t.render_prometheus();
+        assert!(text.contains("odbis_wal_appends_total{tenant=\"acme\"} 2"));
+        assert!(text.contains("odbis_wal_bytes_total{tenant=\"acme\"} 150"));
+        assert!(text.contains("odbis_wal_bytes_total{tenant=\"beta\"} 7"));
+        assert!(text.contains("odbis_checkpoints_total{tenant=\"acme\"} 1"));
+        assert!(text.contains("# TYPE odbis_checkpoint_seconds histogram"));
+        // 1500µs < 2^11µs → cumulative 1 at le=0.002048
+        assert!(text.contains("odbis_checkpoint_seconds_bucket{tenant=\"acme\",le=\"0.002048\"} 1"));
+        assert!(text.contains("odbis_checkpoint_seconds_count{tenant=\"acme\"} 1"));
     }
 
     #[test]

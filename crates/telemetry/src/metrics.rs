@@ -163,6 +163,113 @@ pub struct MetricSnapshot {
     pub hist: [u64; BUCKETS],
 }
 
+/// Per-tenant durability counters: WAL append volume and checkpoint
+/// latency. Kept separate from the request-path metrics because WAL
+/// appends happen under the storage engine's write lock, far below any
+/// span — the platform meters them via the `WalSink` wrapper instead.
+#[derive(Debug, Clone)]
+pub struct WalCounters {
+    /// WAL records appended.
+    pub appends: u64,
+    /// WAL bytes appended (frame overhead included).
+    pub bytes: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Total checkpoint wall time in microseconds.
+    pub checkpoint_micros_total: u64,
+    /// log2 checkpoint-latency buckets (non-cumulative counts).
+    pub checkpoint_hist: [u64; BUCKETS],
+}
+
+impl Default for WalCounters {
+    fn default() -> Self {
+        WalCounters {
+            appends: 0,
+            bytes: 0,
+            checkpoints: 0,
+            checkpoint_micros_total: 0,
+            checkpoint_hist: [0; BUCKETS],
+        }
+    }
+}
+
+impl WalCounters {
+    pub(crate) fn record_append(&mut self, bytes: u64) {
+        self.appends += 1;
+        self.bytes += bytes;
+    }
+
+    pub(crate) fn record_batch(&mut self, records: u64, bytes: u64) {
+        self.appends += records;
+        self.bytes += bytes;
+    }
+
+    pub(crate) fn record_checkpoint(&mut self, micros: u64) {
+        self.checkpoints += 1;
+        self.checkpoint_micros_total += micros;
+        self.checkpoint_hist[bucket_index(micros)] += 1;
+    }
+}
+
+/// Render per-tenant durability counters in Prometheus exposition format
+/// (appended after the request-path families).
+pub(crate) fn render_wal(tenants: &[(String, WalCounters)]) -> String {
+    /// One counter family: metric name, help text, field accessor.
+    type WalFamily = (&'static str, &'static str, fn(&WalCounters) -> u64);
+    let mut out = String::new();
+    let counters: [WalFamily; 3] = [
+        (
+            "odbis_wal_appends_total",
+            "WAL records appended, by tenant.",
+            |w| w.appends,
+        ),
+        (
+            "odbis_wal_bytes_total",
+            "WAL bytes appended (frames included), by tenant.",
+            |w| w.bytes,
+        ),
+        (
+            "odbis_checkpoints_total",
+            "Durability checkpoints taken, by tenant.",
+            |w| w.checkpoints,
+        ),
+    ];
+    for (name, help, get) in counters {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+        for (tenant, w) in tenants {
+            out.push_str(&format!(
+                "{name}{{tenant=\"{}\"}} {}\n",
+                escape_label(tenant),
+                get(w)
+            ));
+        }
+    }
+    let name = "odbis_checkpoint_seconds";
+    out.push_str(&format!(
+        "# HELP {name} Checkpoint latency, log2 buckets.\n# TYPE {name} histogram\n"
+    ));
+    for (tenant, w) in tenants {
+        let l = format!("tenant=\"{}\"", escape_label(tenant));
+        let mut cumulative = 0u64;
+        for (i, count) in w.checkpoint_hist.iter().enumerate() {
+            cumulative += count;
+            if *count == 0 && i != BUCKETS - 1 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{{l},le=\"{}\"}} {cumulative}\n",
+                format_le(bucket_upper_seconds(i)),
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_sum{{{l}}} {}\n{name}_count{{{l}}} {}\n",
+            w.checkpoint_micros_total as f64 / 1e6,
+            w.checkpoints
+        ));
+    }
+    out
+}
+
 /// Per-`(tenant, service)` totals aggregated over operations — the shape
 /// the cost pipeline joins against `UsageMeter` units.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

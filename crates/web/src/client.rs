@@ -19,7 +19,9 @@ pub fn http_request(
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .map_err(|e| e.to_string())?;
-    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    // this client reads to EOF, so ask the server to close after one
+    // response rather than holding the keep-alive connection open
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
     for (k, v) in headers {
         req.push_str(&format!("{k}: {v}\r\n"));
     }

@@ -100,12 +100,32 @@ impl HttpRequest {
 
     /// Parse one request from a stream. Returns `None` on a cleanly closed
     /// connection, `Err` on malformed input.
+    ///
+    /// Wraps the stream in a throwaway [`BufReader`]; with keep-alive
+    /// connections use [`HttpRequest::read_from_buffered`] with one reader
+    /// per connection so pipelined bytes are not lost between requests.
     pub fn read_from(stream: &mut impl Read) -> Result<Option<HttpRequest>, String> {
-        let mut reader = BufReader::new(stream);
+        Self::read_from_buffered(&mut BufReader::new(stream))
+    }
+
+    /// Parse one request from an existing buffered reader (the
+    /// per-connection loop of the server's keep-alive handling).
+    pub fn read_from_buffered(reader: &mut impl BufRead) -> Result<Option<HttpRequest>, String> {
         let mut line = String::new();
-        let n = reader
-            .read_line(&mut line)
-            .map_err(|e| format!("read error: {e}"))?;
+        let n = match reader.read_line(&mut line) {
+            Ok(n) => n,
+            // an idle keep-alive connection hitting the read timeout is a
+            // quiet end of conversation, not a malformed request
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(format!("read error: {e}")),
+        };
         if n == 0 {
             return Ok(None);
         }
@@ -156,6 +176,13 @@ impl HttpRequest {
             attributes: BTreeMap::new(),
         }))
     }
+
+    /// Whether the client asked for the connection to be closed after this
+    /// request (`Connection: close`). HTTP/1.1 defaults to keep-alive.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|c| c.eq_ignore_ascii_case("close"))
+    }
 }
 
 fn split_path_query(target: &str) -> (String, BTreeMap<String, String>) {
@@ -168,21 +195,35 @@ fn split_path_query(target: &str) -> (String, BTreeMap<String, String>) {
                     continue;
                 }
                 let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-                query.insert(percent_decode(k), percent_decode(v));
+                query.insert(percent_decode_query(k), percent_decode_query(v));
             }
             (percent_decode(p), query)
         }
     }
 }
 
-/// Decode `%XX` escapes and `+` (in query strings).
+/// Decode `%XX` escapes. A literal `+` stays `+` — the plus-means-space
+/// convention applies only to `application/x-www-form-urlencoded` query
+/// components, never to paths (`/files/a+b` names `a+b`). Use
+/// [`percent_decode_query`] for query keys and values.
 pub fn percent_decode(s: &str) -> String {
+    decode_escapes(s, false)
+}
+
+/// Decode a query key or value: `%XX` escapes plus the form-encoding
+/// `+` → space rule.
+pub fn percent_decode_query(s: &str) -> String {
+    decode_escapes(s, true)
+}
+
+fn decode_escapes(s: &str, plus_is_space: bool) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
-            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+            b'%' => {
+                // a trailing or malformed escape passes through literally
                 let hex = bytes
                     .get(i + 1..i + 3)
                     .and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok());
@@ -197,7 +238,7 @@ pub fn percent_decode(s: &str) -> String {
                     }
                 }
             }
-            b'+' => {
+            b'+' if plus_is_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -294,8 +335,17 @@ impl HttpResponse {
         String::from_utf8_lossy(&self.body).into_owned()
     }
 
-    /// Serialize to the wire.
+    /// Serialize to the wire, closing the connection afterwards
+    /// (`Connection: close`). The per-connection server loop uses
+    /// [`HttpResponse::write_to_conn`] to keep the connection open.
     pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        self.write_to_conn(stream, false)
+    }
+
+    /// Serialize to the wire with an explicit connection disposition: the
+    /// emitted `Connection` header matches what the server actually does
+    /// with the socket.
+    pub fn write_to_conn(&self, stream: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
         let reason = match self.status {
             200 => "OK",
             201 => "Created",
@@ -313,7 +363,8 @@ impl HttpResponse {
             write!(stream, "{k}: {v}\r\n")?;
         }
         write!(stream, "Content-Length: {}\r\n", self.body.len())?;
-        write!(stream, "Connection: close\r\n\r\n")?;
+        let conn = if keep_alive { "keep-alive" } else { "close" };
+        write!(stream, "Connection: {conn}\r\n\r\n")?;
         stream.write_all(&self.body)?;
         stream.flush()
     }
@@ -350,11 +401,50 @@ mod tests {
 
     #[test]
     fn percent_decoding() {
-        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        // paths: %XX decodes, literal + is preserved
+        assert_eq!(percent_decode("a%20b+c"), "a b+c");
         assert_eq!(percent_decode("100%"), "100%");
         assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%2"), "%2");
+        // query components: + means space (form encoding)
+        assert_eq!(percent_decode_query("a%20b+c"), "a b c");
         let req = HttpRequest::new(Method::Get, "/r?q=sales%3D1");
         assert_eq!(req.query_param("q"), Some("sales=1"));
+    }
+
+    #[test]
+    fn plus_in_path_names_a_plus_but_means_space_in_queries() {
+        let req = HttpRequest::new(Method::Get, "/files/report+q3.pdf?title=Q3+sales");
+        assert_eq!(req.path, "/files/report+q3.pdf");
+        assert_eq!(req.query_param("title"), Some("Q3 sales"));
+    }
+
+    #[test]
+    fn connection_close_detection() {
+        let req = HttpRequest::new(Method::Get, "/");
+        assert!(!req.wants_close());
+        assert!(req.with_header("Connection", "Close").wants_close());
+        let req = HttpRequest::new(Method::Get, "/").with_header("Connection", "keep-alive");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn buffered_reader_parses_pipelined_requests() {
+        let raw: &[u8] = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = BufReader::new(raw);
+        let first = HttpRequest::read_from_buffered(&mut reader)
+            .unwrap()
+            .unwrap();
+        assert_eq!(first.path, "/a");
+        assert!(!first.wants_close());
+        let second = HttpRequest::read_from_buffered(&mut reader)
+            .unwrap()
+            .unwrap();
+        assert_eq!(second.path, "/b");
+        assert!(second.wants_close());
+        assert!(HttpRequest::read_from_buffered(&mut reader)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -366,7 +456,18 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Type: application/json"));
         assert!(text.contains("X-Trace: 1"));
+        assert!(text.contains("Connection: close"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn connection_header_matches_disposition() {
+        let resp = HttpResponse::text("hi");
+        let mut buf = Vec::new();
+        resp.write_to_conn(&mut buf, true).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Connection: keep-alive"));
+        assert!(!text.contains("Connection: close"));
     }
 
     #[test]

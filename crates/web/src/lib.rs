@@ -28,6 +28,6 @@ mod router;
 mod server;
 
 pub use client::{http_get, http_post, http_request};
-pub use http::{percent_decode, HttpRequest, HttpResponse, Method};
+pub use http::{percent_decode, percent_decode_query, HttpRequest, HttpResponse, Method};
 pub use router::{Filter, Handler, PathParams, Router};
 pub use server::HttpServer;

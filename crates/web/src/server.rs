@@ -43,16 +43,35 @@ impl HttpServer {
             let router = Arc::clone(&router);
             let served = Arc::clone(&served);
             workers.push(std::thread::spawn(move || {
-                while let Ok(mut stream) = rx.recv() {
+                while let Ok(stream) = rx.recv() {
                     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-                    let response = match HttpRequest::read_from(&mut stream) {
-                        Ok(Some(request)) => router.dispatch(request),
-                        Ok(None) => continue,
-                        Err(e) => HttpResponse::bad_request(&e),
+                    let Ok(mut writer) = stream.try_clone() else {
+                        continue;
                     };
-                    served.fetch_add(1, Ordering::Relaxed);
-                    let _ = response.write_to(&mut stream);
-                    let _ = stream.flush();
+                    // one buffered reader per connection: keep-alive
+                    // requests (and pipelined bytes) survive between
+                    // iterations instead of dying with a throwaway buffer
+                    let mut reader = std::io::BufReader::new(stream);
+                    loop {
+                        let (response, close_after) =
+                            match HttpRequest::read_from_buffered(&mut reader) {
+                                Ok(Some(request)) => {
+                                    let close = request.wants_close();
+                                    (router.dispatch(request), close)
+                                }
+                                Ok(None) => break, // client closed cleanly
+                                Err(e) => (HttpResponse::bad_request(&e), true),
+                            };
+                        served.fetch_add(1, Ordering::Relaxed);
+                        let keep_alive = !close_after;
+                        if response.write_to_conn(&mut writer, keep_alive).is_err() {
+                            break;
+                        }
+                        let _ = writer.flush();
+                        if close_after {
+                            break;
+                        }
+                    }
                 }
             }));
         }
@@ -169,6 +188,58 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(server.requests_served(), 16);
+    }
+
+    #[test]
+    fn keep_alive_serves_two_requests_on_one_connection() {
+        use std::io::{BufRead, BufReader, Read};
+        let server = HttpServer::start(test_router(), 1).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        let read_response = |reader: &mut BufReader<TcpStream>| {
+            let mut head = String::new();
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                if line == "\r\n" || line.is_empty() {
+                    break;
+                }
+                head.push_str(&line);
+            }
+            let len: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).unwrap();
+            (head, String::from_utf8(body).unwrap())
+        };
+
+        writer
+            .write_all(b"GET /echo/first HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let (head, body) = read_response(&mut reader);
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        assert_eq!(body, "first");
+
+        // same socket, second request; ask for close this time
+        writer
+            .write_all(b"GET /echo/second HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let (head, body) = read_response(&mut reader);
+        assert!(head.contains("Connection: close"), "{head}");
+        assert_eq!(body, "second");
+
+        // the server honors the close: EOF follows
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(server.requests_served(), 2);
     }
 
     #[test]
