@@ -117,6 +117,7 @@ impl PlatformConfig {
             ("durability.fsync", ConfigValue::Str(fsync_default())),
             ("telemetry.enabled", ConfigValue::Bool(true)),
             ("telemetry.slow_ms", ConfigValue::Int(250)),
+            ("chaos.enabled", ConfigValue::Bool(false)),
             ("delivery.mobile_row_cap", ConfigValue::Int(20)),
             ("security.session_minutes", ConfigValue::Int(30)),
             ("platform.name", ConfigValue::from("ODBIS")),

@@ -49,6 +49,9 @@ pub enum DurabilityError {
     UnknownTenant(String),
     /// The underlying storage operation failed.
     Storage(String),
+    /// A transient storage failure that exhausted its retry budget — the
+    /// caller may retry the whole operation later (HTTP maps this to 503).
+    Retryable(String),
 }
 
 impl std::fmt::Display for DurabilityError {
@@ -57,6 +60,7 @@ impl std::fmt::Display for DurabilityError {
             DurabilityError::Unavailable => write!(f, "durability is not enabled"),
             DurabilityError::UnknownTenant(t) => write!(f, "tenant {t} has no durable store"),
             DurabilityError::Storage(e) => write!(f, "storage failure: {e}"),
+            DurabilityError::Retryable(e) => write!(f, "transient storage failure: {e}"),
         }
     }
 }

@@ -27,6 +27,9 @@ pub enum PlatformError {
     Storage(String),
     /// A named resource (data set, data source, report...) does not exist.
     NotFound(String),
+    /// A transient infrastructure failure (I/O error, wedged store): the
+    /// request may succeed if retried — HTTP maps this to 503 + Retry-After.
+    Unavailable(String),
     /// Anything else.
     Internal(String),
 }
@@ -47,6 +50,7 @@ impl PlatformError {
             PlatformError::Mddws(_) => "mddws",
             PlatformError::Storage(_) => "storage",
             PlatformError::NotFound(_) => "not_found",
+            PlatformError::Unavailable(_) => "unavailable",
             PlatformError::Internal(_) => "internal",
         }
     }
@@ -65,22 +69,31 @@ impl PlatformError {
             | PlatformError::Mddws(m)
             | PlatformError::Storage(m)
             | PlatformError::NotFound(m)
+            | PlatformError::Unavailable(m)
             | PlatformError::Internal(m) => m,
         }
     }
 
     /// The HTTP status the platform API maps this error to: missing
     /// resources are 404, authn/authz failures are 403, plan/quota and
-    /// tenant-state violations are 402 (payment required), everything else
+    /// tenant-state violations are 402 (payment required), transient
+    /// infrastructure failures are 503 (retryable), everything else
     /// is a 400.
     pub fn http_status(&self) -> u16 {
         match self {
             PlatformError::NotFound(_) => 404,
             PlatformError::Security(_) => 403,
             PlatformError::Tenancy(_) => 402,
+            PlatformError::Unavailable(_) => 503,
             PlatformError::Storage(_) | PlatformError::Internal(_) => 500,
             _ => 400,
         }
+    }
+
+    /// Whether a client retry of the same request may succeed (the 503
+    /// classification — drives the `Retry-After` response header).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, PlatformError::Unavailable(_))
     }
 }
 
@@ -119,6 +132,11 @@ impl From<odbis_metadata::MetadataError> for PlatformError {
 
 impl From<odbis_sql::SqlError> for PlatformError {
     fn from(e: odbis_sql::SqlError) -> Self {
+        // an I/O failure underneath a query is the store wedging, not the
+        // query being wrong: classify it transient so clients back off
+        if let odbis_sql::SqlError::Storage(odbis_storage::DbError::Io(m)) = &e {
+            return PlatformError::Unavailable(m.clone());
+        }
         PlatformError::Sql(e.to_string())
     }
 }
@@ -155,7 +173,12 @@ impl From<odbis_mddws::MddwsError> for PlatformError {
 
 impl From<odbis_storage::DbError> for PlatformError {
     fn from(e: odbis_storage::DbError) -> Self {
-        PlatformError::Storage(e.to_string())
+        match e {
+            // I/O errors (disk full, fsync failure, injected faults) are
+            // transient: the tenant's store may recover; 503 + Retry-After
+            odbis_storage::DbError::Io(m) => PlatformError::Unavailable(m),
+            other => PlatformError::Storage(other.to_string()),
+        }
     }
 }
 
@@ -165,6 +188,7 @@ impl From<odbis_admin::DurabilityError> for PlatformError {
             odbis_admin::DurabilityError::UnknownTenant(t) => {
                 PlatformError::NotFound(format!("durable store for tenant {t}"))
             }
+            odbis_admin::DurabilityError::Retryable(m) => PlatformError::Unavailable(m),
             other => PlatformError::Storage(other.to_string()),
         }
     }

@@ -201,16 +201,39 @@ impl DurabilityHook for TenantDurability {
 
     fn checkpoint(&self, tenant: &str) -> Result<CheckpointOutcome, DurabilityError> {
         let (ws, store) = self.store(tenant)?;
-        let report = store
-            .checkpoint(&ws.warehouse)
-            .map_err(|e| DurabilityError::Storage(e.to_string()))?;
-        self.telemetry.record_checkpoint(tenant, report.micros);
-        Ok(CheckpointOutcome {
-            tenant: tenant.to_string(),
-            tables: report.tables,
-            wal_bytes_folded: report.wal_bytes_folded,
-            micros: report.micros,
-        })
+        // A checkpoint that hits a transient I/O fault (fsync hiccup, disk
+        // stall, injected failpoint) is retried in place with a short
+        // backoff before the error is surfaced; only I/O errors are
+        // transient — logic errors fail immediately.
+        const ATTEMPTS: u32 = 3;
+        const BACKOFF_MS: u64 = 5;
+        let mut last_io = String::new();
+        for attempt in 1..=ATTEMPTS {
+            match store.checkpoint(&ws.warehouse) {
+                Ok(report) => {
+                    self.telemetry.record_checkpoint(tenant, report.micros);
+                    return Ok(CheckpointOutcome {
+                        tenant: tenant.to_string(),
+                        tables: report.tables,
+                        wal_bytes_folded: report.wal_bytes_folded,
+                        micros: report.micros,
+                    });
+                }
+                Err(odbis_storage::DbError::Io(m)) => {
+                    last_io = m;
+                    if attempt < ATTEMPTS {
+                        odbis_chaos::count_retry("checkpoint");
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            BACKOFF_MS << (attempt - 1),
+                        ));
+                    }
+                }
+                Err(e) => return Err(DurabilityError::Storage(e.to_string())),
+            }
+        }
+        Err(DurabilityError::Retryable(format!(
+            "checkpoint failed after {ATTEMPTS} attempts: {last_io}"
+        )))
     }
 }
 

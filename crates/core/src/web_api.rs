@@ -20,6 +20,7 @@
 //! | GET  | `/api/v1/admin/slowlog` | slow-operation log (ADMIN_USERS) |
 //! | GET  | `/api/v1/admin/durability` | WAL/fsync status of the tenant's durable store (ADMIN_CONFIG) |
 //! | POST | `/api/v1/admin/checkpoint` | fold the tenant's WAL into its snapshot (ADMIN_CONFIG) |
+//! | POST | `/api/v1/admin/failpoints` | arm/clear/list fault-injection sites (ADMIN_CONFIG + `chaos.enabled`) |
 //!
 //! Authenticated routes read the tenant from the `x-tenant` header and the
 //! session token from `Authorization: Bearer <token>` (preferred) or the
@@ -127,9 +128,12 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
 
     let p = Arc::clone(&platform);
     router.route(Method::Get, "/api/v1/metrics", move |_, _| {
+        let mut body = p.admin.telemetry.render_prometheus();
+        // fault-injection counters ride on the same scrape endpoint
+        body.push_str(&odbis_chaos::render_prometheus());
         HttpResponse::status(200)
             .with_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-            .with_body(p.admin.telemetry.render_prometheus())
+            .with_body(body)
     });
 
     let p = Arc::clone(&platform);
@@ -313,6 +317,51 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
         }
     });
 
+    let p = Arc::clone(&platform);
+    router.route(Method::Post, "/api/v1/admin/failpoints", move |req, _| {
+        let (tenant, token) = creds(req);
+        if let Err(e) = p.authorize(&tenant, &token, "ADMIN_CONFIG") {
+            return error_response(&e);
+        }
+        // fault injection is opt-in: the endpoint is inert unless the
+        // operator flipped `chaos.enabled` (never on by default)
+        if !matches!(
+            p.admin.config.get(&tenant, "chaos.enabled"),
+            Ok(odbis_admin::ConfigValue::Bool(true))
+        ) {
+            return error_envelope(
+                403,
+                "security",
+                "fault injection is disabled (set chaos.enabled = true)",
+            );
+        }
+        let spec = req.body_text();
+        let spec = spec.trim();
+        let applied = match spec {
+            "clear" => {
+                odbis_chaos::clear();
+                0
+            }
+            "list" => 0,
+            _ => match odbis_chaos::apply_spec(spec) {
+                Ok(n) => n,
+                Err(e) => return error_envelope(400, "config", &e),
+            },
+        };
+        let sites: Vec<serde_json::Value> = odbis_chaos::snapshot()
+            .into_iter()
+            .map(|(site, policy, hits, triggered)| {
+                serde_json::json!({
+                    "site": site,
+                    "policy": policy,
+                    "hits": hits,
+                    "triggered": triggered,
+                })
+            })
+            .collect();
+        HttpResponse::json(serde_json::json!({ "applied": applied, "sites": sites }).to_string())
+    });
+
     router
 }
 
@@ -371,7 +420,14 @@ fn error_envelope(status: u16, kind: &str, message: &str) -> HttpResponse {
 }
 
 fn error_response(e: &PlatformError) -> HttpResponse {
-    error_envelope(e.http_status(), e.kind(), e.message())
+    let resp = error_envelope(e.http_status(), e.kind(), e.message());
+    if e.is_retryable() {
+        // a wedged store is transient: tell well-behaved clients when to
+        // come back instead of letting them hammer the 503
+        resp.with_header("Retry-After", "1")
+    } else {
+        resp
+    }
 }
 
 #[cfg(test)]
@@ -647,5 +703,47 @@ mod tests {
         let addr = server.addr().to_string();
         let (status, _, _) = with_auth(&addr, "POST", "/api/v1/sql", "forged", "SELECT 1");
         assert_eq!(status, 403);
+    }
+
+    #[test]
+    fn failpoints_endpoint_is_gated_then_arms_sites() {
+        // serialize against other chaos-touching tests; the armed site name
+        // is private to this test so parallel tests are unaffected
+        let _x = odbis_chaos::exclusive();
+        odbis_chaos::clear();
+        let (server, p, token) = serve();
+        let addr = server.addr().to_string();
+        let spec = "webapi.test=err-every-nth(5)";
+        // off by default: the endpoint refuses even the admin
+        let (status, body, _) = with_auth(&addr, "POST", "/api/v1/admin/failpoints", &token, spec);
+        assert_eq!(status, 403);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["kind"], "security");
+        // the operator opts in
+        p.admin.config.set("chaos.enabled", true.into()).unwrap();
+        let (status, body, _) = with_auth(&addr, "POST", "/api/v1/admin/failpoints", &token, spec);
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["applied"], 1);
+        assert_eq!(v["sites"][0]["site"], "webapi.test");
+        // malformed specs are rejected with the envelope
+        let (status, body, _) =
+            with_auth(&addr, "POST", "/api/v1/admin/failpoints", &token, "garbage");
+        assert_eq!(status, 400);
+        assert!(body.contains("\"error\""));
+        // list leaves the registry untouched; clear empties it
+        let (status, body, _) =
+            with_auth(&addr, "POST", "/api/v1/admin/failpoints", &token, "list");
+        assert_eq!(status, 200);
+        assert!(body.contains("webapi.test"));
+        let (status, body, _) =
+            with_auth(&addr, "POST", "/api/v1/admin/failpoints", &token, "clear");
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(v["sites"].as_array().unwrap().is_empty());
+        // non-admin credentials never reach the registry
+        let (status, _, _) = with_auth(&addr, "POST", "/api/v1/admin/failpoints", "forged", spec);
+        assert_eq!(status, 403);
+        odbis_chaos::clear();
     }
 }

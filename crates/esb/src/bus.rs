@@ -2,10 +2,15 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use crate::message::Message;
+
+/// Ceiling for one redelivery backoff sleep: exponential growth stops
+/// here so a misconfigured base can't stall the pump for seconds.
+const REDELIVERY_BACKOFF_CAP_MS: u64 = 250;
 
 /// Errors from the service bus.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +89,14 @@ struct BusInner {
     channels: BTreeMap<String, ChannelState>,
     dead_letter: Vec<Message>,
     hop_limit: usize,
+    /// Extra delivery attempts a failing [`Endpoint::ServiceActivator`]
+    /// gets before the message dead-letters.
+    redelivery_limit: usize,
+    /// Base backoff between redelivery attempts (doubled per attempt,
+    /// capped at [`REDELIVERY_BACKOFF_CAP_MS`]); 0 retries immediately.
+    redelivery_backoff_ms: u64,
+    /// Total redelivery attempts performed since construction.
+    redeliveries: u64,
 }
 
 impl Default for MessageBus {
@@ -100,6 +113,9 @@ impl MessageBus {
                 channels: BTreeMap::new(),
                 dead_letter: Vec::new(),
                 hop_limit: 10_000,
+                redelivery_limit: 2,
+                redelivery_backoff_ms: 0,
+                redeliveries: 0,
             })),
         }
     }
@@ -186,7 +202,57 @@ impl MessageBus {
                     DeadLetter(Message, String),
                     Done,
                 }
-                let outcome = {
+                let is_activator = {
+                    let inner = self.inner.lock();
+                    let st = inner.channels.get(&channel).expect("channel exists");
+                    matches!(st.subscribers[i], Endpoint::ServiceActivator(_))
+                };
+                let outcome = if is_activator {
+                    // Terminal consumer: a failing handler is *redelivered*
+                    // (retried) with capped exponential backoff before the
+                    // message dead-letters. Each attempt re-takes the lock
+                    // so backoff sleeps never stall other bus users.
+                    let (limit, backoff) = {
+                        let inner = self.inner.lock();
+                        (inner.redelivery_limit, inner.redelivery_backoff_ms)
+                    };
+                    let mut attempt = 0usize;
+                    loop {
+                        let result = {
+                            let inner = self.inner.lock();
+                            let st = inner.channels.get(&channel).expect("channel exists");
+                            let Endpoint::ServiceActivator(handler) = &st.subscribers[i] else {
+                                unreachable!("subscriber kind checked above")
+                            };
+                            match odbis_chaos::check("esb.dispatch") {
+                                Err(e) => Err(e.to_string()),
+                                Ok(()) => handler(&message),
+                            }
+                        };
+                        match result {
+                            Ok(()) => break Outcome::Done,
+                            Err(_) if attempt < limit => {
+                                attempt += 1;
+                                self.inner.lock().redeliveries += 1;
+                                odbis_chaos::count_retry("esb.redeliver");
+                                if backoff > 0 {
+                                    let ms =
+                                        (backoff << (attempt - 1)).min(REDELIVERY_BACKOFF_CAP_MS);
+                                    std::thread::sleep(Duration::from_millis(ms));
+                                }
+                            }
+                            Err(e) => {
+                                break Outcome::DeadLetter(
+                                    message.clone().with_header(
+                                        "delivery-attempts",
+                                        (attempt + 1).to_string(),
+                                    ),
+                                    e,
+                                )
+                            }
+                        }
+                    }
+                } else {
                     let inner = self.inner.lock();
                     let st = inner.channels.get(&channel).expect("channel exists");
                     match &st.subscribers[i] {
@@ -210,10 +276,9 @@ impl MessageBus {
                                 )
                             }
                         }
-                        Endpoint::ServiceActivator(handler) => match handler(&message) {
-                            Ok(()) => Outcome::Done,
-                            Err(e) => Outcome::DeadLetter(message.clone(), e),
-                        },
+                        Endpoint::ServiceActivator(_) => {
+                            unreachable!("subscriber kind checked above")
+                        }
                     }
                 };
                 match outcome {
@@ -257,6 +322,20 @@ impl MessageBus {
     /// Registered channel names.
     pub fn channel_names(&self) -> Vec<String> {
         self.inner.lock().channels.keys().cloned().collect()
+    }
+
+    /// Configure redelivery for failing service activators: up to `limit`
+    /// extra attempts, sleeping `backoff_ms * 2^(attempt-1)` (capped) in
+    /// between. `limit = 0` restores fail-fast dead-lettering.
+    pub fn set_redelivery(&self, limit: usize, backoff_ms: u64) {
+        let mut inner = self.inner.lock();
+        inner.redelivery_limit = limit;
+        inner.redelivery_backoff_ms = backoff_ms;
+    }
+
+    /// Total redelivery attempts performed since construction.
+    pub fn redelivery_count(&self) -> u64 {
+        self.inner.lock().redeliveries
     }
 }
 
@@ -400,6 +479,80 @@ mod tests {
         let dead = bus.take_dead_letters();
         assert_eq!(dead.len(), 1);
         assert_eq!(dead[0].header("dead-letter-reason"), Some("boom"));
+    }
+
+    #[test]
+    fn transient_handler_failure_is_redelivered_not_dead_lettered() {
+        let bus = MessageBus::new();
+        bus.create_channel("in").unwrap();
+        // fails the first two attempts, succeeds on the third — exactly
+        // the default redelivery budget (2 extra attempts)
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&calls);
+        bus.subscribe(
+            "in",
+            Endpoint::ServiceActivator(Box::new(move |_| {
+                if c2.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err("transient".to_string())
+                } else {
+                    Ok(())
+                }
+            })),
+        )
+        .unwrap();
+        bus.send_and_pump("in", Message::text("x")).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(bus.redelivery_count(), 2);
+        assert!(bus.take_dead_letters().is_empty());
+    }
+
+    #[test]
+    fn exhausted_redelivery_records_attempts_on_the_dead_letter() {
+        let bus = MessageBus::new();
+        bus.create_channel("in").unwrap();
+        bus.set_redelivery(1, 0);
+        bus.subscribe(
+            "in",
+            Endpoint::ServiceActivator(Box::new(|_| Err("down".to_string()))),
+        )
+        .unwrap();
+        bus.send_and_pump("in", Message::text("x")).unwrap();
+        let dead = bus.take_dead_letters();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].header("dead-letter-reason"), Some("down"));
+        assert_eq!(dead[0].header("delivery-attempts"), Some("2"));
+        assert_eq!(bus.redelivery_count(), 1);
+    }
+
+    #[test]
+    fn dispatch_failpoint_injects_then_redelivery_recovers() {
+        let _guard = odbis_chaos::exclusive();
+        // every 2nd dispatch through the site is cut: message 1 goes clean
+        // (pass 1), message 2 is injected (pass 2) and recovers on its
+        // redelivery (pass 3)
+        let _fp = odbis_chaos::ScopedFailpoint::new(
+            "esb.dispatch",
+            odbis_chaos::FailPolicy::ErrEveryNth(2),
+        );
+        let bus = MessageBus::new();
+        bus.create_channel("in").unwrap();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        bus.subscribe(
+            "in",
+            Endpoint::ServiceActivator(Box::new(move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            })),
+        )
+        .unwrap();
+        bus.send("in", Message::text("a")).unwrap();
+        bus.send("in", Message::text("b")).unwrap();
+        bus.pump().unwrap();
+        // both messages reached the handler; the injected cut only cost a retry
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+        assert_eq!(bus.redelivery_count(), 1);
+        assert!(bus.take_dead_letters().is_empty());
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn array_field<'a>(v: &'a Json, key: &str) -> DbResult<&'a Vec<Json>> {
 // ------------------------------------------------------------- scalar values
 
 /// Encode one scalar.
-pub(crate) fn value_to_json(v: &Value) -> Json {
+pub fn value_to_json(v: &Value) -> Json {
     match v {
         Value::Null => Json::Null,
         Value::Bool(b) => Json::Bool(*b),
@@ -98,7 +98,7 @@ pub(crate) fn value_to_json(v: &Value) -> Json {
 }
 
 /// Decode one scalar.
-pub(crate) fn value_from_json(v: &Json) -> DbResult<Value> {
+pub fn value_from_json(v: &Json) -> DbResult<Value> {
     match v {
         Json::Null => Ok(Value::Null),
         Json::Bool(b) => Ok(Value::Bool(*b)),
@@ -289,7 +289,7 @@ pub(crate) fn table_from_json(v: &Json) -> DbResult<Table> {
 // --------------------------------------------------------------- WAL records
 
 /// Encode one WAL record as a tagged object (`{"op": "...", ...}`).
-pub(crate) fn record_to_json(r: &WalRecord) -> Json {
+pub fn record_to_json(r: &WalRecord) -> Json {
     let tag = |op: &str, mut rest: Vec<(&str, Json)>| {
         let mut fields = vec![("op", Json::String(op.to_string()))];
         fields.append(&mut rest);
@@ -383,7 +383,7 @@ pub(crate) fn record_to_json(r: &WalRecord) -> Json {
 /// [`record_from_json`], which looks fields up by key, so the two encoders
 /// only have to agree on keys and scalar forms — a property the codec
 /// tests pin down.
-pub(crate) fn record_payload(r: &WalRecord) -> Vec<u8> {
+pub fn record_payload(r: &WalRecord) -> Vec<u8> {
     let mut out = Vec::with_capacity(128);
     record_payload_into(&mut out, r);
     out
@@ -391,7 +391,7 @@ pub(crate) fn record_payload(r: &WalRecord) -> Vec<u8> {
 
 /// Like [`record_payload`], but appends to a caller-owned buffer so batch
 /// encoding (group commit) reuses one allocation for the whole statement.
-pub(crate) fn record_payload_into(out: &mut Vec<u8>, r: &WalRecord) {
+pub fn record_payload_into(out: &mut Vec<u8>, r: &WalRecord) {
     use std::io::Write as _;
     match r {
         WalRecord::Insert { table, row } => {
@@ -521,7 +521,7 @@ fn encode_json_str(out: &mut Vec<u8>, s: &str) {
 }
 
 /// Decode one WAL record.
-pub(crate) fn record_from_json(v: &Json) -> DbResult<WalRecord> {
+pub fn record_from_json(v: &Json) -> DbResult<WalRecord> {
     let op = str_field(v, "op")?;
     match op.as_str() {
         "create_table" => Ok(WalRecord::CreateTable {

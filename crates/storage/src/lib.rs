@@ -35,7 +35,7 @@
 mod batch;
 mod database;
 mod error;
-mod jsoncodec;
+pub mod jsoncodec;
 mod persist;
 mod schema;
 mod stats;

@@ -53,7 +53,17 @@ pub(crate) fn write_tables(
     let json = Json::Object(snap).to_string();
     // Write-then-rename so a crash mid-write never corrupts the snapshot.
     let tmp = path.with_extension("tmp");
+    odbis_chaos::check("snapshot.write").map_err(|e| DbError::Io(e.to_string()))?;
+    if odbis_chaos::triggered("snapshot.write.short") {
+        // Short write: the tmp file is left truncated mid-JSON. The live
+        // snapshot must be untouched (the rename below never runs).
+        let _ = fs::write(&tmp, &json.as_bytes()[..json.len() / 2]);
+        return Err(DbError::Io(
+            "injected failpoint snapshot.write.short".into(),
+        ));
+    }
     fs::write(&tmp, json)?;
+    odbis_chaos::check("snapshot.rename").map_err(|e| DbError::Io(e.to_string()))?;
     fs::rename(&tmp, path)?;
     Ok(())
 }

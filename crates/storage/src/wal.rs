@@ -52,6 +52,14 @@ use serde::{Deserialize, Serialize};
 
 use crate::database::Database;
 use crate::error::{DbError, DbResult};
+
+/// Map a triggered failpoint into the storage error domain. Injected
+/// faults surface as [`DbError::Io`] — the same class a real disk failure
+/// produces — so error classification above (retry, HTTP 503) treats them
+/// identically.
+fn chaos_err(e: odbis_chaos::FailpointError) -> DbError {
+    DbError::Io(e.to_string())
+}
 use crate::persist;
 use crate::schema::Schema;
 use crate::table::RowId;
@@ -237,6 +245,7 @@ impl Wal {
     /// highest LSN it has seen so the sequence stays strictly increasing
     /// across restarts and checkpoints.
     pub fn open(path: impl Into<PathBuf>, policy: FsyncPolicy, next_lsn: u64) -> DbResult<Wal> {
+        odbis_chaos::check("wal.open").map_err(chaos_err)?;
         let path = path.into();
         let mut file = OpenOptions::new()
             .create(true)
@@ -275,7 +284,17 @@ impl Wal {
         let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
         let mut frame = Vec::with_capacity(16 + payload.len());
         Self::push_frame(&mut frame, lsn, &payload);
+        odbis_chaos::check("wal.write").map_err(chaos_err)?;
+        if odbis_chaos::triggered("wal.write.short") {
+            // Torn write: half the frame reaches the disk, then the device
+            // fails. Recovery must treat the partial frame as a torn tail.
+            let half = frame.len() / 2;
+            let _ = file.write_all(&frame[..half]);
+            self.file_len.fetch_add(half as u64, Ordering::Relaxed);
+            return Err(DbError::Io("injected failpoint wal.write.short".into()));
+        }
         file.write_all(&frame)?;
+        odbis_chaos::check("wal.fsync").map_err(chaos_err)?;
         if self.policy == FsyncPolicy::Always {
             file.sync_data()?;
         }
@@ -316,7 +335,15 @@ impl Wal {
             let crc = crc32(&buf[start + 8..end]);
             buf[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
         }
+        odbis_chaos::check("wal.write").map_err(chaos_err)?;
+        if odbis_chaos::triggered("wal.write.short") {
+            let half = buf.len() / 2;
+            let _ = file.write_all(&buf[..half]);
+            self.file_len.fetch_add(half as u64, Ordering::Relaxed);
+            return Err(DbError::Io("injected failpoint wal.write.short".into()));
+        }
         file.write_all(&buf)?;
+        odbis_chaos::check("wal.fsync").map_err(chaos_err)?;
         if self.policy == FsyncPolicy::Always {
             file.sync_data()?;
         }
@@ -358,6 +385,7 @@ impl Wal {
     /// snapshot). The LSN counter keeps running — LSNs are never reused.
     /// Returns the number of bytes discarded.
     fn reset(&self) -> DbResult<u64> {
+        odbis_chaos::check("wal.reset").map_err(chaos_err)?;
         let file = self.file.lock();
         file.set_len(0)?;
         if self.policy == FsyncPolicy::Always {
@@ -513,6 +541,7 @@ impl DurableStore {
         dir: impl Into<PathBuf>,
         policy: FsyncPolicy,
     ) -> DbResult<(Database, DurableStore)> {
+        odbis_chaos::check("store.open").map_err(chaos_err)?;
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let snapshot_path = dir.join("snapshot.json");
@@ -538,8 +567,12 @@ impl DurableStore {
             })?;
         }
         // Repair the torn tail so the next append starts at a frame boundary.
+        // The `wal.repair.skip` failpoint disarms this guard: the chaos
+        // suite uses it to prove that *without* the repair, appends land
+        // after torn bytes and committed writes are lost — i.e. that the
+        // durability invariant checks have teeth.
         if let Ok(meta) = std::fs::metadata(&wal_path) {
-            if meta.len() > valid_len {
+            if meta.len() > valid_len && !odbis_chaos::triggered("wal.repair.skip") {
                 let f = OpenOptions::new().write(true).open(&wal_path)?;
                 f.set_len(valid_len)?;
                 f.sync_data()?;
@@ -574,6 +607,7 @@ impl DurableStore {
     /// truncation just leaves already-folded frames that replay as no-ops
     /// (their LSNs are `<=` the snapshot's `last_lsn`).
     pub fn checkpoint(&self, db: &Database) -> DbResult<CheckpointReport> {
+        odbis_chaos::check("checkpoint.begin").map_err(chaos_err)?;
         let start = Instant::now();
         let snapshot_path = self.dir.join("snapshot.json");
         db.with_tables_read(|tables| {

@@ -356,6 +356,7 @@ impl HttpResponse {
             404 => "Not Found",
             405 => "Method Not Allowed",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Status",
         };
         write!(stream, "HTTP/1.1 {} {}\r\n", self.status, reason)?;

@@ -110,9 +110,26 @@ impl Router {
 
     /// Run the filter chain and dispatch to the matching route.
     ///
-    /// Handler panics are caught and converted to 500 responses so a buggy
-    /// service cannot take a worker thread down.
-    pub fn dispatch(&self, mut request: HttpRequest) -> HttpResponse {
+    /// The whole chain — filters *and* handler — runs inside one panic
+    /// boundary: a panicking filter or handler becomes a structured 500
+    /// envelope instead of taking the worker thread down (which would
+    /// silently shrink the pool for the life of the process).
+    pub fn dispatch(&self, request: HttpRequest) -> HttpResponse {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.dispatch_inner(request)
+        }))
+        .unwrap_or_else(|_| Self::panic_envelope())
+    }
+
+    /// The structured `{"error":{...}}` body a panic turns into — the same
+    /// envelope shape the platform API uses for every client-visible error.
+    pub(crate) fn panic_envelope() -> HttpResponse {
+        HttpResponse::status(500)
+            .with_header("Content-Type", "application/json")
+            .with_body(r#"{"error":{"kind":"internal","message":"handler panicked"}}"#)
+    }
+
+    fn dispatch_inner(&self, mut request: HttpRequest) -> HttpResponse {
         for f in &self.filters {
             if let Some(short_circuit) = f(&mut request) {
                 return short_circuit;
@@ -131,12 +148,7 @@ impl Router {
                     HttpResponse::not_found()
                 }
             }
-            Some((route, params)) => {
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    (route.handler)(&request, &params)
-                }));
-                result.unwrap_or_else(|_| HttpResponse::server_error("handler panicked"))
-            }
+            Some((route, params)) => (route.handler)(&request, &params),
         }
     }
 }
@@ -211,5 +223,33 @@ mod tests {
         r.route(Method::Get, "/boom", |_, _| panic!("bug"));
         let resp = r.dispatch(get("/boom"));
         assert_eq!(resp.status, 500);
+        // the body is the structured error envelope, not loose text
+        assert!(
+            resp.body_text().contains(r#""error""#),
+            "{}",
+            resp.body_text()
+        );
+        assert_eq!(
+            resp.headers.get("Content-Type").map(String::as_str),
+            Some("application/json")
+        );
+    }
+
+    #[test]
+    fn panicking_filter_becomes_500_too() {
+        // filters run before the old per-handler catch_unwind; a panic
+        // there used to escape dispatch entirely and kill the worker
+        let mut r = router();
+        r.filter(|req| {
+            if req.path == "/ping" {
+                panic!("filter bug");
+            }
+            None
+        });
+        let resp = r.dispatch(get("/ping"));
+        assert_eq!(resp.status, 500);
+        assert!(resp.body_text().contains(r#""error""#));
+        // other paths are unaffected
+        assert_eq!(r.dispatch(get("/reports/42")).status, 200);
     }
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Sender, TrySendError};
 
 use crate::http::{HttpRequest, HttpResponse};
 use crate::router::Router;
@@ -42,8 +42,15 @@ impl HttpServer {
             let rx = rx.clone();
             let router = Arc::clone(&router);
             let served = Arc::clone(&served);
+            let worker_shutdown = Arc::clone(&shutdown);
             workers.push(std::thread::spawn(move || {
                 while let Ok(stream) = rx.recv() {
+                    if worker_shutdown.load(Ordering::Relaxed) {
+                        // shutting down: shed the queued backlog instead of
+                        // serving it, so stop() is bounded by the in-flight
+                        // request, not by queue depth
+                        continue;
+                    }
                     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
                     let Ok(mut writer) = stream.try_clone() else {
                         continue;
@@ -53,16 +60,39 @@ impl HttpServer {
                     // iterations instead of dying with a throwaway buffer
                     let mut reader = std::io::BufReader::new(stream);
                     loop {
+                        if worker_shutdown.load(Ordering::Relaxed) {
+                            break; // close keep-alive connections at shutdown
+                        }
+                        // chaos: a connection torn down before the request
+                        // is read — the client saw zero response bytes
+                        if odbis_chaos::triggered("http.read") {
+                            break;
+                        }
                         let (response, close_after) =
                             match HttpRequest::read_from_buffered(&mut reader) {
                                 Ok(Some(request)) => {
                                     let close = request.wants_close();
-                                    (router.dispatch(request), close)
+                                    // The request boundary is the last line
+                                    // of panic defense: dispatch() already
+                                    // catches, but even a future regression
+                                    // there must answer 500 and keep this
+                                    // worker (and the pool's capacity) alive.
+                                    let response = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| router.dispatch(request)),
+                                    )
+                                    .unwrap_or_else(|_| Router::panic_envelope());
+                                    (response, close)
                                 }
                                 Ok(None) => break, // client closed cleanly
                                 Err(e) => (HttpResponse::bad_request(&e), true),
                             };
                         served.fetch_add(1, Ordering::Relaxed);
+                        // chaos: the socket dies before any response byte —
+                        // never mid-response, so clients see a clean drop
+                        // (retryable), not a torn payload
+                        if odbis_chaos::triggered("http.write") {
+                            break;
+                        }
                         let keep_alive = !close_after;
                         if response.write_to_conn(&mut writer, keep_alive).is_err() {
                             break;
@@ -82,7 +112,30 @@ impl HttpServer {
             while !accept_shutdown.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        let _ = accept_tx.send(stream);
+                        // chaos: the accepted socket drops before any byte
+                        // is exchanged (client sees a clean reset, retryable)
+                        if odbis_chaos::triggered("http.accept") {
+                            drop(stream);
+                            continue;
+                        }
+                        // Hand off without a blocking send: a full worker
+                        // queue must never wedge this thread (stop() joins
+                        // it), so poll with a shutdown check and shed the
+                        // connection if shutdown wins the race.
+                        let mut pending = stream;
+                        loop {
+                            match accept_tx.try_send(pending) {
+                                Ok(()) => break,
+                                Err(TrySendError::Full(s)) => {
+                                    if accept_shutdown.load(Ordering::Relaxed) {
+                                        break; // drop the connection: shutting down
+                                    }
+                                    std::thread::sleep(Duration::from_millis(1));
+                                    pending = s;
+                                }
+                                Err(TrySendError::Disconnected(_)) => return,
+                            }
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
@@ -240,6 +293,62 @@ mod tests {
         reader.read_to_end(&mut rest).unwrap();
         assert!(rest.is_empty());
         assert_eq!(server.requests_served(), 2);
+    }
+
+    #[test]
+    fn panicking_handler_does_not_shrink_the_pool() {
+        // one worker: if a panic killed it, the next request would hang
+        let mut r = test_router();
+        r.route(Method::Get, "/boom", |_, _| panic!("bug"));
+        // a panicking *filter* used to escape the per-handler catch_unwind
+        // and take the worker thread with it
+        r.filter(|req| {
+            if req.path == "/filter-boom" {
+                panic!("filter bug");
+            }
+            None
+        });
+        let server = HttpServer::start(r, 1).unwrap();
+        let addr = server.addr().to_string();
+        for path in ["/boom", "/filter-boom"] {
+            let (status, body) = http_get(&addr, path).unwrap();
+            assert_eq!(status, 500, "{path}");
+            assert!(body.contains("\"error\""), "{path}: {body}");
+        }
+        // the single worker is still alive and serving
+        let (status, body) = http_get(&addr, "/hello").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "world");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stop_is_bounded_by_the_in_flight_request_not_the_backlog() {
+        let mut r = test_router();
+        r.route(Method::Get, "/slow", |_, _| {
+            std::thread::sleep(Duration::from_millis(100));
+            HttpResponse::text("done")
+        });
+        let server = HttpServer::start(r, 1).unwrap();
+        let addr = server.addr();
+        // queue far more slow requests than the single worker can serve:
+        // draining them at stop would take > 4s
+        let mut conns = Vec::new();
+        for _ in 0..40 {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(b"GET /slow HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            conns.push(c); // keep sockets open so they sit in the queue
+        }
+        // let the worker pick up the first request
+        std::thread::sleep(Duration::from_millis(30));
+        let t0 = std::time::Instant::now();
+        server.shutdown();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "stop took {elapsed:?}; the backlog was served instead of shed"
+        );
     }
 
     #[test]
