@@ -1,0 +1,60 @@
+//! Lock-granularity bench: dashboard-read completion time under ETL write
+//! load, per-table locking versus the old database-wide lock.
+//!
+//! Each measured iteration times how long the reader half of the fleet
+//! takes to finish a fixed number of dim-table aggregates while the writer
+//! half continuously runs journaled fsync=always inserts into fact
+//! tables. Under the single database-wide lock every aggregate queues
+//! behind a writer's disk flush; under per-table locks it doesn't. The
+//! fixed work is the *reader* side only, so the ratio directly measures
+//! the writer-blocks-readers defect instead of being Amdahl-capped by the
+//! writers' own I/O time.
+//!
+//! The complementary free-running throughput shape (ops/sec over a timed
+//! window, both roles counted) lives in `examples/concurrency_probe.rs`
+//! and produces the numbers recorded in `BENCH_concurrency.json`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odbis_bench::concurrency::{
+    readers_complete_under_write_load, scratch_root, split, Fleet, LockMode, TENANTS,
+};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const SCANS_PER_READER: usize = 100;
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+fn bench_reader_completion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrency");
+    for mode in [LockMode::PerTable, LockMode::SingleLock] {
+        for n in THREADS {
+            let (writers, _) = split(n);
+            let root = scratch_root(&format!("bench-{}-{n}", mode.label()));
+            let fleet = Fleet::open(&root, mode, writers.div_ceil(TENANTS).max(1));
+            group.bench_with_input(
+                BenchmarkId::new(format!("readers_done/{}", mode.label()), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| readers_complete_under_write_load(&fleet, n, SCANS_PER_READER));
+                },
+            );
+            drop(fleet);
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_reader_completion
+}
+criterion_main!(benches);

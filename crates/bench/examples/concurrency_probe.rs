@@ -1,0 +1,68 @@
+//! Free-running mixed-throughput probe for the lock-granularity
+//! experiment: the source of the numbers in `BENCH_concurrency.json`.
+//!
+//! For each thread count and each lock mode it runs the shared
+//! multi-tenant workload (half writers doing journaled fsync=always
+//! inserts, half readers aggregating the dim table) for a warmup plus a
+//! timed window, and reports reads/sec, writes/sec and their sum. The
+//! acceptance line is mixed throughput at 8 threads: per-table must be
+//! ≥ 2× the single-lock baseline.
+//!
+//! Run with:
+//! `cargo run --release -p odbis-bench --example concurrency_probe`
+//! Set `ODBIS_BENCH_DIR` to place tenant stores on a specific filesystem
+//! (fsync cost is the writer stall; tmpfs hides it).
+
+use std::time::Duration;
+
+use odbis_bench::concurrency::{split, timed_mixed_throughput, LockMode};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (warmup, window) = if quick {
+        (Duration::from_millis(150), Duration::from_millis(400))
+    } else {
+        (Duration::from_millis(300), Duration::from_millis(1200))
+    };
+
+    println!("mode        threads  writers readers   reads/s   writes/s    mixed/s");
+    let mut mixed_at = vec![[0f64; 2]; THREADS.len()];
+    for (mi, mode) in [LockMode::SingleLock, LockMode::PerTable]
+        .into_iter()
+        .enumerate()
+    {
+        for (ti, &n) in THREADS.iter().enumerate() {
+            let (writers, readers) = split(n);
+            let t = timed_mixed_throughput(mode, n, warmup, window);
+            mixed_at[ti][mi] = t.mixed_per_sec();
+            println!(
+                "{:<11} {:>7} {:>8} {:>7} {:>9.0} {:>10.0} {:>10.0}",
+                mode.label(),
+                n,
+                writers,
+                readers,
+                t.reads_per_sec(),
+                t.writes_per_sec(),
+                t.mixed_per_sec(),
+            );
+        }
+    }
+
+    println!();
+    for (ti, &n) in THREADS.iter().enumerate() {
+        let [single, per_table] = mixed_at[ti];
+        println!(
+            "threads {n}: mixed throughput ratio pertable/singlelock = {:.2}x",
+            per_table / single
+        );
+    }
+    let [single8, pertable8] = mixed_at[THREADS.len() - 1];
+    let ratio = pertable8 / single8;
+    println!(
+        "acceptance (8 threads, budget >= 2x): {:.2}x -> {}",
+        ratio,
+        if ratio >= 2.0 { "met" } else { "NOT met" }
+    );
+}

@@ -1,0 +1,346 @@
+//! Shared harness for the lock-granularity experiments: a mixed
+//! read/write multi-tenant workload that can run against the per-table
+//! locking the storage layer ships, or against an emulation of the old
+//! database-wide lock.
+//!
+//! ## The two modes
+//!
+//! [`LockMode::PerTable`] drives the [`Database`] as-is: readers take only
+//! their table's read lock, writers only their table's write lock (plus
+//! the WAL file mutex inside the flush).
+//!
+//! [`LockMode::SingleLock`] wraps every statement in an *outer*
+//! database-wide `RwLock<()>` — shared for reads, exclusive for writes,
+//! held for the whole statement **including the WAL fsync** — which is
+//! exactly the old `RwLock<HashMap<String, Table>>` discipline. The inner
+//! per-table locks are still taken but are uncontended under the outer
+//! gate, so the emulation measures the seed's blocking behavior on the
+//! current row/WAL code paths rather than resurrecting old code.
+//!
+//! ## Workload shape
+//!
+//! `TENANTS` tenants, each its own [`DurableStore`] (fsync=always — a
+//! writer statement really stalls in the disk flush). Per tenant: one
+//! `dim` table (the dashboard target, scanned and aggregated by readers
+//! through the cached columnar batch) and one `fact_<w>` table per writer
+//! (the ETL target, single-row journaled inserts). Of `n` worker threads,
+//! `n/2` write and the rest read; both roles round-robin across tenants.
+//! This is the ODBIS contention story in miniature: ETL inserts into fact
+//! tables racing dashboard aggregates over dimension tables of the same
+//! tenant.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use odbis_storage::{
+    Column, ColumnData, DataType, Database, DurableStore, FsyncPolicy, Schema, Value, WalSink,
+};
+use parking_lot::RwLock;
+
+/// Rows in each tenant's `dim` table.
+pub const DIM_ROWS: i64 = 2_000;
+/// Tenants (separate databases, separate WALs) in the fleet.
+pub const TENANTS: usize = 2;
+
+/// Which locking discipline the workload runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Per-table locks — the shipped design.
+    PerTable,
+    /// One database-wide reader-writer gate around every statement — the
+    /// seed's `RwLock<HashMap<String, Table>>` discipline.
+    SingleLock,
+}
+
+impl LockMode {
+    /// Stable label for bench ids and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LockMode::PerTable => "pertable",
+            LockMode::SingleLock => "singlelock",
+        }
+    }
+}
+
+/// One tenant: a durable database plus the optional database-wide gate.
+pub struct Tenant {
+    db: Arc<Database>,
+    gate: Option<Arc<RwLock<()>>>,
+    dir: PathBuf,
+}
+
+impl Tenant {
+    fn open(dir: PathBuf, mode: LockMode, writers: usize) -> Tenant {
+        let _ = std::fs::remove_dir_all(&dir);
+        let (db, store) = DurableStore::open(&dir, FsyncPolicy::Always).expect("open store");
+        db.set_wal_sink(Arc::clone(store.wal()) as Arc<dyn WalSink>);
+        db.create_table(
+            "dim",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("region", DataType::Text),
+                Column::new("amount", DataType::Float),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert_many(
+            "dim",
+            (0..DIM_ROWS)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::from(if i % 2 == 0 { "EU" } else { "US" }),
+                        Value::Float(i as f64 * 1.25),
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        for w in 0..writers.max(1) {
+            db.create_table(
+                &format!("fact_{w}"),
+                Schema::new(vec![
+                    Column::new("k", DataType::Int),
+                    Column::new("v", DataType::Int),
+                ])
+                .unwrap(),
+            )
+            .unwrap();
+        }
+        // `store` holds the WAL the sink Arc points at; keep it alive by
+        // leaking into the db's lifetime via the sink Arc (the sink IS the
+        // wal), and drop the store handle itself.
+        drop(store);
+        Tenant {
+            db: Arc::new(db),
+            gate: match mode {
+                LockMode::PerTable => None,
+                LockMode::SingleLock => Some(Arc::new(RwLock::new(()))),
+            },
+            dir,
+        }
+    }
+
+    /// One dashboard read: aggregate the dim table's `id` column through
+    /// the cached columnar batch (a few µs of CPU — the op a dashboard
+    /// repeats all day).
+    pub fn read_op(&self) -> i64 {
+        let _shared = self.gate.as_ref().map(|g| g.read());
+        let batch = self.db.scan_batch("dim").expect("dim scan");
+        match batch.column(0).data() {
+            ColumnData::Int(v) => v.iter().sum(),
+            other => panic!("dim id column decoded as {other:?}"),
+        }
+    }
+
+    /// One ETL write: a journaled single-row insert into this writer's
+    /// fact table; at fsync=always the statement stalls in the disk flush
+    /// while (under per-table locking) readers keep going.
+    pub fn write_op(&self, writer: usize, k: i64) {
+        let _exclusive = self.gate.as_ref().map(|g| g.write());
+        self.db
+            .insert(
+                &format!("fact_{writer}"),
+                vec![Value::Int(k), Value::Int(2 * k)],
+            )
+            .expect("fact insert");
+    }
+}
+
+impl Drop for Tenant {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// A fleet of tenants for one experiment run.
+pub struct Fleet {
+    pub tenants: Vec<Arc<Tenant>>,
+}
+
+/// Scratch root for the tenant stores. `ODBIS_BENCH_DIR` overrides (point
+/// it at a real filesystem — on tmpfs the fsync that creates the writer
+/// stall is nearly free and the single-lock baseline looks better than a
+/// disk-backed deployment would).
+pub fn scratch_root(tag: &str) -> PathBuf {
+    let root = std::env::var_os("ODBIS_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    root.join(format!("odbis-concurrency-{tag}-{}", std::process::id()))
+}
+
+impl Fleet {
+    /// Build `TENANTS` tenants under `root`, each with `writers_per_tenant`
+    /// fact tables pre-created.
+    pub fn open(root: &Path, mode: LockMode, writers_per_tenant: usize) -> Fleet {
+        let tenants = (0..TENANTS)
+            .map(|t| {
+                Arc::new(Tenant::open(
+                    root.join(format!("tenant{t}")),
+                    mode,
+                    writers_per_tenant,
+                ))
+            })
+            .collect();
+        Fleet { tenants }
+    }
+}
+
+/// Measured mixed throughput for one `(mode, threads)` cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Reader ops completed in the measurement window.
+    pub reads: u64,
+    /// Writer ops completed in the measurement window.
+    pub writes: u64,
+    /// Measurement window length.
+    pub window: Duration,
+}
+
+impl Throughput {
+    /// Reads + writes per second.
+    pub fn mixed_per_sec(&self) -> f64 {
+        (self.reads + self.writes) as f64 / self.window.as_secs_f64()
+    }
+
+    /// Reads per second.
+    pub fn reads_per_sec(&self) -> f64 {
+        self.reads as f64 / self.window.as_secs_f64()
+    }
+
+    /// Writes per second.
+    pub fn writes_per_sec(&self) -> f64 {
+        self.writes as f64 / self.window.as_secs_f64()
+    }
+}
+
+/// Role split for `n` worker threads: writers first, then readers.
+pub fn split(n: usize) -> (usize, usize) {
+    let writers = n / 2;
+    (writers, n - writers)
+}
+
+/// Run the mixed workload on `n` threads for `warmup + window`, counting
+/// only ops that complete inside the window. Writers and readers both
+/// free-run; the counters tell the story (under the single lock the
+/// readers collapse, under per-table locks they don't).
+pub fn timed_mixed_throughput(
+    mode: LockMode,
+    n: usize,
+    warmup: Duration,
+    window: Duration,
+) -> Throughput {
+    let (writers, readers) = split(n);
+    let root = scratch_root(&format!("tp-{}-{n}", mode.label()));
+    let fleet = Fleet::open(&root, mode, writers.div_ceil(TENANTS).max(1));
+    let stop = Arc::new(AtomicBool::new(false));
+    let counting = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let writes = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    for w in 0..writers {
+        let tenant = Arc::clone(&fleet.tenants[w % TENANTS]);
+        let writer_slot = w / TENANTS;
+        let stop = Arc::clone(&stop);
+        let counting = Arc::clone(&counting);
+        let writes = Arc::clone(&writes);
+        handles.push(std::thread::spawn(move || {
+            let mut k = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                tenant.write_op(writer_slot, k);
+                k += 1;
+                if counting.load(Ordering::Relaxed) {
+                    writes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for r in 0..readers {
+        let tenant = Arc::clone(&fleet.tenants[r % TENANTS]);
+        let stop = Arc::clone(&stop);
+        let counting = Arc::clone(&counting);
+        let reads = Arc::clone(&reads);
+        handles.push(std::thread::spawn(move || {
+            let mut acc = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                acc = acc.wrapping_add(tenant.read_op());
+                if counting.load(Ordering::Relaxed) {
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            std::hint::black_box(acc);
+        }));
+    }
+
+    std::thread::sleep(warmup);
+    counting.store(true, Ordering::Relaxed);
+    let started = Instant::now();
+    std::thread::sleep(window);
+    counting.store(false, Ordering::Relaxed);
+    let measured = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let result = Throughput {
+        reads: reads.load(Ordering::Relaxed),
+        writes: writes.load(Ordering::Relaxed),
+        window: measured,
+    };
+    drop(fleet);
+    let _ = std::fs::remove_dir_all(&root);
+    result
+}
+
+/// Fixed-work shape for criterion: the time for every reader to finish
+/// `scans_per_reader` aggregates while the writer half churns journaled
+/// inserts the whole time. This is the user-visible defect measured
+/// directly — dashboard latency while ETL runs — and unlike a fixed
+/// total-ops shape it is not Amdahl-capped at 2× on one core.
+pub fn readers_complete_under_write_load(
+    fleet: &Fleet,
+    n: usize,
+    scans_per_reader: usize,
+) -> Duration {
+    let (writers, readers) = split(n);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writer_handles = Vec::new();
+    for w in 0..writers {
+        let tenant = Arc::clone(&fleet.tenants[w % TENANTS]);
+        let writer_slot = w / TENANTS;
+        let stop = Arc::clone(&stop);
+        writer_handles.push(std::thread::spawn(move || {
+            let mut k = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                tenant.write_op(writer_slot, k);
+                k += 1;
+            }
+        }));
+    }
+
+    let started = Instant::now();
+    let mut reader_handles = Vec::new();
+    for r in 0..readers {
+        let tenant = Arc::clone(&fleet.tenants[r % TENANTS]);
+        reader_handles.push(std::thread::spawn(move || {
+            let mut acc = 0i64;
+            for _ in 0..scans_per_reader {
+                acc = acc.wrapping_add(tenant.read_op());
+            }
+            std::hint::black_box(acc);
+        }));
+    }
+    for h in reader_handles {
+        h.join().expect("reader panicked");
+    }
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    for h in writer_handles {
+        h.join().expect("writer panicked");
+    }
+    elapsed
+}

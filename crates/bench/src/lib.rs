@@ -5,4 +5,5 @@
 //! group per experiment in `EXPERIMENTS.md` (figures E1–E6, claims C1–C4,
 //! ablations A1–A4).
 
+pub mod concurrency;
 pub mod workloads;

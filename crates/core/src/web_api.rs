@@ -129,6 +129,17 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
     let p = Arc::clone(&platform);
     router.route(Method::Get, "/api/v1/metrics", move |_, _| {
         let mut body = p.admin.telemetry.render_prometheus();
+        // live-session gauge per tenant realm (expired sessions are swept
+        // on login and excluded from the count either way)
+        body.push_str("# TYPE odbis_sessions_active gauge\n");
+        for tenant in p.admin.registry().tenant_ids() {
+            if let Ok(realm) = p.admin.registry().realm(&tenant) {
+                body.push_str(&format!(
+                    "odbis_sessions_active{{tenant=\"{tenant}\"}} {}\n",
+                    realm.session_count()
+                ));
+            }
+        }
         // fault-injection counters ride on the same scrape endpoint
         body.push_str(&odbis_chaos::render_prometheus());
         HttpResponse::status(200)
@@ -167,7 +178,12 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
         "/datasets/:name",
         move |req, params| {
             let (tenant, token) = creds(req);
-            match p.execute_dataset(&tenant, &token, &params["name"]) {
+            // `.get` rather than indexing: a route-table edit that renames
+            // the segment must degrade to a 400, not a worker panic
+            let Some(name) = params.get("name") else {
+                return error_envelope(400, "bad_request", "missing dataset name");
+            };
+            match p.execute_dataset(&tenant, &token, name) {
                 Ok(result) => HttpResponse::json(result_json(&result)),
                 Err(e) => error_response(&e),
             }
@@ -629,6 +645,72 @@ mod tests {
         assert!(body.contains("tenant=\"acme\""));
         assert!(body.contains("service=\"MDS\""));
         assert!(body.contains("odbis_latency_seconds_bucket"));
+    }
+
+    /// Every route family, fed garbage: the answer is always a structured
+    /// 4xx JSON envelope, never a 5xx and never a panicked worker.
+    #[test]
+    fn malformed_requests_get_envelopes_not_panics() {
+        let (server, _p, token) = serve();
+        let addr = server.addr().to_string();
+        let cases: [(&str, &str, &str); 6] = [
+            ("POST", "/api/v1/sql", "SELEKT ) FROM ((("),
+            ("POST", "/api/v1/sql", "\u{0}\u{fffd}{{{{"),
+            ("POST", "/api/v1/mdx", "not mdx at all ]["),
+            ("GET", "/api/v1/datasets/%00%ff", ""),
+            ("GET", "/api/v1/datasets/..%2F..%2Fetc", ""),
+            ("POST", "/api/v1/admin/failpoints", "no.such.site=???"),
+        ];
+        for (method, path, body) in cases {
+            let (status, resp, _) = with_auth(&addr, method, path, &token, body);
+            assert!(
+                (400..500).contains(&status),
+                "{method} {path} answered {status}: {resp}"
+            );
+            let v: serde_json::Value = serde_json::from_str(&resp)
+                .unwrap_or_else(|_| panic!("{method} {path} body is not JSON: {resp}"));
+            assert!(
+                v["error"]["kind"].as_str().is_some() && v["error"]["message"].as_str().is_some(),
+                "{method} {path} missing envelope: {resp}"
+            );
+        }
+        // the server survived all of it
+        let (status, _) = http_get(&addr, "/api/v1/health").unwrap();
+        assert_eq!(status, 200);
+    }
+
+    /// Raw non-UTF-8 bytes in a body must not take down the connection
+    /// handler; the SQL engine sees the lossy decoding and rejects it.
+    #[test]
+    fn binary_body_is_rejected_cleanly() {
+        let (server, _p, token) = serve();
+        let addr = server.addr().to_string();
+        let (status, _, body) = http_request(
+            &addr,
+            "POST",
+            "/api/v1/sql",
+            &[("x-tenant", "acme"), ("x-token", token.as_str())],
+            &[0xff, 0xfe, 0x00, 0x80, 0xc3],
+        )
+        .unwrap();
+        assert!((400..500).contains(&status), "got {status}: {body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(v["error"]["kind"].as_str().is_some());
+    }
+
+    #[test]
+    fn metrics_exposes_live_session_gauge() {
+        let (server, platform, _token) = serve();
+        let addr = server.addr().to_string();
+        // serve() already logged root in once; a second login adds one more
+        let _ = platform.login("acme", "root", "pw").unwrap();
+        let (status, body) = http_get(&addr, "/api/v1/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE odbis_sessions_active gauge"));
+        assert!(
+            body.contains("odbis_sessions_active{tenant=\"acme\"} 2"),
+            "gauge line missing or wrong: {body}"
+        );
     }
 
     #[test]

@@ -386,7 +386,12 @@ impl Acc {
         self.count += 1;
         match v {
             Value::Int(i) => {
-                self.sum_i = self.sum_i.wrapping_add(*i);
+                // On i64 overflow the SUM result promotes to Float (the
+                // f64 running sum keeps going) instead of wrapping.
+                match self.sum_i.checked_add(*i) {
+                    Some(s) => self.sum_i = s,
+                    None => self.all_int = false,
+                }
                 self.sum_f += *i as f64;
             }
             Value::Float(f) => {
@@ -757,7 +762,10 @@ fn accumulate_column(
                 }
                 let acc = &mut accs[g as usize][ai];
                 acc.count += 1;
-                acc.sum_i = acc.sum_i.wrapping_add(v[i]);
+                match acc.sum_i.checked_add(v[i]) {
+                    Some(s) => acc.sum_i = s,
+                    None => acc.all_int = false,
+                }
                 acc.sum_f += v[i] as f64;
             }
         }

@@ -554,6 +554,38 @@ mod tests {
     }
 
     #[test]
+    fn sum_overflow_promotes_to_float_instead_of_wrapping() {
+        // Two i64::MAX values overflow any integer accumulator; the SUM
+        // must come back as the (lossy but ordered) f64 total, never as a
+        // wrapped negative integer.
+        for engine in [Engine::new(), Engine::with_row_execution()] {
+            let db = Database::new();
+            engine
+                .execute_script(
+                    &db,
+                    &format!(
+                        "CREATE TABLE big (g INT, v INT);
+                         INSERT INTO big VALUES (1, {max}), (1, {max}), (2, 7);",
+                        max = i64::MAX
+                    ),
+                )
+                .unwrap();
+            // global aggregate
+            let r = engine.execute(&db, "SELECT SUM(v) FROM big").unwrap();
+            assert_eq!(
+                r.rows[0][0],
+                Value::Float(i64::MAX as f64 + i64::MAX as f64 + 7.0)
+            );
+            // grouped aggregate: only the overflowing group promotes
+            let r = engine
+                .execute(&db, "SELECT g, SUM(v) FROM big GROUP BY g ORDER BY g")
+                .unwrap();
+            assert_eq!(r.rows[0][1], Value::Float(i64::MAX as f64 * 2.0));
+            assert_eq!(r.rows[1][1], Value::Int(7));
+        }
+    }
+
+    #[test]
     fn count_distinct_and_null_skipping() {
         let (db, e) = setup();
         let r = e

@@ -1,5 +1,29 @@
-//! The database: a named catalog of tables behind a reader-writer lock,
-//! with undo-log transactions.
+//! The database: a named catalog of per-table reader-writer locks, with
+//! undo-log transactions.
+//!
+//! ## Lock model
+//!
+//! Two lock levels, always acquired top-down:
+//!
+//! 1. the **catalog lock** (`tables: RwLock<HashMap<..>>`), held only long
+//!    enough to resolve a name to its `Arc<RwLock<Table>>` handle (read) or
+//!    to run DDL (write);
+//! 2. the **per-table locks**, one `RwLock<Table>` per table — statement
+//!    execution acquires only the tables it touches.
+//!
+//! When more than one table lock is held at once (checkpointing,
+//! [`Database::read_tables`]), the locks are taken in canonical order —
+//! sorted lowercased table name — so two multi-table acquirers can never
+//! deadlock. Single-table statements hold one table lock and never re-enter
+//! the catalog lock while holding it, so they cannot participate in a cycle
+//! at all.
+//!
+//! A handle resolved under the catalog lock can outlive the table: DDL may
+//! drop the table before the statement locks it. The drop path marks the
+//! table under its *write* lock ([`Table::mark_dropped`]) after appending
+//! the `DropTable` WAL record, so a late statement observes the tombstone
+//! and fails with `TableNotFound` instead of journaling mutations that
+//! would land after the drop in the log.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,9 +49,18 @@ use crate::wal::{WalRecord, WalSink};
 /// one the database is purely in-memory, as before.
 #[derive(Default)]
 pub struct Database {
-    tables: RwLock<HashMap<String, Table>>,
+    tables: RwLock<HashMap<String, CatalogEntry>>,
     txn_counter: AtomicU64,
     wal_sink: RwLock<Option<Arc<dyn WalSink>>>,
+}
+
+/// One catalog slot: the display name (case preserved) plus the table
+/// behind its own lock. Keeping the name here lets catalog queries
+/// (`table_names`, `has_table`) answer without touching any table lock —
+/// a long-running writer must never block name resolution.
+struct CatalogEntry {
+    name: String,
+    table: Arc<RwLock<Table>>,
 }
 
 impl std::fmt::Debug for Database {
@@ -50,15 +83,17 @@ impl Database {
     }
 
     /// Attach a WAL sink: every table is armed to queue records, which are
-    /// drained to `sink` (in apply order, under the table-map write lock)
+    /// drained to `sink` (in apply order, under that table's write lock)
     /// as each mutating call returns. Tables created later are armed on
     /// creation.
     pub fn set_wal_sink(&self, sink: Arc<dyn WalSink>) {
-        let mut tables = self.tables.write();
-        for t in tables.values_mut() {
-            t.arm_journal();
-        }
+        // Catalog write lock: no table can be created (and miss arming)
+        // while the sink is being attached.
+        let tables = self.tables.write();
         *self.wal_sink.write() = Some(sink);
+        for e in tables.values() {
+            e.table.write().arm_journal();
+        }
     }
 
     /// Whether a WAL sink is attached.
@@ -70,9 +105,21 @@ impl Database {
         self.wal_sink.read().clone()
     }
 
-    /// Forward a table's queued records to the sink. Called with the
-    /// table-map write lock still held, so the log sees mutations in the
-    /// exact order they were applied.
+    /// Resolve a name to its table handle. Holds the catalog read lock
+    /// only for the lookup; the caller locks the table itself.
+    fn handle(&self, name: &str) -> DbResult<Arc<RwLock<Table>>> {
+        self.tables
+            .read()
+            .get(&Self::key(name))
+            .map(|e| Arc::clone(&e.table))
+            .ok_or_else(|| DbError::TableNotFound(name.to_string()))
+    }
+
+    /// Forward a table's queued records to the sink. Called with that
+    /// table's write lock still held, so the log sees the table's
+    /// mutations in the exact order they were applied. Records of
+    /// different tables may interleave in the log, but they commute on
+    /// replay — per-table order is the only order recovery depends on.
     fn flush_pending(&self, t: &mut Table) -> DbResult<()> {
         if !t.journal_armed() {
             return Ok(());
@@ -100,7 +147,13 @@ impl Database {
         if sink.is_some() {
             table.arm_journal();
         }
-        tables.insert(key, table);
+        tables.insert(
+            key,
+            CatalogEntry {
+                name: name.to_string(),
+                table: Arc::new(RwLock::new(table)),
+            },
+        );
         if let Some(sink) = sink {
             sink.append(&WalRecord::CreateTable {
                 name: name.to_string(),
@@ -118,23 +171,48 @@ impl Database {
         if tables.contains_key(&key) {
             return Err(DbError::TableExists(table.name.clone()));
         }
-        tables.insert(key, table);
+        let name = table.name.clone();
+        tables.insert(
+            key,
+            CatalogEntry {
+                name,
+                table: Arc::new(RwLock::new(table)),
+            },
+        );
         Ok(())
     }
 
-    /// Run `f` with shared access to the whole table map (checkpointing:
-    /// excludes writers, so the snapshot is one consistent cut).
-    pub(crate) fn with_tables_read<R>(&self, f: impl FnOnce(&HashMap<String, Table>) -> R) -> R {
-        f(&self.tables.read())
+    /// Run `f` with shared access to every table at once — one consistent
+    /// cut across the whole database, for checkpointing.
+    ///
+    /// Holds the catalog read lock (excludes DDL) and acquires every
+    /// table's read lock in canonical order (excludes writers table by
+    /// table). Because WAL appends happen under a table's write lock, no
+    /// append can be in flight once all read locks are held: every LSN the
+    /// WAL has assigned corresponds to a mutation visible in this cut.
+    pub(crate) fn with_tables_read<R>(&self, f: impl FnOnce(&[&Table]) -> R) -> R {
+        let catalog = self.tables.read();
+        let mut entries: Vec<&CatalogEntry> = catalog.values().collect();
+        entries.sort_by(|a, b| Self::key(&a.name).cmp(&Self::key(&b.name)));
+        let guards: Vec<parking_lot::RwLockReadGuard<'_, Table>> =
+            entries.iter().map(|e| e.table.read()).collect();
+        let refs: Vec<&Table> = guards.iter().map(|g| &**g).collect();
+        f(&refs)
     }
 
     /// Drop a table.
     pub fn drop_table(&self, name: &str) -> DbResult<()> {
         let mut tables = self.tables.write();
-        tables
+        let entry = tables
             .remove(&Self::key(name))
-            .map(drop)
             .ok_or_else(|| DbError::TableNotFound(name.to_string()))?;
+        // Take the table's write lock before journaling the drop: any
+        // in-flight statement finishes (and flushes its records) first, so
+        // the DropTable record lands after every record of the table it
+        // drops. The tombstone then stops statements holding a stale
+        // handle from mutating — or journaling — past the drop.
+        let mut t = entry.table.write();
+        t.mark_dropped();
         if let Some(sink) = self.sink() {
             sink.append(&WalRecord::DropTable {
                 name: name.to_string(),
@@ -148,36 +226,75 @@ impl Database {
         self.tables.read().contains_key(&Self::key(name))
     }
 
-    /// Names of all tables, sorted.
+    /// Names of all tables, sorted. Reads only the catalog — never blocks
+    /// behind a table writer.
     pub fn table_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self
             .tables
             .read()
             .values()
-            .map(|t| t.name.clone())
+            .map(|e| e.name.clone())
             .collect();
         names.sort();
         names
     }
 
-    /// Run `f` with shared access to a table.
+    /// Run `f` with shared access to a table. Only this table's lock is
+    /// taken — writers on *other* tables proceed concurrently.
     pub fn read_table<R>(&self, name: &str, f: impl FnOnce(&Table) -> R) -> DbResult<R> {
-        let tables = self.tables.read();
-        let t = tables
-            .get(&Self::key(name))
-            .ok_or_else(|| DbError::TableNotFound(name.to_string()))?;
-        Ok(f(t))
+        let handle = self.handle(name)?;
+        let t = handle.read();
+        if t.is_dropped() {
+            return Err(DbError::TableNotFound(name.to_string()));
+        }
+        Ok(f(&t))
+    }
+
+    /// Run `f` with shared access to several tables at once — one
+    /// consistent multi-table cut. Locks are acquired in canonical order
+    /// (sorted lowercased name), regardless of the order in `names`, so
+    /// concurrent multi-table readers and the checkpointer cannot
+    /// deadlock; the slice passed to `f` follows the order of `names`.
+    pub fn read_tables<R>(&self, names: &[&str], f: impl FnOnce(&[&Table]) -> R) -> DbResult<R> {
+        // canonical acquisition order: sorted, deduplicated lowercase names
+        let mut uniq: Vec<String> = names.iter().map(|n| Self::key(n)).collect();
+        uniq.sort();
+        uniq.dedup();
+        let handles: Vec<Arc<RwLock<Table>>> = uniq
+            .iter()
+            .map(|k| self.handle(k))
+            .collect::<DbResult<_>>()?;
+        let guards: Vec<parking_lot::RwLockReadGuard<'_, Table>> =
+            handles.iter().map(|h| h.read()).collect();
+        for (k, g) in uniq.iter().zip(&guards) {
+            if g.is_dropped() {
+                return Err(DbError::TableNotFound(k.clone()));
+            }
+        }
+        // hand the tables back in the caller's order (duplicates share a guard)
+        let refs: Vec<&Table> = names
+            .iter()
+            .map(|n| {
+                let k = Self::key(n);
+                let j = uniq.iter().position(|u| *u == k).expect("name acquired");
+                &*guards[j]
+            })
+            .collect();
+        Ok(f(&refs))
     }
 
     /// Run `f` with exclusive access to a table. Any mutations `f` makes
-    /// are journaled to the attached WAL sink (if any) before this returns.
+    /// are journaled to the attached WAL sink (if any) before the table
+    /// lock is released, so the log sees this table's mutations in apply
+    /// order. Readers and writers of other tables are not blocked.
     pub fn write_table<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> R) -> DbResult<R> {
-        let mut tables = self.tables.write();
-        let t = tables
-            .get_mut(&Self::key(name))
-            .ok_or_else(|| DbError::TableNotFound(name.to_string()))?;
-        let r = f(t);
-        self.flush_pending(t)?;
+        let handle = self.handle(name)?;
+        let mut t = handle.write();
+        if t.is_dropped() {
+            return Err(DbError::TableNotFound(name.to_string()));
+        }
+        let r = f(&mut t);
+        self.flush_pending(&mut t)?;
         Ok(r)
     }
 

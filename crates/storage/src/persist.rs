@@ -8,7 +8,6 @@
 //! through the explicit [`crate::jsoncodec`] tree builders, so the on-disk
 //! format is pinned by the codec rather than by struct layout.
 
-use std::collections::HashMap;
 use std::fs;
 use std::path::Path;
 
@@ -27,15 +26,11 @@ pub fn save_snapshot(db: &Database, path: impl AsRef<Path>) -> DbResult<()> {
     db.with_tables_read(|tables| write_tables(tables, path.as_ref(), 0))
 }
 
-/// Serialize a table map (already under the database's read lock — one
+/// Serialize a set of tables (already read-locked by the caller — one
 /// consistent cut) to `path`, stamped with `last_lsn`: the highest WAL LSN
 /// folded into the snapshot, so replay can skip records at or below it.
-pub(crate) fn write_tables(
-    tables: &HashMap<String, Table>,
-    path: &Path,
-    last_lsn: u64,
-) -> DbResult<()> {
-    let mut sorted: Vec<&Table> = tables.values().collect();
+pub(crate) fn write_tables(tables: &[&Table], path: &Path, last_lsn: u64) -> DbResult<()> {
+    let mut sorted: Vec<&Table> = tables.to_vec();
     sorted.sort_by(|a, b| a.name.cmp(&b.name));
     let mut snap = Map::new();
     snap.insert(

@@ -141,6 +141,13 @@ pub struct Table {
     journal: bool,
     #[serde(skip)]
     pending_wal: Vec<WalRecord>,
+    // Set under the table's write lock when the catalog drops the table.
+    // A statement that resolved its `Arc<RwLock<Table>>` handle before the
+    // drop, but acquired the lock after, must observe this and fail with
+    // `TableNotFound` instead of mutating (and journaling into) a corpse
+    // that the WAL has already recorded as dropped.
+    #[serde(skip)]
+    dropped: bool,
 }
 
 impl Table {
@@ -157,6 +164,7 @@ impl Table {
             batch_cache: std::sync::OnceLock::new(),
             journal: false,
             pending_wal: Vec::new(),
+            dropped: false,
         };
         if !t.schema.primary_key().is_empty() {
             let cols = t.schema.primary_key().to_vec();
@@ -199,6 +207,7 @@ impl Table {
             batch_cache: std::sync::OnceLock::new(),
             journal: false,
             pending_wal: Vec::new(),
+            dropped: false,
         };
         t.rebuild_indexes()?;
         Ok(t)
@@ -217,6 +226,17 @@ impl Table {
     /// Drain the queued WAL records (empty unless armed).
     pub(crate) fn take_pending(&mut self) -> Vec<WalRecord> {
         std::mem::take(&mut self.pending_wal)
+    }
+
+    /// Tombstone the table on catalog removal (under its write lock).
+    pub(crate) fn mark_dropped(&mut self) {
+        self.dropped = true;
+    }
+
+    /// Whether the catalog has dropped this table since the caller resolved
+    /// its handle.
+    pub(crate) fn is_dropped(&self) -> bool {
+        self.dropped
     }
 
     fn journal_push(&mut self, record: impl FnOnce(&Table) -> WalRecord) {

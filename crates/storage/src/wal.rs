@@ -25,12 +25,15 @@
 //! ## Checkpoint protocol
 //!
 //! [`DurableStore::checkpoint`] folds the log into the JSON snapshot:
-//! under the database's table-map read lock (which excludes appenders, who
-//! hold the write lock) it writes a snapshot stamped with the last
-//! assigned LSN, then truncates the log. If the process dies *between*
-//! those two steps, recovery still converges: replay skips every record
-//! whose LSN is `<=` the snapshot's `last_lsn`, so pre-checkpoint frames
-//! left in the log are no-ops.
+//! holding the catalog read lock (excludes DDL) plus *every* table's read
+//! lock in canonical order (excludes appenders, who journal under their
+//! table's write lock), it writes a snapshot stamped with the last
+//! assigned LSN, then truncates the log. The LSN stamp is read only after
+//! all table read locks are held, so every assigned LSN corresponds to an
+//! applied mutation visible in the snapshot cut. If the process dies
+//! *between* snapshot and truncation, recovery still converges: replay
+//! skips every record whose LSN is `<=` the snapshot's `last_lsn`, so
+//! pre-checkpoint frames left in the log are no-ops.
 //!
 //! ## Recovery invariants
 //!
@@ -600,12 +603,14 @@ impl DurableStore {
 
     /// Fold the log into the snapshot and truncate it.
     ///
-    /// Runs under the database's table-map read lock: appends happen under
-    /// the write lock, so the snapshot and the truncation see one
-    /// consistent cut of the history. Crash-safe at every step — the
-    /// snapshot is written via write-then-rename, and a crash before the
-    /// truncation just leaves already-folded frames that replay as no-ops
-    /// (their LSNs are `<=` the snapshot's `last_lsn`).
+    /// Runs with the catalog read lock plus every table's read lock held
+    /// (canonical acquisition order): appends happen under a table's write
+    /// lock, so once the read locks are held no append is in flight and
+    /// the snapshot, the LSN stamp, and the truncation see one consistent
+    /// cut of the history. Crash-safe at every step — the snapshot is
+    /// written via write-then-rename, and a crash before the truncation
+    /// just leaves already-folded frames that replay as no-ops (their
+    /// LSNs are `<=` the snapshot's `last_lsn`).
     pub fn checkpoint(&self, db: &Database) -> DbResult<CheckpointReport> {
         odbis_chaos::check("checkpoint.begin").map_err(chaos_err)?;
         let start = Instant::now();

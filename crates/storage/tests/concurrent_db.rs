@@ -1,0 +1,416 @@
+//! Seeded concurrent stress: readers, writers, DDL, and a checkpoint all
+//! running against one database under per-table locking.
+//!
+//! The invariants checked here are the ones the single-lock design gave us
+//! for free and the per-table design must preserve:
+//!
+//! - **no lost updates** — every committed insert is visible at the end and
+//!   after recovery;
+//! - **no torn reads** — a reader never sees a half-written row (rows are
+//!   self-consistent: `v = 2 * k`), and per-table row counts only grow;
+//! - **DDL safety** — tables created and dropped mid-flight never corrupt
+//!   the log or strand a stale handle that journals past its `DropTable`;
+//! - **checkpoint consistency** — a checkpoint taken mid-flight plus the
+//!   WAL tail recovers to exactly the committed state.
+//!
+//! Everything is seeded (xorshift64*), so a failure replays exactly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use odbis_storage::wal::{DurableStore, FsyncPolicy, WalSink};
+use odbis_storage::{Column, DataType, Database, DbError, Schema, Value};
+
+const SEED: u64 = 0x0DB1_5C0C_0FFE_E000;
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(stream: u64) -> Rng {
+        Rng(SEED ^ (stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn fact_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("k", DataType::Int),
+        Column::new("v", DataType::Int),
+        Column::new("tag", DataType::Text),
+    ])
+    .unwrap()
+    .with_primary_key(&["k"])
+    .unwrap()
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("odbis-concurrent-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// The heart of the PR: while a writer holds one table's write lock, a
+/// reader of a *different* table must complete. Proven without timing
+/// assertions — the writer's closure blocks until the reader reports in,
+/// so under writer-blocks-all-readers semantics this deadlocks (and the
+/// recv timeout fails the test) instead of passing slowly.
+#[test]
+fn reader_proceeds_while_writer_holds_another_table() {
+    let db = Arc::new(Database::new());
+    db.create_table("held", fact_schema()).unwrap();
+    db.create_table("scanned", fact_schema()).unwrap();
+    db.insert("scanned", vec![1.into(), 2.into(), "r".into()])
+        .unwrap();
+
+    let (reader_done_tx, reader_done_rx) = mpsc::channel::<usize>();
+    let writer_holds = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let db = Arc::clone(&db);
+        let writer_holds = Arc::clone(&writer_holds);
+        std::thread::spawn(move || {
+            while !writer_holds.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            let n = db.scan("scanned").unwrap().len();
+            reader_done_tx.send(n).unwrap();
+        })
+    };
+
+    let writer = {
+        let db = Arc::clone(&db);
+        std::thread::spawn(move || {
+            db.write_table("held", move |t| {
+                writer_holds.store(true, Ordering::Release);
+                // the reader must finish while we sit on this write lock
+                let n = reader_done_rx
+                    .recv_timeout(Duration::from_secs(30))
+                    .expect("reader blocked behind a writer of an unrelated table");
+                assert_eq!(n, 1);
+                t.insert(vec![10.into(), 20.into(), "w".into()]).unwrap();
+            })
+            .unwrap();
+        })
+    };
+
+    reader.join().unwrap();
+    writer.join().unwrap();
+    assert_eq!(db.row_count("held").unwrap(), 1);
+}
+
+/// A statement that resolved its handle before a concurrent `DROP TABLE`
+/// must fail cleanly — never mutate (or journal into) the dropped table.
+#[test]
+fn late_statements_on_a_dropped_table_fail_cleanly() {
+    #[derive(Default)]
+    struct CaptureSink(parking_lot::Mutex<Vec<String>>);
+    impl WalSink for CaptureSink {
+        fn append(&self, record: &odbis_storage::wal::WalRecord) -> Result<(), DbError> {
+            use odbis_storage::wal::WalRecord as R;
+            let line = match record {
+                R::DropTable { name } => format!("drop:{name}"),
+                R::Insert { table, .. } | R::InsertMany { table, .. } => format!("ins:{table}"),
+                other => format!("other:{other:?}"),
+            };
+            self.0.lock().push(line);
+            Ok(())
+        }
+    }
+
+    let sink = Arc::new(CaptureSink::default());
+    let db = Arc::new(Database::new());
+    db.set_wal_sink(Arc::clone(&sink) as Arc<dyn WalSink>);
+    db.create_table("victim", fact_schema()).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut k = 0i64;
+            loop {
+                match db.insert("victim", vec![k.into(), (2 * k).into(), "w".into()]) {
+                    Ok(_) => k += 1,
+                    Err(DbError::TableNotFound(_)) => return k,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+                if stop.load(Ordering::Relaxed) && k > 10_000 {
+                    return k; // drop never happened; fail below
+                }
+            }
+        })
+    };
+
+    while db.row_count("victim").unwrap_or(0) < 8 {
+        std::thread::yield_now();
+    }
+    db.drop_table("victim").unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let committed = writer.join().unwrap();
+    assert!(committed >= 8, "writer should have committed a few rows");
+
+    // the log must contain no victim insert after the DropTable record
+    let log = sink.0.lock();
+    let drop_at = log
+        .iter()
+        .position(|l| l == "drop:victim")
+        .expect("DropTable journaled");
+    assert!(
+        log[drop_at..].iter().all(|l| l != "ins:victim"),
+        "insert journaled after DropTable: {log:?}"
+    );
+    // and every committed insert made it into the log before the drop
+    assert_eq!(
+        log[..drop_at].iter().filter(|l| *l == "ins:victim").count() as i64,
+        committed
+    );
+}
+
+/// Readers + writers + DDL churn + a checkpoint mid-flight, all seeded.
+/// Afterwards the database (and a recovery from disk) must hold exactly
+/// the committed writes.
+#[test]
+fn seeded_stress_readers_writers_ddl_checkpoint() {
+    const WRITERS: usize = 2;
+    const READERS: usize = 2;
+    const INSERTS_PER_WRITER: i64 = 400;
+
+    let dir = tmp_dir("stress");
+    let (db, store) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+    let db = Arc::new(db);
+    let store = Arc::new(store);
+    db.set_wal_sink(Arc::clone(store.wal()) as Arc<dyn WalSink>);
+
+    db.create_table("fact_0", fact_schema()).unwrap();
+    db.create_table("fact_1", fact_schema()).unwrap();
+
+    // Writers run a fixed amount of work; the auxiliary loops (readers,
+    // DDL, checkpointer) run until `stop`, which the main thread sets only
+    // once every loop has proven at least one full round *while writers
+    // were still live* — on a single core the writers can otherwise finish
+    // before anyone else is scheduled.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scans_done = Arc::new(AtomicU64::new(0));
+    let rounds_done = Arc::new(AtomicU64::new(0));
+    let checkpoints_done = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+
+    // Writers: tracked inserts with self-consistent rows (v = 2k), plus a
+    // few deletes of rows they own; each returns its committed ledger.
+    for w in 0..WRITERS {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Rng::new(w as u64 + 1);
+            let table = format!("fact_{w}");
+            let mut committed: Vec<i64> = Vec::new();
+            for i in 0..INSERTS_PER_WRITER {
+                let k = (w as i64) * 1_000_000 + i;
+                db.insert(
+                    &table,
+                    vec![k.into(), (2 * k).into(), format!("w{w}").into()],
+                )
+                .unwrap();
+                committed.push(k);
+                // occasionally delete an earlier row we inserted
+                if rng.below(10) == 0 && committed.len() > 4 {
+                    let victim = committed.remove(rng.below(committed.len() as u64) as usize);
+                    let id = db
+                        .read_table(&table, |t| {
+                            t.index(&format!("pk_{table}"))
+                                .unwrap()
+                                .lookup(&[Value::Int(victim)])[0]
+                        })
+                        .unwrap();
+                    db.write_table(&table, |t| t.delete(id)).unwrap().unwrap();
+                }
+            }
+            (table, committed)
+        }));
+    }
+
+    // Readers: every observed row must be self-consistent, and a table's
+    // count may move (inserts race deletes) but a scan must never tear.
+    let mut reader_handles = Vec::new();
+    for r in 0..READERS {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        let scans_done = Arc::clone(&scans_done);
+        reader_handles.push(std::thread::spawn(move || {
+            let mut rng = Rng::new(100 + r as u64);
+            while !stop.load(Ordering::Acquire) {
+                let table = format!("fact_{}", rng.below(WRITERS as u64));
+                for row in db.scan(&table).unwrap() {
+                    let (Value::Int(k), Value::Int(v)) = (&row[0], &row[1]) else {
+                        panic!("torn read: non-int key in {row:?}");
+                    };
+                    assert_eq!(*v, 2 * *k, "torn read in {table}: {row:?}");
+                }
+                scans_done.fetch_add(1, Ordering::Release);
+            }
+        }));
+    }
+
+    // DDL churn: create a scratch table, use it, drop it — repeatedly.
+    let ddl = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        let rounds_done = Arc::clone(&rounds_done);
+        std::thread::spawn(move || {
+            let mut round = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let name = format!("scratch_{}", round % 3);
+                db.create_table(&name, fact_schema()).unwrap();
+                db.insert(&name, vec![1.into(), 2.into(), "s".into()])
+                    .unwrap();
+                assert_eq!(db.row_count(&name).unwrap(), 1);
+                db.drop_table(&name).unwrap();
+                round += 1;
+                rounds_done.fetch_add(1, Ordering::Release);
+            }
+        })
+    };
+
+    // Checkpoints mid-flight: each folds the log under every table's read
+    // lock, so the cut is consistent even with writers mid-burst.
+    let checkpointer = {
+        let db = Arc::clone(&db);
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let checkpoints_done = Arc::clone(&checkpoints_done);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                store.checkpoint(&db).unwrap();
+                checkpoints_done.fetch_add(1, Ordering::Release);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    let mut ledgers: Vec<(String, Vec<i64>)> = Vec::new();
+    for h in handles {
+        ledgers.push(h.join().unwrap());
+    }
+    // every auxiliary loop must prove one more full round before we stop,
+    // so scans/DDL/checkpoints demonstrably overlapped the whole run
+    let floor_scans = scans_done.load(Ordering::Acquire) + 1;
+    let floor_rounds = rounds_done.load(Ordering::Acquire) + 1;
+    let floor_ckpts = checkpoints_done.load(Ordering::Acquire) + 1;
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while scans_done.load(Ordering::Acquire) < floor_scans
+        || rounds_done.load(Ordering::Acquire) < floor_rounds
+        || checkpoints_done.load(Ordering::Acquire) < floor_ckpts
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "auxiliary loops starved: scans={} ddl={} checkpoints={}",
+            scans_done.load(Ordering::Acquire),
+            rounds_done.load(Ordering::Acquire),
+            checkpoints_done.load(Ordering::Acquire),
+        );
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Release);
+    for r in reader_handles {
+        r.join().unwrap();
+    }
+    ddl.join().unwrap();
+    checkpointer.join().unwrap();
+
+    // In-memory state holds exactly the committed ledger.
+    let verify = |db: &Database| {
+        for (table, committed) in &ledgers {
+            let mut got: Vec<i64> = db
+                .scan(table)
+                .unwrap()
+                .into_iter()
+                .map(|row| match (&row[0], &row[1]) {
+                    (Value::Int(k), Value::Int(v)) => {
+                        assert_eq!(*v, 2 * *k);
+                        *k
+                    }
+                    other => panic!("malformed row {other:?}"),
+                })
+                .collect();
+            got.sort_unstable();
+            let mut want = committed.clone();
+            want.sort_unstable();
+            assert_eq!(got, want, "lost or phantom updates in {table}");
+        }
+        // every scratch table was dropped before its round ended
+        for name in db.table_names() {
+            assert!(!name.starts_with("scratch_"), "leaked DDL table {name}");
+        }
+    };
+    verify(&db);
+
+    // Crash (no final checkpoint): snapshot + WAL tail must recover the
+    // exact same committed state.
+    drop(db);
+    drop(store);
+    let (recovered, _) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+    verify(&recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `read_tables` hands back one consistent multi-table cut, acquired in
+/// canonical order no matter how the caller orders the names.
+#[test]
+fn multi_table_read_is_one_consistent_cut() {
+    let db = Arc::new(Database::new());
+    db.create_table("b_side", fact_schema()).unwrap();
+    db.create_table("a_side", fact_schema()).unwrap();
+
+    // move rows from a_side to b_side in lockstep; the pair-sum is invariant
+    for k in 0..8i64 {
+        db.insert("a_side", vec![k.into(), (2 * k).into(), "a".into()])
+            .unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mover = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut k = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                let id = db
+                    .read_table("a_side", |t| {
+                        t.index("pk_a_side").unwrap().lookup(&[Value::Int(k)])
+                    })
+                    .unwrap();
+                if let Some(&id) = id.first() {
+                    db.write_table("a_side", |t| t.delete(id)).unwrap().unwrap();
+                    let _ = db.insert("b_side", vec![k.into(), (2 * k).into(), "b".into()]);
+                    k = (k + 1) % 8;
+                    // replace the moved row so the supply never runs dry
+                    let _ = db.insert("a_side", vec![k.into(), (2 * k).into(), "a".into()]);
+                }
+            }
+        })
+    };
+
+    for _ in 0..200 {
+        // names deliberately out of canonical order
+        db.read_tables(&["b_side", "a_side"], |tables| {
+            // under the pair of read locks nothing moves: counts are frozen
+            let (b1, a1) = (tables[0].row_count(), tables[1].row_count());
+            let (b2, a2) = (tables[0].row_count(), tables[1].row_count());
+            assert_eq!((b1, a1), (b2, a2));
+        })
+        .unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    mover.join().unwrap();
+}

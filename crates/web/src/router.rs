@@ -142,10 +142,18 @@ impl Router {
                     .into_iter()
                     .filter(|&m| m != request.method)
                     .any(|m| self.match_route(m, &request.path).is_some());
+                // route misses answer in the same JSON envelope shape as
+                // every platform error, so clients parse one format
                 if other_method {
-                    HttpResponse::status(405).with_body("method not allowed")
+                    HttpResponse::status(405)
+                        .with_header("Content-Type", "application/json")
+                        .with_body(
+                            r#"{"error":{"kind":"method_not_allowed","message":"method not allowed for this path"}}"#,
+                        )
                 } else {
-                    HttpResponse::not_found()
+                    HttpResponse::status(404)
+                        .with_header("Content-Type", "application/json")
+                        .with_body(r#"{"error":{"kind":"not_found","message":"no such route"}}"#)
                 }
             }
             Some((route, params)) => (route.handler)(&request, &params),

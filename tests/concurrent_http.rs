@@ -12,6 +12,153 @@ use odbis_web::{http_get, http_request, HttpServer};
 const CLIENTS: usize = 8;
 const REQUESTS_PER_CLIENT: usize = 25;
 
+/// Multi-tenant reader/writer stress over HTTP: per tenant, one writer
+/// bulk-inserts into `events` while one reader repeatedly aggregates the
+/// untouched `ref_data` table. With per-table locking the reader's answer
+/// must be the same every time (one consistent cut, never a torn or
+/// blocked read), every response must stay under 500, and the usage meter
+/// must tick monotonically while traffic flows.
+#[test]
+fn tenants_read_consistently_while_bulk_inserts_run() {
+    const TENANTS: [&str; 2] = ["acme", "beta"];
+    const REF_ROWS: i64 = 100;
+    const ROUNDS: usize = 30;
+
+    let platform = Arc::new(OdbisPlatform::new());
+    let mut tokens = Vec::new();
+    for t in TENANTS {
+        platform
+            .provision_tenant(t, t, SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+        let token = platform.login(t, "root", "pw").unwrap();
+        platform
+            .sql(t, &token, "CREATE TABLE ref_data (id INT, v INT)")
+            .unwrap();
+        let rows: Vec<String> = (0..REF_ROWS).map(|i| format!("({i}, {})", i * 3)).collect();
+        platform
+            .sql(
+                t,
+                &token,
+                &format!("INSERT INTO ref_data VALUES {}", rows.join(", ")),
+            )
+            .unwrap();
+        platform
+            .sql(t, &token, "CREATE TABLE events (id INT, payload TEXT)")
+            .unwrap();
+        tokens.push(token);
+    }
+    let expected_sum: i64 = (0..REF_ROWS).map(|i| i * 3).sum();
+
+    let server = HttpServer::start(build_router(Arc::clone(&platform)), 4).unwrap();
+    let addr = server.addr().to_string();
+
+    let mut handles = Vec::new();
+    for (ti, tenant) in TENANTS.iter().enumerate() {
+        // writer: bulk inserts, 20 rows per statement
+        {
+            let addr = addr.clone();
+            let bearer = format!("Bearer {}", tokens[ti]);
+            let tenant = tenant.to_string();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    let base = (round * 20) as i64;
+                    let rows: Vec<String> = (0..20)
+                        .map(|j| format!("({}, 'p{round}')", base + j))
+                        .collect();
+                    let sql = format!("INSERT INTO events VALUES {}", rows.join(", "));
+                    let (status, _, body) = http_request(
+                        &addr,
+                        "POST",
+                        "/api/v1/sql",
+                        &[
+                            ("x-tenant", tenant.as_str()),
+                            ("Authorization", bearer.as_str()),
+                        ],
+                        sql.as_bytes(),
+                    )
+                    .expect("writer reset");
+                    assert!(
+                        status < 500,
+                        "{tenant} writer round {round}: {status}: {body}"
+                    );
+                }
+            }));
+        }
+        // reader: the aggregate over ref_data must never waver
+        {
+            let addr = addr.clone();
+            let bearer = format!("Bearer {}", tokens[ti]);
+            let tenant = tenant.to_string();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    let (status, _, body) = http_request(
+                        &addr,
+                        "POST",
+                        "/api/v1/sql",
+                        &[
+                            ("x-tenant", tenant.as_str()),
+                            ("Authorization", bearer.as_str()),
+                        ],
+                        b"SELECT COUNT(id), SUM(v) FROM ref_data",
+                    )
+                    .expect("reader reset");
+                    assert!(
+                        status < 500,
+                        "{tenant} reader round {round}: {status}: {body}"
+                    );
+                    assert_eq!(status, 200, "{tenant} reader round {round}: {body}");
+                    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+                    assert_eq!(
+                        v["rows"][0][0].as_str(),
+                        Some(REF_ROWS.to_string().as_str()),
+                        "{tenant} round {round}: torn count: {body}"
+                    );
+                    assert_eq!(
+                        v["rows"][0][1].as_str(),
+                        Some(expected_sum.to_string().as_str()),
+                        "{tenant} round {round}: torn sum: {body}"
+                    );
+                }
+            }));
+        }
+    }
+
+    // meter sampler: total usage units only ever grow while traffic flows
+    let sampler = {
+        let platform = Arc::clone(&platform);
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            for _ in 0..40 {
+                let total: u64 = platform.admin.usage_report().iter().map(|l| l.units).sum();
+                assert!(
+                    total >= last,
+                    "usage meter went backwards: {last} -> {total}"
+                );
+                last = total;
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        })
+    };
+
+    for h in handles {
+        h.join().expect("a stress thread panicked");
+    }
+    sampler.join().expect("sampler panicked");
+
+    // after the dust settles: every bulk insert landed, in both tenants
+    for (ti, tenant) in TENANTS.iter().enumerate() {
+        let rows = platform
+            .sql(tenant, &tokens[ti], "SELECT COUNT(id) FROM events")
+            .unwrap();
+        assert_eq!(
+            rows.rows[0][0],
+            odbis_storage::Value::Int((ROUNDS * 20) as i64),
+            "{tenant} lost inserts"
+        );
+    }
+    server.shutdown();
+}
+
 #[test]
 fn many_clients_no_resets_no_5xx_clean_shutdown() {
     let platform = Arc::new(OdbisPlatform::new());
