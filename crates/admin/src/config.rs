@@ -114,6 +114,9 @@ impl PlatformConfig {
             ("etl.reject_threshold", ConfigValue::Int(1_000)),
             ("olap.preaggregation", ConfigValue::Bool(true)),
             ("sql.vectorized", ConfigValue::Bool(vectorized_default())),
+            // 0 = auto: let the engine size its worker pool to the machine.
+            ("sql.parallelism", ConfigValue::Int(0)),
+            ("sql.optimizer_rules", ConfigValue::from("all")),
             ("durability.fsync", ConfigValue::Str(fsync_default())),
             ("telemetry.enabled", ConfigValue::Bool(true)),
             ("telemetry.slow_ms", ConfigValue::Int(250)),

@@ -470,20 +470,37 @@ impl OdbisPlatform {
     ///
     /// SELECTs run on the vectorized columnar path unless the tenant's
     /// `sql.vectorized` setting is explicitly `false` (ablation switch,
-    /// mirroring `olap.preaggregation`).
+    /// mirroring `olap.preaggregation`). Two further per-tenant knobs tune
+    /// the engine: `sql.parallelism` (worker count for morsel-parallel
+    /// execution, `0` = auto) and `sql.optimizer_rules` (rule-set spec such
+    /// as `"all"`, `"none"`, or `"-reorder,-prune"`).
     pub fn sql(&self, tenant: &str, token: &str, sql: &str) -> PlatformResult<QueryResult> {
         self.traced(tenant, ServiceKind::Metadata, "sql", |span| {
             span.set_detail(sql);
             self.authorize(tenant, token, "ETL_DESIGN")?;
             let ws = self.workspace(tenant)?;
-            let engine = if matches!(
+            let mut engine = if matches!(
                 self.admin.config.get(tenant, "sql.vectorized"),
                 Ok(odbis_admin::ConfigValue::Bool(false))
             ) {
-                &self.sql_rows
+                self.sql_rows.clone()
             } else {
-                &self.sql
+                self.sql.clone()
             };
+            if let Ok(odbis_admin::ConfigValue::Int(n)) =
+                self.admin.config.get(tenant, "sql.parallelism")
+            {
+                if n > 0 {
+                    engine = engine.with_parallelism(n as usize);
+                }
+            }
+            if let Ok(odbis_admin::ConfigValue::Str(spec)) =
+                self.admin.config.get(tenant, "sql.optimizer_rules")
+            {
+                if spec != "all" {
+                    engine = engine.with_optimizer_rules(&spec);
+                }
+            }
             let result = engine.execute(&ws.warehouse, sql)?;
             // DML/DDL (empty column list) may have changed fact tables:
             // drop materialized aggregates so MDX never reads stale cells.
@@ -971,6 +988,44 @@ mod tests {
         let row_based = p.sql("acme", &token, q).unwrap();
         assert_eq!(vectorized.columns, row_based.columns);
         assert_eq!(vectorized.rows, row_based.rows);
+    }
+
+    #[test]
+    fn sql_parallelism_and_rules_config_apply_per_tenant() {
+        let (p, token) = boot();
+        p.sql("acme", &token, "CREATE TABLE t (x INT, y TEXT)")
+            .unwrap();
+        p.sql(
+            "acme",
+            &token,
+            "INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'b'), (4, NULL)",
+        )
+        .unwrap();
+        let q = "SELECT y, COUNT(*) AS n FROM t WHERE x > 1 GROUP BY y";
+        let baseline = p.sql("acme", &token, q).unwrap();
+        p.admin
+            .config
+            .set_for_tenant("acme", "sql.parallelism", odbis_admin::ConfigValue::Int(2))
+            .unwrap();
+        p.admin
+            .config
+            .set_for_tenant("acme", "sql.optimizer_rules", "none".into())
+            .unwrap();
+        let tuned = p.sql("acme", &token, q).unwrap();
+        assert_eq!(baseline.columns, tuned.columns);
+        assert_eq!(baseline.rows, tuned.rows);
+        // Other tenants keep engine defaults: the override is scoped.
+        p.provision_tenant("beta", "Beta", SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+        let beta_token = p.login("beta", "root", "pw").unwrap();
+        p.sql("beta", &beta_token, "CREATE TABLE t (x INT, y TEXT)")
+            .unwrap();
+        p.sql("beta", &beta_token, "INSERT INTO t VALUES (9, 'z')")
+            .unwrap();
+        let beta = p
+            .sql("beta", &beta_token, "SELECT y FROM t WHERE x > 1")
+            .unwrap();
+        assert_eq!(beta.rows.len(), 1);
     }
 
     #[test]

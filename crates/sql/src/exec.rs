@@ -1,11 +1,18 @@
 //! Plan execution: materialized, operator-at-a-time.
 //!
-//! Two equivalent paths exist. [`run`] is the row-at-a-time executor over
-//! `Vec<Vec<Value>>`. [`run_batch`] is the vectorized executor over columnar
-//! [`Batch`]es: scans, filters, projections, and aggregations stay
+//! Three equivalent paths exist. [`run`] is the row-at-a-time executor over
+//! `Vec<Vec<Value>>`. [`run_batch`] is the serial vectorized executor over
+//! columnar [`Batch`]es: scans, filters, projections, and aggregations stay
 //! column-wise; joins, sorts, DISTINCT, and VALUES pivot to rows at their
 //! boundary and share the same row-level kernels as the row path, so both
-//! executors return identical results.
+//! executors return identical results. [`run_batch_with`] adds
+//! morsel-driven parallelism on top of the vectorized operators: table
+//! scans emit fixed-size morsels ([`MORSEL_ROWS`] rows) that flow through
+//! filters and projections on a scoped worker pool, equi-joins become
+//! partitioned hash joins, and aggregation runs two-phase (per-worker
+//! partial states merged in worker order). Every parallel operator is
+//! written to reproduce the serial output ordering exactly, so all three
+//! paths stay bit-for-bit interchangeable.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -20,8 +27,21 @@ use crate::plan::{AggExpr, Plan, PlanNode};
 /// Execute a read-only plan, producing materialized rows.
 pub fn run(db: &Database, plan: &Plan) -> SqlResult<Vec<Vec<Value>>> {
     match &plan.node {
-        PlanNode::TableScan { table, filter } => {
+        PlanNode::TableScan {
+            table,
+            filter,
+            projection,
+        } => {
             let rows = db.scan(table)?;
+            // Project before filtering: a pushed filter is bound over the
+            // pruned column space.
+            let rows: Vec<Vec<Value>> = match projection {
+                None => rows,
+                Some(cols) => rows
+                    .into_iter()
+                    .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
+                    .collect(),
+            };
             match filter {
                 None => Ok(rows),
                 Some(pred) => {
@@ -118,6 +138,20 @@ pub fn run(db: &Database, plan: &Plan) -> SqlResult<Vec<Vec<Value>>> {
             limit,
             offset,
         } => {
+            // Top-k fast path: LIMIT directly above Sort keeps a bounded
+            // heap instead of sorting the whole input.
+            if let (
+                PlanNode::Sort {
+                    input: sort_input,
+                    keys,
+                },
+                Some(l),
+            ) = (&input.node, limit)
+            {
+                let rows = run(db, sort_input)?;
+                let top = top_k(rows, keys, offset.saturating_add(*l));
+                return Ok(top.into_iter().skip(*offset).collect());
+            }
             let rows = run(db, input)?;
             let end = limit.map_or(rows.len(), |l| (offset + l).min(rows.len()));
             let start = (*offset).min(rows.len());
@@ -136,8 +170,15 @@ pub fn run(db: &Database, plan: &Plan) -> SqlResult<Vec<Vec<Value>>> {
 pub fn run_batch(db: &Database, plan: &Plan) -> SqlResult<Batch> {
     let arity = plan.schema.len();
     match &plan.node {
-        PlanNode::TableScan { table, filter } => {
-            let batch = db.scan_batch(table)?;
+        PlanNode::TableScan {
+            table,
+            filter,
+            projection,
+        } => {
+            let batch = match projection {
+                None => db.scan_batch(table)?,
+                Some(cols) => db.scan_batch_cols(table, cols)?,
+            };
             match filter {
                 None => Ok(batch),
                 Some(pred) => Ok(batch.filter(&keep_mask(pred, &batch)?)),
@@ -208,6 +249,19 @@ pub fn run_batch(db: &Database, plan: &Plan) -> SqlResult<Batch> {
             limit,
             offset,
         } => {
+            if let (
+                PlanNode::Sort {
+                    input: sort_input,
+                    keys,
+                },
+                Some(l),
+            ) = (&input.node, limit)
+            {
+                let rows = run_batch(db, sort_input)?.to_rows();
+                let top = top_k(rows, keys, offset.saturating_add(*l));
+                let out: Vec<Vec<Value>> = top.into_iter().skip(*offset).collect();
+                return Ok(Batch::from_rows(arity, out)?);
+            }
             let batch = run_batch(db, input)?;
             let n = batch.num_rows();
             let end = limit.map_or(n, |l| (offset + l).min(n));
@@ -218,17 +272,380 @@ pub fn run_batch(db: &Database, plan: &Plan) -> SqlResult<Batch> {
     }
 }
 
-fn sort_rows(rows: &mut [Vec<Value>], keys: &[(usize, bool)]) {
-    rows.sort_by(|a, b| {
-        for (k, desc) in keys {
-            let ord = a[*k].cmp_total(&b[*k]);
-            let ord = if *desc { ord.reverse() } else { ord };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
+/// Rows per morsel: the unit of work handed to parallel operators.
+pub const MORSEL_ROWS: usize = 4096;
+
+/// Execution tuning knobs threaded from the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Worker threads for morsel-parallel operators (`<= 1` = serial).
+    pub parallelism: usize,
+}
+
+/// Execute a read-only plan with the given options, producing a [`Batch`].
+///
+/// With `parallelism <= 1` this is exactly [`run_batch`]. Otherwise the
+/// plan runs morsel-parallel and the output morsels are concatenated; all
+/// parallel operators preserve the serial output ordering, so the result
+/// is identical to the serial executors'.
+pub fn run_batch_with(db: &Database, plan: &Plan, opts: ExecOptions) -> SqlResult<Batch> {
+    if opts.parallelism <= 1 {
+        return run_batch(db, plan);
+    }
+    let morsels = exec_morsels(db, plan, opts.parallelism)?;
+    Ok(Batch::concat(plan.schema.len(), &morsels)?)
+}
+
+/// Morsel-parallel execution: returns the plan's output as ordered
+/// morsels whose in-order concatenation equals the serial result.
+fn exec_morsels(db: &Database, plan: &Plan, threads: usize) -> SqlResult<Vec<Batch>> {
+    let arity = plan.schema.len();
+    match &plan.node {
+        PlanNode::TableScan {
+            table,
+            filter,
+            projection,
+        } => {
+            let morsels = db.scan_partitions(table, projection.as_deref(), MORSEL_ROWS)?;
+            match filter {
+                None => Ok(morsels),
+                Some(pred) => par_map(morsels, threads, |m| Ok(m.filter(&keep_mask(pred, &m)?))),
             }
         }
-        std::cmp::Ordering::Equal
+        PlanNode::Filter { input, predicate } => {
+            let morsels = exec_morsels(db, input, threads)?;
+            par_map(morsels, threads, |m| {
+                Ok(m.filter(&keep_mask(predicate, &m)?))
+            })
+        }
+        PlanNode::Project { input, exprs } => {
+            let morsels = exec_morsels(db, input, threads)?;
+            par_map(morsels, threads, |m| {
+                let cols: Vec<Arc<ColumnVec>> = exprs
+                    .iter()
+                    .map(|e| e.eval_batch(&m))
+                    .collect::<SqlResult<_>>()?;
+                Ok(Batch::new(cols, m.num_rows())?)
+            })
+        }
+        PlanNode::Join {
+            kind,
+            left,
+            right,
+            on,
+        } => parallel_join(db, *kind, left, right, on, threads),
+        PlanNode::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+        } => {
+            let morsels = exec_morsels(db, input, threads)?;
+            let state = parallel_aggregate(morsels, group_exprs, aggs, threads)?;
+            let rows = state.finish(group_exprs, aggs)?;
+            Ok(vec![Batch::from_rows(arity, rows)?])
+        }
+        PlanNode::Sort { input, keys } => {
+            let morsels = exec_morsels(db, input, threads)?;
+            let mut rows = Batch::concat(input.schema.len(), &morsels)?.to_rows();
+            sort_rows(&mut rows, keys);
+            Ok(vec![Batch::from_rows(arity, rows)?])
+        }
+        PlanNode::Distinct { input } => {
+            // Whole-row dedup keeps first occurrences: inherently ordered,
+            // so it runs serially over the concatenated input.
+            let morsels = exec_morsels(db, input, threads)?;
+            let rows = Batch::concat(input.schema.len(), &morsels)?.to_rows();
+            let mut seen = HashSet::new();
+            let mut out = Vec::new();
+            for row in rows {
+                if seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+            Ok(vec![Batch::from_rows(arity, out)?])
+        }
+        PlanNode::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            if let (
+                PlanNode::Sort {
+                    input: sort_input,
+                    keys,
+                },
+                Some(l),
+            ) = (&input.node, limit)
+            {
+                let morsels = exec_morsels(db, sort_input, threads)?;
+                let rows = Batch::concat(sort_input.schema.len(), &morsels)?.to_rows();
+                let top = top_k(rows, keys, offset.saturating_add(*l));
+                let out: Vec<Vec<Value>> = top.into_iter().skip(*offset).collect();
+                return Ok(vec![Batch::from_rows(arity, out)?]);
+            }
+            let morsels = exec_morsels(db, input, threads)?;
+            let batch = Batch::concat(input.schema.len(), &morsels)?;
+            let n = batch.num_rows();
+            let end = limit.map_or(n, |l| (offset + l).min(n));
+            let start = (*offset).min(n);
+            Ok(vec![batch.slice(start, end.max(start))])
+        }
+        // Index probes fetch scattered rows and VALUES is tiny: run serial.
+        PlanNode::IndexScan { .. } | PlanNode::Values { .. } => Ok(vec![run_batch(db, plan)?]),
+    }
+}
+
+/// Split `items` into at most `parts` contiguous chunks of near-equal size.
+fn split_chunks<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let chunk = n.div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Contiguous `[lo, hi)` index ranges of at most [`MORSEL_ROWS`] rows.
+fn morsel_ranges(n: usize) -> Vec<(usize, usize)> {
+    (0..n)
+        .step_by(MORSEL_ROWS)
+        .map(|lo| (lo, (lo + MORSEL_ROWS).min(n)))
+        .collect()
+}
+
+/// Map `f` over `items` on a scoped worker pool, preserving item order.
+/// Errors are reported deterministically: the first failing item (by input
+/// position) wins, regardless of which worker hit it first.
+fn par_map<T: Send, R: Send>(
+    items: Vec<T>,
+    threads: usize,
+    f: impl Fn(T) -> SqlResult<R> + Sync,
+) -> SqlResult<Vec<R>> {
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunks = split_chunks(items, threads);
+    let f = &f;
+    let per_chunk: Vec<Vec<SqlResult<R>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("morsel worker panicked"))
+            .collect()
     });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Partitioned hash join: both sides execute morsel-parallel, the smaller
+/// side becomes the build table, and probing fans out over morsels. Output
+/// order matches the serial kernel ([`join_rows`]) exactly: probing the
+/// left side preserves its natural order, and the build-left variant
+/// canonicalizes via a `(left, right)` pair sort.
+fn parallel_join(
+    db: &Database,
+    kind: JoinKind,
+    left: &Plan,
+    right: &Plan,
+    on: &BExpr,
+    threads: usize,
+) -> SqlResult<Vec<Batch>> {
+    let l_arity = left.schema.len();
+    let r_arity = right.schema.len();
+    let arity = l_arity + r_arity;
+    let lrows = Batch::concat(l_arity, &exec_morsels(db, left, threads)?)?.to_rows();
+    let rrows = Batch::concat(r_arity, &exec_morsels(db, right, threads)?)?.to_rows();
+    let eq_pairs = equi_pairs(on, l_arity);
+    if eq_pairs.is_empty() {
+        // No equi-keys: fall back to the serial nested-loop kernel.
+        let rows = join_rows(kind, &lrows, &rrows, l_arity, r_arity, on)?;
+        return Ok(vec![Batch::from_rows(arity, rows)?]);
+    }
+    if kind == JoinKind::Inner && lrows.len() < rrows.len() {
+        // Build on the (smaller) left side, probe right morsels, then
+        // canonicalize: the serial kernel emits matches ordered by
+        // (left row, right row), which is exactly the sorted pair order.
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (li, lrow) in lrows.iter().enumerate() {
+            let key: Vec<Value> = eq_pairs.iter().map(|&(i, _)| lrow[i].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            table.entry(key).or_default().push(li);
+        }
+        let pair_chunks = par_map(morsel_ranges(rrows.len()), threads, |(lo, hi)| {
+            let mut pairs = Vec::new();
+            for (ri, rrow) in lrows_window(&rrows, lo, hi) {
+                let key: Vec<Value> = eq_pairs.iter().map(|&(_, j)| rrow[j].clone()).collect();
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                if let Some(lis) = table.get(&key) {
+                    for &li in lis {
+                        let mut combined = lrows[li].clone();
+                        combined.extend(rrow.iter().cloned());
+                        if truth(&on.eval(&combined)?) == Some(true) {
+                            pairs.push((li, ri));
+                        }
+                    }
+                }
+            }
+            Ok(pairs)
+        })?;
+        let mut pairs: Vec<(usize, usize)> = pair_chunks.into_iter().flatten().collect();
+        pairs.sort_unstable();
+        return par_map(morsel_ranges(pairs.len()), threads, |(lo, hi)| {
+            let rows: Vec<Vec<Value>> = pairs[lo..hi]
+                .iter()
+                .map(|&(li, ri)| {
+                    let mut combined = lrows[li].clone();
+                    combined.extend(rrows[ri].iter().cloned());
+                    combined
+                })
+                .collect();
+            Ok(Batch::from_rows(arity, rows)?)
+        });
+    }
+    // Build on the right side, probe left morsels in natural order. LEFT
+    // joins always take this path: the per-probe-row matched flag (and its
+    // NULL extension) is chunk-local.
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (ri, rrow) in rrows.iter().enumerate() {
+        let key: Vec<Value> = eq_pairs.iter().map(|&(_, j)| rrow[j].clone()).collect();
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        table.entry(key).or_default().push(ri);
+    }
+    par_map(morsel_ranges(lrows.len()), threads, |(lo, hi)| {
+        let mut out = Vec::new();
+        for (_, lrow) in lrows_window(&lrows, lo, hi) {
+            let key: Vec<Value> = eq_pairs.iter().map(|&(i, _)| lrow[i].clone()).collect();
+            let mut matched = false;
+            if !key.iter().any(Value::is_null) {
+                if let Some(ris) = table.get(&key) {
+                    for &ri in ris {
+                        let mut combined = lrow.clone();
+                        combined.extend(rrows[ri].iter().cloned());
+                        if truth(&on.eval(&combined)?) == Some(true) {
+                            out.push(combined);
+                            matched = true;
+                        }
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut combined = lrow.clone();
+                combined.extend(std::iter::repeat_n(Value::Null, r_arity));
+                out.push(combined);
+            }
+        }
+        Ok(Batch::from_rows(arity, out)?)
+    })
+}
+
+/// Enumerated window `[lo, hi)` over a row slice.
+fn lrows_window(
+    rows: &[Vec<Value>],
+    lo: usize,
+    hi: usize,
+) -> impl Iterator<Item = (usize, &Vec<Value>)> {
+    rows[lo..hi]
+        .iter()
+        .enumerate()
+        .map(move |(k, r)| (lo + k, r))
+}
+
+/// Two-phase parallel aggregation: workers fold contiguous morsel chunks
+/// into private [`GroupState`]s, which merge in worker order — a group's
+/// first-seen position is decided by the earliest chunk containing it, so
+/// the merged order equals the serial scan's first-seen order.
+fn parallel_aggregate(
+    morsels: Vec<Batch>,
+    group_exprs: &[BExpr],
+    aggs: &[AggExpr],
+    threads: usize,
+) -> SqlResult<GroupState> {
+    let chunks = split_chunks(morsels, threads);
+    let states = par_map(chunks, threads, |chunk| {
+        let mut st = GroupState::new();
+        for m in &chunk {
+            accumulate_batch_into(&mut st, m, group_exprs, aggs)?;
+        }
+        Ok(st)
+    })?;
+    let mut global = GroupState::new();
+    for st in states {
+        global.merge(st, aggs)?;
+    }
+    Ok(global)
+}
+
+/// Compare two rows on the given `(column, descending)` sort keys.
+fn compare_rows(a: &[Value], b: &[Value], keys: &[(usize, bool)]) -> std::cmp::Ordering {
+    for (k, desc) in keys {
+        let ord = a[*k].cmp_total(&b[*k]);
+        let ord = if *desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+fn sort_rows(rows: &mut [Vec<Value>], keys: &[(usize, bool)]) {
+    rows.sort_by(|a, b| compare_rows(a, b, keys));
+}
+
+/// The first `k` rows of the stable sort by `keys`, computed with a
+/// bounded binary max-heap (O(n log k)) instead of a full sort. The input
+/// sequence number breaks ties, which reproduces the stable sort exactly.
+fn top_k(rows: Vec<Vec<Value>>, keys: &[(usize, bool)], k: usize) -> Vec<Vec<Value>> {
+    if k == 0 {
+        return Vec::new();
+    }
+    struct Entry<'a> {
+        row: Vec<Value>,
+        seq: usize,
+        keys: &'a [(usize, bool)],
+    }
+    impl Ord for Entry<'_> {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            compare_rows(&self.row, &other.row, self.keys).then(self.seq.cmp(&other.seq))
+        }
+    }
+    impl PartialOrd for Entry<'_> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl PartialEq for Entry<'_> {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == std::cmp::Ordering::Equal
+        }
+    }
+    impl Eq for Entry<'_> {}
+    let mut heap: std::collections::BinaryHeap<Entry> =
+        std::collections::BinaryHeap::with_capacity(k + 1);
+    for (seq, row) in rows.into_iter().enumerate() {
+        heap.push(Entry { row, seq, keys });
+        if heap.len() > k {
+            heap.pop(); // the max entry is the current worst candidate
+        }
+    }
+    heap.into_sorted_vec().into_iter().map(|e| e.row).collect()
 }
 
 fn join(
@@ -259,29 +676,7 @@ fn join_rows(
     r_arity: usize,
     on: &BExpr,
 ) -> SqlResult<Vec<Vec<Value>>> {
-    // try hash join on equi-conjuncts Col(i) = Col(j) with i < l_arity <= j
-    let mut cs = Vec::new();
-    collect_conjuncts(on, &mut cs);
-    let mut eq_pairs: Vec<(usize, usize)> = Vec::new();
-    for c in &cs {
-        if let BExpr::Binary {
-            op: BinOp::Eq,
-            left: a,
-            right: b,
-        } = c
-        {
-            match (&**a, &**b) {
-                (BExpr::Column(i), BExpr::Column(j)) if *i < l_arity && *j >= l_arity => {
-                    eq_pairs.push((*i, *j - l_arity));
-                }
-                (BExpr::Column(j), BExpr::Column(i)) if *i < l_arity && *j >= l_arity => {
-                    eq_pairs.push((*i, *j - l_arity));
-                }
-                _ => {}
-            }
-        }
-    }
-
+    let eq_pairs = equi_pairs(on, l_arity);
     let mut out = Vec::new();
     if !eq_pairs.is_empty() {
         // build on the right side
@@ -333,6 +728,34 @@ fn join_rows(
         }
     }
     Ok(out)
+}
+
+/// Hash-joinable equi-conjuncts of `on`: pairs `(i, j)` where the
+/// condition contains `Col(i) = Col(j')` with `i` on the left side and
+/// `j' = j + l_arity` on the right (either written orientation).
+fn equi_pairs(on: &BExpr, l_arity: usize) -> Vec<(usize, usize)> {
+    let mut cs = Vec::new();
+    collect_conjuncts(on, &mut cs);
+    let mut eq_pairs: Vec<(usize, usize)> = Vec::new();
+    for c in &cs {
+        if let BExpr::Binary {
+            op: BinOp::Eq,
+            left: a,
+            right: b,
+        } = c
+        {
+            match (&**a, &**b) {
+                (BExpr::Column(i), BExpr::Column(j)) if *i < l_arity && *j >= l_arity => {
+                    eq_pairs.push((*i, *j - l_arity));
+                }
+                (BExpr::Column(j), BExpr::Column(i)) if *i < l_arity && *j >= l_arity => {
+                    eq_pairs.push((*i, *j - l_arity));
+                }
+                _ => {}
+            }
+        }
+    }
+    eq_pairs
 }
 
 fn collect_conjuncts(e: &BExpr, out: &mut Vec<BExpr>) {
@@ -407,6 +830,40 @@ impl Acc {
         match &self.max {
             Some(m) if v <= m => {}
             _ => self.max = Some(v.clone()),
+        }
+        Ok(())
+    }
+
+    /// Fold another partial accumulator for the same (group, aggregate)
+    /// into this one (the merge phase of two-phase aggregation).
+    fn merge(&mut self, other: Acc) -> SqlResult<()> {
+        if let Some(set) = other.distinct {
+            // DISTINCT partials may overlap across workers: replay the
+            // other side's distinct values through `update`, which
+            // deduplicates against (and extends) our own set.
+            for v in set {
+                self.update(&v)?;
+            }
+            return Ok(());
+        }
+        self.count += other.count;
+        match self.sum_i.checked_add(other.sum_i) {
+            Some(s) => self.sum_i = s,
+            None => self.all_int = false,
+        }
+        self.sum_f += other.sum_f;
+        self.all_int &= other.all_int;
+        if let Some(m) = other.min {
+            match &self.min {
+                Some(cur) if *cur <= m => {}
+                _ => self.min = Some(m),
+            }
+        }
+        if let Some(m) = other.max {
+            match &self.max {
+                Some(cur) if *cur >= m => {}
+                _ => self.max = Some(m),
+            }
         }
         Ok(())
     }
@@ -489,6 +946,22 @@ impl GroupState {
                     entry.2[ai] = false;
                 }
                 entry.1[ai].update(&v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another partial state into this one. `other`'s groups are
+    /// visited in its first-seen order, so merging worker states in
+    /// worker (= scan) order preserves the global first-seen order.
+    fn merge(&mut self, other: GroupState, aggs: &[AggExpr]) -> SqlResult<()> {
+        let GroupState { mut groups, order } = other;
+        for key in order {
+            let (_, accs, numeric) = groups.remove(&key).expect("ordered key present");
+            let entry = self.entry(&key, aggs);
+            for (ai, acc) in accs.into_iter().enumerate() {
+                entry.1[ai].merge(acc)?;
+                entry.2[ai] &= numeric[ai];
             }
         }
         Ok(())
@@ -715,6 +1188,30 @@ fn aggregate_by_gid(
     aggs: &[AggExpr],
 ) -> SqlResult<Vec<Vec<Value>>> {
     let ngroups = keys.len();
+    let (accs, numeric) = fold_by_gid(gids, ngroups, arg_cols, aggs)?;
+    let mut out = Vec::with_capacity(ngroups);
+    for (g, key) in keys.into_iter().enumerate() {
+        let mut row = key;
+        for (ai, agg) in aggs.iter().enumerate() {
+            row.push(accs[g][ai].finish(agg.func, numeric[g][ai])?);
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Per-group accumulator state: one `Acc` per aggregate per group, plus
+/// the still-numeric flag each accumulator carries for AVG/SUM coercion.
+type GroupAccs = (Vec<Vec<Acc>>, Vec<Vec<bool>>);
+
+/// The accumulation loop of the dense-id path, shared by the serial
+/// finisher ([`aggregate_by_gid`]) and the parallel partial pass.
+fn fold_by_gid(
+    gids: &[u32],
+    ngroups: usize,
+    arg_cols: &[Option<Arc<ColumnVec>>],
+    aggs: &[AggExpr],
+) -> SqlResult<GroupAccs> {
     let mut accs: Vec<Vec<Acc>> = (0..ngroups)
         .map(|_| aggs.iter().map(|a| Acc::new(a.distinct)).collect())
         .collect();
@@ -732,15 +1229,50 @@ fn aggregate_by_gid(
             }
         }
     }
-    let mut out = Vec::with_capacity(ngroups);
-    for (g, key) in keys.into_iter().enumerate() {
-        let mut row = key;
-        for (ai, agg) in aggs.iter().enumerate() {
-            row.push(accs[g][ai].finish(agg.func, numeric[g][ai])?);
+    Ok((accs, numeric))
+}
+
+/// Fold one morsel into a running [`GroupState`] (the partial phase of
+/// two-phase parallel aggregation). Reuses the dense group-id fast path
+/// per morsel when the group columns allow it.
+fn accumulate_batch_into(
+    state: &mut GroupState,
+    input: &Batch,
+    group_exprs: &[BExpr],
+    aggs: &[AggExpr],
+) -> SqlResult<()> {
+    let n = input.num_rows();
+    let group_cols: Vec<Arc<ColumnVec>> = group_exprs
+        .iter()
+        .map(|g| g.eval_batch(input))
+        .collect::<SqlResult<_>>()?;
+    let arg_cols: Vec<Option<Arc<ColumnVec>>> = aggs
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| e.eval_batch(input)).transpose())
+        .collect::<SqlResult<_>>()?;
+    if !group_exprs.is_empty() && aggs.iter().all(|a| !a.distinct) {
+        if let Some((gids, keys)) = group_ids(&group_cols, n) {
+            let (accs, numeric) = fold_by_gid(&gids, keys.len(), &arg_cols, aggs)?;
+            for ((key, accs), numeric) in keys.into_iter().zip(accs).zip(numeric) {
+                let entry = state.entry(&key, aggs);
+                for (ai, acc) in accs.into_iter().enumerate() {
+                    entry.1[ai].merge(acc)?;
+                    entry.2[ai] &= numeric[ai];
+                }
+            }
+            return Ok(());
         }
-        out.push(row);
     }
-    Ok(out)
+    let mut key = Vec::with_capacity(group_cols.len());
+    for i in 0..n {
+        key.clear();
+        key.extend(group_cols.iter().map(|c| c.value(i)));
+        let entry = state.entry(&key, aggs);
+        for (ai, col) in arg_cols.iter().enumerate() {
+            GroupState::accumulate(entry, ai, col.as_ref().map(|c| c.value(i)))?;
+        }
+    }
+    Ok(())
 }
 
 fn accumulate_column(

@@ -403,28 +403,33 @@ impl BExpr {
     /// Shift every column ordinal by `delta` (used when splicing an
     /// expression bound to the right side of a join).
     pub fn shift_columns(&mut self, delta: usize) {
+        self.map_columns(&|i| i + delta);
+    }
+
+    /// Visit every column ordinal referenced by the expression.
+    pub fn for_each_column(&self, f: &mut impl FnMut(usize)) {
         match self {
             BExpr::Literal(_) => {}
-            BExpr::Column(i) => *i += delta,
+            BExpr::Column(i) => f(*i),
             BExpr::Binary { left, right, .. } => {
-                left.shift_columns(delta);
-                right.shift_columns(delta);
+                left.for_each_column(f);
+                right.for_each_column(f);
             }
-            BExpr::Unary { expr, .. } | BExpr::IsNull { expr, .. } => expr.shift_columns(delta),
+            BExpr::Unary { expr, .. } | BExpr::IsNull { expr, .. } => expr.for_each_column(f),
             BExpr::InList { expr, list, .. } => {
-                expr.shift_columns(delta);
+                expr.for_each_column(f);
                 for e in list {
-                    e.shift_columns(delta);
+                    e.for_each_column(f);
                 }
             }
             BExpr::Between { expr, lo, hi, .. } => {
-                expr.shift_columns(delta);
-                lo.shift_columns(delta);
-                hi.shift_columns(delta);
+                expr.for_each_column(f);
+                lo.for_each_column(f);
+                hi.for_each_column(f);
             }
             BExpr::Function { args, .. } => {
                 for a in args {
-                    a.shift_columns(delta);
+                    a.for_each_column(f);
                 }
             }
             BExpr::Case {
@@ -432,11 +437,53 @@ impl BExpr {
                 else_expr,
             } => {
                 for (c, r) in branches {
-                    c.shift_columns(delta);
-                    r.shift_columns(delta);
+                    c.for_each_column(f);
+                    r.for_each_column(f);
                 }
                 if let Some(e) = else_expr {
-                    e.shift_columns(delta);
+                    e.for_each_column(f);
+                }
+            }
+        }
+    }
+
+    /// Rewrite every column ordinal through `f` (the workhorse behind
+    /// ordinal shifts and the optimizer's schema remappings).
+    pub fn map_columns(&mut self, f: &impl Fn(usize) -> usize) {
+        match self {
+            BExpr::Literal(_) => {}
+            BExpr::Column(i) => *i = f(*i),
+            BExpr::Binary { left, right, .. } => {
+                left.map_columns(f);
+                right.map_columns(f);
+            }
+            BExpr::Unary { expr, .. } | BExpr::IsNull { expr, .. } => expr.map_columns(f),
+            BExpr::InList { expr, list, .. } => {
+                expr.map_columns(f);
+                for e in list {
+                    e.map_columns(f);
+                }
+            }
+            BExpr::Between { expr, lo, hi, .. } => {
+                expr.map_columns(f);
+                lo.map_columns(f);
+                hi.map_columns(f);
+            }
+            BExpr::Function { args, .. } => {
+                for a in args {
+                    a.map_columns(f);
+                }
+            }
+            BExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    c.map_columns(f);
+                    r.map_columns(f);
+                }
+                if let Some(e) = else_expr {
+                    e.map_columns(f);
                 }
             }
         }

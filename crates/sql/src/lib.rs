@@ -6,8 +6,10 @@
 //! by charts, data-tables and dashboards", ODBIS §3.3) execute through this
 //! engine, as do ad-hoc reports and ETL extracts.
 //!
-//! Pipeline: [`parse`] → bind/plan ([`planner`]) → optimize (constant
-//! folding, filter pushdown, index selection) → execute.
+//! Pipeline: [`parse`] → bind/plan ([`planner`]) → optimize (an ordered
+//! rule pipeline — constant folding, filter pushdown, join reordering,
+//! index selection, projection pruning; see [`optimizer`]) → execute
+//! (vectorized, optionally morsel-parallel).
 //!
 //! ```
 //! use odbis_sql::Engine;
@@ -29,6 +31,7 @@ mod exec;
 pub mod expr;
 mod functions;
 mod lexer;
+pub mod optimizer;
 mod parser;
 pub mod plan;
 pub mod planner;
@@ -130,6 +133,8 @@ impl QueryResult {
 pub struct Engine {
     use_indexes: bool,
     vectorized: bool,
+    parallelism: usize,
+    rules: optimizer::RuleSet,
 }
 
 impl Default for Engine {
@@ -138,13 +143,36 @@ impl Default for Engine {
     }
 }
 
+/// Default worker count for morsel-parallel execution: env
+/// `ODBIS_SQL_PARALLELISM` when set, otherwise the machine's available
+/// parallelism.
+fn parallelism_default() -> usize {
+    match std::env::var("ODBIS_SQL_PARALLELISM") {
+        Ok(v) => v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Default optimizer rule set: env `ODBIS_SQL_OPTIMIZER_RULES` when set
+/// (see [`optimizer::RuleSet::from_spec`] for the grammar), otherwise all
+/// rules.
+fn rules_default() -> optimizer::RuleSet {
+    match std::env::var("ODBIS_SQL_OPTIMIZER_RULES") {
+        Ok(spec) => optimizer::RuleSet::from_spec(&spec),
+        Err(_) => optimizer::RuleSet::all(),
+    }
+}
+
 impl Engine {
     /// Engine with all optimizations enabled (vectorized columnar
-    /// execution, index selection).
+    /// execution, the full optimizer rule pipeline, index selection, and
+    /// morsel-parallel execution sized to the machine).
     pub fn new() -> Self {
         Engine {
             use_indexes: true,
             vectorized: true,
+            parallelism: parallelism_default(),
+            rules: rules_default(),
         }
     }
 
@@ -153,7 +181,7 @@ impl Engine {
     pub fn without_index_selection() -> Self {
         Engine {
             use_indexes: false,
-            vectorized: true,
+            ..Engine::new()
         }
     }
 
@@ -162,14 +190,40 @@ impl Engine {
     /// side of the differential harness).
     pub fn with_row_execution() -> Self {
         Engine {
-            use_indexes: true,
             vectorized: false,
+            ..Engine::new()
         }
+    }
+
+    /// Set the worker count for morsel-parallel execution (`<= 1` =
+    /// serial vectorized execution).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Set the optimizer rule set from a spec string (see
+    /// [`optimizer::RuleSet::from_spec`]), e.g. `"all"`, `"none"`, or
+    /// `"-reorder,-prune"`.
+    pub fn with_optimizer_rules(mut self, spec: &str) -> Self {
+        self.rules = optimizer::RuleSet::from_spec(spec);
+        self
     }
 
     /// Whether SELECTs run on the vectorized columnar path.
     pub fn is_vectorized(&self) -> bool {
         self.vectorized
+    }
+
+    /// Worker count used by morsel-parallel execution.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    fn exec_options(&self) -> exec::ExecOptions {
+        exec::ExecOptions {
+            parallelism: self.parallelism,
+        }
     }
 
     /// Parse, plan, optimize and execute one statement.
@@ -205,10 +259,10 @@ impl Engine {
         match stmt {
             Statement::Select(sel) => {
                 let plan = planner::plan_select(db, sel)?;
-                let plan = planner::optimize(plan, db, self.use_indexes);
+                let plan = optimizer::optimize(plan, db, self.use_indexes, &self.rules);
                 let columns: Vec<String> = plan.schema.iter().map(|c| c.name.clone()).collect();
                 if self.vectorized {
-                    let batch = exec::run_batch(db, &plan)?;
+                    let batch = exec::run_batch_with(db, &plan, self.exec_options())?;
                     Ok(QueryResult::from_batch(columns, &batch))
                 } else {
                     Ok(QueryResult {
@@ -304,9 +358,9 @@ impl Engine {
             ));
         };
         let plan = planner::plan_select(db, &sel)?;
-        let plan = planner::optimize(plan, db, self.use_indexes);
+        let plan = optimizer::optimize(plan, db, self.use_indexes, &self.rules);
         let columns: Vec<String> = plan.schema.iter().map(|c| c.name.clone()).collect();
-        let batch = exec::run_batch(db, &plan)?;
+        let batch = exec::run_batch_with(db, &plan, self.exec_options())?;
         Ok((columns, batch))
     }
 
@@ -317,7 +371,7 @@ impl Engine {
             return Err(SqlError::Bind("EXPLAIN supports only SELECT".into()));
         };
         let plan = planner::plan_select(db, &sel)?;
-        let plan = planner::optimize(plan, db, self.use_indexes);
+        let plan = optimizer::optimize(plan, db, self.use_indexes, &self.rules);
         Ok(plan.explain())
     }
 

@@ -53,10 +53,17 @@ pub struct Plan {
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)] // self-documenting
 pub enum PlanNode {
-    /// Full scan of a base table, with optional pushed-down filter.
+    /// Full scan of a base table, with optional pushed-down filter and
+    /// column projection.
+    ///
+    /// `projection` lists the physical column ordinals the scan
+    /// materializes (in output order); `None` scans every column. When a
+    /// projection is set, `filter` (and this node's `schema`) are bound
+    /// over the *pruned* column space, not the physical table layout.
     TableScan {
         table: String,
         filter: Option<BExpr>,
+        projection: Option<Vec<usize>>,
     },
     /// Index-assisted scan: candidate rows from an inclusive key range of
     /// `index`, then `residual` re-checked exactly.
@@ -112,8 +119,16 @@ impl Plan {
     fn fmt_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
         match &self.node {
-            PlanNode::TableScan { table, filter } => {
+            PlanNode::TableScan {
+                table,
+                filter,
+                projection,
+            } => {
                 out.push_str(&format!("{pad}TableScan {table}"));
+                if projection.is_some() {
+                    let names: Vec<&str> = self.schema.iter().map(|c| c.name.as_str()).collect();
+                    out.push_str(&format!(" cols=[{}]", names.join(", ")));
+                }
                 if let Some(f) = filter {
                     out.push_str(&format!(" filter={f:?}"));
                 }
@@ -124,13 +139,17 @@ impl Plan {
                 index,
                 lo,
                 hi,
-                ..
+                residual,
             } => {
                 out.push_str(&format!(
-                    "{pad}IndexScan {table} via {index} range=[{}, {}]\n",
+                    "{pad}IndexScan {table} via {index} range=[{}, {}]",
                     render_bound(lo),
                     render_bound(hi)
                 ));
+                if let Some(r) = residual {
+                    out.push_str(&format!(" residual={r:?}"));
+                }
+                out.push('\n');
             }
             PlanNode::Filter { input, predicate } => {
                 out.push_str(&format!("{pad}Filter {predicate:?}\n"));

@@ -38,6 +38,7 @@ impl<'a> Planner<'a> {
             node: PlanNode::TableScan {
                 table: tref.table.clone(),
                 filter: None,
+                projection: None,
             },
             schema: cols,
         })
@@ -932,480 +933,5 @@ fn op_str(op: BinOp) -> &'static str {
         BinOp::Or => "OR",
         BinOp::Concat => "||",
         BinOp::Like => "LIKE",
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Optimizer
-// ---------------------------------------------------------------------------
-
-/// Rule-based optimization: constant folding, filter → scan pushdown, and
-/// (when `use_indexes`) index-scan selection for sargable predicates.
-pub fn optimize(plan: Plan, db: &Database, use_indexes: bool) -> Plan {
-    let plan = fold_plan(plan);
-    let plan = push_filters(plan);
-    if use_indexes {
-        select_indexes(plan, db)
-    } else {
-        plan
-    }
-}
-
-fn fold_plan(mut plan: Plan) -> Plan {
-    plan.node = match plan.node {
-        PlanNode::TableScan { table, filter } => PlanNode::TableScan {
-            table,
-            filter: filter.map(BExpr::fold),
-        },
-        PlanNode::Filter { input, predicate } => PlanNode::Filter {
-            input: Box::new(fold_plan(*input)),
-            predicate: predicate.fold(),
-        },
-        PlanNode::Project { input, exprs } => PlanNode::Project {
-            input: Box::new(fold_plan(*input)),
-            exprs: exprs.into_iter().map(BExpr::fold).collect(),
-        },
-        PlanNode::Join {
-            kind,
-            left,
-            right,
-            on,
-        } => PlanNode::Join {
-            kind,
-            left: Box::new(fold_plan(*left)),
-            right: Box::new(fold_plan(*right)),
-            on: on.fold(),
-        },
-        PlanNode::Aggregate {
-            input,
-            group_exprs,
-            aggs,
-        } => PlanNode::Aggregate {
-            input: Box::new(fold_plan(*input)),
-            group_exprs: group_exprs.into_iter().map(BExpr::fold).collect(),
-            aggs,
-        },
-        PlanNode::Sort { input, keys } => PlanNode::Sort {
-            input: Box::new(fold_plan(*input)),
-            keys,
-        },
-        PlanNode::Distinct { input } => PlanNode::Distinct {
-            input: Box::new(fold_plan(*input)),
-        },
-        PlanNode::Limit {
-            input,
-            limit,
-            offset,
-        } => PlanNode::Limit {
-            input: Box::new(fold_plan(*input)),
-            limit,
-            offset,
-        },
-        leaf => leaf,
-    };
-    plan
-}
-
-/// Smallest and largest column ordinal referenced by an expression
-/// (`None` for constant expressions).
-fn column_span(e: &BExpr) -> Option<(usize, usize)> {
-    fn walk(e: &BExpr, lo: &mut usize, hi: &mut usize, any: &mut bool) {
-        match e {
-            BExpr::Literal(_) => {}
-            BExpr::Column(i) => {
-                *lo = (*lo).min(*i);
-                *hi = (*hi).max(*i);
-                *any = true;
-            }
-            BExpr::Binary { left, right, .. } => {
-                walk(left, lo, hi, any);
-                walk(right, lo, hi, any);
-            }
-            BExpr::Unary { expr, .. } | BExpr::IsNull { expr, .. } => walk(expr, lo, hi, any),
-            BExpr::InList { expr, list, .. } => {
-                walk(expr, lo, hi, any);
-                for x in list {
-                    walk(x, lo, hi, any);
-                }
-            }
-            BExpr::Between {
-                expr, lo: l, hi: h, ..
-            } => {
-                walk(expr, lo, hi, any);
-                walk(l, lo, hi, any);
-                walk(h, lo, hi, any);
-            }
-            BExpr::Function { args, .. } => {
-                for a in args {
-                    walk(a, lo, hi, any);
-                }
-            }
-            BExpr::Case {
-                branches,
-                else_expr,
-            } => {
-                for (c, r) in branches {
-                    walk(c, lo, hi, any);
-                    walk(r, lo, hi, any);
-                }
-                if let Some(e) = else_expr {
-                    walk(e, lo, hi, any);
-                }
-            }
-        }
-    }
-    let (mut lo, mut hi, mut any) = (usize::MAX, 0, false);
-    walk(e, &mut lo, &mut hi, &mut any);
-    any.then_some((lo, hi))
-}
-
-/// Shift every column ordinal down by `delta` (for pushing right-side
-/// predicates below a join).
-fn shift_down(e: &mut BExpr, delta: usize) {
-    match e {
-        BExpr::Literal(_) => {}
-        BExpr::Column(i) => *i -= delta,
-        BExpr::Binary { left, right, .. } => {
-            shift_down(left, delta);
-            shift_down(right, delta);
-        }
-        BExpr::Unary { expr, .. } | BExpr::IsNull { expr, .. } => shift_down(expr, delta),
-        BExpr::InList { expr, list, .. } => {
-            shift_down(expr, delta);
-            for x in list {
-                shift_down(x, delta);
-            }
-        }
-        BExpr::Between { expr, lo, hi, .. } => {
-            shift_down(expr, delta);
-            shift_down(lo, delta);
-            shift_down(hi, delta);
-        }
-        BExpr::Function { args, .. } => {
-            for a in args {
-                shift_down(a, delta);
-            }
-        }
-        BExpr::Case {
-            branches,
-            else_expr,
-        } => {
-            for (c, r) in branches {
-                shift_down(c, delta);
-                shift_down(r, delta);
-            }
-            if let Some(e) = else_expr {
-                shift_down(e, delta);
-            }
-        }
-    }
-}
-
-fn and_all(mut cs: Vec<BExpr>) -> Option<BExpr> {
-    let first = if cs.is_empty() {
-        return None;
-    } else {
-        cs.remove(0)
-    };
-    Some(cs.into_iter().fold(first, |acc, c| BExpr::Binary {
-        op: BinOp::And,
-        left: Box::new(acc),
-        right: Box::new(c),
-    }))
-}
-
-fn filter_over(input: Plan, predicate: Option<BExpr>) -> Plan {
-    match predicate {
-        None => input,
-        Some(predicate) => {
-            let schema = input.schema.clone();
-            Plan {
-                node: PlanNode::Filter {
-                    input: Box::new(input),
-                    predicate,
-                },
-                schema,
-            }
-        }
-    }
-}
-
-fn push_filters(mut plan: Plan) -> Plan {
-    plan.node = match plan.node {
-        PlanNode::Filter { input, predicate } => {
-            let input = push_filters(*input);
-            match input.node {
-                PlanNode::TableScan { table, filter } => {
-                    let merged = match filter {
-                        Some(f) => BExpr::Binary {
-                            op: BinOp::And,
-                            left: Box::new(f),
-                            right: Box::new(predicate),
-                        },
-                        None => predicate,
-                    };
-                    PlanNode::TableScan {
-                        table,
-                        filter: Some(merged),
-                    }
-                }
-                PlanNode::Join {
-                    kind,
-                    left,
-                    right,
-                    on,
-                } => {
-                    // split the predicate; conjuncts touching only one side
-                    // sink below the join. For LEFT joins only the preserved
-                    // (left) side is safe: pushing a right-side predicate
-                    // would change which rows NULL-extend.
-                    let left_arity = left.schema.len();
-                    let mut cs = Vec::new();
-                    conjuncts(&predicate, &mut cs);
-                    let mut left_preds = Vec::new();
-                    let mut right_preds = Vec::new();
-                    let mut keep = Vec::new();
-                    for c in cs {
-                        match column_span(&c) {
-                            Some((_, hi)) if hi < left_arity => left_preds.push(c),
-                            Some((lo, _))
-                                if lo >= left_arity && kind == crate::ast::JoinKind::Inner =>
-                            {
-                                let mut c = c;
-                                shift_down(&mut c, left_arity);
-                                right_preds.push(c);
-                            }
-                            _ => keep.push(c),
-                        }
-                    }
-                    let new_left = push_filters(filter_over(*left, and_all(left_preds)));
-                    let new_right = push_filters(filter_over(*right, and_all(right_preds)));
-                    let mut schema = new_left.schema.clone();
-                    schema.extend(new_right.schema.clone());
-                    let join = Plan {
-                        node: PlanNode::Join {
-                            kind,
-                            left: Box::new(new_left),
-                            right: Box::new(new_right),
-                            on,
-                        },
-                        schema,
-                    };
-                    filter_over(join, and_all(keep)).node
-                }
-                other => PlanNode::Filter {
-                    input: Box::new(Plan {
-                        node: other,
-                        schema: input.schema,
-                    }),
-                    predicate,
-                },
-            }
-        }
-        PlanNode::Project { input, exprs } => PlanNode::Project {
-            input: Box::new(push_filters(*input)),
-            exprs,
-        },
-        PlanNode::Join {
-            kind,
-            left,
-            right,
-            on,
-        } => PlanNode::Join {
-            kind,
-            left: Box::new(push_filters(*left)),
-            right: Box::new(push_filters(*right)),
-            on,
-        },
-        PlanNode::Aggregate {
-            input,
-            group_exprs,
-            aggs,
-        } => PlanNode::Aggregate {
-            input: Box::new(push_filters(*input)),
-            group_exprs,
-            aggs,
-        },
-        PlanNode::Sort { input, keys } => PlanNode::Sort {
-            input: Box::new(push_filters(*input)),
-            keys,
-        },
-        PlanNode::Distinct { input } => PlanNode::Distinct {
-            input: Box::new(push_filters(*input)),
-        },
-        PlanNode::Limit {
-            input,
-            limit,
-            offset,
-        } => PlanNode::Limit {
-            input: Box::new(push_filters(*input)),
-            limit,
-            offset,
-        },
-        leaf => leaf,
-    };
-    plan
-}
-
-/// Split a predicate into its top-level AND conjuncts.
-fn conjuncts(e: &BExpr, out: &mut Vec<BExpr>) {
-    if let BExpr::Binary {
-        op: BinOp::And,
-        left,
-        right,
-    } = e
-    {
-        conjuncts(left, out);
-        conjuncts(right, out);
-    } else {
-        out.push(e.clone());
-    }
-}
-
-fn select_indexes(mut plan: Plan, db: &Database) -> Plan {
-    plan.node = match plan.node {
-        PlanNode::TableScan {
-            table,
-            filter: Some(filter),
-        } => {
-            let mut cs = Vec::new();
-            conjuncts(&filter, &mut cs);
-            // Find the best sargable conjunct: prefer equality, then range.
-            let chosen = db
-                .read_table(&table, |t| {
-                    // (index name, lo bound, hi bound, rank)
-                    type IndexChoice = (
-                        String,
-                        Option<Vec<odbis_storage::Value>>,
-                        Option<Vec<odbis_storage::Value>>,
-                        u8,
-                    );
-                    let mut best: Option<IndexChoice> = None;
-                    for c in &cs {
-                        // BETWEEN with literal bounds is a two-sided range
-                        if let BExpr::Between {
-                            expr,
-                            lo,
-                            hi,
-                            negated: false,
-                        } = c
-                        {
-                            if let (BExpr::Column(col), BExpr::Literal(l), BExpr::Literal(h)) =
-                                (&**expr, &**lo, &**hi)
-                            {
-                                if let Some(idx) = t.index_on(*col) {
-                                    if best.as_ref().is_none_or(|b| 1 > b.3) {
-                                        best = Some((
-                                            idx.name.clone(),
-                                            Some(vec![l.clone()]),
-                                            Some(vec![h.clone()]),
-                                            1,
-                                        ));
-                                    }
-                                }
-                            }
-                            continue;
-                        }
-                        let Some((col, op, lit)) = sargable(c) else {
-                            continue;
-                        };
-                        let Some(idx) = t.index_on(col) else {
-                            continue;
-                        };
-                        // only single-column use of the index key
-                        let (lo, hi, rank) = match op {
-                            BinOp::Eq => (Some(vec![lit.clone()]), Some(vec![lit.clone()]), 2u8),
-                            BinOp::Gt | BinOp::Gte => (Some(vec![lit.clone()]), None, 1),
-                            BinOp::Lt | BinOp::Lte => (None, Some(vec![lit.clone()]), 1),
-                            _ => continue,
-                        };
-                        if best.as_ref().is_none_or(|b| rank > b.3) {
-                            best = Some((idx.name.clone(), lo, hi, rank));
-                        }
-                    }
-                    best
-                })
-                .ok()
-                .flatten();
-            match chosen {
-                Some((index, lo, hi, _)) => PlanNode::IndexScan {
-                    table,
-                    index,
-                    lo,
-                    hi,
-                    residual: Some(filter),
-                },
-                None => PlanNode::TableScan {
-                    table,
-                    filter: Some(filter),
-                },
-            }
-        }
-        PlanNode::Filter { input, predicate } => PlanNode::Filter {
-            input: Box::new(select_indexes(*input, db)),
-            predicate,
-        },
-        PlanNode::Project { input, exprs } => PlanNode::Project {
-            input: Box::new(select_indexes(*input, db)),
-            exprs,
-        },
-        PlanNode::Join {
-            kind,
-            left,
-            right,
-            on,
-        } => PlanNode::Join {
-            kind,
-            left: Box::new(select_indexes(*left, db)),
-            right: Box::new(select_indexes(*right, db)),
-            on,
-        },
-        PlanNode::Aggregate {
-            input,
-            group_exprs,
-            aggs,
-        } => PlanNode::Aggregate {
-            input: Box::new(select_indexes(*input, db)),
-            group_exprs,
-            aggs,
-        },
-        PlanNode::Sort { input, keys } => PlanNode::Sort {
-            input: Box::new(select_indexes(*input, db)),
-            keys,
-        },
-        PlanNode::Distinct { input } => PlanNode::Distinct {
-            input: Box::new(select_indexes(*input, db)),
-        },
-        PlanNode::Limit {
-            input,
-            limit,
-            offset,
-        } => PlanNode::Limit {
-            input: Box::new(select_indexes(*input, db)),
-            limit,
-            offset,
-        },
-        leaf => leaf,
-    };
-    plan
-}
-
-/// Recognize `Column(i) op Literal` (or the mirrored form) with a
-/// comparison operator — the sargable shapes the index selector handles.
-fn sargable(e: &BExpr) -> Option<(usize, BinOp, odbis_storage::Value)> {
-    let BExpr::Binary { op, left, right } = e else {
-        return None;
-    };
-    let mirror = |op: BinOp| match op {
-        BinOp::Lt => BinOp::Gt,
-        BinOp::Lte => BinOp::Gte,
-        BinOp::Gt => BinOp::Lt,
-        BinOp::Gte => BinOp::Lte,
-        other => other,
-    };
-    match (&**left, &**right) {
-        (BExpr::Column(i), BExpr::Literal(v)) if !v.is_null() => Some((*i, *op, v.clone())),
-        (BExpr::Literal(v), BExpr::Column(i)) if !v.is_null() => Some((*i, mirror(*op), v.clone())),
-        _ => None,
     }
 }

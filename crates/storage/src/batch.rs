@@ -466,6 +466,31 @@ impl Batch {
         }
     }
 
+    /// Concatenate `parts` row-wise into one batch of `arity` columns —
+    /// the reassembly point of the morsel-parallel executor.
+    ///
+    /// Columns whose non-empty parts share one typed representation are
+    /// spliced slice-wise (null bitmaps merged); anything else falls
+    /// back to value-level rebuilding with type re-inference.
+    pub fn concat(arity: usize, parts: &[Batch]) -> DbResult<Batch> {
+        for p in parts {
+            if p.num_columns() != arity {
+                return Err(DbError::ArityMismatch {
+                    expected: arity,
+                    actual: p.num_columns(),
+                });
+            }
+        }
+        if parts.len() == 1 {
+            return Ok(parts[0].clone());
+        }
+        let rows = parts.iter().map(Batch::num_rows).sum();
+        let columns = (0..arity)
+            .map(|c| Arc::new(concat_column(parts, c, rows)))
+            .collect();
+        Batch::new(columns, rows)
+    }
+
     /// The contiguous sub-batch `[start, end)` (used by LIMIT/OFFSET).
     pub fn slice(&self, start: usize, end: usize) -> Batch {
         let start = start.min(self.rows);
@@ -481,6 +506,64 @@ impl Batch {
     }
 }
 
+/// Concatenate column `c` across `parts` (`rows` = total row count).
+fn concat_column(parts: &[Batch], c: usize, rows: usize) -> ColumnVec {
+    let live: Vec<&ColumnVec> = parts
+        .iter()
+        .filter(|p| p.num_rows() > 0)
+        .map(|p| p.column(c).as_ref())
+        .collect();
+    let Some(first) = live.first() else {
+        return ColumnVec::from_values(Vec::new());
+    };
+    let homogeneous = live
+        .iter()
+        .all(|cv| std::mem::discriminant(cv.data()) == std::mem::discriminant(first.data()));
+    if !homogeneous {
+        // Type differs across morsels (e.g. one degraded to Mixed):
+        // rebuild value-wise and let inference pick the representation.
+        let mut vals = Vec::with_capacity(rows);
+        for cv in &live {
+            vals.extend(cv.values());
+        }
+        return ColumnVec::from_values(vals);
+    }
+    macro_rules! splice {
+        ($variant:ident) => {{
+            let mut out = Vec::with_capacity(rows);
+            for cv in &live {
+                match cv.data() {
+                    ColumnData::$variant(v) => out.extend_from_slice(v),
+                    _ => unreachable!("homogeneous discriminants checked above"),
+                }
+            }
+            ColumnData::$variant(out)
+        }};
+    }
+    let data = match first.data() {
+        ColumnData::Bool(_) => splice!(Bool),
+        ColumnData::Int(_) => splice!(Int),
+        ColumnData::Float(_) => splice!(Float),
+        ColumnData::Text(_) => splice!(Text),
+        ColumnData::Date(_) => splice!(Date),
+        ColumnData::Timestamp(_) => splice!(Timestamp),
+        ColumnData::Mixed(_) => splice!(Mixed),
+    };
+    let nulls = if live.iter().any(|cv| cv.nulls().is_some()) {
+        let mut mask = Vec::with_capacity(rows);
+        for cv in &live {
+            match cv.nulls() {
+                Some(n) => mask.extend_from_slice(n),
+                None => mask.extend(std::iter::repeat_n(false, cv.len())),
+            }
+        }
+        Some(mask)
+    } else {
+        None
+    };
+    ColumnVec::new(data, nulls)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,6 +574,42 @@ mod tests {
             vec![Value::Int(2), Value::Null, Value::Float(2.5)],
             vec![Value::Null, Value::from("c"), Value::Float(3.5)],
         ]
+    }
+
+    #[test]
+    fn concat_splices_typed_columns_and_null_masks() {
+        let rows = sample_rows();
+        let whole = Batch::from_rows(3, rows.clone()).unwrap();
+        let parts = vec![whole.slice(0, 1), whole.slice(1, 1), whole.slice(1, 3)];
+        let glued = Batch::concat(3, &parts).unwrap();
+        assert_eq!(glued.num_rows(), 3);
+        assert_eq!(glued.to_rows(), rows);
+        // typed splice is preserved, not degraded to Mixed
+        assert!(matches!(glued.column(0).data(), ColumnData::Int(_)));
+        assert_eq!(glued.column(0).null_count(), 1);
+        assert_eq!(glued.column(1).null_count(), 1);
+    }
+
+    #[test]
+    fn concat_mixed_representations_falls_back_to_inference() {
+        let a = Batch::from_rows(1, vec![vec![Value::Int(1)]]).unwrap();
+        let b = Batch::from_rows(1, vec![vec![Value::from("x")]]).unwrap();
+        let glued = Batch::concat(1, &[a, b]).unwrap();
+        assert_eq!(
+            glued.to_rows(),
+            vec![vec![Value::Int(1)], vec![Value::from("x")]]
+        );
+        assert!(matches!(glued.column(0).data(), ColumnData::Mixed(_)));
+    }
+
+    #[test]
+    fn concat_rejects_arity_mismatch_and_handles_empty() {
+        let a = Batch::from_rows(2, vec![vec![Value::Int(1), Value::Int(2)]]).unwrap();
+        let b = Batch::from_rows(1, vec![vec![Value::Int(3)]]).unwrap();
+        assert!(Batch::concat(2, &[a, b]).is_err());
+        let empty = Batch::concat(2, &[]).unwrap();
+        assert_eq!(empty.num_rows(), 0);
+        assert_eq!(empty.num_columns(), 2);
     }
 
     #[test]

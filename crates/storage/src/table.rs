@@ -550,6 +550,50 @@ impl Table {
         .expect("scan builders produce equal-length columns")
     }
 
+    /// Like [`Table::scan_batch`], but materializing only the physical
+    /// columns listed in `cols` (in that order). Column vectors are shared
+    /// with the memoized full batch, so a pruned scan costs one `Arc`
+    /// clone per kept column — this is the execution side of the
+    /// optimizer's projection-pruning rule.
+    ///
+    /// # Panics
+    /// Panics if any ordinal in `cols` is out of range.
+    pub fn scan_batch_cols(&self, cols: &[usize]) -> Batch {
+        let full = self.scan_batch();
+        let picked = cols.iter().map(|&c| full.column(c).clone()).collect();
+        Batch::new(picked, full.num_rows()).expect("projected columns share the batch row count")
+    }
+
+    /// The contiguous sub-batch `[lo, hi)` of the live-row snapshot
+    /// (bounds clamped), in the same order as [`Table::scan_batch`].
+    pub fn scan_batch_range(&self, lo: usize, hi: usize) -> Batch {
+        self.scan_batch().slice(lo, hi)
+    }
+
+    /// Split the live-row snapshot into fixed-size morsels of at most
+    /// `morsel_rows` rows each (optionally projected to `cols`), for
+    /// parallel execution. Morsels are contiguous slices of one immutable
+    /// snapshot, so concatenating them in order reproduces
+    /// [`Table::scan_batch`] exactly.
+    ///
+    /// Always yields at least one (possibly empty) morsel so downstream
+    /// operators see the typed column layout even for empty tables.
+    pub fn scan_partitions(&self, cols: Option<&[usize]>, morsel_rows: usize) -> Vec<Batch> {
+        let snapshot = match cols {
+            Some(cols) => self.scan_batch_cols(cols),
+            None => self.scan_batch(),
+        };
+        let step = morsel_rows.max(1);
+        let rows = snapshot.num_rows();
+        if rows <= step {
+            return vec![snapshot];
+        }
+        (0..rows)
+            .step_by(step)
+            .map(|lo| snapshot.slice(lo, (lo + step).min(rows)))
+            .collect()
+    }
+
     fn invalidate_batch_cache(&mut self) {
         self.batch_cache = std::sync::OnceLock::new();
     }
@@ -723,6 +767,35 @@ mod tests {
         assert_eq!(t.scan_batch().num_rows(), 0);
         // repeated scans of a stable table agree with the row image
         assert_eq!(t.scan_batch(), t.scan_batch());
+    }
+
+    #[test]
+    fn scan_partitions_cover_snapshot_in_order() {
+        let mut t = users();
+        for i in 0..10i64 {
+            t.insert(vec![i.into(), format!("u{i}").into(), (20 + i).into()])
+                .unwrap();
+        }
+        let morsels = t.scan_partitions(None, 4);
+        assert_eq!(
+            morsels.iter().map(Batch::num_rows).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        let glued = Batch::concat(3, &morsels).unwrap();
+        assert_eq!(glued, t.scan_batch());
+        // ranges agree with slices of the snapshot
+        assert_eq!(t.scan_batch_range(4, 8), t.scan_batch().slice(4, 8));
+        // projected partitions pick (and reorder) physical columns
+        let pruned = t.scan_partitions(Some(&[2, 0]), 100);
+        assert_eq!(pruned.len(), 1);
+        assert_eq!(pruned[0].num_columns(), 2);
+        assert_eq!(pruned[0].value(0, 3), Value::Int(23));
+        assert_eq!(pruned[0].value(1, 3), Value::Int(3));
+        // empty table still yields one morsel with the typed layout
+        t.truncate();
+        let empty = t.scan_partitions(None, 4);
+        assert_eq!(empty.len(), 1);
+        assert_eq!(empty[0].num_columns(), 3);
     }
 
     #[test]

@@ -1,0 +1,549 @@
+//! Offline shim for the `proptest` API surface this workspace uses.
+//!
+//! Functional property testing: each `proptest!` test runs `cases`
+//! deterministic pseudo-random inputs drawn from real strategies (integer
+//! and float ranges, regex-subset strings, tuples, vectors, unions,
+//! `Just`, `any`, `prop_map`, `sample::select`). Shrinking and failure
+//! persistence are intentionally absent — a failing case panics with the
+//! normal assert message.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator state threaded through strategies.
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed deterministically (SplitMix64 expansion, xoshiro256++ stream).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Type-erase for heterogeneous composition (e.g. `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe view of [`Strategy`], used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between type-erased branches (`prop_oneof!` backing).
+pub struct UnionStrategy<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for UnionStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// `&str` literals act as regex-subset strategies producing matching
+/// strings. Supported syntax: literal chars, `.`, classes `[a-z0-9_]`
+/// (ranges + literals, no negation), and `{n}` / `{n,m}` repetition.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    // Parse into (alphabet, min, max) atoms, then sample each.
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms: Vec<(Vec<char>, u32, u32)> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet: Vec<char> = match chars[i] {
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        set.extend(lo..=hi);
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                set
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional {n} / {n,m} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}').unwrap() + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (lo.trim().parse().unwrap(), hi.trim().parse().unwrap()),
+                None => {
+                    let n: u32 = body.trim().parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, 8)
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1, 8)
+        } else if i < chars.len() && chars[i] == '?' {
+            i += 1;
+            (0, 1)
+        } else {
+            (1, 1)
+        };
+        atoms.push((alphabet, min, max));
+    }
+    let mut out = String::new();
+    for (alphabet, min, max) in atoms {
+        if alphabet.is_empty() {
+            continue;
+        }
+        let count = min + rng.below((max - min + 1) as u64) as u32;
+        for _ in 0..count {
+            out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// Types with a canonical "anything" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Mix of ordinary magnitudes and a few special values.
+        match rng.below(16) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::MAX,
+            3 => f64::MIN,
+            _ => (rng.unit_f64() - 0.5) * 2e9,
+        }
+    }
+}
+
+/// Strategy wrapper produced by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, `any::<i64>()`, ...).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Sizes accepted by [`vec`]: a fixed `usize` or a `Range<usize>`.
+    pub trait VecSize {
+        /// Pick a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl VecSize for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl VecSize for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            self.start + rng.next_u64() as usize % (self.end - self.start)
+        }
+    }
+
+    /// Strategy for vectors of `element` values with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Box<dyn VecSize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Build a vector strategy.
+    pub fn vec<S: Strategy>(element: S, size: impl VecSize + 'static) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: Box::new(size),
+        }
+    }
+}
+
+/// Strategies that sample from explicit value sets.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "select over empty list");
+            self.0[rng.next_u64() as usize % self.0.len()].clone()
+        }
+    }
+
+    /// Choose uniformly from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select(options)
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...)` becomes a
+/// `#[test]` running `cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                // Deterministic seed derived from the test name so cases
+                // differ between properties but repeat across runs.
+                let mut __seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    __seed = (__seed ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                let mut __rng = $crate::TestRng::seed_from_u64(__seed);
+                for __case in 0..config.cases {
+                    let ($($arg,)+) = (
+                        $( $crate::Strategy::generate(&$strat, &mut __rng), )+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::UnionStrategy(vec![
+            $( $crate::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Property assertion (no shrinking: behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion (no shrinking: behaves like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion (behaves like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_label() -> impl Strategy<Value = &'static str> {
+        prop::sample::select(vec!["a", "b", "c"])
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(xs in prop::collection::vec((0i64..5, -3i64..3), 1..20), k in 0u8..4) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            for (a, b) in &xs {
+                prop_assert!((0..5).contains(a));
+                prop_assert!((-3..3).contains(b));
+            }
+            prop_assert!(k < 4);
+        }
+
+        #[test]
+        fn regex_subset_strings(s in "[a-z][a-z0-9_]{0,8}", t in ".{0,12}") {
+            prop_assert!(!s.is_empty() && s.len() <= 9);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(t.len() <= 12);
+            prop_assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_maps_and_selects(v in prop_oneof![
+            (-100i64..100).prop_map(|i| i.to_string()),
+            Just(String::new()),
+        ], label in arb_label()) {
+            prop_assert!(v.is_empty() || v.parse::<i64>().is_ok());
+            prop_assert!(["a", "b", "c"].contains(&label));
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = TestRng::seed_from_u64(1);
+        let mut b = TestRng::seed_from_u64(1);
+        let s = "[a-z]{3}";
+        assert_eq!(
+            Strategy::generate(&s, &mut a),
+            Strategy::generate(&s, &mut b)
+        );
+    }
+
+    use crate::{Strategy, TestRng};
+}

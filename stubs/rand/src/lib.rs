@@ -1,0 +1,196 @@
+//! Offline shim for the `rand` API surface this workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `RngExt::random_range` over integer and float ranges.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! for a given seed across platforms, which is all the workloads and chaos
+//! suites require. `random_range` resolves its output type through a
+//! single generic impl per range shape so numeric literals infer the way
+//! they do with the real crate.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can produce raw 64-bit output.
+pub trait RngCore {
+    /// Next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of generators from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// The standard generator: xoshiro256++ under the hood.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 stream expands the seed into the four xoshiro words.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        rngs::StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Element types [`RngExt::random_range`] can produce.
+pub trait SampleValue: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_between(draw: &mut dyn FnMut() -> u64, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! int_sample_value {
+    ($($t:ty),*) => {$(
+        impl SampleValue for $t {
+            fn sample_between(
+                draw: &mut dyn FnMut() -> u64,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                assert!(span > 0, "empty range in random_range");
+                (lo as i128 + (draw() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_value!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleValue for f64 {
+    fn sample_between(draw: &mut dyn FnMut() -> u64, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        assert!(lo < hi, "empty range in random_range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (draw() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleValue for f32 {
+    fn sample_between(draw: &mut dyn FnMut() -> u64, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        f64::sample_between(draw, f64::from(lo), f64::from(hi), false) as f32
+    }
+}
+
+/// Range shapes [`RngExt::random_range`] accepts.
+pub trait SampleRange {
+    /// The element type the range yields.
+    type Output: SampleValue;
+    /// Draw one uniformly distributed value.
+    fn sample(self, draw: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+impl<T: SampleValue> SampleRange for Range<T> {
+    type Output = T;
+    fn sample(self, draw: &mut dyn FnMut() -> u64) -> T {
+        T::sample_between(draw, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleValue> SampleRange for RangeInclusive<T> {
+    type Output = T;
+    fn sample(self, draw: &mut dyn FnMut() -> u64) -> T {
+        T::sample_between(draw, *self.start(), *self.end(), true)
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        let mut draw = || self.next_u64();
+        range.sample(&mut draw)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_range(0.0..1.0) < p
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0..1_000_000i64),
+                b.random_range(0..1_000_000i64)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.random_range(2008..=2010i64);
+            assert!((2008..=2010).contains(&v));
+            let u = rng.random_range(0..7usize);
+            assert!(u < 7);
+            let f = rng.random_range(0.0..2_000.0);
+            assert!((0.0..2_000.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn untyped_literals_infer_like_real_rand() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Output type driven by the comparison, not integer fallback.
+        let flag = rng.random_range(0..100) < i64::from(30u8);
+        let _ = flag;
+        // Float literal falls back to f64 and supports method calls.
+        let cost = rng.random_range(0.0..2_000.0);
+        let rounded = (cost * 100.0).round() / 100.0;
+        assert!((0.0..2_000.0).contains(&rounded));
+    }
+
+    #[test]
+    fn distribution_hits_every_bucket() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..300 {
+            seen[rng.random_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,316 @@
+//! Offline shim for the `serde` API surface this workspace uses.
+//!
+//! Instead of serde's visitor machinery, values serialize to and from a
+//! self-describing [`Content`] tree; data formats (here: `serde_json`)
+//! convert that tree to text. `#[derive(Serialize, Deserialize)]` is
+//! provided by the companion `serde_derive` shim and follows serde's JSON
+//! conventions for structs and enums (unit variant -> string, newtype
+//! variant -> one-entry map).
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered key/value map (insertion order preserved).
+    Map(Vec<(String, Content)>),
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can serialize themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Produce the content tree for `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can reconstruct themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild a value from `content`.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+fn type_err<T>(expected: &str, got: &Content) -> Result<T, Error> {
+    Err(Error::custom(format!("expected {expected}, got {got:?}")))
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                match i64::try_from(*self) {
+                    Ok(i) => Content::Int(i),
+                    Err(_) => Content::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let out = match content {
+                    Content::Int(i) => <$t>::try_from(*i).ok(),
+                    Content::UInt(u) => <$t>::try_from(*u).ok(),
+                    _ => None,
+                };
+                match out {
+                    Some(v) => Ok(v),
+                    None => type_err(stringify!($t), content),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Float(f) => Ok(*f),
+            Content::Int(i) => Ok(*i as f64),
+            Content::UInt(u) => Ok(*u as f64),
+            other => type_err("f64", other),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        f64::from_content(content).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => type_err("sequence", other),
+        }
+    }
+}
+
+/// Maps serialize as a JSON object when every key serializes to a string
+/// (the common `String`-keyed case), and as a sequence of `[key, value]`
+/// pairs otherwise (e.g. composite index keys).
+fn map_to_content(pairs: impl Iterator<Item = (Content, Content)>) -> Content {
+    let pairs: Vec<(Content, Content)> = pairs.collect();
+    if pairs.iter().all(|(k, _)| matches!(k, Content::Str(_))) {
+        Content::Map(
+            pairs
+                .into_iter()
+                .map(|(k, v)| match k {
+                    Content::Str(s) => (s, v),
+                    _ => unreachable!(),
+                })
+                .collect(),
+        )
+    } else {
+        Content::Seq(
+            pairs
+                .into_iter()
+                .map(|(k, v)| Content::Seq(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+fn map_from_content<K: Deserialize, V: Deserialize>(
+    content: &Content,
+) -> Result<Vec<(K, V)>, Error> {
+    match content {
+        Content::Map(entries) => entries
+            .iter()
+            .map(|(k, v)| {
+                Ok((
+                    K::from_content(&Content::Str(k.clone()))?,
+                    V::from_content(v)?,
+                ))
+            })
+            .collect(),
+        Content::Seq(items) => items
+            .iter()
+            .map(|pair| match pair {
+                Content::Seq(kv) if kv.len() == 2 => {
+                    Ok((K::from_content(&kv[0])?, V::from_content(&kv[1])?))
+                }
+                other => type_err("[key, value] pair", other),
+            })
+            .collect(),
+        other => type_err("map", other),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter().map(|(k, v)| (k.to_content(), v.to_content())))
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(map_from_content::<K, V>(content)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        // Sort serialized keys for deterministic output.
+        let mut pairs: Vec<(Content, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_content(), v.to_content()))
+            .collect();
+        pairs.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        map_to_content(pairs.into_iter())
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(map_from_content::<K, V>(content)?.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(u64::from_content(&u64::MAX.to_content()).unwrap(), u64::MAX);
+        assert_eq!(
+            String::from_content(&"hi".to_content()).unwrap(),
+            "hi".to_string()
+        );
+        let v: Vec<Option<i64>> = vec![Some(1), None];
+        assert_eq!(Vec::<Option<i64>>::from_content(&v.to_content()).unwrap(), v);
+    }
+
+    #[test]
+    fn map_round_trip_keeps_entries() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1i64);
+        m.insert("b".to_string(), 2i64);
+        assert_eq!(
+            BTreeMap::<String, i64>::from_content(&m.to_content()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        assert!(i64::from_content(&Content::Str("x".into())).is_err());
+        assert!(String::from_content(&Content::Int(1)).is_err());
+    }
+}

@@ -1,0 +1,580 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for the shapes this workspace uses — braced structs with named fields,
+//! and enums with unit, newtype, and struct variants. Supported attributes:
+//! `#[serde(skip)]` on fields and `#[serde(tag = "...", rename_all =
+//! "snake_case")]` on enums (internally tagged representation).
+//!
+//! The generated code targets the companion `serde` shim's `Content` tree
+//! and follows serde's JSON conventions. Hand-rolled over
+//! `proc_macro::TokenStream`; no `syn`/`quote`, since the offline
+//! container has neither.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        tag: Option<String>,
+        snake_case: bool,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_serialize(&shape).parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derive the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_deserialize(&shape).parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Tokens of one `#[serde(...)]` attribute body, flattened to strings.
+fn serde_attr_tokens(tokens: &[TokenTree], i: usize) -> Option<Vec<String>> {
+    // Expect `#` `[serde(...)]`.
+    match (tokens.get(i), tokens.get(i + 1)) {
+        (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            match (inner.first(), inner.get(1)) {
+                (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+                    if id.to_string() == "serde" =>
+                {
+                    Some(args.stream().into_iter().map(|t| t.to_string()).collect())
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+struct AttrInfo {
+    skip: bool,
+    tag: Option<String>,
+    snake_case: bool,
+}
+
+/// Advance past attributes and visibility, collecting serde directives.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize, info: &mut AttrInfo) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(args) = serde_attr_tokens(tokens, i) {
+                    for (j, tok) in args.iter().enumerate() {
+                        match tok.as_str() {
+                            "skip" => info.skip = true,
+                            "tag" => {
+                                if let Some(lit) = args.get(j + 2) {
+                                    info.tag = Some(lit.trim_matches('"').to_string());
+                                }
+                            }
+                            "rename_all" => {
+                                if args.get(j + 2).map(String::as_str) == Some("\"snake_case\"") {
+                                    info.snake_case = true;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Walk the item tokens to find `struct`/`enum`, its name, and its body.
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut container = AttrInfo {
+        skip: false,
+        tag: None,
+        snake_case: false,
+    };
+    let mut i = 0;
+    let mut kind = None;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i, &mut container);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                kind = Some(id.to_string());
+                i += 1;
+                break;
+            }
+            Some(_) => i += 1,
+            None => break,
+        }
+    }
+    let kind = kind.ok_or("derive input is not a struct or enum")?;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing type name".into()),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive shim does not support generics on {name}"));
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => return Err(format!("missing braced body for {name}")),
+        }
+    };
+    if kind == "struct" {
+        Ok(Shape::Struct {
+            name,
+            fields: parse_fields(body)?,
+        })
+    } else {
+        Ok(Shape::Enum {
+            name,
+            tag: container.tag,
+            snake_case: container.snake_case,
+            variants: parse_enum_variants(body)?,
+        })
+    }
+}
+
+/// Named fields of a braced struct or struct variant; types are skipped
+/// with angle-bracket depth tracking so `BTreeMap<K, V>` commas don't
+/// split fields.
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut info = AttrInfo {
+            skip: false,
+            tag: None,
+            snake_case: false,
+        };
+        i = skip_attrs_and_vis(&tokens, i, &mut info);
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => return Err(format!("unexpected token in field list: {t}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field {field}")),
+        }
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name: field,
+            skip: info.skip,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut info = AttrInfo {
+            skip: false,
+            tag: None,
+            snake_case: false,
+        };
+        i = skip_attrs_and_vis(&tokens, i, &mut info);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => return Err(format!("unexpected token in enum body: {t}")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => break,
+            Some(t) => return Err(format!("expected `,` after variant, got {t}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn variant_tag(v: &Variant, snake_case: bool) -> String {
+    if snake_case {
+        snake(&v.name)
+    } else {
+        v.name.clone()
+    }
+}
+
+/// `vec![(key, value), ...]` source for a list of serialized fields.
+fn fields_to_entries(fields: &[Field], access: &str) -> String {
+    let mut out = String::from("vec![");
+    for f in fields.iter().filter(|f| !f.skip) {
+        let name = &f.name;
+        let _ = write!(
+            out,
+            "({name:?}.to_string(), ::serde::Serialize::to_content({access}{name})),"
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Field initializers reading from an `entries`/`field` lookup in scope.
+fn fields_from_entries(fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let name = &f.name;
+        if f.skip {
+            let _ = write!(out, "{name}: ::std::default::Default::default(),\n");
+        } else {
+            let _ = write!(
+                out,
+                "{name}: ::serde::Deserialize::from_content(\
+                 field({name:?}).unwrap_or(&::serde::Content::Null))?,\n"
+            );
+        }
+    }
+    out
+}
+
+const FIELD_LOOKUP: &str =
+    "let field = |k: &str| entries.iter().find(|(n, _)| n == k).map(|(_, v)| v);\n";
+
+fn gen_serialize(shape: &Shape) -> String {
+    let mut out = String::new();
+    match shape {
+        Shape::Struct { name, fields } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map({})\n}}\n}}\n",
+                fields_to_entries(fields, "&self.")
+            );
+        }
+        Shape::Enum {
+            name,
+            tag,
+            snake_case,
+            variants,
+        } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{\n"
+            );
+            for v in variants {
+                let label = variant_tag(v, *snake_case);
+                match (&v.kind, tag) {
+                    (VariantKind::Unit, None) => {
+                        let _ = write!(
+                            out,
+                            "{name}::{v} => ::serde::Content::Str({label:?}.to_string()),\n",
+                            v = v.name
+                        );
+                    }
+                    (VariantKind::Unit, Some(tag)) => {
+                        let _ = write!(
+                            out,
+                            "{name}::{v} => ::serde::Content::Map(vec![\
+                             ({tag:?}.to_string(), ::serde::Content::Str({label:?}.to_string()))]),\n",
+                            v = v.name
+                        );
+                    }
+                    (VariantKind::Newtype, None) => {
+                        let _ = write!(
+                            out,
+                            "{name}::{v}(x) => ::serde::Content::Map(vec![({label:?}.to_string(), \
+                             ::serde::Serialize::to_content(x))]),\n",
+                            v = v.name
+                        );
+                    }
+                    (VariantKind::Newtype, Some(_)) => {
+                        out = format!(
+                            "newtype variant {}::{} cannot be internally tagged",
+                            name, v.name
+                        );
+                        return format!("compile_error!({out:?});");
+                    }
+                    (VariantKind::Struct(fields), None) => {
+                        let pats: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.clone())
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "{name}::{v} {{ {pat} .. }} => ::serde::Content::Map(vec![\
+                             ({label:?}.to_string(), ::serde::Content::Map({entries}))]),\n",
+                            v = v.name,
+                            pat = pats.iter().fold(String::new(), |mut s, p| {
+                                let _ = write!(s, "{p}, ");
+                                s
+                            }),
+                            entries = fields_to_entries(fields, "")
+                        );
+                    }
+                    (VariantKind::Struct(fields), Some(tag)) => {
+                        let pats: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.clone())
+                            .collect();
+                        let mut entries = format!(
+                            "{{ let mut m = vec![({tag:?}.to_string(), \
+                             ::serde::Content::Str({label:?}.to_string()))]; \
+                             m.extend({}); m }}",
+                            fields_to_entries(fields, "")
+                        );
+                        entries = format!("::serde::Content::Map({entries})");
+                        let _ = write!(
+                            out,
+                            "{name}::{v} {{ {pat} .. }} => {entries},\n",
+                            v = v.name,
+                            pat = pats.iter().fold(String::new(), |mut s, p| {
+                                let _ = write!(s, "{p}, ");
+                                s
+                            })
+                        );
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let mut out = String::new();
+    match shape {
+        Shape::Struct { name, fields } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_content(content: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let entries = match content {{\n\
+                 ::serde::Content::Map(m) => m,\n\
+                 other => return Err(::serde::Error::custom(\
+                 format!(\"expected map for {name}, got {{other:?}}\"))),\n\
+                 }};\n\
+                 {FIELD_LOOKUP}\
+                 Ok({name} {{\n{inits}}})\n}}\n}}\n",
+                inits = fields_from_entries(fields)
+            );
+        }
+        Shape::Enum {
+            name,
+            tag,
+            snake_case,
+            variants,
+        } => match tag {
+            Some(tag) => gen_deserialize_tagged(&mut out, name, tag, *snake_case, variants),
+            None => gen_deserialize_external(&mut out, name, *snake_case, variants),
+        },
+    }
+    out
+}
+
+/// Externally tagged: `"Variant"`, `{"Variant": inner}`, or
+/// `{"Variant": {fields}}`.
+fn gen_deserialize_external(out: &mut String, name: &str, snake_case: bool, variants: &[Variant]) {
+    let _ = write!(
+        out,
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(content: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n\
+         match content {{\n\
+         ::serde::Content::Str(s) => match s.as_str() {{\n"
+    );
+    for v in variants.iter().filter(|v| matches!(v.kind, VariantKind::Unit)) {
+        let label = variant_tag(v, snake_case);
+        let _ = write!(out, "{label:?} => Ok({name}::{v}),\n", v = v.name);
+    }
+    let _ = write!(
+        out,
+        "other => Err(::serde::Error::custom(\
+         format!(\"unknown {name} variant {{other}}\"))),\n\
+         }},\n\
+         ::serde::Content::Map(m) if m.len() == 1 => match m[0].0.as_str() {{\n"
+    );
+    for v in variants {
+        let label = variant_tag(v, snake_case);
+        match &v.kind {
+            VariantKind::Unit => {}
+            VariantKind::Newtype => {
+                let _ = write!(
+                    out,
+                    "{label:?} => Ok({name}::{v}(::serde::Deserialize::from_content(&m[0].1)?)),\n",
+                    v = v.name
+                );
+            }
+            VariantKind::Struct(fields) => {
+                let _ = write!(
+                    out,
+                    "{label:?} => {{\n\
+                     let entries = match &m[0].1 {{\n\
+                     ::serde::Content::Map(f) => f,\n\
+                     other => return Err(::serde::Error::custom(\
+                     format!(\"expected map for {name}::{v}, got {{other:?}}\"))),\n\
+                     }};\n\
+                     {FIELD_LOOKUP}\
+                     Ok({name}::{v} {{\n{inits}}})\n}}\n",
+                    v = v.name,
+                    inits = fields_from_entries(fields)
+                );
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "other => Err(::serde::Error::custom(\
+         format!(\"unknown {name} variant {{other}}\"))),\n\
+         }},\n\
+         other => Err(::serde::Error::custom(\
+         format!(\"expected {name} variant, got {{other:?}}\"))),\n\
+         }}\n}}\n}}\n"
+    );
+}
+
+/// Internally tagged: `{"<tag>": "variant", fields...}`.
+fn gen_deserialize_tagged(
+    out: &mut String,
+    name: &str,
+    tag: &str,
+    snake_case: bool,
+    variants: &[Variant],
+) {
+    let _ = write!(
+        out,
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(content: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n\
+         let entries = match content {{\n\
+         ::serde::Content::Map(m) => m,\n\
+         other => return Err(::serde::Error::custom(\
+         format!(\"expected map for {name}, got {{other:?}}\"))),\n\
+         }};\n\
+         {FIELD_LOOKUP}\
+         let tag_value = match field({tag:?}) {{\n\
+         Some(::serde::Content::Str(s)) => s.as_str(),\n\
+         _ => return Err(::serde::Error::custom(\
+         \"missing {tag} tag for {name}\")),\n\
+         }};\n\
+         match tag_value {{\n"
+    );
+    for v in variants {
+        let label = variant_tag(v, snake_case);
+        match &v.kind {
+            VariantKind::Unit => {
+                let _ = write!(out, "{label:?} => Ok({name}::{v}),\n", v = v.name);
+            }
+            VariantKind::Newtype => {
+                let _ = write!(
+                    out,
+                    "{label:?} => Err(::serde::Error::custom(\
+                     \"newtype variant {name}::{v} cannot be internally tagged\")),\n",
+                    v = v.name
+                );
+            }
+            VariantKind::Struct(fields) => {
+                let _ = write!(
+                    out,
+                    "{label:?} => Ok({name}::{v} {{\n{inits}}}),\n",
+                    v = v.name,
+                    inits = fields_from_entries(fields)
+                );
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "other => Err(::serde::Error::custom(\
+         format!(\"unknown {name} variant {{other}}\"))),\n\
+         }}\n}}\n}}\n"
+    );
+}

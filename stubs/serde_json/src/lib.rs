@@ -1,0 +1,865 @@
+//! Offline shim for the `serde_json` API surface this workspace uses:
+//! [`Value`] / [`Number`] / [`Map`], a full JSON parser and printer
+//! (compact and pretty), the [`json!`] macro, and `to_string` /
+//! `to_string_pretty` / `from_str` bridged over the `serde` shim's
+//! `Content` tree. Object key order is insertion order.
+
+use std::fmt;
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Specialized `Result` for JSON operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An order-preserving string-keyed map (like serde_json's
+/// `preserve_order` feature).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Insert, replacing (in place) any existing entry for `key`.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Does the map contain `key`?
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Remove an entry, preserving the order of the rest.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON number: integer or float.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, PartialEq)]
+enum N {
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+}
+
+impl Number {
+    /// A float number, unless it is NaN or infinite.
+    pub fn from_f64(f: f64) -> Option<Number> {
+        f.is_finite().then_some(Number(N::Float(f)))
+    }
+
+    /// As `i64` if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::Int(i) => Some(i),
+            N::UInt(u) => i64::try_from(u).ok(),
+            N::Float(_) => None,
+        }
+    }
+
+    /// As `u64` if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::Int(i) => u64::try_from(i).ok(),
+            N::UInt(u) => Some(u),
+            N::Float(_) => None,
+        }
+    }
+
+    /// As `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::Int(i) => Some(i as f64),
+            N::UInt(u) => Some(u as f64),
+            N::Float(f) => Some(f),
+        }
+    }
+}
+
+macro_rules! number_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(v: $t) -> Number {
+                match i64::try_from(v) {
+                    Ok(i) => Number(N::Int(i)),
+                    Err(_) => Number(N::UInt(v as u64)),
+                }
+            }
+        }
+    )*};
+}
+
+number_from_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            N::Int(i) => write!(f, "{i}"),
+            N::UInt(u) => write!(f, "{u}"),
+            // {:?} keeps a trailing `.0` on integral floats, like serde_json.
+            N::Float(x) => write!(f, "{x:?}"),
+        }
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered).
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Borrow as `&str` if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As `bool` if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As `i64` if this is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// As `u64` if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// As `f64` if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Borrow the backing vector if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow the backing map if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Is this `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field lookup (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(self.as_str())
+    }
+}
+
+macro_rules! value_eq_num {
+    ($($t:ty => $as:ident),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.$as() == Some((*other).into())
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other.$as() == Some((*self).into())
+            }
+        }
+    )*};
+}
+
+value_eq_num!(i64 => as_i64, i32 => as_i64, u64 => as_u64, u32 => as_u64, f64 => as_f64, bool => as_bool);
+
+static NULL_VALUE: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array()
+            .and_then(|a| a.get(idx))
+            .unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::String(s.clone())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Number::from_f64(f).map(Value::Number).unwrap_or(Value::Null)
+    }
+}
+
+impl From<Number> for Value {
+    fn from(n: Number) -> Value {
+        Value::Number(n)
+    }
+}
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::from(v))
+            }
+        }
+    )*};
+}
+
+value_from_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(m: Map<String, Value>) -> Value {
+        Value::Object(m)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_compact(self, f)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut impl fmt::Write) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            '\u{08}' => out.write_str("\\b")?,
+            '\u{0c}' => out.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+fn write_compact(v: &Value, out: &mut impl fmt::Write) -> fmt::Result {
+    match v {
+        Value::Null => out.write_str("null"),
+        Value::Bool(b) => write!(out, "{b}"),
+        Value::Number(n) => write!(out, "{n}"),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.write_char('[')?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(',')?;
+                }
+                write_compact(item, out)?;
+            }
+            out.write_char(']')
+        }
+        Value::Object(map) => {
+            out.write_char('{')?;
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(',')?;
+                }
+                write_escaped(k, out)?;
+                out.write_char(':')?;
+                write_compact(item, out)?;
+            }
+            out.write_char('}')
+        }
+    }
+}
+
+fn write_pretty(v: &Value, out: &mut impl fmt::Write, indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.write_str("[\n")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.write_str(",\n")?;
+                }
+                out.write_str(&inner)?;
+                write_pretty(item, out, indent + 1)?;
+            }
+            write!(out, "\n{pad}]")
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.write_str("{\n")?;
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.write_str(",\n")?;
+                }
+                out.write_str(&inner)?;
+                write_escaped(k, out)?;
+                out.write_str(": ")?;
+                write_pretty(item, out, indent + 1)?;
+            }
+            write!(out, "\n{pad}}}")
+        }
+        other => write_compact(other, out),
+    }
+}
+
+// ---- parser ----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, msg: &str) -> Result<T> {
+        Err(Error::new(format!("{msg} at byte {}", self.pos)))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.parse_number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err("invalid literal")
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs for astral-plane chars.
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                if self.bytes.get(self.pos + 1..self.pos + 3) != Some(b"\\u") {
+                                    return self.err("lone surrogate");
+                                }
+                                let hex2 = self
+                                    .bytes
+                                    .get(self.pos + 3..self.pos + 7)
+                                    .ok_or_else(|| Error::new("truncated surrogate"))?;
+                                let low = u32::from_str_radix(
+                                    std::str::from_utf8(hex2)
+                                        .map_err(|_| Error::new("bad surrogate"))?,
+                                    16,
+                                )
+                                .map_err(|_| Error::new("bad surrogate"))?;
+                                self.pos += 6;
+                                0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00)
+                            } else {
+                                code
+                            };
+                            out.push(
+                                char::from_u32(c)
+                                    .ok_or_else(|| Error::new("invalid codepoint"))?,
+                            );
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.eat(b'-') {}
+        while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.eat(b'.') {
+            is_float = true;
+            while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.bytes.get(self.pos), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number(N::Int(i))));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number(N::UInt(u))));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Value::Number(Number(N::Float(f)))),
+            _ => self.err("invalid number"),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Value::Array(items));
+            }
+            self.expect(b',')?;
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Value::Object(map));
+            }
+            self.expect(b',')?;
+        }
+    }
+}
+
+// ---- serde bridge ----------------------------------------------------
+
+fn value_to_content(v: &Value) -> serde::Content {
+    match v {
+        Value::Null => serde::Content::Null,
+        Value::Bool(b) => serde::Content::Bool(*b),
+        Value::Number(n) => match &n.0 {
+            N::Int(i) => serde::Content::Int(*i),
+            N::UInt(u) => serde::Content::UInt(*u),
+            N::Float(f) => serde::Content::Float(*f),
+        },
+        Value::String(s) => serde::Content::Str(s.clone()),
+        Value::Array(items) => serde::Content::Seq(items.iter().map(value_to_content).collect()),
+        Value::Object(map) => serde::Content::Map(
+            map.iter()
+                .map(|(k, v)| (k.clone(), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+fn content_to_value(c: &serde::Content) -> Value {
+    match c {
+        serde::Content::Null => Value::Null,
+        serde::Content::Bool(b) => Value::Bool(*b),
+        serde::Content::Int(i) => Value::Number(Number(N::Int(*i))),
+        serde::Content::UInt(u) => Value::Number(Number(N::UInt(*u))),
+        serde::Content::Float(f) => Number::from_f64(*f)
+            .map(Value::Number)
+            .unwrap_or(Value::Null),
+        serde::Content::Str(s) => Value::String(s.clone()),
+        serde::Content::Seq(items) => Value::Array(items.iter().map(content_to_value).collect()),
+        serde::Content::Map(entries) => Value::Object(
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl serde::Serialize for Value {
+    fn to_content(&self) -> serde::Content {
+        value_to_content(self)
+    }
+}
+
+impl serde::Deserialize for Value {
+    fn from_content(content: &serde::Content) -> std::result::Result<Self, serde::Error> {
+        Ok(content_to_value(content))
+    }
+}
+
+/// Parse JSON text into any `Deserialize` type (usually [`Value`]).
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let mut parser = Parser::new(s);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.err("trailing characters");
+    }
+    T::from_content(&value_to_content(&value)).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Serialize any `Serialize` type to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(content_to_value(&value.to_content()).to_string())
+}
+
+/// Serialize any `Serialize` type to 2-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = content_to_value(&value.to_content());
+    let mut out = String::new();
+    write_pretty(&v, &mut out, 0).map_err(|e| Error::new(e.to_string()))?;
+    Ok(out)
+}
+
+/// Convert any `Serialize` type into a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value> {
+    Ok(content_to_value(&value.to_content()))
+}
+
+/// Convert a [`Value`] into any `Deserialize` type.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::from_content(&value_to_content(value)).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Convert by reference for the `json!` macro (borrows like serde_json's).
+#[doc(hidden)]
+pub fn __json_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    content_to_value(&value.to_content())
+}
+
+/// Build a [`Value`] from a JSON-shaped literal. Object values and array
+/// elements are ordinary expressions, converted by reference via their
+/// `Serialize` impl (so owned fields are not moved).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::__json_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        let mut map = $crate::Map::new();
+        $( map.insert($key.to_string(), $crate::__json_value(&$value)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::__json_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_print_round_trip() {
+        let text = r#"{"a":[1,2.5,"x\n",true,null],"b":{"neg":-7},"u":18446744073709551615}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v.get("b").and_then(|b| b.get("neg")).and_then(Value::as_i64), Some(-7));
+        assert_eq!(v.get("u").and_then(Value::as_u64), Some(u64::MAX));
+        let reprinted = v.to_string();
+        let v2: Value = from_str(&reprinted).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn json_macro_and_order() {
+        let v = json!({ "b": 1, "a": vec!["x".to_string()], "nested": json!({ "k": true }) });
+        assert_eq!(
+            v.to_string(),
+            r#"{"b":1,"a":["x"],"nested":{"k":true}}"#
+        );
+        assert_eq!(v.get("nested").and_then(|n| n.get("k")), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn pretty_round_trips() {
+        let v = json!({ "rows": json!([1, 2]), "name": "t" });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"rows\""));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn float_formatting_keeps_fraction_marker() {
+        assert_eq!(json!({ "f": 2.0 }).to_string(), r#"{"f":2.0}"#);
+        let back: Value = from_str(r#"{"f":2.0}"#).unwrap();
+        assert_eq!(back.get("f").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(back.get("f").and_then(Value::as_i64), None);
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let v = Value::String("a\"b\\c\nd\u{1f600}".to_string());
+        let back: Value = from_str(&v.to_string()).unwrap();
+        assert_eq!(back, v);
+    }
+}

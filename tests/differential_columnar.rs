@@ -8,6 +8,8 @@ use std::sync::Arc;
 use odbis_bench::workloads;
 use odbis_sql::{Engine, QueryResult};
 use odbis_storage::Database;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 /// A database mixing the generated healthcare star schema with a small
 /// hand-built table exercising NULLs, booleans, dates, negative numbers
@@ -192,6 +194,200 @@ fn both_paths_agree_on_errors() {
             vec.is_err(),
             "vectorized path unexpectedly succeeded for: {sql}"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded random-query generator: star-schema queries (joins, group-by,
+// order/limit) checked across four engine configurations. The seeds are the
+// chaos suite's replay constants — rerun a failure by grepping the printed
+// query.
+// ---------------------------------------------------------------------------
+
+const GENERATOR_SEEDS: [u64; 2] = [3_405_691_582, 195_948_557];
+const QUERIES_PER_SEED: usize = 60;
+
+/// One random star-schema SELECT. Joins, filters, grouped aggregates and
+/// ORDER BY/LIMIT are all drawn independently; column references are
+/// qualified whenever the dimension table is in scope so nothing is
+/// ambiguous.
+fn gen_query(rng: &mut StdRng) -> String {
+    let join = rng.random_bool(0.5);
+    let group = rng.random_bool(0.5);
+
+    let mut filters: Vec<String> = Vec::new();
+    if rng.random_bool(0.6) {
+        filters.push(format!("f.cost > {}.0", rng.random_range(500..2500i64)));
+    }
+    if rng.random_bool(0.4) {
+        filters.push(format!("f.year = {}", rng.random_range(2008..=2010i64)));
+    }
+    if rng.random_bool(0.3) {
+        let lo = rng.random_range(1..=10i64);
+        filters.push(format!(
+            "f.stay_days BETWEEN {lo} AND {}",
+            lo + rng.random_range(0..=11i64)
+        ));
+    }
+    if rng.random_bool(0.25) {
+        filters.push(format!("f.dept_id = {}", rng.random_range(0..7i64)));
+    }
+    if join && rng.random_bool(0.3) {
+        filters.push(format!("d.head_count > {}", rng.random_range(20..200i64)));
+    }
+
+    let from = if join {
+        "fact_admission f JOIN dim_department d ON f.dept_id = d.dept_id"
+    } else {
+        "fact_admission f"
+    };
+    let where_clause = if filters.is_empty() {
+        String::new()
+    } else {
+        format!(" WHERE {}", filters.join(" AND "))
+    };
+
+    if group {
+        let keys: &[&str] = if join {
+            &["d.name", "f.year", "f.month"]
+        } else {
+            &["f.dept_id", "f.year", "f.month"]
+        };
+        let n_keys = rng.random_range(1..=2usize);
+        let mut chosen: Vec<&str> = Vec::new();
+        while chosen.len() < n_keys {
+            let k = keys[rng.random_range(0..keys.len())];
+            if !chosen.contains(&k) {
+                chosen.push(k);
+            }
+        }
+        let aggs = [
+            "COUNT(*) AS n",
+            "SUM(f.cost) AS total",
+            "AVG(f.cost) AS mean",
+            "MIN(f.stay_days) AS lo",
+            "MAX(f.stay_days) AS hi",
+        ];
+        let agg = aggs[rng.random_range(0..aggs.len())];
+        let having = if rng.random_bool(0.25) {
+            format!(" HAVING COUNT(*) > {}", rng.random_range(1..10i64))
+        } else {
+            String::new()
+        };
+        let key_list = chosen.join(", ");
+        format!(
+            "SELECT {key_list}, {agg} FROM {from}{where_clause} \
+             GROUP BY {key_list}{having} ORDER BY {key_list}"
+        )
+    } else {
+        let cols: &[&str] = if join {
+            &["f.id", "f.cost", "f.stay_days", "d.name", "f.year"]
+        } else {
+            &["f.id", "f.cost", "f.stay_days", "f.dept_id", "f.year"]
+        };
+        let n_cols = rng.random_range(1..=3usize);
+        let mut chosen: Vec<&str> = vec!["f.id"];
+        while chosen.len() < n_cols {
+            let c = cols[rng.random_range(0..cols.len())];
+            if !chosen.contains(&c) {
+                chosen.push(c);
+            }
+        }
+        let limit = if rng.random_bool(0.5) {
+            let mut l = format!(" LIMIT {}", rng.random_range(1..50i64));
+            if rng.random_bool(0.4) {
+                l.push_str(&format!(" OFFSET {}", rng.random_range(0..100i64)));
+            }
+            l
+        } else {
+            String::new()
+        };
+        format!(
+            "SELECT {} FROM {from}{where_clause} ORDER BY f.id{limit}",
+            chosen.join(", ")
+        )
+    }
+}
+
+/// Every generated query must agree across all four engine configurations:
+/// row-at-a-time reference, serial vectorized, morsel-parallel vectorized,
+/// and vectorized with the whole optimizer pipeline disabled.
+#[test]
+fn random_star_queries_agree_across_engine_configs() {
+    let db = corpus_db();
+    let row_engine = Engine::with_row_execution();
+    let serial = Engine::new().with_parallelism(1);
+    let parallel = Engine::new().with_parallelism(4);
+    let unoptimized = Engine::new().with_optimizer_rules("none");
+    for seed in GENERATOR_SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..QUERIES_PER_SEED {
+            let sql = gen_query(&mut rng);
+            let reference = row_engine
+                .execute(&db, &sql)
+                .unwrap_or_else(|e| panic!("row path failed (seed {seed}, #{i}) for {sql}: {e}"));
+            for (engine, label) in [
+                (&serial, "serial-vectorized"),
+                (&parallel, "parallel-vectorized"),
+                (&unoptimized, "optimizer-disabled"),
+            ] {
+                let candidate = engine.execute(&db, &sql).unwrap_or_else(|e| {
+                    panic!("{label} failed (seed {seed}, #{i}) for {sql}: {e}")
+                });
+                assert_same_unordered(&sql, &reference, &candidate, label);
+            }
+        }
+    }
+}
+
+/// Multi-morsel check: at 20k fact rows the scan splits into several
+/// morsels, exercising the per-worker partial accumulators and the ordered
+/// merge. Integer aggregates (COUNT/SUM-of-INT/MIN/MAX) must be *exactly*
+/// equal across every configuration; float SUM/AVG are checked to a
+/// relative tolerance because the merge-tree shape changes with the worker
+/// count and float addition is not associative.
+#[test]
+fn multi_morsel_aggregates_agree_across_parallelism() {
+    let db = Arc::new(workloads::healthcare_db(20_000, 11));
+    let reference = Engine::new().with_parallelism(1);
+    let exact_queries = [
+        "SELECT dept_id, COUNT(*) AS n, SUM(stay_days) AS days, MIN(id) AS lo, MAX(id) AS hi \
+         FROM fact_admission GROUP BY dept_id ORDER BY dept_id",
+        "SELECT year, COUNT(*) AS n FROM fact_admission WHERE stay_days > 7 \
+         GROUP BY year ORDER BY year",
+    ];
+    let float_queries = ["SELECT dept_id, SUM(cost) AS total, AVG(cost) AS mean \
+         FROM fact_admission GROUP BY dept_id ORDER BY dept_id"];
+    for workers in [2usize, 4, 8] {
+        let engine = Engine::new().with_parallelism(workers);
+        for sql in exact_queries {
+            let expected = reference.execute(&db, sql).unwrap();
+            let got = engine.execute(&db, sql).unwrap();
+            assert_eq!(expected.rows, got.rows, "workers={workers} for: {sql}");
+        }
+        for sql in float_queries {
+            let expected = reference.execute(&db, sql).unwrap();
+            let got = engine.execute(&db, sql).unwrap();
+            assert_eq!(
+                expected.rows.len(),
+                got.rows.len(),
+                "workers={workers} for: {sql}"
+            );
+            for (e, g) in expected.rows.iter().zip(&got.rows) {
+                for (a, b) in e.iter().zip(g) {
+                    match (a, b) {
+                        (odbis_storage::Value::Float(x), odbis_storage::Value::Float(y)) => {
+                            let scale = x.abs().max(y.abs()).max(1.0);
+                            assert!(
+                                (x - y).abs() <= 1e-9 * scale,
+                                "workers={workers}: {x} vs {y} for: {sql}"
+                            );
+                        }
+                        _ => assert_eq!(a, b, "workers={workers} for: {sql}"),
+                    }
+                }
+            }
+        }
     }
 }
 
