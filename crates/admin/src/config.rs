@@ -91,6 +91,18 @@ fn fsync_default() -> String {
     }
 }
 
+/// The declared default for an admission-control limit: the corresponding
+/// `ODBIS_LIMITS_*` environment variable when it parses as an integer,
+/// otherwise `fallback`. Admission limits default open (`limits.rate` 0 =
+/// unlimited) so a bare checkout behaves exactly as before; operators and
+/// the noisy-neighbor suites opt tenants in per deployment.
+fn limit_default(env: &str, fallback: i64) -> i64 {
+    std::env::var(env)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(fallback)
+}
+
 /// Declared-key configuration store with platform defaults and per-tenant
 /// overrides. Reads resolve tenant → platform → declared default.
 pub struct PlatformConfig {
@@ -121,6 +133,21 @@ impl PlatformConfig {
             ("telemetry.enabled", ConfigValue::Bool(true)),
             ("telemetry.slow_ms", ConfigValue::Int(250)),
             ("chaos.enabled", ConfigValue::Bool(false)),
+            // per-tenant admission control (requests/second; 0 = unlimited)
+            (
+                "limits.rate",
+                ConfigValue::Int(limit_default("ODBIS_LIMITS_RATE", 0)),
+            ),
+            // bucket capacity above the rate (0 = one second of rate)
+            (
+                "limits.burst",
+                ConfigValue::Int(limit_default("ODBIS_LIMITS_BURST", 0)),
+            ),
+            // in-flight requests a tenant may hold past its rate before 429
+            (
+                "limits.queue_depth",
+                ConfigValue::Int(limit_default("ODBIS_LIMITS_QUEUE_DEPTH", 64)),
+            ),
             ("delivery.mobile_row_cap", ConfigValue::Int(20)),
             ("security.session_minutes", ConfigValue::Int(30)),
             ("platform.name", ConfigValue::from("ODBIS")),
@@ -254,6 +281,19 @@ mod tests {
             cfg.get_int("t", "platform.name"),
             Err(ConfigError::TypeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn admission_limits_are_declared_with_open_defaults() {
+        let cfg = PlatformConfig::with_defaults();
+        assert_eq!(cfg.get_int("t", "limits.rate").unwrap(), 0);
+        assert_eq!(cfg.get_int("t", "limits.burst").unwrap(), 0);
+        assert_eq!(cfg.get_int("t", "limits.queue_depth").unwrap(), 64);
+        // per-tenant personalization works like any other key
+        cfg.set_for_tenant("noisy", "limits.rate", 50i64.into())
+            .unwrap();
+        assert_eq!(cfg.get_int("noisy", "limits.rate").unwrap(), 50);
+        assert_eq!(cfg.get_int("quiet", "limits.rate").unwrap(), 0);
     }
 
     #[test]

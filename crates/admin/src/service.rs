@@ -118,8 +118,10 @@ pub struct UsageLine {
 pub struct AdminService {
     registry: Arc<TenantRegistry>,
     meter: Arc<UsageMeter>,
-    /// Platform configuration store.
-    pub config: PlatformConfig,
+    /// Platform configuration store — shared (`Arc`) so cross-cutting
+    /// consumers like the web tier's admission-control resolver can read
+    /// live limits without holding the whole service.
+    pub config: Arc<PlatformConfig>,
     /// Platform performance monitor.
     pub perf: PerfMonitor,
     /// The telemetry spine: spans, histograms, slow log (shared with every
@@ -138,7 +140,7 @@ impl AdminService {
         AdminService {
             registry,
             meter,
-            config: PlatformConfig::with_defaults(),
+            config: Arc::new(PlatformConfig::with_defaults()),
             perf: PerfMonitor::new(),
             telemetry: Arc::new(Telemetry::new()),
             cost_model: CostModel::default(),

@@ -6,4 +6,5 @@
 //! ablations A1–A4).
 
 pub mod concurrency;
+pub mod http;
 pub mod workloads;

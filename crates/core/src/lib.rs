@@ -38,4 +38,4 @@ mod web_api;
 pub use context::ApplicationContext;
 pub use error::{PlatformError, PlatformResult};
 pub use platform::{OdbisPlatform, TenantWorkspace};
-pub use web_api::build_router;
+pub use web_api::{build_router, serve_platform, API_PREFIX, DEFAULT_PAGE_LIMIT, MAX_PAGE_LIMIT};

@@ -246,6 +246,10 @@ pub struct OdbisPlatform {
     pub bus: Arc<MessageBus>,
     /// The Spring-like application context (service registry).
     pub context: ApplicationContext,
+    /// Per-tenant HTTP admission control, resolving `limits.rate`,
+    /// `limits.burst` and `limits.queue_depth` from the platform config
+    /// (tenant → platform → `ODBIS_LIMITS_*` defaults) on every request.
+    pub admission: Arc<odbis_web::AdmissionControl>,
     sql: Engine,
     sql_rows: Engine,
     workspaces: Arc<RwLock<HashMap<String, Arc<TenantWorkspace>>>>,
@@ -281,6 +285,17 @@ impl OdbisPlatform {
         context.register(Arc::clone(&meter));
         context.register(Arc::clone(&bus));
         let admin = AdminService::new(registry, meter);
+        let config = Arc::clone(&admin.config);
+        let admission = Arc::new(odbis_web::AdmissionControl::new(move |tenant| {
+            odbis_web::TenantLimits {
+                rate: config.get_int(tenant, "limits.rate").unwrap_or(0).max(0) as f64,
+                burst: config.get_int(tenant, "limits.burst").unwrap_or(0).max(0) as f64,
+                queue_depth: config
+                    .get_int(tenant, "limits.queue_depth")
+                    .unwrap_or(64)
+                    .max(0) as u64,
+            }
+        }));
         let workspaces = Arc::new(RwLock::new(HashMap::new()));
         if data_dir.is_some() {
             admin.durability.register(Arc::new(TenantDurability {
@@ -292,6 +307,7 @@ impl OdbisPlatform {
             admin,
             bus,
             context,
+            admission,
             sql: Engine::new(),
             sql_rows: Engine::with_row_execution(),
             workspaces,
@@ -551,6 +567,26 @@ impl OdbisPlatform {
             self.admin
                 .meter_usage(tenant, ServiceKind::Metadata, 1 + result.rows.len() as u64);
             Ok(result)
+        })
+    }
+
+    /// Execute a data set and return its columnar batch (no row pivot) —
+    /// the path streamed exports such as CSV downloads serialize from.
+    pub fn execute_dataset_batch(
+        &self,
+        tenant: &str,
+        token: &str,
+        name: &str,
+    ) -> PlatformResult<(Vec<String>, odbis_storage::Batch)> {
+        self.traced(tenant, ServiceKind::Metadata, "dataset.export", |span| {
+            span.set_detail(name);
+            self.authorize(tenant, token, "DATASET_RUN")?;
+            let ws = self.workspace(tenant)?;
+            let (columns, batch) = ws.mds.execute_dataset_batch(name)?;
+            span.set_rows(batch.num_rows() as u64);
+            self.admin
+                .meter_usage(tenant, ServiceKind::Metadata, 1 + batch.num_rows() as u64);
+            Ok((columns, batch))
         })
     }
 

@@ -1,26 +1,14 @@
 //! The platform's HTTP API: Figure 4's UI layer, serving the web-browser
 //! access tool of Figure 1 and the web-service delivery channel.
 //!
-//! The API is versioned: every route lives under the `/api/v1` prefix.
-//! The original unprefixed paths are kept as deprecated aliases — they
-//! serve the same handlers but answer with a `Deprecation: true` header
-//! and a `Link` header pointing at the successor route.
-//!
-//! | method | path | purpose |
-//! |---|---|---|
-//! | GET  | `/api/v1/health` | liveness (public) |
-//! | POST | `/api/v1/login` | JSON `{"tenant","user","password"}` → token (public) |
-//! | GET  | `/api/v1/metrics` | Prometheus text-format telemetry scrape (public) |
-//! | POST | `/api/v1/sql` | raw SQL (designer) |
-//! | GET  | `/api/v1/datasets` | list data sets |
-//! | GET  | `/api/v1/datasets/:name` | execute a data set (JSON) |
-//! | POST | `/api/v1/mdx` | MDX-lite query |
-//! | GET  | `/api/v1/admin/usage` | metered usage report (ADMIN_USERS) |
-//! | GET  | `/api/v1/admin/invoice` | pay-as-you-go cost lines (ADMIN_USERS) |
-//! | GET  | `/api/v1/admin/slowlog` | slow-operation log (ADMIN_USERS) |
-//! | GET  | `/api/v1/admin/durability` | WAL/fsync status of the tenant's durable store (ADMIN_CONFIG) |
-//! | POST | `/api/v1/admin/checkpoint` | fold the tenant's WAL into its snapshot (ADMIN_CONFIG) |
-//! | POST | `/api/v1/admin/failpoints` | arm/clear/list fault-injection sites (ADMIN_CONFIG + `chaos.enabled`) |
+//! The API is versioned: every route lives under the `/api/v1` prefix,
+//! and the surface is self-describing — `GET /api/v1` answers with the
+//! live route index (method, path, auth requirement, deprecation)
+//! generated from the router registrations themselves, so it cannot
+//! drift from the code the way a hand-maintained table would. The
+//! original unprefixed paths are kept as deprecated aliases — they serve
+//! the same handlers but answer with a `Deprecation: true` header and a
+//! `Link` header pointing at the successor route.
 //!
 //! Authenticated routes read the tenant from the `x-tenant` header and the
 //! session token from `Authorization: Bearer <token>` (preferred) or the
@@ -28,9 +16,29 @@
 //! security filter, the Spring-Security-chain analogue of the paper's
 //! architecture.
 //!
-//! Errors are a uniform JSON envelope `{"error":{"kind","message"}}`; the
-//! status code comes from [`PlatformError::http_status`] (missing resources
-//! are 404, authz is 403, plan/quota is 402).
+//! Every response carries an `X-Request-Id` header — adopted from the
+//! client's, or minted — and the same id is embedded in error envelopes
+//! and recorded on every span and slow-log entry the request produces
+//! (the identity filter installs it as the thread's ambient telemetry
+//! context for the life of the dispatch).
+//!
+//! Collection routes (`/datasets`, `/admin/usage`, `/admin/slowlog`)
+//! accept `?limit=` and `?cursor=` and then answer with a
+//! `{"items":[...],"next_cursor":...}` page (limit defaults to
+//! [`DEFAULT_PAGE_LIMIT`], cursors are opaque strings); without either
+//! parameter they keep the original bare-array shape for existing
+//! clients.
+//!
+//! `GET /api/v1/datasets/:name` content-negotiates: `Accept: text/csv`
+//! streams the result as RFC-4180 CSV serialized straight from the
+//! columnar batch (no row pivot); JSON (the default) answers the
+//! `{"columns","rows"}` shape; any other type is a 406.
+//!
+//! Errors are a uniform JSON envelope
+//! `{"error":{"kind","message","request_id"}}`; the status code comes
+//! from [`PlatformError::http_status`] (missing resources are 404, authz
+//! is 403, plan/quota is 402; per-tenant admission control answers 429
+//! with `Retry-After` before the router is reached).
 
 use std::sync::Arc;
 
@@ -42,39 +50,152 @@ use crate::platform::OdbisPlatform;
 /// The current API version prefix.
 pub const API_PREFIX: &str = "/api/v1";
 
+/// Page size used when `?cursor=` is given without `?limit=`.
+pub const DEFAULT_PAGE_LIMIT: usize = 100;
+
+/// Largest accepted `?limit=`; bigger asks are a 400, not a silent clamp.
+pub const MAX_PAGE_LIMIT: usize = 1_000;
+
 type SharedHandler = Arc<dyn Fn(&HttpRequest, &PathParams) -> HttpResponse + Send + Sync>;
 
-/// Register `path` under the `/api/v1` prefix and, for compatibility, at
-/// its legacy unprefixed location. The legacy alias serves the same
-/// handler but stamps deprecation headers on the response.
-fn versioned(
-    router: &mut Router,
-    method: Method,
-    path: &str,
-    handler: impl Fn(&HttpRequest, &PathParams) -> HttpResponse + Send + Sync + 'static,
-) {
-    let handler: SharedHandler = Arc::new(handler);
-    let canonical = format!("{API_PREFIX}{path}");
-    let h = Arc::clone(&handler);
-    router.route(method, &canonical, move |req, params| h(req, params));
-    router.route(method, path, move |req, params| {
-        handler(req, params)
-            .with_header("Deprecation", "true")
-            .with_header("Link", &format!("<{canonical}>; rel=\"successor-version\""))
-    });
+/// One registered route as advertised by the `GET /api/v1` index.
+struct RouteSpec {
+    method: &'static str,
+    path: String,
+    /// `"public"`, `"session"`, or the privilege the handler checks.
+    auth: &'static str,
+    /// `Some(successor)` when the route is a deprecated legacy alias.
+    successor: Option<String>,
+}
+
+/// Route registrar: every registration goes through here so the route
+/// table served by `GET /api/v1` is generated from the same calls that
+/// populate the router — they cannot disagree.
+struct ApiRoutes {
+    router: Router,
+    specs: Vec<RouteSpec>,
+}
+
+impl ApiRoutes {
+    fn new() -> Self {
+        ApiRoutes {
+            router: Router::new(),
+            specs: Vec::new(),
+        }
+    }
+
+    /// Register `path` under the `/api/v1` prefix and, for compatibility,
+    /// at its legacy unprefixed location. The legacy alias serves the
+    /// same handler but stamps deprecation headers on the response.
+    fn versioned(
+        &mut self,
+        method: Method,
+        path: &str,
+        auth: &'static str,
+        handler: impl Fn(&HttpRequest, &PathParams) -> HttpResponse + Send + Sync + 'static,
+    ) {
+        let handler: SharedHandler = Arc::new(handler);
+        let canonical = format!("{API_PREFIX}{path}");
+        let h = Arc::clone(&handler);
+        self.router
+            .route(method, &canonical, move |req, params| h(req, params));
+        self.specs.push(RouteSpec {
+            method: method.as_str(),
+            path: canonical.clone(),
+            auth,
+            successor: None,
+        });
+        let link = format!("<{canonical}>; rel=\"successor-version\"");
+        self.router.route(method, path, move |req, params| {
+            handler(req, params)
+                .with_header("Deprecation", "true")
+                .with_header("Link", &link)
+        });
+        self.specs.push(RouteSpec {
+            method: method.as_str(),
+            path: path.to_string(),
+            auth,
+            successor: Some(canonical),
+        });
+    }
+
+    /// Register a route that exists only at its canonical `/api/v1` path
+    /// (no legacy alias ever shipped for it).
+    fn canonical(
+        &mut self,
+        method: Method,
+        path: &str,
+        auth: &'static str,
+        handler: impl Fn(&HttpRequest, &PathParams) -> HttpResponse + Send + Sync + 'static,
+    ) {
+        self.router.route(method, path, handler);
+        self.specs.push(RouteSpec {
+            method: method.as_str(),
+            path: path.to_string(),
+            auth,
+            successor: None,
+        });
+    }
+
+    /// Serialize the registry and mount it at `GET /api/v1`, consuming the
+    /// registrar into the finished router.
+    fn finish(mut self) -> Router {
+        self.specs.push(RouteSpec {
+            method: "GET",
+            path: API_PREFIX.to_string(),
+            auth: "public",
+            successor: None,
+        });
+        let routes: Vec<serde_json::Value> = self
+            .specs
+            .iter()
+            .map(|s| match &s.successor {
+                Some(succ) => serde_json::json!({
+                    "method": s.method,
+                    "path": s.path,
+                    "auth": s.auth,
+                    "deprecated": true,
+                    "successor": succ,
+                }),
+                None => serde_json::json!({
+                    "method": s.method,
+                    "path": s.path,
+                    "auth": s.auth,
+                    "deprecated": false,
+                }),
+            })
+            .collect();
+        let index = serde_json::json!({ "api": "v1", "routes": routes }).to_string();
+        self.router.route(Method::Get, API_PREFIX, move |_, _| {
+            HttpResponse::json(index.clone())
+        });
+        self.router
+    }
 }
 
 /// Build the platform router. The returned router can be served with
 /// [`odbis_web::HttpServer::start`].
 pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
-    let mut router = Router::new();
+    let mut api = ApiRoutes::new();
+    let router = &mut api.router;
+
+    // identity filter: install the request id (ensured by the router
+    // before any filter runs) as the thread's ambient telemetry context,
+    // so every span and slow-log entry the request produces carries it
+    router.filter(|req| {
+        odbis_telemetry::set_ambient_request_id(req.request_id().map(str::to_string));
+        None
+    });
+    // ... and tear it down after every dispatch, even a panicking one
+    router.finally(|| odbis_telemetry::set_ambient_request_id(None));
 
     // security filter: stash tenant/token as request attributes; public
     // paths pass through
     router.filter(|req| {
-        const PUBLIC: [&str; 5] = [
+        const PUBLIC: [&str; 6] = [
             "/health",
             "/login",
+            "/api/v1",
             "/api/v1/health",
             "/api/v1/login",
             "/api/v1/metrics",
@@ -103,12 +224,12 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
         }
     });
 
-    versioned(&mut router, Method::Get, "/health", |_, _| {
+    api.versioned(Method::Get, "/health", "public", |_, _| {
         HttpResponse::json("{\"status\":\"up\",\"platform\":\"ODBIS\",\"api\":\"v1\"}")
     });
 
     let p = Arc::clone(&platform);
-    versioned(&mut router, Method::Post, "/login", move |req, _| {
+    api.versioned(Method::Post, "/login", "public", move |req, _| {
         let body = req.body_text();
         let creds = parse_login(&body);
         let Some((tenant, user, password)) = creds else {
@@ -127,7 +248,7 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
     });
 
     let p = Arc::clone(&platform);
-    router.route(Method::Get, "/api/v1/metrics", move |_, _| {
+    api.canonical(Method::Get, "/api/v1/metrics", "public", move |_, _| {
         let mut body = p.admin.telemetry.render_prometheus();
         // live-session gauge per tenant realm (expired sessions are swept
         // on login and excluded from the count either way)
@@ -140,6 +261,8 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
                 ));
             }
         }
+        // admission-control verdicts per tenant, counted at the server edge
+        body.push_str(&p.admission.render_prometheus());
         // fault-injection counters ride on the same scrape endpoint
         body.push_str(&odbis_chaos::render_prometheus());
         HttpResponse::status(200)
@@ -148,7 +271,7 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
     });
 
     let p = Arc::clone(&platform);
-    versioned(&mut router, Method::Post, "/sql", move |req, _| {
+    api.versioned(Method::Post, "/sql", "ETL_DESIGN", move |req, _| {
         let (tenant, token) = creds(req);
         match p.sql(&tenant, &token, &req.body_text()) {
             Ok(result) => HttpResponse::json(result_json(&result)),
@@ -157,25 +280,30 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
     });
 
     let p = Arc::clone(&platform);
-    versioned(&mut router, Method::Get, "/datasets", move |req, _| {
+    api.versioned(Method::Get, "/datasets", "DATASET_RUN", move |req, _| {
         let (tenant, token) = creds(req);
         match p
             .authorize(&tenant, &token, "DATASET_RUN")
             .and_then(|_| p.workspace(&tenant))
         {
             Ok(ws) => {
-                let names = ws.mds.dataset_names();
-                HttpResponse::json(serde_json::to_string(&names).unwrap_or_else(|_| "[]".into()))
+                let names: Vec<serde_json::Value> = ws
+                    .mds
+                    .dataset_names()
+                    .into_iter()
+                    .map(serde_json::Value::String)
+                    .collect();
+                paginate(req, names)
             }
             Err(e) => error_response(&e),
         }
     });
 
     let p = Arc::clone(&platform);
-    versioned(
-        &mut router,
+    api.versioned(
         Method::Get,
         "/datasets/:name",
+        "DATASET_RUN",
         move |req, params| {
             let (tenant, token) = creds(req);
             // `.get` rather than indexing: a route-table edit that renames
@@ -183,15 +311,26 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
             let Some(name) = params.get("name") else {
                 return error_envelope(400, "bad_request", "missing dataset name");
             };
-            match p.execute_dataset(&tenant, &token, name) {
-                Ok(result) => HttpResponse::json(result_json(&result)),
-                Err(e) => error_response(&e),
+            match negotiate(req) {
+                Negotiated::Json => match p.execute_dataset(&tenant, &token, name) {
+                    Ok(result) => HttpResponse::json(result_json(&result)),
+                    Err(e) => error_response(&e),
+                },
+                Negotiated::Csv => match p.execute_dataset_batch(&tenant, &token, name) {
+                    Ok((columns, batch)) => csv_response(&columns, &batch),
+                    Err(e) => error_response(&e),
+                },
+                Negotiated::Unsupported => error_envelope(
+                    406,
+                    "not_acceptable",
+                    "unsupported Accept type; this route serves application/json or text/csv",
+                ),
             }
         },
     );
 
     let p = Arc::clone(&platform);
-    versioned(&mut router, Method::Post, "/mdx", move |req, _| {
+    api.versioned(Method::Post, "/mdx", "CUBE_QUERY", move |req, _| {
         let (tenant, token) = creds(req);
         match p.mdx(&tenant, &token, &req.body_text()) {
             Ok(cells) => {
@@ -219,7 +358,7 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
     });
 
     let p = Arc::clone(&platform);
-    versioned(&mut router, Method::Get, "/admin/usage", move |req, _| {
+    api.versioned(Method::Get, "/admin/usage", "ADMIN_USERS", move |req, _| {
         let (tenant, token) = creds(req);
         match p.authorize(&tenant, &token, "ADMIN_USERS") {
             Ok(_) => {
@@ -235,150 +374,193 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
                         })
                     })
                     .collect();
-                HttpResponse::json(serde_json::Value::Array(lines).to_string())
+                paginate(req, lines)
             }
             Err(e) => error_response(&e),
         }
     });
 
     let p = Arc::clone(&platform);
-    router.route(Method::Get, "/api/v1/admin/invoice", move |req, _| {
-        let (tenant, token) = creds(req);
-        match p.authorize(&tenant, &token, "ADMIN_USERS") {
-            Ok(_) => {
-                let lines: Vec<serde_json::Value> = p
-                    .admin
-                    .invoice_report()
-                    .into_iter()
-                    .map(|l| {
-                        serde_json::json!({
-                            "tenant": l.tenant,
-                            "service": l.service,
-                            "units": l.units,
-                            "requests": l.requests,
-                            "errors": l.errors,
-                            "rows": l.rows,
-                            "bytes": l.bytes,
-                            "cpuMicros": l.cpu_micros,
-                            "millicents": l.millicents,
+    api.canonical(
+        Method::Get,
+        "/api/v1/admin/invoice",
+        "ADMIN_USERS",
+        move |req, _| {
+            let (tenant, token) = creds(req);
+            match p.authorize(&tenant, &token, "ADMIN_USERS") {
+                Ok(_) => {
+                    let lines: Vec<serde_json::Value> = p
+                        .admin
+                        .invoice_report()
+                        .into_iter()
+                        .map(|l| {
+                            serde_json::json!({
+                                "tenant": l.tenant,
+                                "service": l.service,
+                                "units": l.units,
+                                "requests": l.requests,
+                                "errors": l.errors,
+                                "rows": l.rows,
+                                "bytes": l.bytes,
+                                "cpuMicros": l.cpu_micros,
+                                "millicents": l.millicents,
+                            })
                         })
-                    })
-                    .collect();
-                HttpResponse::json(serde_json::Value::Array(lines).to_string())
+                        .collect();
+                    HttpResponse::json(serde_json::Value::Array(lines).to_string())
+                }
+                Err(e) => error_response(&e),
             }
-            Err(e) => error_response(&e),
-        }
-    });
+        },
+    );
 
     let p = Arc::clone(&platform);
-    router.route(Method::Get, "/api/v1/admin/slowlog", move |req, _| {
-        let (tenant, token) = creds(req);
-        match p.authorize(&tenant, &token, "ADMIN_USERS") {
-            Ok(_) => {
-                let lines: Vec<serde_json::Value> = p
-                    .admin
-                    .telemetry
-                    .slow_log()
-                    .into_iter()
-                    .map(|e| {
-                        serde_json::json!({
-                            "tenant": e.tenant,
-                            "service": e.service,
-                            "operation": e.operation,
-                            "detail": e.detail,
-                            "durationMicros": e.duration_micros,
-                            "traceId": e.trace_id,
+    api.canonical(
+        Method::Get,
+        "/api/v1/admin/slowlog",
+        "ADMIN_USERS",
+        move |req, _| {
+            let (tenant, token) = creds(req);
+            match p.authorize(&tenant, &token, "ADMIN_USERS") {
+                Ok(_) => {
+                    let lines: Vec<serde_json::Value> = p
+                        .admin
+                        .telemetry
+                        .slow_log()
+                        .into_iter()
+                        .map(|e| {
+                            serde_json::json!({
+                                "tenant": e.tenant,
+                                "service": e.service,
+                                "operation": e.operation,
+                                "detail": e.detail,
+                                "durationMicros": e.duration_micros,
+                                "traceId": e.trace_id,
+                                "requestId": e.request_id,
+                            })
                         })
+                        .collect();
+                    paginate(req, lines)
+                }
+                Err(e) => error_response(&e),
+            }
+        },
+    );
+
+    let p = Arc::clone(&platform);
+    api.canonical(
+        Method::Get,
+        "/api/v1/admin/durability",
+        "ADMIN_CONFIG",
+        move |req, _| {
+            let (tenant, token) = creds(req);
+            match p.durability_status(&tenant, &token) {
+                Ok(s) => HttpResponse::json(
+                    serde_json::json!({
+                        "tenant": s.tenant,
+                        "fsync": s.fsync,
+                        "walAppends": s.wal_appends,
+                        "walBytes": s.wal_bytes,
+                        "walFileLen": s.wal_file_len,
+                        "nextLsn": s.next_lsn,
                     })
-                    .collect();
-                HttpResponse::json(serde_json::Value::Array(lines).to_string())
+                    .to_string(),
+                ),
+                Err(e) => error_response(&e),
             }
-            Err(e) => error_response(&e),
-        }
-    });
+        },
+    );
 
     let p = Arc::clone(&platform);
-    router.route(Method::Get, "/api/v1/admin/durability", move |req, _| {
-        let (tenant, token) = creds(req);
-        match p.durability_status(&tenant, &token) {
-            Ok(s) => HttpResponse::json(
-                serde_json::json!({
-                    "tenant": s.tenant,
-                    "fsync": s.fsync,
-                    "walAppends": s.wal_appends,
-                    "walBytes": s.wal_bytes,
-                    "walFileLen": s.wal_file_len,
-                    "nextLsn": s.next_lsn,
-                })
-                .to_string(),
-            ),
-            Err(e) => error_response(&e),
-        }
-    });
-
-    let p = Arc::clone(&platform);
-    router.route(Method::Post, "/api/v1/admin/checkpoint", move |req, _| {
-        let (tenant, token) = creds(req);
-        match p.checkpoint_tenant(&tenant, &token) {
-            Ok(o) => HttpResponse::json(
-                serde_json::json!({
-                    "tenant": o.tenant,
-                    "tables": o.tables,
-                    "walBytesFolded": o.wal_bytes_folded,
-                    "micros": o.micros,
-                })
-                .to_string(),
-            ),
-            Err(e) => error_response(&e),
-        }
-    });
-
-    let p = Arc::clone(&platform);
-    router.route(Method::Post, "/api/v1/admin/failpoints", move |req, _| {
-        let (tenant, token) = creds(req);
-        if let Err(e) = p.authorize(&tenant, &token, "ADMIN_CONFIG") {
-            return error_response(&e);
-        }
-        // fault injection is opt-in: the endpoint is inert unless the
-        // operator flipped `chaos.enabled` (never on by default)
-        if !matches!(
-            p.admin.config.get(&tenant, "chaos.enabled"),
-            Ok(odbis_admin::ConfigValue::Bool(true))
-        ) {
-            return error_envelope(
-                403,
-                "security",
-                "fault injection is disabled (set chaos.enabled = true)",
-            );
-        }
-        let spec = req.body_text();
-        let spec = spec.trim();
-        let applied = match spec {
-            "clear" => {
-                odbis_chaos::clear();
-                0
+    api.canonical(
+        Method::Post,
+        "/api/v1/admin/checkpoint",
+        "ADMIN_CONFIG",
+        move |req, _| {
+            let (tenant, token) = creds(req);
+            match p.checkpoint_tenant(&tenant, &token) {
+                Ok(o) => HttpResponse::json(
+                    serde_json::json!({
+                        "tenant": o.tenant,
+                        "tables": o.tables,
+                        "walBytesFolded": o.wal_bytes_folded,
+                        "micros": o.micros,
+                    })
+                    .to_string(),
+                ),
+                Err(e) => error_response(&e),
             }
-            "list" => 0,
-            _ => match odbis_chaos::apply_spec(spec) {
-                Ok(n) => n,
-                Err(e) => return error_envelope(400, "config", &e),
-            },
-        };
-        let sites: Vec<serde_json::Value> = odbis_chaos::snapshot()
-            .into_iter()
-            .map(|(site, policy, hits, triggered)| {
-                serde_json::json!({
-                    "site": site,
-                    "policy": policy,
-                    "hits": hits,
-                    "triggered": triggered,
-                })
-            })
-            .collect();
-        HttpResponse::json(serde_json::json!({ "applied": applied, "sites": sites }).to_string())
-    });
+        },
+    );
 
-    router
+    let p = Arc::clone(&platform);
+    api.canonical(
+        Method::Post,
+        "/api/v1/admin/failpoints",
+        "ADMIN_CONFIG",
+        move |req, _| {
+            let (tenant, token) = creds(req);
+            if let Err(e) = p.authorize(&tenant, &token, "ADMIN_CONFIG") {
+                return error_response(&e);
+            }
+            // fault injection is opt-in: the endpoint is inert unless the
+            // operator flipped `chaos.enabled` (never on by default)
+            if !matches!(
+                p.admin.config.get(&tenant, "chaos.enabled"),
+                Ok(odbis_admin::ConfigValue::Bool(true))
+            ) {
+                return error_envelope(
+                    403,
+                    "security",
+                    "fault injection is disabled (set chaos.enabled = true)",
+                );
+            }
+            let spec = req.body_text();
+            let spec = spec.trim();
+            let applied = match spec {
+                "clear" => {
+                    odbis_chaos::clear();
+                    0
+                }
+                "list" => 0,
+                _ => match odbis_chaos::apply_spec(spec) {
+                    Ok(n) => n,
+                    Err(e) => return error_envelope(400, "config", &e),
+                },
+            };
+            let sites: Vec<serde_json::Value> = odbis_chaos::snapshot()
+                .into_iter()
+                .map(|(site, policy, hits, triggered)| {
+                    serde_json::json!({
+                        "site": site,
+                        "policy": policy,
+                        "hits": hits,
+                        "triggered": triggered,
+                    })
+                })
+                .collect();
+            HttpResponse::json(
+                serde_json::json!({ "applied": applied, "sites": sites }).to_string(),
+            )
+        },
+    );
+
+    api.finish()
+}
+
+/// Serve the platform API over HTTP with the platform's per-tenant
+/// admission control wired into the server edge: requests carrying an
+/// `x-tenant` header are rate-gated against the tenant's `limits.*`
+/// settings before a worker picks them up, and over-limit callers get a
+/// 429 envelope with `Retry-After`.
+pub fn serve_platform(
+    platform: &Arc<OdbisPlatform>,
+    workers: usize,
+) -> std::io::Result<odbis_web::HttpServer> {
+    odbis_web::HttpServer::builder(build_router(Arc::clone(platform)))
+        .workers(workers)
+        .admission(Arc::clone(&platform.admission))
+        .start()
 }
 
 /// Parse a login body: preferred JSON `{"tenant","user","password"}`, with
@@ -408,6 +590,113 @@ fn creds(req: &HttpRequest) -> (String, String) {
     )
 }
 
+/// Answer a collection route. Without `?limit=` or `?cursor=` the
+/// response is the original bare JSON array (existing clients parse
+/// that); with either parameter it is a `{"items":[...],"next_cursor"}`
+/// page. Cursors are opaque to clients — today they encode the offset of
+/// the next page — and `next_cursor` is `null` on the last page. A
+/// malformed limit or cursor is a 400 envelope, not an empty page.
+fn paginate(req: &HttpRequest, items: Vec<serde_json::Value>) -> HttpResponse {
+    let (limit_param, cursor_param) = (req.query_param("limit"), req.query_param("cursor"));
+    if limit_param.is_none() && cursor_param.is_none() {
+        return HttpResponse::json(serde_json::Value::Array(items).to_string());
+    }
+    let limit = match limit_param {
+        None => DEFAULT_PAGE_LIMIT,
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if (1..=MAX_PAGE_LIMIT).contains(&n) => n,
+            _ => {
+                return error_envelope(
+                    400,
+                    "bad_request",
+                    &format!("limit must be an integer in 1..={MAX_PAGE_LIMIT}"),
+                )
+            }
+        },
+    };
+    let offset = match cursor_param {
+        None => 0,
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return error_envelope(400, "bad_request", "invalid cursor"),
+        },
+    };
+    let total = items.len();
+    let page: Vec<serde_json::Value> = items.into_iter().skip(offset).take(limit).collect();
+    let next = offset.saturating_add(page.len());
+    let next_cursor = if next < total {
+        serde_json::json!(next.to_string())
+    } else {
+        serde_json::Value::Null
+    };
+    HttpResponse::json(serde_json::json!({ "items": page, "next_cursor": next_cursor }).to_string())
+}
+
+/// What the client's `Accept` header asks a data route to produce.
+enum Negotiated {
+    Json,
+    Csv,
+    Unsupported,
+}
+
+/// First supported media range wins, in the order the client listed them;
+/// a missing or empty `Accept` means JSON. Quality parameters are ignored
+/// (order expresses preference in every client this API serves).
+fn negotiate(req: &HttpRequest) -> Negotiated {
+    let Some(accept) = req.header("accept") else {
+        return Negotiated::Json;
+    };
+    if accept.trim().is_empty() {
+        return Negotiated::Json;
+    }
+    for item in accept.split(',') {
+        let media = item
+            .split(';')
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_ascii_lowercase();
+        match media.as_str() {
+            "application/json" | "application/*" | "*/*" => return Negotiated::Json,
+            "text/csv" | "text/*" => return Negotiated::Csv,
+            _ => {}
+        }
+    }
+    Negotiated::Unsupported
+}
+
+/// RFC-4180 field quoting: only fields containing a comma, quote, or line
+/// break are wrapped, with embedded quotes doubled.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serialize a columnar batch as CSV — header row of column names, then
+/// one line per row, values rendered column-at-a-time straight from the
+/// batch (no intermediate row pivot or JSON tree).
+fn csv_response(columns: &[String], batch: &odbis_storage::Batch) -> HttpResponse {
+    let mut out = String::new();
+    let header: Vec<String> = columns.iter().map(|c| csv_field(c)).collect();
+    out.push_str(&header.join(","));
+    out.push_str("\r\n");
+    for row in 0..batch.num_rows() {
+        for col in 0..batch.num_columns() {
+            if col > 0 {
+                out.push(',');
+            }
+            out.push_str(&csv_field(&batch.value(col, row).render()));
+        }
+        out.push_str("\r\n");
+    }
+    HttpResponse::status(200)
+        .with_header("Content-Type", "text/csv; charset=utf-8")
+        .with_body(out)
+}
+
 fn result_json(result: &odbis_sql::QueryResult) -> String {
     let rows: Vec<Vec<String>> = result
         .rows
@@ -423,13 +712,20 @@ fn result_json(result: &odbis_sql::QueryResult) -> String {
 }
 
 /// The single place HTTP error bodies are produced: a JSON envelope
-/// `{"error":{"kind":...,"message":...}}`.
+/// `{"error":{"kind":...,"message":...,"request_id":...}}`. The request
+/// id comes from the thread's ambient telemetry context, which the
+/// identity filter installed for the duration of the dispatch.
 fn error_envelope(status: u16, kind: &str, message: &str) -> HttpResponse {
+    let request_id = odbis_telemetry::ambient_request_id().unwrap_or_default();
     HttpResponse::status(status)
         .with_header("Content-Type", "application/json")
         .with_body(
             serde_json::json!({
-                "error": serde_json::json!({ "kind": kind, "message": message }),
+                "error": serde_json::json!({
+                    "kind": kind,
+                    "message": message,
+                    "request_id": request_id,
+                }),
             })
             .to_string(),
         )

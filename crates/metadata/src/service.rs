@@ -252,6 +252,29 @@ impl MetadataService {
         Ok(self.engine.execute(&conn, &sql)?)
     }
 
+    /// Execute a data set and return its columnar [`Batch`] without the row
+    /// pivot — the entry point for streamed exports (CSV downloads) that
+    /// serialize straight from column storage.
+    pub fn execute_dataset_batch(
+        &self,
+        name: &str,
+    ) -> MetadataResult<(Vec<String>, odbis_storage::Batch)> {
+        let (sql, conn) = {
+            let inner = self.inner.read();
+            let ds = inner
+                .datasets
+                .get(name)
+                .ok_or_else(|| MetadataError::NotFound(format!("data set {name}")))?;
+            let conn = inner
+                .connections
+                .get(&ds.source)
+                .cloned()
+                .ok_or_else(|| MetadataError::NotFound(format!("data source {}", ds.source)))?;
+            (ds.sql.clone(), conn)
+        };
+        Ok(self.engine.execute_select_batch(&conn, &sql)?)
+    }
+
     /// Tables a data set reads from (lineage extracted from the SQL AST).
     pub fn lineage(&self, name: &str) -> MetadataResult<Vec<String>> {
         let ds = self.dataset(name)?;

@@ -53,7 +53,9 @@ pub mod span;
 pub use cost::{CostLine, CostModel};
 pub use metrics::{MetricKey, MetricSnapshot, ServiceTotals, WalCounters};
 pub use slowlog::SlowEntry;
-pub use span::{child_span, current_trace_id, Span, SpanRecord};
+pub use span::{
+    ambient_request_id, child_span, current_trace_id, set_ambient_request_id, Span, SpanRecord,
+};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -148,6 +150,7 @@ impl Telemetry {
                 detail: detail.unwrap_or_default(),
                 duration_micros: rec.duration_micros,
                 trace_id: rec.trace_id,
+                request_id: rec.request_id.clone(),
             });
         }
         let mut spans = self.spans.lock();

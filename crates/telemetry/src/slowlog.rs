@@ -18,6 +18,8 @@ pub struct SlowEntry {
     pub duration_micros: u64,
     /// Trace the span belonged to.
     pub trace_id: u64,
+    /// The HTTP request id the span served, empty outside a request.
+    pub request_id: String,
 }
 
 /// Bounded FIFO of slow entries; the oldest entry is evicted at capacity.
@@ -63,6 +65,7 @@ mod tests {
             detail: String::new(),
             duration_micros: 1_000_000,
             trace_id: 1,
+            request_id: String::new(),
         }
     }
 

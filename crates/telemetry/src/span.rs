@@ -15,6 +15,23 @@ use crate::Telemetry;
 
 thread_local! {
     static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    // The HTTP request id serving on this thread, installed by the web
+    // layer's identity filter. Spans copy it at record time, tying slow-log
+    // entries and span records back to the client-visible `X-Request-Id`.
+    static REQUEST_ID: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Install (or clear) the ambient request id for the calling thread. The
+/// web layer sets this when a request starts on a worker; every span the
+/// request produces records it, so a 429/503 in a client log can be
+/// matched to its root span and slow-log entry.
+pub fn set_ambient_request_id(id: Option<String>) {
+    REQUEST_ID.with(|slot| *slot.borrow_mut() = id);
+}
+
+/// The ambient request id, if the thread is serving an HTTP request.
+pub fn ambient_request_id() -> Option<String> {
+    REQUEST_ID.with(|slot| slot.borrow().clone())
 }
 
 /// One active-span frame on the thread-local stack.
@@ -50,6 +67,9 @@ pub struct SpanRecord {
     pub bytes: u64,
     /// Whether the traced call failed.
     pub error: bool,
+    /// The HTTP request id the span served, empty outside a request (ETL
+    /// schedules, ESB deliveries, tests).
+    pub request_id: String,
 }
 
 struct SpanInner {
@@ -245,6 +265,7 @@ impl Drop for Span {
             rows: inner.rows,
             bytes: inner.bytes,
             error: inner.error,
+            request_id: ambient_request_id().unwrap_or_default(),
         };
         inner.telemetry.record(rec, inner.detail, inner.slow_ms);
     }
@@ -280,6 +301,25 @@ mod tests {
         assert_eq!(current_trace_id(), root.trace_id());
         drop(root);
         assert!(current_trace_id().is_none());
+    }
+
+    #[test]
+    fn spans_record_the_ambient_request_id() {
+        let t = Arc::new(Telemetry::new());
+        set_ambient_request_id(Some("req-abc".to_string()));
+        {
+            let _root = t.span("acme", "MDS", "sql", 0);
+            let _child = child_span("sql", "execute");
+        }
+        set_ambient_request_id(None);
+        {
+            let _outside = t.span("acme", "MDS", "etl", 0);
+        }
+        let spans = t.recent_spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].request_id, "req-abc"); // child
+        assert_eq!(spans[1].request_id, "req-abc"); // root
+        assert_eq!(spans[2].request_id, ""); // outside any request
     }
 
     #[test]

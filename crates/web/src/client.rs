@@ -43,6 +43,19 @@ pub fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
     Ok((status, body))
 }
 
+/// GET with an `Accept` header — the content-negotiation helper (e.g.
+/// `Accept: text/csv` on `/api/v1/datasets/:name`). Returns
+/// `(status, content_type, body)`.
+pub fn http_get_accept(
+    addr: &str,
+    path: &str,
+    accept: &str,
+) -> Result<(u16, String, String), String> {
+    let (status, headers, body) = http_request(addr, "GET", path, &[("Accept", accept)], b"")?;
+    let content_type = headers.get("content-type").cloned().unwrap_or_default();
+    Ok((status, content_type, body))
+}
+
 /// POST helper returning `(status, body)`.
 pub fn http_post(addr: &str, path: &str, body: &str) -> Result<(u16, String), String> {
     let (status, _, resp) = http_request(

@@ -1,7 +1,10 @@
-//! HTTP/1.1 request/response types and wire parsing.
+//! HTTP/1.1 request/response types and wire parsing — both the blocking
+//! reader used by the threaded server and the incremental
+//! [`RequestParser`] the event-loop reactor feeds byte chunks into.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// HTTP methods the platform serves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -129,17 +132,7 @@ impl HttpRequest {
         if n == 0 {
             return Ok(None);
         }
-        let mut parts = line.trim_end().split(' ');
-        let method = parts
-            .next()
-            .and_then(Method::parse)
-            .ok_or_else(|| format!("bad method in request line {line:?}"))?;
-        let target = parts.next().ok_or("missing request target")?;
-        let version = parts.next().unwrap_or("HTTP/1.1");
-        if !version.starts_with("HTTP/1.") {
-            return Err(format!("unsupported version {version}"));
-        }
-        let (path, query) = split_path_query(target);
+        let (method, path, query) = parse_request_line(&line)?;
         let mut headers = BTreeMap::new();
         loop {
             let mut hline = String::new();
@@ -183,6 +176,166 @@ impl HttpRequest {
         self.header("connection")
             .is_some_and(|c| c.eq_ignore_ascii_case("close"))
     }
+
+    /// The request's identity, if one has been established (either the
+    /// client's `X-Request-Id` header adopted by [`Self::ensure_request_id`]
+    /// or a server-generated one).
+    pub fn request_id(&self) -> Option<&str> {
+        self.attributes.get("request_id").map(String::as_str)
+    }
+
+    /// Establish the request's identity: adopt a well-formed client
+    /// `X-Request-Id` header (1–128 chars of `[A-Za-z0-9._-]`), otherwise
+    /// mint a fresh `req-<hex>` id. The id is stored as the `request_id`
+    /// attribute and echoed on every response so a 429 or 503 is traceable
+    /// from client log to slow log to root span.
+    pub fn ensure_request_id(&mut self) -> String {
+        if let Some(id) = self.attributes.get("request_id") {
+            return id.clone();
+        }
+        let id = self
+            .header("x-request-id")
+            .map(str::trim)
+            .filter(|id| {
+                (1..=128).contains(&id.len())
+                    && id
+                        .bytes()
+                        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+            })
+            .map(str::to_string)
+            .unwrap_or_else(generate_request_id);
+        self.attributes.insert("request_id".into(), id.clone());
+        id
+    }
+}
+
+/// Mint a process-unique request id (`req-<16 hex digits>`): a wall-clock
+/// seed mixed with an in-process counter through xorshift, so ids are
+/// unique within a process and overwhelmingly unlikely to collide across
+/// restarts — without pulling in a randomness dependency.
+pub fn generate_request_id() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut x = t ^ n.rotate_left(32) ^ ((std::process::id() as u64) << 17);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    format!("req-{x:016x}")
+}
+
+/// Incremental HTTP/1.1 request parser: the per-connection state machine
+/// of the event-loop server. Bytes read off a nonblocking socket are
+/// [`fed`](RequestParser::feed) in as they arrive;
+/// [`try_next`](RequestParser::try_next) yields a request as soon as one
+/// is complete, leaving any pipelined surplus buffered for the next call.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+/// Cap on the request head (request line + headers) — a connection that
+/// streams more than this without a blank line is attacking, not talking.
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Cap on a request body, matching the blocking reader.
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+impl RequestParser {
+    /// Empty parser for a fresh connection.
+    pub fn new() -> Self {
+        RequestParser::default()
+    }
+
+    /// Append bytes read from the connection.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (parsed requests are drained out).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Parse the next complete request out of the buffer. `Ok(None)` means
+    /// more bytes are needed; `Err` means the connection is talking
+    /// garbage and must be closed after a 400.
+    pub fn try_next(&mut self) -> Result<Option<HttpRequest>, String> {
+        // tolerate stray CRLFs between pipelined requests (RFC 9112 §2.2)
+        let skip = self
+            .buf
+            .iter()
+            .take_while(|&&b| b == b'\r' || b == b'\n')
+            .count();
+        if skip > 0 {
+            self.buf.drain(..skip);
+        }
+        let Some(head_len) = find_head_end(&self.buf) else {
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err("request head too large".to_string());
+            }
+            return Ok(None);
+        };
+        if head_len > MAX_HEAD_BYTES {
+            return Err("request head too large".to_string());
+        }
+        let head = std::str::from_utf8(&self.buf[..head_len])
+            .map_err(|_| "request head is not UTF-8".to_string())?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        let (method, path, query) = parse_request_line(request_line)?;
+        let mut headers = BTreeMap::new();
+        for hline in lines {
+            if let Some((k, v)) = hline.split_once(':') {
+                headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+            }
+        }
+        let len: usize = headers
+            .get("content-length")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if len > MAX_BODY_BYTES {
+            return Err("request body too large".to_string());
+        }
+        let total = head_len + 4 + len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let body = self.buf[head_len + 4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(HttpRequest {
+            method,
+            path,
+            query,
+            headers,
+            body,
+            attributes: BTreeMap::new(),
+        }))
+    }
+}
+
+/// Offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parse `GET /path?query HTTP/1.1` into its parts (shared by the
+/// blocking reader and the incremental parser).
+fn parse_request_line(line: &str) -> Result<(Method, String, BTreeMap<String, String>), String> {
+    let mut parts = line.trim_end().split(' ');
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or_else(|| format!("bad method in request line {line:?}"))?;
+    let target = parts.next().ok_or("missing request target")?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version}"));
+    }
+    let (path, query) = split_path_query(target);
+    Ok((method, path, query))
 }
 
 fn split_path_query(target: &str) -> (String, BTreeMap<String, String>) {
@@ -352,9 +505,12 @@ impl HttpResponse {
             204 => "No Content",
             400 => "Bad Request",
             401 => "Unauthorized",
+            402 => "Payment Required",
             403 => "Forbidden",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            406 => "Not Acceptable",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Status",
@@ -368,6 +524,16 @@ impl HttpResponse {
         write!(stream, "Connection: {conn}\r\n\r\n")?;
         stream.write_all(&self.body)?;
         stream.flush()
+    }
+
+    /// Serialize to a byte buffer with the given connection disposition —
+    /// the form the reactor's write-side state machine queues per
+    /// connection.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(128 + self.body.len());
+        self.write_to_conn(&mut buf, keep_alive)
+            .expect("writing to a Vec cannot fail");
+        buf
     }
 }
 
@@ -469,6 +635,59 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("Connection: keep-alive"));
         assert!(!text.contains("Connection: close"));
+    }
+
+    #[test]
+    fn incremental_parser_handles_split_and_pipelined_bytes() {
+        let mut p = RequestParser::new();
+        // drip the request in three fragments: nothing yields early
+        p.feed(b"POST /api/v1/sql?x=1 HT");
+        assert!(p.try_next().unwrap().is_none());
+        p.feed(b"TP/1.1\r\nContent-Length: 8\r\n\r\nSELE");
+        assert!(p.try_next().unwrap().is_none());
+        // final body fragment plus a whole pipelined second request
+        p.feed(b"CT 1\r\n\r\nGET /next HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let first = p.try_next().unwrap().unwrap();
+        assert_eq!(first.method, Method::Post);
+        assert_eq!(first.path, "/api/v1/sql");
+        assert_eq!(first.query_param("x"), Some("1"));
+        assert_eq!(first.body_text(), "SELECT 1");
+        let second = p.try_next().unwrap().unwrap();
+        assert_eq!(second.path, "/next");
+        assert!(second.wants_close());
+        assert!(p.try_next().unwrap().is_none());
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn incremental_parser_rejects_garbage_and_floods() {
+        let mut p = RequestParser::new();
+        p.feed(b"BREW /coffee HTTP/1.1\r\n\r\n");
+        assert!(p.try_next().is_err());
+        let mut p = RequestParser::new();
+        p.feed(&vec![b'A'; 70 * 1024]);
+        assert!(p.try_next().is_err(), "an unbounded head must be rejected");
+        let mut p = RequestParser::new();
+        p.feed(b"POST /x HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n");
+        assert!(p.try_next().is_err(), "oversized body must be rejected");
+    }
+
+    #[test]
+    fn request_ids_are_adopted_or_minted() {
+        // a well-formed client id is adopted verbatim
+        let mut req = HttpRequest::new(Method::Get, "/x").with_header("X-Request-Id", "client-42");
+        assert_eq!(req.ensure_request_id(), "client-42");
+        assert_eq!(req.request_id(), Some("client-42"));
+        // idempotent: the second call returns the same id
+        assert_eq!(req.ensure_request_id(), "client-42");
+        // a malformed id (spaces / control bytes) is replaced
+        let mut req =
+            HttpRequest::new(Method::Get, "/x").with_header("X-Request-Id", "evil id\r\n");
+        let id = req.ensure_request_id();
+        assert!(id.starts_with("req-"), "{id}");
+        // minted ids are unique
+        let mut other = HttpRequest::new(Method::Get, "/y");
+        assert_ne!(other.ensure_request_id(), id);
     }
 
     #[test]

@@ -5,10 +5,15 @@
 //! technical architecture (§3.3), serving the "web browser" access tool of
 //! the end-users layer (§3.1).
 //!
-//! A real HTTP/1.1 server over `std::net`: loopback listener, crossbeam
-//! worker pool, `:param` routing, a filter (middleware) chain for security,
-//! and JSON/HTML/text responders. A matching minimal client supports tests
-//! and the delivery service's web-service channel.
+//! A real HTTP/1.1 server over `std::net` with two interchangeable
+//! backends behind one [`HttpServer`] facade: a hand-rolled epoll
+//! **reactor** (edge-triggered event loop; idle keep-alive connections
+//! cost a file descriptor, not a thread) and the portable
+//! **threaded** worker pool. Per-tenant [`AdmissionControl`] (token-bucket
+//! rate + queue-depth backpressure) gates requests at parse time, and
+//! every request carries an `X-Request-Id` end to end. Routing supports
+//! `:param` segments plus a filter (middleware) chain; a matching minimal
+//! client supports tests and the delivery service's web-service channel.
 //!
 //! ```
 //! use odbis_web::{http_get, HttpResponse, HttpServer, Method, Router};
@@ -22,12 +27,29 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 mod client;
 mod http;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod reactor;
 mod router;
 mod server;
+mod threaded;
 
-pub use client::{http_get, http_post, http_request};
-pub use http::{percent_decode, percent_decode_query, HttpRequest, HttpResponse, Method};
-pub use router::{Filter, Handler, PathParams, Router};
-pub use server::HttpServer;
+pub use admission::{Admission, AdmissionControl, TenantLimits};
+pub use client::{http_get, http_get_accept, http_post, http_request};
+pub use http::{
+    generate_request_id, percent_decode, percent_decode_query, HttpRequest, HttpResponse, Method,
+    RequestParser,
+};
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub use reactor::ReactorServer;
+pub use router::{Filter, Finalizer, Handler, PathParams, Router};
+pub use server::{Backend, HttpServer, ServerBuilder};
+pub use threaded::ThreadedServer;

@@ -42,11 +42,18 @@ fn parse_segments(pattern: &str) -> Vec<Segment> {
         .collect()
 }
 
+/// A cleanup hook: runs after every dispatch, whatever the outcome
+/// (success, filter short-circuit, route miss, handler panic). Used for
+/// per-request thread-local teardown, e.g. clearing the ambient telemetry
+/// request id the identity filter installed.
+pub type Finalizer = Arc<dyn Fn() + Send + Sync>;
+
 /// Router: ordered route table with `:param` segments plus a filter chain.
 #[derive(Clone, Default)]
 pub struct Router {
     routes: Vec<Arc<Route>>,
     filters: Vec<Filter>,
+    finalizers: Vec<Finalizer>,
 }
 
 impl Router {
@@ -55,6 +62,7 @@ impl Router {
         Router {
             routes: Vec::new(),
             filters: Vec::new(),
+            finalizers: Vec::new(),
         }
     }
 
@@ -79,6 +87,13 @@ impl Router {
         f: impl Fn(&mut HttpRequest) -> Option<HttpResponse> + Send + Sync + 'static,
     ) -> &mut Self {
         self.filters.push(Arc::new(f));
+        self
+    }
+
+    /// Append a cleanup hook that runs after every dispatch — even when a
+    /// filter short-circuited or the handler panicked.
+    pub fn finally(&mut self, f: impl Fn() + Send + Sync + 'static) -> &mut Self {
+        self.finalizers.push(Arc::new(f));
         self
     }
 
@@ -110,15 +125,31 @@ impl Router {
 
     /// Run the filter chain and dispatch to the matching route.
     ///
+    /// Establishes the request's identity first (adopting a client
+    /// `X-Request-Id` or minting one) and echoes it on every response, so
+    /// any status — 200, 404, 429, 500 — is traceable end to end.
+    ///
     /// The whole chain — filters *and* handler — runs inside one panic
     /// boundary: a panicking filter or handler becomes a structured 500
     /// envelope instead of taking the worker thread down (which would
     /// silently shrink the pool for the life of the process).
-    pub fn dispatch(&self, request: HttpRequest) -> HttpResponse {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    pub fn dispatch(&self, mut request: HttpRequest) -> HttpResponse {
+        let request_id = request.ensure_request_id();
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.dispatch_inner(request)
         }))
-        .unwrap_or_else(|_| Self::panic_envelope())
+        .unwrap_or_else(|_| Self::panic_envelope_for(&request_id));
+        // cleanup hooks run outside the panic boundary so per-request
+        // thread-local state is torn down even on the panic path
+        for f in &self.finalizers {
+            f();
+        }
+        // a handler that already stamped an id (rare) wins
+        if response.headers.contains_key("X-Request-Id") {
+            response
+        } else {
+            response.with_header("X-Request-Id", &request_id)
+        }
     }
 
     /// The structured `{"error":{...}}` body a panic turns into — the same
@@ -127,6 +158,16 @@ impl Router {
         HttpResponse::status(500)
             .with_header("Content-Type", "application/json")
             .with_body(r#"{"error":{"kind":"internal","message":"handler panicked"}}"#)
+    }
+
+    /// [`Self::panic_envelope`] carrying the request id (the id charset is
+    /// validated on entry, so embedding it in JSON needs no escaping).
+    fn panic_envelope_for(request_id: &str) -> HttpResponse {
+        HttpResponse::status(500)
+            .with_header("Content-Type", "application/json")
+            .with_body(format!(
+                r#"{{"error":{{"kind":"internal","message":"handler panicked","request_id":"{request_id}"}}}}"#
+            ))
     }
 
     fn dispatch_inner(&self, mut request: HttpRequest) -> HttpResponse {
@@ -143,17 +184,21 @@ impl Router {
                     .filter(|&m| m != request.method)
                     .any(|m| self.match_route(m, &request.path).is_some());
                 // route misses answer in the same JSON envelope shape as
-                // every platform error, so clients parse one format
+                // every platform error, so clients parse one format; the
+                // request id rides inside (dispatch() validated/minted it)
+                let id = request.request_id().unwrap_or_default();
                 if other_method {
                     HttpResponse::status(405)
                         .with_header("Content-Type", "application/json")
-                        .with_body(
-                            r#"{"error":{"kind":"method_not_allowed","message":"method not allowed for this path"}}"#,
-                        )
+                        .with_body(format!(
+                            r#"{{"error":{{"kind":"method_not_allowed","message":"method not allowed for this path","request_id":"{id}"}}}}"#
+                        ))
                 } else {
                     HttpResponse::status(404)
                         .with_header("Content-Type", "application/json")
-                        .with_body(r#"{"error":{"kind":"not_found","message":"no such route"}}"#)
+                        .with_body(format!(
+                            r#"{{"error":{{"kind":"not_found","message":"no such route","request_id":"{id}"}}}}"#
+                        ))
                 }
             }
             Some((route, params)) => (route.handler)(&request, &params),
@@ -179,6 +224,22 @@ mod tests {
 
     fn get(path: &str) -> HttpRequest {
         HttpRequest::new(Method::Get, path)
+    }
+
+    #[test]
+    fn finalizers_run_after_every_dispatch() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut r = router();
+        r.route(Method::Get, "/boom", |_, _| panic!("boom"));
+        let runs = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&runs);
+        r.finally(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(r.dispatch(get("/ping")).status, 200);
+        assert_eq!(r.dispatch(get("/missing")).status, 404);
+        assert_eq!(r.dispatch(get("/boom")).status, 500);
+        assert_eq!(runs.load(Ordering::SeqCst), 3);
     }
 
     #[test]
@@ -241,6 +302,36 @@ mod tests {
             resp.headers.get("Content-Type").map(String::as_str),
             Some("application/json")
         );
+    }
+
+    #[test]
+    fn every_response_echoes_a_request_id() {
+        let r = router();
+        // minted when the client sends none, on hits and misses alike
+        let ok = r.dispatch(get("/ping"));
+        assert!(ok.headers["X-Request-Id"].starts_with("req-"));
+        let missing = r.dispatch(get("/nope"));
+        let id = missing.headers["X-Request-Id"].clone();
+        assert!(
+            missing
+                .body_text()
+                .contains(&format!(r#""request_id":"{id}""#)),
+            "{}",
+            missing.body_text()
+        );
+        // a client-supplied id is adopted and echoed verbatim
+        let resp = r.dispatch(get("/ping").with_header("X-Request-Id", "trace-7"));
+        assert_eq!(resp.headers["X-Request-Id"], "trace-7");
+    }
+
+    #[test]
+    fn panic_envelope_carries_the_request_id() {
+        let mut r = Router::new();
+        r.route(Method::Get, "/boom", |_, _| panic!("bug"));
+        let resp = r.dispatch(get("/boom").with_header("X-Request-Id", "blast-1"));
+        assert_eq!(resp.status, 500);
+        assert!(resp.body_text().contains(r#""request_id":"blast-1""#));
+        assert_eq!(resp.headers["X-Request-Id"], "blast-1");
     }
 
     #[test]

@@ -1,196 +1,215 @@
-//! The HTTP server: loopback listener + crossbeam worker pool.
+//! The HTTP server facade: one `HttpServer` type over two backends.
+//!
+//! - **reactor** ([`crate::reactor`]): the epoll event loop — the default
+//!   on Linux. Idle keep-alive connections cost a file descriptor, not a
+//!   thread, so concurrency scales to the fd limit instead of pool size.
+//! - **threaded** ([`crate::threaded`]): the original thread-per-connection
+//!   pool — the portable fallback and the bench ablation baseline.
+//!
+//! [`ServerBuilder`] picks the backend (`Backend::Auto` honors the
+//! `ODBIS_HTTP_SERVER` environment variable, values `reactor` or
+//! `threaded`) and carries the cross-cutting options: worker count,
+//! per-tenant [`AdmissionControl`], and the keep-alive idle timeout.
+//! `HttpServer::start(router, workers)` keeps the historical one-call
+//! construction for the common case.
 
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, Sender, TrySendError};
-
-use crate::http::{HttpRequest, HttpResponse};
+use crate::admission::AdmissionControl;
 use crate::router::Router;
+use crate::threaded::ThreadedServer;
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+use crate::reactor::ReactorServer;
+
+/// Which server implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// `ODBIS_HTTP_SERVER` if set, else the reactor where supported,
+    /// else the threaded pool.
+    #[default]
+    Auto,
+    /// The thread-per-connection pool.
+    Threaded,
+    /// The epoll event loop (falls back to threaded on platforms without
+    /// it).
+    Reactor,
+}
+
+/// Builder for an [`HttpServer`].
+pub struct ServerBuilder {
+    router: Router,
+    workers: usize,
+    admission: Option<Arc<AdmissionControl>>,
+    backend: Backend,
+    idle_timeout: Duration,
+}
+
+impl ServerBuilder {
+    /// Start from a router with defaults: 4 workers, auto backend, no
+    /// admission control, 60 s keep-alive idle timeout.
+    pub fn new(router: Router) -> ServerBuilder {
+        ServerBuilder {
+            router,
+            workers: 4,
+            admission: None,
+            backend: Backend::Auto,
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Handler worker count (minimum 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Gate requests through per-tenant admission control.
+    pub fn admission(mut self, admission: Arc<AdmissionControl>) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Force a specific backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// How long a keep-alive connection may sit idle before the reactor
+    /// hangs up (the threaded backend keeps its fixed read timeout).
+    pub fn idle_timeout(mut self, idle_timeout: Duration) -> Self {
+        self.idle_timeout = idle_timeout;
+        self
+    }
+
+    /// Bind an ephemeral loopback port and start serving.
+    pub fn start(self) -> std::io::Result<HttpServer> {
+        let backend = match self.backend {
+            Backend::Auto => match std::env::var("ODBIS_HTTP_SERVER").as_deref() {
+                Ok("threaded") => Backend::Threaded,
+                Ok("reactor") => Backend::Reactor,
+                _ => Backend::Reactor,
+            },
+            explicit => explicit,
+        };
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if backend == Backend::Reactor {
+            let inner =
+                ReactorServer::start(self.router, self.workers, self.admission, self.idle_timeout)?;
+            return Ok(HttpServer {
+                inner: Inner::Reactor(inner),
+            });
+        }
+        let _ = backend; // non-Linux: every choice lands on the pool
+        let inner = ThreadedServer::start(self.router, self.workers, self.admission)?;
+        Ok(HttpServer {
+            inner: Inner::Threaded(inner),
+        })
+    }
+}
+
+enum Inner {
+    Threaded(ThreadedServer),
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Reactor(ReactorServer),
+}
 
 /// A running HTTP server — the reproduction's stand-in for the Tomcat
 /// container that "all services run under" in the ODBIS technical
-/// architecture (§3.3). Binds a real loopback socket; requests are served
-/// by a fixed worker pool.
+/// architecture (§3.3). Binds a real loopback socket; see [`ServerBuilder`]
+/// for backend selection and admission control.
 pub struct HttpServer {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-    served: Arc<AtomicU64>,
-    sender: Option<Sender<TcpStream>>,
+    inner: Inner,
 }
 
 impl HttpServer {
     /// Start serving `router` on an ephemeral loopback port with
-    /// `worker_count` workers.
+    /// `worker_count` workers and the default (auto) backend.
     pub fn start(router: Router, worker_count: usize) -> std::io::Result<HttpServer> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let served = Arc::new(AtomicU64::new(0));
-        let (tx, rx) = bounded::<TcpStream>(1024);
+        ServerBuilder::new(router).workers(worker_count).start()
+    }
 
-        let mut workers = Vec::with_capacity(worker_count);
-        let router = Arc::new(router);
-        for _ in 0..worker_count.max(1) {
-            let rx = rx.clone();
-            let router = Arc::clone(&router);
-            let served = Arc::clone(&served);
-            let worker_shutdown = Arc::clone(&shutdown);
-            workers.push(std::thread::spawn(move || {
-                while let Ok(stream) = rx.recv() {
-                    if worker_shutdown.load(Ordering::Relaxed) {
-                        // shutting down: shed the queued backlog instead of
-                        // serving it, so stop() is bounded by the in-flight
-                        // request, not by queue depth
-                        continue;
-                    }
-                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-                    let Ok(mut writer) = stream.try_clone() else {
-                        continue;
-                    };
-                    // one buffered reader per connection: keep-alive
-                    // requests (and pipelined bytes) survive between
-                    // iterations instead of dying with a throwaway buffer
-                    let mut reader = std::io::BufReader::new(stream);
-                    loop {
-                        if worker_shutdown.load(Ordering::Relaxed) {
-                            break; // close keep-alive connections at shutdown
-                        }
-                        // chaos: a connection torn down before the request
-                        // is read — the client saw zero response bytes
-                        if odbis_chaos::triggered("http.read") {
-                            break;
-                        }
-                        let (response, close_after) =
-                            match HttpRequest::read_from_buffered(&mut reader) {
-                                Ok(Some(request)) => {
-                                    let close = request.wants_close();
-                                    // The request boundary is the last line
-                                    // of panic defense: dispatch() already
-                                    // catches, but even a future regression
-                                    // there must answer 500 and keep this
-                                    // worker (and the pool's capacity) alive.
-                                    let response = std::panic::catch_unwind(
-                                        std::panic::AssertUnwindSafe(|| router.dispatch(request)),
-                                    )
-                                    .unwrap_or_else(|_| Router::panic_envelope());
-                                    (response, close)
-                                }
-                                Ok(None) => break, // client closed cleanly
-                                Err(e) => (HttpResponse::bad_request(&e), true),
-                            };
-                        served.fetch_add(1, Ordering::Relaxed);
-                        // chaos: the socket dies before any response byte —
-                        // never mid-response, so clients see a clean drop
-                        // (retryable), not a torn payload
-                        if odbis_chaos::triggered("http.write") {
-                            break;
-                        }
-                        let keep_alive = !close_after;
-                        if response.write_to_conn(&mut writer, keep_alive).is_err() {
-                            break;
-                        }
-                        let _ = writer.flush();
-                        if close_after {
-                            break;
-                        }
-                    }
-                }
-            }));
-        }
-
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_tx = tx.clone();
-        let accept_thread = std::thread::spawn(move || {
-            while !accept_shutdown.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        // chaos: the accepted socket drops before any byte
-                        // is exchanged (client sees a clean reset, retryable)
-                        if odbis_chaos::triggered("http.accept") {
-                            drop(stream);
-                            continue;
-                        }
-                        // Hand off without a blocking send: a full worker
-                        // queue must never wedge this thread (stop() joins
-                        // it), so poll with a shutdown check and shed the
-                        // connection if shutdown wins the race.
-                        let mut pending = stream;
-                        loop {
-                            match accept_tx.try_send(pending) {
-                                Ok(()) => break,
-                                Err(TrySendError::Full(s)) => {
-                                    if accept_shutdown.load(Ordering::Relaxed) {
-                                        break; // drop the connection: shutting down
-                                    }
-                                    std::thread::sleep(Duration::from_millis(1));
-                                    pending = s;
-                                }
-                                Err(TrySendError::Disconnected(_)) => return,
-                            }
-                        }
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(2));
-                    }
-                    Err(_) => break,
-                }
-            }
-        });
-
-        Ok(HttpServer {
-            addr,
-            shutdown,
-            accept_thread: Some(accept_thread),
-            workers,
-            served,
-            sender: Some(tx),
-        })
+    /// Builder entry point for non-default options.
+    pub fn builder(router: Router) -> ServerBuilder {
+        ServerBuilder::new(router)
     }
 
     /// The bound address (`127.0.0.1:<port>`).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        match &self.inner {
+            Inner::Threaded(s) => s.addr(),
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Inner::Reactor(s) => s.addr(),
+        }
     }
 
     /// Base URL, e.g. `http://127.0.0.1:38311`.
     pub fn base_url(&self) -> String {
-        format!("http://{}", self.addr)
+        format!("http://{}", self.addr())
     }
 
-    /// Requests served so far.
+    /// Requests served so far (responses produced, including 4xx/5xx).
     pub fn requests_served(&self) -> u64 {
-        self.served.load(Ordering::Relaxed)
+        match &self.inner {
+            Inner::Threaded(s) => s.requests_served(),
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Inner::Reactor(s) => s.requests_served(),
+        }
+    }
+
+    /// Connections currently held open, when the backend tracks them
+    /// (`None` on the threaded pool, which has no central registry).
+    pub fn connections_open(&self) -> Option<u64> {
+        match &self.inner {
+            Inner::Threaded(_) => None,
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Inner::Reactor(s) => Some(s.connections_open()),
+        }
+    }
+
+    /// Which backend is serving: `"reactor"` or `"threaded"`.
+    pub fn backend_name(&self) -> &'static str {
+        match &self.inner {
+            Inner::Threaded(_) => "threaded",
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Inner::Reactor(_) => "reactor",
+        }
     }
 
     /// Stop accepting and join all threads.
-    pub fn shutdown(mut self) {
-        self.stop();
-    }
-
-    fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
+    pub fn shutdown(self) {
+        match self.inner {
+            Inner::Threaded(s) => s.shutdown(),
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Inner::Reactor(s) => s.shutdown(),
         }
-        // closing the sender ends the worker loops
-        self.sender.take();
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-impl Drop for HttpServer {
-    fn drop(&mut self) {
-        self.stop();
     }
 }
 
@@ -198,7 +217,9 @@ impl Drop for HttpServer {
 mod tests {
     use super::*;
     use crate::client::http_get;
-    use crate::http::Method;
+    use crate::http::{HttpResponse, Method};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn test_router() -> Router {
         let mut r = Router::new();
@@ -225,6 +246,36 @@ mod tests {
     }
 
     #[test]
+    fn default_backend_is_the_reactor_on_linux() {
+        let server = HttpServer::start(test_router(), 1).unwrap();
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        assert_eq!(server.backend_name(), "reactor");
+        #[cfg(not(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )))]
+        assert_eq!(server.backend_name(), "threaded");
+        server.shutdown();
+    }
+
+    #[test]
+    fn threaded_backend_can_be_forced() {
+        let server = HttpServer::builder(test_router())
+            .workers(1)
+            .backend(Backend::Threaded)
+            .start()
+            .unwrap();
+        assert_eq!(server.backend_name(), "threaded");
+        assert_eq!(server.connections_open(), None);
+        let (status, body) = http_get(&server.addr().to_string(), "/hello").unwrap();
+        assert_eq!((status, body.as_str()), (200, "world"));
+        server.shutdown();
+    }
+
+    #[test]
     fn concurrent_clients() {
         let server = HttpServer::start(test_router(), 4).unwrap();
         let addr = server.addr().to_string();
@@ -245,7 +296,7 @@ mod tests {
 
     #[test]
     fn keep_alive_serves_two_requests_on_one_connection() {
-        use std::io::{BufRead, BufReader, Read};
+        use std::io::{BufRead, BufReader};
         let server = HttpServer::start(test_router(), 1).unwrap();
         let stream = TcpStream::connect(server.addr()).unwrap();
         let mut writer = stream.try_clone().unwrap();
@@ -357,7 +408,6 @@ mod tests {
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
         let mut buf = String::new();
-        use std::io::Read;
         stream.read_to_string(&mut buf).unwrap();
         assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
     }

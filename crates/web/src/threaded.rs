@@ -1,0 +1,262 @@
+//! The thread-per-connection HTTP backend: loopback listener + crossbeam
+//! worker pool.
+//!
+//! This is the original server — the reproduction's stand-in for the
+//! Tomcat container that "all services run under" in the ODBIS technical
+//! architecture (§3.3). Concurrency is capped at the pool size, so it
+//! remains useful as the portable fallback (non-Linux builds, or
+//! `ODBIS_HTTP_SERVER=threaded`) and as the ablation baseline the
+//! connection-scaling bench compares the epoll reactor against.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender, TrySendError};
+
+use crate::admission::AdmissionControl;
+use crate::http::{HttpRequest, HttpResponse};
+use crate::router::Router;
+
+/// A running threaded HTTP server. Binds a real loopback socket; requests
+/// are served by a fixed worker pool, one connection per worker at a time.
+pub struct ThreadedServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    served: Arc<AtomicU64>,
+    sender: Option<Sender<TcpStream>>,
+}
+
+impl ThreadedServer {
+    /// Start serving `router` on an ephemeral loopback port with
+    /// `worker_count` workers and optional per-tenant admission control.
+    pub fn start(
+        router: Router,
+        worker_count: usize,
+        admission: Option<Arc<AdmissionControl>>,
+    ) -> std::io::Result<ThreadedServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = bounded::<TcpStream>(1024);
+
+        let mut workers = Vec::with_capacity(worker_count);
+        let router = Arc::new(router);
+        for _ in 0..worker_count.max(1) {
+            let rx = rx.clone();
+            let router = Arc::clone(&router);
+            let served = Arc::clone(&served);
+            let worker_shutdown = Arc::clone(&shutdown);
+            let admission = admission.clone();
+            workers.push(std::thread::spawn(move || {
+                while let Ok(stream) = rx.recv() {
+                    if worker_shutdown.load(Ordering::Relaxed) {
+                        // shutting down: shed the queued backlog instead of
+                        // serving it, so stop() is bounded by the in-flight
+                        // request, not by queue depth
+                        continue;
+                    }
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                    let Ok(mut writer) = stream.try_clone() else {
+                        continue;
+                    };
+                    // one buffered reader per connection: keep-alive
+                    // requests (and pipelined bytes) survive between
+                    // iterations instead of dying with a throwaway buffer
+                    let mut reader = std::io::BufReader::new(stream);
+                    loop {
+                        if worker_shutdown.load(Ordering::Relaxed) {
+                            break; // close keep-alive connections at shutdown
+                        }
+                        // chaos: a connection torn down before the request
+                        // is read — the client saw zero response bytes
+                        if odbis_chaos::triggered("http.read") {
+                            break;
+                        }
+                        let (response, close_after) =
+                            match HttpRequest::read_from_buffered(&mut reader) {
+                                Ok(Some(mut request)) => {
+                                    let close = request.wants_close();
+                                    match admission.as_ref().map(|g| g.gate(&mut request)) {
+                                        Some(Err(reject)) => (reject, close),
+                                        gated => {
+                                            let tenant = gated.and_then(Result::ok).flatten();
+                                            // The request boundary is the last
+                                            // line of panic defense: dispatch()
+                                            // already catches, but even a future
+                                            // regression there must answer 500
+                                            // and keep this worker (and the
+                                            // pool's capacity) alive.
+                                            let response = std::panic::catch_unwind(
+                                                std::panic::AssertUnwindSafe(|| {
+                                                    router.dispatch(request)
+                                                }),
+                                            )
+                                            .unwrap_or_else(|_| Router::panic_envelope());
+                                            if let (Some(gate), Some(t)) =
+                                                (admission.as_ref(), tenant)
+                                            {
+                                                gate.complete(&t);
+                                            }
+                                            (response, close)
+                                        }
+                                    }
+                                }
+                                Ok(None) => break, // client closed cleanly
+                                Err(e) => (HttpResponse::bad_request(&e), true),
+                            };
+                        served.fetch_add(1, Ordering::Relaxed);
+                        // chaos: the socket dies before any response byte —
+                        // never mid-response, so clients see a clean drop
+                        // (retryable), not a torn payload
+                        if odbis_chaos::triggered("http.write") {
+                            break;
+                        }
+                        let keep_alive = !close_after;
+                        if response.write_to_conn(&mut writer, keep_alive).is_err() {
+                            break;
+                        }
+                        let _ = writer.flush();
+                        if close_after {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_tx = tx.clone();
+        let accept_thread = std::thread::spawn(move || {
+            while !accept_shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // chaos: the accepted socket drops before any byte
+                        // is exchanged (client sees a clean reset, retryable)
+                        if odbis_chaos::triggered("http.accept") {
+                            drop(stream);
+                            continue;
+                        }
+                        // Hand off without a blocking send: a full worker
+                        // queue must never wedge this thread (stop() joins
+                        // it), so poll with a shutdown check and shed the
+                        // connection if shutdown wins the race.
+                        let mut pending = stream;
+                        loop {
+                            match accept_tx.try_send(pending) {
+                                Ok(()) => break,
+                                Err(TrySendError::Full(s)) => {
+                                    if accept_shutdown.load(Ordering::Relaxed) {
+                                        break; // drop the connection: shutting down
+                                    }
+                                    std::thread::sleep(Duration::from_millis(1));
+                                    pending = s;
+                                }
+                                Err(TrySendError::Disconnected(_)) => return,
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(ThreadedServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers,
+            served,
+            sender: Some(tx),
+        })
+    }
+
+    /// The bound address (`127.0.0.1:<port>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        // closing the sender ends the worker loops
+        self.sender.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ThreadedServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::TenantLimits;
+    use crate::client::http_get;
+    use crate::http::Method;
+    use std::io::Read;
+
+    fn test_router() -> Router {
+        let mut r = Router::new();
+        r.route(Method::Get, "/hello", |_, _| HttpResponse::text("world"));
+        r
+    }
+
+    #[test]
+    fn threaded_backend_serves_requests() {
+        let server = ThreadedServer::start(test_router(), 2, None).unwrap();
+        let (status, body) = http_get(&server.addr().to_string(), "/hello").unwrap();
+        assert_eq!((status, body.as_str()), (200, "world"));
+        assert_eq!(server.requests_served(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn threaded_backend_enforces_admission() {
+        let gate = Arc::new(AdmissionControl::with_uniform_limits(TenantLimits {
+            rate: 0.001,
+            burst: 1.0,
+            queue_depth: 0,
+        }));
+        let server = ThreadedServer::start(test_router(), 2, Some(gate)).unwrap();
+        let send = || {
+            let mut s = TcpStream::connect(server.addr()).unwrap();
+            s.write_all(b"GET /hello HTTP/1.1\r\nX-Tenant: acme\r\nConnection: close\r\n\r\n")
+                .unwrap();
+            let mut buf = String::new();
+            let _ = s.read_to_string(&mut buf);
+            buf
+        };
+        assert!(send().starts_with("HTTP/1.1 200"));
+        let second = send();
+        assert!(second.starts_with("HTTP/1.1 429"), "{second}");
+        assert!(second.contains("Retry-After:"), "{second}");
+    }
+}

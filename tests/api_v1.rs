@@ -264,6 +264,292 @@ fn api_v1_and_legacy_paths_serve_the_same_routes() {
 }
 
 #[test]
+fn self_description_index_advertises_the_route_table() {
+    let platform = Arc::new(OdbisPlatform::new());
+    let server = HttpServer::start(build_router(Arc::clone(&platform)), 2).unwrap();
+    let addr = server.addr().to_string();
+
+    // the index is public: clients discover the surface before they log in
+    let (status, body) = http_get(&addr, "/api/v1").unwrap();
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["api"], "v1");
+    let routes = v["routes"].as_array().unwrap();
+
+    let find = |method: &str, path: &str| {
+        routes
+            .iter()
+            .find(|r| r["method"] == method && r["path"] == path)
+            .unwrap_or_else(|| panic!("index must list {method} {path}: {body}"))
+    };
+    // canonical routes advertise their auth requirement
+    assert_eq!(find("GET", "/api/v1/health")["auth"], "public");
+    assert_eq!(find("GET", "/api/v1/datasets")["auth"], "DATASET_RUN");
+    assert_eq!(find("POST", "/api/v1/sql")["auth"], "ETL_DESIGN");
+    assert_eq!(find("GET", "/api/v1/admin/slowlog")["auth"], "ADMIN_USERS");
+    assert_eq!(
+        find("POST", "/api/v1/admin/failpoints")["auth"],
+        "ADMIN_CONFIG"
+    );
+    assert_eq!(find("GET", "/api/v1/datasets")["deprecated"], false);
+    // legacy aliases are flagged deprecated and point at their successor
+    let legacy = find("GET", "/datasets");
+    assert_eq!(legacy["deprecated"], true);
+    assert_eq!(legacy["successor"], "/api/v1/datasets");
+    // the index lists itself
+    assert_eq!(find("GET", "/api/v1")["auth"], "public");
+
+    // every advertised canonical GET route actually resolves (anything but
+    // 404/405 proves the route is wired; most answer 401 without a session)
+    for r in routes.iter().filter(|r| r["method"] == "GET") {
+        let path = r["path"].as_str().unwrap();
+        if path.contains(':') {
+            continue; // parameterized paths need a concrete segment
+        }
+        let (status, _) = http_get(&addr, path).unwrap();
+        assert!(
+            status != 404 && status != 405,
+            "advertised route GET {path} is not wired: {status}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn collection_pagination_pages_and_validates_cursors() {
+    let platform = Arc::new(OdbisPlatform::new());
+    let token = drive_traffic(&platform);
+    // four more data sets on top of drive_traffic's `total_cost`
+    for i in 0..4 {
+        platform
+            .define_dataset(
+                "clinic",
+                &token,
+                DataSet {
+                    name: format!("extra_{i}"),
+                    source: "warehouse".into(),
+                    sql: "SELECT dept FROM admissions".into(),
+                    description: String::new(),
+                },
+            )
+            .unwrap();
+    }
+    let server = HttpServer::start(build_router(Arc::clone(&platform)), 2).unwrap();
+    let addr = server.addr().to_string();
+
+    // unpaged keeps the original bare-array shape
+    let (status, _, body) = auth(&addr, "GET", "/api/v1/datasets", &token, "");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v.as_array().unwrap().len(), 5, "bare shape: {body}");
+
+    // paged: walk the whole collection two items at a time
+    let mut seen = Vec::new();
+    let mut cursor = String::new();
+    loop {
+        let path = if cursor.is_empty() {
+            "/api/v1/datasets?limit=2".to_string()
+        } else {
+            format!("/api/v1/datasets?limit=2&cursor={cursor}")
+        };
+        let (status, _, body) = auth(&addr, "GET", &path, &token, "");
+        assert_eq!(status, 200, "{path}: {body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let items = v["items"].as_array().unwrap();
+        assert!(items.len() <= 2);
+        seen.extend(items.iter().map(|i| i.as_str().unwrap().to_string()));
+        match v["next_cursor"].as_str() {
+            Some(c) => cursor = c.to_string(),
+            None => break,
+        }
+    }
+    assert_eq!(
+        seen.len(),
+        5,
+        "pagination lost or duplicated items: {seen:?}"
+    );
+
+    // a cursor past the end is an empty page, not an error
+    let (status, _, body) = auth(&addr, "GET", "/api/v1/datasets?cursor=999", &token, "");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(v["items"].as_array().unwrap().is_empty());
+    assert!(v["next_cursor"].is_null());
+
+    // malformed cursor and out-of-range limit are 400 envelopes
+    for path in [
+        "/api/v1/datasets?cursor=abc",
+        "/api/v1/datasets?limit=0",
+        "/api/v1/datasets?limit=100000",
+    ] {
+        let (status, _, body) = auth(&addr, "GET", path, &token, "");
+        assert_eq!(status, 400, "{path}: {body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["kind"], "bad_request", "{path}: {body}");
+        assert!(
+            v["error"]["request_id"]
+                .as_str()
+                .is_some_and(|s| !s.is_empty()),
+            "envelope must carry the request id: {body}"
+        );
+    }
+
+    // the same paging contract holds on the admin collections
+    let (status, _, body) = auth(&addr, "GET", "/api/v1/admin/usage?limit=3", &token, "");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(v["items"].as_array().unwrap().len() <= 3, "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn request_ids_ride_responses_envelopes_and_the_slowlog() {
+    let platform = Arc::new(OdbisPlatform::new());
+    let token = drive_traffic(&platform);
+    // everything slower than 0ms is "slow": every traced call lands in the log
+    platform
+        .admin
+        .config
+        .set_for_tenant("clinic", "telemetry.slow_ms", 1i64.into())
+        .unwrap();
+    let server = HttpServer::start(build_router(Arc::clone(&platform)), 2).unwrap();
+    let addr = server.addr().to_string();
+    let bearer = format!("Bearer {token}");
+
+    // a client-supplied id is adopted and echoed
+    let mut insert = String::from("INSERT INTO admissions VALUES ('Gen', 2012, 1)");
+    for i in 0..20_000 {
+        insert.push_str(&format!(", ('Gen', 2012, {i})"));
+    }
+    let (status, headers, _) = http_request(
+        &addr,
+        "POST",
+        "/api/v1/sql",
+        &[
+            ("x-tenant", "clinic"),
+            ("Authorization", bearer.as_str()),
+            ("X-Request-Id", "e2e-slow-insert-1"),
+        ],
+        insert.as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers.get("x-request-id").map(String::as_str),
+        Some("e2e-slow-insert-1")
+    );
+
+    // ... and shows up on the slow-log entry for that statement
+    let (status, _, body) = auth(&addr, "GET", "/api/v1/admin/slowlog", &token, "");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    let entries = v.as_array().unwrap();
+    assert!(
+        entries
+            .iter()
+            .any(|e| e["requestId"] == "e2e-slow-insert-1"),
+        "slow log must link the request id: {body}"
+    );
+
+    // a request without an id gets a minted one, echoed on the response
+    let (_, headers, _) = auth(&addr, "GET", "/api/v1/datasets", &token, "");
+    let minted = headers.get("x-request-id").expect("id must be minted");
+    assert!(minted.starts_with("req-"), "minted id: {minted}");
+
+    // error envelopes embed the id that the response header carries
+    let (status, headers, body) = http_request(
+        &addr,
+        "GET",
+        "/api/v1/datasets/ghost",
+        &[
+            ("x-tenant", "clinic"),
+            ("Authorization", bearer.as_str()),
+            ("X-Request-Id", "e2e-miss-7"),
+        ],
+        b"",
+    )
+    .unwrap();
+    assert_eq!(status, 404);
+    assert_eq!(
+        headers.get("x-request-id").map(String::as_str),
+        Some("e2e-miss-7")
+    );
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["error"]["request_id"], "e2e-miss-7", "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn dataset_downloads_negotiate_csv_and_json() {
+    let platform = Arc::new(OdbisPlatform::new());
+    let token = drive_traffic(&platform);
+    let server = HttpServer::start(build_router(Arc::clone(&platform)), 2).unwrap();
+    let addr = server.addr().to_string();
+    let bearer = format!("Bearer {token}");
+    let hdrs = |accept: &'static str| {
+        [
+            ("x-tenant", "clinic"),
+            ("Authorization", bearer.as_str()),
+            ("Accept", accept),
+        ]
+    };
+
+    // text/csv streams straight from the columnar batch
+    let (status, headers, body) = http_request(
+        &addr,
+        "GET",
+        "/api/v1/datasets/total_cost",
+        &hdrs("text/csv"),
+        b"",
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(headers["content-type"].starts_with("text/csv"));
+    assert_eq!(body, "total\r\n5400.0\r\n");
+
+    // JSON stays the default shape
+    let (status, headers, body) = http_request(
+        &addr,
+        "GET",
+        "/api/v1/datasets/total_cost",
+        &hdrs("application/json"),
+        b"",
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert!(headers["content-type"].starts_with("application/json"));
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["columns"][0], "total");
+
+    // an unsupported type is a 406 envelope, not a silent JSON fallback
+    let (status, _, body) = http_request(
+        &addr,
+        "GET",
+        "/api/v1/datasets/total_cost",
+        &hdrs("application/xml"),
+        b"",
+    )
+    .unwrap();
+    assert_eq!(status, 406, "{body}");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["error"]["kind"], "not_acceptable");
+
+    // a missing data set under CSV negotiation still errors as JSON envelope
+    let (status, _, body) = http_request(
+        &addr,
+        "GET",
+        "/api/v1/datasets/ghost",
+        &hdrs("text/csv"),
+        b"",
+    )
+    .unwrap();
+    assert_eq!(status, 404);
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["error"]["kind"], "not_found");
+    server.shutdown();
+}
+
+#[test]
 fn slowlog_endpoint_exposes_slow_operations() {
     let platform = Arc::new(OdbisPlatform::new());
     let token = drive_traffic(&platform);

@@ -3,9 +3,10 @@
 //! every response must come back — no connection resets, no 5xx, and the
 //! server must shut down cleanly (bounded join) afterwards.
 
+use std::io::{Read, Write};
 use std::sync::Arc;
 
-use odbis::{build_router, OdbisPlatform};
+use odbis::{build_router, serve_platform, OdbisPlatform};
 use odbis_tenancy::SubscriptionPlan;
 use odbis_web::{http_get, http_request, HttpServer};
 
@@ -258,4 +259,183 @@ fn many_clients_no_resets_no_5xx_clean_shutdown() {
         rows.rows[0][0],
         odbis_storage::Value::Int((inserts + 1) as i64)
     );
+}
+
+/// One keep-alive connection, many requests — including a pipelined burst
+/// written before any response is read. The event loop must answer all of
+/// them, in order, on the same socket.
+#[test]
+fn keep_alive_connection_pipelines_through_the_reactor() {
+    let platform = Arc::new(OdbisPlatform::new());
+    let server = HttpServer::start(build_router(Arc::clone(&platform)), 2).unwrap();
+    let addr = server.addr();
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+
+    // write 10 requests back-to-back without reading a single byte
+    const N: usize = 10;
+    let mut burst = String::new();
+    for i in 0..N {
+        burst.push_str(&format!(
+            "GET /api/v1/health HTTP/1.1\r\nHost: t\r\nX-Request-Id: pipe-{i}\r\n\r\n"
+        ));
+    }
+    stream.write_all(burst.as_bytes()).unwrap();
+
+    // the responses come back in request order on the same connection
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while buf.windows(4).filter(|w| w == b"\r\n\r\n").count() < N
+        || !String::from_utf8_lossy(&buf).contains(&format!("pipe-{}", N - 1))
+    {
+        let n = stream.read(&mut chunk).expect("read pipelined response");
+        assert!(n > 0, "connection closed after {} bytes", buf.len());
+        buf.extend_from_slice(&chunk[..n]);
+        if String::from_utf8_lossy(&buf)
+            .matches("HTTP/1.1 200")
+            .count()
+            >= N
+        {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    assert_eq!(text.matches("HTTP/1.1 200").count(), N, "{text}");
+    // responses carry the ids in the order the requests were written
+    let mut last = 0;
+    let mut seen = 0;
+    for i in 0..N {
+        let needle = format!("pipe-{i}");
+        let pos = text
+            .find(&needle)
+            .unwrap_or_else(|| panic!("missing {needle}"));
+        assert!(pos >= last, "response {i} out of order");
+        last = pos;
+        seen += 1;
+    }
+    assert_eq!(seen, N);
+    assert!(server.requests_served() >= N as u64);
+    server.shutdown();
+}
+
+/// Noisy-neighbor isolation: tenant A blasts far past its configured rate
+/// limit while tenant B issues paced requests. A must see structured 429s
+/// with Retry-After; B must never be throttled or slowed into failure;
+/// the metrics scrape must count A's rejections.
+#[test]
+fn noisy_tenant_throttled_while_quiet_tenant_sails_through() {
+    let platform = Arc::new(OdbisPlatform::new());
+    for t in ["noisy", "quiet"] {
+        platform
+            .provision_tenant(t, t, SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+    }
+    // only the noisy tenant is rate-limited: 5 rps, burst 5, queue 2
+    platform
+        .admin
+        .config
+        .set_for_tenant("noisy", "limits.rate", 5i64.into())
+        .unwrap();
+    platform
+        .admin
+        .config
+        .set_for_tenant("noisy", "limits.burst", 5i64.into())
+        .unwrap();
+    platform
+        .admin
+        .config
+        .set_for_tenant("noisy", "limits.queue_depth", 2i64.into())
+        .unwrap();
+
+    // the admission-aware server entry point
+    let server = serve_platform(&platform, 4).unwrap();
+    let addr = server.addr().to_string();
+
+    // eight parallel clients push the noisy tenant far past rate + queue
+    let noisy: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let (mut ok, mut throttled) = (0u32, 0u32);
+                for _ in 0..20 {
+                    let (status, headers, body) = http_request(
+                        &addr,
+                        "GET",
+                        "/api/v1/health",
+                        &[("x-tenant", "noisy")],
+                        b"",
+                    )
+                    .expect("noisy reset");
+                    match status {
+                        200 => ok += 1,
+                        429 => {
+                            throttled += 1;
+                            assert!(
+                                headers.contains_key("retry-after"),
+                                "429 must carry Retry-After: {headers:?}"
+                            );
+                            let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+                            assert_eq!(v["error"]["kind"], "rate_limited", "{body}");
+                            assert!(
+                                v["error"]["request_id"].as_str().is_some(),
+                                "429 envelope carries the request id: {body}"
+                            );
+                        }
+                        other => panic!("noisy got {other}: {body}"),
+                    }
+                }
+                (ok, throttled)
+            })
+        })
+        .collect();
+    let quiet = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            for i in 0..20 {
+                let (status, _, body) = http_request(
+                    &addr,
+                    "GET",
+                    "/api/v1/health",
+                    &[("x-tenant", "quiet")],
+                    b"",
+                )
+                .expect("quiet reset");
+                assert_eq!(status, 200, "quiet request {i} throttled: {body}");
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        })
+    };
+
+    let (mut ok, mut throttled) = (0u32, 0u32);
+    for h in noisy {
+        let (o, t) = h.join().expect("noisy thread panicked");
+        ok += o;
+        throttled += t;
+    }
+    quiet.join().expect("quiet thread panicked");
+    assert!(
+        ok >= 5,
+        "the burst allowance admits the first requests: {ok}"
+    );
+    assert!(
+        throttled >= 10,
+        "blasting past the limit must throttle: ok={ok} throttled={throttled}"
+    );
+
+    // rejections are visible on the scrape, labelled by tenant
+    let (status, body) = http_get(&addr, "/api/v1/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("odbis_admission_rejected_total{tenant=\"noisy\"}"),
+        "scrape must count noisy rejections"
+    );
+    assert!(
+        !body.contains("odbis_admission_rejected_total{tenant=\"quiet\"}")
+            || body.contains("odbis_admission_rejected_total{tenant=\"quiet\"} 0"),
+        "quiet tenant must have no rejections: {body}"
+    );
+    server.shutdown();
 }
