@@ -91,6 +91,17 @@ fn fsync_default() -> String {
     }
 }
 
+/// The declared default for `durability.format`: the
+/// `ODBIS_DURABILITY_FORMAT` environment variable when set to `json` (the
+/// CI persist job A/Bs both formats), otherwise `segments` — binary
+/// columnar segments with incremental checkpoints.
+fn format_default() -> String {
+    match std::env::var("ODBIS_DURABILITY_FORMAT").as_deref() {
+        Ok(v) if v.eq_ignore_ascii_case("json") => "json".to_string(),
+        _ => "segments".to_string(),
+    }
+}
+
 /// The declared default for an admission-control limit: the corresponding
 /// `ODBIS_LIMITS_*` environment variable when it parses as an integer,
 /// otherwise `fallback`. Admission limits default open (`limits.rate` 0 =
@@ -130,6 +141,7 @@ impl PlatformConfig {
             ("sql.parallelism", ConfigValue::Int(0)),
             ("sql.optimizer_rules", ConfigValue::from("all")),
             ("durability.fsync", ConfigValue::Str(fsync_default())),
+            ("durability.format", ConfigValue::Str(format_default())),
             ("telemetry.enabled", ConfigValue::Bool(true)),
             ("telemetry.slow_ms", ConfigValue::Int(250)),
             ("chaos.enabled", ConfigValue::Bool(false)),

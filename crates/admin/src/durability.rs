@@ -17,6 +17,8 @@ pub struct DurabilityStatus {
     pub tenant: String,
     /// Effective fsync policy (`"always"` / `"never"`).
     pub fsync: String,
+    /// Effective checkpoint format (`"segments"` / `"json"`).
+    pub format: String,
     /// WAL records appended since the log was opened.
     pub wal_appends: u64,
     /// WAL bytes appended since the log was opened.
@@ -32,9 +34,12 @@ pub struct DurabilityStatus {
 pub struct CheckpointOutcome {
     /// Tenant id.
     pub tenant: String,
-    /// Tables captured in the snapshot.
+    /// Tables captured in the checkpoint cut.
     pub tables: usize,
-    /// WAL bytes folded into the snapshot and discarded.
+    /// Tables actually re-encoded to disk (fewer than `tables` when an
+    /// incremental segment checkpoint skipped clean tables).
+    pub tables_flushed: usize,
+    /// WAL bytes folded into the checkpoint and discarded.
     pub wal_bytes_folded: u64,
     /// Checkpoint wall time in microseconds.
     pub micros: u64,
@@ -162,6 +167,7 @@ mod tests {
             Ok(DurabilityStatus {
                 tenant: tenant.to_string(),
                 fsync: "never".into(),
+                format: "segments".into(),
                 wal_appends: 3,
                 wal_bytes: 120,
                 wal_file_len: 120,
@@ -172,6 +178,7 @@ mod tests {
             Ok(CheckpointOutcome {
                 tenant: tenant.to_string(),
                 tables: 2,
+                tables_flushed: 1,
                 wal_bytes_folded: 120,
                 micros: 42,
             })

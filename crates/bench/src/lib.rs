@@ -7,4 +7,5 @@
 
 pub mod concurrency;
 pub mod http;
+pub mod persist;
 pub mod workloads;

@@ -21,7 +21,9 @@ use odbis_metadata::{DataSet, DataSource, MetadataService};
 use odbis_olap::{AggregateCache, CellSet, CubeDef, CubeEngine, LevelRef, MaterializedAggregate};
 use odbis_reporting::{Dashboard, RenderedReport, ReportTemplate, ReportingService};
 use odbis_sql::{Engine, QueryResult};
-use odbis_storage::{Database, DbResult, DurableStore, FsyncPolicy, Wal, WalRecord, WalSink};
+use odbis_storage::{
+    Database, DbResult, DurableStore, FsyncPolicy, SnapshotFormat, Wal, WalRecord, WalSink,
+};
 use odbis_telemetry::Telemetry;
 use odbis_tenancy::{ServiceKind, SubscriptionPlan, TenantRegistry, UsageMeter};
 use parking_lot::{Mutex, RwLock};
@@ -96,9 +98,10 @@ impl TenantWorkspace {
         tenant_id: &str,
         dir: PathBuf,
         policy: FsyncPolicy,
+        format: SnapshotFormat,
         telemetry: Arc<Telemetry>,
     ) -> PlatformResult<Self> {
-        let (db, store) = DurableStore::open(dir, policy)?;
+        let (db, store) = DurableStore::open_with_format(dir, policy, format)?;
         let warehouse = Arc::new(db);
         let store = Arc::new(store);
         warehouse.set_wal_sink(Arc::new(MeteredWal {
@@ -192,6 +195,7 @@ impl DurabilityHook for TenantDurability {
         Ok(DurabilityStatus {
             tenant: tenant.to_string(),
             fsync: store.wal().policy().as_str().to_string(),
+            format: store.format().as_str().to_string(),
             wal_appends: stats.appends,
             wal_bytes: stats.bytes,
             wal_file_len: stats.file_len,
@@ -215,6 +219,7 @@ impl DurabilityHook for TenantDurability {
                     return Ok(CheckpointOutcome {
                         tenant: tenant.to_string(),
                         tables: report.tables,
+                        tables_flushed: report.tables_flushed,
                         wal_bytes_folded: report.wal_bytes_folded,
                         micros: report.micros,
                     });
@@ -338,10 +343,18 @@ impl OdbisPlatform {
                         .get_str(id, "durability.fsync")
                         .unwrap_or_else(|_| "never".into()),
                 );
+                let format = SnapshotFormat::parse(
+                    &self
+                        .admin
+                        .config
+                        .get_str(id, "durability.format")
+                        .unwrap_or_else(|_| "segments".into()),
+                );
                 Arc::new(TenantWorkspace::durable(
                     id,
                     root.join(id),
                     policy,
+                    format,
                     Arc::clone(&self.admin.telemetry),
                 )?)
             }

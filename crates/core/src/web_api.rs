@@ -459,6 +459,7 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
                     serde_json::json!({
                         "tenant": s.tenant,
                         "fsync": s.fsync,
+                        "format": s.format,
                         "walAppends": s.wal_appends,
                         "walBytes": s.wal_bytes,
                         "walFileLen": s.wal_file_len,
@@ -483,6 +484,7 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
                     serde_json::json!({
                         "tenant": o.tenant,
                         "tables": o.tables,
+                        "tablesFlushed": o.tables_flushed,
                         "walBytesFolded": o.wal_bytes_folded,
                         "micros": o.micros,
                     })

@@ -252,7 +252,7 @@ impl MetadataService {
         Ok(self.engine.execute(&conn, &sql)?)
     }
 
-    /// Execute a data set and return its columnar [`Batch`] without the row
+    /// Execute a data set and return its columnar [`Batch`](odbis_storage::Batch) without the row
     /// pivot — the entry point for streamed exports (CSV downloads) that
     /// serialize straight from column storage.
     pub fn execute_dataset_batch(

@@ -26,7 +26,7 @@
 //! would land after the drop in the log.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -58,9 +58,27 @@ pub struct Database {
 /// behind its own lock. Keeping the name here lets catalog queries
 /// (`table_names`, `has_table`) answer without touching any table lock —
 /// a long-running writer must never block name resolution.
+///
+/// `dirty` tracks whether the table has been mutated since the last
+/// successful checkpoint flushed it — the signal incremental checkpoints
+/// use to leave clean tables' on-disk segments untouched. It is set under
+/// the table's *write* lock (every mutation path) and read/cleared by the
+/// checkpointer under the table's *read* lock (which excludes writers), so
+/// plain relaxed atomics suffice; the lock provides the ordering.
 struct CatalogEntry {
     name: String,
     table: Arc<RwLock<Table>>,
+    dirty: Arc<AtomicBool>,
+}
+
+/// One table of a consistent checkpoint cut, with its dirty flag so the
+/// checkpointer can decide to flush or skip — and mark it clean once the
+/// flush has durably committed.
+pub(crate) struct TableView<'a> {
+    /// The read-locked table.
+    pub table: &'a Table,
+    /// Mutated since the last successful checkpoint flush?
+    pub dirty: &'a AtomicBool,
 }
 
 impl std::fmt::Debug for Database {
@@ -108,31 +126,57 @@ impl Database {
     /// Resolve a name to its table handle. Holds the catalog read lock
     /// only for the lookup; the caller locks the table itself.
     fn handle(&self, name: &str) -> DbResult<Arc<RwLock<Table>>> {
+        self.entry(name).map(|(t, _)| t)
+    }
+
+    /// Resolve a name to its table handle plus its dirty flag (for the
+    /// mutation path, which must mark the table dirty).
+    fn entry(&self, name: &str) -> DbResult<(Arc<RwLock<Table>>, Arc<AtomicBool>)> {
         self.tables
             .read()
             .get(&Self::key(name))
-            .map(|e| Arc::clone(&e.table))
+            .map(|e| (Arc::clone(&e.table), Arc::clone(&e.dirty)))
             .ok_or_else(|| DbError::TableNotFound(name.to_string()))
     }
 
-    /// Forward a table's queued records to the sink. Called with that
-    /// table's write lock still held, so the log sees the table's
-    /// mutations in the exact order they were applied. Records of
-    /// different tables may interleave in the log, but they commute on
-    /// replay — per-table order is the only order recovery depends on.
-    fn flush_pending(&self, t: &mut Table) -> DbResult<()> {
+    /// Forward a table's queued records to the sink and maintain the dirty
+    /// flag. Called with that table's write lock still held, so the log
+    /// sees the table's mutations in the exact order they were applied.
+    /// Records of different tables may interleave in the log, but they
+    /// commute on replay — per-table order is the only order recovery
+    /// depends on.
+    ///
+    /// Dirty semantics: with the journal armed, a non-empty pending queue
+    /// is the precise "this statement mutated the table" signal (failed
+    /// statements queue nothing). Unjournaled tables (recovery replay,
+    /// purely in-memory databases) have no queue, so any write access
+    /// marks dirty conservatively. The flag is set *before* the sink
+    /// append can fail: an in-memory mutation whose WAL append errored
+    /// still diverges from the on-disk segments and must be reflushed.
+    fn flush_pending(&self, t: &mut Table, dirty: &AtomicBool) -> DbResult<()> {
         if !t.journal_armed() {
+            dirty.store(true, Ordering::Relaxed);
             return Ok(());
         }
         let pending = t.take_pending();
         if pending.is_empty() {
             return Ok(());
         }
+        dirty.store(true, Ordering::Relaxed);
         if let Some(sink) = self.sink() {
             // group commit: one statement's records go down as one unit
             sink.append_batch(&pending)?;
         }
         Ok(())
+    }
+
+    /// Whether a table has been mutated since the last checkpoint flush.
+    pub fn table_dirty(&self, name: &str) -> DbResult<bool> {
+        self.tables
+            .read()
+            .get(&Self::key(name))
+            .map(|e| e.dirty.load(Ordering::Relaxed))
+            .ok_or_else(|| DbError::TableNotFound(name.to_string()))
     }
 
     /// Create a table. Fails if a table with that name exists.
@@ -152,6 +196,9 @@ impl Database {
             CatalogEntry {
                 name: name.to_string(),
                 table: Arc::new(RwLock::new(table)),
+                // a table born after the last checkpoint has no segment on
+                // disk yet — it is dirty by definition
+                dirty: Arc::new(AtomicBool::new(true)),
             },
         );
         if let Some(sink) = sink {
@@ -177,6 +224,10 @@ impl Database {
             CatalogEntry {
                 name,
                 table: Arc::new(RwLock::new(table)),
+                // adopted tables come straight from a snapshot/segment, so
+                // their on-disk image is current until something mutates
+                // them (WAL replay goes through `write_table`, which marks)
+                dirty: Arc::new(AtomicBool::new(false)),
             },
         );
         Ok(())
@@ -191,13 +242,32 @@ impl Database {
     /// append can be in flight once all read locks are held: every LSN the
     /// WAL has assigned corresponds to a mutation visible in this cut.
     pub(crate) fn with_tables_read<R>(&self, f: impl FnOnce(&[&Table]) -> R) -> R {
+        self.with_tables_marked(|views| {
+            let refs: Vec<&Table> = views.iter().map(|v| v.table).collect();
+            f(&refs)
+        })
+    }
+
+    /// Like [`Database::with_tables_read`], but hands the checkpointer each
+    /// table's dirty flag alongside the read-locked table, so incremental
+    /// checkpoints can skip clean tables and mark flushed ones clean while
+    /// the cut is still held (the read locks exclude every writer, so no
+    /// mutation can race the clear).
+    pub(crate) fn with_tables_marked<R>(&self, f: impl FnOnce(&[TableView<'_>]) -> R) -> R {
         let catalog = self.tables.read();
         let mut entries: Vec<&CatalogEntry> = catalog.values().collect();
         entries.sort_by(|a, b| Self::key(&a.name).cmp(&Self::key(&b.name)));
         let guards: Vec<parking_lot::RwLockReadGuard<'_, Table>> =
             entries.iter().map(|e| e.table.read()).collect();
-        let refs: Vec<&Table> = guards.iter().map(|g| &**g).collect();
-        f(&refs)
+        let views: Vec<TableView<'_>> = guards
+            .iter()
+            .zip(&entries)
+            .map(|(g, e)| TableView {
+                table: g,
+                dirty: &e.dirty,
+            })
+            .collect();
+        f(&views)
     }
 
     /// Drop a table.
@@ -288,13 +358,13 @@ impl Database {
     /// lock is released, so the log sees this table's mutations in apply
     /// order. Readers and writers of other tables are not blocked.
     pub fn write_table<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> R) -> DbResult<R> {
-        let handle = self.handle(name)?;
+        let (handle, dirty) = self.entry(name)?;
         let mut t = handle.write();
         if t.is_dropped() {
             return Err(DbError::TableNotFound(name.to_string()));
         }
         let r = f(&mut t);
-        self.flush_pending(&mut t)?;
+        self.flush_pending(&mut t, &dirty)?;
         Ok(r)
     }
 
@@ -547,6 +617,40 @@ mod tests {
         .unwrap();
         db.create_table("t", schema).unwrap();
         db
+    }
+
+    #[test]
+    fn dirty_flags_track_mutations_per_table() {
+        let db = db_with_t();
+        let schema = db.table_schema("t").unwrap();
+        db.create_table("u", schema).unwrap();
+        // new tables are born dirty (no segment on disk yet)
+        assert!(db.table_dirty("t").unwrap());
+        assert!(db.table_dirty("u").unwrap());
+        // a checkpoint cut can clear the flags under the read locks
+        db.with_tables_marked(|views| {
+            for v in views {
+                v.dirty.store(false, Ordering::Relaxed);
+            }
+        });
+        assert!(!db.table_dirty("t").unwrap());
+        // journaled: only a statement that actually queued records re-marks
+        let sink = Arc::new(CaptureSink::default());
+        db.set_wal_sink(Arc::clone(&sink) as Arc<dyn WalSink>);
+        db.read_table("t", |_| ()).unwrap();
+        db.write_table("t", |_| ()).unwrap(); // no mutation queued
+        assert!(!db.table_dirty("t").unwrap());
+        db.insert("t", vec![1.into(), "a".into()]).unwrap();
+        assert!(db.table_dirty("t").unwrap());
+        assert!(!db.table_dirty("u").unwrap(), "sibling table stays clean");
+        // a failed statement queues nothing and leaves the flag alone
+        db.with_tables_marked(|views| {
+            for v in views {
+                v.dirty.store(false, Ordering::Relaxed);
+            }
+        });
+        assert!(db.insert("t", vec![1.into(), "dup".into()]).is_err());
+        assert!(!db.table_dirty("t").unwrap());
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * JSON snapshot persistence ([`save_snapshot`] / [`load_snapshot`]);
 //! * crash-safe durability: a checksummed write-ahead log with checkpoint
 //!   and recovery ([`Wal`] / [`DurableStore`], see the [`wal`] module);
+//! * binary columnar checkpoint segments with CRC-checked encoded blocks,
+//!   zone maps, and incremental flushing (the [`segment`] and [`manifest`]
+//!   modules, selected via [`SnapshotFormat`]);
 //! * exact [`TableStats`] for the SQL optimizer.
 //!
 //! ```
@@ -36,8 +39,10 @@ mod batch;
 mod database;
 mod error;
 pub mod jsoncodec;
+pub mod manifest;
 mod persist;
 mod schema;
+pub mod segment;
 mod stats;
 mod table;
 mod value;
@@ -46,8 +51,10 @@ pub mod wal;
 pub use batch::{Batch, ColumnBuilder, ColumnData, ColumnVec};
 pub use database::{Database, Txn};
 pub use error::{DbError, DbResult};
+pub use manifest::{Manifest, SegmentEntry};
 pub use persist::{load_snapshot, save_snapshot, SNAPSHOT_VERSION};
 pub use schema::{resolve_column, Column, Schema};
+pub use segment::{scan_segment, Encoding, SegmentScan, BLOCK_ROWS};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Index, RowId, Table};
 pub use value::{
@@ -55,6 +62,6 @@ pub use value::{
     parse_timestamp, DataType, Value,
 };
 pub use wal::{
-    read_wal, replay_record, CheckpointReport, DurableStore, FsyncPolicy, Wal, WalEntry, WalRecord,
-    WalSink, WalStats,
+    read_wal, replay_record, CheckpointReport, DurableStore, FsyncPolicy, SnapshotFormat, Wal,
+    WalEntry, WalRecord, WalSink, WalStats,
 };

@@ -9,7 +9,8 @@
 //! format is pinned by the codec rather than by struct layout.
 
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde_json::{Map, Number, Value as Json};
 
@@ -20,6 +21,66 @@ use crate::table::Table;
 
 /// Current snapshot format version.
 pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A process-unique scratch name next to `path`: `<file>.tmp.<pid>.<n>`.
+/// Two concurrent checkpoints of sibling snapshots (or a retry racing a
+/// stalled first attempt) each get their own tmp file, so neither can
+/// clobber bytes the other is about to rename into place.
+pub(crate) fn unique_tmp(path: &Path) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp.{}.{}", std::process::id(), n));
+    path.with_file_name(name)
+}
+
+/// `fsync` the directory holding a just-renamed file, so the rename itself
+/// (the directory entry) survives power loss — without this the atomic
+/// write-then-rename protocol persists the *bytes* but not the *name*.
+pub(crate) fn fsync_dir(dir: &Path) -> DbResult<()> {
+    odbis_chaos::check("snapshot.fsync").map_err(|e| DbError::Io(e.to_string()))?;
+    fs::File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Durably write `bytes` to `path` via write-then-rename: unique tmp file,
+/// `sync_all` on the tmp, atomic rename, `fsync` on the parent directory.
+/// On any failure the tmp file is removed, so aborted attempts leave no
+/// debris behind. The `label` names the chaos failpoint family
+/// (`<label>.write` / `snapshot.fsync` / `<label>.rename`).
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8], label: &str) -> DbResult<()> {
+    let tmp = unique_tmp(path);
+    let result = (|| -> DbResult<()> {
+        odbis_chaos::check(&format!("{label}.write")).map_err(|e| DbError::Io(e.to_string()))?;
+        if odbis_chaos::triggered(&format!("{label}.write.short")) {
+            // Short write: the tmp file is left truncated mid-stream. The
+            // live file must be untouched (the rename below never runs).
+            let _ = fs::write(&tmp, &bytes[..bytes.len() / 2]);
+            return Err(DbError::Io(format!(
+                "injected failpoint {label}.write.short"
+            )));
+        }
+        let mut f = fs::File::create(&tmp)?;
+        use std::io::Write as _;
+        f.write_all(bytes)?;
+        odbis_chaos::check("snapshot.fsync").map_err(|e| DbError::Io(e.to_string()))?;
+        // The tmp bytes must be on disk *before* the rename publishes the
+        // name, or a power cut could leave the live name pointing at a
+        // hole where the data never arrived.
+        f.sync_all()?;
+        odbis_chaos::check(&format!("{label}.rename")).map_err(|e| DbError::Io(e.to_string()))?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+        return result;
+    }
+    if let Some(parent) = path.parent() {
+        fsync_dir(parent)?;
+    }
+    Ok(())
+}
 
 /// Write the entire database to `path` as a JSON snapshot.
 pub fn save_snapshot(db: &Database, path: impl AsRef<Path>) -> DbResult<()> {
@@ -46,21 +107,10 @@ pub(crate) fn write_tables(tables: &[&Table], path: &Path, last_lsn: u64) -> DbR
         Json::Array(sorted.into_iter().map(table_to_json).collect()),
     );
     let json = Json::Object(snap).to_string();
-    // Write-then-rename so a crash mid-write never corrupts the snapshot.
-    let tmp = path.with_extension("tmp");
-    odbis_chaos::check("snapshot.write").map_err(|e| DbError::Io(e.to_string()))?;
-    if odbis_chaos::triggered("snapshot.write.short") {
-        // Short write: the tmp file is left truncated mid-JSON. The live
-        // snapshot must be untouched (the rename below never runs).
-        let _ = fs::write(&tmp, &json.as_bytes()[..json.len() / 2]);
-        return Err(DbError::Io(
-            "injected failpoint snapshot.write.short".into(),
-        ));
-    }
-    fs::write(&tmp, json)?;
-    odbis_chaos::check("snapshot.rename").map_err(|e| DbError::Io(e.to_string()))?;
-    fs::rename(&tmp, path)?;
-    Ok(())
+    // Write-then-rename (tmp fsync + dir fsync included) so a crash at any
+    // instant leaves either the old snapshot or the new one, never a torn
+    // or unpersisted file.
+    write_atomic(path, json.as_bytes(), "snapshot")
 }
 
 /// Load a snapshot produced by [`save_snapshot`] into a fresh [`Database`].
@@ -87,10 +137,15 @@ pub(crate) fn load_snapshot_with_lsn(path: impl AsRef<Path>) -> DbResult<(Databa
             "snapshot version {version} not supported (expected {SNAPSHOT_VERSION})"
         )));
     }
+    // Version-1 snapshots always carry the stamp. A missing or malformed
+    // one means the file is damaged; silently defaulting to 0 would replay
+    // the entire WAL over possibly-wrong state instead of failing loudly.
     let last_lsn = snap
         .get("last_lsn")
         .and_then(Json::as_i64)
-        .unwrap_or_default() as u64;
+        .filter(|l| *l >= 0)
+        .ok_or_else(|| DbError::Corrupt("snapshot missing last_lsn stamp".into()))?
+        as u64;
     let tables = snap
         .get("tables")
         .and_then(Json::as_array)
@@ -185,6 +240,51 @@ mod tests {
         std::fs::write(&path, "not json at all").unwrap();
         assert!(matches!(load_snapshot(&path), Err(DbError::Corrupt(_))));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_last_lsn_stamp_is_corrupt() {
+        let path = tmp("nolsn");
+        std::fs::write(&path, r#"{"version": 1, "tables": []}"#).unwrap();
+        let err = load_snapshot_with_lsn(&path).unwrap_err();
+        assert!(matches!(err, DbError::Corrupt(_)));
+        assert!(err.to_string().contains("last_lsn"));
+        // malformed stamps are rejected the same way
+        std::fs::write(
+            &path,
+            r#"{"version": 1, "last_lsn": "seven", "tables": []}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            load_snapshot_with_lsn(&path),
+            Err(DbError::Corrupt(_))
+        ));
+        std::fs::write(&path, r#"{"version": 1, "last_lsn": -3, "tables": []}"#).unwrap();
+        assert!(matches!(
+            load_snapshot_with_lsn(&path),
+            Err(DbError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tmp_names_are_unique_and_cleaned_up() {
+        let a = unique_tmp(Path::new("/x/snapshot.json"));
+        let b = unique_tmp(Path::new("/x/snapshot.json"));
+        assert_ne!(a, b, "concurrent checkpoints must not share a tmp file");
+        assert!(a.to_string_lossy().contains("snapshot.json.tmp."));
+        // a failed atomic write leaves no tmp debris behind
+        let dir = tmp("atomic-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("snapshot.json");
+        let _g = odbis_chaos::exclusive();
+        odbis_chaos::apply_spec("snapshot.rename=return-err").unwrap();
+        assert!(write_atomic(&target, b"{}", "snapshot").is_err());
+        odbis_chaos::clear();
+        assert!(!target.exists());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(leftovers.is_empty(), "tmp file must be removed on failure");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -198,8 +198,9 @@ impl Value {
             (Text(a), Text(b)) => a.cmp(b),
             (Date(a), Date(b)) => a.cmp(b),
             (Timestamp(a), Timestamp(b)) => a.cmp(b),
-            (Date(a), Timestamp(b)) => (i64::from(*a) * 86_400_000_000).cmp(b),
-            (Timestamp(a), Date(b)) => a.cmp(&(i64::from(*b) * 86_400_000_000)),
+            // widen to i128: a full-range date times µs-per-day overflows i64
+            (Date(a), Timestamp(b)) => (i128::from(*a) * 86_400_000_000).cmp(&i128::from(*b)),
+            (Timestamp(a), Date(b)) => i128::from(*a).cmp(&(i128::from(*b) * 86_400_000_000)),
             (a, b) => type_rank(a).cmp(&type_rank(b)),
         }
     }

@@ -55,6 +55,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::database::Database;
 use crate::error::{DbError, DbResult};
+use crate::manifest::{self, Manifest, SegmentEntry};
+use crate::segment;
+use crate::table::Table;
 
 /// Map a triggered failpoint into the storage error domain. Injected
 /// faults surface as [`DbError::Io`] — the same class a real disk failure
@@ -507,52 +510,159 @@ pub fn replay_record(db: &Database, record: &WalRecord) -> DbResult<()> {
 /// Result of one checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckpointReport {
-    /// Tables captured in the snapshot.
+    /// Tables captured in the checkpoint cut.
     pub tables: usize,
-    /// Log bytes folded into the snapshot and discarded.
+    /// Tables actually re-encoded to disk. Under [`SnapshotFormat::Json`]
+    /// every table is rewritten, so this equals `tables`; under
+    /// [`SnapshotFormat::Segments`] only dirty tables are flushed.
+    pub tables_flushed: usize,
+    /// Log bytes folded into the checkpoint and discarded.
     pub wal_bytes_folded: u64,
     /// Wall time the checkpoint took, in microseconds.
     pub micros: u64,
 }
 
-/// A snapshot + log pair rooted in one directory (`snapshot.json` and
-/// `wal.log`): the durable home of one tenant's warehouse.
+/// Which on-disk checkpoint format a [`DurableStore`] writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotFormat {
+    /// The row-oriented `snapshot.json` full rewrite — the v1 format, kept
+    /// for A/B comparison via `durability.format = json`.
+    Json,
+    /// Binary columnar segments plus a `manifest.json` commit point;
+    /// checkpoints are incremental (only dirty tables are re-encoded).
+    /// The default.
+    #[default]
+    Segments,
+}
+
+impl SnapshotFormat {
+    /// Parse a `durability.format` config value (`"json"` / `"segments"`,
+    /// case-insensitive); anything else falls back to the default,
+    /// [`SnapshotFormat::Segments`].
+    pub fn parse(s: &str) -> SnapshotFormat {
+        if s.eq_ignore_ascii_case("json") {
+            SnapshotFormat::Json
+        } else {
+            SnapshotFormat::Segments
+        }
+    }
+
+    /// The config spelling of this format.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SnapshotFormat::Json => "json",
+            SnapshotFormat::Segments => "segments",
+        }
+    }
+}
+
+const SNAPSHOT_FILE: &str = "snapshot.json";
+const MANIFEST_FILE: &str = "manifest.json";
+
+/// A checkpoint + log pair rooted in one directory: the durable home of
+/// one tenant's warehouse. Depending on the [`SnapshotFormat`], the
+/// checkpoint artifact is either `snapshot.json` or `manifest.json` plus
+/// immutable `seg-*.seg` columnar segment files; `wal.log` sits alongside
+/// either.
 pub struct DurableStore {
     dir: PathBuf,
     wal: Arc<Wal>,
+    format: SnapshotFormat,
+    /// Live segments as of the last successful manifest swap (or of
+    /// recovery). `None` when the last checkpoint artifact is not a
+    /// manifest, which forces the next segment checkpoint to flush every
+    /// table.
+    manifest: Mutex<Option<Manifest>>,
+    /// Next segment id to allocate. Monotonic, never reused, so a fresh
+    /// segment can never collide with a crash-orphaned file.
+    seg_counter: AtomicU64,
 }
 
 impl std::fmt::Debug for DurableStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DurableStore")
             .field("dir", &self.dir)
+            .field("format", &self.format)
             .field("wal", &self.wal)
             .finish()
     }
 }
 
 impl DurableStore {
-    /// Recover the database persisted under `dir` (created if absent):
-    /// load `snapshot.json` if present, replay every committed `wal.log`
-    /// record with a newer LSN, truncate any torn tail, and open the log
-    /// for appending.
-    ///
-    /// The returned [`Database`] is *not* yet journaled — the caller
-    /// attaches a sink (plain [`DurableStore::wal`] or a metering wrapper)
-    /// via [`Database::set_wal_sink`] once it has wrapped it as needed.
+    /// Recover the database persisted under `dir` (created if absent) in
+    /// the default checkpoint format. See [`DurableStore::open_with_format`].
     pub fn open(
         dir: impl Into<PathBuf>,
         policy: FsyncPolicy,
     ) -> DbResult<(Database, DurableStore)> {
+        Self::open_with_format(dir, policy, SnapshotFormat::default())
+    }
+
+    /// Recover the database persisted under `dir` (created if absent):
+    /// load the newest checkpoint artifact — columnar segments via
+    /// `manifest.json`, or `snapshot.json` — then replay every committed
+    /// `wal.log` record with a newer LSN, truncate any torn tail, and open
+    /// the log for appending. `format` selects what *future* checkpoints
+    /// write; recovery always accepts both formats, so a store can be
+    /// flipped between them across restarts.
+    ///
+    /// Both artifacts can coexist only in the crash window between one
+    /// format's commit rename and the cleanup of the other's artifact — in
+    /// that window both are valid images of the same history, and the
+    /// higher LSN cut is picked because it needs less replay (on a tie the
+    /// states are identical and segments win).
+    ///
+    /// The returned [`Database`] is *not* yet journaled — the caller
+    /// attaches a sink (plain [`DurableStore::wal`] or a metering wrapper)
+    /// via [`Database::set_wal_sink`] once it has wrapped it as needed.
+    pub fn open_with_format(
+        dir: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+        format: SnapshotFormat,
+    ) -> DbResult<(Database, DurableStore)> {
         odbis_chaos::check("store.open").map_err(chaos_err)?;
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        let snapshot_path = dir.join("snapshot.json");
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let manifest_path = dir.join(MANIFEST_FILE);
         let wal_path = dir.join("wal.log");
-        let (db, snap_lsn) = if snapshot_path.exists() {
-            persist::load_snapshot_with_lsn(&snapshot_path)?
+        let loaded_manifest = if manifest_path.exists() {
+            Some(manifest::load_manifest(&manifest_path)?)
         } else {
-            (Database::new(), 0)
+            None
+        };
+        let json_state = if snapshot_path.exists() {
+            Some(persist::load_snapshot_with_lsn(&snapshot_path)?)
+        } else {
+            None
+        };
+        let use_segments = match (&loaded_manifest, &json_state) {
+            (Some(m), Some((_, json_lsn))) => m.last_lsn >= *json_lsn,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        // Even when recovering from JSON, a stale manifest still pins the
+        // segment-id floor so fresh segments never reuse an orphan's name.
+        let next_seg_id = loaded_manifest.as_ref().map_or(1, |m| m.next_seg_id);
+        let (db, snap_lsn, live_manifest) = if use_segments {
+            let m = loaded_manifest.expect("use_segments implies a manifest");
+            let db = Database::new();
+            for entry in &m.tables {
+                let (table, _seg_lsn) = segment::read_segment(&dir.join(&entry.file))?;
+                if !table.name.eq_ignore_ascii_case(&entry.table) {
+                    return Err(DbError::Corrupt(format!(
+                        "segment {} holds table '{}' but the manifest says '{}'",
+                        entry.file, table.name, entry.table
+                    )));
+                }
+                db.adopt_table(table)?;
+            }
+            let lsn = m.last_lsn;
+            (db, lsn, Some(m))
+        } else if let Some((db, lsn)) = json_state {
+            (db, lsn, None)
+        } else {
+            (Database::new(), 0, None)
         };
         let (entries, valid_len) = read_wal(&wal_path)?;
         let mut max_lsn = snap_lsn;
@@ -587,11 +697,14 @@ impl DurableStore {
             DurableStore {
                 dir,
                 wal: Arc::new(wal),
+                format,
+                manifest: Mutex::new(live_manifest),
+                seg_counter: AtomicU64::new(next_seg_id),
             },
         ))
     }
 
-    /// The directory holding `snapshot.json` and `wal.log`.
+    /// The directory holding the checkpoint artifacts and `wal.log`.
     pub fn dir(&self) -> &Path {
         &self.dir
     }
@@ -601,29 +714,141 @@ impl DurableStore {
         &self.wal
     }
 
-    /// Fold the log into the snapshot and truncate it.
+    /// The checkpoint format this store writes.
+    pub fn format(&self) -> SnapshotFormat {
+        self.format
+    }
+
+    /// The live segment manifest after the last checkpoint or recovery.
+    /// `None` when the current checkpoint artifact is `snapshot.json` (or
+    /// the store has never checkpointed).
+    pub fn live_manifest(&self) -> Option<Manifest> {
+        self.manifest.lock().clone()
+    }
+
+    /// Fold the log into the checkpoint artifact and truncate it.
     ///
     /// Runs with the catalog read lock plus every table's read lock held
     /// (canonical acquisition order): appends happen under a table's write
     /// lock, so once the read locks are held no append is in flight and
-    /// the snapshot, the LSN stamp, and the truncation see one consistent
-    /// cut of the history. Crash-safe at every step — the snapshot is
-    /// written via write-then-rename, and a crash before the truncation
-    /// just leaves already-folded frames that replay as no-ops (their
-    /// LSNs are `<=` the snapshot's `last_lsn`).
+    /// the artifact, the LSN stamp, and the truncation see one consistent
+    /// cut of the history. Crash-safe at every step — both formats commit
+    /// through one fsynced atomic rename (`persist`'s
+    /// write-tmp/fsync/rename/fsync-dir discipline), and a crash before
+    /// the truncation just leaves already-folded frames that replay as
+    /// no-ops (their LSNs are `<=` the artifact's `last_lsn`).
+    ///
+    /// Under [`SnapshotFormat::Segments`] the checkpoint is *incremental*:
+    /// only tables dirty since the last flush are re-encoded; clean
+    /// tables' immutable segments are carried over by reference. A
+    /// carried-over segment stamped at an older LSN is still a valid image
+    /// at the new cut precisely because its table has no mutation in
+    /// between — the WAL can hold no record for it above the old stamp.
+    /// The manifest rename is the single commit point: until it lands,
+    /// recovery sees the previous manifest and the previous (still
+    /// intact) segments.
     pub fn checkpoint(&self, db: &Database) -> DbResult<CheckpointReport> {
         odbis_chaos::check("checkpoint.begin").map_err(chaos_err)?;
         let start = Instant::now();
-        let snapshot_path = self.dir.join("snapshot.json");
-        db.with_tables_read(|tables| {
-            persist::write_tables(tables, &snapshot_path, self.wal.last_lsn())?;
+        match self.format {
+            SnapshotFormat::Json => self.checkpoint_json(db, start),
+            SnapshotFormat::Segments => self.checkpoint_segments(db, start),
+        }
+    }
+
+    fn checkpoint_json(&self, db: &Database, start: Instant) -> DbResult<CheckpointReport> {
+        let snapshot_path = self.dir.join(SNAPSHOT_FILE);
+        db.with_tables_marked(|views| {
+            let tables: Vec<&Table> = views.iter().map(|v| v.table).collect();
+            persist::write_tables(&tables, &snapshot_path, self.wal.last_lsn())?;
+            for v in views {
+                v.dirty.store(false, Ordering::Relaxed);
+            }
             let folded = self.wal.reset()?;
+            // The JSON snapshot is now the sole checkpoint artifact: drop
+            // segment-format leftovers. Best-effort — an unreferenced
+            // segment or stale manifest is harmless because recovery
+            // prefers the newer artifact.
+            *self.manifest.lock() = None;
+            let _ = std::fs::remove_file(self.dir.join(MANIFEST_FILE));
+            self.remove_unreferenced_segments(&[]);
             Ok(CheckpointReport {
-                tables: tables.len(),
+                tables: views.len(),
+                tables_flushed: views.len(),
                 wal_bytes_folded: folded,
                 micros: start.elapsed().as_micros() as u64,
             })
         })
+    }
+
+    fn checkpoint_segments(&self, db: &Database, start: Instant) -> DbResult<CheckpointReport> {
+        let manifest_path = self.dir.join(MANIFEST_FILE);
+        db.with_tables_marked(|views| {
+            // The cut: read only after every table read lock is held.
+            let cut = self.wal.last_lsn();
+            let mut live = self.manifest.lock();
+            let mut tables = Vec::with_capacity(views.len());
+            let mut flushed = 0usize;
+            for v in views {
+                let prev = live.as_ref().and_then(|m| m.entry(&v.table.name));
+                match prev {
+                    Some(e) if !v.dirty.load(Ordering::Relaxed) => tables.push(e.clone()),
+                    _ => {
+                        let id = self.seg_counter.fetch_add(1, Ordering::Relaxed);
+                        let file = format!("seg-{id:08}.seg");
+                        let bytes = segment::write_segment(v.table, &self.dir.join(&file), cut)?;
+                        tables.push(SegmentEntry {
+                            table: v.table.name.clone(),
+                            file,
+                            last_lsn: cut,
+                            bytes,
+                        });
+                        flushed += 1;
+                    }
+                }
+            }
+            let next = Manifest {
+                last_lsn: cut,
+                next_seg_id: self.seg_counter.load(Ordering::Relaxed),
+                tables,
+            };
+            // The commit point: one fsynced atomic rename.
+            manifest::write_manifest(&next, &manifest_path)?;
+            // Committed. Everything below is cleanup a crash can skip:
+            // recovery redoes it from the swapped manifest.
+            for v in views {
+                v.dirty.store(false, Ordering::Relaxed);
+            }
+            let keep: Vec<String> = next.tables.iter().map(|e| e.file.clone()).collect();
+            *live = Some(next);
+            drop(live);
+            let _ = std::fs::remove_file(self.dir.join(SNAPSHOT_FILE));
+            self.remove_unreferenced_segments(&keep);
+            let folded = self.wal.reset()?;
+            Ok(CheckpointReport {
+                tables: views.len(),
+                tables_flushed: flushed,
+                wal_bytes_folded: folded,
+                micros: start.elapsed().as_micros() as u64,
+            })
+        })
+    }
+
+    /// Delete `seg-*.seg` files not named in `keep`. Best-effort: an
+    /// unreferenced leftover is invisible to recovery, so GC failure must
+    /// not fail an already-committed checkpoint.
+    fn remove_unreferenced_segments(&self, keep: &[String]) {
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in rd.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("seg-") && name.ends_with(".seg") && !keep.iter().any(|k| k == name)
+            {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
     }
 }
 
@@ -789,6 +1014,135 @@ mod tests {
         // a naive replay would hit TableExists / duplicate pk errors
         assert_eq!(db.row_count("people").unwrap(), 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_checkpoint_is_incremental() {
+        let dir = tmp_dir("incremental");
+        let (db, store) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(store.format(), SnapshotFormat::Segments);
+        db.set_wal_sink(Arc::clone(store.wal()) as Arc<dyn WalSink>);
+        for t in ["a", "b", "c"] {
+            db.create_table(t, people_schema()).unwrap();
+            db.insert(t, vec![1.into(), "seed".into()]).unwrap();
+        }
+        let first = store.checkpoint(&db).unwrap();
+        assert_eq!((first.tables, first.tables_flushed), (3, 3));
+        // one dirty table of three → exactly one segment rewritten
+        db.insert("b", vec![2.into(), "hot".into()]).unwrap();
+        let second = store.checkpoint(&db).unwrap();
+        assert_eq!((second.tables, second.tables_flushed), (3, 1));
+        let m = store.live_manifest().unwrap();
+        assert_eq!(m.tables.len(), 3);
+        assert!(m.entry("a").unwrap().last_lsn < m.entry("b").unwrap().last_lsn);
+        assert_eq!(m.last_lsn, store.wal().last_lsn());
+        // clean tables keep their old segment files; b got a fresh id
+        assert!(dir.join(&m.entry("a").unwrap().file).exists());
+        // nothing dirty → manifest-only checkpoint
+        let third = store.checkpoint(&db).unwrap();
+        assert_eq!(third.tables_flushed, 0);
+        // recovery from segments + empty wal reproduces the exact state
+        drop(db);
+        let (back, store2) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(back.row_count("a").unwrap(), 1);
+        assert_eq!(back.row_count("b").unwrap(), 2);
+        assert_eq!(store2.live_manifest().unwrap(), m);
+        assert!(!dir.join("snapshot.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_format_still_checkpoints_and_recovers() {
+        let dir = tmp_dir("jsonfmt");
+        let (db, store) =
+            DurableStore::open_with_format(&dir, FsyncPolicy::Never, SnapshotFormat::Json).unwrap();
+        db.set_wal_sink(Arc::clone(store.wal()) as Arc<dyn WalSink>);
+        db.create_table("people", people_schema()).unwrap();
+        db.insert("people", vec![1.into(), "ana".into()]).unwrap();
+        let report = store.checkpoint(&db).unwrap();
+        assert_eq!(report.tables_flushed, 1);
+        assert!(dir.join("snapshot.json").exists());
+        assert!(!dir.join("manifest.json").exists());
+        assert!(store.live_manifest().is_none());
+        drop(db);
+        let (back, _) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(back.row_count("people").unwrap(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn format_flip_cleans_up_the_other_artifact() {
+        let dir = tmp_dir("flip");
+        // checkpoint as segments first
+        {
+            let (db, store) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+            db.set_wal_sink(Arc::clone(store.wal()) as Arc<dyn WalSink>);
+            db.create_table("people", people_schema()).unwrap();
+            db.insert("people", vec![1.into(), "ana".into()]).unwrap();
+            store.checkpoint(&db).unwrap();
+            assert!(dir.join("manifest.json").exists());
+        }
+        // reopen pinned to json: recovery reads the segments, the next
+        // checkpoint replaces them with a snapshot and GCs the seg files
+        {
+            let (db, store) =
+                DurableStore::open_with_format(&dir, FsyncPolicy::Never, SnapshotFormat::Json)
+                    .unwrap();
+            db.set_wal_sink(Arc::clone(store.wal()) as Arc<dyn WalSink>);
+            assert_eq!(db.row_count("people").unwrap(), 1);
+            db.insert("people", vec![2.into(), "bo".into()]).unwrap();
+            store.checkpoint(&db).unwrap();
+            assert!(dir.join("snapshot.json").exists());
+            assert!(!dir.join("manifest.json").exists());
+            let segs: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .flatten()
+                .filter(|e| e.file_name().to_string_lossy().ends_with(".seg"))
+                .collect();
+            assert!(segs.is_empty(), "json checkpoint must GC segment files");
+        }
+        // and back to segments
+        let (db, _) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(db.row_count("people").unwrap(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coexisting_artifacts_resolve_to_the_higher_lsn() {
+        // Simulate the crash window where a segments checkpoint committed
+        // its manifest but died before deleting the older snapshot.json.
+        let dir = tmp_dir("coexist");
+        {
+            let (db, store) =
+                DurableStore::open_with_format(&dir, FsyncPolicy::Never, SnapshotFormat::Json)
+                    .unwrap();
+            db.set_wal_sink(Arc::clone(store.wal()) as Arc<dyn WalSink>);
+            db.create_table("people", people_schema()).unwrap();
+            db.insert("people", vec![1.into(), "ana".into()]).unwrap();
+            store.checkpoint(&db).unwrap();
+        }
+        let stale_snapshot = std::fs::read(dir.join("snapshot.json")).unwrap();
+        {
+            let (db, store) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+            db.set_wal_sink(Arc::clone(store.wal()) as Arc<dyn WalSink>);
+            db.insert("people", vec![2.into(), "bo".into()]).unwrap();
+            store.checkpoint(&db).unwrap();
+        }
+        // resurrect the stale lower-LSN snapshot next to the manifest
+        std::fs::write(dir.join("snapshot.json"), &stale_snapshot).unwrap();
+        let (db, store) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(db.row_count("people").unwrap(), 2, "manifest must win");
+        assert!(store.live_manifest().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_format_parses() {
+        assert_eq!(SnapshotFormat::parse("json"), SnapshotFormat::Json);
+        assert_eq!(SnapshotFormat::parse("JSON"), SnapshotFormat::Json);
+        assert_eq!(SnapshotFormat::parse("segments"), SnapshotFormat::Segments);
+        assert_eq!(SnapshotFormat::parse("bogus"), SnapshotFormat::Segments);
+        assert_eq!(SnapshotFormat::default().as_str(), "segments");
     }
 
     #[test]

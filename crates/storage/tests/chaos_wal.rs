@@ -23,7 +23,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use odbis_storage::{
-    read_wal, Column, DataType, Database, DurableStore, FsyncPolicy, Schema, Value, WalSink,
+    read_wal, Column, DataType, Database, DurableStore, FsyncPolicy, Schema, SnapshotFormat, Value,
+    WalSink,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -91,15 +92,24 @@ enum PendingOp {
     Delete(i64),
 }
 
-/// Run `rounds` crash/recover rounds under `policy_spec`, checking the
-/// five invariants at every recovery.
+/// Run `rounds` crash/recover rounds under `policy_spec` in the default
+/// checkpoint format (columnar segments), checking the five invariants at
+/// every recovery.
 fn run_case(case: &str, policy_spec: &str, rounds: usize) {
+    run_case_fmt(case, policy_spec, rounds, SnapshotFormat::default());
+}
+
+/// [`run_case`] pinned to a checkpoint format — the fault matrix runs both
+/// the segment path (default) and, for the core policies, the JSON path,
+/// so flipping `durability.format` can never silently lose an invariant.
+fn run_case_fmt(case: &str, policy_spec: &str, rounds: usize, format: SnapshotFormat) {
     let _x = odbis_chaos::exclusive();
     odbis_chaos::clear();
     let seed = seed();
     eprintln!(
-        "chaos_wal case={case} policy='{policy_spec}' seed={seed} \
-         (rerun: ODBIS_CHAOS_SEED={seed} cargo test --test chaos_wal {case})"
+        "chaos_wal case={case} policy='{policy_spec}' format={} seed={seed} \
+         (rerun: ODBIS_CHAOS_SEED={seed} cargo test --test chaos_wal {case})",
+        format.as_str()
     );
     let dir = tmp_dir(case);
     let _ = std::fs::remove_dir_all(&dir);
@@ -112,9 +122,10 @@ fn run_case(case: &str, policy_spec: &str, rounds: usize) {
     for round in 0..=rounds {
         // recovery itself always runs clean: the fault was the crash
         odbis_chaos::clear();
-        let (db, store) = DurableStore::open(&dir, FsyncPolicy::Never).unwrap_or_else(|e| {
-            panic!("{case} round {round}: recovery must never fail: {e} (seed {seed})")
-        });
+        let (db, store) = DurableStore::open_with_format(&dir, FsyncPolicy::Never, format)
+            .unwrap_or_else(|e| {
+                panic!("{case} round {round}: recovery must never fail: {e} (seed {seed})")
+            });
         let got = present_pks(&db);
         // resolve last round's ambiguous op by observing what recovered
         match pending.take() {
@@ -243,6 +254,63 @@ fn survives_wal_reset_failures() {
 }
 
 #[test]
+fn survives_segment_write_failures() {
+    run_case("segwrite", "segment.write=err-every-nth(2)", 5);
+}
+
+#[test]
+fn survives_torn_segment_writes() {
+    run_case("segtorn", "segment.write.short=err-every-nth(2)", 5);
+}
+
+#[test]
+fn survives_manifest_rename_failures() {
+    run_case("manirename", "manifest.rename=err-every-nth(2)", 5);
+}
+
+#[test]
+fn survives_manifest_write_failures() {
+    run_case("maniwrite", "manifest.write=err-every-nth(2)", 5);
+}
+
+#[test]
+fn survives_checkpoint_fsync_failures() {
+    // the shared fsync site fires for tmp-file and directory syncs of
+    // snapshots, segments, and manifests alike
+    run_case("snapfsync", "snapshot.fsync=err-every-nth(3)", 5);
+}
+
+#[test]
+fn json_format_survives_snapshot_rename_failures() {
+    run_case_fmt(
+        "json-snaprename",
+        "snapshot.rename=err-every-nth(2)",
+        5,
+        SnapshotFormat::Json,
+    );
+}
+
+#[test]
+fn json_format_survives_short_writes() {
+    run_case_fmt(
+        "json-shortwrite",
+        "wal.write.short=err-every-nth(4)",
+        5,
+        SnapshotFormat::Json,
+    );
+}
+
+#[test]
+fn json_format_survives_fsync_failures() {
+    run_case_fmt(
+        "json-fsync",
+        "snapshot.fsync=err-every-nth(3)",
+        5,
+        SnapshotFormat::Json,
+    );
+}
+
+#[test]
 fn survives_io_delays() {
     // delays never fail anything — the workload must be fault-free
     run_case("delay", "wal.fsync=delay(1);wal.write=delay(1)", 3);
@@ -252,7 +320,7 @@ fn survives_io_delays() {
 fn survives_compound_faults() {
     run_case(
         "compound",
-        "wal.fsync=err-every-nth(5);snapshot.rename=err-every-nth(3);wal.write.short=err-every-nth(7)",
+        "wal.fsync=err-every-nth(5);snapshot.rename=err-every-nth(3);wal.write.short=err-every-nth(7);segment.write=err-every-nth(4);manifest.rename=err-every-nth(5)",
         6,
     );
 }
@@ -268,6 +336,11 @@ fn chaos_sweep_many_seeds() {
         std::env::set_var("ODBIS_CHAOS_SEED", s.to_string());
         run_case("sweep-prob", "wal.write=err-with-prob(0.3,{r})", 6);
         run_case("sweep-short", "wal.write.short=err-every-nth(3)", 6);
+        run_case(
+            "sweep-segment",
+            "segment.write=err-with-prob(0.3,{r});manifest.rename=err-with-prob(0.3,{r})",
+            6,
+        );
     }
     std::env::set_var("ODBIS_CHAOS_SEED", base.to_string());
 }

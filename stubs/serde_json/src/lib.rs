@@ -613,11 +613,27 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Copy a full UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::new("invalid UTF-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    // Copy one multi-byte UTF-8 scalar. Validate only a
+                    // 4-byte window, not the whole remaining input — the
+                    // latter turns large-document parsing quadratic.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(window) {
+                        Ok(s) => s.chars().next().unwrap(),
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .unwrap()
+                                .chars()
+                                .next()
+                                .unwrap()
+                        }
+                        Err(_) => return self.err("invalid UTF-8"),
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
