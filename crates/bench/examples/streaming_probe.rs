@@ -1,0 +1,32 @@
+//! Experiment A9 probe: incremental view maintenance vs per-write
+//! recompute, and end-to-end push freshness latency.
+//!
+//! Run with: cargo run --release -p odbis-bench --example streaming_probe
+//!
+//! The numbers printed here are recorded by hand into
+//! `BENCH_streaming.json` at the repo root.
+
+use odbis_bench::streaming;
+
+fn main() {
+    println!("== A9a: delta fold vs full rebuild (per single-row write) ==");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>12} {:>9}",
+        "rows", "writes", "delta p50", "delta p99", "rebuild", "speedup"
+    );
+    for &rows in &[5_000usize, 50_000] {
+        let r = streaming::delta_vs_recompute(rows, 200, 0x0DB15);
+        println!(
+            "{:>8} {:>8} {:>9} us {:>9} us {:>9} us {:>8.1}x",
+            r.rows, r.writes, r.delta_p50_us, r.delta_p99_us, r.rebuild_us, r.speedup
+        );
+    }
+
+    println!();
+    println!("== A9b: end-to-end freshness (write -> parked HTTP watcher answered) ==");
+    let f = streaming::watch_freshness(50);
+    println!(
+        "{} writes: e2e p50 {} us, p99 {} us",
+        f.writes, f.e2e_p50_us, f.e2e_p99_us
+    );
+}

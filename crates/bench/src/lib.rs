@@ -8,4 +8,5 @@
 pub mod concurrency;
 pub mod http;
 pub mod persist;
+pub mod streaming;
 pub mod workloads;

@@ -33,9 +33,14 @@
 mod context;
 mod error;
 mod platform;
+mod watch;
 mod web_api;
 
 pub use context::ApplicationContext;
 pub use error::{PlatformError, PlatformResult};
-pub use platform::{OdbisPlatform, TenantWorkspace};
-pub use web_api::{build_router, serve_platform, API_PREFIX, DEFAULT_PAGE_LIMIT, MAX_PAGE_LIMIT};
+pub use platform::{DeltaPublication, OdbisPlatform, TenantWorkspace, DELTA_CHANNEL};
+pub use watch::{WatchHub, WatchOutcome};
+pub use web_api::{
+    build_router, serve_platform, API_PREFIX, DEFAULT_PAGE_LIMIT, MAX_PAGE_LIMIT,
+    MAX_WATCH_TIMEOUT_MS,
+};

@@ -8,17 +8,20 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use odbis_admin::{
     AdminService, CheckpointOutcome, DurabilityError, DurabilityHook, DurabilityStatus,
 };
 use odbis_delivery::{Channel, DeliveryService, ReportPayload};
-use odbis_esb::MessageBus;
+use odbis_esb::{Endpoint, Message, MessageBus};
 use odbis_etl::{EtlJob, JobReport, JobRunner, JobScheduler};
 use odbis_mddws::DwProject;
 use odbis_metadata::{DataSet, DataSource, MetadataService};
-use odbis_olap::{AggregateCache, CellSet, CubeDef, CubeEngine, LevelRef, MaterializedAggregate};
+use odbis_olap::{
+    AggregateCache, CellSet, CubeDef, CubeEngine, LevelRef, MaterializedAggregate, TableDelta,
+};
 use odbis_reporting::{Dashboard, RenderedReport, ReportTemplate, ReportingService};
 use odbis_sql::{Engine, QueryResult};
 use odbis_storage::{
@@ -30,6 +33,10 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::context::ApplicationContext;
 use crate::error::{PlatformError, PlatformResult};
+use crate::watch::WatchHub;
+
+/// The ESB channel warehouse deltas are published on, one per tenant bus.
+pub const DELTA_CHANNEL: &str = "warehouse.delta";
 
 /// Per-tenant workspace: the tenant's logical slice of the shared backend
 /// — its warehouse, metadata, cubes, jobs and DW projects. Physically the
@@ -50,15 +57,109 @@ pub struct TenantWorkspace {
     /// Registered cube definitions.
     pub cube_defs: RwLock<HashMap<String, CubeDef>>,
     /// Materialized-aggregate cache consulted by MDX queries when the
-    /// `olap.preaggregation` setting is on.
-    pub agg_cache: RwLock<AggregateCache>,
+    /// `olap.preaggregation` setting is on. Maintained incrementally by
+    /// delta events on [`TenantWorkspace::bus`]; `Arc` so the bus handler
+    /// (registered before the workspace exists) can hold it too.
+    pub agg_cache: Arc<RwLock<AggregateCache>>,
     /// The tenant's delivery service.
     pub delivery: Arc<DeliveryService>,
+    /// The tenant's service bus: delivery channels plus the
+    /// [`DELTA_CHANNEL`] the warehouse delta events ride.
+    pub bus: Arc<MessageBus>,
+    /// Journaled-but-unpublished warehouse mutations, drained by
+    /// [`TenantWorkspace::publish_deltas`]. Records land here from the
+    /// WAL sink, i.e. only once the write is acknowledged.
+    pub deltas: Arc<DeltaBuffer>,
+    /// The workspace watch hub long-poll subscriptions park on.
+    pub watch: Arc<WatchHub>,
+    /// Monotonic sequence stamped on every published delta event — the
+    /// idempotency key redelivered duplicates are detected by.
+    delta_seq: AtomicU64,
+    /// Serializes [`TenantWorkspace::publish_deltas`] so sequence
+    /// assignment and bus publication cannot interleave across threads.
+    publish_lock: Mutex<()>,
     /// MDDWS projects by name.
     pub projects: Mutex<HashMap<String, DwProject>>,
     /// The tenant's durable store (snapshot + WAL), when the platform was
     /// booted with a data directory. `None` for in-memory platforms.
     pub durable: Option<Arc<DurableStore>>,
+}
+
+/// A [`WalSink`] stage that buffers every journaled mutation for delta
+/// publication. The sink runs under the database's catalog lock, so it
+/// must only buffer — publication happens later, outside that lock, in
+/// [`TenantWorkspace::publish_deltas`]. For in-memory workspaces this is
+/// the whole sink; durable workspaces chain it behind the WAL append so
+/// only acknowledged writes ever become delta events.
+#[derive(Default)]
+pub struct DeltaBuffer {
+    records: Mutex<Vec<WalRecord>>,
+}
+
+impl DeltaBuffer {
+    /// Take everything buffered so far.
+    pub fn drain(&self) -> Vec<WalRecord> {
+        std::mem::take(&mut *self.records.lock())
+    }
+
+    /// Number of buffered, not-yet-published records.
+    pub fn pending(&self) -> usize {
+        self.records.lock().len()
+    }
+}
+
+impl WalSink for DeltaBuffer {
+    fn append(&self, record: &WalRecord) -> DbResult<()> {
+        self.records.lock().push(record.clone());
+        Ok(())
+    }
+
+    fn append_batch(&self, records: &[WalRecord]) -> DbResult<()> {
+        self.records.lock().extend_from_slice(records);
+        Ok(())
+    }
+}
+
+/// Outcome of one delta publication pass (see
+/// [`TenantWorkspace::publish_deltas`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaPublication {
+    /// Delta events published on the workspace bus.
+    pub published: u64,
+    /// Whether a lost delivery was detected and compensated for with a
+    /// full rebuild of the aggregate cache.
+    pub recovered: bool,
+    /// The watch-hub version after this publication; `None` when no
+    /// table changed.
+    pub version: Option<u64>,
+}
+
+/// The scope of one journaled mutation as seen by the maintenance layer:
+/// which table changed, and whether the change is row-additive (foldable),
+/// arbitrary (rebuild), or structural removal. Index maintenance does not
+/// change query results, so index records publish nothing.
+fn record_to_delta(record: &WalRecord) -> Option<TableDelta> {
+    match record {
+        WalRecord::Insert { table, row } => Some(TableDelta::Insert {
+            table: table.clone(),
+            rows: vec![row.clone()],
+        }),
+        WalRecord::InsertMany { table, rows } => Some(TableDelta::Insert {
+            table: table.clone(),
+            rows: rows.clone(),
+        }),
+        WalRecord::Update { table, .. }
+        | WalRecord::Delete { table, .. }
+        | WalRecord::Undelete { table, .. }
+        | WalRecord::Truncate { table }
+        | WalRecord::CreateTable { name: table, .. } => Some(TableDelta::Mutate {
+            table: table.clone(),
+        }),
+        WalRecord::DropTable { name } => Some(TableDelta::Drop {
+            table: name.clone(),
+        }),
+        WalRecord::CreateIndex { .. } | WalRecord::DropIndex { .. } => None,
+    }
 }
 
 /// The WAL sink the platform attaches to each durable warehouse: appends
@@ -68,32 +169,44 @@ struct MeteredWal {
     tenant: String,
     wal: Arc<Wal>,
     telemetry: Arc<Telemetry>,
+    /// Acked records are buffered here for delta publication. Appending
+    /// after the WAL write is what pins the ISSUE's guarantee: a delta
+    /// event can only describe a write the log accepted — an unacked
+    /// write never reaches subscribers or the aggregate cache.
+    deltas: Arc<DeltaBuffer>,
 }
 
 impl WalSink for MeteredWal {
     fn append(&self, record: &WalRecord) -> DbResult<()> {
         let bytes = self.wal.append_record(record)?;
         self.telemetry.record_wal_append(&self.tenant, bytes);
-        Ok(())
+        self.deltas.append(record)
     }
 
     fn append_batch(&self, records: &[WalRecord]) -> DbResult<()> {
         let bytes = self.wal.append_batch(records)?;
         self.telemetry
             .record_wal_batch(&self.tenant, records.len() as u64, bytes);
-        Ok(())
+        self.deltas.append_batch(records)
     }
 }
 
 impl TenantWorkspace {
     fn new(tenant_id: &str) -> PlatformResult<Self> {
-        Self::assemble(tenant_id, Arc::new(Database::new()), None)
+        let warehouse = Arc::new(Database::new());
+        let deltas = Arc::new(DeltaBuffer::default());
+        // no WAL for an in-memory tenant: the delta buffer is the sink,
+        // and every applied mutation counts as acknowledged
+        warehouse.set_wal_sink(Arc::clone(&deltas) as Arc<dyn WalSink>);
+        Self::assemble(tenant_id, warehouse, None, deltas)
     }
 
     /// Open (or recover) a durable workspace rooted at `dir`: load the
     /// snapshot, replay the WAL, and journal every future warehouse
     /// mutation through a telemetry-metered sink. Re-provisioning a tenant
     /// over an existing directory recovers exactly the committed state.
+    /// (WAL replay happens before the sink is attached, so recovery never
+    /// republishes historical deltas — aggregates are built fresh.)
     fn durable(
         tenant_id: &str,
         dir: PathBuf,
@@ -104,18 +217,21 @@ impl TenantWorkspace {
         let (db, store) = DurableStore::open_with_format(dir, policy, format)?;
         let warehouse = Arc::new(db);
         let store = Arc::new(store);
+        let deltas = Arc::new(DeltaBuffer::default());
         warehouse.set_wal_sink(Arc::new(MeteredWal {
             tenant: tenant_id.to_string(),
             wal: Arc::clone(store.wal()),
             telemetry,
+            deltas: Arc::clone(&deltas),
         }));
-        Self::assemble(tenant_id, warehouse, Some(store))
+        Self::assemble(tenant_id, warehouse, Some(store), deltas)
     }
 
     fn assemble(
         tenant_id: &str,
         warehouse: Arc<Database>,
         durable: Option<Arc<DurableStore>>,
+        deltas: Arc<DeltaBuffer>,
     ) -> PlatformResult<Self> {
         let mds = Arc::new(MetadataService::new());
         mds.register_source(
@@ -133,7 +249,39 @@ impl TenantWorkspace {
         let scheduler = Arc::new(JobScheduler::new(Arc::clone(&etl)));
         let cubes = Arc::new(CubeEngine::new(Arc::clone(&warehouse)));
         let bus = Arc::new(MessageBus::new());
-        let delivery = Arc::new(DeliveryService::new(bus)?);
+        let agg_cache = Arc::new(RwLock::new(AggregateCache::new()));
+        // The maintenance subscriber: decode the journaled record, fold it
+        // into every covered aggregate (or mark for rebuild). The bus runs
+        // service activators under its own lock, so the handler takes only
+        // the agg-cache lock — MDX readers and the publish path never hold
+        // both in the opposite order.
+        bus.create_channel(DELTA_CHANNEL)
+            .map_err(|e| PlatformError::Internal(format!("esb: {e}")))?;
+        let cache = Arc::clone(&agg_cache);
+        let engine = Arc::clone(&cubes);
+        bus.subscribe(
+            DELTA_CHANNEL,
+            Endpoint::ServiceActivator(Box::new(move |msg: &Message| {
+                let seq: u64 = msg
+                    .header("seq")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| "delta event missing seq header".to_string())?;
+                let text = msg
+                    .payload
+                    .as_text()
+                    .ok_or_else(|| "delta payload is not text".to_string())?;
+                let json = serde_json::from_str::<serde_json::Value>(text)
+                    .map_err(|e| format!("delta payload is not JSON: {e}"))?;
+                let record = odbis_storage::jsoncodec::record_from_json(&json)
+                    .map_err(|e| format!("delta payload is not a WAL record: {e}"))?;
+                if let Some(delta) = record_to_delta(&record) {
+                    cache.write().apply_delta(&engine, seq, &delta);
+                }
+                Ok(())
+            })),
+        )
+        .map_err(|e| PlatformError::Internal(format!("esb: {e}")))?;
+        let delivery = Arc::new(DeliveryService::new(Arc::clone(&bus))?);
         Ok(TenantWorkspace {
             warehouse,
             mds,
@@ -142,11 +290,71 @@ impl TenantWorkspace {
             scheduler,
             cubes,
             cube_defs: RwLock::new(HashMap::new()),
-            agg_cache: RwLock::new(AggregateCache::new()),
+            agg_cache,
             delivery,
+            bus,
+            deltas,
+            watch: Arc::new(WatchHub::new()),
+            delta_seq: AtomicU64::new(0),
+            publish_lock: Mutex::new(()),
             projects: Mutex::new(HashMap::new()),
             durable,
         })
+    }
+
+    /// Drain the journaled-delta buffer and publish each record as a
+    /// sequenced event on [`DELTA_CHANNEL`], pumping the bus so the
+    /// aggregate-maintenance subscriber folds them in before this call
+    /// returns; then bump the watch hub for every touched table.
+    ///
+    /// Loss-safety: an event the bus dead-letters (after redelivery) never
+    /// reached the cache, which the sequence check detects — the cache is
+    /// rebuilt wholesale and its sequence resynced, so a dropped delta can
+    /// degrade freshness cost but never correctness. Duplicate deliveries
+    /// are skipped inside the cache by the same sequence numbers.
+    pub fn publish_deltas(&self) -> DeltaPublication {
+        let _guard = self.publish_lock.lock();
+        let records = self.deltas.drain();
+        let mut outcome = DeltaPublication::default();
+        if records.is_empty() {
+            return outcome;
+        }
+        let mut touched: Vec<String> = Vec::new();
+        let mut max_seq = 0u64;
+        for record in &records {
+            let Some(delta) = record_to_delta(record) else {
+                continue; // index maintenance: no visible data change
+            };
+            let table = delta.table().to_string();
+            if !touched.contains(&table) {
+                touched.push(table);
+            }
+            let seq = self.delta_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            max_seq = seq;
+            let payload = odbis_storage::jsoncodec::record_to_json(record).to_string();
+            let msg = Message::json(payload)
+                .with_header("seq", seq.to_string())
+                .with_header("table", delta.table());
+            if self.bus.send(DELTA_CHANNEL, msg).is_ok() {
+                outcome.published += 1;
+            }
+        }
+        let _ = self.bus.pump();
+        if outcome.published > 0 {
+            let mut cache = self.agg_cache.write();
+            if cache.last_seq() < max_seq {
+                // the tail event (at least) was dropped: the subscriber
+                // never saw it, so no gap-detection fired inside the cache
+                cache.mark_all_stale();
+                cache.rebuild_stale(&self.cubes);
+                cache.resync(max_seq);
+                outcome.recovered = true;
+            }
+        }
+        if !touched.is_empty() {
+            outcome.version = Some(self.watch.bump(&touched));
+        }
+        outcome
     }
 }
 
@@ -531,11 +739,12 @@ impl OdbisPlatform {
                 }
             }
             let result = engine.execute(&ws.warehouse, sql)?;
-            // DML/DDL (empty column list) may have changed fact tables:
-            // drop materialized aggregates so MDX never reads stale cells.
-            if result.columns.is_empty() {
-                ws.agg_cache.write().clear();
-            }
+            // Any write this statement journaled now rides the delta
+            // pipeline: inserts fold into covered aggregates, other
+            // mutations rebuild only the aggregates over the touched
+            // tables, and watchers of those tables wake. Reads buffered
+            // nothing, so this is a no-op for SELECTs.
+            ws.publish_deltas();
             span.set_rows((result.rows.len() + result.rows_affected) as u64);
             // pay-as-you-go: one unit per call plus one per row touched
             self.admin.meter_usage(
@@ -583,6 +792,27 @@ impl OdbisPlatform {
         })
     }
 
+    /// Resolve a watch subscription for a data set: authorize the caller,
+    /// look the data set up, and return the workspace watch hub plus the
+    /// (lower-cased) tables the data set's SQL reads — the set whose
+    /// changes complete a parked `GET /datasets/:name/watch` long-poll.
+    pub fn watch_dataset(
+        &self,
+        tenant: &str,
+        token: &str,
+        name: &str,
+    ) -> PlatformResult<(Arc<WatchHub>, Vec<String>)> {
+        self.traced(tenant, ServiceKind::Metadata, "dataset.watch", |span| {
+            span.set_detail(name);
+            self.authorize(tenant, token, "DATASET_RUN")?;
+            let ws = self.workspace(tenant)?;
+            let dataset = ws.mds.dataset(name)?;
+            let tables = odbis_sql::referenced_tables(&dataset.sql)?;
+            self.admin.meter_usage(tenant, ServiceKind::Metadata, 1);
+            Ok((Arc::clone(&ws.watch), tables))
+        })
+    }
+
     /// Execute a data set and return its columnar batch (no row pivot) —
     /// the path streamed exports such as CSV downloads serialize from.
     pub fn execute_dataset_batch(
@@ -610,9 +840,10 @@ impl OdbisPlatform {
             self.authorize(tenant, token, "ETL_DESIGN")?;
             let ws = self.workspace(tenant)?;
             let report = ws.etl.run(job).map_err(PlatformError::from)?;
-            // ETL loads write the warehouse: invalidate materialized
-            // aggregates so subsequent MDX sees the fresh rows.
-            ws.agg_cache.write().clear();
+            // ETL loads write the warehouse: publish the journaled deltas
+            // so only aggregates over the loaded tables are maintained or
+            // rebuilt — an unrelated cube's preagg survives the load.
+            ws.publish_deltas();
             span.set_rows(report.loaded as u64);
             self.admin
                 .meter_usage(tenant, ServiceKind::Integration, report.loaded as u64);
@@ -1287,6 +1518,122 @@ mod preagg_tests {
             .unwrap();
         assert_eq!(
             cells.cell(&["EU".into()]).unwrap(),
+            &[odbis_storage::Value::Float(100.0)]
+        );
+    }
+
+    /// Regression pin for scoped invalidation: before the streaming-BI
+    /// change, any ETL load cleared the *whole* aggregate cache, so a load
+    /// into one table silently evicted every other cube's materialization.
+    /// Now invalidation is delta-scoped: a load into `f` must leave the
+    /// aggregate over the untouched `g` registered, fresh, and answering.
+    #[test]
+    fn etl_load_leaves_unrelated_cubes_aggregate_intact() {
+        let p = OdbisPlatform::new();
+        p.provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+        let token = p.login("acme", "root", "pw").unwrap();
+        let degenerate_cube = |name: &str, fact: &str| CubeDef {
+            name: name.into(),
+            fact_table: fact.into(),
+            dimensions: vec![odbis_olap::DimensionDef {
+                name: "geo".into(),
+                table: None,
+                fact_fk: String::new(),
+                dim_key: String::new(),
+                levels: vec![odbis_olap::LevelDef {
+                    name: "region".into(),
+                    column: "region".into(),
+                }],
+            }],
+            measures: vec![odbis_olap::MeasureDef {
+                name: "revenue".into(),
+                column: "amount".into(),
+                aggregator: odbis_olap::Aggregator::Sum,
+            }],
+        };
+        for (fact, seed_rows) in [
+            ("f", "('EU', 10), ('US', 5)"),
+            ("g", "('EU', 7), ('APAC', 3)"),
+        ] {
+            p.sql(
+                "acme",
+                &token,
+                &format!("CREATE TABLE {fact} (region TEXT, amount DOUBLE)"),
+            )
+            .unwrap();
+            p.sql(
+                "acme",
+                &token,
+                &format!("INSERT INTO {fact} VALUES {seed_rows}"),
+            )
+            .unwrap();
+        }
+        p.register_cube("acme", &token, degenerate_cube("c", "f"))
+            .unwrap();
+        p.register_cube("acme", &token, degenerate_cube("d", "g"))
+            .unwrap();
+        for cube in ["c", "d"] {
+            p.materialize_aggregate(
+                "acme",
+                &token,
+                cube,
+                vec![LevelRef::new("geo", "region")],
+                vec!["revenue".into()],
+            )
+            .unwrap();
+        }
+
+        // the ETL load touches only `f`
+        p.run_etl(
+            "acme",
+            &token,
+            &EtlJob {
+                name: "load_f".into(),
+                extractor: odbis_etl::Extractor::Csv("region,amount\nEU,90\n".into()),
+                transforms: vec![],
+                loader: odbis_etl::Loader {
+                    table: "f".into(),
+                    mode: odbis_etl::LoadMode::Append,
+                },
+            },
+        )
+        .unwrap();
+
+        // both aggregates are still registered (the pre-fix blanket clear
+        // left the cache empty here) and the unrelated one still answers
+        // straight from its cells
+        let ws = p.workspace("acme").unwrap();
+        assert_eq!(ws.agg_cache.read().len(), 2, "an aggregate was evicted");
+        let q = odbis_olap::CubeQuery {
+            axes: vec![LevelRef::new("geo", "region")],
+            slices: vec![],
+            measures: vec!["revenue".into()],
+        };
+        let unrelated = ws
+            .agg_cache
+            .read()
+            .try_answer("d", &q)
+            .expect("unrelated cube's aggregate must survive the load");
+        assert_eq!(
+            unrelated.cells,
+            vec![
+                (
+                    vec![odbis_storage::Value::Text("APAC".into())],
+                    vec![odbis_storage::Value::Float(3.0)]
+                ),
+                (
+                    vec![odbis_storage::Value::Text("EU".into())],
+                    vec![odbis_storage::Value::Float(7.0)]
+                ),
+            ]
+        );
+        // and the loaded cube's aggregate reflects the new rows via MDX
+        let loaded = p
+            .mdx("acme", &token, "SELECT revenue BY geo.region FROM c")
+            .unwrap();
+        assert_eq!(
+            loaded.cell(&["EU".into()]).unwrap(),
             &[odbis_storage::Value::Float(100.0)]
         );
     }

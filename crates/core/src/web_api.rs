@@ -56,6 +56,10 @@ pub const DEFAULT_PAGE_LIMIT: usize = 100;
 /// Largest accepted `?limit=`; bigger asks are a 400, not a silent clamp.
 pub const MAX_PAGE_LIMIT: usize = 1_000;
 
+/// Longest a `/datasets/:name/watch` long-poll may park (`?timeout_ms=`,
+/// default 30 000). Bigger asks are a 400, mirroring [`MAX_PAGE_LIMIT`].
+pub const MAX_WATCH_TIMEOUT_MS: u64 = 60_000;
+
 type SharedHandler = Arc<dyn Fn(&HttpRequest, &PathParams) -> HttpResponse + Send + Sync>;
 
 /// One registered route as advertised by the `GET /api/v1` index.
@@ -326,6 +330,79 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
                     "unsupported Accept type; this route serves application/json or text/csv",
                 ),
             }
+        },
+    );
+
+    let p = Arc::clone(&platform);
+    api.canonical(
+        Method::Get,
+        "/api/v1/datasets/:name/watch",
+        "DATASET_RUN",
+        move |req, params| {
+            let Some(name) = params.get("name") else {
+                return error_envelope(400, "bad_request", "missing dataset name");
+            };
+            let (tenant, token) = creds(req);
+            // cursor: where the client's previous poll left off (0 = any
+            // change ever recorded counts); timeout: how long to park,
+            // bounded so a watcher cannot hold its slot forever
+            let cursor = match req.query_param("cursor") {
+                None => 0,
+                Some(s) => match s.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return error_envelope(
+                            400,
+                            "bad_request",
+                            "cursor must be an unsigned integer",
+                        )
+                    }
+                },
+            };
+            let timeout_ms = match req.query_param("timeout_ms") {
+                None => 30_000,
+                Some(s) => match s.parse::<u64>() {
+                    Ok(n) if n <= MAX_WATCH_TIMEOUT_MS => n,
+                    _ => {
+                        return error_envelope(
+                            400,
+                            "bad_request",
+                            &format!("timeout_ms must be an integer in 0..={MAX_WATCH_TIMEOUT_MS}"),
+                        )
+                    }
+                },
+            };
+            let (hub, tables) = match p.watch_dataset(&tenant, &token, name) {
+                Ok(sub) => sub,
+                Err(e) => return error_response(&e),
+            };
+            let (placeholder, slot) = HttpResponse::deferred();
+            let dataset = name.to_string();
+            hub.subscribe(
+                tables,
+                cursor,
+                std::time::Duration::from_millis(timeout_ms),
+                Box::new(move |outcome| {
+                    let cursor_text = outcome.cursor.to_string();
+                    let response = if outcome.changed {
+                        HttpResponse::json(
+                            serde_json::json!({
+                                "dataset": dataset,
+                                "changed": true,
+                                "cursor": outcome.cursor,
+                            })
+                            .to_string(),
+                        )
+                    } else {
+                        // nothing moved before the deadline: 204 with the
+                        // caller's cursor echoed so the next poll resumes
+                        // from exactly the same point
+                        HttpResponse::status(204)
+                    };
+                    slot.fulfill(response.with_header("X-Watch-Cursor", &cursor_text));
+                }),
+            );
+            placeholder
         },
     );
 

@@ -29,7 +29,7 @@ pub use cube::{
     MeasureDef, Slice,
 };
 pub use mdx::{parse_mdx, MdxStatement};
-pub use preagg::{AggregateCache, MaterializedAggregate};
+pub use preagg::{AggregateCache, DeltaOutcome, DeltaReport, MaterializedAggregate, TableDelta};
 pub use view::CubeView;
 
 /// Errors raised by the analysis service.

@@ -1,12 +1,173 @@
 //! Materialized aggregates (ablation A2): pre-computed roll-ups that
 //! answer matching cube queries without touching the fact table.
+//!
+//! Since the streaming-BI change the aggregates are *incrementally
+//! maintained*: [`MaterializedAggregate::apply_delta`] folds inserted fact
+//! rows straight into the stored cells (SUM/COUNT/MIN/MAX directly, AVG as
+//! an internal SUM+COUNT pair), so a warehouse write costs one cell update
+//! instead of a full rebuild. Writes a fold cannot express — updates,
+//! deletes, truncates, dimension-table changes — mark the aggregate stale
+//! and it is rebuilt from the engine. Delta application is idempotent:
+//! [`AggregateCache::apply_delta`] tracks a monotonic sequence number, so
+//! a redelivered event is skipped and a *gap* in the sequence (a lost
+//! event) conservatively marks every aggregate stale.
 
 use std::collections::HashMap;
 
-use odbis_storage::Value;
+use odbis_storage::{Batch, Database, Value};
 
-use crate::cube::{Aggregator, CellSet, CubeDef, CubeEngine, CubeQuery, LevelRef};
+use crate::cube::{Aggregator, CellSet, CubeDef, CubeEngine, CubeQuery, LevelRef, MeasureDef};
 use crate::OlapError;
+
+/// One stored accumulator: the internal representation of a measure in a
+/// cell. AVG keeps its SUM+COUNT decomposition so inserts can fold into
+/// it; everything else stores the aggregate value directly.
+#[derive(Debug, Clone, PartialEq)]
+enum CellAcc {
+    /// SUM/COUNT/MIN/MAX: the aggregate value itself.
+    Plain(Value),
+    /// AVG decomposed into a re-aggregable pair.
+    AvgPair {
+        /// Sum of the non-null inputs (Int until overflow, then Float).
+        sum: Value,
+        /// Count of the non-null inputs.
+        count: i64,
+    },
+}
+
+impl CellAcc {
+    /// The accumulator a brand-new (delta-created) cell starts from,
+    /// mirroring what the SQL engine reports for a group with no non-null
+    /// inputs: COUNT = 0, SUM/MIN/MAX/AVG = NULL.
+    fn empty(agg: Aggregator) -> CellAcc {
+        match agg {
+            Aggregator::Count => CellAcc::Plain(Value::Int(0)),
+            Aggregator::Avg => CellAcc::AvgPair {
+                sum: Value::Null,
+                count: 0,
+            },
+            _ => CellAcc::Plain(Value::Null),
+        }
+    }
+
+    /// Render the externally-visible aggregate value.
+    fn render(&self) -> Value {
+        match self {
+            CellAcc::Plain(v) => v.clone(),
+            CellAcc::AvgPair { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    match sum.as_f64() {
+                        Some(s) => Value::Float(s / *count as f64),
+                        None => Value::Null,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fold one inserted fact value into the accumulator. NULL inputs
+    /// never fold (COUNT skips them, SUM/MIN/MAX/AVG ignore them) — they
+    /// only contributed to the group's existence, which the caller has
+    /// already recorded by creating the cell.
+    fn fold(&mut self, agg: Aggregator, v: Value) {
+        if v.is_null() {
+            return;
+        }
+        match (self, agg) {
+            (CellAcc::AvgPair { sum, count }, _) => {
+                add_into(sum, &v);
+                *count += 1;
+            }
+            (CellAcc::Plain(p), Aggregator::Count) => {
+                *p = match p {
+                    Value::Int(n) => Value::Int(*n + 1),
+                    _ => Value::Int(1),
+                };
+            }
+            (CellAcc::Plain(p), Aggregator::Sum) => add_into(p, &v),
+            (CellAcc::Plain(p), Aggregator::Min) => {
+                if p.is_null() || v < *p {
+                    *p = v;
+                }
+            }
+            (CellAcc::Plain(p), Aggregator::Max) => {
+                if p.is_null() || v > *p {
+                    *p = v;
+                }
+            }
+            // AVG is always an AvgPair; unreachable but harmless.
+            (CellAcc::Plain(_), Aggregator::Avg) => {}
+        }
+    }
+}
+
+/// `p += v` with the engine's numeric semantics: Int+Int stays Int until
+/// it would overflow (then promotes to Float, like the executor's
+/// checked-add accumulator), everything else adds as f64.
+fn add_into(p: &mut Value, v: &Value) {
+    *p = match (&*p, v) {
+        (Value::Null, _) => v.clone(),
+        (Value::Int(a), Value::Int(b)) => a
+            .checked_add(*b)
+            .map(Value::Int)
+            .unwrap_or(Value::Float(*a as f64 + *b as f64)),
+        _ => match (p.as_f64(), v.as_f64()) {
+            (Some(a), Some(b)) => Value::Float(a + b),
+            _ => p.clone(),
+        },
+    };
+}
+
+/// What [`MaterializedAggregate::apply_delta`] did with a write event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// Rows were folded into the stored cells.
+    Folded,
+    /// The write cannot be folded; the aggregate must be rebuilt.
+    NeedsRebuild,
+    /// The write touches none of the aggregate's tables.
+    Unrelated,
+}
+
+/// One warehouse write event, as derived from a WAL-acked record. This is
+/// the payload of the `warehouse.delta` ESB channel (serialized as the
+/// underlying WAL record); the cache consumes it via
+/// [`AggregateCache::apply_delta`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableDelta {
+    /// Rows appended to `table` (INSERT / bulk load in append mode).
+    Insert {
+        /// Written table.
+        table: String,
+        /// The appended rows, full arity, schema order.
+        rows: Vec<Vec<Value>>,
+    },
+    /// An in-place mutation of `table` (UPDATE/DELETE/TRUNCATE/replace
+    /// load): not foldable, dependent aggregates rebuild.
+    Mutate {
+        /// Mutated table.
+        table: String,
+    },
+    /// `table` was dropped: aggregates over it as a fact table die,
+    /// aggregates joining it go stale (and drop when their rebuild fails).
+    Drop {
+        /// Dropped table.
+        table: String,
+    },
+}
+
+impl TableDelta {
+    /// The table the event is about.
+    pub fn table(&self) -> &str {
+        match self {
+            TableDelta::Insert { table, .. }
+            | TableDelta::Mutate { table }
+            | TableDelta::Drop { table } => table,
+        }
+    }
+}
 
 /// A materialized aggregate: the cell set of one (axes, measures)
 /// combination, indexed for point lookups and further roll-ups.
@@ -20,11 +181,18 @@ pub struct MaterializedAggregate {
     /// further roll-up is valid: AVG/COUNT-DISTINCT style measures are not
     /// re-aggregable here).
     pub measures: Vec<(String, Aggregator)>,
-    cells: HashMap<Vec<Value>, Vec<Value>>,
+    /// The defining cube, retained so deltas can be resolved (axis →
+    /// fact/dimension columns) and stale cells rebuilt without a registry
+    /// lookup.
+    def: CubeDef,
+    cells: HashMap<Vec<Value>, Vec<CellAcc>>,
+    stale: bool,
 }
 
 impl MaterializedAggregate {
-    /// Build by executing the aggregation once through the engine.
+    /// Build by executing the aggregation once through the engine. AVG
+    /// measures are fetched as their SUM+COUNT decomposition so the
+    /// stored cells stay delta-maintainable.
     pub fn build(
         engine: &CubeEngine,
         cube: &CubeDef,
@@ -36,20 +204,14 @@ impl MaterializedAggregate {
             .map(|m| cube.measure(m).map(|md| (md.name.clone(), md.aggregator)))
             .collect();
         let measures = measures?;
-        let cs = engine.query(
-            cube,
-            &CubeQuery {
-                axes: axes.clone(),
-                slices: vec![],
-                measures: measure_names,
-            },
-        )?;
-        let cells = cs.cells.into_iter().collect();
+        let cells = build_cells(engine, cube, &axes, &measures)?;
         Ok(MaterializedAggregate {
             cube: cube.name.clone(),
             axes,
             measures,
+            def: cube.clone(),
             cells,
+            stale: false,
         })
     }
 
@@ -61,6 +223,162 @@ impl MaterializedAggregate {
     /// Whether the aggregate is empty.
     pub fn is_empty(&self) -> bool {
         self.cells.is_empty()
+    }
+
+    /// Whether a non-foldable write has invalidated the cells. A stale
+    /// aggregate refuses to answer queries until [`Self::rebuild`] runs.
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// Mark the cells invalid (a write arrived that a fold cannot
+    /// express, or a delta event was lost).
+    pub fn mark_stale(&mut self) {
+        self.stale = true;
+    }
+
+    /// Every warehouse table the stored cells depend on: the fact table
+    /// plus the dimension tables of snowflaked axes.
+    pub fn tables(&self) -> Vec<String> {
+        let mut out = vec![self.def.fact_table.clone()];
+        for lr in &self.axes {
+            if let Ok(dim) = self.def.dimension(&lr.dimension) {
+                if let Some(t) = &dim.table {
+                    if !out.iter().any(|x| x.eq_ignore_ascii_case(t)) {
+                        out.push(t.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether a write to `table` can change the stored cells.
+    pub fn depends_on(&self, table: &str) -> bool {
+        self.tables().iter().any(|t| t.eq_ignore_ascii_case(table))
+    }
+
+    /// Re-run the defining aggregation and replace the cells.
+    pub fn rebuild(&mut self, engine: &CubeEngine) -> Result<(), OlapError> {
+        self.cells = build_cells(engine, &self.def, &self.axes, &self.measures)?;
+        self.stale = false;
+        Ok(())
+    }
+
+    /// Fold a batch of rows inserted into `table` into the stored cells.
+    ///
+    /// Returns [`DeltaOutcome::Folded`] when the cells now reflect the
+    /// insert, [`DeltaOutcome::NeedsRebuild`] when the write touches a
+    /// dependent table but cannot be folded (dimension-table insert, or
+    /// the aggregate is already stale), and [`DeltaOutcome::Unrelated`]
+    /// when the write cannot affect the cells at all — the scoped
+    /// invalidation that lets unrelated cubes survive a load.
+    ///
+    /// Fact rows whose foreign key has no dimension match are skipped:
+    /// the ROLAP SQL inner-joins dimensions, so such rows are invisible
+    /// to the aggregation (and to any later rebuild).
+    pub fn apply_delta(
+        &mut self,
+        db: &Database,
+        table: &str,
+        rows: &Batch,
+    ) -> Result<DeltaOutcome, OlapError> {
+        if !table.eq_ignore_ascii_case(&self.def.fact_table) {
+            return Ok(if self.depends_on(table) {
+                DeltaOutcome::NeedsRebuild
+            } else {
+                DeltaOutcome::Unrelated
+            });
+        }
+        if self.stale {
+            return Ok(DeltaOutcome::NeedsRebuild);
+        }
+        let invalid = |e: odbis_storage::DbError| OlapError::Invalid(e.to_string());
+        let schema = db.table_schema(table).map_err(invalid)?;
+
+        // How each axis coordinate is read off an inserted fact row.
+        enum AxisSrc {
+            /// Degenerate level: fact column index.
+            Fact(usize),
+            /// Snowflaked level: fk column index + key → member lookup
+            /// built from the current dimension table.
+            Dim(usize, HashMap<Value, Value>),
+        }
+        let mut srcs = Vec::with_capacity(self.axes.len());
+        for lr in &self.axes {
+            let dim = self.def.dimension(&lr.dimension)?;
+            let level = dim
+                .levels
+                .iter()
+                .find(|l| l.name.eq_ignore_ascii_case(&lr.level))
+                .ok_or_else(|| OlapError::UnknownLevel(format!("{}.{}", lr.dimension, lr.level)))?;
+            match &dim.table {
+                None => {
+                    let i = schema.index_of(&level.column).ok_or_else(|| {
+                        OlapError::Invalid(format!("fact column {} missing", level.column))
+                    })?;
+                    srcs.push(AxisSrc::Fact(i));
+                }
+                Some(t) => {
+                    let fk = schema.index_of(&dim.fact_fk).ok_or_else(|| {
+                        OlapError::Invalid(format!("fact fk {} missing", dim.fact_fk))
+                    })?;
+                    let dschema = db.table_schema(t).map_err(invalid)?;
+                    let ki = dschema.index_of(&dim.dim_key).ok_or_else(|| {
+                        OlapError::Invalid(format!("dim key {} missing on {t}", dim.dim_key))
+                    })?;
+                    let li = dschema.index_of(&level.column).ok_or_else(|| {
+                        OlapError::Invalid(format!("level column {} missing on {t}", level.column))
+                    })?;
+                    let mut map = HashMap::new();
+                    for row in db.scan(t).map_err(invalid)? {
+                        map.insert(row[ki].clone(), row[li].clone());
+                    }
+                    srcs.push(AxisSrc::Dim(fk, map));
+                }
+            }
+        }
+        let mcols: Result<Vec<usize>, OlapError> = self
+            .measures
+            .iter()
+            .map(|(name, _)| {
+                let md = self.def.measure(name)?;
+                schema.index_of(&md.column).ok_or_else(|| {
+                    OlapError::Invalid(format!("measure column {} missing", md.column))
+                })
+            })
+            .collect();
+        let mcols = mcols?;
+        let empty: Vec<CellAcc> = self
+            .measures
+            .iter()
+            .map(|(_, agg)| CellAcc::empty(*agg))
+            .collect();
+
+        for r in 0..rows.num_rows() {
+            let mut key = Vec::with_capacity(srcs.len());
+            let mut visible = true;
+            for s in &srcs {
+                match s {
+                    AxisSrc::Fact(i) => key.push(rows.value(*i, r)),
+                    AxisSrc::Dim(fk, map) => match map.get(&rows.value(*fk, r)) {
+                        Some(v) => key.push(v.clone()),
+                        None => {
+                            visible = false;
+                            break;
+                        }
+                    },
+                }
+            }
+            if !visible {
+                continue;
+            }
+            let entry = self.cells.entry(key).or_insert_with(|| empty.clone());
+            for (acc, ((_, agg), &col)) in entry.iter_mut().zip(self.measures.iter().zip(&mcols)) {
+                acc.fold(*agg, rows.value(col, r));
+            }
+        }
+        Ok(DeltaOutcome::Folded)
     }
 
     /// Can this aggregate answer `query` exactly?
@@ -177,7 +495,7 @@ impl MaterializedAggregate {
                     .collect()
             });
             for (out, (mi, agg)) in entry.iter_mut().zip(&measure_pos) {
-                let v = &ms[*mi];
+                let v = ms[*mi].render();
                 if v.is_null() {
                     continue;
                 }
@@ -186,7 +504,7 @@ impl MaterializedAggregate {
                     (Aggregator::Sum | Aggregator::Count, prev) => {
                         match (prev.as_f64(), v.as_f64()) {
                             (Some(a), Some(b)) => {
-                                if matches!((prev, v), (Value::Int(_), Value::Int(_))) {
+                                if matches!((prev, &v), (Value::Int(_), Value::Int(_))) {
                                     Value::Int(prev.as_i64().unwrap() + v.as_i64().unwrap())
                                 } else {
                                     Value::Float(a + b)
@@ -196,14 +514,14 @@ impl MaterializedAggregate {
                         }
                     }
                     (Aggregator::Min, prev) => {
-                        if v < prev {
+                        if v < *prev {
                             v.clone()
                         } else {
                             prev.clone()
                         }
                     }
                     (Aggregator::Max, prev) => {
-                        if v > prev {
+                        if v > *prev {
                             v.clone()
                         } else {
                             prev.clone()
@@ -212,7 +530,9 @@ impl MaterializedAggregate {
                     // answers() refuses AVG roll-ups, but a query whose key
                     // still collapses distinct stored cells (e.g. duplicate
                     // axes) can reach a merge; surface it instead of
-                    // silently keeping the first-seen value.
+                    // silently keeping the first-seen value. (The internal
+                    // SUM+COUNT pair could express it, but the cache's
+                    // roll-up contract for AVG is pinned to refuse.)
                     (Aggregator::Avg, _) => {
                         return Err(OlapError::Invalid(format!(
                             "measure {} (AVG) cannot be re-aggregated from materialized cells",
@@ -236,11 +556,79 @@ impl MaterializedAggregate {
     }
 }
 
+/// Execute the defining aggregation and store the result as accumulator
+/// cells. AVG measures query their SUM+COUNT decomposition (two synthetic
+/// measures on the same column) in one pass so the pair is consistent.
+fn build_cells(
+    engine: &CubeEngine,
+    def: &CubeDef,
+    axes: &[LevelRef],
+    measures: &[(String, Aggregator)],
+) -> Result<HashMap<Vec<Value>, Vec<CellAcc>>, OlapError> {
+    let mut qcube = def.clone();
+    let mut qnames = Vec::new();
+    for (name, agg) in measures {
+        if matches!(agg, Aggregator::Avg) {
+            let column = def.measure(name)?.column.clone();
+            for (suffix, sub) in [("isum", Aggregator::Sum), ("icnt", Aggregator::Count)] {
+                let qname = format!("{name}__{suffix}");
+                qcube.measures.push(MeasureDef {
+                    name: qname.clone(),
+                    column: column.clone(),
+                    aggregator: sub,
+                });
+                qnames.push(qname);
+            }
+        } else {
+            qnames.push(name.clone());
+        }
+    }
+    let cs = engine.query(
+        &qcube,
+        &CubeQuery {
+            axes: axes.to_vec(),
+            slices: vec![],
+            measures: qnames,
+        },
+    )?;
+    let mut cells = HashMap::with_capacity(cs.cells.len());
+    for (coords, vals) in cs.cells {
+        let mut it = vals.into_iter();
+        let mut accs = Vec::with_capacity(measures.len());
+        for (_, agg) in measures {
+            if matches!(agg, Aggregator::Avg) {
+                let sum = it.next().unwrap_or(Value::Null);
+                let count = it.next().and_then(|v| v.as_i64()).unwrap_or(0);
+                accs.push(CellAcc::AvgPair { sum, count });
+            } else {
+                accs.push(CellAcc::Plain(it.next().unwrap_or(Value::Null)));
+            }
+        }
+        cells.insert(coords, accs);
+    }
+    Ok(cells)
+}
+
+/// What one [`AggregateCache::apply_delta`] call did, for telemetry and
+/// tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Aggregates that folded the rows in place.
+    pub folded: usize,
+    /// Aggregates rebuilt from the engine (stale, or fold impossible).
+    pub rebuilt: usize,
+    /// Aggregates dropped (fact table gone, or rebuild failed).
+    pub dropped: usize,
+    /// The event was a redelivered duplicate and was skipped entirely.
+    pub duplicate: bool,
+}
+
 /// A cache of materialized aggregates consulted before hitting the fact
-/// table.
+/// table, kept fresh by sequenced delta events.
 #[derive(Debug, Default)]
 pub struct AggregateCache {
     aggregates: Vec<MaterializedAggregate>,
+    last_seq: u64,
 }
 
 impl AggregateCache {
@@ -264,18 +652,128 @@ impl AggregateCache {
         self.aggregates.is_empty()
     }
 
-    /// Drop every aggregate. Called after any warehouse write: a
-    /// materialized aggregate summarizes the fact table at build time, so
-    /// the first write after a build makes every aggregate stale.
+    /// Drop every aggregate (the pre-streaming invalidation hammer, still
+    /// used when the warehouse is rebuilt wholesale).
     pub fn clear(&mut self) {
         self.aggregates.clear();
     }
 
-    /// Answer from the cache if any aggregate covers the query.
+    /// The highest delta sequence number applied so far.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Fast-forward [`Self::last_seq`] to `seq` after an out-of-band
+    /// recovery (e.g. a dead-lettered delta was compensated for with a
+    /// full rebuild), so the next live event is not misread as a second
+    /// gap. Never moves the sequence backwards.
+    pub fn resync(&mut self, seq: u64) {
+        self.last_seq = self.last_seq.max(seq);
+    }
+
+    /// Mark every aggregate stale (used when a delta event was lost and
+    /// the exact scope of the miss is unknown).
+    pub fn mark_all_stale(&mut self) {
+        for a in &mut self.aggregates {
+            a.mark_stale();
+        }
+    }
+
+    /// Rebuild every stale aggregate; aggregates whose rebuild fails
+    /// (e.g. their tables were dropped) are removed. Returns how many
+    /// rebuilds ran.
+    pub fn rebuild_stale(&mut self, engine: &CubeEngine) -> usize {
+        let mut rebuilt = 0;
+        self.aggregates.retain_mut(|a| {
+            if !a.is_stale() {
+                return true;
+            }
+            rebuilt += 1;
+            a.rebuild(engine).is_ok()
+        });
+        rebuilt
+    }
+
+    /// Apply one sequenced warehouse delta to every registered aggregate.
+    ///
+    /// Idempotency and loss-safety live here: `seq` must be the event's
+    /// per-warehouse monotonic sequence number. A `seq` at or below
+    /// [`Self::last_seq`] is a redelivered duplicate and is skipped; a
+    /// `seq` that skips ahead means an event was lost, so every aggregate
+    /// is conservatively marked stale before this event applies. Stale
+    /// aggregates are rebuilt before the call returns, so the cache never
+    /// serves a half-maintained cell. Pass `seq = 0` for unsequenced
+    /// (direct, non-ESB) application.
+    pub fn apply_delta(
+        &mut self,
+        engine: &CubeEngine,
+        seq: u64,
+        delta: &TableDelta,
+    ) -> DeltaReport {
+        let mut report = DeltaReport::default();
+        if seq != 0 {
+            if seq <= self.last_seq {
+                report.duplicate = true;
+                return report;
+            }
+            if seq > self.last_seq + 1 {
+                self.mark_all_stale();
+            }
+            self.last_seq = seq;
+        }
+        let db = engine.database().clone();
+        // A ragged delta (rows of unequal arity) cannot become a Batch;
+        // treat it like a mutation so dependent aggregates rebuild.
+        let (batch, ragged) = match delta {
+            TableDelta::Insert { rows, .. } if !rows.is_empty() => {
+                match Batch::from_rows(rows[0].len(), rows.clone()) {
+                    Ok(b) => (Some(b), false),
+                    Err(_) => (None, true),
+                }
+            }
+            _ => (None, false),
+        };
+        self.aggregates.retain_mut(|a| {
+            match delta {
+                TableDelta::Insert { table, .. } => {
+                    if let Some(batch) = &batch {
+                        match a.apply_delta(&db, table, batch) {
+                            Ok(DeltaOutcome::Folded) => report.folded += 1,
+                            Ok(DeltaOutcome::NeedsRebuild) | Err(_) => a.mark_stale(),
+                            Ok(DeltaOutcome::Unrelated) => {}
+                        }
+                    } else if ragged && a.depends_on(table) {
+                        a.mark_stale();
+                    }
+                }
+                TableDelta::Mutate { table } => {
+                    if a.depends_on(table) {
+                        a.mark_stale();
+                    }
+                }
+                TableDelta::Drop { table } => {
+                    if table.eq_ignore_ascii_case(&a.def.fact_table) {
+                        report.dropped += 1;
+                        return false;
+                    }
+                    if a.depends_on(table) {
+                        a.mark_stale();
+                    }
+                }
+            }
+            true
+        });
+        let before = self.aggregates.len();
+        report.rebuilt = self.rebuild_stale(engine);
+        report.dropped += before - self.aggregates.len();
+        report
+    }
+
+    /// Answer from the cache if any fresh aggregate covers the query.
     pub fn try_answer(&self, cube: &str, query: &CubeQuery) -> Option<CellSet> {
         self.aggregates
             .iter()
-            .find(|a| a.cube == cube && a.answers(query))
+            .find(|a| !a.is_stale() && a.cube == cube && a.answers(query))
             .and_then(|a| a.execute(query).ok())
     }
 }
@@ -285,6 +783,7 @@ mod tests {
     use super::*;
     use crate::cube::Slice;
     use crate::test_fixtures::{sales_cube, sales_db};
+    use odbis_sql::Engine;
     use std::sync::Arc;
 
     fn engine() -> CubeEngine {
@@ -462,5 +961,315 @@ mod tests {
         };
         assert!(cache.try_answer("sales", &uncovered).is_none());
         assert!(cache.try_answer("other_cube", &covered).is_none());
+    }
+
+    // ------------------------------------------------ delta maintenance
+
+    fn insert_fact(db: &Database, rows: &str) -> Vec<Vec<Value>> {
+        let sql = format!("INSERT INTO fact_sales VALUES {rows}");
+        Engine::new().execute(db, &sql).unwrap();
+        // return the literal rows for the delta, freshest-last
+        Engine::new()
+            .execute(
+                db,
+                "SELECT id, store_id, year, month, amount, qty FROM fact_sales",
+            )
+            .unwrap()
+            .rows
+    }
+
+    #[test]
+    fn insert_delta_matches_rebuild_across_snowflake_and_degenerate_axes() {
+        let db = Arc::new(sales_db());
+        let engine = CubeEngine::new(Arc::clone(&db));
+        let cube = sales_cube();
+        let axes = vec![
+            LevelRef::new("time", "year"),
+            LevelRef::new("store", "region"),
+        ];
+        let mut agg = MaterializedAggregate::build(
+            &engine,
+            &cube,
+            axes.clone(),
+            vec!["revenue".into(), "units".into()],
+        )
+        .unwrap();
+        // new rows: existing cell (EU 2009), brand-new cell (US 2011)
+        Engine::new()
+            .execute(
+                &db,
+                "INSERT INTO fact_sales VALUES (5, 2, 2009, 4, 15, 2), (6, 3, 2011, 1, 99, 1)",
+            )
+            .unwrap();
+        let delta = Batch::from_rows(
+            6,
+            vec![
+                vec![
+                    5.into(),
+                    2.into(),
+                    2009.into(),
+                    4.into(),
+                    Value::Float(15.0),
+                    2.into(),
+                ],
+                vec![
+                    6.into(),
+                    3.into(),
+                    2011.into(),
+                    1.into(),
+                    Value::Float(99.0),
+                    1.into(),
+                ],
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            agg.apply_delta(&db, "fact_sales", &delta).unwrap(),
+            DeltaOutcome::Folded
+        );
+        let rebuilt = MaterializedAggregate::build(
+            &engine,
+            &cube,
+            axes.clone(),
+            vec!["revenue".into(), "units".into()],
+        )
+        .unwrap();
+        let q = CubeQuery {
+            axes,
+            slices: vec![],
+            measures: vec!["revenue".into(), "units".into()],
+        };
+        assert_eq!(
+            agg.execute(&q).unwrap().cells,
+            rebuilt.execute(&q).unwrap().cells
+        );
+    }
+
+    #[test]
+    fn avg_pair_folds_and_renders_like_the_engine() {
+        let db = Arc::new(sales_db());
+        let engine = CubeEngine::new(Arc::clone(&db));
+        let mut cube = sales_cube();
+        cube.measures.push(MeasureDef {
+            name: "avg_amount".into(),
+            column: "amount".into(),
+            aggregator: Aggregator::Avg,
+        });
+        let axes = vec![LevelRef::new("store", "region")];
+        let mut agg =
+            MaterializedAggregate::build(&engine, &cube, axes.clone(), vec!["avg_amount".into()])
+                .unwrap();
+        Engine::new()
+            .execute(&db, "INSERT INTO fact_sales VALUES (5, 1, 2011, 1, 70, 3)")
+            .unwrap();
+        let delta = Batch::from_rows(
+            6,
+            vec![vec![
+                5.into(),
+                1.into(),
+                2011.into(),
+                1.into(),
+                Value::Float(70.0),
+                3.into(),
+            ]],
+        )
+        .unwrap();
+        agg.apply_delta(&db, "fact_sales", &delta).unwrap();
+        let q = CubeQuery {
+            axes,
+            slices: vec![],
+            measures: vec!["avg_amount".into()],
+        };
+        let live = engine.query(&cube, &q).unwrap();
+        let from_agg = agg.execute(&q).unwrap();
+        for ((ck, cv), (lk, lv)) in from_agg.cells.iter().zip(live.cells.iter()) {
+            assert_eq!(ck, lk);
+            let (a, b) = (cv[0].as_f64().unwrap(), lv[0].as_f64().unwrap());
+            assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0),
+                "{a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn unmatched_fk_insert_is_invisible_like_the_inner_join() {
+        let db = Arc::new(sales_db());
+        let engine = CubeEngine::new(Arc::clone(&db));
+        let cube = sales_cube();
+        let axes = vec![LevelRef::new("store", "region")];
+        let mut agg =
+            MaterializedAggregate::build(&engine, &cube, axes.clone(), vec!["revenue".into()])
+                .unwrap();
+        // store 99 has no dim_store row: the ROLAP join drops it
+        Engine::new()
+            .execute(
+                &db,
+                "INSERT INTO fact_sales VALUES (5, 99, 2011, 1, 1000, 1)",
+            )
+            .unwrap();
+        let delta = Batch::from_rows(
+            6,
+            vec![vec![
+                5.into(),
+                99.into(),
+                2011.into(),
+                1.into(),
+                Value::Float(1000.0),
+                1.into(),
+            ]],
+        )
+        .unwrap();
+        agg.apply_delta(&db, "fact_sales", &delta).unwrap();
+        let q = CubeQuery {
+            axes,
+            slices: vec![],
+            measures: vec!["revenue".into()],
+        };
+        assert_eq!(
+            agg.execute(&q).unwrap().cells,
+            engine.query(&cube, &q).unwrap().cells
+        );
+    }
+
+    #[test]
+    fn cache_mutation_rebuilds_and_unrelated_tables_survive() {
+        let db = Arc::new(sales_db());
+        let engine = CubeEngine::new(Arc::clone(&db));
+        let cube = sales_cube();
+        let mut cache = AggregateCache::new();
+        cache.add(
+            MaterializedAggregate::build(
+                &engine,
+                &cube,
+                vec![LevelRef::new("store", "region")],
+                vec!["revenue".into()],
+            )
+            .unwrap(),
+        );
+        // an unrelated table's write leaves the aggregate untouched
+        let r = cache.apply_delta(
+            &engine,
+            1,
+            &TableDelta::Insert {
+                table: "somewhere_else".into(),
+                rows: vec![vec![1.into()]],
+            },
+        );
+        assert_eq!((r.folded, r.rebuilt, r.dropped), (0, 0, 0));
+        assert_eq!(cache.len(), 1);
+        // a mutation of the fact table forces a rebuild — and the rebuilt
+        // cells see the new state
+        Engine::new()
+            .execute(&db, "UPDATE fact_sales SET amount = 110 WHERE id = 1")
+            .unwrap();
+        let r = cache.apply_delta(
+            &engine,
+            2,
+            &TableDelta::Mutate {
+                table: "fact_sales".into(),
+            },
+        );
+        assert_eq!(r.rebuilt, 1);
+        let q = CubeQuery {
+            axes: vec![LevelRef::new("store", "region")],
+            slices: vec![],
+            measures: vec!["revenue".into()],
+        };
+        assert_eq!(
+            cache.try_answer("sales", &q).unwrap().cells,
+            engine.query(&cube, &q).unwrap().cells
+        );
+    }
+
+    #[test]
+    fn duplicate_seq_is_skipped_and_gap_marks_stale() {
+        let db = Arc::new(sales_db());
+        let engine = CubeEngine::new(Arc::clone(&db));
+        let cube = sales_cube();
+        let mut cache = AggregateCache::new();
+        cache.add(
+            MaterializedAggregate::build(
+                &engine,
+                &cube,
+                vec![LevelRef::new("store", "region")],
+                vec!["revenue".into()],
+            )
+            .unwrap(),
+        );
+        let rows = insert_fact(&db, "(5, 1, 2011, 1, 5, 1)");
+        let newest = vec![rows.last().unwrap().clone()];
+        let delta = TableDelta::Insert {
+            table: "fact_sales".into(),
+            rows: newest,
+        };
+        let r = cache.apply_delta(&engine, 1, &delta);
+        assert_eq!(r.folded, 1);
+        // redelivery of the same sequence number must not double-fold
+        let r = cache.apply_delta(&engine, 1, &delta);
+        assert!(r.duplicate);
+        let q = CubeQuery {
+            axes: vec![LevelRef::new("store", "region")],
+            slices: vec![],
+            measures: vec!["revenue".into()],
+        };
+        assert_eq!(
+            cache.try_answer("sales", &q).unwrap().cells,
+            engine.query(&cube, &q).unwrap().cells
+        );
+        // a sequence gap (event 2 lost, event 3 arrives) forces a rebuild,
+        // which reads the warehouse and converges anyway
+        Engine::new()
+            .execute(&db, "INSERT INTO fact_sales VALUES (6, 2, 2012, 1, 7, 1)")
+            .unwrap();
+        Engine::new()
+            .execute(&db, "INSERT INTO fact_sales VALUES (7, 3, 2012, 2, 9, 1)")
+            .unwrap();
+        let r = cache.apply_delta(
+            &engine,
+            3,
+            &TableDelta::Insert {
+                table: "fact_sales".into(),
+                rows: vec![vec![
+                    7.into(),
+                    3.into(),
+                    2012.into(),
+                    2.into(),
+                    Value::Float(9.0),
+                    1.into(),
+                ]],
+            },
+        );
+        assert_eq!(r.rebuilt, 1);
+        assert_eq!(
+            cache.try_answer("sales", &q).unwrap().cells,
+            engine.query(&cube, &q).unwrap().cells
+        );
+    }
+
+    #[test]
+    fn drop_of_fact_table_removes_the_aggregate() {
+        let db = Arc::new(sales_db());
+        let engine = CubeEngine::new(Arc::clone(&db));
+        let cube = sales_cube();
+        let mut cache = AggregateCache::new();
+        cache.add(
+            MaterializedAggregate::build(
+                &engine,
+                &cube,
+                vec![LevelRef::new("store", "region")],
+                vec!["revenue".into()],
+            )
+            .unwrap(),
+        );
+        let r = cache.apply_delta(
+            &engine,
+            1,
+            &TableDelta::Drop {
+                table: "fact_sales".into(),
+            },
+        );
+        assert_eq!(r.dropped, 1);
+        assert!(cache.is_empty());
     }
 }

@@ -28,6 +28,7 @@ pub enum ScalarFunc {
     Month,
     Day,
     Cast,
+    Tumble,
 }
 
 impl ScalarFunc {
@@ -52,6 +53,7 @@ impl ScalarFunc {
             "MONTH" => ScalarFunc::Month,
             "DAY" => ScalarFunc::Day,
             "CAST" => ScalarFunc::Cast,
+            "TUMBLE" => ScalarFunc::Tumble,
             _ => return None,
         })
     }
@@ -75,7 +77,7 @@ impl ScalarFunc {
             ScalarFunc::Replace => n == 3,
             ScalarFunc::NullIf => n == 2,
             ScalarFunc::Concat | ScalarFunc::Coalesce => n >= 1,
-            ScalarFunc::Cast => n == 2,
+            ScalarFunc::Cast | ScalarFunc::Tumble => n == 2,
         };
         if ok {
             Ok(())
@@ -191,6 +193,32 @@ impl ScalarFunc {
                 let ty = DataType::parse(ty_name)
                     .ok_or_else(|| SqlError::Eval(format!("unknown CAST target {ty_name}")))?;
                 cast_value(&args[0], ty)?
+            }
+            Tumble => {
+                // TUMBLE(ts, width): align a time/number onto the start of
+                // its tumbling window. Width is in the column's own unit —
+                // seconds for TIMESTAMP, days for DATE, plain units for
+                // numbers. Floor division keeps negatives on the correct
+                // (earlier) window edge.
+                let w = args[1].as_i64().filter(|w| *w > 0).ok_or_else(|| {
+                    SqlError::Eval("TUMBLE width must be a positive integer".into())
+                })?;
+                match &args[0] {
+                    Value::Timestamp(t) => {
+                        let w_us = w * 1_000_000;
+                        Value::Timestamp(t.div_euclid(w_us) * w_us)
+                    }
+                    Value::Date(d) => {
+                        let w = w as i32;
+                        Value::Date(d.div_euclid(w) * w)
+                    }
+                    Value::Int(i) => Value::Int(i.div_euclid(w) * w),
+                    Value::Float(f) => {
+                        let w = w as f64;
+                        Value::Float((f / w).floor() * w)
+                    }
+                    v => return type_err("TUMBLE", v),
+                }
             }
         })
     }
@@ -355,6 +383,39 @@ mod tests {
             cast_value(&"2010-03-22".into(), DataType::Date).unwrap(),
             Value::Date(odbis_storage::parse_date("2010-03-22").unwrap())
         );
+    }
+
+    #[test]
+    fn tumble_windows() {
+        // integers land on multiples of the width
+        assert_eq!(
+            ev(ScalarFunc::Tumble, &[Value::Int(2009), Value::Int(10)]),
+            Value::Int(2000)
+        );
+        // negatives floor toward the earlier window
+        assert_eq!(
+            ev(ScalarFunc::Tumble, &[Value::Int(-3), Value::Int(10)]),
+            Value::Int(-10)
+        );
+        // timestamps: width is in seconds
+        let t = odbis_storage::parse_timestamp("2010-03-22 10:17:45").unwrap();
+        let w = odbis_storage::parse_timestamp("2010-03-22 10:00:00").unwrap();
+        assert_eq!(
+            ev(ScalarFunc::Tumble, &[Value::Timestamp(t), Value::Int(3600)]),
+            Value::Timestamp(w)
+        );
+        // dates: width is in days
+        let d = odbis_storage::parse_date("2010-03-22").unwrap();
+        let tumbled = ev(ScalarFunc::Tumble, &[Value::Date(d), Value::Int(7)]);
+        assert_eq!(tumbled, Value::Date(d.div_euclid(7) * 7));
+        // NULL propagates, bad width errors
+        assert_eq!(
+            ev(ScalarFunc::Tumble, &[Value::Null, Value::Int(10)]),
+            Value::Null
+        );
+        assert!(ScalarFunc::Tumble
+            .eval(&[Value::Int(5), Value::Int(0)])
+            .is_err());
     }
 
     #[test]

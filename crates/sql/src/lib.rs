@@ -128,6 +128,40 @@ impl QueryResult {
     }
 }
 
+/// Warehouse tables a SQL text reads or writes, in first-mention order
+/// (lower-cased, deduplicated). Used by the streaming layer to key watch
+/// subscriptions: a dataset's watchers wake when any of its referenced
+/// tables changes. Errors if the text does not parse.
+pub fn referenced_tables(sql: &str) -> SqlResult<Vec<String>> {
+    let mut out: Vec<String> = Vec::new();
+    let mut push = |name: &str| {
+        let lower = name.to_ascii_lowercase();
+        if !out.contains(&lower) {
+            out.push(lower);
+        }
+    };
+    for stmt in parse_script(sql)? {
+        match &stmt {
+            Statement::Select(sel) => {
+                if let Some(t) = &sel.from {
+                    push(&t.table);
+                }
+                for j in &sel.joins {
+                    push(&j.table.table);
+                }
+            }
+            Statement::CreateTable { name, .. }
+            | Statement::DropTable { name, .. }
+            | Statement::Insert { table: name, .. }
+            | Statement::Update { table: name, .. }
+            | Statement::Delete { table: name, .. }
+            | Statement::CreateIndex { table: name, .. }
+            | Statement::DropIndex { table: name, .. } => push(name),
+        }
+    }
+    Ok(out)
+}
+
 /// The SQL engine. Stateless apart from configuration; cheap to clone.
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -871,6 +905,43 @@ mod tests {
             .unwrap();
         assert_eq!(r.rows.len(), 3); // 2008, 2009, 2010
         assert_eq!(r.rows[2], vec![Value::Int(2010), Value::Int(2)]);
+    }
+
+    #[test]
+    fn tumble_in_group_by() {
+        let (db, e) = setup();
+        // 2-year tumbling windows over hire dates, expressed on YEAR()
+        let r = e
+            .execute(
+                &db,
+                "SELECT TUMBLE(YEAR(hired), 2) AS w, COUNT(*) FROM emp GROUP BY TUMBLE(YEAR(hired), 2) ORDER BY w",
+            )
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(2008), Value::Int(3)], // 2008 + 2009×2
+                vec![Value::Int(2010), Value::Int(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn referenced_tables_walks_statements() {
+        assert_eq!(
+            referenced_tables("SELECT e.name, d.name FROM emp e JOIN dept d ON e.dept_id = d.id")
+                .unwrap(),
+            vec!["emp", "dept"]
+        );
+        assert_eq!(
+            referenced_tables("INSERT INTO Emp VALUES (1); DELETE FROM emp").unwrap(),
+            vec!["emp"]
+        );
+        assert_eq!(
+            referenced_tables("SELECT 1 + 1").unwrap(),
+            Vec::<String>::new()
+        );
+        assert!(referenced_tables("NOT SQL AT ALL").is_err());
     }
 
     #[test]

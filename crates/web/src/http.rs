@@ -404,6 +404,115 @@ fn decode_escapes(s: &str, plus_is_space: bool) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// What a [`ResponseSlot`] currently holds.
+enum SlotState {
+    /// Neither the response nor a claimant has arrived.
+    Pending,
+    /// The response arrived before anyone claimed the slot.
+    Ready(Box<HttpResponse>),
+    /// A backend claimed the slot; completion calls this waker.
+    Waker(Box<dyn FnOnce(HttpResponse) + Send>),
+    /// The response was delivered; later completions are dropped.
+    Done,
+}
+
+/// The completion slot behind a deferred response (see
+/// [`HttpResponse::deferred`]). A handler returns the placeholder
+/// immediately and keeps the slot; whoever later calls
+/// [`ResponseSlot::fulfill`] supplies the real response. The serving
+/// backend either blocks on [`ResponseSlot::wait`] (threaded pool) or
+/// installs a waker with [`ResponseSlot::complete_with`] (reactor), so a
+/// parked long-poll costs a file descriptor rather than a worker thread.
+pub struct ResponseSlot {
+    state: std::sync::Mutex<SlotState>,
+    cv: std::sync::Condvar,
+}
+
+impl std::fmt::Debug for ResponseSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ResponseSlot")
+    }
+}
+
+impl Default for ResponseSlot {
+    fn default() -> Self {
+        ResponseSlot {
+            state: std::sync::Mutex::new(SlotState::Pending),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+}
+
+impl ResponseSlot {
+    /// Deliver the real response. The first call wins: it wakes a blocked
+    /// [`ResponseSlot::wait`], fires an installed waker, or parks the
+    /// response for whichever arrives first. Every later call is a no-op,
+    /// which is what makes racing completers (a data change vs. the
+    /// timeout sweeper) safe.
+    pub fn fulfill(&self, response: HttpResponse) {
+        let waker = {
+            let mut state = self.state.lock().unwrap();
+            match std::mem::replace(&mut *state, SlotState::Done) {
+                SlotState::Pending => {
+                    *state = SlotState::Ready(Box::new(response));
+                    self.cv.notify_all();
+                    return;
+                }
+                SlotState::Waker(w) => w,
+                already @ (SlotState::Ready(_) | SlotState::Done) => {
+                    *state = already;
+                    return;
+                }
+            }
+        };
+        waker(response);
+    }
+
+    /// Claim the slot with a waker that is called (exactly once, outside
+    /// the slot lock) when the response is fulfilled. If the response is
+    /// already there, the waker runs immediately on this thread.
+    pub fn complete_with(&self, waker: impl FnOnce(HttpResponse) + Send + 'static) {
+        let ready = {
+            let mut state = self.state.lock().unwrap();
+            match std::mem::replace(&mut *state, SlotState::Done) {
+                SlotState::Ready(r) => *r,
+                SlotState::Pending => {
+                    *state = SlotState::Waker(Box::new(waker));
+                    return;
+                }
+                done => {
+                    *state = done;
+                    return;
+                }
+            }
+        };
+        waker(ready);
+    }
+
+    /// Block until the response is fulfilled, up to `cap`. `None` means
+    /// the cap elapsed with nothing delivered (the completer is expected
+    /// to enforce its own timeout well under the cap; this is the
+    /// backend's last-resort bound on a lost completion).
+    pub fn wait(&self, cap: std::time::Duration) -> Option<HttpResponse> {
+        let deadline = std::time::Instant::now() + cap;
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let SlotState::Ready(_) = &*state {
+                match std::mem::replace(&mut *state, SlotState::Done) {
+                    SlotState::Ready(r) => return Some(*r),
+                    _ => unreachable!("state was Ready under the lock"),
+                }
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self.cv.wait_timeout(state, deadline - now).unwrap();
+            state = guard;
+        }
+    }
+}
+
 /// An HTTP response under construction.
 #[derive(Debug, Clone)]
 pub struct HttpResponse {
@@ -413,6 +522,11 @@ pub struct HttpResponse {
     pub headers: BTreeMap<String, String>,
     /// Body bytes.
     pub body: Vec<u8>,
+    /// When set, this response is a placeholder: the real one arrives
+    /// through the slot. Backends take it with
+    /// [`HttpResponse::take_deferred`]; the placeholder's own
+    /// status/body are never written to the wire.
+    pub(crate) deferred: Option<std::sync::Arc<ResponseSlot>>,
 }
 
 impl HttpResponse {
@@ -422,7 +536,28 @@ impl HttpResponse {
             status,
             headers: BTreeMap::new(),
             body: Vec::new(),
+            deferred: None,
         }
+    }
+
+    /// A deferred (long-poll) response: the handler returns the
+    /// placeholder now and fulfills the [`ResponseSlot`] later — from a
+    /// data-change notification, a timeout sweeper, whatever completes
+    /// first. Headers stamped on the placeholder (request id, deprecation
+    /// notices) are merged into the fulfilled response by the backend,
+    /// unless the fulfilled response set the same header itself.
+    pub fn deferred() -> (Self, std::sync::Arc<ResponseSlot>) {
+        let slot = std::sync::Arc::new(ResponseSlot::default());
+        let mut resp = HttpResponse::status(204);
+        resp.deferred = Some(std::sync::Arc::clone(&slot));
+        (resp, slot)
+    }
+
+    /// Take the deferred slot out of a placeholder response (backends
+    /// call this once, right after dispatch). `None` for ordinary
+    /// responses.
+    pub fn take_deferred(&mut self) -> Option<std::sync::Arc<ResponseSlot>> {
+        self.deferred.take()
     }
 
     /// 200 with a `text/plain` body.
@@ -513,6 +648,7 @@ impl HttpResponse {
             429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Status",
         };
         write!(stream, "HTTP/1.1 {} {}\r\n", self.status, reason)?;

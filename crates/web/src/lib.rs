@@ -43,7 +43,7 @@ pub use admission::{Admission, AdmissionControl, TenantLimits};
 pub use client::{http_get, http_get_accept, http_post, http_request};
 pub use http::{
     generate_request_id, percent_decode, percent_decode_query, HttpRequest, HttpResponse, Method,
-    RequestParser,
+    RequestParser, ResponseSlot,
 };
 #[cfg(all(
     target_os = "linux",

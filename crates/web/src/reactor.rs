@@ -626,10 +626,39 @@ fn spawn_worker(
             }
             // dispatch() already catches panics; this boundary keeps even
             // a future regression there from shrinking the pool
-            let response =
+            let mut response =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| router.dispatch(request)))
                     .unwrap_or_else(|_| Router::panic_envelope());
             served.fetch_add(1, Ordering::Relaxed);
+            if let Some(slot) = response.take_deferred() {
+                // long-poll: park the connection on its completion slot
+                // instead of occupying this worker. The waker re-enters
+                // the event loop exactly like a finished dispatch, so a
+                // parked watcher costs an fd, not a pool thread.
+                if let Ok(mut wake_tx) = wake.try_clone() {
+                    let placeholder = response;
+                    let completions = Arc::clone(&completions);
+                    slot.complete_with(move |mut resp| {
+                        for (k, v) in placeholder.headers {
+                            resp.headers.entry(k).or_insert(v);
+                        }
+                        let bytes = resp.to_bytes(!close_after);
+                        completions.lock().push((token, bytes, close_after));
+                        let _ = wake_tx.write(&[1]);
+                    });
+                    continue;
+                }
+                // no wake pipe to hand the waker (clone failed): degrade
+                // to the threaded pool's blocking behavior
+                let placeholder = response;
+                let mut real = slot
+                    .wait(Duration::from_secs(75))
+                    .unwrap_or_else(|| HttpResponse::status(504));
+                for (k, v) in placeholder.headers {
+                    real.headers.entry(k).or_insert(v);
+                }
+                response = real;
+            }
             let bytes = response.to_bytes(!close_after);
             completions.lock().push((token, bytes, close_after));
             // a full pipe means a wake is already pending — that's enough

@@ -402,6 +402,65 @@ mod tests {
         );
     }
 
+    /// A deferred response parks the connection, not the worker: with one
+    /// worker, a long-poll in flight must not block other requests, and
+    /// the fulfilled response must still carry the placeholder's headers
+    /// (the request id the router stamped). Exercised on both backends.
+    #[test]
+    fn deferred_response_frees_the_worker_and_keeps_headers() {
+        use std::sync::Mutex;
+        for backend in [Backend::Reactor, Backend::Threaded] {
+            let slots: Arc<Mutex<Vec<Arc<crate::http::ResponseSlot>>>> =
+                Arc::new(Mutex::new(Vec::new()));
+            let mut r = test_router();
+            let parked = Arc::clone(&slots);
+            r.route(Method::Get, "/park", move |_, _| {
+                let (resp, slot) = HttpResponse::deferred();
+                parked.lock().unwrap().push(slot);
+                resp
+            });
+            // threaded backend with 1 worker would block on the parked
+            // poll; give it 2 so the probe request can get through there
+            let workers = if backend == Backend::Reactor { 1 } else { 2 };
+            let server = HttpServer::builder(r)
+                .workers(workers)
+                .backend(backend)
+                .start()
+                .unwrap();
+            let addr = server.addr().to_string();
+            let addr2 = addr.clone();
+            let poll = std::thread::spawn(move || {
+                crate::client::http_request(&addr2, "GET", "/park", &[], b"").unwrap()
+            });
+            // the parked poll must not stop an ordinary request
+            let t0 = std::time::Instant::now();
+            let (status, body) = http_get(&addr, "/hello").unwrap();
+            assert_eq!((status, body.as_str()), (200, "world"));
+            assert!(
+                t0.elapsed() < Duration::from_secs(2),
+                "{}: probe stalled behind a parked poll",
+                server.backend_name()
+            );
+            // fulfill the parked slot; the long-poll completes with the
+            // real response plus the router-stamped request id
+            let slot = loop {
+                if let Some(s) = slots.lock().unwrap().pop() {
+                    break s;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            };
+            slot.fulfill(HttpResponse::text("woken"));
+            let (status, headers, body) = poll.join().unwrap();
+            assert_eq!((status, body.as_str()), (200, "woken"));
+            assert!(
+                headers.contains_key("x-request-id"),
+                "{}: placeholder headers lost: {headers:?}",
+                server.backend_name()
+            );
+            server.shutdown();
+        }
+    }
+
     #[test]
     fn malformed_request_gets_400() {
         let server = HttpServer::start(test_router(), 1).unwrap();

@@ -80,7 +80,7 @@ impl ThreadedServer {
                         if odbis_chaos::triggered("http.read") {
                             break;
                         }
-                        let (response, close_after) =
+                        let (mut response, close_after) =
                             match HttpRequest::read_from_buffered(&mut reader) {
                                 Ok(Some(mut request)) => {
                                     let close = request.wants_close();
@@ -112,6 +112,22 @@ impl ThreadedServer {
                                 Ok(None) => break, // client closed cleanly
                                 Err(e) => (HttpResponse::bad_request(&e), true),
                             };
+                        // A deferred (long-poll) response: this backend has
+                        // no event loop to park the connection on, so the
+                        // worker blocks until the slot is fulfilled — the
+                        // documented cost of the portable fallback. The cap
+                        // only guards against a lost completion; the
+                        // completer enforces its own (shorter) timeout.
+                        if let Some(slot) = response.take_deferred() {
+                            let placeholder = response;
+                            let mut real = slot
+                                .wait(Duration::from_secs(75))
+                                .unwrap_or_else(|| HttpResponse::status(504));
+                            for (k, v) in placeholder.headers {
+                                real.headers.entry(k).or_insert(v);
+                            }
+                            response = real;
+                        }
                         served.fetch_add(1, Ordering::Relaxed);
                         // chaos: the socket dies before any response byte —
                         // never mid-response, so clients see a clean drop

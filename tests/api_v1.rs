@@ -576,3 +576,145 @@ fn slowlog_endpoint_exposes_slow_operations() {
     assert!(entries[0]["durationMicros"].as_i64().unwrap() >= 1000);
     server.shutdown();
 }
+
+// --------------------------------------------------------------- watch API
+//
+// `GET /api/v1/datasets/:name/watch`: long-poll push delivery. The client
+// passes the version cursor from its previous poll; the response is 200
+// `{"dataset","changed":true,"cursor"}` as soon as any table the dataset
+// reads changes past that cursor, or 204 with the client's own cursor
+// echoed when the timeout lapses. Both shapes carry `X-Watch-Cursor`.
+
+#[test]
+fn watch_long_poll_returns_when_a_watched_table_changes() {
+    let platform = Arc::new(OdbisPlatform::new());
+    let token = drive_traffic(&platform);
+    let server = HttpServer::start(build_router(Arc::clone(&platform)), 2).unwrap();
+    let addr = server.addr().to_string();
+
+    // park strictly after "now": past writes must not complete this poll
+    let hub = Arc::clone(&platform.workspace("clinic").unwrap().watch);
+    let cursor = hub.cursor();
+    let poller = {
+        let addr = addr.clone();
+        let token = token.clone();
+        std::thread::spawn(move || {
+            auth(
+                &addr,
+                "GET",
+                &format!("/api/v1/datasets/total_cost/watch?cursor={cursor}&timeout_ms=10000"),
+                &token,
+                "",
+            )
+        })
+    };
+    // wait until the watcher is actually parked, then commit a write to
+    // the table the dataset reads
+    for _ in 0..200 {
+        if hub.parked() > 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(hub.parked() > 0, "watcher never parked");
+    platform
+        .sql(
+            "clinic",
+            &token,
+            "INSERT INTO admissions VALUES ('Radiology', 2011, 500)",
+        )
+        .unwrap();
+
+    let (status, headers, body) = poller.join().unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["dataset"], "total_cost");
+    assert_eq!(v["changed"], true);
+    let new_cursor = v["cursor"].as_u64().unwrap();
+    assert!(new_cursor > cursor, "cursor must advance past {cursor}");
+    assert_eq!(headers["x-watch-cursor"], new_cursor.to_string());
+    server.shutdown();
+}
+
+#[test]
+fn watch_cursor_replays_a_missed_update_without_parking() {
+    let platform = Arc::new(OdbisPlatform::new());
+    let token = drive_traffic(&platform);
+    let server = HttpServer::start(build_router(Arc::clone(&platform)), 2).unwrap();
+    let addr = server.addr().to_string();
+
+    // the update happens while no watcher is connected…
+    platform
+        .sql(
+            "clinic",
+            &token,
+            "INSERT INTO admissions VALUES ('Neurology', 2012, 900)",
+        )
+        .unwrap();
+    // …and a poll from an older cursor replays it immediately (cursor 0 =
+    // "anything ever"), long before the 10 s timeout
+    let started = std::time::Instant::now();
+    let (status, headers, body) = auth(
+        &addr,
+        "GET",
+        "/api/v1/datasets/total_cost/watch?cursor=0&timeout_ms=10000",
+        &token,
+        "",
+    );
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "replay must not park"
+    );
+    assert_eq!(status, 200, "{body}");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["changed"], true);
+    let replayed = v["cursor"].as_u64().unwrap();
+    assert!(replayed > 0);
+    assert_eq!(headers["x-watch-cursor"], replayed.to_string());
+
+    // polling again from the replayed cursor finds nothing new: 204 with
+    // the same cursor echoed back
+    let (status, headers, body) = auth(
+        &addr,
+        "GET",
+        &format!("/api/v1/datasets/total_cost/watch?cursor={replayed}&timeout_ms=100"),
+        &token,
+        "",
+    );
+    assert_eq!(status, 204, "{body}");
+    assert!(body.is_empty(), "a timeout response has no body: {body}");
+    assert_eq!(headers["x-watch-cursor"], replayed.to_string());
+    server.shutdown();
+}
+
+#[test]
+fn watch_rejects_bad_parameters_and_unknown_datasets() {
+    let platform = Arc::new(OdbisPlatform::new());
+    let token = drive_traffic(&platform);
+    let server = HttpServer::start(build_router(Arc::clone(&platform)), 2).unwrap();
+    let addr = server.addr().to_string();
+
+    for (path, kind, status) in [
+        (
+            "/api/v1/datasets/total_cost/watch?cursor=abc",
+            "bad_request",
+            400,
+        ),
+        (
+            "/api/v1/datasets/total_cost/watch?timeout_ms=3600000",
+            "bad_request",
+            400,
+        ),
+        (
+            "/api/v1/datasets/ghost/watch?timeout_ms=50",
+            "not_found",
+            404,
+        ),
+    ] {
+        let (got, _, body) = auth(&addr, "GET", path, &token, "");
+        assert_eq!(got, status, "{path}: {body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["error"]["kind"], kind, "{path}");
+    }
+    server.shutdown();
+}

@@ -437,6 +437,342 @@ fn socket_faults_drop_connections_but_never_kill_the_server() {
     server.shutdown();
 }
 
+// --------------------------------------------------- delta-propagation chaos
+//
+// The streaming-BI delta pipeline (warehouse write → WAL ack → ESB event →
+// incremental aggregate maintenance) under the esb.dispatch / WAL failpoint
+// matrix. The invariant: no matter how delta events are dropped, retried or
+// duplicated, a materialized aggregate never *diverges* — every answer it
+// gives equals a live query against the warehouse. Losses may cost a
+// rebuild (freshness), never correctness.
+
+/// Star schema + cube + two materialized aggregates on an in-memory
+/// platform; returns the cube definition for live-query comparison.
+fn delta_platform() -> (OdbisPlatform, String, odbis_olap::CubeDef) {
+    use odbis_olap::{Aggregator, CubeDef, DimensionDef, LevelDef, LevelRef, MeasureDef};
+    let p = OdbisPlatform::new();
+    p.provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+        .unwrap();
+    let token = p.login("acme", "root", "pw").unwrap();
+    p.sql(
+        "acme",
+        &token,
+        "CREATE TABLE dim_store (store_id INT PRIMARY KEY, region TEXT)",
+    )
+    .unwrap();
+    p.sql(
+        "acme",
+        &token,
+        "INSERT INTO dim_store VALUES (1, 'EU'), (2, 'US'), (3, 'APAC')",
+    )
+    .unwrap();
+    p.sql(
+        "acme",
+        &token,
+        "CREATE TABLE fact_sales (id INT PRIMARY KEY, store_id INT, year INT, amount DOUBLE)",
+    )
+    .unwrap();
+    p.sql(
+        "acme",
+        &token,
+        "INSERT INTO fact_sales VALUES (1, 1, 2009, 10.0), (2, 2, 2009, 20.0)",
+    )
+    .unwrap();
+    let cube = CubeDef {
+        name: "streamcube".into(),
+        fact_table: "fact_sales".into(),
+        dimensions: vec![
+            DimensionDef {
+                name: "geo".into(),
+                table: Some("dim_store".into()),
+                fact_fk: "store_id".into(),
+                dim_key: "store_id".into(),
+                levels: vec![LevelDef {
+                    name: "region".into(),
+                    column: "region".into(),
+                }],
+            },
+            DimensionDef {
+                name: "time".into(),
+                table: None,
+                fact_fk: String::new(),
+                dim_key: String::new(),
+                levels: vec![LevelDef {
+                    name: "year".into(),
+                    column: "year".into(),
+                }],
+            },
+        ],
+        measures: vec![
+            MeasureDef {
+                name: "revenue".into(),
+                column: "amount".into(),
+                aggregator: Aggregator::Sum,
+            },
+            MeasureDef {
+                name: "orders".into(),
+                column: "id".into(),
+                aggregator: Aggregator::Count,
+            },
+        ],
+    };
+    p.register_cube("acme", &token, cube.clone()).unwrap();
+    p.materialize_aggregate(
+        "acme",
+        &token,
+        "streamcube",
+        vec![LevelRef::new("geo", "region")],
+        vec!["revenue".into(), "orders".into()],
+    )
+    .unwrap();
+    p.materialize_aggregate(
+        "acme",
+        &token,
+        "streamcube",
+        vec![LevelRef::new("time", "year")],
+        vec!["revenue".into()],
+    )
+    .unwrap();
+    (p, token, cube)
+}
+
+/// Every maintained aggregate must answer its covering query identically
+/// to a live cube query against the warehouse — fault or no fault.
+fn assert_preaggs_converged(p: &OdbisPlatform, cube: &odbis_olap::CubeDef, ctx: &str) {
+    use odbis_olap::{CubeQuery, LevelRef};
+    let ws = p.workspace("acme").unwrap();
+    for (axes, measures) in [
+        (
+            vec![LevelRef::new("geo", "region")],
+            vec!["revenue".to_string(), "orders".to_string()],
+        ),
+        (
+            vec![LevelRef::new("time", "year")],
+            vec!["revenue".to_string()],
+        ),
+    ] {
+        let q = CubeQuery {
+            axes,
+            slices: vec![],
+            measures,
+        };
+        let maintained = ws
+            .agg_cache
+            .read()
+            .try_answer("streamcube", &q)
+            .unwrap_or_else(|| panic!("aggregate vanished or stayed stale ({ctx})"));
+        let live = ws.cubes.query(cube, &q).unwrap();
+        assert_eq!(
+            maintained.cells, live.cells,
+            "maintained aggregate diverged from warehouse ({ctx})"
+        );
+    }
+}
+
+/// Random warehouse writes while `esb.dispatch` faults under `spec`:
+/// after every write the aggregates must equal a live query. Returns the
+/// workspace delta counters for the caller's fault-specific assertions.
+fn run_delta_chaos_case(case: &str, spec: &str, seed: u64) -> (u64, usize) {
+    let _x = odbis_chaos::exclusive();
+    odbis_chaos::clear();
+    eprintln!("chaos case {case} seed={seed} (rerun: ODBIS_CHAOS_SEED={seed})");
+    let (p, token, cube) = delta_platform();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    odbis_chaos::apply_spec(spec).unwrap();
+    let mut next_id = 3i64;
+    for step in 0..20 {
+        let roll = rng.random_range(0..10i64);
+        if roll < 7 {
+            let store = rng.random_range(1..=3i64);
+            let year = rng.random_range(2008..=2012i64);
+            let amount = rng.random_range(10..5_000i64) as f64 / 10.0;
+            p.sql(
+                "acme",
+                &token,
+                &format!("INSERT INTO fact_sales VALUES ({next_id}, {store}, {year}, {amount:?})"),
+            )
+            .unwrap();
+            next_id += 1;
+        } else if roll < 9 {
+            let id = rng.random_range(1..next_id);
+            let amount = rng.random_range(10..5_000i64) as f64 / 10.0;
+            p.sql(
+                "acme",
+                &token,
+                &format!("UPDATE fact_sales SET amount = {amount:?} WHERE id = {id}"),
+            )
+            .unwrap();
+        } else {
+            let id = rng.random_range(1..next_id);
+            p.sql(
+                "acme",
+                &token,
+                &format!("DELETE FROM fact_sales WHERE id = {id}"),
+            )
+            .unwrap();
+        }
+        assert_preaggs_converged(&p, &cube, &format!("{case}, step {step}, seed {seed}"));
+    }
+    odbis_chaos::clear();
+    let ws = p.workspace("acme").unwrap();
+    let redeliveries = ws.bus.redelivery_count();
+    let dead = ws
+        .bus
+        .take_dead_letters()
+        .into_iter()
+        .filter(|m| m.header("seq").is_some())
+        .count();
+    (redeliveries, dead)
+}
+
+/// Hard drop: every dispatch attempt fails, so every delta event
+/// dead-letters. The publish path's loss check must rebuild and resync —
+/// the aggregates stay exactly consistent with the warehouse throughout.
+#[test]
+fn dropped_delta_events_never_diverge_preaggs() {
+    let (_, dead) = run_delta_chaos_case("delta-drop", "esb.dispatch=return-err", seed());
+    assert!(dead > 0, "no delta event was ever dropped — failpoint dead");
+}
+
+/// Flaky dispatch: some attempts fail and are redelivered (at-least-once),
+/// some messages exhaust their budget and drop. Sequence numbers keep the
+/// redeliveries idempotent and the gap/tail checks repair the drops.
+#[test]
+fn flaky_delta_dispatch_redelivers_without_divergence() {
+    let (redeliveries, _) =
+        run_delta_chaos_case("delta-flaky", "esb.dispatch=err-every-nth(2)", seed());
+    assert!(
+        redeliveries > 0,
+        "the flaky dispatcher never exercised redelivery"
+    );
+}
+
+/// Probabilistic dispatch faults layered over WAL write faults: the delta
+/// source (the WAL ack) and the delta transport (the bus) failing together
+/// must still never produce a divergent cell for acknowledged writes.
+#[test]
+fn combined_wal_and_dispatch_faults_never_diverge_preaggs() {
+    let _x = odbis_chaos::exclusive();
+    odbis_chaos::clear();
+    let s = seed();
+    eprintln!("chaos case delta-combined seed={s} (rerun: ODBIS_CHAOS_SEED={s})");
+    let (p, token, cube) = delta_platform();
+    let mut rng = StdRng::seed_from_u64(s);
+    odbis_chaos::apply_spec(&format!(
+        "esb.dispatch=err-with-prob(0.3,{s});wal.write=err-with-prob(0.15,{})",
+        s.wrapping_add(1)
+    ))
+    .unwrap();
+    let mut acked = 0;
+    for step in 0..20i64 {
+        let next_id = 3 + step;
+        let store = rng.random_range(1..=3i64);
+        let amount = rng.random_range(10..5_000i64) as f64 / 10.0;
+        // in-memory workspaces have no WAL, so wal.write faults here hit
+        // other machinery; the write itself may still fail structurally —
+        // only acknowledged writes owe the convergence guarantee
+        if p.sql(
+            "acme",
+            &token,
+            &format!("INSERT INTO fact_sales VALUES ({next_id}, {store}, 2010, {amount:?})"),
+        )
+        .is_ok()
+        {
+            acked += 1;
+        }
+        assert_preaggs_converged(&p, &cube, &format!("delta-combined, step {step}, seed {s}"));
+    }
+    odbis_chaos::clear();
+    assert!(acked > 0, "no insert was ever acknowledged");
+}
+
+/// The five platform invariants (durability, recovery, isolation,
+/// monotonic metering, structured errors) hold with the delta dispatcher
+/// faulting underneath the whole workload.
+#[test]
+fn platform_invariants_hold_under_esb_dispatch_faults() {
+    run_platform_case("esb", "esb.dispatch=err-every-nth(2)", 3, seed());
+}
+
+/// Same, with dispatch and WAL fsync faults combined — the full matrix
+/// corner where the delta source and transport degrade at once.
+#[test]
+fn platform_invariants_hold_under_combined_dispatch_and_wal_faults() {
+    run_platform_case(
+        "esb-wal",
+        "esb.dispatch=err-every-nth(3);wal.fsync=err-every-nth(4)",
+        3,
+        seed(),
+    );
+}
+
+/// A duplicated delta event — redelivered *after* it already applied,
+/// carrying a poison payload that is not in the warehouse — must be
+/// skipped by its sequence number. If idempotency ever regressed, the
+/// poison row would fold in and the convergence check would fail.
+#[test]
+fn duplicated_delta_events_are_idempotent() {
+    use odbis::DELTA_CHANNEL;
+    use odbis_esb::Message;
+    use odbis_storage::jsoncodec::record_to_json;
+    use odbis_storage::wal::WalRecord;
+
+    let _x = odbis_chaos::exclusive();
+    odbis_chaos::clear();
+    let (p, token, cube) = delta_platform();
+    let ws = p.workspace("acme").unwrap();
+
+    // one clean insert so the cache sits at some applied sequence n
+    p.sql(
+        "acme",
+        &token,
+        "INSERT INTO fact_sales VALUES (3, 3, 2011, 55.5)",
+    )
+    .unwrap();
+    let n = ws.agg_cache.read().last_seq();
+    assert!(n > 0, "the insert's delta never reached the cache");
+
+    // replay sequences n, n-1 … 1 with a poison row the warehouse never
+    // saw: every one is a duplicate and must be skipped wholesale
+    let poison = record_to_json(&WalRecord::Insert {
+        table: "fact_sales".into(),
+        row: vec![
+            Value::Int(999),
+            Value::Int(1),
+            Value::Int(2011),
+            Value::Float(1_000_000.0),
+        ],
+    })
+    .to_string();
+    for dup_seq in (1..=n).rev() {
+        ws.bus
+            .send(
+                DELTA_CHANNEL,
+                Message::json(poison.clone())
+                    .with_header("seq", dup_seq.to_string())
+                    .with_header("table", "fact_sales"),
+            )
+            .unwrap();
+        ws.bus.pump().unwrap();
+        assert_preaggs_converged(&p, &cube, &format!("duplicate seq {dup_seq} of {n}"));
+    }
+    assert_eq!(
+        ws.agg_cache.read().last_seq(),
+        n,
+        "a duplicate must never advance the applied sequence"
+    );
+
+    // and the pipeline still works after the duplicate storm
+    p.sql(
+        "acme",
+        &token,
+        "INSERT INTO fact_sales VALUES (4, 2, 2012, 12.25)",
+    )
+    .unwrap();
+    assert_preaggs_converged(&p, &cube, "post-duplicate insert");
+}
+
 /// The new chaos telemetry rides the normal metrics scrape: triggered
 /// fault counts and retry counts are exported in Prometheus text format.
 #[test]

@@ -439,3 +439,106 @@ fn noisy_tenant_throttled_while_quiet_tenant_sails_through() {
     );
     server.shutdown();
 }
+
+/// 100 parked long-poll watchers on a 2-worker reactor must not starve
+/// the pool: a parked watcher costs a file descriptor, not a worker
+/// thread, so unrelated requests keep flowing underneath, and one commit
+/// wakes every watcher with the same new cursor.
+#[test]
+fn hundred_parked_watchers_do_not_starve_the_worker_pool() {
+    use odbis_metadata::DataSet;
+    use odbis_web::Backend;
+
+    const WATCHERS: usize = 100;
+
+    let platform = Arc::new(OdbisPlatform::new());
+    platform
+        .provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+        .unwrap();
+    let token = platform.login("acme", "root", "pw").unwrap();
+    platform
+        .sql("acme", &token, "CREATE TABLE ticks (id INT, v INT)")
+        .unwrap();
+    platform
+        .define_dataset(
+            "acme",
+            &token,
+            DataSet {
+                name: "tick_sum".into(),
+                source: "warehouse".into(),
+                sql: "SELECT SUM(v) AS s FROM ticks".into(),
+                description: String::new(),
+            },
+        )
+        .unwrap();
+
+    // the reactor backend is the one that parks watchers off-thread; two
+    // workers would deadlock immediately if watchers held worker threads
+    let server = odbis_web::HttpServer::builder(build_router(Arc::clone(&platform)))
+        .workers(2)
+        .backend(Backend::Reactor)
+        .start()
+        .unwrap();
+    let addr = server.addr().to_string();
+
+    let hub = Arc::clone(&platform.workspace("acme").unwrap().watch);
+    let cursor = hub.cursor();
+    let watchers: Vec<_> = (0..WATCHERS)
+        .map(|i| {
+            let addr = addr.clone();
+            let bearer = format!("Bearer {token}");
+            std::thread::spawn(move || {
+                let (status, headers, body) = http_request(
+                    &addr,
+                    "GET",
+                    &format!("/api/v1/datasets/tick_sum/watch?cursor={cursor}&timeout_ms=30000"),
+                    &[("x-tenant", "acme"), ("Authorization", bearer.as_str())],
+                    b"",
+                )
+                .unwrap_or_else(|e| panic!("watcher {i} reset: {e}"));
+                (status, headers, body)
+            })
+        })
+        .collect();
+
+    // all 100 must park (none served a premature answer, none rejected)
+    let parked_deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while hub.parked() < WATCHERS {
+        assert!(
+            std::time::Instant::now() < parked_deadline,
+            "only {} of {WATCHERS} watchers parked",
+            hub.parked()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // the pool is not starved: unrelated traffic is served while every
+    // watcher is parked
+    for i in 0..10 {
+        let (status, body) = http_get(&addr, "/api/v1/health").unwrap();
+        assert_eq!(status, 200, "probe {i} starved: {body}");
+    }
+
+    // one commit wakes the whole crowd
+    platform
+        .sql("acme", &token, "INSERT INTO ticks VALUES (1, 7)")
+        .unwrap();
+    let mut cursors = std::collections::BTreeSet::new();
+    for (i, w) in watchers.into_iter().enumerate() {
+        let (status, headers, body) = w.join().expect("watcher panicked");
+        assert_eq!(status, 200, "watcher {i}: {body}");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["changed"], true, "watcher {i}: {body}");
+        let c = v["cursor"].as_u64().unwrap();
+        assert!(c > cursor, "watcher {i} got a stale cursor {c}");
+        assert_eq!(headers["x-watch-cursor"], c.to_string(), "watcher {i}");
+        cursors.insert(c);
+    }
+    assert_eq!(
+        cursors.len(),
+        1,
+        "every watcher sees the same committed version: {cursors:?}"
+    );
+    assert_eq!(hub.parked(), 0, "no watcher left behind");
+    server.shutdown();
+}
