@@ -161,6 +161,9 @@ impl PlatformConfig {
                 ConfigValue::Int(limit_default("ODBIS_LIMITS_QUEUE_DEPTH", 64)),
             ),
             ("delivery.mobile_row_cap", ConfigValue::Int(20)),
+            // shard router: answer non-local tenants with 307 + Location
+            // instead of proxying to the owner node
+            ("cluster.redirect", ConfigValue::Bool(false)),
             ("security.session_minutes", ConfigValue::Int(30)),
             ("platform.name", ConfigValue::from("ODBIS")),
         ] {

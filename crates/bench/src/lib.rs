@@ -8,5 +8,6 @@
 pub mod concurrency;
 pub mod http;
 pub mod persist;
+pub mod sharding;
 pub mod streaming;
 pub mod workloads;

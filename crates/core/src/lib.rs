@@ -30,12 +30,14 @@
 
 #![warn(missing_docs)]
 
+mod cluster;
 mod context;
 mod error;
 mod platform;
 mod watch;
 mod web_api;
 
+pub use cluster::{Cluster, ClusterMap, ClusterNode, ClusterRoute, MigrationReport};
 pub use context::ApplicationContext;
 pub use error::{PlatformError, PlatformResult};
 pub use platform::{DeltaPublication, OdbisPlatform, TenantWorkspace, DELTA_CHANNEL};

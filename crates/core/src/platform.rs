@@ -31,6 +31,7 @@ use odbis_telemetry::Telemetry;
 use odbis_tenancy::{ServiceKind, SubscriptionPlan, TenantRegistry, UsageMeter};
 use parking_lot::{Mutex, RwLock};
 
+use crate::cluster::{Cluster, ClusterMap, ClusterNode, ClusterRoute};
 use crate::context::ApplicationContext;
 use crate::error::{PlatformError, PlatformResult};
 use crate::watch::WatchHub;
@@ -467,6 +468,15 @@ pub struct OdbisPlatform {
     sql_rows: Engine,
     workspaces: Arc<RwLock<HashMap<String, Arc<TenantWorkspace>>>>,
     data_dir: Option<PathBuf>,
+    /// Cluster membership, `None` for a standalone node. Set once by
+    /// [`OdbisPlatform::join_cluster`].
+    cluster: RwLock<Option<ClusterNode>>,
+    /// Per-tenant migration write fences. Every gated call holds the
+    /// tenant's fence for reading (recursively — nested gated calls on
+    /// one thread must not self-deadlock behind a waiting writer);
+    /// migration cutover holds it for writing, which drains in-flight
+    /// calls and blocks new ones for the duration of the flip.
+    fences: Mutex<HashMap<String, Arc<RwLock<()>>>>,
 }
 
 impl Default for OdbisPlatform {
@@ -525,7 +535,79 @@ impl OdbisPlatform {
             sql_rows: Engine::with_row_execution(),
             workspaces,
             data_dir,
+            cluster: RwLock::new(None),
+            fences: Mutex::new(HashMap::new()),
         }
+    }
+
+    // ---- clustering ----------------------------------------------------------
+
+    /// Join an in-process cluster as `node_id`: requests for tenants this
+    /// node does not own will be proxied (or redirected) to their owner
+    /// by the web layer, and this node becomes a valid migration
+    /// source/target for the fabric.
+    pub fn join_cluster(&self, node_id: &str, map: Arc<ClusterMap>, fabric: std::sync::Weak<Cluster>) {
+        *self.cluster.write() = Some(ClusterNode {
+            node_id: node_id.to_string(),
+            map,
+            fabric,
+        });
+    }
+
+    /// This node's cluster identity and map, `None` when standalone.
+    pub fn cluster_node(&self) -> Option<(String, Arc<ClusterMap>)> {
+        self.cluster
+            .read()
+            .as_ref()
+            .map(|n| (n.node_id.clone(), Arc::clone(&n.map)))
+    }
+
+    /// The cluster fabric this node belongs to, when it is clustered and
+    /// the fabric is still alive.
+    pub fn cluster_fabric(&self) -> Option<Arc<Cluster>> {
+        self.cluster.read().as_ref().and_then(|n| n.fabric.upgrade())
+    }
+
+    /// Route a tenant's request: local when standalone, when this node
+    /// owns the tenant, or when the owner has no usable address (failing
+    /// local yields an honest tenant error rather than a dead proxy).
+    pub fn cluster_route(&self, tenant: &str) -> ClusterRoute {
+        let guard = self.cluster.read();
+        let Some(node) = guard.as_ref() else {
+            return ClusterRoute::Local;
+        };
+        match node.map.owner(tenant) {
+            Some(owner) if owner != node.node_id => {
+                match node.map.addr_of(&owner).filter(|a| !a.is_empty()) {
+                    Some(addr) => ClusterRoute::Remote {
+                        node_id: owner,
+                        addr,
+                    },
+                    None => ClusterRoute::Local,
+                }
+            }
+            _ => ClusterRoute::Local,
+        }
+    }
+
+    /// The per-tenant migration fence (created on first use). Gated
+    /// calls take it for reading; migration cutover takes it for
+    /// writing.
+    pub fn tenant_fence(&self, tenant: &str) -> Arc<RwLock<()>> {
+        Arc::clone(
+            self.fences
+                .lock()
+                .entry(tenant.to_string())
+                .or_insert_with(|| Arc::new(RwLock::new(()))),
+        )
+    }
+
+    /// The data directory this platform journals tenants under (`None`
+    /// for in-memory platforms). Migration stages its shipped bytes in
+    /// `data_dir()/<tenant>` before [`OdbisPlatform::attach_workspace`]
+    /// recovers them.
+    pub fn data_dir(&self) -> Option<&std::path::Path> {
+        self.data_dir.as_deref()
     }
 
     // ---- tenancy -------------------------------------------------------------
@@ -540,8 +622,34 @@ impl OdbisPlatform {
         admin_user: &str,
         admin_password: &str,
     ) -> PlatformResult<()> {
+        self.provision_identity(id, display_name, plan, admin_user, admin_password)?;
+        self.attach_workspace(id)
+    }
+
+    /// Provision only the tenant's identity: registry entry, security
+    /// realm with the standard roles, first admin user — no workspace.
+    /// The cluster fabric provisions identity on every node (so logins
+    /// and authorization work wherever a request lands) but a workspace
+    /// only on the owner node.
+    pub fn provision_identity(
+        &self,
+        id: &str,
+        display_name: &str,
+        plan: SubscriptionPlan,
+        admin_user: &str,
+        admin_password: &str,
+    ) -> PlatformResult<()> {
         self.admin
             .provision_tenant(id, display_name, plan, admin_user, admin_password)?;
+        Ok(())
+    }
+
+    /// Build (or recover) the tenant's workspace and attach it to this
+    /// node. On a durable platform the workspace roots at
+    /// `data_dir/<tenant>`, so attaching over a directory staged by a
+    /// migration recovers exactly the shipped state — the recovery path
+    /// re-verifies every WAL frame and segment CRC as it replays.
+    pub fn attach_workspace(&self, id: &str) -> PlatformResult<()> {
         let ws = match &self.data_dir {
             Some(root) => {
                 let policy = FsyncPolicy::parse(
@@ -570,6 +678,15 @@ impl OdbisPlatform {
         };
         self.workspaces.write().insert(id.to_string(), ws);
         Ok(())
+    }
+
+    /// Detach a tenant's workspace from this node (migration cutover:
+    /// the source stops serving the tenant). The identity stays — the
+    /// registry entry and realm keep answering authorization so a
+    /// late request fails with a routing-level error, not a phantom
+    /// "unknown tenant". Returns the detached workspace, if any.
+    pub fn detach_workspace(&self, id: &str) -> Option<Arc<TenantWorkspace>> {
+        self.workspaces.write().remove(id)
     }
 
     // ---- durability ----------------------------------------------------------
@@ -693,6 +810,14 @@ impl OdbisPlatform {
         operation: &'static str,
         f: impl FnOnce(&mut odbis_telemetry::Span) -> PlatformResult<R>,
     ) -> PlatformResult<R> {
+        // The migration fence: held for reading across the whole gated
+        // call, so a cutover (which takes it for writing) observes every
+        // in-flight call to completion before flipping ownership — an
+        // acknowledged write is either in the shipped WAL tail or never
+        // acknowledged. Recursive, so a gated call nested inside another
+        // never deadlocks behind a waiting cutover.
+        let fence = self.tenant_fence(tenant);
+        let _gate = fence.read_recursive();
         let mut span = self.trace_root(tenant, service, operation);
         let result = f(&mut span);
         if result.is_err() {

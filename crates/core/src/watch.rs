@@ -131,6 +131,14 @@ impl WatchHub {
     /// otherwise it parks until a matching [`WatchHub::bump`] or until
     /// `timeout`, whichever comes first (on timeout the subscriber's own
     /// cursor is echoed back with `changed: false`).
+    ///
+    /// A cursor from *ahead* of the hub's current version — a client that
+    /// outlived a node restart, or kept polling across a migration onto a
+    /// node whose hub counter restarted — can never be satisfied by a
+    /// future bump and used to park until timeout as if it were
+    /// up-to-date. It now completes immediately with `changed: true` and
+    /// the hub's authoritative cursor, so the client re-reads its dataset
+    /// and resynchronizes instead of silently missing every update.
     pub fn subscribe(
         self: &Arc<Self>,
         tables: Vec<String>,
@@ -138,6 +146,14 @@ impl WatchHub {
         timeout: Duration,
         complete: Completer,
     ) {
+        let current = self.version.load(Ordering::Acquire);
+        if cursor > current {
+            complete(WatchOutcome {
+                changed: true,
+                cursor: current,
+            });
+            return;
+        }
         let tables: Vec<String> = tables.iter().map(|t| t.to_ascii_lowercase()).collect();
         let newest = {
             let mut state = self.state.lock();
@@ -286,9 +302,39 @@ mod tests {
         assert_eq!(hub.parked(), 1);
     }
 
+    /// A cursor ahead of the hub (restart / migration reset the counter)
+    /// must answer immediately with the authoritative cursor instead of
+    /// parking until timeout.
+    #[test]
+    fn future_cursor_resyncs_immediately() {
+        let hub = Arc::new(WatchHub::new());
+        let v = hub.bump(&["orders"]); // hub is now at version 1
+        let (tx, rx) = mpsc::channel();
+        hub.subscribe(
+            vec!["orders".into()],
+            v + 1_000, // a cursor from a previous life of the counter
+            Duration::from_secs(60),
+            completer(tx),
+        );
+        let o = rx.try_recv().expect("must complete synchronously");
+        assert_eq!(o, WatchOutcome { changed: true, cursor: v });
+        assert_eq!(hub.parked(), 0);
+        // a fresh hub at version 0 answers a stale-high cursor with 0
+        let hub = Arc::new(WatchHub::new());
+        let (tx, rx) = mpsc::channel();
+        hub.subscribe(vec!["t".into()], 7, Duration::from_secs(60), completer(tx));
+        let o = rx.try_recv().expect("must complete synchronously");
+        assert_eq!(o, WatchOutcome { changed: true, cursor: 0 });
+    }
+
     #[test]
     fn timeout_echoes_the_cursor_back() {
         let hub = Arc::new(WatchHub::new());
+        let mut v = 0;
+        for _ in 0..7 {
+            v = hub.bump(&["other"]);
+        }
+        assert_eq!(v, 7);
         let (tx, rx) = mpsc::channel();
         hub.subscribe(
             vec!["orders".into()],

@@ -44,6 +44,7 @@ use std::sync::Arc;
 
 use odbis_web::{HttpRequest, HttpResponse, Method, PathParams, Router};
 
+use crate::cluster::ClusterRoute;
 use crate::error::PlatformError;
 use crate::platform::OdbisPlatform;
 
@@ -224,6 +225,85 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
                 401,
                 "unauthorized",
                 "x-tenant plus Authorization: Bearer <token> (or x-token) required",
+            )),
+        }
+    });
+
+    // shard-router filter: on a clustered node, requests for tenants
+    // another node owns are proxied to their owner (or answered with a
+    // 307 redirect when the tenant sets `cluster.redirect = true`).
+    // Login bodies are parsed for their tenant so a client can log in
+    // against any node and still land on the owner's realm (where the
+    // minted session must live); health, metrics, the API index and the
+    // failpoint registry (process-global anyway) answer locally.
+    // Tenant-authenticated admin routes — cluster status included —
+    // follow the tenant to its owner, because that is the only node
+    // whose realm can resolve the caller's session.
+    let p = Arc::clone(&platform);
+    router.filter(move |req| {
+        p.cluster_node()?;
+        const NODE_LOCAL: [&str; 5] = [
+            "/health",
+            "/api/v1",
+            "/api/v1/health",
+            "/api/v1/metrics",
+            "/api/v1/admin/failpoints",
+        ];
+        if NODE_LOCAL.contains(&req.path.as_str()) {
+            return None;
+        }
+        let tenant = match req.attributes.get("tenant") {
+            Some(t) => t.clone(),
+            None if req.path == "/login" || req.path == "/api/v1/login" => {
+                parse_login(&req.body_text())?.0
+            }
+            None => return None,
+        };
+        let ClusterRoute::Remote { node_id: owner, addr } = p.cluster_route(&tenant) else {
+            return None;
+        };
+        let mut target = req.path.clone();
+        if !req.query.is_empty() {
+            let qs: Vec<String> = req
+                .query
+                .iter()
+                .map(|(k, v)| format!("{}={}", encode_query(k), encode_query(v)))
+                .collect();
+            target = format!("{target}?{}", qs.join("&"));
+        }
+        if matches!(
+            p.admin.config.get(&tenant, "cluster.redirect"),
+            Ok(odbis_admin::ConfigValue::Bool(true))
+        ) {
+            return Some(
+                HttpResponse::status(307)
+                    .with_header("Location", &format!("http://{addr}{target}"))
+                    .with_header("X-Odbis-Owner", &owner)
+                    .with_body(String::new()),
+            );
+        }
+        let mut fwd: Vec<(&str, &str)> = Vec::new();
+        for h in ["x-tenant", "x-token", "authorization", "content-type", "accept", "x-request-id"] {
+            if let Some(v) = req.header(h) {
+                fwd.push((h, v));
+            }
+        }
+        match odbis_web::http_request(&addr, req.method.as_str(), &target, &fwd, &req.body) {
+            Ok((status, headers, body)) => {
+                let mut resp = HttpResponse::status(status)
+                    .with_header("X-Odbis-Owner", &owner)
+                    .with_body(body);
+                for h in ["content-type", "x-watch-cursor", "retry-after", "deprecation", "link"] {
+                    if let Some(v) = headers.get(h) {
+                        resp = resp.with_header(h, v);
+                    }
+                }
+                Some(resp)
+            }
+            Err(e) => Some(error_envelope(
+                502,
+                "bad_gateway",
+                &format!("proxy to {owner} ({addr}) failed: {e}"),
             )),
         }
     });
@@ -624,7 +704,131 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
         },
     );
 
+    let p = Arc::clone(&platform);
+    api.canonical(
+        Method::Get,
+        "/api/v1/admin/cluster",
+        "ADMIN_CONFIG",
+        move |req, _| {
+            let (tenant, token) = creds(req);
+            if let Err(e) = p.authorize(&tenant, &token, "ADMIN_CONFIG") {
+                return error_response(&e);
+            }
+            let Some((node_id, map)) = p.cluster_node() else {
+                return HttpResponse::json(
+                    serde_json::json!({
+                        "clustered": false,
+                        "node": serde_json::Value::Null,
+                        "epoch": 0,
+                        "nodes": serde_json::Value::Array(Vec::new()),
+                        "pins": serde_json::Value::Object(serde_json::Map::new()),
+                    })
+                    .to_string(),
+                );
+            };
+            let nodes: Vec<serde_json::Value> = map
+                .nodes()
+                .into_iter()
+                .map(|(id, addr)| {
+                    serde_json::json!({ "id": id, "addr": addr, "local": id == node_id })
+                })
+                .collect();
+            let pins = serde_json::Value::Object(
+                map.pins()
+                    .into_iter()
+                    .map(|(t, n)| (t, serde_json::Value::String(n)))
+                    .collect(),
+            );
+            HttpResponse::json(
+                serde_json::json!({
+                    "clustered": true,
+                    "node": node_id,
+                    "epoch": map.epoch(),
+                    "nodes": nodes,
+                    "pins": pins,
+                })
+                .to_string(),
+            )
+        },
+    );
+
+    let p = Arc::clone(&platform);
+    api.canonical(
+        Method::Post,
+        "/api/v1/admin/migrate",
+        "ADMIN_CONFIG",
+        move |req, _| {
+            let (tenant, token) = creds(req);
+            if let Err(e) = p.authorize(&tenant, &token, "ADMIN_CONFIG") {
+                return error_response(&e);
+            }
+            let body: serde_json::Value = match serde_json::from_str(&req.body_text()) {
+                Ok(v) => v,
+                Err(_) => {
+                    return error_envelope(
+                        400,
+                        "bad_request",
+                        "body must be JSON {\"target\": \"<node id>\"}",
+                    )
+                }
+            };
+            let Some(target) = body.get("target").and_then(|v| v.as_str()) else {
+                return error_envelope(400, "bad_request", "missing \"target\" node id");
+            };
+            // migration is tenant-scoped: the authenticated admin moves
+            // their own tenant, so the shard router has already landed
+            // this request on the source node
+            if let Some(t) = body.get("tenant").and_then(|v| v.as_str()) {
+                if t != tenant {
+                    return error_envelope(
+                        403,
+                        "security",
+                        "a tenant admin can only migrate their own tenant",
+                    );
+                }
+            }
+            let Some(fabric) = p.cluster_fabric() else {
+                return error_envelope(
+                    503,
+                    "unavailable",
+                    "this node is not part of a cluster fabric",
+                );
+            };
+            match fabric.migrate(&tenant, target) {
+                Ok(r) => HttpResponse::json(
+                    serde_json::json!({
+                        "tenant": r.tenant,
+                        "from": r.from,
+                        "to": r.to,
+                        "checkpointLsn": r.checkpoint_lsn,
+                        "tailFrames": r.tail_frames,
+                        "tailLastLsn": r.tail_last_lsn,
+                        "sessionsAdopted": r.sessions_adopted,
+                        "epoch": r.epoch,
+                    })
+                    .to_string(),
+                ),
+                Err(e) => error_response(&e),
+            }
+        },
+    );
+
     api.finish()
+}
+
+/// Percent-encode a query key/value for the proxy's re-assembled
+/// request line (the router stores them decoded).
+fn encode_query(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
 }
 
 /// Serve the platform API over HTTP with the platform's per-tenant
@@ -1202,5 +1406,154 @@ mod tests {
         let (status, _, _) = with_auth(&addr, "POST", "/api/v1/admin/failpoints", "forged", spec);
         assert_eq!(status, 403);
         odbis_chaos::clear();
+    }
+
+    fn cluster_tmp(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "odbis-webapi-cluster-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    /// The tentpole end to end over real HTTP: a two-node cluster where
+    /// the non-owner proxies to the owner, `/api/v1/admin/cluster`
+    /// reports the map, `POST /api/v1/admin/migrate` moves the live
+    /// tenant, and afterwards the old owner transparently proxies to the
+    /// new one — same token, no lost rows.
+    #[test]
+    fn cluster_routes_proxies_and_migrates_over_http() {
+        let root = cluster_tmp("e2e");
+        let fabric = crate::Cluster::new();
+        let node_a = fabric.add_node("node-a", root.join("a")).unwrap();
+        let node_b = fabric.add_node("node-b", root.join("b")).unwrap();
+        let srv_a = HttpServer::start(build_router(Arc::clone(&node_a)), 2).unwrap();
+        let srv_b = HttpServer::start(build_router(Arc::clone(&node_b)), 2).unwrap();
+        fabric.map().set_addr("node-a", &srv_a.addr().to_string());
+        fabric.map().set_addr("node-b", &srv_b.addr().to_string());
+
+        let owner = fabric
+            .provision_tenant("acme", "Acme", SubscriptionPlan::standard(), "root", "pw")
+            .unwrap();
+        let (owner_addr, other_addr, other_id) = if owner == "node-a" {
+            (srv_a.addr().to_string(), srv_b.addr().to_string(), "node-b")
+        } else {
+            (srv_b.addr().to_string(), srv_a.addr().to_string(), "node-a")
+        };
+
+        // login lands on the owner's realm no matter which node takes it
+        let (status, body) = odbis_web::http_post(
+            &other_addr,
+            "/api/v1/login",
+            "{\"tenant\":\"acme\",\"user\":\"root\",\"password\":\"pw\"}",
+        )
+        .unwrap();
+        assert_eq!(status, 200, "proxied login: {body}");
+        let token = serde_json::from_str::<serde_json::Value>(&body).unwrap()["token"]
+            .as_str()
+            .unwrap()
+            .to_string();
+
+        // writes through the non-owner are proxied (and marked as such)
+        let (status, headers, body) = http_request(
+            &other_addr,
+            "POST",
+            "/api/v1/sql",
+            &[("x-tenant", "acme"), ("x-token", &token)],
+            b"CREATE TABLE kv (k INT, v TEXT)",
+        )
+        .unwrap();
+        assert_eq!(status, 200, "proxied create: {body}");
+        assert_eq!(headers.get("x-odbis-owner").map(String::as_str), Some(owner.as_str()));
+        for i in 0..4 {
+            let (status, _, _) = http_request(
+                &other_addr,
+                "POST",
+                "/api/v1/sql",
+                &[("x-tenant", "acme"), ("x-token", &token)],
+                format!("INSERT INTO kv VALUES ({i}, 'v{i}')").as_bytes(),
+            )
+            .unwrap();
+            assert_eq!(status, 200);
+        }
+        // ... and the same request on the owner is served locally
+        let (status, headers, _) = http_request(
+            &owner_addr,
+            "POST",
+            "/api/v1/sql",
+            &[("x-tenant", "acme"), ("x-token", &token)],
+            b"SELECT COUNT(*) FROM kv",
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert!(!headers.contains_key("x-odbis-owner"));
+
+        // the cluster map is visible from any node
+        let (status, _, body) = http_request(
+            &other_addr,
+            "GET",
+            "/api/v1/admin/cluster",
+            &[("x-tenant", "acme"), ("x-token", &token)],
+            b"",
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v["clustered"], true);
+        assert_eq!(v["nodes"].as_array().unwrap().len(), 2);
+
+        // live migration to the other node, requested over HTTP
+        let (status, _, body) = http_request(
+            &owner_addr,
+            "POST",
+            "/api/v1/admin/migrate",
+            &[("x-tenant", "acme"), ("x-token", &token)],
+            format!("{{\"target\":\"{other_id}\"}}").as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "migrate: {body}");
+        let report: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(report["from"], owner.as_str());
+        assert_eq!(report["to"], other_id);
+
+        // the old owner now proxies to the new one; the session survived
+        let (status, headers, body) = http_request(
+            &owner_addr,
+            "POST",
+            "/api/v1/sql",
+            &[("x-tenant", "acme"), ("x-token", &token)],
+            b"SELECT COUNT(*) FROM kv",
+        )
+        .unwrap();
+        assert_eq!(status, 200, "post-migration query: {body}");
+        assert_eq!(headers.get("x-odbis-owner").map(String::as_str), Some(other_id));
+        assert!(body.contains('4'), "all four rows survived: {body}");
+
+        // redirect mode: the tenant opts out of proxying
+        node_a
+            .admin
+            .config
+            .set_for_tenant("acme", "cluster.redirect", true.into())
+            .unwrap();
+        node_b
+            .admin
+            .config
+            .set_for_tenant("acme", "cluster.redirect", true.into())
+            .unwrap();
+        let (status, headers, _) = http_request(
+            &owner_addr,
+            "POST",
+            "/api/v1/sql",
+            &[("x-tenant", "acme"), ("x-token", &token)],
+            b"SELECT COUNT(*) FROM kv",
+        )
+        .unwrap();
+        assert_eq!(status, 307);
+        assert!(headers["location"].contains("/api/v1/sql"));
+
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -356,6 +356,33 @@ impl SecurityManager {
             .count()
     }
 
+    /// Every live (non-expired) session, cloned out of the map. Used by
+    /// tenant live-migration to hand a realm's sessions to the target
+    /// node's realm ([`SecurityManager::adopt_session`]) so tokens a
+    /// client already holds keep authenticating after cutover.
+    pub fn active_sessions(&self) -> Vec<Session> {
+        self.inner
+            .lock()
+            .sessions
+            .values()
+            .filter(|s| !s.expired())
+            .cloned()
+            .collect()
+    }
+
+    /// Adopt a session minted by another realm instance of the same
+    /// tenant. The remaining TTL travels with the session (its `created`
+    /// instant is preserved), so adoption never extends a lifetime.
+    pub fn adopt_session(&self, session: Session) {
+        let mut inner = self.inner.lock();
+        inner.audit.push(AuditEvent {
+            kind: "SESSION_ADOPTED".into(),
+            principal: session.username.clone(),
+            detail: String::new(),
+        });
+        inner.sessions.insert(session.token.clone(), session);
+    }
+
     /// Close a session.
     pub fn logout(&self, token: &str) {
         let mut inner = self.inner.lock();
@@ -519,6 +546,29 @@ mod tests {
             sm.authenticate("forged-token").unwrap_err(),
             SecurityError::InvalidSession
         );
+    }
+
+    /// Migration hand-off: a session minted on one realm authenticates on
+    /// another after adoption, with its TTL clock preserved.
+    #[test]
+    fn adopted_sessions_authenticate_on_the_target_realm() {
+        let source = realm();
+        let target = realm();
+        let s = source.login("alice", "alice-pw").unwrap();
+        assert_eq!(
+            target.authenticate(&s.token).unwrap_err(),
+            SecurityError::InvalidSession
+        );
+        for session in source.active_sessions() {
+            target.adopt_session(session);
+        }
+        assert_eq!(target.authenticate(&s.token).unwrap(), "alice");
+        // expired sessions are not exported in the first place
+        let mut stale = realm();
+        stale.session_ttl = Duration::from_millis(1);
+        stale.login("bob", "bob-pw").unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(stale.active_sessions().is_empty());
     }
 
     #[test]

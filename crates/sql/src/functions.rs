@@ -203,16 +203,30 @@ impl ScalarFunc {
                 let w = args[1].as_i64().filter(|w| *w > 0).ok_or_else(|| {
                     SqlError::Eval("TUMBLE width must be a positive integer".into())
                 })?;
+                // Flooring toward the earlier edge can push past the type's
+                // minimum (e.g. i64::MIN with width 3 aligns below i64::MIN),
+                // so the multiply back must be checked — overflow is a
+                // caller-visible eval error, never a wrap or a panic.
+                let overflow =
+                    |t: i64| SqlError::Eval(format!("TUMBLE overflow: value {t} with width {w}"));
                 match &args[0] {
                     Value::Timestamp(t) => {
-                        let w_us = w * 1_000_000;
-                        Value::Timestamp(t.div_euclid(w_us) * w_us)
+                        let w_us = w.checked_mul(1_000_000).ok_or_else(|| {
+                            SqlError::Eval(format!("TUMBLE width {w}s overflows microseconds"))
+                        })?;
+                        Value::Timestamp(t.div_euclid(w_us).checked_mul(w_us).ok_or_else(|| overflow(*t))?)
                     }
                     Value::Date(d) => {
-                        let w = w as i32;
-                        Value::Date(d.div_euclid(w) * w)
+                        let w = i32::try_from(w).map_err(|_| {
+                            SqlError::Eval(format!("TUMBLE width {w} is out of range for DATE"))
+                        })?;
+                        Value::Date(
+                            d.div_euclid(w)
+                                .checked_mul(w)
+                                .ok_or_else(|| overflow(i64::from(*d)))?,
+                        )
                     }
-                    Value::Int(i) => Value::Int(i.div_euclid(w) * w),
+                    Value::Int(i) => Value::Int(i.div_euclid(w).checked_mul(w).ok_or_else(|| overflow(*i))?),
                     Value::Float(f) => {
                         let w = w as f64;
                         Value::Float((f / w).floor() * w)
@@ -416,6 +430,48 @@ mod tests {
         assert!(ScalarFunc::Tumble
             .eval(&[Value::Int(5), Value::Int(0)])
             .is_err());
+    }
+
+    /// Alignment at the type extremes: flooring toward the earlier window
+    /// edge must surface `SqlError::Eval` instead of wrapping (release) or
+    /// panicking (debug) when the aligned edge falls below the type minimum.
+    #[test]
+    fn tumble_overflow_at_extremes_is_an_eval_error() {
+        // i64::MIN is not a multiple of 3: the floor edge < i64::MIN
+        for v in [Value::Int(i64::MIN), Value::Timestamp(i64::MIN)] {
+            let err = ScalarFunc::Tumble.eval(&[v, Value::Int(3)]).unwrap_err();
+            assert!(
+                matches!(err, SqlError::Eval(ref m) if m.contains("overflow")),
+                "expected eval overflow, got {err:?}"
+            );
+        }
+        let err = ScalarFunc::Tumble
+            .eval(&[Value::Date(i32::MIN), Value::Int(3)])
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Eval(_)), "got {err:?}");
+        // a multiple of the width at the minimum still aligns exactly
+        assert_eq!(
+            ev(ScalarFunc::Tumble, &[Value::Int(i64::MIN), Value::Int(2)]),
+            Value::Int(i64::MIN)
+        );
+        assert_eq!(
+            ev(ScalarFunc::Tumble, &[Value::Int(i64::MAX), Value::Int(10)]),
+            Value::Int(i64::MAX - 7)
+        );
+        // timestamp widths are scaled to microseconds: a huge width must
+        // error on the scale step, not wrap
+        assert!(ScalarFunc::Tumble
+            .eval(&[Value::Timestamp(0), Value::Int(i64::MAX / 1_000)])
+            .is_err());
+        // DATE widths beyond i32 used to truncate silently
+        assert!(ScalarFunc::Tumble
+            .eval(&[Value::Date(10), Value::Int(i64::from(i32::MAX) + 1)])
+            .is_err());
+        // the vectorized wrapper surfaces the same error
+        use std::sync::Arc;
+        let vals = Arc::new(ColumnVec::from_values(vec![Value::Int(i64::MIN)]));
+        let width = Arc::new(ColumnVec::from_values(vec![Value::Int(3)]));
+        assert!(ScalarFunc::Tumble.eval_columns(&[vals, width], 1).is_err());
     }
 
     #[test]

@@ -926,6 +926,33 @@ mod tests {
         );
     }
 
+    /// The TUMBLE overflow guard holds on both executors: aligning a value
+    /// at the type minimum onto a non-divisor width is an eval error on the
+    /// vectorized and the row engine alike — never a wrap or a panic.
+    #[test]
+    fn tumble_extreme_values_error_on_both_engines() {
+        for engine in [Engine::new(), Engine::with_row_execution()] {
+            let db = Database::new();
+            engine
+                .execute(&db, "CREATE TABLE ev (t BIGINT)")
+                .unwrap();
+            // i64::MIN has no positive literal; build it arithmetically
+            engine
+                .execute(&db, "INSERT INTO ev VALUES (-9223372036854775807 - 1)")
+                .unwrap();
+            let err = engine
+                .execute(&db, "SELECT TUMBLE(t, 3) FROM ev")
+                .unwrap_err();
+            assert!(
+                matches!(err, SqlError::Eval(ref m) if m.contains("overflow")),
+                "expected TUMBLE overflow eval error, got {err:?}"
+            );
+            // a width the minimum divides exactly still evaluates
+            let r = engine.execute(&db, "SELECT TUMBLE(t, 2) FROM ev").unwrap();
+            assert_eq!(r.rows[0][0], Value::Int(i64::MIN));
+        }
+    }
+
     #[test]
     fn referenced_tables_walks_statements() {
         assert_eq!(

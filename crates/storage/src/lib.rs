@@ -62,6 +62,6 @@ pub use value::{
     parse_timestamp, DataType, Value,
 };
 pub use wal::{
-    read_wal, replay_record, CheckpointReport, DurableStore, FsyncPolicy, SnapshotFormat, Wal,
-    WalEntry, WalRecord, WalSink, WalStats,
+    read_wal, replay_record, CheckpointImage, CheckpointReport, DurableStore, FsyncPolicy,
+    SnapshotFormat, Wal, WalEntry, WalRecord, WalSink, WalStats, WalTail,
 };

@@ -20,6 +20,11 @@ use parking_lot::Mutex;
 
 use crate::http::{HttpRequest, HttpResponse};
 
+/// Upper bound on the `Retry-After` advice a 429 carries. A misconfigured
+/// near-zero refill rate must not tell clients to come back in a million
+/// years — an hour is the longest honest "try later" this layer gives.
+pub const MAX_RETRY_AFTER_SECS: u64 = 3_600;
+
 /// The admission limits for one tenant.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TenantLimits {
@@ -139,7 +144,16 @@ impl AdmissionControl {
             Admission::Queued
         } else {
             state.rejected += 1;
-            let secs = ((1.0 - state.tokens) / limits.rate).ceil().max(1.0);
+            // Clamp the advice into [1, MAX_RETRY_AFTER_SECS]: a tiny
+            // configured rate (say 1e-12 req/s) would otherwise compute an
+            // astronomical wait, and the max()/min() chain is NaN-safe —
+            // f64::max/min return the other operand on NaN, so a degenerate
+            // division still yields a sane whole-second answer rather than
+            // `Retry-After: 0` or a saturated u64.
+            let secs = ((1.0 - state.tokens) / limits.rate)
+                .ceil()
+                .max(1.0)
+                .min(MAX_RETRY_AFTER_SECS as f64);
             Admission::Reject {
                 retry_after_secs: secs as u64,
             }
@@ -268,6 +282,58 @@ mod tests {
         let ac = AdmissionControl::with_uniform_limits(TenantLimits::unlimited());
         for _ in 0..1000 {
             assert_eq!(ac.admit("t"), Admission::Admit);
+        }
+    }
+
+    /// `limits.rate = 0` with a zero burst must never divide by zero or
+    /// build a permanent-reject bucket: the zero-rate early return wins
+    /// regardless of the other knobs.
+    #[test]
+    fn zero_rate_with_zero_burst_and_depth_never_rejects() {
+        let ac = AdmissionControl::with_uniform_limits(limits(0.0, 0.0, 0));
+        for _ in 0..100 {
+            assert_eq!(ac.admit("t"), Admission::Admit);
+        }
+        // negative rates (bad config arithmetic upstream) are unlimited too
+        let ac = AdmissionControl::with_uniform_limits(limits(-5.0, 0.0, 0));
+        assert_eq!(ac.admit("t"), Admission::Admit);
+    }
+
+    /// A near-zero refill rate computes an astronomical wait; the advice
+    /// must clamp into [1, MAX_RETRY_AFTER_SECS] instead of truncating a
+    /// huge (or infinite) f64 through `as u64`.
+    #[test]
+    fn tiny_rate_clamps_retry_after() {
+        let ac = AdmissionControl::with_uniform_limits(limits(1e-12, 1.0, 0));
+        assert_eq!(ac.admit("t"), Admission::Admit);
+        match ac.admit("t") {
+            Admission::Reject { retry_after_secs } => {
+                assert!(
+                    (1..=MAX_RETRY_AFTER_SECS).contains(&retry_after_secs),
+                    "unclamped Retry-After: {retry_after_secs}"
+                );
+                assert_eq!(retry_after_secs, MAX_RETRY_AFTER_SECS);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    /// Huge rates stay sane: the bucket holds burst tokens, rejections
+    /// (when queue depth is exhausted) advise at least one whole second,
+    /// and nothing overflows.
+    #[test]
+    fn huge_rate_still_behaves() {
+        let ac = AdmissionControl::with_uniform_limits(limits(1e18, 2.0, 0));
+        assert_eq!(ac.admit("t"), Admission::Admit);
+        assert_eq!(ac.admit("t"), Admission::Admit);
+        // even if a reject happens before any refill, the advice is >= 1
+        let ac = AdmissionControl::with_uniform_limits(limits(f64::MAX, 1.0, 0));
+        assert_eq!(ac.admit("t"), Admission::Admit);
+        match ac.admit("t") {
+            Admission::Admit | Admission::Queued => {}
+            Admission::Reject { retry_after_secs } => {
+                assert!((1..=MAX_RETRY_AFTER_SECS).contains(&retry_after_secs));
+            }
         }
     }
 

@@ -39,7 +39,7 @@ mod router;
 mod server;
 mod threaded;
 
-pub use admission::{Admission, AdmissionControl, TenantLimits};
+pub use admission::{Admission, AdmissionControl, TenantLimits, MAX_RETRY_AFTER_SECS};
 pub use client::{http_get, http_get_accept, http_post, http_request};
 pub use http::{
     generate_request_id, percent_decode, percent_decode_query, HttpRequest, HttpResponse, Method,

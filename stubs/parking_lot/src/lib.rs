@@ -88,6 +88,15 @@ impl<T: ?Sized> RwLock<T> {
         self.0.write().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Acquire shared access without blocking behind a queued writer.
+    /// Real parking_lot guarantees this never deadlocks when the same
+    /// thread already holds a read guard; this std-backed shim maps it
+    /// to `read`, which on Linux (glibc's default reader preference)
+    /// carries the same property.
+    pub fn read_recursive(&self) -> RwLockReadGuard<'_, T> {
+        self.read()
+    }
+
     /// Try to acquire shared access without blocking.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
         match self.0.try_read() {

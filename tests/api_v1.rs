@@ -718,3 +718,161 @@ fn watch_rejects_bad_parameters_and_unknown_datasets() {
     }
     server.shutdown();
 }
+
+// ------------------------------------------------- watch across migration
+//
+// The migration contract for watchers: version cursors are per-node. A
+// client that kept polling across a migration carries a cursor from the
+// source node's hub, which may be *ahead* of the target's fresh counter.
+// Such a poll must not park until timeout — the hub answers immediately
+// with `changed: true` and its own authoritative cursor, so the client
+// re-reads the dataset once and is resynchronized. (Datasets themselves
+// are ephemeral metadata, re-registered after a move exactly as after a
+// node restart; the warehouse and the session token both migrate.)
+
+#[test]
+fn watch_contract_across_live_migration() {
+    let mut root = std::env::temp_dir();
+    root.push(format!("odbis-api-v1-migrate-watch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let fabric = odbis::Cluster::new();
+    let node_a = fabric.add_node("node-a", root.join("a")).unwrap();
+    let node_b = fabric.add_node("node-b", root.join("b")).unwrap();
+    let srv_a = HttpServer::start(build_router(Arc::clone(&node_a)), 2).unwrap();
+    let srv_b = HttpServer::start(build_router(Arc::clone(&node_b)), 2).unwrap();
+    fabric.map().set_addr("node-a", &srv_a.addr().to_string());
+    fabric.map().set_addr("node-b", &srv_b.addr().to_string());
+
+    let owner = fabric
+        .provision_tenant(
+            "clinic",
+            "City Clinic",
+            SubscriptionPlan::standard(),
+            "cio",
+            "pw",
+        )
+        .unwrap();
+    let (src, dst, src_addr, dst_id) = if owner == "node-a" {
+        (
+            Arc::clone(&node_a),
+            Arc::clone(&node_b),
+            srv_a.addr().to_string(),
+            "node-b",
+        )
+    } else {
+        (
+            Arc::clone(&node_b),
+            Arc::clone(&node_a),
+            srv_b.addr().to_string(),
+            "node-a",
+        )
+    };
+    let token = src.login("clinic", "cio", "pw").unwrap();
+    let dataset = DataSet {
+        name: "total_cost".into(),
+        source: "warehouse".into(),
+        sql: "SELECT SUM(cost) AS total FROM admissions".into(),
+        description: String::new(),
+    };
+    src.sql(
+        "clinic",
+        &token,
+        "CREATE TABLE admissions (dept TEXT, year INT, cost DOUBLE)",
+    )
+    .unwrap();
+    src.sql(
+        "clinic",
+        &token,
+        "INSERT INTO admissions VALUES ('Cardiology', 2010, 1200)",
+    )
+    .unwrap();
+    src.define_dataset("clinic", &token, dataset.clone()).unwrap();
+
+    // the client's cursor, minted on the source hub: strictly positive
+    let (status, _, body) = auth(
+        &src_addr,
+        "GET",
+        "/api/v1/datasets/total_cost/watch?cursor=0&timeout_ms=10000",
+        &token,
+        "",
+    );
+    assert_eq!(status, 200, "{body}");
+    let carried: u64 = serde_json::from_str::<serde_json::Value>(&body).unwrap()["cursor"]
+        .as_u64()
+        .unwrap();
+    assert!(carried > 0);
+
+    // live-migrate the tenant, then re-register the ephemeral dataset on
+    // the new owner (same contract as after a restart) with the SAME
+    // token — sessions were adopted by the target realm
+    let report = fabric.migrate("clinic", dst_id).unwrap();
+    assert_eq!(report.to, dst_id);
+    dst.define_dataset("clinic", &token, dataset).unwrap();
+
+    // the carried cursor is ahead of the target's fresh hub: the poll
+    // (sent to the OLD node, which now proxies to the new owner) must
+    // answer immediately with the authoritative cursor, not park 10 s
+    let started = std::time::Instant::now();
+    let (status, headers, body) = auth(
+        &src_addr,
+        "GET",
+        &format!("/api/v1/datasets/total_cost/watch?cursor={carried}&timeout_ms=10000"),
+        &token,
+        "",
+    );
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "a future cursor must not park until timeout"
+    );
+    assert_eq!(status, 200, "{body}");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["changed"], true, "resync is signalled as a change");
+    let resynced = v["cursor"].as_u64().unwrap();
+    assert!(resynced < carried, "authoritative cursor comes from the target");
+    assert_eq!(headers["x-watch-cursor"], resynced.to_string());
+
+    // from the authoritative cursor the protocol is back to normal: a
+    // write through the old address reaches the new owner and wakes the
+    // watcher with a cursor above the resynced one
+    let hub = Arc::clone(&dst.workspace("clinic").unwrap().watch);
+    let poller = {
+        let src_addr = src_addr.clone();
+        let token = token.clone();
+        std::thread::spawn(move || {
+            auth(
+                &src_addr,
+                "GET",
+                &format!(
+                    "/api/v1/datasets/total_cost/watch?cursor={resynced}&timeout_ms=9000"
+                ),
+                &token,
+                "",
+            )
+        })
+    };
+    for _ in 0..400 {
+        if hub.parked() > 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(hub.parked() > 0, "watcher never parked on the target hub");
+    let (status, _, body) = auth(
+        &src_addr,
+        "POST",
+        "/api/v1/sql",
+        &token,
+        "INSERT INTO admissions VALUES ('Oncology', 2011, 700)",
+    );
+    assert_eq!(status, 200, "{body}");
+    let (status, _, body) = poller.join().unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["changed"], true);
+    assert!(v["cursor"].as_u64().unwrap() > resynced);
+
+    srv_a.shutdown();
+    srv_b.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
