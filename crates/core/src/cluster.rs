@@ -18,7 +18,10 @@
 //!    in-flight gated call completes, new ones block;
 //! 4. **Final tail** — with the source quiescent, WAL frames above the
 //!    checkpoint stamp are exported and staged (superseding the
-//!    warm-up tail — staging is idempotent);
+//!    warm-up tail — staging is idempotent). A checkpoint that raced
+//!    the ship phase truncated the WAL at a newer cut, so the stamp is
+//!    re-read under the fence and the image re-exported if it advanced
+//!    — image + tail always cover every acknowledged write;
 //! 5. **Cutover** — the target recovers the staged state (re-verifying
 //!    every CRC), adopts the source realm's live sessions, the map
 //!    pins the tenant to the target, and the source detaches;
@@ -369,6 +372,19 @@ impl Cluster {
             gate("migrate.drain")?;
             let fence = source.tenant_fence(tenant);
             let _drained = fence.write();
+
+            // A tenant checkpoint that raced the ship phase (gated calls
+            // only exclude each other at the fence, taken just now)
+            // truncated the WAL at a newer cut: frames in
+            // (image.last_lsn, cut] survive only in the newer artifact,
+            // so the shipped image must be refreshed or they would be
+            // dropped at cutover. Quiescent under the fence, the stamp is
+            // stable — re-read it and re-export if it advanced.
+            let image = if store.checkpoint_lsn()? == image.last_lsn {
+                image
+            } else {
+                store.export_checkpoint()?
+            };
 
             // Phase: final tail, exported quiescent, re-staged over the
             // warm-up copy (staging clears previous artifacts first).

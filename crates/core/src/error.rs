@@ -30,6 +30,18 @@ pub enum PlatformError {
     /// A transient infrastructure failure (I/O error, wedged store): the
     /// request may succeed if retried — HTTP maps this to 503 + Retry-After.
     Unavailable(String),
+    /// The tenant's workspace lives on another node — a migration cutover
+    /// flipped ownership after this request was routed here. The same
+    /// request succeeds against the owner; HTTP maps this to a 307
+    /// redirect at the owner's address.
+    Moved {
+        /// Owning node's id.
+        node_id: String,
+        /// Owning node's HTTP address (`host:port`).
+        addr: String,
+        /// Human-readable description (the error-envelope message).
+        msg: String,
+    },
     /// Anything else.
     Internal(String),
 }
@@ -51,6 +63,7 @@ impl PlatformError {
             PlatformError::Storage(_) => "storage",
             PlatformError::NotFound(_) => "not_found",
             PlatformError::Unavailable(_) => "unavailable",
+            PlatformError::Moved { .. } => "moved",
             PlatformError::Internal(_) => "internal",
         }
     }
@@ -71,13 +84,15 @@ impl PlatformError {
             | PlatformError::NotFound(m)
             | PlatformError::Unavailable(m)
             | PlatformError::Internal(m) => m,
+            PlatformError::Moved { msg, .. } => msg,
         }
     }
 
     /// The HTTP status the platform API maps this error to: missing
     /// resources are 404, authn/authz failures are 403, plan/quota and
     /// tenant-state violations are 402 (payment required), transient
-    /// infrastructure failures are 503 (retryable), everything else
+    /// infrastructure failures are 503 (retryable), a tenant that just
+    /// migrated away is a 307 (redirect to the owner), everything else
     /// is a 400.
     pub fn http_status(&self) -> u16 {
         match self {
@@ -85,6 +100,7 @@ impl PlatformError {
             PlatformError::Security(_) => 403,
             PlatformError::Tenancy(_) => 402,
             PlatformError::Unavailable(_) => 503,
+            PlatformError::Moved { .. } => 307,
             PlatformError::Storage(_) | PlatformError::Internal(_) => 500,
             _ => 400,
         }

@@ -727,13 +727,33 @@ impl OdbisPlatform {
         })
     }
 
-    /// The workspace of a tenant.
+    /// The workspace of a tenant. A miss on a clustered node whose map
+    /// routes the tenant elsewhere means the tenant migrated away — the
+    /// caller is told where it went (HTTP: a 307 at the owner) instead of
+    /// getting a spurious tenancy error.
     pub fn workspace(&self, tenant: &str) -> PlatformResult<Arc<TenantWorkspace>> {
-        self.workspaces
-            .read()
-            .get(tenant)
-            .cloned()
-            .ok_or_else(|| PlatformError::Tenancy(format!("no workspace for tenant {tenant}")))
+        if let Some(ws) = self.workspaces.read().get(tenant).cloned() {
+            return Ok(ws);
+        }
+        if let Some(moved) = self.moved_err(tenant) {
+            return Err(moved);
+        }
+        Err(PlatformError::Tenancy(format!(
+            "no workspace for tenant {tenant}"
+        )))
+    }
+
+    /// The [`PlatformError::Moved`] for a tenant another node owns (with
+    /// a usable address), `None` when this node may serve it.
+    fn moved_err(&self, tenant: &str) -> Option<PlatformError> {
+        match self.cluster_route(tenant) {
+            ClusterRoute::Remote { node_id, addr } => Some(PlatformError::Moved {
+                msg: format!("tenant {tenant} moved to node {node_id}; retry there"),
+                node_id,
+                addr,
+            }),
+            ClusterRoute::Local => None,
+        }
     }
 
     /// Authenticate a tenant user; returns the session token.
@@ -810,6 +830,10 @@ impl OdbisPlatform {
         operation: &'static str,
         f: impl FnOnce(&mut odbis_telemetry::Span) -> PlatformResult<R>,
     ) -> PlatformResult<R> {
+        // Failpoint between routing and the fence: the chaos suite uses a
+        // delay here to pin a dispatch inside the cutover window.
+        odbis_chaos::check("platform.fence")
+            .map_err(|e| PlatformError::Unavailable(format!("platform.fence: {e}")))?;
         // The migration fence: held for reading across the whole gated
         // call, so a cutover (which takes it for writing) observes every
         // in-flight call to completion before flipping ownership — an
@@ -818,6 +842,12 @@ impl OdbisPlatform {
         // never deadlocks behind a waiting cutover.
         let fence = self.tenant_fence(tenant);
         let _gate = fence.read_recursive();
+        // Re-check the route now that the fence is held: a request routed
+        // here before a cutover flip resumes with the workspace already
+        // detached — answer with the new owner, not a workspace miss.
+        if let Some(moved) = self.moved_err(tenant) {
+            return Err(moved);
+        }
         let mut span = self.trace_root(tenant, service, operation);
         let result = f(&mut span);
         if result.is_err() {

@@ -103,7 +103,9 @@ impl ApiRoutes {
         let canonical = format!("{API_PREFIX}{path}");
         let h = Arc::clone(&handler);
         self.router
-            .route(method, &canonical, move |req, params| h(req, params));
+            .route(method, &canonical, move |req, params| {
+                finish_moved_redirect(req, h(req, params))
+            });
         self.specs.push(RouteSpec {
             method: method.as_str(),
             path: canonical.clone(),
@@ -112,7 +114,7 @@ impl ApiRoutes {
         });
         let link = format!("<{canonical}>; rel=\"successor-version\"");
         self.router.route(method, path, move |req, params| {
-            handler(req, params)
+            finish_moved_redirect(req, handler(req, params))
                 .with_header("Deprecation", "true")
                 .with_header("Link", &link)
         });
@@ -133,7 +135,9 @@ impl ApiRoutes {
         auth: &'static str,
         handler: impl Fn(&HttpRequest, &PathParams) -> HttpResponse + Send + Sync + 'static,
     ) {
-        self.router.route(method, path, handler);
+        self.router.route(method, path, move |req, params| {
+            finish_moved_redirect(req, handler(req, params))
+        });
         self.specs.push(RouteSpec {
             method: method.as_str(),
             path: path.to_string(),
@@ -176,6 +180,37 @@ impl ApiRoutes {
         });
         self.router
     }
+}
+
+/// The request's path plus its re-encoded query string — the target a
+/// proxy forwards to, or a redirect points at, on another node.
+fn target_with_query(req: &HttpRequest) -> String {
+    let mut target = req.path.clone();
+    if !req.query.is_empty() {
+        let qs: Vec<String> = req
+            .query
+            .iter()
+            .map(|(k, v)| format!("{}={}", encode_query(k), encode_query(v)))
+            .collect();
+        target = format!("{target}?{}", qs.join("&"));
+    }
+    target
+}
+
+/// Upgrade a "tenant moved" handler response into a complete 307: the
+/// shard-router filter runs *before* dispatch, so a request routed here
+/// just before a migration cutover flip reaches its handler with the
+/// workspace already detached. The handler surfaces that as
+/// [`PlatformError::Moved`] (a 307 carrying the owner's address in
+/// `X-Odbis-Moved-To`), and this wrapper — which, unlike
+/// [`error_response`], sees the request — completes the redirect with
+/// the `Location` the filter would have produced.
+fn finish_moved_redirect(req: &HttpRequest, resp: HttpResponse) -> HttpResponse {
+    let Some(addr) = resp.headers.get("X-Odbis-Moved-To").cloned() else {
+        return resp;
+    };
+    let location = format!("http://{addr}{}", target_with_query(req));
+    resp.with_header("Location", &location)
 }
 
 /// Build the platform router. The returned router can be served with
@@ -262,15 +297,7 @@ pub fn build_router(platform: Arc<OdbisPlatform>) -> Router {
         let ClusterRoute::Remote { node_id: owner, addr } = p.cluster_route(&tenant) else {
             return None;
         };
-        let mut target = req.path.clone();
-        if !req.query.is_empty() {
-            let qs: Vec<String> = req
-                .query
-                .iter()
-                .map(|(k, v)| format!("{}={}", encode_query(k), encode_query(v)))
-                .collect();
-            target = format!("{target}?{}", qs.join("&"));
-        }
+        let target = target_with_query(req);
         if matches!(
             p.admin.config.get(&tenant, "cluster.redirect"),
             Ok(odbis_admin::ConfigValue::Bool(true))
@@ -1015,7 +1042,14 @@ fn error_envelope(status: u16, kind: &str, message: &str) -> HttpResponse {
 }
 
 fn error_response(e: &PlatformError) -> HttpResponse {
-    let resp = error_envelope(e.http_status(), e.kind(), e.message());
+    let mut resp = error_envelope(e.http_status(), e.kind(), e.message());
+    if let PlatformError::Moved { node_id, addr, .. } = e {
+        // marker the route wrapper upgrades to a Location header (the
+        // full redirect target needs the request path, absent here)
+        resp = resp
+            .with_header("X-Odbis-Owner", node_id)
+            .with_header("X-Odbis-Moved-To", addr);
+    }
     if e.is_retryable() {
         // a wedged store is transient: tell well-behaved clients when to
         // come back instead of letting them hammer the 503

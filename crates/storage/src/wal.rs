@@ -911,6 +911,25 @@ impl DurableStore {
         })
     }
 
+    /// The fold LSN of the current checkpoint artifact — the stamp
+    /// [`DurableStore::export_checkpoint`] would put on an image exported
+    /// right now (0 when the store has never checkpointed). Migration
+    /// re-reads this under the drained write fence to detect a checkpoint
+    /// that raced the ship phase: such a checkpoint truncated the WAL at
+    /// a newer cut, so the frames between the shipped image's stamp and
+    /// the new cut survive only in the newer artifact and the image must
+    /// be re-exported before the final tail.
+    pub fn checkpoint_lsn(&self) -> DbResult<u64> {
+        if let Some(m) = self.manifest.lock().as_ref() {
+            return Ok(m.last_lsn);
+        }
+        let snapshot_path = self.dir.join(SNAPSHOT_FILE);
+        if snapshot_path.exists() {
+            return Ok(persist::load_snapshot_with_lsn(&snapshot_path)?.1);
+        }
+        Ok(0)
+    }
+
     /// Export every committed WAL frame with LSN strictly greater than
     /// `after_lsn`, as raw frame bytes ready to lay down in the target's
     /// `wal.log`. Frames are LSN-ordered in the file, so the tail is a
@@ -975,18 +994,24 @@ impl DurableStore {
                 std::fs::remove_file(leftover.path())?;
             }
         }
-        // segments first, manifest last: a crash mid-stage leaves either no
-        // manifest (recovery sees an empty store and the migration retries)
-        // or a manifest whose segments are all present
-        for (name, bytes) in image
-            .files
-            .iter()
-            .filter(|(n, _)| n != MANIFEST_FILE)
-            .chain(image.files.iter().filter(|(n, _)| n == MANIFEST_FILE))
-        {
-            std::fs::write(dir.join(name), bytes)?;
+        // Dependency order, made durable as we go: segments and the WAL
+        // tail are written and fsynced (files, then the directory) before
+        // the artifact head (manifest or snapshot) is written, then the
+        // head itself is fsynced the same way. The head is what recovery
+        // trusts, so it must never become durable before the bytes it
+        // references — a crash mid-stage leaves either no head (recovery
+        // sees an empty store and the migration retries) or a head whose
+        // segments and tail are all fully on disk.
+        let is_head = |n: &str| n == MANIFEST_FILE || n == SNAPSHOT_FILE;
+        for (name, bytes) in image.files.iter().filter(|(n, _)| !is_head(n)) {
+            write_synced(&dir.join(name), bytes)?;
         }
-        std::fs::write(dir.join("wal.log"), tail)?;
+        write_synced(&dir.join("wal.log"), tail)?;
+        persist::fsync_dir(dir)?;
+        for (name, bytes) in image.files.iter().filter(|(n, _)| is_head(n)) {
+            write_synced(&dir.join(name), bytes)?;
+        }
+        persist::fsync_dir(dir)?;
         Ok(())
     }
 
@@ -1006,6 +1031,15 @@ impl DurableStore {
             }
         }
     }
+}
+
+/// `create` + `write_all` + `sync_all`: one staged file made durable
+/// before anything that references it is written.
+fn write_synced(path: &Path, bytes: &[u8]) -> DbResult<()> {
+    let mut f = std::fs::File::create(path)?;
+    std::io::Write::write_all(&mut f, bytes)?;
+    f.sync_all()?;
+    Ok(())
 }
 
 /// CRC-32 (IEEE 802.3, reflected) over `bytes` — the same polynomial gzip

@@ -1,10 +1,32 @@
 //! Offline shim for the `parking_lot` API surface this workspace uses.
 //!
-//! Wraps `std::sync` primitives and strips lock poisoning, matching
-//! parking_lot's guard-returning (non-`Result`) API. Only the types and
-//! methods the workspace calls are provided.
+//! [`Mutex`] wraps `std::sync::Mutex` and strips lock poisoning,
+//! matching parking_lot's guard-returning (non-`Result`) API.
+//!
+//! [`RwLock`] is implemented from scratch on a mutex + two condvars
+//! rather than wrapping `std::sync::RwLock`, because the workspace
+//! depends on parking_lot's `read_recursive` guarantee: a shared
+//! acquisition that never blocks behind a *queued* writer, so a thread
+//! that already holds a read guard can re-enter without deadlocking
+//! against a waiting writer. `std::sync::RwLock` explicitly does not
+//! promise that — writer-preferring implementations (musl, macOS,
+//! Windows SRW) park the recursive reader behind the queued writer,
+//! which then waits on the first read guard forever. The platform's
+//! per-tenant migration fence (nested gated calls racing a cutover
+//! drain) relies on the real semantics, so the shim provides them on
+//! every platform:
+//!
+//! - [`RwLock::read`] defers to queued writers (parking_lot's fairness,
+//!   so a drain cannot be starved by a steady stream of new readers);
+//! - [`RwLock::read_recursive`] only waits while a writer *holds* the
+//!   lock — if this thread already holds a read guard, no writer can
+//!   hold it, so the re-entry always succeeds immediately.
+//!
+//! Only the types and methods the workspace calls are provided.
 
-use std::sync::PoisonError;
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::sync::{Condvar, PoisonError};
 
 /// Mutual exclusion primitive; `lock` returns the guard directly.
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
@@ -57,67 +79,171 @@ impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
     }
 }
 
-/// Reader-writer lock; `read`/`write` return guards directly.
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+/// Reader/writer accounting for [`RwLock`]. Guarded by the lock's state
+/// mutex; the condvars signal transitions.
+struct RwState {
+    /// Outstanding read guards (recursive re-entries included).
+    readers: usize,
+    /// Whether a write guard is outstanding.
+    writer: bool,
+    /// Writers parked in [`RwLock::write`]. [`RwLock::read`] defers to
+    /// them; [`RwLock::read_recursive`] does not.
+    waiting_writers: usize,
+}
 
-/// Shared-access RAII guard for [`RwLock`].
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
-/// Exclusive-access RAII guard for [`RwLock`].
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+/// Reader-writer lock; `read`/`write` return guards directly. See the
+/// module docs for why this is hand-rolled rather than std-backed.
+pub struct RwLock<T: ?Sized> {
+    state: std::sync::Mutex<RwState>,
+    /// Parked readers (both kinds) wait here.
+    readers_cv: Condvar,
+    /// Parked writers wait here.
+    writers_cv: Condvar,
+    data: UnsafeCell<T>,
+}
+
+// Same bounds std::sync::RwLock has: the lock hands out &T to many
+// threads (needs T: Sync) and &mut T / by-value moves (needs T: Send).
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
 
 impl<T> RwLock<T> {
     /// Create a new reader-writer lock.
     pub const fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock {
+            state: std::sync::Mutex::new(RwState {
+                readers: 0,
+                writer: false,
+                waiting_writers: 0,
+            }),
+            readers_cv: Condvar::new(),
+            writers_cv: Condvar::new(),
+            data: UnsafeCell::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.data.into_inner()
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
-    /// Acquire shared access, blocking until available. Never poisons.
+    fn state(&self) -> std::sync::MutexGuard<'_, RwState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire shared access, blocking until available. Defers to queued
+    /// writers so a steady stream of readers cannot starve a writer.
+    /// Never poisons.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        let mut s = self.state();
+        while s.writer || s.waiting_writers > 0 {
+            s = self
+                .readers_cv
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        s.readers += 1;
+        drop(s);
+        RwLockReadGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
     }
 
-    /// Acquire exclusive access, blocking until available. Never poisons.
-    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
-    }
-
-    /// Acquire shared access without blocking behind a queued writer.
-    /// Real parking_lot guarantees this never deadlocks when the same
-    /// thread already holds a read guard; this std-backed shim maps it
-    /// to `read`, which on Linux (glibc's default reader preference)
-    /// carries the same property.
+    /// Acquire shared access without blocking behind a queued writer:
+    /// waits only while a writer *holds* the lock. Safe to call when the
+    /// current thread already holds a read guard on this lock (a held
+    /// read guard excludes any writer, so the re-entry cannot wait).
     pub fn read_recursive(&self) -> RwLockReadGuard<'_, T> {
-        self.read()
+        let mut s = self.state();
+        while s.writer {
+            s = self
+                .readers_cv
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        s.readers += 1;
+        drop(s);
+        RwLockReadGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Acquire exclusive access, blocking until every reader and any
+    /// prior writer has released. Never poisons.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let mut s = self.state();
+        s.waiting_writers += 1;
+        while s.writer || s.readers > 0 {
+            s = self
+                .writers_cv
+                .wait(s)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        s.waiting_writers -= 1;
+        s.writer = true;
+        drop(s);
+        RwLockWriteGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
     }
 
     /// Try to acquire shared access without blocking.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
+        let mut s = self.state();
+        if s.writer {
+            return None;
         }
+        s.readers += 1;
+        drop(s);
+        Some(RwLockReadGuard {
+            lock: self,
+            _not_send: PhantomData,
+        })
     }
 
     /// Try to acquire exclusive access without blocking.
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
-            Ok(g) => Some(g),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(std::sync::TryLockError::WouldBlock) => None,
+        let mut s = self.state();
+        if s.writer || s.readers > 0 {
+            return None;
         }
+        s.writer = true;
+        drop(s);
+        Some(RwLockWriteGuard {
+            lock: self,
+            _not_send: PhantomData,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.data.get_mut()
+    }
+
+    fn release_read(&self) {
+        let mut s = self.state();
+        s.readers -= 1;
+        if s.readers == 0 && s.waiting_writers > 0 {
+            self.writers_cv.notify_one();
+        }
+    }
+
+    fn release_write(&self) {
+        let mut s = self.state();
+        s.writer = false;
+        let writers_queued = s.waiting_writers > 0;
+        drop(s);
+        if writers_queued {
+            self.writers_cv.notify_one();
+        }
+        // recursive readers may acquire even past a queued writer, and
+        // plain readers must re-check once the queue empties
+        self.readers_cv.notify_all();
     }
 }
 
@@ -129,13 +255,80 @@ impl<T: Default> Default for RwLock<T> {
 
 impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        self.0.fmt(f)
+        match self.try_read() {
+            Some(g) => f.debug_tuple("RwLock").field(&&*g).finish(),
+            None => f.write_str("RwLock(<locked>)"),
+        }
+    }
+}
+
+/// Shared-access RAII guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    /// `!Send`, matching std and parking_lot guards.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the guard counts as an active reader, so no write guard
+        // can exist until it drops.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release_read();
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Exclusive-access RAII guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    /// `!Send`, matching std and parking_lot guards.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the guard holds the exclusive slot until it drops.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as above, plus &mut self makes the borrow unique.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release_write();
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn mutex_round_trip() {
@@ -155,5 +348,82 @@ mod tests {
         }
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_variants_respect_holders() {
+        let l = RwLock::new(0u32);
+        let r = l.read();
+        assert!(l.try_read().is_some());
+        assert!(l.try_write().is_none());
+        drop(r);
+        let w = l.try_write().unwrap();
+        drop(w);
+        assert_eq!(*l.read(), 0);
+    }
+
+    /// The guarantee the migration fence depends on: with a writer
+    /// *queued* (not holding), a thread that already holds a read guard
+    /// can re-enter via `read_recursive` — on every platform, not just
+    /// reader-preferring glibc. A regression here hangs the test.
+    #[test]
+    fn read_recursive_is_reentrant_past_a_queued_writer() {
+        let l = Arc::new(RwLock::new(0u32));
+        let outer = l.read();
+        let writer = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                *l.write() += 1;
+            })
+        };
+        // let the writer park behind the held read guard
+        std::thread::sleep(Duration::from_millis(60));
+        let inner = l.read_recursive();
+        assert_eq!(*inner, 0, "recursive read must see pre-writer state");
+        drop(inner);
+        drop(outer);
+        writer.join().unwrap();
+        assert_eq!(*l.read(), 1);
+    }
+
+    /// `read()` (unlike `read_recursive`) defers to a queued writer, so
+    /// drains cannot be starved by fresh plain readers.
+    #[test]
+    fn plain_read_defers_to_a_queued_writer() {
+        let l = Arc::new(RwLock::new(0u32));
+        let outer = l.read();
+        let writer = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                *l.write() += 1;
+            })
+        };
+        std::thread::sleep(Duration::from_millis(60));
+        let reader = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || *l.read())
+        };
+        std::thread::sleep(Duration::from_millis(60));
+        drop(outer);
+        writer.join().unwrap();
+        assert_eq!(
+            reader.join().unwrap(),
+            1,
+            "a plain read that arrived after the writer queued must see its write"
+        );
+    }
+
+    #[test]
+    fn guards_release_on_panic() {
+        let l = Arc::new(RwLock::new(0u32));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("dropped while holding the write guard");
+        })
+        .join();
+        // the lock must not stay wedged
+        *l.write() += 1;
+        assert_eq!(*l.read(), 1);
     }
 }

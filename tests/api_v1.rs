@@ -876,3 +876,100 @@ fn watch_contract_across_live_migration() {
     srv_b.shutdown();
     let _ = std::fs::remove_dir_all(&root);
 }
+
+// A request that clears the shard-router filter just before a migration
+// cutover flip resumes with the workspace already detached from the node
+// it landed on. The dispatch must not surface a raw tenancy error: the
+// gated call re-checks the cluster route under the fence and answers
+// 307 with a Location at the new owner, so the client replays the very
+// same request there.
+
+#[test]
+fn request_racing_a_cutover_gets_a_redirect_not_an_error() {
+    let _x = odbis_chaos::exclusive();
+    odbis_chaos::clear();
+    let mut root = std::env::temp_dir();
+    root.push(format!("odbis-api-v1-cutover-307-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let fabric = odbis::Cluster::new();
+    let node_a = fabric.add_node("node-a", root.join("a")).unwrap();
+    let node_b = fabric.add_node("node-b", root.join("b")).unwrap();
+    let srv_a = HttpServer::start(build_router(Arc::clone(&node_a)), 2).unwrap();
+    let srv_b = HttpServer::start(build_router(Arc::clone(&node_b)), 2).unwrap();
+    fabric.map().set_addr("node-a", &srv_a.addr().to_string());
+    fabric.map().set_addr("node-b", &srv_b.addr().to_string());
+    let owner = fabric
+        .provision_tenant(
+            "clinic",
+            "City Clinic",
+            SubscriptionPlan::standard(),
+            "cio",
+            "pw",
+        )
+        .unwrap();
+    let (src, dst, src_addr, dst_addr, dst_id) = if owner == "node-a" {
+        (
+            Arc::clone(&node_a),
+            Arc::clone(&node_b),
+            srv_a.addr().to_string(),
+            srv_b.addr().to_string(),
+            "node-b",
+        )
+    } else {
+        (
+            Arc::clone(&node_b),
+            Arc::clone(&node_a),
+            srv_b.addr().to_string(),
+            srv_a.addr().to_string(),
+            "node-a",
+        )
+    };
+    let token = src.login("clinic", "cio", "pw").unwrap();
+    src.sql("clinic", &token, "CREATE TABLE t (id INT PRIMARY KEY)")
+        .unwrap();
+
+    // park gated dispatches between the routing filter and the fence,
+    // pinning the in-flight request inside the cutover window
+    odbis_chaos::apply_spec("platform.fence=delay(600)").unwrap();
+    let racer = {
+        let src_addr = src_addr.clone();
+        let token = token.clone();
+        std::thread::spawn(move || {
+            auth(&src_addr, "POST", "/api/v1/sql", &token, "INSERT INTO t VALUES (7)")
+        })
+    };
+    // the filter routes the request Local, then it sleeps; flip ownership
+    // underneath it
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let report = fabric.migrate("clinic", dst_id).unwrap();
+    assert_eq!(report.to, dst_id);
+
+    let (status, headers, body) = racer.join().unwrap();
+    odbis_chaos::clear();
+    assert_eq!(status, 307, "stale dispatch must redirect, got: {body}");
+    assert_eq!(headers["x-odbis-owner"], dst_id);
+    assert_eq!(headers["location"], format!("http://{dst_addr}/api/v1/sql"));
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["error"]["kind"], "moved");
+
+    // replaying the same request at the Location target succeeds, and
+    // the row is the new owner's
+    let (status, _, body) = auth(
+        &dst_addr,
+        "POST",
+        "/api/v1/sql",
+        &token,
+        "INSERT INTO t VALUES (7)",
+    );
+    assert_eq!(status, 200, "{body}");
+    let (status, _, body) = auth(&dst_addr, "POST", "/api/v1/sql", &token, "SELECT id FROM t");
+    assert_eq!(status, 200, "{body}");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(v["rows"].as_array().unwrap().len(), 1);
+    assert!(dst.workspace("clinic").is_ok());
+
+    srv_a.shutdown();
+    srv_b.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

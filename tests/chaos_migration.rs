@@ -261,6 +261,61 @@ fn concurrent_writers_lose_nothing_across_a_live_migration() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// A tenant checkpoint that lands between the ship phase and the drain
+/// truncates the WAL at a newer cut, so the frames acked in between
+/// exist only in the newer checkpoint artifact — not in the shipped
+/// image, not in the final tail. The protocol must detect the advanced
+/// stamp under the fence and re-ship the image, or those acked writes
+/// are silently dropped at cutover.
+#[test]
+fn checkpoint_racing_the_ship_phase_loses_no_acked_writes() {
+    let _x = odbis_chaos::exclusive();
+    odbis_chaos::clear();
+    let root = tmp_dir("ckpt-race");
+    let (fabric, src, dst, token, owner) = boot_cluster(&root);
+    let dst_id = if owner == "node-a" { "node-b" } else { "node-a" };
+
+    src.sql(TENANT, &token, "CREATE TABLE t (id INT PRIMARY KEY)")
+        .unwrap();
+    let mut shadow: BTreeSet<i64> = BTreeSet::new();
+    for id in 0..10 {
+        assert!(insert(&src, &token, id));
+        shadow.insert(id);
+    }
+
+    // park the migration between staging the warm-up copy and taking the
+    // drain fence — the widest version of the window the race needs
+    odbis_chaos::apply_spec("migrate.drain=delay(600)").unwrap();
+    let migration = {
+        let fabric = Arc::clone(&fabric);
+        std::thread::spawn(move || fabric.migrate(TENANT, dst_id))
+    };
+    // while it sleeps: acknowledge more writes, then checkpoint — the
+    // WAL is truncated past them, so only a re-shipped image carries them
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    for id in 100..110 {
+        assert!(insert(&src, &token, id));
+        shadow.insert(id);
+    }
+    src.checkpoint_tenant(TENANT, &token).unwrap();
+
+    let report = migration.join().unwrap().unwrap();
+    odbis_chaos::clear();
+    assert_eq!(report.to, dst_id);
+    assert_eq!(fabric.map().owner(TENANT).unwrap(), dst_id);
+    assert!(
+        report.checkpoint_lsn > 0,
+        "the re-shipped image must carry the racing checkpoint's stamp"
+    );
+    assert_eq!(
+        present_ids(&dst, &token),
+        shadow,
+        "writes acked during the ship phase were dropped at cutover"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Seeded ping-pong migrations under probabilistic faults on every
 /// migration phase plus the WAL sites the shipped bytes cross, with
 /// writes interleaved between attempts. Attempts repeat (bounded) until
